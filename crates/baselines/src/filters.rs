@@ -1,0 +1,455 @@
+//! Timed optimistic machine models: DAC, DARSIE, DARSIE+Scalar (paper Sec. 5).
+//!
+//! Each is an [`IssueFilter`]: it never changes values, only reclassifies
+//! warp instructions at issue time. All three sit on top of the baseline's
+//! scalar pipeline for constant-operand operations, exactly like the paper's
+//! baseline.
+
+use r2d2_sim::{BaselineFilter, Disposition, IssueCtx, IssueFilter};
+
+fn lanes_uniform(ctx: &IssueCtx<'_>) -> bool {
+    let mask = ctx.exec_mask;
+    if mask == 0 {
+        return true;
+    }
+    let first = mask.trailing_zeros() as usize;
+    if let Some(v) = ctx.vals {
+        for s in 0..v.nsrc {
+            for lane in 0..32 {
+                if mask & (1 << lane) != 0 && v.srcs[s][lane] != v.srcs[s][first] {
+                    return false;
+                }
+            }
+        }
+        true
+    } else {
+        false
+    }
+}
+
+/// Decoupled Affine Computation (Wang & Lin, ISCA 2017), modeled as the paper
+/// models it: "computing all warp instructions producing consecutive affine
+/// values with a single warp instruction without any overhead". A warp
+/// instruction is handled by the affine unit at zero pipeline cost when
+///
+/// 1. its destination lane values form an affine sequence in the lane index
+///    (`v[l] = v0 + l*stride`, including uniform `stride = 0`), **and**
+/// 2. it belongs to the compiler-decoupled affine slice: its dataflow never
+///    passes through a memory load or atomic result (the decoupled access
+///    stream runs ahead of memory, so it can only consume built-in indices,
+///    parameters and immediates).
+#[derive(Debug, Default)]
+pub struct DacFilter {
+    base: BaselineFilter,
+    /// Per GP register: `true` when (transitively) derived from memory.
+    load_tainted: Vec<bool>,
+    pred_tainted: Vec<bool>,
+    /// Per pc: in the statically decoupleable slice.
+    sliceable: Vec<bool>,
+}
+
+impl DacFilter {
+    /// New DAC model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn analyze_slice(&mut self, kernel: &r2d2_isa::Kernel) {
+        use r2d2_isa::{Op, Operand};
+        let nregs = kernel.num_regs();
+        let npreds = kernel.num_preds().max(1);
+        self.load_tainted = vec![false; nregs];
+        self.pred_tainted = vec![false; npreds];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in &kernel.instrs {
+                let mut t = matches!(i.op, Op::Ld(_) | Op::Atom(_));
+                for s in &i.srcs {
+                    t |= match s {
+                        Operand::Reg(r) => self.load_tainted[r.0 as usize],
+                        Operand::Pred(p) => self.pred_tainted[p.0 as usize],
+                        _ => false,
+                    };
+                }
+                if let Some((p, _)) = i.guard {
+                    t |= self.pred_tainted[p.0 as usize];
+                }
+                match i.dst {
+                    Some(r2d2_isa::Dst::Reg(r)) if t && !self.load_tainted[r.0 as usize] => {
+                        self.load_tainted[r.0 as usize] = true;
+                        changed = true;
+                    }
+                    Some(r2d2_isa::Dst::Pred(p)) if t && !self.pred_tainted[p.0 as usize] => {
+                        self.pred_tainted[p.0 as usize] = true;
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.sliceable = kernel
+            .instrs
+            .iter()
+            .map(|i| {
+                if i.op.is_control() || i.op.is_mem() {
+                    return false;
+                }
+                let mut t = false;
+                for s in &i.srcs {
+                    t |= match s {
+                        Operand::Reg(r) => self.load_tainted[r.0 as usize],
+                        Operand::Pred(p) => self.pred_tainted[p.0 as usize],
+                        _ => false,
+                    };
+                }
+                if let Some((p, _)) = i.guard {
+                    t |= self.pred_tainted[p.0 as usize];
+                }
+                !t
+            })
+            .collect();
+    }
+
+    fn dst_affine(ctx: &IssueCtx<'_>) -> bool {
+        let Some(v) = ctx.vals else { return false };
+        if !v.has_dst {
+            return false;
+        }
+        let mask = ctx.exec_mask;
+        if mask == 0 {
+            return true;
+        }
+        // Affine in the lane index over active lanes.
+        let lanes: Vec<usize> = (0..32).filter(|l| mask & (1 << l) != 0).collect();
+        if lanes.len() < 2 {
+            return true;
+        }
+        let l0 = lanes[0] as i64;
+        let v0 = v.dst[lanes[0]] as i64;
+        let l1 = lanes[1] as i64;
+        let v1 = v.dst[lanes[1]] as i64;
+        // stride must be integral in lane distance
+        let dl = l1 - l0;
+        let dv = v1.wrapping_sub(v0);
+        if dv % dl != 0 {
+            return false;
+        }
+        let stride = dv / dl;
+        lanes.iter().all(|&l| {
+            v.dst[l] as i64 == v0.wrapping_add(stride.wrapping_mul(l as i64 - l0))
+        })
+    }
+}
+
+impl IssueFilter for DacFilter {
+    fn wants_values(&self) -> bool {
+        true
+    }
+
+    fn on_launch(&mut self, kernel: &r2d2_isa::Kernel, _block: [u32; 3]) {
+        self.analyze_slice(kernel);
+    }
+
+    fn classify(&mut self, ctx: &IssueCtx<'_>) -> Disposition {
+        if self.sliceable.get(ctx.pc).copied().unwrap_or(false) && Self::dst_affine(ctx) {
+            return Disposition::Skip;
+        }
+        self.base.classify(ctx)
+    }
+}
+
+/// Dimensionality-Aware Redundant SIMT Instruction Elimination (Yeh et al.,
+/// ASPLOS 2020), modeled as the original: a *launch-time static* analysis of
+/// the thread hierarchy. An instruction whose value vector provably cannot
+/// vary across the warps of a thread block (its dataflow never touches a
+/// built-in index component that differs between warps) is executed by the
+/// block's first warp only; the other warps skip it with no overhead.
+/// Exactly as the paper notes (Sec. 2.2), one-dimensional thread blocks with
+/// more than 32 threads leave DARSIE little to skip, because `tid.x` then
+/// varies across warps.
+#[derive(Debug, Default)]
+pub struct DarsieFilter {
+    base: BaselineFilter,
+    /// Per static pc: `true` when redundant across warps within a block.
+    skippable: Vec<bool>,
+}
+
+impl DarsieFilter {
+    /// New DARSIE model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Which built-in index components vary across warps of one block.
+    ///
+    /// A warp covers 32 consecutive thread slots; a component's pattern is
+    /// identical in every warp exactly when its period divides the warp size.
+    fn varying_dims(block: [u32; 3]) -> [bool; 3] {
+        let warps = (block[0] as u64 * block[1] as u64 * block[2] as u64).div_ceil(32);
+        if warps <= 1 {
+            // With a single warp there is nothing to share: skip nothing.
+            return [true; 3];
+        }
+        let repeats = |period: u64| period <= 32 && 32 % period == 0;
+        let x_varies = !repeats(block[0] as u64);
+        let y_varies = block[1] > 1 && !repeats(block[0] as u64 * block[1] as u64);
+        let z_varies = block[2] > 1;
+        [x_varies, y_varies, z_varies]
+    }
+
+    /// Launch-time taint analysis: propagate "varies across warps" through
+    /// the dataflow to a fixpoint.
+    fn analyze(kernel: &r2d2_isa::Kernel, block: [u32; 3]) -> Vec<bool> {
+        use r2d2_isa::{Op, Operand, Special};
+        let dims = Self::varying_dims(block);
+        let nregs = kernel.num_regs();
+        let npreds = kernel.num_preds();
+        let mut reg_taint = vec![false; nregs];
+        let mut pred_taint = vec![false; npreds.max(1)];
+        let taint_of_special = |s: &Special| match s {
+            Special::Tid(d) => dims[*d as usize % 3],
+            Special::LaneId => false, // identical pattern in every warp
+            _ => false,               // ctaid/ntid/nctaid/smid: block-uniform
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in &kernel.instrs {
+                let mut t = false;
+                for s in &i.srcs {
+                    t |= match s {
+                        Operand::Reg(r) => reg_taint[r.0 as usize],
+                        Operand::Special(sp) => taint_of_special(sp),
+                        Operand::Pred(p) => pred_taint[p.0 as usize],
+                        _ => false,
+                    };
+                }
+                if let Some(m) = i.mem {
+                    t |= match m.base {
+                        Operand::Reg(r) => reg_taint[r.0 as usize],
+                        Operand::Special(sp) => taint_of_special(&sp),
+                        _ => false,
+                    };
+                }
+                if let Some((p, _)) = i.guard {
+                    t |= pred_taint[p.0 as usize];
+                }
+                // Atomics return racy values: always varying.
+                if matches!(i.op, Op::Atom(_)) {
+                    t = true;
+                }
+                match i.dst {
+                    Some(r2d2_isa::Dst::Reg(r))
+                        if t && !reg_taint[r.0 as usize] => {
+                            reg_taint[r.0 as usize] = true;
+                            changed = true;
+                        }
+                    Some(r2d2_isa::Dst::Pred(p))
+                        if t && !pred_taint[p.0 as usize] => {
+                            pred_taint[p.0 as usize] = true;
+                            changed = true;
+                        }
+                    _ => {}
+                }
+            }
+        }
+        kernel
+            .instrs
+            .iter()
+            .map(|i| {
+                if i.op.is_control() {
+                    return false;
+                }
+                // Stores and atomics have per-thread side effects.
+                if matches!(i.op, Op::St(_) | Op::Atom(_)) {
+                    return false;
+                }
+                let mut t = false;
+                for s in &i.srcs {
+                    t |= match s {
+                        Operand::Reg(r) => reg_taint[r.0 as usize],
+                        Operand::Special(sp) => taint_of_special(sp),
+                        Operand::Pred(p) => pred_taint[p.0 as usize],
+                        _ => false,
+                    };
+                }
+                if let Some(m) = i.mem {
+                    // Shared memory may be written by other (varying) warps.
+                    if matches!(i.op, Op::Ld(r2d2_isa::MemSpace::Shared)) {
+                        return false;
+                    }
+                    t |= match m.base {
+                        Operand::Reg(r) => reg_taint[r.0 as usize],
+                        _ => false,
+                    };
+                }
+                if let Some((p, _)) = i.guard {
+                    t |= pred_taint[p.0 as usize];
+                }
+                !t
+            })
+            .collect()
+    }
+}
+
+impl IssueFilter for DarsieFilter {
+    fn on_launch(&mut self, kernel: &r2d2_isa::Kernel, block: [u32; 3]) {
+        self.skippable = Self::analyze(kernel, block);
+    }
+
+    fn classify(&mut self, ctx: &IssueCtx<'_>) -> Disposition {
+        if ctx.warp_in_block > 0 && self.skippable.get(ctx.pc).copied().unwrap_or(false) {
+            return Disposition::Skip;
+        }
+        self.base.classify(ctx)
+    }
+}
+
+/// DARSIE plus a generalized scalar pipeline: non-redundant warp instructions
+/// whose source operands are lane-uniform execute on the scalar pipe (one
+/// thread instruction, but still a full pipeline pass — paper Sec. 2.2).
+#[derive(Debug, Default)]
+pub struct DarsieScalarFilter {
+    inner: DarsieFilter,
+}
+
+impl DarsieScalarFilter {
+    /// New DARSIE+Scalar model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl IssueFilter for DarsieScalarFilter {
+    fn wants_values(&self) -> bool {
+        true
+    }
+
+    fn on_launch(&mut self, kernel: &r2d2_isa::Kernel, block: [u32; 3]) {
+        self.inner.on_launch(kernel, block);
+    }
+
+    fn classify(&mut self, ctx: &IssueCtx<'_>) -> Disposition {
+        let d = self.inner.classify(ctx);
+        if d == Disposition::Execute
+            && !ctx.instr.op.is_control()
+            && !ctx.instr.op.is_mem()
+            && lanes_uniform(ctx)
+        {
+            return Disposition::Scalar;
+        }
+        d
+    }
+
+    fn on_block_done(&mut self, block: u64) {
+        self.inner.on_block_done(block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2d2_isa::{KernelBuilder, Ty};
+    use r2d2_sim::{simulate, BaselineFilter, Dim3, GlobalMem, GpuConfig, Launch};
+
+    fn kernel() -> r2d2_isa::Kernel {
+        let mut b = KernelBuilder::new("k", 1);
+        let i = b.global_tid_x();
+        let j = b.mul(i, r2d2_isa::Operand::Imm(2));
+        let off = b.shl_imm_wide(j, 2);
+        let p = b.ld_param(0);
+        let addr = b.add_wide(p, off);
+        let v = b.ld_global(Ty::B32, addr, 0);
+        let w = b.add(v, i);
+        b.st_global(Ty::B32, addr, 0, w);
+        b.build()
+    }
+
+    fn run(filter: &mut dyn IssueFilter) -> r2d2_sim::Stats {
+        let mut g = GlobalMem::new();
+        let buf = g.alloc(1 << 20);
+        let launch = Launch::new(kernel(), Dim3::d1(16), Dim3::d1(256), vec![buf]);
+        let cfg = GpuConfig { num_sms: 4, ..Default::default() };
+        simulate(&cfg, &launch, &mut g, filter).unwrap()
+    }
+
+    #[test]
+    fn dac_skips_affine_index_math() {
+        let base = run(&mut BaselineFilter);
+        let dac = run(&mut DacFilter::new());
+        assert!(
+            dac.warp_instrs < base.warp_instrs,
+            "dac {} vs base {}",
+            dac.warp_instrs,
+            base.warp_instrs
+        );
+        assert!(dac.skipped_warp_instrs > 0);
+        // Functional totals must be identical.
+        assert_eq!(dac.warp_instrs_with_skipped(), base.warp_instrs_with_skipped());
+    }
+
+    #[test]
+    fn darsie_skips_block_redundant_warps() {
+        // Block-uniform kernel: warps within a block compute identical values.
+        let mut b = KernelBuilder::new("bu", 1);
+        let c = b.ctaid_x();
+        let d = b.shl_imm(c, 2);
+        let e = b.add(d, r2d2_isa::Operand::Imm(9));
+        let off = b.shl_imm_wide(e, 2);
+        let p = b.ld_param(0);
+        let addr = b.add_wide(p, off);
+        b.st_global(Ty::B32, addr, 0, e);
+        let k = b.build();
+        let mut g1 = GlobalMem::new();
+        let b1 = g1.alloc(1 << 16);
+        let l1 = Launch::new(k.clone(), Dim3::d1(4), Dim3::d1(256), vec![b1]);
+        let cfg = GpuConfig { num_sms: 2, ..Default::default() };
+        let base = simulate(&cfg, &l1, &mut g1, &mut BaselineFilter).unwrap();
+        let mut g2 = GlobalMem::new();
+        let b2 = g2.alloc(1 << 16);
+        let l2 = Launch::new(k, Dim3::d1(4), Dim3::d1(256), vec![b2]);
+        let darsie = simulate(&cfg, &l2, &mut g2, &mut DarsieFilter::new()).unwrap();
+        assert_eq!(g1.bytes(), g2.bytes());
+        assert!(
+            darsie.warp_instrs * 2 < base.warp_instrs,
+            "darsie {} vs base {}",
+            darsie.warp_instrs,
+            base.warp_instrs
+        );
+    }
+
+    #[test]
+    fn darsie_scalar_adds_scalar_issues() {
+        let d = run(&mut DarsieFilter::new());
+        let ds = run(&mut DarsieScalarFilter::new());
+        assert!(ds.scalar_warp_instrs >= d.scalar_warp_instrs);
+        assert!(ds.thread_instrs <= d.thread_instrs);
+    }
+
+    #[test]
+    fn models_never_change_results() {
+        let mk = || {
+            let mut g = GlobalMem::new();
+            let buf = g.alloc(1 << 20);
+            (g, buf)
+        };
+        let cfg = GpuConfig { num_sms: 2, ..Default::default() };
+        let mut outs: Vec<Vec<u8>> = Vec::new();
+        let mut filters: Vec<Box<dyn IssueFilter>> = vec![
+            Box::new(BaselineFilter),
+            Box::new(DacFilter::new()),
+            Box::new(DarsieFilter::new()),
+            Box::new(DarsieScalarFilter::new()),
+        ];
+        for f in filters.iter_mut() {
+            let (mut g, buf) = mk();
+            let launch = Launch::new(kernel(), Dim3::d1(8), Dim3::d1(128), vec![buf]);
+            simulate(&cfg, &launch, &mut g, f.as_mut()).unwrap();
+            outs.push(g.bytes().to_vec());
+        }
+        for o in &outs[1..] {
+            assert_eq!(&outs[0], o, "machine models must not change results");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Paper Fig. 4: dynamic thread-instruction reduction of the *ideal*
+//! machines — WP (redundancy within a warp), TB (within a thread block) and
+//! LN (linearity of SIMT). Paper averages: WP 27%, TB 22%, LN 33%, with LN
+//! above both on most benchmarks.
+
+use r2d2_baselines::measure_ideals;
+use r2d2_bench::{fmt_pct, size_from_env, Report};
+use r2d2_sim::functional;
+
+fn main() {
+    let size = size_from_env();
+    let mut rep = Report::new(
+        "Fig. 4 — ideal machine dynamic thread-instruction reduction (%)",
+        &["bench", "WP", "TB", "LN"],
+    );
+    let mut sums = [0.0f64; 3];
+    let mut n = 0.0;
+    for (name, _) in r2d2_workloads::NAMES {
+        let w = r2d2_workloads::build(name, size).unwrap();
+        let mut gmem = w.gmem.clone();
+        let mut total = r2d2_baselines::IdealCounts::default();
+        for l in &w.launches {
+            let c = measure_ideals(l, &mut gmem).unwrap();
+            total.baseline += c.baseline;
+            total.wp += c.wp;
+            total.tb += c.tb;
+            total.ln += c.ln;
+            total.baseline_warp += c.baseline_warp;
+        }
+        // keep memory state moving forward between launches
+        let _ = functional::FuncStats::default();
+        let (wp, tb, ln) = total.reductions();
+        sums[0] += wp;
+        sums[1] += tb;
+        sums[2] += ln;
+        n += 1.0;
+        rep.row(vec![name.to_string(), fmt_pct(wp), fmt_pct(tb), fmt_pct(ln)]);
+        eprintln!("  [{name} done]");
+    }
+    rep.row(vec![
+        "AVG".to_string(),
+        fmt_pct(sums[0] / n),
+        fmt_pct(sums[1] / n),
+        fmt_pct(sums[2] / n),
+    ]);
+    rep.finish("fig04_ideal_machines");
+    println!("paper: WP 27%, TB 22%, LN 33% (averages)");
+}

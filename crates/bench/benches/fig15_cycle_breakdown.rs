@@ -1,0 +1,46 @@
+//! Paper Fig. 15: execution cycles of linear vs non-linear instructions,
+//! normalized to the baseline. We report the linear-prologue cycles (the
+//! point at which the last SM finished coefficient + thread-index +
+//! first-wave block-index computation) as the linear share; the paper puts
+//! it at ~1% of execution time.
+
+use r2d2_bench::{fmt_pct, fmt_x, run_model, size_from_env, Model, Report};
+use r2d2_sim::GpuConfig;
+
+fn main() {
+    let cfg = GpuConfig::default();
+    let size = size_from_env();
+    let mut rep = Report::new(
+        "Fig. 15 — R2D2 cycles vs baseline, and linear-prologue share",
+        &["bench", "base_cycles", "r2d2_cycles", "norm", "prologue", "linear_share_%"],
+    );
+    let mut share_sum = 0.0;
+    let mut n = 0.0;
+    for (name, _) in r2d2_workloads::NAMES {
+        let w = r2d2_workloads::build(name, size).unwrap();
+        let base = run_model(&cfg, &w, Model::Baseline);
+        let r2 = run_model(&cfg, &w, Model::R2d2);
+        let share = 100.0 * r2.stats.prologue_cycles as f64 / r2.stats.cycles.max(1) as f64;
+        share_sum += share;
+        n += 1.0;
+        rep.row(vec![
+            name.to_string(),
+            base.stats.cycles.to_string(),
+            r2.stats.cycles.to_string(),
+            fmt_x(r2.stats.cycles as f64 / base.stats.cycles.max(1) as f64),
+            r2.stats.prologue_cycles.to_string(),
+            fmt_pct(share),
+        ]);
+        eprintln!("  [{name} done]");
+    }
+    rep.row(vec![
+        "AVG".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        fmt_pct(share_sum / n),
+    ]);
+    rep.finish("fig15_cycle_breakdown");
+    println!("paper: linear-instruction execution time ~1% of total");
+}

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the reproduction's own machinery: analyzer
+//! throughput, end-to-end transform, functional and timing simulation rates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use r2d2_core::analyzer::analyze;
+use r2d2_core::transform::transform;
+use r2d2_isa::{Kernel, KernelBuilder, Ty};
+use r2d2_sim::{functional, simulate, BaselineFilter, Dim3, GlobalMem, GpuConfig, Launch};
+
+fn saxpy_like() -> Kernel {
+    let mut b = KernelBuilder::new("saxpy", 3);
+    let i = b.global_tid_x();
+    let off = b.shl_imm_wide(i, 2);
+    let px = b.ld_param(0);
+    let py = b.ld_param(1);
+    let ax = b.add_wide(px, off);
+    let ay = b.add_wide(py, off);
+    let x = b.ld_global(Ty::F32, ax, 0);
+    let y = b.ld_global(Ty::F32, ay, 0);
+    let a = b.ld_param(2);
+    let af = b.cvt(Ty::F32, a);
+    let t = b.mad_ty(Ty::F32, af, x, y);
+    b.st_global(Ty::F32, ay, 0, t);
+    b.build()
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let k = saxpy_like();
+    c.bench_function("analyze_saxpy", |b| b.iter(|| analyze(std::hint::black_box(&k))));
+    c.bench_function("transform_saxpy", |b| b.iter(|| transform(std::hint::black_box(&k))));
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    let k = saxpy_like();
+    let n = 32 * 128u64;
+    c.bench_function("functional_saxpy_4k_threads", |b| {
+        b.iter(|| {
+            let mut g = GlobalMem::new();
+            let x = g.alloc(n * 4);
+            let y = g.alloc(n * 4);
+            let launch = Launch::new(k.clone(), Dim3::d1(32), Dim3::d1(128), vec![x, y, 3]);
+            functional::run(&launch, &mut g, 10_000_000, None).unwrap()
+        })
+    });
+    let cfg = GpuConfig { num_sms: 8, ..Default::default() };
+    c.bench_function("timing_saxpy_4k_threads", |b| {
+        b.iter(|| {
+            let mut g = GlobalMem::new();
+            let x = g.alloc(n * 4);
+            let y = g.alloc(n * 4);
+            let launch = Launch::new(k.clone(), Dim3::d1(32), Dim3::d1(128), vec![x, y, 3]);
+            simulate(&cfg, &launch, &mut g, &mut BaselineFilter).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_analyzer, bench_simulators);
+criterion_main!(benches);

@@ -1,0 +1,274 @@
+//! Experiment harness shared by the per-figure bench targets.
+//!
+//! Every table and figure in the paper's evaluation (Sec. 5) has a bench
+//! target under `benches/` (registered with `harness = false`), each of which
+//! prints the paper-style rows and writes a CSV under `results/`. Run them
+//! all with `cargo bench`, or one with e.g.
+//! `cargo bench --bench fig13_speedup`.
+//!
+//! Set `R2D2_SIZE=small` to use test-sized inputs (CI smoke runs).
+
+use r2d2_core::machine::RunResult;
+use r2d2_core::transform::make_launch;
+use r2d2_energy::{EnergyBreakdown, EnergyModel};
+use r2d2_sim::{simulate, BaselineFilter, GpuConfig, IssueFilter, Stats};
+use r2d2_workloads::{Size, Workload};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The machine models of Figs. 12/13/16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// Table 1 baseline GPU (with its stock scalar pipeline).
+    Baseline,
+    /// Decoupled Affine Computation (optimistic).
+    Dac,
+    /// DARSIE (optimistic).
+    Darsie,
+    /// DARSIE + generalized scalar pipeline.
+    DarsieScalar,
+    /// This paper: R2D2.
+    R2d2,
+}
+
+impl Model {
+    /// All models, baseline first.
+    pub const ALL: [Model; 5] =
+        [Model::Baseline, Model::Dac, Model::Darsie, Model::DarsieScalar, Model::R2d2];
+
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Model::Baseline => "Baseline",
+            Model::Dac => "DAC",
+            Model::Darsie => "DARSIE",
+            Model::DarsieScalar => "DARSIE+S",
+            Model::R2d2 => "R2D2",
+        }
+    }
+
+    fn filter(self) -> Box<dyn IssueFilter> {
+        match self {
+            Model::Baseline | Model::R2d2 => Box::new(BaselineFilter),
+            Model::Dac => Box::new(r2d2_baselines::DacFilter::new()),
+            Model::Darsie => Box::new(r2d2_baselines::DarsieFilter::new()),
+            Model::DarsieScalar => Box::new(r2d2_baselines::DarsieScalarFilter::new()),
+        }
+    }
+}
+
+/// Workload size selected by `R2D2_SIZE` (default: full).
+pub fn size_from_env() -> Size {
+    match std::env::var("R2D2_SIZE").as_deref() {
+        Ok("small") | Ok("Small") | Ok("SMALL") => Size::Small,
+        _ => Size::Full,
+    }
+}
+
+/// Run every launch of a workload under `model` on a fresh copy of its
+/// memory; returns accumulated stats and the energy breakdown.
+///
+/// # Panics
+///
+/// Panics if the simulator reports an error (the zoo is validated by tests).
+pub fn run_model(cfg: &GpuConfig, w: &Workload, model: Model) -> RunResult {
+    let mut gmem = w.gmem.clone();
+    let mut stats = Stats::default();
+    let mut used_r2d2 = false;
+    for l in &w.launches {
+        let s = match model {
+            Model::R2d2 => {
+                let (launch, used) = make_launch(cfg, &l.kernel, l.grid, l.block, l.params.clone());
+                used_r2d2 |= used;
+                simulate(cfg, &launch, &mut gmem, &mut BaselineFilter)
+            }
+            _ => {
+                let mut f = model.filter();
+                simulate(cfg, l, &mut gmem, f.as_mut())
+            }
+        }
+        .unwrap_or_else(|e| panic!("{}/{:?}: {e}", w.name, model));
+        stats.merge_sequential(&s);
+    }
+    let energy = EnergyModel::volta().breakdown(&stats.events);
+    RunResult { stats, energy, used_r2d2 }
+}
+
+/// Run a workload under R2D2 with explicit generator options (ablations).
+/// Falls back to the original kernel when nothing is decoupled.
+pub fn run_r2d2_with(
+    cfg: &GpuConfig,
+    w: &Workload,
+    opts: &r2d2_core::GenOptions,
+) -> RunResult {
+    let mut gmem = w.gmem.clone();
+    let mut stats = Stats::default();
+    let mut used = false;
+    for l in &w.launches {
+        let r2 = r2d2_core::transform_with(&l.kernel, opts);
+        let s = if r2.meta.has_linear() {
+            used = true;
+            let mut launch =
+                r2d2_sim::Launch::new(r2.kernel, l.grid, l.block, l.params.clone());
+            launch.meta = Some(r2.meta);
+            simulate(cfg, &launch, &mut gmem, &mut BaselineFilter)
+        } else {
+            simulate(cfg, l, &mut gmem, &mut BaselineFilter)
+        }
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        stats.merge_sequential(&s);
+    }
+    let energy = EnergyModel::volta().breakdown(&stats.events);
+    RunResult { stats, energy, used_r2d2: used }
+}
+
+/// One workload's results under every model (Figs. 12/13/16 share this).
+pub struct ComparisonRow {
+    /// Table 2 abbreviation.
+    pub name: &'static str,
+    /// Results indexed like [`Model::ALL`].
+    pub runs: Vec<RunResult>,
+}
+
+/// Run the whole zoo under every machine model.
+pub fn comparison_rows(cfg: &GpuConfig, size: Size) -> Vec<ComparisonRow> {
+    r2d2_workloads::NAMES
+        .iter()
+        .map(|(name, _)| {
+            let w = r2d2_workloads::build(name, size).unwrap();
+            let runs = Model::ALL.iter().map(|m| run_model(cfg, &w, *m)).collect();
+            eprintln!("  [{name} done]");
+            ComparisonRow { name, runs }
+        })
+        .collect()
+}
+
+/// Geometric mean of a slice of positive numbers.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// A simple fixed-width table printer + CSV writer.
+pub struct Report {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Start a report with a title and column names.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Report {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render the table to stdout and write `results/<file>.csv`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the results directory cannot be written.
+    pub fn finish(&self, file: &str) {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", line(r, &widths));
+        }
+        print!("{out}");
+        // CSV
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir).expect("create results dir");
+        let mut csv = String::new();
+        let _ = writeln!(csv, "{}", self.header.join(","));
+        for r in &self.rows {
+            let _ = writeln!(csv, "{}", r.join(","));
+        }
+        std::fs::write(dir.join(format!("{file}.csv")), csv).expect("write csv");
+        println!("[written results/{file}.csv]");
+    }
+}
+
+/// The `results/` directory at the workspace root.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Percent reduction of `v` vs `base`.
+pub fn pct_reduction(base: u64, v: u64) -> f64 {
+    if base == 0 {
+        0.0
+    } else {
+        100.0 * (base as f64 - v as f64) / base as f64
+    }
+}
+
+/// Format helpers shared by the figure targets.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a speedup `x.xx`.
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Total energy helper.
+pub fn total_pj(e: &EnergyBreakdown) -> f64 {
+    e.total_pj()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_constants() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn pct_reduction_basics() {
+        assert_eq!(pct_reduction(100, 72), 28.0);
+        assert_eq!(pct_reduction(0, 5), 0.0);
+    }
+
+    #[test]
+    fn run_model_smoke() {
+        let cfg = GpuConfig { num_sms: 4, ..Default::default() };
+        let w = r2d2_workloads::build("NN", Size::Small).unwrap();
+        let base = run_model(&cfg, &w, Model::Baseline);
+        let r2 = run_model(&cfg, &w, Model::R2d2);
+        assert!(base.stats.cycles > 0);
+        assert!(r2.stats.warp_instrs < base.stats.warp_instrs);
+    }
+}

@@ -1,0 +1,300 @@
+//! `r2d2` — command-line driver for the R2D2 reproduction.
+//!
+//! ```text
+//! r2d2 list                               list the Table 2 workload zoo
+//! r2d2 analyze  <kernel.kasm>             print per-register coefficient vectors
+//! r2d2 transform <kernel.kasm>            print the decoupled kernel + metadata
+//! r2d2 run <kernel.kasm> [options]        execute a kernel on the timing simulator
+//!     --grid X[,Y[,Z]]      grid dimensions           (default 1)
+//!     --block X[,Y[,Z]]     block dimensions          (default 32)
+//!     --buf BYTES           allocate a buffer, pass its address as the next param
+//!     --param N             pass a scalar parameter
+//!     --r2d2                run the R2D2-transformed kernel
+//!     --sms N               number of SMs             (default 80)
+//! r2d2 workload <NAME> [--model M] [--full]
+//!     run one zoo workload under a machine model
+//!     (M: baseline | dac | darsie | darsie-scalar | r2d2; default baseline)
+//! r2d2 trace <kernel.kasm> [run options] [--limit N]
+//!     print the first N dynamic warp instructions (default 64)
+//! ```
+
+use r2d2_baselines::{DacFilter, DarsieFilter, DarsieScalarFilter};
+use r2d2_core::analyzer::analyze;
+use r2d2_core::transform::{make_launch, transform};
+use r2d2_energy::EnergyModel;
+use r2d2_isa::parse_kernel;
+use r2d2_sim::{
+    simulate, BaselineFilter, Dim3, GlobalMem, GpuConfig, IssueFilter, Launch, Stats,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("transform") => cmd_transform(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("workload") => cmd_workload(&args[1..]),
+        _ => {
+            eprintln!("usage: r2d2 <list|analyze|transform|run|trace|workload> ...");
+            eprintln!("see `r2d2-cli` crate docs for options");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn cmd_list() -> CliResult {
+    println!("{:<8} suite", "name");
+    for (n, s) in r2d2_workloads::NAMES {
+        println!("{n:<8} {s}");
+    }
+    Ok(())
+}
+
+fn load_kernel(args: &[String]) -> Result<r2d2_isa::Kernel, Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("missing kernel file")?;
+    let src = std::fs::read_to_string(path)?;
+    let k = parse_kernel(&src)?;
+    k.validate()?;
+    Ok(k)
+}
+
+fn cmd_analyze(args: &[String]) -> CliResult {
+    let k = load_kernel(args)?;
+    let a = analyze(&k);
+    println!("{k}");
+    println!("linear registers ({} of {} GP regs):", a.linear.len(), k.num_regs());
+    let mut regs: Vec<_> = a.linear.iter().collect();
+    regs.sort_by_key(|(r, _)| r.0);
+    for (r, info) in regs {
+        println!("  %r{:<3} (pc {:>3}) = {}", r.0, info.def_pc, info.vec);
+    }
+    if !a.multi_write.is_empty() {
+        let list: Vec<String> = a.multi_write.iter().map(|r| format!("%r{}", r.0)).collect();
+        println!("multi-write (loop/divergence) registers: {}", list.join(", "));
+    }
+    let demanded = a.demanded(&k);
+    let list: Vec<String> = demanded.iter().map(|r| format!("%r{}", r.0)).collect();
+    println!("demanded by non-linear instructions: {}", list.join(", "));
+    Ok(())
+}
+
+fn cmd_transform(args: &[String]) -> CliResult {
+    let k = load_kernel(args)?;
+    let r2 = transform(&k);
+    println!("{}", r2.kernel);
+    println!("starting PCs: coef=0 tidx={} bidx={} main={}", r2.meta.tidx_start, r2.meta.bidx_start, r2.meta.main_start);
+    println!(
+        "registers: {} lr / {} tr / {} cr; register table: {:?}",
+        r2.meta.n_lr,
+        r2.meta.n_tr,
+        r2.meta.n_cr,
+        &r2.meta.lr_tr[..r2.meta.n_lr]
+    );
+    println!(
+        "removed {} of {} static instructions ({} groups beyond the 16-entry table)",
+        r2.report.removed_instrs, r2.report.original_static, r2.report.spilled_groups
+    );
+    Ok(())
+}
+
+fn parse_dim(s: &str) -> Result<Dim3, Box<dyn std::error::Error>> {
+    let parts: Vec<u32> = s.split(',').map(|p| p.parse()).collect::<Result<_, _>>()?;
+    Ok(match parts.as_slice() {
+        [x] => Dim3::d1(*x),
+        [x, y] => Dim3::d2(*x, *y),
+        [x, y, z] => Dim3::d3(*x, *y, *z),
+        _ => return Err("dimensions must be X[,Y[,Z]]".into()),
+    })
+}
+
+fn print_stats(stats: &Stats) {
+    let energy = EnergyModel::volta().breakdown(&stats.events);
+    println!("cycles:            {}", stats.cycles);
+    println!("warp instructions: {} (+{} skipped)", stats.warp_instrs, stats.skipped_warp_instrs);
+    println!("thread instrs:     {}", stats.thread_instrs);
+    println!(
+        "phases (c/t/b/m):  {:?}",
+        stats.warp_instrs_by_phase
+    );
+    println!(
+        "memory:            L1 {}/{} hits, L2 {}/{} hits, {} DRAM txns",
+        stats.l1_hits,
+        stats.l1_hits + stats.l1_misses,
+        stats.l2_hits,
+        stats.l2_hits + stats.l2_misses,
+        stats.dram_txns
+    );
+    println!("energy:            {:.3} uJ", energy.total_pj() / 1e6);
+}
+
+fn cmd_run(args: &[String]) -> CliResult {
+    let k = load_kernel(args)?;
+    let mut grid = Dim3::d1(1);
+    let mut block = Dim3::d1(32);
+    let mut gmem = GlobalMem::new();
+    let mut params: Vec<u64> = Vec::new();
+    let mut use_r2d2 = false;
+    let mut sms = 80u32;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--grid" => {
+                grid = parse_dim(args.get(i + 1).ok_or("--grid needs a value")?)?;
+                i += 1;
+            }
+            "--block" => {
+                block = parse_dim(args.get(i + 1).ok_or("--block needs a value")?)?;
+                i += 1;
+            }
+            "--buf" => {
+                let bytes: u64 = args.get(i + 1).ok_or("--buf needs a size")?.parse()?;
+                params.push(gmem.alloc(bytes));
+                i += 1;
+            }
+            "--param" => {
+                params.push(args.get(i + 1).ok_or("--param needs a value")?.parse::<i64>()? as u64);
+                i += 1;
+            }
+            "--r2d2" => use_r2d2 = true,
+            "--sms" => {
+                sms = args.get(i + 1).ok_or("--sms needs a value")?.parse()?;
+                i += 1;
+            }
+            other => return Err(format!("unknown option {other}").into()),
+        }
+        i += 1;
+    }
+    let cfg = GpuConfig { num_sms: sms, ..Default::default() };
+    let stats = if use_r2d2 {
+        let (launch, used) = make_launch(&cfg, &k, grid, block, params);
+        println!(
+            "launching {} kernel\n",
+            if used { "the R2D2-transformed" } else { "the original (register-pressure fallback)" }
+        );
+        simulate(&cfg, &launch, &mut gmem, &mut BaselineFilter)?
+    } else {
+        let launch = Launch::new(k, grid, block, params);
+        simulate(&cfg, &launch, &mut gmem, &mut BaselineFilter)?
+    };
+    print_stats(&stats);
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> CliResult {
+    use r2d2_sim::{functional, InstrEvent, Observer};
+    let k = load_kernel(args)?;
+    let mut grid = Dim3::d1(1);
+    let mut block = Dim3::d1(32);
+    let mut gmem = GlobalMem::new();
+    let mut params: Vec<u64> = Vec::new();
+    let mut limit = 64usize;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--grid" => {
+                grid = parse_dim(args.get(i + 1).ok_or("--grid needs a value")?)?;
+                i += 1;
+            }
+            "--block" => {
+                block = parse_dim(args.get(i + 1).ok_or("--block needs a value")?)?;
+                i += 1;
+            }
+            "--buf" => {
+                let bytes: u64 = args.get(i + 1).ok_or("--buf needs a size")?.parse()?;
+                params.push(gmem.alloc(bytes));
+                i += 1;
+            }
+            "--param" => {
+                params.push(args.get(i + 1).ok_or("--param needs a value")?.parse::<i64>()? as u64);
+                i += 1;
+            }
+            "--limit" => {
+                limit = args.get(i + 1).ok_or("--limit needs a value")?.parse()?;
+                i += 1;
+            }
+            other => return Err(format!("unknown option {other}").into()),
+        }
+        i += 1;
+    }
+
+    struct Tracer {
+        left: usize,
+        truncated: bool,
+    }
+    impl Observer for Tracer {
+        fn on_instr(&mut self, ev: &InstrEvent<'_>) {
+            if self.left == 0 {
+                self.truncated = true;
+                return;
+            }
+            self.left -= 1;
+            println!(
+                "blk {:>4} warp {:>2} pc {:>4} mask {:08x}  {}",
+                ev.block, ev.warp_in_block, ev.pc, ev.active, ev.instr
+            );
+        }
+    }
+    let mut t = Tracer { left: limit, truncated: false };
+    let launch = Launch::new(k, grid, block, params);
+    functional::run(&launch, &mut gmem, 100_000_000, Some(&mut t))?;
+    if t.truncated {
+        println!("... (truncated at {limit} instructions; raise with --limit)");
+    }
+    Ok(())
+}
+
+fn cmd_workload(args: &[String]) -> CliResult {
+    let name = args.first().ok_or("missing workload name (try `r2d2 list`)")?;
+    let mut model = "baseline".to_string();
+    let mut size = r2d2_workloads::Size::Small;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--model" => {
+                model = args.get(i + 1).ok_or("--model needs a value")?.clone();
+                i += 1;
+            }
+            "--full" => size = r2d2_workloads::Size::Full,
+            other => return Err(format!("unknown option {other}").into()),
+        }
+        i += 1;
+    }
+    let w = r2d2_workloads::build(name, size).ok_or("unknown workload (try `r2d2 list`)")?;
+    let cfg = GpuConfig::default();
+    let mut g = w.gmem.clone();
+    let mut stats = Stats::default();
+    for l in &w.launches {
+        let s = match model.as_str() {
+            "r2d2" => {
+                let (launch, _) = make_launch(&cfg, &l.kernel, l.grid, l.block, l.params.clone());
+                simulate(&cfg, &launch, &mut g, &mut BaselineFilter)?
+            }
+            m => {
+                let mut f: Box<dyn IssueFilter> = match m {
+                    "baseline" => Box::new(BaselineFilter),
+                    "dac" => Box::new(DacFilter::new()),
+                    "darsie" => Box::new(DarsieFilter::new()),
+                    "darsie-scalar" => Box::new(DarsieScalarFilter::new()),
+                    _ => return Err("model must be baseline|dac|darsie|darsie-scalar|r2d2".into()),
+                };
+                simulate(&cfg, l, &mut g, f.as_mut())?
+            }
+        };
+        stats.merge_sequential(&s);
+    }
+    println!("workload {name} under {model} ({} launches):\n", w.launches.len());
+    print_stats(&stats);
+    Ok(())
+}

@@ -1,0 +1,168 @@
+//! End-to-end tests of the `r2d2` command-line driver.
+
+use std::io::Write;
+use std::process::Command;
+
+const KERNEL: &str = r#"
+.kernel demo params=2 {
+  mov.b32 %r0, %tid.x;
+  mov.b32 %r1, %ctaid.x;
+  mov.b32 %r2, %ntid.x;
+  mad.b32 %r3, %r1, %r2, %r0;
+  cvt.b64 %r4, %r3;
+  shl.b64 %r5, %r4, 2;
+  ld.param.b64 %r6, [P0];
+  add.b64 %r7, %r6, %r5;
+  ld.global.f32 %r8, [%r7];
+  mul.f32 %r9, %r8, %r8;
+  ld.param.b64 %r10, [P1];
+  add.b64 %r11, %r10, %r5;
+  st.global.f32 [%r11], %r9;
+  exit;
+}
+"#;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_r2d2"))
+}
+
+fn kernel_file() -> tempfile::TempPath {
+    let mut f = tempfile::NamedTempFile::new().unwrap();
+    f.write_all(KERNEL.as_bytes()).unwrap();
+    f.into_temp_path()
+}
+
+// A tiny tempfile shim (no external dependency): write to a unique path.
+mod tempfile {
+    use std::path::PathBuf;
+
+    pub struct NamedTempFile(std::fs::File, PathBuf);
+    pub struct TempPath(PathBuf);
+
+    impl NamedTempFile {
+        pub fn new() -> std::io::Result<Self> {
+            let p = std::env::temp_dir().join(format!(
+                "r2d2-cli-test-{}-{:?}.kasm",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            Ok(NamedTempFile(std::fs::File::create(&p)?, p))
+        }
+
+        pub fn into_temp_path(self) -> TempPath {
+            TempPath(self.1)
+        }
+    }
+
+    impl std::io::Write for NamedTempFile {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            std::io::Write::write(&mut self.0, buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            std::io::Write::flush(&mut self.0)
+        }
+    }
+
+    impl std::ops::Deref for TempPath {
+        type Target = std::path::Path;
+        fn deref(&self) -> &Self::Target {
+            &self.0
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+}
+
+#[test]
+fn list_names_all_workloads() {
+    let out = bin().arg("list").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for (name, _) in r2d2_workloads::NAMES {
+        assert!(text.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn analyze_prints_coefficient_vectors() {
+    let path = kernel_file();
+    let out = bin().arg("analyze").arg(&*path).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("linear registers"));
+    assert!(text.contains("{P0,4,0,0"), "expected the address vector:\n{text}");
+}
+
+#[test]
+fn transform_prints_decoupled_kernel() {
+    let path = kernel_file();
+    let out = bin().arg("transform").arg(&*path).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("%lr0"), "{text}");
+    assert!(text.contains("starting PCs"));
+}
+
+#[test]
+fn run_executes_on_the_simulator() {
+    let path = kernel_file();
+    let out = bin()
+        .args(["run"])
+        .arg(&*path)
+        .args(["--grid", "4", "--block", "128", "--buf", "2048", "--buf", "2048", "--sms", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("cycles:"));
+    assert!(text.contains("warp instructions:"));
+}
+
+#[test]
+fn run_r2d2_reports_transformed_launch() {
+    let path = kernel_file();
+    let out = bin()
+        .args(["run"])
+        .arg(&*path)
+        .args(["--grid", "4", "--block", "128", "--buf", "2048", "--buf", "2048", "--r2d2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("R2D2-transformed"), "{text}");
+}
+
+#[test]
+fn workload_subcommand_runs() {
+    let out = bin().args(["workload", "NN", "--model", "r2d2"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("energy:"));
+}
+
+#[test]
+fn trace_prints_dynamic_instructions() {
+    let path = kernel_file();
+    let out = bin()
+        .args(["trace"])
+        .arg(&*path)
+        .args(["--grid", "1", "--block", "32", "--buf", "512", "--buf", "512", "--limit", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(text.lines().filter(|l| l.starts_with("blk")).count(), 5);
+    assert!(text.contains("truncated"));
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let out = bin().args(["workload", "NOPE"]).output().unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,570 @@
+//! The R2D2 code analyzer (paper Sec. 3.1, Algorithm 1 lines 5-19).
+//!
+//! Scans the kernel's (near-SSA) instruction stream in program order and
+//! computes, for every single-written general-purpose register, whether its
+//! value is a linear combination of built-in indices — a [`CoefVec`]. The
+//! transfer functions follow Fig. 6 exactly:
+//!
+//! | op                    | condition            | result                  |
+//! |-----------------------|----------------------|-------------------------|
+//! | `ld.param dst,[P]`    |                      | `{P,0,0,0,0,0,0}`       |
+//! | `mov`/`cvt`           | src linear           | copy                    |
+//! | `add`/`sub`           | both linear          | elementwise +/-         |
+//! | `mul`                 | one side scalar      | scale                   |
+//! | `shl`                 | shift is a constant  | scale by `2^n`          |
+//! | `mad`                 | multiplier scalar    | scale + add             |
+//!
+//! Registers written more than once (loop iterators, divergent joins,
+//! predicated writes) are *multi-write* (Sec. 3.1.2) and are conservatively
+//! kept in the non-linear stream in this implementation; their *inputs* may
+//! still be decoupled, which is where most of the savings live (the loop body
+//! keeps adding a pre-computed linear register, matching the paper's
+//! coefficient-register treatment of loop offsets).
+
+use r2d2_isa::{Instr, Kernel, Op, Operand, Reg, Special};
+use r2d2_sym::{CoefVec, IndexVar, Poly, Sym};
+use std::collections::HashMap;
+
+/// Per-register analysis result.
+#[derive(Debug, Clone)]
+pub struct RegInfo {
+    /// The register's linear combination.
+    pub vec: CoefVec,
+    /// pc of the (single) instruction producing it.
+    pub def_pc: usize,
+}
+
+/// Result of analyzing a kernel.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// Linear single-write registers and their coefficient vectors.
+    pub linear: HashMap<Reg, RegInfo>,
+    /// Registers written more than once (or under a guard).
+    pub multi_write: Vec<Reg>,
+    /// For every pc: `true` when the instruction produces a linear register
+    /// (a candidate for decoupling).
+    pub producer: Vec<bool>,
+}
+
+impl Analysis {
+    /// The coefficient vector of `r`, if linear.
+    pub fn coef(&self, r: Reg) -> Option<&CoefVec> {
+        self.linear.get(&r).map(|i| &i.vec)
+    }
+
+    /// Linear registers that are *used* by non-producer instructions — the
+    /// candidates for the linear register table (Algorithm 1 lines 13-15).
+    pub fn demanded(&self, kernel: &Kernel) -> Vec<Reg> {
+        let mut out: Vec<Reg> = Vec::new();
+        for (pc, instr) in kernel.instrs.iter().enumerate() {
+            if self.producer[pc] {
+                continue;
+            }
+            for r in instr.src_regs() {
+                if self.linear.contains_key(&r) && !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+        }
+        out.sort_by_key(|r| r.0);
+        out
+    }
+}
+
+fn special_vec(s: Special) -> Option<CoefVec> {
+    Some(match s {
+        Special::Tid(0) => CoefVec::index(IndexVar::TidX),
+        Special::Tid(1) => CoefVec::index(IndexVar::TidY),
+        Special::Tid(2) => CoefVec::index(IndexVar::TidZ),
+        Special::Ctaid(0) => CoefVec::index(IndexVar::CtaidX),
+        Special::Ctaid(1) => CoefVec::index(IndexVar::CtaidY),
+        Special::Ctaid(2) => CoefVec::index(IndexVar::CtaidZ),
+        Special::Ntid(d) => CoefVec::scalar(Poly::sym(Sym::Ntid(d))),
+        Special::Nctaid(d) => CoefVec::scalar(Poly::sym(Sym::Nctaid(d))),
+        _ => return None, // laneid/smid are not linear in built-in indices
+    })
+}
+
+/// Analyze a kernel (Algorithm 1, `R2D2_Analyzer`).
+pub fn analyze(kernel: &Kernel) -> Analysis {
+    // Pass 1: write counts; guarded writes count double (conditional value).
+    // Registers read before their first write (use-before-def, representable
+    // in hand-written assembly) are also excluded — rewriting such a read to
+    // a pre-computed linear register would change the observed (uninitialized)
+    // value.
+    let mut writes: HashMap<Reg, u32> = HashMap::new();
+    let mut written: std::collections::HashSet<Reg> = std::collections::HashSet::new();
+    let mut use_before_def: std::collections::HashSet<Reg> = std::collections::HashSet::new();
+    for i in &kernel.instrs {
+        for r in i.src_regs() {
+            if !written.contains(&r) {
+                use_before_def.insert(r);
+            }
+        }
+        if let Some(r) = i.dst_reg() {
+            let c = writes.entry(r).or_insert(0);
+            *c += if i.guard.is_some() { 2 } else { 1 };
+            written.insert(r);
+        }
+    }
+    let multi: Vec<Reg> = writes
+        .iter()
+        .filter(|(r, &c)| c > 1 || use_before_def.contains(r))
+        .map(|(r, _)| *r)
+        .collect();
+
+    // Pass 2: program-order coefficient-vector propagation.
+    let mut linear: HashMap<Reg, RegInfo> = HashMap::new();
+    let mut producer = vec![false; kernel.instrs.len()];
+
+    // Operand -> CoefVec lookup.
+    let lookup = |linear: &HashMap<Reg, RegInfo>, o: &Operand| -> Option<CoefVec> {
+        match o {
+            Operand::Reg(r) => linear.get(r).map(|i| i.vec.clone()),
+            Operand::Imm(v) => Some(CoefVec::imm(*v)),
+            Operand::Special(s) => special_vec(*s),
+            _ => None,
+        }
+    };
+
+    for (pc, instr) in kernel.instrs.iter().enumerate() {
+        let Some(dst) = instr.dst_reg() else { continue };
+        if multi.contains(&dst) || instr.guard.is_some() {
+            continue;
+        }
+        let vec = propagate(instr, |o| lookup(&linear, o));
+        if let Some(vec) = vec {
+            linear.insert(dst, RegInfo { vec, def_pc: pc });
+            producer[pc] = true;
+        }
+    }
+
+    let mut multi_write = multi;
+    multi_write.sort_by_key(|r| r.0);
+    Analysis { linear, multi_write, producer }
+}
+
+/// The Fig. 6 transfer function for one instruction, given a coefficient
+/// lookup for its operands. `None` means "not linear".
+fn propagate(
+    instr: &Instr,
+    lookup: impl Fn(&Operand) -> Option<CoefVec>,
+) -> Option<CoefVec> {
+    if !instr.op.is_linear_listed() {
+        return None;
+    }
+    // Float-typed results are not linear combinations of indices: float
+    // arithmetic does not distribute over the integer index space, and
+    // `cvt.f32` re-encodes the value as IEEE bits. Only a float `mov`
+    // (bit copy) preserves the tracked value.
+    if instr.ty.is_float() && instr.op != Op::Mov {
+        return None;
+    }
+    // Narrowing conversions truncate: a 64-bit linear combination is not the
+    // same value after `cvt.b32` unless it happens to fit, which the static
+    // analysis cannot guarantee. (Widening `cvt.b64` is exact and kept.)
+    if instr.op == Op::Cvt && instr.ty == r2d2_isa::Ty::B32 {
+        return None;
+    }
+    match instr.op {
+        Op::LdParam => {
+            let Operand::Imm(n) = instr.srcs[0] else { return None };
+            Some(CoefVec::scalar(Poly::param(n as u8)))
+        }
+        Op::Mov | Op::Cvt => lookup(&instr.srcs[0]),
+        Op::Add => {
+            let a = lookup(&instr.srcs[0])?;
+            let b = lookup(&instr.srcs[1])?;
+            Some(a.add(&b))
+        }
+        Op::Sub => {
+            let a = lookup(&instr.srcs[0])?;
+            let b = lookup(&instr.srcs[1])?;
+            Some(a.sub(&b))
+        }
+        Op::Mul => {
+            let a = lookup(&instr.srcs[0])?;
+            let b = lookup(&instr.srcs[1])?;
+            // Fig. 6 requires the second operand scalar; commutativity lets us
+            // accept either side.
+            if b.is_scalar() {
+                Some(a.mul_scalar(b.constant()))
+            } else if a.is_scalar() {
+                Some(b.mul_scalar(a.constant()))
+            } else {
+                None
+            }
+        }
+        Op::Shl => {
+            let a = lookup(&instr.srcs[0])?;
+            let b = lookup(&instr.srcs[1])?;
+            if !b.is_scalar() {
+                return None;
+            }
+            a.shl(b.constant())
+        }
+        Op::Mad => {
+            let a = lookup(&instr.srcs[0])?;
+            let b = lookup(&instr.srcs[1])?;
+            let c = lookup(&instr.srcs[2])?;
+            if b.is_scalar() {
+                Some(a.mad(b.constant(), &c))
+            } else if a.is_scalar() {
+                Some(b.mad(a.constant(), &c))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Verify the analysis dynamically: every linear register's coefficient
+/// vector, evaluated for a given thread, must match what the instruction
+/// stream actually computes. Used heavily by tests; exported because the
+/// bench harness asserts it on every workload once per run.
+///
+/// Returns the number of registers checked.
+///
+/// # Panics
+///
+/// Panics (with the offending register) when a mismatch is found.
+pub fn check_against_execution(
+    kernel: &Kernel,
+    analysis: &Analysis,
+    launch: &r2d2_sim::Launch,
+    block_lin: u64,
+    warp_in_block: u32,
+) -> usize {
+    use r2d2_sim::{GlobalMem, Outcome, WarpExec, WarpState};
+    let cfg = r2d2_isa::Cfg::build(kernel);
+    // Use a generously sized scratch memory so loads work.
+    let mut gmem = GlobalMem::new();
+    let _ = gmem.alloc(1 << 20);
+    let mut smem = vec![0u8; kernel.shared_bytes as usize];
+    let ctaid = launch.grid.unflatten(block_lin);
+    let mut w = WarpState::new(
+        kernel.num_regs(),
+        kernel.num_preds().max(1),
+        block_lin,
+        ctaid,
+        warp_in_block,
+        launch.threads_per_block(),
+        0,
+    );
+    let mut ex = WarpExec {
+        kernel,
+        cfg: &cfg,
+        params: &launch.params,
+        ntid: [launch.block.x, launch.block.y, launch.block.z],
+        nctaid: [launch.grid.x, launch.grid.y, launch.grid.z],
+        smid: 0,
+        gmem: &mut gmem,
+        smem: &mut smem,
+        linear: None,
+        scratch: None,
+        watchdog: 1_000_000,
+    };
+    let env = launch.env();
+    let mut checked = 0;
+    // Execute straight-line until first control transfer or memory op, since
+    // scratch memory holds zeros, not workload data.
+    while let Some((pc, _)) = w.sync_top() {
+        let instr = &kernel.instrs[pc];
+        if instr.op.is_mem() || instr.op.is_control() {
+            break;
+        }
+        let info = ex.step(&mut w).unwrap();
+        if info.outcome != Outcome::Normal {
+            break;
+        }
+        if let Some(dst) = instr.dst_reg() {
+            if let Some(ri) = analysis.linear.get(&dst) {
+                if ri.def_pc == pc {
+                    for lane in 0..32usize {
+                        if info.exec_mask & (1 << lane) == 0 {
+                            continue;
+                        }
+                        let slot = warp_in_block as usize * 32 + lane;
+                        let tid = [
+                            (slot as i64) % launch.block.x as i64,
+                            (slot as i64 / launch.block.x as i64) % launch.block.y as i64,
+                            slot as i64 / (launch.block.x as i64 * launch.block.y as i64),
+                        ];
+                        let cta = [ctaid[0] as i64, ctaid[1] as i64, ctaid[2] as i64];
+                        let want = ri.vec.eval(&env, tid, cta) as u64;
+                        let got = w.reg(dst.0, lane);
+                        assert_eq!(
+                            got, want,
+                            "coefficient vector mismatch for %r{} at pc {pc} lane {lane}: \
+                             vec = {}",
+                            dst.0, ri.vec
+                        );
+                        checked += 1;
+                    }
+                }
+            }
+        }
+    }
+    checked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2d2_isa::{CmpOp, KernelBuilder, Ty};
+    use r2d2_sim::{Dim3, Launch};
+
+    #[test]
+    fn vecadd_addresses_are_linear() {
+        let mut b = KernelBuilder::new("vecadd", 2);
+        let i = b.global_tid_x();
+        let off = b.shl_imm_wide(i, 2);
+        let p0 = b.ld_param(0);
+        let addr = b.add_wide(p0, off);
+        let v = b.ld_global(Ty::F32, addr, 0);
+        let p1 = b.ld_param(1);
+        let addr2 = b.add_wide(p1, off);
+        b.st_global(Ty::F32, addr2, 0, v);
+        let k = b.build();
+        let a = analyze(&k);
+        // addr = P0 + 4*ntid.x*ctaid.x + 4*tid.x
+        let info = a.coef(addr).expect("addr must be linear");
+        assert_eq!(*info.coef(IndexVar::TidX), Poly::constant(4));
+        assert_eq!(
+            *info.coef(IndexVar::CtaidX),
+            Poly::sym(Sym::Ntid(0)).scale(4)
+        );
+        assert_eq!(*info.constant(), Poly::param(0));
+        // demanded = the two addresses (used by ld/st)
+        let d = a.demanded(&k);
+        assert!(d.contains(&addr) && d.contains(&addr2));
+        // The loaded value is not linear.
+        assert!(a.coef(v).is_none());
+    }
+
+    #[test]
+    fn fig7_backprop_trace() {
+        // Mirror the Fig. 7 instruction sequence:
+        //   %r1=ctaid.y; %r5=%r1<<4; %r2=tid.y; %r6=%r5+%r2; %r4=P1;
+        //   %r7=%r4+1; %r8=tid.x+%r7 (via add); %r9=mad(%r6,%r7,%r8);
+        //   %rd13=%r9*4
+        let mut b = KernelBuilder::new("bp", 6);
+        let r1 = b.ctaid_y();
+        let r5 = b.shl_imm(r1, 4);
+        let r2 = b.tid_y();
+        let r6 = b.add(r5, r2);
+        let r4 = b.ld_param32(1);
+        let r7 = b.add(r4, Operand::Imm(1));
+        let tx = b.tid_x();
+        let r8 = b.add(tx, r7);
+        let r9 = b.mad(r6, r7, r8);
+        let rd13 = b.mul(r9, Operand::Imm(4));
+        let wide = b.cvt_wide(rd13);
+        let p5 = b.ld_param(5);
+        let rd14 = b.add_wide(p5, wide);
+        let f = b.ld_global(Ty::F32, rd14, 8);
+        b.st_global(Ty::F32, rd14, 8, f);
+        let k = b.build();
+        let a = analyze(&k);
+        let v = a.coef(rd14).expect("rd14 linear");
+        // Paper Fig. 7: {P5 + 4*P1 + 4, 4, 4*(P1+1), 0, 0, 64*(P1+1), 0}
+        let p1p1x4 = (Poly::param(1) + Poly::constant(1)).scale(4);
+        assert_eq!(*v.coef(IndexVar::TidX), Poly::constant(4));
+        assert_eq!(*v.coef(IndexVar::TidY), p1p1x4);
+        assert_eq!(
+            *v.coef(IndexVar::CtaidY),
+            (Poly::param(1) + Poly::constant(1)).scale(64)
+        );
+        assert_eq!(*v.coef(IndexVar::CtaidX), Poly::zero());
+        assert_eq!(
+            *v.constant(),
+            Poly::param(5) + Poly::param(1).scale(4) + Poly::constant(4)
+        );
+    }
+
+    #[test]
+    fn loop_iterator_is_multi_write() {
+        let mut b = KernelBuilder::new("loop", 1);
+        let i = b.imm32(0);
+        let top = b.here_label();
+        b.assign_add(Ty::B32, i, Operand::Imm(1));
+        let p = b.setp(CmpOp::Lt, Ty::B32, i, Operand::Imm(10));
+        b.bra_if(p, true, top);
+        let k = b.build();
+        let a = analyze(&k);
+        assert!(a.multi_write.contains(&i));
+        assert!(a.coef(i).is_none());
+    }
+
+    #[test]
+    fn guarded_write_is_not_linear() {
+        let mut b = KernelBuilder::new("guard", 0);
+        let x = b.imm32(1);
+        let p = b.setp(CmpOp::Eq, Ty::B32, x, Operand::Imm(1));
+        let y = b.fresh();
+        b.assign_mov_if(Ty::B32, y, Operand::Imm(5), p, true);
+        let k = b.build();
+        let a = analyze(&k);
+        assert!(a.coef(y).is_none());
+    }
+
+    #[test]
+    fn data_dependent_values_break_linearity() {
+        let mut b = KernelBuilder::new("data", 1);
+        let p0 = b.ld_param(0);
+        let v = b.ld_global(Ty::B32, p0, 0);
+        let w = b.add(v, Operand::Imm(1)); // linear op, non-linear operand
+        let x = b.mul(w, Operand::Imm(2));
+        let _ = x;
+        let k = b.build();
+        let a = analyze(&k);
+        assert!(a.coef(v).is_none());
+        assert!(a.coef(w).is_none());
+        assert!(a.coef(x).is_none());
+    }
+
+    #[test]
+    fn nonlinear_ops_break_linearity() {
+        let mut b = KernelBuilder::new("ops", 0);
+        let t = b.tid_x();
+        let d = b.div_ty(Ty::B32, t, Operand::Imm(3));
+        let m = b.mul(t, t); // tid * tid: quadratic
+        let s = b.shr_imm(Ty::B32, t, 1);
+        let k = b.build();
+        let a = analyze(&k);
+        assert!(a.coef(t).is_some());
+        assert!(a.coef(d).is_none());
+        assert!(a.coef(m).is_none());
+        assert!(a.coef(s).is_none());
+    }
+
+    #[test]
+    fn dynamic_check_agrees_with_analysis() {
+        let mut b = KernelBuilder::new("dyn", 2);
+        let ty_ = b.tid_y();
+        let tx = b.tid_x();
+        let by = b.ctaid_y();
+        let h = b.ld_param32(1);
+        let h1 = b.add(h, Operand::Imm(1));
+        let row = b.shl_imm(by, 4);
+        let rowty = b.add(row, ty_);
+        let idx0 = b.mad(rowty, h1, tx);
+        let idx = b.add(idx0, h1);
+        let off = b.shl_imm_wide(idx, 2);
+        let p0 = b.ld_param(0);
+        let addr = b.add_wide(p0, off);
+        let v = b.ld_global(Ty::F32, addr, 0);
+        b.st_global(Ty::F32, addr, 0, v);
+        let k = b.build();
+        let a = analyze(&k);
+        let launch = Launch::new(k.clone(), Dim3::d2(1, 8), Dim3::d2(16, 4), vec![4096, 16]);
+        let n = check_against_execution(&k, &a, &launch, 5, 1);
+        assert!(n > 100, "checked {n} register lanes");
+    }
+
+    #[test]
+    fn mad_accepts_scalar_in_either_multiplier_slot() {
+        let mut b = KernelBuilder::new("mad2", 1);
+        let t = b.tid_x();
+        let c = b.ld_param32(0);
+        let m1 = b.mad(t, c, Operand::Imm(1)); // t*c + 1
+        let m2 = b.mad(c, t, Operand::Imm(2)); // c*t + 2 (scalar first)
+        let k = b.build();
+        let a = analyze(&k);
+        let v1 = a.coef(m1).expect("m1 linear");
+        let v2 = a.coef(m2).expect("m2 linear");
+        assert_eq!(v1.coef(IndexVar::TidX), v2.coef(IndexVar::TidX));
+        assert_eq!(*v1.constant(), Poly::constant(1));
+        assert_eq!(*v2.constant(), Poly::constant(2));
+    }
+
+    #[test]
+    fn sub_of_linear_combinations() {
+        let mut b = KernelBuilder::new("sub", 0);
+        let t = b.tid_x();
+        let c = b.ctaid_x();
+        let d = b.sub(t, c);
+        let z = b.sub(d, d); // must become exactly zero
+        let k = b.build();
+        let a = analyze(&k);
+        let vd = a.coef(d).unwrap();
+        assert_eq!(*vd.coef(IndexVar::TidX), Poly::constant(1));
+        assert_eq!(*vd.coef(IndexVar::CtaidX), Poly::constant(-1));
+        let vz = a.coef(z).unwrap();
+        assert!(vz.is_scalar());
+        assert!(vz.constant().is_zero());
+    }
+
+    #[test]
+    fn narrowing_cvt_terminates_linearity() {
+        let mut b = KernelBuilder::new("narrow", 0);
+        let t = b.tid_x();
+        let wide = b.cvt_wide(t);
+        let narrow = b.cvt(Ty::B32, wide);
+        let k = b.build();
+        let a = analyze(&k);
+        assert!(a.coef(wide).is_some(), "widening keeps linearity");
+        assert!(a.coef(narrow).is_none(), "narrowing must be conservative");
+    }
+
+    #[test]
+    fn mul_of_two_index_vectors_is_not_linear() {
+        let mut b = KernelBuilder::new("quad", 0);
+        let t = b.tid_x();
+        let c = b.ctaid_x();
+        let q = b.mul(t, c); // tid*ctaid: bilinear, not linear
+        let k = b.build();
+        let a = analyze(&k);
+        assert!(a.coef(q).is_none());
+    }
+
+    #[test]
+    fn mul_by_symbolic_scalar_keeps_symbolic_coefficient() {
+        let mut b = KernelBuilder::new("symmul", 2);
+        let t = b.tid_x();
+        let n = b.ld_param32(0);
+        let m = b.ld_param32(1);
+        let nm = b.mul(n, m); // P0*P1: still scalar
+        let r = b.mul(t, nm);
+        let k = b.build();
+        let a = analyze(&k);
+        let v = a.coef(r).expect("t * (P0*P1) is linear in t");
+        assert_eq!(*v.coef(IndexVar::TidX), Poly::param(0) * Poly::param(1));
+    }
+
+    #[test]
+    fn laneid_and_smid_are_not_linear() {
+        let mut b = KernelBuilder::new("lane", 0);
+        let l = b.special(r2d2_isa::Special::LaneId);
+        let s = b.special(r2d2_isa::Special::SmId);
+        let k = b.build();
+        let a = analyze(&k);
+        assert!(a.coef(l).is_none());
+        assert!(a.coef(s).is_none());
+    }
+
+    #[test]
+    fn demanded_excludes_purely_internal_chains() {
+        // A linear value only consumed by other (removable) linear producers
+        // is not demanded.
+        let mut b = KernelBuilder::new("chain", 1);
+        let t = b.tid_x();
+        let a1 = b.add(t, Operand::Imm(1));
+        let a2 = b.shl_imm(a1, 2);
+        let w = b.cvt_wide(a2);
+        let p = b.ld_param(0);
+        let addr = b.add_wide(p, w);
+        let v = b.ld_global(Ty::B32, addr, 0);
+        b.st_global(Ty::B32, addr, 0, v);
+        let k = b.build();
+        let an = analyze(&k);
+        let d = an.demanded(&k);
+        assert!(d.contains(&addr));
+        assert!(!d.contains(&a1), "a1 is only used by linear producers");
+        assert!(!d.contains(&a2));
+    }
+
+    use r2d2_isa::Operand;
+    use r2d2_sym::Sym;
+}

@@ -1,0 +1,813 @@
+//! The R2D2 linear instruction generator (paper Sec. 3.2-3.3, Algorithm 1
+//! lines 21-25).
+//!
+//! Takes the analyzer's coefficient vectors and produces the transformed
+//! kernel: three decoupled linear instruction blocks prepended to a rewritten
+//! non-linear stream.
+//!
+//! * **Coefficient block** — computes every launch-time scalar the other
+//!   blocks need into coefficient registers (`%cr`), including the four
+//!   *contiguous banks* (constant / ctaid.x / ctaid.y / ctaid.z coefficients,
+//!   one slot per linear register) that the block-index block reads
+//!   vector-wise (Sec. 3.2.3: "each thread of the warp computes the
+//!   block-index part values of different coefficient vectors").
+//! * **Thread-index block** — one `mad` per nonzero thread-index dimension
+//!   per thread-index register (`%tr`), executed by every warp of the first
+//!   block (Sec. 3.2.2).
+//! * **Block-index block** — `mov.br` + up to three `mad.br` computing all
+//!   block-index parts in one warp (Sec. 3.2.3).
+//! * **Non-linear stream** — the original instructions minus the removed
+//!   linear producers, with linear register reads rewritten to `%lr`
+//!   (possibly plus a `%cr` byte offset, Sec. 3.1.4) and scalar linear
+//!   registers rewritten to `%cr` or immediates.
+
+use crate::analyzer::Analysis;
+use r2d2_isa::{Dst, Instr, Kernel, MemOffset, MemRef, Op, Operand, Reg, Ty};
+use r2d2_sim::{LinearMeta, MAX_LR};
+use r2d2_sym::{CoefVec, IndexVar, Poly, Sym};
+use std::collections::HashMap;
+
+/// Knobs for ablation studies of the generator's design choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenOptions {
+    /// Register-table entries available (paper Sec. 3.3: 16).
+    pub max_lr: usize,
+    /// Enable Sec. 3.1.4 group sharing (same-shape combinations share one
+    /// `%lr` with a constant/`%cr` offset). Disabling forces exact matches.
+    pub share_groups: bool,
+    /// Map scalar linear combinations to coefficient registers. Disabling
+    /// leaves scalar computations in the main stream.
+    pub map_scalars: bool,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions { max_lr: MAX_LR, share_groups: true, map_scalars: true }
+    }
+}
+
+/// Result of generation.
+#[derive(Debug, Clone)]
+pub struct GenOutput {
+    /// The transformed kernel (linear blocks + rewritten main stream).
+    pub kernel: Kernel,
+    /// Starting-PC table + register table + register-class counts.
+    pub meta: LinearMeta,
+    /// Original instructions removed from the main stream.
+    pub removed_instrs: usize,
+    /// Linear-register groups that did not fit the 16-entry register table.
+    pub spilled_groups: usize,
+    /// Linear scalar registers mapped to coefficient registers.
+    pub scalar_crs: usize,
+}
+
+/// Coefficient-register allocator + coefficient-block emitter.
+struct CrAlloc {
+    next: u16,
+    instrs: Vec<Instr>,
+    sym_memo: HashMap<Sym, u16>,
+    poly_memo: HashMap<Poly, u16>,
+}
+
+impl CrAlloc {
+    fn new() -> Self {
+        CrAlloc { next: 0, instrs: Vec::new(), sym_memo: HashMap::new(), poly_memo: HashMap::new() }
+    }
+
+    fn alloc(&mut self) -> u16 {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+
+    /// A coefficient register holding one raw launch-time symbol.
+    fn sym_cr(&mut self, s: Sym) -> u16 {
+        if let Some(&id) = self.sym_memo.get(&s) {
+            return id;
+        }
+        let id = self.alloc();
+        let instr = match s {
+            Sym::Param(n) => {
+                Instr::new(Op::LdParam, Ty::B64, Some(Dst::Cr(id)), vec![Operand::Imm(n as i64)])
+            }
+            Sym::Ntid(d) => Instr::new(
+                Op::Mov,
+                Ty::B64,
+                Some(Dst::Cr(id)),
+                vec![Operand::Special(r2d2_isa::Special::Ntid(d))],
+            ),
+            Sym::Nctaid(d) => Instr::new(
+                Op::Mov,
+                Ty::B64,
+                Some(Dst::Cr(id)),
+                vec![Operand::Special(r2d2_isa::Special::Nctaid(d))],
+            ),
+        };
+        self.instrs.push(instr);
+        self.sym_memo.insert(s, id);
+        id
+    }
+
+    /// Emit instructions computing `p` into coefficient register `dst`.
+    fn compile_into(&mut self, dst: u16, p: &Poly) {
+        if let Some(c) = p.as_constant() {
+            if c != 0 {
+                self.instrs.push(Instr::new(
+                    Op::Mov,
+                    Ty::B64,
+                    Some(Dst::Cr(dst)),
+                    vec![Operand::Imm(c)],
+                ));
+            }
+            return;
+        }
+        if let Some(&src) = self.poly_memo.get(p) {
+            self.instrs.push(Instr::new(
+                Op::Mov,
+                Ty::B64,
+                Some(Dst::Cr(dst)),
+                vec![Operand::Cr(src)],
+            ));
+            return;
+        }
+        if let Some(s) = Self::as_single_sym(p) {
+            let src = self.sym_cr(s);
+            self.instrs.push(Instr::new(
+                Op::Mov,
+                Ty::B64,
+                Some(Dst::Cr(dst)),
+                vec![Operand::Cr(src)],
+            ));
+            return;
+        }
+        let terms: Vec<(Vec<Sym>, i64)> =
+            p.iter().map(|(m, c)| (m.factors().to_vec(), c)).collect();
+        let c0: i64 = terms
+            .iter()
+            .filter(|(f, _)| f.is_empty())
+            .map(|(_, c)| *c)
+            .sum();
+        let mut emitted = false;
+        for (factors, coef) in terms.into_iter().filter(|(f, _)| !f.is_empty()) {
+            // Monomial product into `cur`.
+            let mut cur = Operand::Cr(self.sym_cr(factors[0]));
+            for f in &factors[1..] {
+                let s = self.sym_cr(*f);
+                let t = self.alloc();
+                self.instrs.push(Instr::new(
+                    Op::Mul,
+                    Ty::B64,
+                    Some(Dst::Cr(t)),
+                    vec![cur, Operand::Cr(s)],
+                ));
+                cur = Operand::Cr(t);
+            }
+            let addend = if emitted {
+                Operand::Cr(dst)
+            } else {
+                Operand::Imm(c0)
+            };
+            self.instrs.push(Instr::new(
+                Op::Mad,
+                Ty::B64,
+                Some(Dst::Cr(dst)),
+                vec![cur, Operand::Imm(coef), addend],
+            ));
+            emitted = true;
+        }
+        if !emitted && c0 != 0 {
+            self.instrs.push(Instr::new(
+                Op::Mov,
+                Ty::B64,
+                Some(Dst::Cr(dst)),
+                vec![Operand::Imm(c0)],
+            ));
+        }
+        self.poly_memo.insert(p.clone(), dst);
+    }
+
+    /// If `p` is exactly one symbol with coefficient 1, that symbol.
+    fn as_single_sym(p: &Poly) -> Option<Sym> {
+        let mut it = p.iter();
+        let (m, c) = it.next()?;
+        if it.next().is_some() || c != 1 || m.degree() != 1 {
+            return None;
+        }
+        Some(m.factors()[0])
+    }
+
+    /// An operand carrying the value of `p`: an immediate when constant, the
+    /// symbol's own register when `p` is a bare symbol, otherwise a
+    /// (memoized) coefficient register.
+    fn poly_operand(&mut self, p: &Poly) -> Operand {
+        if let Some(c) = p.as_constant() {
+            return Operand::Imm(c);
+        }
+        if let Some(&id) = self.poly_memo.get(p) {
+            return Operand::Cr(id);
+        }
+        if let Some(s) = Self::as_single_sym(p) {
+            let id = self.sym_cr(s);
+            self.poly_memo.insert(p.clone(), id);
+            return Operand::Cr(id);
+        }
+        let id = self.alloc();
+        self.compile_into(id, p);
+        Operand::Cr(id)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Member {
+    reg: Reg,
+    /// Constant-part difference from the group representative (Sec. 3.1.4).
+    delta: Poly,
+}
+
+#[derive(Debug, Clone)]
+struct Group {
+    shape: [Poly; 6],
+    rep_const: Poly,
+    members: Vec<Member>,
+    benefit: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Remap {
+    /// Use `%lrK` directly.
+    Lr(u16),
+    /// Memory-base-only: `%lrK` plus a constant-part delta (folded into the
+    /// address offset).
+    LrDelta(u16, Poly),
+    /// Scalar: substitute this operand (an immediate or `%cr`).
+    Scalar(Operand),
+}
+
+/// How a demanded register is used by kept instructions.
+#[derive(Debug, Default, Clone, Copy)]
+struct UseKinds {
+    mem_base: usize,
+    other: usize,
+}
+
+/// Generate the transformed kernel (Algorithm 1, `R2D2_Generator`) with the
+/// paper's default configuration.
+pub fn generate(kernel: &Kernel, analysis: &Analysis) -> GenOutput {
+    generate_with(kernel, analysis, &GenOptions::default())
+}
+
+/// Generate with explicit [`GenOptions`] (ablation studies).
+///
+/// # Panics
+///
+/// Panics if `opts.max_lr` exceeds the architectural register-table size
+/// ([`MAX_LR`]).
+pub fn generate_with(kernel: &Kernel, analysis: &Analysis, opts: &GenOptions) -> GenOutput {
+    assert!(opts.max_lr <= MAX_LR, "register table holds at most {MAX_LR} entries");
+    // ---- classify demanded linear registers -------------------------------
+    let mut uses: HashMap<Reg, UseKinds> = HashMap::new();
+    for (pc, instr) in kernel.instrs.iter().enumerate() {
+        if analysis.producer[pc] {
+            continue;
+        }
+        for s in &instr.srcs {
+            if let Operand::Reg(r) = s {
+                if analysis.linear.contains_key(r) {
+                    uses.entry(*r).or_default().other += 1;
+                }
+            }
+        }
+        if let Some(MemRef { base: Operand::Reg(r), .. }) = instr.mem {
+            if analysis.linear.contains_key(&r) {
+                uses.entry(r).or_default().mem_base += 1;
+            }
+        }
+    }
+
+    let trivial = |v: &CoefVec| -> bool {
+        // A bare built-in index or a compile-time immediate: cheaper to keep
+        // the original instruction than to spend a register-table entry.
+        if v.is_immediate() {
+            return true;
+        }
+        IndexVar::ALL.iter().any(|iv| *v == CoefVec::index(*iv))
+    };
+
+    let mut scalar_regs: Vec<(Reg, Poly, usize)> = Vec::new();
+    let mut vector_regs: Vec<(Reg, CoefVec, UseKinds)> = Vec::new();
+    let map_scalars = opts.map_scalars;
+    let mut demanded: Vec<Reg> = uses.keys().copied().collect();
+    demanded.sort_by_key(|r| r.0);
+    for r in demanded {
+        let v = &analysis.linear[&r].vec;
+        let u = uses[&r];
+        if v.is_scalar() {
+            if !map_scalars {
+                continue;
+            }
+            if !v.constant().is_constant() {
+                scalar_regs.push((r, v.constant().clone(), u.mem_base + u.other));
+            } else if v.constant().as_constant() == Some(0) || !trivial(v) {
+                // immediate scalars are substituted directly (no CR)
+                scalar_regs.push((r, v.constant().clone(), u.mem_base + u.other));
+            } else {
+                scalar_regs.push((r, v.constant().clone(), u.mem_base + u.other));
+            }
+        } else if !trivial(v) {
+            vector_regs.push((r, v.clone(), u));
+        }
+    }
+
+    // ---- group vectors (Sec. 3.1.4) ---------------------------------------
+    let mut groups: Vec<Group> = Vec::new();
+    for (r, v, u) in &vector_regs {
+        let shape: [Poly; 6] = std::array::from_fn(|i| v.coef(IndexVar::ALL[i]).clone());
+        let cnst = v.constant().clone();
+        let benefit = u.mem_base + u.other;
+        // Exact match (same shape and constant)?
+        if let Some(g) = groups
+            .iter_mut()
+            .find(|g| g.shape == shape && g.rep_const == cnst)
+        {
+            g.members.push(Member { reg: *r, delta: Poly::zero() });
+            g.benefit += benefit;
+            continue;
+        }
+        // Shape match with constant delta — only for memory-base-only uses,
+        // where the delta folds into the address offset (Sec. 3.1.4).
+        if opts.share_groups && u.other == 0 {
+            if let Some(g) = groups.iter_mut().find(|g| g.shape == shape) {
+                let delta = &cnst - &g.rep_const;
+                g.members.push(Member { reg: *r, delta });
+                g.benefit += benefit;
+                continue;
+            }
+        }
+        groups.push(Group {
+            shape,
+            rep_const: cnst,
+            members: vec![Member { reg: *r, delta: Poly::zero() }],
+            benefit,
+        });
+    }
+    groups.sort_by_key(|g| std::cmp::Reverse(g.benefit));
+    let spilled_groups = groups.len().saturating_sub(opts.max_lr);
+    groups.truncate(opts.max_lr);
+    let n_lr = groups.len();
+
+    // ---- register mapping --------------------------------------------------
+    let mut cr = CrAlloc::new();
+    let mut remap: HashMap<Reg, Remap> = HashMap::new();
+    let mut scalar_crs = 0usize;
+    for (r, p, _) in &scalar_regs {
+        let op = cr.poly_operand(p);
+        if matches!(op, Operand::Cr(_)) {
+            scalar_crs += 1;
+        }
+        remap.insert(*r, Remap::Scalar(op));
+    }
+    for (k, g) in groups.iter().enumerate() {
+        for m in &g.members {
+            if m.delta.is_zero() {
+                remap.insert(m.reg, Remap::Lr(k as u16));
+            } else {
+                remap.insert(m.reg, Remap::LrDelta(k as u16, m.delta.clone()));
+            }
+        }
+    }
+
+    // ---- removability fixpoint ---------------------------------------------
+    // users[r] = pcs whose instruction reads r.
+    let mut users: HashMap<Reg, Vec<usize>> = HashMap::new();
+    for (pc, instr) in kernel.instrs.iter().enumerate() {
+        for r in instr.src_regs() {
+            users.entry(r).or_default().push(pc);
+        }
+    }
+    let n = kernel.instrs.len();
+    // A register used outside a memory-base position cannot be served by an
+    // `%lr + offset` rewrite when its group mapping carries a delta; such
+    // uses force the producer to stay (the read then uses the original GP
+    // register).
+    let non_base_use = |pc: usize, r: Reg| -> bool {
+        kernel.instrs[pc].srcs.iter().any(|s| matches!(s, Operand::Reg(x) if *x == r))
+    };
+    let mut removable: Vec<bool> = (0..n).map(|pc| analysis.producer[pc]).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for pc in 0..n {
+            if !removable[pc] {
+                continue;
+            }
+            let dst = kernel.instrs[pc].dst_reg().unwrap();
+            let delta_mapped = matches!(remap.get(&dst), Some(Remap::LrDelta(..)));
+            if remap.contains_key(&dst) && !delta_mapped {
+                continue; // every use is rewritten
+            }
+            let alive_use = users
+                .get(&dst)
+                .map(|us| {
+                    us.iter().any(|&u| {
+                        !removable[u] && (!delta_mapped || non_base_use(u, dst))
+                    })
+                })
+                .unwrap_or(false);
+            if alive_use {
+                removable[pc] = false;
+                changed = true;
+            }
+        }
+    }
+    let removed_instrs = removable.iter().filter(|&&b| b).count();
+
+    if n_lr == 0 && scalar_crs == 0 && removed_instrs == 0 {
+        // Nothing decoupled: return the original untouched.
+        return GenOutput {
+            kernel: kernel.clone(),
+            meta: LinearMeta {
+                coef_start: 0,
+                tidx_start: 0,
+                bidx_start: 0,
+                main_start: 0,
+                n_cr: 0,
+                n_tr: 0,
+                n_lr: 0,
+                lr_tr: [None; MAX_LR],
+            },
+            removed_instrs: 0,
+            spilled_groups,
+            scalar_crs: 0,
+        };
+    }
+
+    // ---- thread-index registers --------------------------------------------
+    // Unique nonzero thread parts among the selected groups.
+    let mut tr_of_part: HashMap<[Poly; 3], u16> = HashMap::new();
+    let mut tr_parts: Vec<[Poly; 3]> = Vec::new();
+    let mut lr_tr = [None; MAX_LR];
+    for (k, g) in groups.iter().enumerate() {
+        let part = [g.shape[0].clone(), g.shape[1].clone(), g.shape[2].clone()];
+        if part.iter().all(Poly::is_zero) {
+            continue;
+        }
+        let id = *tr_of_part.entry(part.clone()).or_insert_with(|| {
+            tr_parts.push(part.clone());
+            (tr_parts.len() - 1) as u16
+        });
+        lr_tr[k] = Some(id);
+    }
+    let n_tr = tr_parts.len();
+
+    // ---- coefficient banks for the block-index block -----------------------
+    // Bank 0: constant parts; banks 1..=3: ctaid.x/y/z coefficients.
+    // Allocated contiguously so lane i of a `.br` instruction reads slot i.
+    let need_dim: [bool; 3] = std::array::from_fn(|d| {
+        groups.iter().any(|g| !g.shape[3 + d].is_zero())
+    });
+    let mut bank_base = [0u16; 4];
+    if n_lr > 0 {
+        bank_base[0] = cr.next;
+        cr.next += n_lr as u16;
+        for d in 0..3 {
+            if need_dim[d] {
+                bank_base[1 + d] = cr.next;
+                cr.next += n_lr as u16;
+            }
+        }
+        // Fill the banks (in the coefficient block).
+        for (k, g) in groups.iter().enumerate() {
+            let dst = bank_base[0] + k as u16;
+            cr.compile_into(dst, &g.rep_const);
+            for d in 0..3 {
+                if need_dim[d] && !g.shape[3 + d].is_zero() {
+                    let dst = bank_base[1 + d] + k as u16;
+                    cr.compile_into(dst, &g.shape[3 + d]);
+                }
+            }
+        }
+    }
+
+    // ---- thread-index coefficient operands ---------------------------------
+    let tr_coef_ops: Vec<[Option<Operand>; 3]> = tr_parts
+        .iter()
+        .map(|part| {
+            std::array::from_fn(|d| {
+                if part[d].is_zero() {
+                    None
+                } else {
+                    Some(cr.poly_operand(&part[d]))
+                }
+            })
+        })
+        .collect();
+
+    // ---- delta offsets (may need CRs) ---------------------------------------
+    // Collected during the main-stream rewrite below (they can fold original
+    // immediate offsets in), so the rewrite borrows `cr` mutably.
+
+    // ---- assemble: thread-index block ---------------------------------------
+    let mut gp_next = kernel.num_regs() as u16;
+    let mut fresh_gp = || {
+        let r = Reg(gp_next);
+        gp_next += 1;
+        r
+    };
+    let mut tidx_instrs: Vec<Instr> = Vec::new();
+    let mut tid_reg: [Option<Reg>; 3] = [None; 3];
+    for part_ops in &tr_coef_ops {
+        for (d, op) in part_ops.iter().enumerate() {
+            if op.is_some() && tid_reg[d].is_none() {
+                let r = fresh_gp();
+                tidx_instrs.push(Instr::new(
+                    Op::Mov,
+                    Ty::B32,
+                    Some(Dst::Reg(r)),
+                    vec![Operand::Special(r2d2_isa::Special::Tid(d as u8))],
+                ));
+                tid_reg[d] = Some(r);
+            }
+        }
+    }
+    for (t, part_ops) in tr_coef_ops.iter().enumerate() {
+        let mut first = true;
+        for (d, op) in part_ops.iter().enumerate() {
+            let Some(op) = op else { continue };
+            let addend = if first {
+                Operand::Imm(0)
+            } else {
+                Operand::Tr(t as u16)
+            };
+            tidx_instrs.push(Instr::new(
+                Op::Mad,
+                Ty::B64,
+                Some(Dst::Tr(t as u16)),
+                vec![Operand::Reg(tid_reg[d].unwrap()), *op, addend],
+            ));
+            first = false;
+        }
+    }
+
+    // ---- assemble: block-index block ----------------------------------------
+    let mut bidx_instrs: Vec<Instr> = Vec::new();
+    if n_lr > 0 {
+        bidx_instrs.push(Instr::new(
+            Op::Mov,
+            Ty::B64,
+            Some(Dst::Br(0)),
+            vec![Operand::Cr(bank_base[0])],
+        ));
+        for d in 0..3 {
+            if need_dim[d] {
+                let r = fresh_gp();
+                bidx_instrs.push(Instr::new(
+                    Op::Mov,
+                    Ty::B32,
+                    Some(Dst::Reg(r)),
+                    vec![Operand::Special(r2d2_isa::Special::Ctaid(d as u8))],
+                ));
+                bidx_instrs.push(Instr::new(
+                    Op::Mad,
+                    Ty::B64,
+                    Some(Dst::Br(0)),
+                    vec![Operand::Reg(r), Operand::Cr(bank_base[1 + d]), Operand::Br(0)],
+                ));
+            }
+        }
+    }
+
+    // ---- rewrite the main stream --------------------------------------------
+    let kept: Vec<usize> = (0..n).filter(|&pc| !removable[pc]).collect();
+    let mut new_pc_of = vec![usize::MAX; n + 1];
+    {
+        // Map every old pc to the next kept instruction at or after it.
+        let mut next_kept = kept.len();
+        for pc in (0..n).rev() {
+            if !removable[pc] {
+                next_kept = kept.iter().position(|&k| k == pc).unwrap();
+            }
+            new_pc_of[pc] = next_kept;
+        }
+        new_pc_of[n] = kept.len();
+    }
+
+    let rewrite_operand = |o: &Operand| -> Operand {
+        if let Operand::Reg(r) = o {
+            match remap.get(r) {
+                Some(Remap::Scalar(op)) => *op,
+                Some(Remap::Lr(k)) => Operand::Lr(*k),
+                Some(Remap::LrDelta(..)) => {
+                    // Non-base uses of delta-grouped registers read the
+                    // original register; the removability fixpoint keeps its
+                    // producer alive for exactly this case.
+                    *o
+                }
+                None => *o,
+            }
+        } else {
+            *o
+        }
+    };
+
+    let mut main_instrs: Vec<Instr> = Vec::with_capacity(kept.len());
+    for &pc in &kept {
+        let mut i = kernel.instrs[pc].clone();
+        for s in i.srcs.iter_mut() {
+            *s = rewrite_operand(s);
+        }
+        if let Some(mem) = i.mem.as_mut() {
+            if let Operand::Reg(r) = mem.base {
+                match remap.get(&r) {
+                    Some(Remap::Scalar(op)) => mem.base = *op,
+                    Some(Remap::Lr(k)) => mem.base = Operand::Lr(*k),
+                    Some(Remap::LrDelta(k, delta)) => {
+                        mem.base = Operand::Lr(*k);
+                        let orig = match mem.offset {
+                            MemOffset::Imm(v) => v,
+                            _ => unreachable!("original kernels have imm offsets"),
+                        };
+                        // One coefficient register per distinct delta; the
+                        // per-use immediate rides on the LSU adder (Sec. 4.3).
+                        mem.offset = match cr.poly_operand(delta) {
+                            Operand::Imm(c) => MemOffset::Imm(c + orig),
+                            Operand::Cr(c) if orig == 0 => MemOffset::Cr(c),
+                            Operand::Cr(c) => MemOffset::CrImm(c, orig),
+                            _ => unreachable!(),
+                        };
+                    }
+                    None => {}
+                }
+            }
+        }
+        if let Op::Bra(t) = i.op {
+            i.op = Op::Bra(new_pc_of[t as usize] as u32);
+        }
+        main_instrs.push(i);
+    }
+
+    // ---- stitch together -----------------------------------------------------
+    let coef_len = cr.instrs.len();
+    let tidx_len = tidx_instrs.len();
+    let bidx_len = bidx_instrs.len();
+    let main_start = coef_len + tidx_len + bidx_len;
+    let mut instrs = cr.instrs;
+    instrs.extend(tidx_instrs);
+    instrs.extend(bidx_instrs);
+    // Fix branch targets for the prefix shift.
+    for i in main_instrs.iter_mut() {
+        if let Op::Bra(t) = i.op {
+            i.op = Op::Bra(t + main_start as u32);
+        }
+    }
+    instrs.extend(main_instrs);
+
+    let meta = LinearMeta {
+        coef_start: 0,
+        tidx_start: coef_len,
+        bidx_start: coef_len + tidx_len,
+        main_start,
+        n_cr: cr.next as usize,
+        n_tr,
+        n_lr,
+        lr_tr,
+    };
+    let out = Kernel {
+        name: kernel.name.clone(),
+        num_params: kernel.num_params,
+        instrs,
+        shared_bytes: kernel.shared_bytes,
+    };
+    GenOutput { kernel: out, meta, removed_instrs, spilled_groups, scalar_crs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+    use r2d2_isa::KernelBuilder;
+
+    fn vecadd() -> Kernel {
+        let mut b = KernelBuilder::new("vecadd", 3);
+        let i = b.global_tid_x();
+        let off = b.shl_imm_wide(i, 2);
+        let pa = b.ld_param(0);
+        let pb = b.ld_param(1);
+        let pc = b.ld_param(2);
+        let aa = b.add_wide(pa, off);
+        let ba = b.add_wide(pb, off);
+        let ca = b.add_wide(pc, off);
+        let va = b.ld_global(Ty::F32, aa, 0);
+        let vb = b.ld_global(Ty::F32, ba, 0);
+        let vc = b.add_ty(Ty::F32, va, vb);
+        b.st_global(Ty::F32, ca, 0, vc);
+        b.build()
+    }
+
+    #[test]
+    fn vecadd_decouples_addresses() {
+        let k = vecadd();
+        let a = analyze(&k);
+        let g = generate(&k, &a);
+        assert!(g.meta.has_linear());
+        assert!(g.removed_instrs >= 8, "removed {}", g.removed_instrs);
+        // The three addresses share one thread part.
+        assert_eq!(g.meta.n_tr, 1);
+        assert!(g.meta.n_lr >= 1 && g.meta.n_lr <= 3, "n_lr = {}", g.meta.n_lr);
+        assert!(g.kernel.validate().is_ok(), "{:?}", g.kernel.validate());
+        // Main stream must contain the FP add and the loads/stores.
+        let main = &g.kernel.instrs[g.meta.main_start..];
+        assert!(main.iter().any(|i| i.op == Op::Add && i.ty == Ty::F32));
+        assert!(main.iter().any(|i| matches!(i.op, Op::Ld(_))));
+        assert!(main.iter().any(|i| matches!(i.op, Op::St(_))));
+        // And no surviving index arithmetic on tid/ctaid.
+        assert!(
+            !main.iter().any(|i| i.op == Op::Mad && i.ty == Ty::B32),
+            "index mad should be decoupled"
+        );
+    }
+
+    #[test]
+    fn grouped_addresses_share_lr_via_offset() {
+        // a[i] and b[i] from the same base pointer: base and base+4096.
+        let mut b = KernelBuilder::new("twofield", 1);
+        let i = b.global_tid_x();
+        let off = b.shl_imm_wide(i, 2);
+        let p = b.ld_param(0);
+        let a0 = b.add_wide(p, off);
+        let v0 = b.ld_global(Ty::F32, a0, 0);
+        let big = b.imm64(4096);
+        let shifted = b.add_wide(p, big);
+        let a1 = b.add_wide(shifted, off);
+        let v1 = b.ld_global(Ty::F32, a1, 0);
+        let s = b.add_ty(Ty::F32, v0, v1);
+        b.st_global(Ty::F32, a0, 0, s);
+        let k = b.build();
+        let a = analyze(&k);
+        let g = generate(&k, &a);
+        // a0 and a1 have identical shapes, differing by constant 4096:
+        // one LR group, folded offset.
+        assert_eq!(g.meta.n_lr, 1, "expected shared group, got {}", g.meta.n_lr);
+        let main = &g.kernel.instrs[g.meta.main_start..];
+        assert!(main.iter().any(
+            |i| matches!(i.mem, Some(MemRef { offset: MemOffset::Imm(4096), .. }))
+        ));
+    }
+
+    #[test]
+    fn kernel_with_no_linearity_is_untouched() {
+        let mut b = KernelBuilder::new("opaque", 1);
+        let p = b.ld_param(0);
+        let v = b.ld_global(Ty::B32, p, 0);
+        let w = b.mul(v, v);
+        b.st_global(Ty::B32, p, 0, w);
+        let k = b.build();
+        let a = analyze(&k);
+        let g = generate(&k, &a);
+        // p itself is a linear scalar used as a base: it WILL be mapped to a
+        // CR — so "untouched" only applies when literally nothing is linear.
+        // Here, ld.param is decoupled; verify structure is still valid.
+        assert!(g.kernel.validate().is_ok());
+    }
+
+    #[test]
+    fn branch_targets_survive_rewrite() {
+        let mut b = KernelBuilder::new("looped", 2);
+        let i = b.global_tid_x();
+        let off = b.shl_imm_wide(i, 2);
+        let p0 = b.ld_param(0);
+        let addr = b.add_wide(p0, off);
+        let count = b.ld_param32(1);
+        let acc = b.imm32(0);
+        let it = b.imm32(0);
+        let top = b.here_label();
+        b.assign_add(Ty::B32, acc, Operand::Imm(3));
+        b.assign_add(Ty::B32, it, Operand::Imm(1));
+        let pr = b.setp(r2d2_isa::CmpOp::Lt, Ty::B32, it, count);
+        b.bra_if(pr, true, top);
+        b.st_global(Ty::B32, addr, 0, acc);
+        let k = b.build();
+        let a = analyze(&k);
+        let g = generate(&k, &a);
+        assert!(g.kernel.validate().is_ok(), "{:?}", g.kernel.validate());
+        // The backward branch must land on the loop body's first instruction
+        // (the add into acc), which is inside the main stream.
+        let bra = g.kernel.instrs.iter().find(|i| matches!(i.op, Op::Bra(_))).unwrap();
+        if let Op::Bra(t) = bra.op {
+            assert!((t as usize) >= g.meta.main_start);
+            let target = &g.kernel.instrs[t as usize];
+            assert_eq!(target.op, Op::Add);
+        }
+    }
+
+    #[test]
+    fn register_table_couples_lr_with_tr() {
+        let k = vecadd();
+        let a = analyze(&k);
+        let g = generate(&k, &a);
+        for k_ in 0..g.meta.n_lr {
+            assert_eq!(g.meta.lr_tr[k_], Some(0), "every address shares tr0");
+        }
+    }
+
+    use r2d2_isa::Operand;
+}

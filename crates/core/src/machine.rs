@@ -1,0 +1,189 @@
+//! Convenience runners: execute a workload on a machine model and collect
+//! comparable statistics + energy.
+
+use crate::transform::make_launch;
+use r2d2_energy::{EnergyBreakdown, EnergyModel};
+use r2d2_isa::Kernel;
+use r2d2_sim::{
+    simulate, BaselineFilter, Dim3, GlobalMem, GpuConfig, IssueFilter, Launch, SimError, Stats,
+};
+
+/// Statistics plus derived energy for one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Simulator counters.
+    pub stats: Stats,
+    /// Energy breakdown under the default Volta model.
+    pub energy: EnergyBreakdown,
+    /// `true` when the R2D2-transformed kernel was executed (always `false`
+    /// for baseline/filter runs).
+    pub used_r2d2: bool,
+}
+
+impl RunResult {
+    fn new(stats: Stats, used_r2d2: bool) -> Self {
+        let energy = EnergyModel::volta().breakdown(&stats.events);
+        RunResult { stats, energy, used_r2d2 }
+    }
+}
+
+/// Run on the baseline GPU (Table 1 + the stock scalar pipeline).
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the timing model.
+pub fn run_baseline(
+    cfg: &GpuConfig,
+    launch: &Launch,
+    gmem: &mut GlobalMem,
+) -> Result<RunResult, SimError> {
+    let stats = simulate(cfg, launch, gmem, &mut BaselineFilter)?;
+    Ok(RunResult::new(stats, false))
+}
+
+/// Run with an arbitrary machine-model issue filter (DAC, DARSIE, ...).
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the timing model.
+pub fn run_with_filter(
+    cfg: &GpuConfig,
+    launch: &Launch,
+    gmem: &mut GlobalMem,
+    filter: &mut dyn IssueFilter,
+) -> Result<RunResult, SimError> {
+    let stats = simulate(cfg, launch, gmem, filter)?;
+    Ok(RunResult::new(stats, false))
+}
+
+/// Transform the kernel and run it as the R2D2 GPU would: the transformed
+/// stream when it fits (paper Sec. 4.4), the original otherwise. Linear
+/// instructions go through the phase-gated microarchitecture (Sec. 4.1).
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the timing model.
+pub fn run_r2d2(
+    cfg: &GpuConfig,
+    kernel: &Kernel,
+    grid: Dim3,
+    block: Dim3,
+    params: Vec<u64>,
+    gmem: &mut GlobalMem,
+) -> Result<RunResult, SimError> {
+    let (launch, used) = make_launch(cfg, kernel, grid, block, params);
+    let stats = simulate(cfg, &launch, gmem, &mut BaselineFilter)?;
+    Ok(RunResult::new(stats, used))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2d2_isa::{KernelBuilder, Ty};
+
+    fn streaming_kernel() -> Kernel {
+        // out[i] = a * in[i] + b with full linear address generation.
+        let mut b = KernelBuilder::new("stream", 4);
+        let i = b.global_tid_x();
+        let off = b.shl_imm_wide(i, 2);
+        let pin = b.ld_param(0);
+        let pout = b.ld_param(1);
+        let ain = b.add_wide(pin, off);
+        let aout = b.add_wide(pout, off);
+        let v = b.ld_global(Ty::F32, ain, 0);
+        let a = b.ld_param(2);
+        let af = b.cvt(Ty::F32, a);
+        let c = b.ld_param(3);
+        let cf = b.cvt(Ty::F32, c);
+        let r = b.mad_ty(Ty::F32, af, v, cf);
+        b.st_global(Ty::F32, aout, 0, r);
+        b.build()
+    }
+
+    #[test]
+    fn r2d2_cuts_instructions_and_energy_on_streaming_kernel() {
+        // Memory-bound: the paper's SPM case — big instruction reduction,
+        // modest cycle change (DRAM bandwidth dominates end-to-end time).
+        let k = streaming_kernel();
+        let cfg = GpuConfig { num_sms: 8, ..Default::default() };
+        let grid = Dim3::d1(128);
+        let block = Dim3::d1(256);
+        let n = 128 * 256u64;
+
+        let mut g1 = GlobalMem::new();
+        let i1 = g1.alloc(n * 4);
+        let o1 = g1.alloc(n * 4);
+        for i in 0..n {
+            g1.write_f32(i1, i, i as f32);
+        }
+        let l1 = Launch::new(k.clone(), grid, block, vec![i1, o1, 3, 7]);
+        let base = run_baseline(&cfg, &l1, &mut g1).unwrap();
+
+        let mut g2 = GlobalMem::new();
+        let i2 = g2.alloc(n * 4);
+        let o2 = g2.alloc(n * 4);
+        for i in 0..n {
+            g2.write_f32(i2, i, i as f32);
+        }
+        let r2 = run_r2d2(&cfg, &k, grid, block, vec![i2, o2, 3, 7], &mut g2).unwrap();
+
+        assert!(r2.used_r2d2);
+        assert_eq!(g1.bytes(), g2.bytes(), "results must match");
+        assert!(
+            r2.stats.warp_instrs * 2 < base.stats.warp_instrs,
+            "R2D2 {} vs baseline {} warp instructions",
+            r2.stats.warp_instrs,
+            base.stats.warp_instrs
+        );
+        assert!(r2.energy.total_pj() < base.energy.total_pj());
+        // Memory-bound: cycles close to baseline, never catastrophically worse.
+        assert!(r2.stats.cycles < base.stats.cycles * 11 / 10);
+        // Linear instructions are a small fraction (paper Fig. 14: ~1%).
+        assert!(r2.stats.linear_warp_share() < 0.25);
+    }
+
+    #[test]
+    fn r2d2_speeds_up_address_generation_bound_kernel() {
+        // Issue-bound: a long chain of linear index arithmetic per thread with
+        // a single store — the regime where the paper's speedups come from.
+        let mut b = KernelBuilder::new("addrgen", 2);
+        let i = b.global_tid_x();
+        let c = b.ld_param32(1);
+        let mut v = b.mad(i, c, Operand::Imm(5));
+        for step in 0..10 {
+            let s = b.shl_imm(v, 1);
+            v = b.add(s, Operand::Imm(step));
+        }
+        let off = b.shl_imm_wide(i, 2);
+        let p = b.ld_param(0);
+        let addr = b.add_wide(p, off);
+        b.st_global(Ty::B32, addr, 0, v);
+        let k = b.build();
+
+        let cfg = GpuConfig { num_sms: 8, ..Default::default() };
+        let grid = Dim3::d1(256);
+        let block = Dim3::d1(256);
+        let n = 256 * 256u64;
+
+        let mut g1 = GlobalMem::new();
+        let o1 = g1.alloc(n * 4);
+        let l1 = Launch::new(k.clone(), grid, block, vec![o1, 3]);
+        let base = run_baseline(&cfg, &l1, &mut g1).unwrap();
+
+        let mut g2 = GlobalMem::new();
+        let o2 = g2.alloc(n * 4);
+        let r2 = run_r2d2(&cfg, &k, grid, block, vec![o2, 3], &mut g2).unwrap();
+
+        assert!(r2.used_r2d2);
+        assert_eq!(g1.bytes(), g2.bytes(), "results must match");
+        assert!(
+            r2.stats.cycles * 12 < base.stats.cycles * 10,
+            "expected >1.2x speedup: R2D2 {} vs baseline {} cycles",
+            r2.stats.cycles,
+            base.stats.cycles
+        );
+        assert!(r2.energy.total_pj() < base.energy.total_pj());
+    }
+
+    use r2d2_isa::Operand;
+}

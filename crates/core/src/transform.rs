@@ -1,0 +1,209 @@
+//! End-to-end kernel transformation and the register-pressure gate.
+
+use crate::analyzer::analyze;
+use crate::generator::{generate_with, GenOptions};
+use r2d2_isa::{Cfg, Kernel};
+use r2d2_sim::{blocks_per_sm, phys_regs_estimate, Dim3, GpuConfig, Launch, LinearMeta};
+
+/// Summary of what the transformation did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransformReport {
+    /// Static instructions in the original kernel.
+    pub original_static: usize,
+    /// Static instructions in the transformed kernel (all four blocks).
+    pub transformed_static: usize,
+    /// Original instructions removed from the main stream.
+    pub removed_instrs: usize,
+    /// Linear-register groups beyond the 16-entry register table.
+    pub spilled_groups: usize,
+    /// Scalar linear registers mapped to coefficient registers.
+    pub scalar_crs: usize,
+    /// Coefficient registers used.
+    pub n_cr: usize,
+    /// Thread-index registers used.
+    pub n_tr: usize,
+    /// Linear registers used.
+    pub n_lr: usize,
+}
+
+/// A transformed kernel plus its metadata (the "binary" the R2D2 host
+/// launches: paper Sec. 3.3 / 4.4 — the original code rides along for the
+/// register-pressure fallback, which here simply means keeping the original
+/// [`Kernel`] around).
+#[derive(Debug, Clone)]
+pub struct R2d2Kernel {
+    /// The transformed instruction stream.
+    pub kernel: Kernel,
+    /// Starting-PC table, register table, register-class counts.
+    pub meta: LinearMeta,
+    /// What happened during transformation.
+    pub report: TransformReport,
+}
+
+/// Run the full R2D2 software pipeline: analyze (Sec. 3.1) then decouple
+/// (Sec. 3.2-3.3).
+///
+/// Always succeeds; a kernel with no detectable linearity comes back
+/// untouched with `meta.has_linear() == false`.
+pub fn transform(kernel: &Kernel) -> R2d2Kernel {
+    transform_with(kernel, &GenOptions::default())
+}
+
+/// [`transform`] with explicit generator options (ablation studies).
+pub fn transform_with(kernel: &Kernel, opts: &GenOptions) -> R2d2Kernel {
+    let analysis = analyze(kernel);
+    let gen = generate_with(kernel, &analysis, opts);
+    debug_assert!(gen.kernel.validate().is_ok(), "{:?}", gen.kernel.validate());
+    R2d2Kernel {
+        report: TransformReport {
+            original_static: kernel.instrs.len(),
+            transformed_static: gen.kernel.instrs.len(),
+            removed_instrs: gen.removed_instrs,
+            spilled_groups: gen.spilled_groups,
+            scalar_crs: gen.scalar_crs,
+            n_cr: gen.meta.n_cr,
+            n_tr: gen.meta.n_tr,
+            n_lr: gen.meta.n_lr,
+        },
+        kernel: gen.kernel,
+        meta: gen.meta,
+    }
+}
+
+/// Build the launch an R2D2 GPU would actually run: the transformed kernel,
+/// unless the linear registers would reduce occupancy, in which case the
+/// host launches the original instructions instead (paper Sec. 4.4).
+///
+/// Returns the launch and `true` when the transformed kernel was chosen.
+pub fn make_launch(
+    cfg: &GpuConfig,
+    kernel: &Kernel,
+    grid: Dim3,
+    block: Dim3,
+    params: Vec<u64>,
+) -> (Launch, bool) {
+    let r2 = transform(kernel);
+    if !r2.meta.has_linear() {
+        return (Launch::new(kernel.clone(), grid, block, params), false);
+    }
+    let base_launch = Launch::new(kernel.clone(), grid, block, params.clone());
+    let base_regs = phys_regs_estimate(kernel, &Cfg::build(kernel));
+    let base_occ = blocks_per_sm(cfg, &base_launch, base_regs);
+
+    let mut r2_launch = Launch::new(r2.kernel.clone(), grid, block, params);
+    r2_launch.meta = Some(r2.meta.clone());
+    let r2_regs = phys_regs_estimate(&r2.kernel, &Cfg::build(&r2.kernel));
+    let r2_occ = blocks_per_sm(cfg, &r2_launch, r2_regs);
+
+    if r2_occ < base_occ {
+        (base_launch, false)
+    } else {
+        (r2_launch, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2d2_isa::{KernelBuilder, Ty};
+    use r2d2_sim::{functional, GlobalMem};
+
+    fn saxpy() -> Kernel {
+        let mut b = KernelBuilder::new("saxpy", 3);
+        let i = b.global_tid_x();
+        let off = b.shl_imm_wide(i, 2);
+        let px = b.ld_param(0);
+        let py = b.ld_param(1);
+        let ax = b.add_wide(px, off);
+        let ay = b.add_wide(py, off);
+        let x = b.ld_global(Ty::F32, ax, 0);
+        let y = b.ld_global(Ty::F32, ay, 0);
+        let a = b.ld_param(2);
+        let af = b.cvt(Ty::F32, a);
+        let t = b.mad_ty(Ty::F32, af, x, y);
+        b.st_global(Ty::F32, ay, 0, t);
+        b.build()
+    }
+
+    #[test]
+    fn transform_reports_shrinkage() {
+        let k = saxpy();
+        let r = transform(&k);
+        assert!(r.meta.has_linear());
+        assert!(r.report.removed_instrs > 5);
+        assert!(r.report.n_lr >= 1);
+    }
+
+    /// The strongest correctness statement: transformed execution leaves
+    /// device memory byte-identical to the original.
+    #[test]
+    fn functional_equivalence_saxpy() {
+        let k = saxpy();
+        let r = transform(&k);
+        let grid = Dim3::d1(8);
+        let block = Dim3::d1(128);
+        let n = 8 * 128u64;
+
+        let setup = |g: &mut GlobalMem| -> (u64, u64) {
+            let x = g.alloc(n * 4);
+            let y = g.alloc(n * 4);
+            for i in 0..n {
+                g.write_f32(x, i, i as f32 * 0.5);
+                g.write_f32(y, i, 100.0 - i as f32);
+            }
+            (x, y)
+        };
+
+        let mut g1 = GlobalMem::new();
+        let (x1, y1) = setup(&mut g1);
+        let l1 = Launch::new(k.clone(), grid, block, vec![x1, y1, 3]);
+        functional::run(&l1, &mut g1, 1_000_000, None).unwrap();
+
+        let mut g2 = GlobalMem::new();
+        let (x2, y2) = setup(&mut g2);
+        let mut l2 = Launch::new(r.kernel.clone(), grid, block, vec![x2, y2, 3]);
+        l2.meta = Some(r.meta.clone());
+        let s2 = functional::run_r2d2(&l2, &mut g2, 1_000_000, None).unwrap();
+
+        assert_eq!(g1.bytes(), g2.bytes(), "transformed kernel must be bit-identical");
+        assert!(s2.warp_by_phase[0] > 0, "coefficient instructions ran");
+    }
+
+    #[test]
+    fn transformed_kernel_runs_fewer_dynamic_instructions() {
+        let k = saxpy();
+        let r = transform(&k);
+        let grid = Dim3::d1(64);
+        let block = Dim3::d1(256);
+        let n = 64 * 256u64;
+
+        let mut g1 = GlobalMem::new();
+        let x1 = g1.alloc(n * 4);
+        let y1 = g1.alloc(n * 4);
+        let l1 = Launch::new(k, grid, block, vec![x1, y1, 2]);
+        let s1 = functional::run(&l1, &mut g1, 10_000_000, None).unwrap();
+
+        let mut g2 = GlobalMem::new();
+        let x2 = g2.alloc(n * 4);
+        let y2 = g2.alloc(n * 4);
+        let mut l2 = Launch::new(r.kernel, grid, block, vec![x2, y2, 2]);
+        l2.meta = Some(r.meta);
+        let s2 = functional::run_r2d2(&l2, &mut g2, 10_000_000, None).unwrap();
+
+        assert!(
+            s2.thread_instrs < s1.thread_instrs * 3 / 4,
+            "R2D2 should cut >25% of thread instructions here: {} vs {}",
+            s2.thread_instrs,
+            s1.thread_instrs
+        );
+    }
+
+    #[test]
+    fn make_launch_picks_transformed_when_it_fits() {
+        let k = saxpy();
+        let cfg = GpuConfig::default();
+        let (launch, used) = make_launch(&cfg, &k, Dim3::d1(4), Dim3::d1(128), vec![0, 0, 1]);
+        assert!(used);
+        assert!(launch.meta.is_some());
+    }
+}

@@ -1,0 +1,362 @@
+//! Edge cases of the R2D2 transformation: register-table overflow, symbolic
+//! offset grouping, loop-carried pointers, guarded memory ops, 3-D launches.
+
+use r2d2_core::transform::transform;
+use r2d2_isa::{CmpOp, Kernel, KernelBuilder, Operand, Ty};
+use r2d2_sim::{functional, Dim3, GlobalMem, Launch, MAX_LR};
+
+fn check_equivalent(kernel: &Kernel, grid: Dim3, block: Dim3, params: Vec<u64>, bytes: u64) {
+    let r2 = transform(kernel);
+    assert!(r2.kernel.validate().is_ok(), "{:?}", r2.kernel.validate());
+    let mut g1 = GlobalMem::new();
+    let b1 = g1.alloc(bytes);
+    let mut p1 = vec![b1];
+    p1.extend(&params);
+    let l1 = Launch::new(kernel.clone(), grid, block, p1.clone());
+    functional::run(&l1, &mut g1, 50_000_000, None).unwrap();
+
+    let mut g2 = GlobalMem::new();
+    let b2 = g2.alloc(bytes);
+    let mut p2 = vec![b2];
+    p2.extend(&params);
+    if r2.meta.has_linear() {
+        let mut l2 = Launch::new(r2.kernel, grid, block, p2);
+        l2.meta = Some(r2.meta);
+        functional::run_r2d2(&l2, &mut g2, 50_000_000, None).unwrap();
+    } else {
+        let l2 = Launch::new(r2.kernel, grid, block, p2);
+        functional::run(&l2, &mut g2, 50_000_000, None).unwrap();
+    }
+    assert_eq!(g1.bytes(), g2.bytes(), "divergence in {}", kernel.name);
+}
+
+#[test]
+fn more_than_16_groups_spill_but_stay_correct() {
+    // 20 distinct-shape addresses: only MAX_LR groups fit the register table.
+    let mut b = KernelBuilder::new("spill", 1);
+    let i = b.global_tid_x();
+    let p = b.ld_param(0);
+    for k in 0..20i64 {
+        // each shape differs: idx_k = i * (k+1) + k
+        let scaled = b.mul(i, Operand::Imm(k + 1));
+        let idx = b.add(scaled, Operand::Imm(k));
+        let off = b.shl_imm_wide(idx, 2);
+        let addr = b.add_wide(p, off);
+        let v = b.ld_global(Ty::B32, addr, 0);
+        let w = b.xor_ty(Ty::B32, v, Operand::Imm(k)); // non-linear consumer
+        b.st_global(Ty::B32, addr, 0, w);
+    }
+    let k = b.build();
+    let r2 = transform(&k);
+    assert_eq!(r2.meta.n_lr, MAX_LR);
+    assert!(r2.report.spilled_groups >= 4, "spilled {}", r2.report.spilled_groups);
+    // Buffer must cover max address: i_max=63, idx = 63*20+19 = 1279.
+    check_equivalent(&k, Dim3::d1(2), Dim3::d1(32), vec![], 1280 * 4 + 256);
+}
+
+#[test]
+fn symbolic_delta_becomes_cr_offset() {
+    // Two addresses with identical shape whose constant parts differ by a
+    // *parameter* (Sec. 3.1.4's %cr offset rewrite).
+    let mut b = KernelBuilder::new("symdelta", 2);
+    let i = b.global_tid_x();
+    let p = b.ld_param(0);
+    let off = b.shl_imm_wide(i, 2);
+    let a0 = b.add_wide(p, off);
+    let v0 = b.ld_global(Ty::B32, a0, 0);
+    let d = b.ld_param(1); // symbolic byte distance
+    let shifted = b.add_wide(p, d);
+    let a1 = b.add_wide(shifted, off);
+    let v1 = b.ld_global(Ty::B32, a1, 0);
+    let s = b.add(v0, v1);
+    b.st_global(Ty::B32, a0, 0, s);
+    let k = b.build();
+    let r2 = transform(&k);
+    assert_eq!(r2.meta.n_lr, 1, "one shared group expected");
+    let uses_cr_offset = r2.kernel.instrs.iter().any(|ins| {
+        matches!(ins.mem, Some(m) if matches!(m.offset, r2d2_isa::MemOffset::Cr(_)))
+    });
+    assert!(uses_cr_offset, "expected a [%lr+%cr] access:\n{}", r2.kernel);
+    check_equivalent(&k, Dim3::d1(4), Dim3::d1(64), vec![1024], 4096 + 256);
+}
+
+#[test]
+fn loop_carried_pointer_keeps_update_but_decouples_init() {
+    // The SGM pattern: a pointer initialized from a linear combination and
+    // bumped in a loop. The init chain must collapse to an %lr read.
+    let mut b = KernelBuilder::new("looped", 2);
+    let i = b.global_tid_x();
+    let stride = b.ld_param32(1);
+    let row = b.mul(i, stride);
+    let off = b.shl_imm_wide(row, 2);
+    let p = b.ld_param(0);
+    let ptr = b.fresh();
+    b.push(r2d2_isa::Instr::new(
+        r2d2_isa::Op::Add,
+        Ty::B64,
+        Some(r2d2_isa::Dst::Reg(ptr)),
+        vec![Operand::Reg(p), Operand::Reg(off)],
+    ));
+    let acc = b.imm32(0);
+    let kreg = b.imm32(0);
+    let top = b.here_label();
+    let v = b.ld_global(Ty::B32, ptr, 0);
+    b.assign_add(Ty::B32, acc, v);
+    b.assign_add(Ty::B64, ptr, Operand::Imm(4));
+    b.assign_add(Ty::B32, kreg, Operand::Imm(1));
+    let pr = b.setp(CmpOp::Lt, Ty::B32, kreg, stride);
+    b.bra_if(pr, true, top);
+    let ooff = b.shl_imm_wide(i, 2);
+    let pq = b.ld_param(0);
+    let oaddr = b.add_wide(pq, ooff);
+    b.st_global(Ty::B32, oaddr, 0, acc);
+    let k = b.build();
+    let r2 = transform(&k);
+    assert!(r2.meta.has_linear());
+    // The pointer's init (add ptr, <Lr/Cr>, <Lr>) must survive with
+    // rewritten operands, and its upstream mul/shl/cvt chain must be gone.
+    let main = &r2.kernel.instrs[r2.meta.main_start..];
+    assert!(
+        !main.iter().any(|ins| ins.op == r2d2_isa::Op::Mul && ins.ty == Ty::B32),
+        "index mul should be decoupled:\n{}",
+        r2.kernel
+    );
+    check_equivalent(&k, Dim3::d1(2), Dim3::d1(64), vec![8], 128 * 8 * 4 + 1024);
+}
+
+#[test]
+fn guarded_stores_through_lr_bases() {
+    let mut b = KernelBuilder::new("guarded", 1);
+    let i = b.global_tid_x();
+    let off = b.shl_imm_wide(i, 2);
+    let p = b.ld_param(0);
+    let addr = b.add_wide(p, off);
+    let odd = b.and_ty(Ty::B32, i, Operand::Imm(1));
+    let pr = b.setp(CmpOp::Eq, Ty::B32, odd, Operand::Imm(1));
+    b.st_global(Ty::B32, addr, 0, i);
+    b.guard_last(pr, true);
+    b.st_global(Ty::B32, addr, 4, i);
+    b.guard_last(pr, false);
+    let k = b.build();
+    check_equivalent(&k, Dim3::d1(2), Dim3::d1(64), vec![], 4096);
+}
+
+#[test]
+fn three_dimensional_launch_decouples_all_six_indices() {
+    // Use all six built-in indices in one combination.
+    let mut b = KernelBuilder::new("threed", 1);
+    let tx = b.tid_x();
+    let ty = b.tid_y();
+    let tz = b.tid_z();
+    let bx = b.ctaid_x();
+    let by = b.ctaid_y();
+    let bz = b.ctaid_z();
+    let a = b.mad(ty, Operand::Imm(8), tx);
+    let a2 = b.mad(tz, Operand::Imm(32), a);
+    let a3 = b.mad(bx, Operand::Imm(64), a2);
+    let a4 = b.mad(by, Operand::Imm(128), a3);
+    let idx = b.mad(bz, Operand::Imm(256), a4);
+    let off = b.shl_imm_wide(idx, 2);
+    let p = b.ld_param(0);
+    let addr = b.add_wide(p, off);
+    b.st_global(Ty::B32, addr, 0, idx);
+    let k = b.build();
+    let r2 = transform(&k);
+    assert!(r2.meta.has_linear());
+    // Two combinations: the raw index (stored value) and the scaled byte
+    // address; each carries its own thread part.
+    assert_eq!(r2.meta.n_lr, 2);
+    assert_eq!(r2.meta.n_tr, 2);
+    check_equivalent(
+        &k,
+        Dim3::d3(2, 2, 2),
+        Dim3::d3(8, 2, 2),
+        vec![],
+        (256 * 2 + 128 * 2 + 64 * 2 + 32 * 2 + 8 * 2 + 8) * 4 + 4096,
+    );
+}
+
+#[test]
+fn shared_memory_kernels_transform_safely() {
+    // tidx/bidx decoupling must not disturb shared-memory addressing.
+    let mut b = KernelBuilder::new("sharedmem", 1);
+    b.shared_bytes(64 * 4);
+    let t = b.tid_x();
+    let soff = b.shl_imm_wide(t, 2);
+    let dbl = b.add(t, t);
+    b.st_shared(Ty::B32, soff, 0, dbl);
+    b.bar();
+    let ntid = b.ntid_x();
+    let nm1 = b.sub(ntid, Operand::Imm(1));
+    let rev = b.sub(nm1, t);
+    let roff = b.shl_imm_wide(rev, 2);
+    let v = b.ld_shared(Ty::B32, roff, 0);
+    let i = b.global_tid_x();
+    let goff = b.shl_imm_wide(i, 2);
+    let p = b.ld_param(0);
+    let addr = b.add_wide(p, goff);
+    b.st_global(Ty::B32, addr, 0, v);
+    let k = b.build();
+    check_equivalent(&k, Dim3::d1(3), Dim3::d1(64), vec![], 4096);
+}
+
+#[test]
+fn atomics_with_linear_addresses() {
+    let mut b = KernelBuilder::new("atomlin", 1);
+    let i = b.global_tid_x();
+    let bucket = b.and_ty(Ty::B32, i, Operand::Imm(7));
+    let boff32 = b.shl_imm(bucket, 2);
+    let boff = b.cvt_wide(boff32);
+    let p = b.ld_param(0);
+    let addr = b.add_wide(p, boff);
+    let one = b.imm32(1);
+    b.atom(r2d2_isa::AtomOp::Add, Ty::B32, addr, 0, one);
+    let k = b.build();
+    check_equivalent(&k, Dim3::d1(4), Dim3::d1(64), vec![], 1024);
+}
+
+#[test]
+fn transformed_kernels_roundtrip_through_the_assembler() {
+    // The decoupled streams (with %tr/%br/%cr dsts, %lr bases and %cr+imm
+    // offsets) must survive Display -> parse bit-exactly.
+    let w = r2d2_workloads::build("SAD", r2d2_workloads::Size::Small).unwrap();
+    for l in &w.launches {
+        let r2 = transform(&l.kernel);
+        let text = r2.kernel.to_string();
+        let parsed = r2d2_isa::parse_kernel(&text)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        assert_eq!(r2.kernel, parsed, "round-trip mismatch:\n{text}");
+    }
+}
+
+#[test]
+fn scalar_only_linearity_produces_empty_tidx_and_bidx_blocks() {
+    // Addresses are data-dependent (gather), so the only linearity is the
+    // parameter loads: coef block only; tidx/bidx boundaries collapse.
+    let mut b = KernelBuilder::new("gather", 1);
+    let i = b.global_tid_x();
+    let ioff = b.shl_imm_wide(i, 2);
+    let p0 = b.ld_param(0);
+    let ia = b.add_wide(p0, ioff);
+    let idx = b.ld_global(Ty::B32, ia, 0); // data-dependent index
+    let masked = b.and_ty(Ty::B32, idx, Operand::Imm(63));
+    let goff32 = b.shl_imm(masked, 2);
+    let goff = b.cvt_wide(goff32);
+    let p1 = b.ld_param(0);
+    let shifted = b.add_wide(p1, Operand::Imm(4096)); // second table, same buffer
+    let ga = b.add_wide(shifted, goff);
+    let v = b.ld_global(Ty::B32, ga, 0);
+    b.st_global(Ty::B32, ia, 0, v);
+    let k = b.build();
+    let r2 = transform(&k);
+    assert!(r2.meta.has_linear());
+    // The i-based source address IS linear; the gather target is not. So we
+    // get one LR group; but the gather base p1 is a scalar -> CR.
+    assert!(r2.report.scalar_crs >= 1 || r2.meta.n_lr >= 1);
+    check_equivalent(&k, Dim3::d1(2), Dim3::d1(64), vec![], 4096 + 4096);
+}
+
+#[test]
+fn ablation_options_preserve_semantics() {
+    use r2d2_core::{transform_with, GenOptions};
+    let mut b = KernelBuilder::new("abl", 1);
+    let i = b.global_tid_x();
+    for k_ in 0..6i64 {
+        let scaled = b.mul(i, Operand::Imm(k_ + 2));
+        let off = b.shl_imm_wide(scaled, 2);
+        let p = b.ld_param(0);
+        let addr = b.add_wide(p, off);
+        let v = b.ld_global(Ty::B32, addr, 0);
+        let w = b.add(v, Operand::Imm(1));
+        b.st_global(Ty::B32, addr, 0, w);
+    }
+    let k = b.build();
+    for opts in [
+        GenOptions::default(),
+        GenOptions { max_lr: 2, ..Default::default() },
+        GenOptions { share_groups: false, ..Default::default() },
+        GenOptions { map_scalars: false, ..Default::default() },
+        GenOptions { max_lr: 1, share_groups: false, map_scalars: false },
+    ] {
+        let r2 = transform_with(&k, &opts);
+        assert!(r2.kernel.validate().is_ok(), "{opts:?}");
+        let mut g1 = GlobalMem::new();
+        let b1 = g1.alloc(64 * 64 * 8 + 1024);
+        let l1 = Launch::new(k.clone(), Dim3::d1(2), Dim3::d1(32), vec![b1]);
+        functional::run(&l1, &mut g1, 10_000_000, None).unwrap();
+        let mut g2 = GlobalMem::new();
+        let b2 = g2.alloc(64 * 64 * 8 + 1024);
+        if r2.meta.has_linear() {
+            let mut l2 = Launch::new(r2.kernel, Dim3::d1(2), Dim3::d1(32), vec![b2]);
+            l2.meta = Some(r2.meta);
+            functional::run_r2d2(&l2, &mut g2, 10_000_000, None).unwrap();
+        } else {
+            let l2 = Launch::new(r2.kernel, Dim3::d1(2), Dim3::d1(32), vec![b2]);
+            functional::run(&l2, &mut g2, 10_000_000, None).unwrap();
+        }
+        assert_eq!(g1.bytes(), g2.bytes(), "{opts:?}");
+    }
+}
+
+#[test]
+fn transform_is_idempotent_on_its_own_output() {
+    // Transforming a transformed kernel must not corrupt it (the analyzer
+    // sees %lr/%cr operands as non-linear and leaves the stream intact).
+    let mut b = KernelBuilder::new("idem", 1);
+    let i = b.global_tid_x();
+    let off = b.shl_imm_wide(i, 2);
+    let p = b.ld_param(0);
+    let addr = b.add_wide(p, off);
+    b.st_global(Ty::B32, addr, 0, i);
+    let k = b.build();
+    let once = transform(&k);
+    let twice = transform(&once.kernel);
+    assert!(twice.kernel.validate().is_ok());
+}
+
+#[test]
+fn use_before_def_registers_are_never_remapped() {
+    // %r1 is read (uninitialized) before its single write — hand-written
+    // assembly can do this; the analyzer must not decouple it.
+    let src = r#"
+.kernel ubd params=1 {
+  mov.b32 %r0, %tid.x;
+  add.b32 %r2, %r1, %r0;      // reads %r1 before its def
+  mov.b32 %r1, %ctaid.x;      // the (single) def
+  cvt.b64 %r3, %r2;
+  shl.b64 %r4, %r3, 2;
+  ld.param.b64 %r5, [P0];
+  add.b64 %r6, %r5, %r4;
+  st.global.b32 [%r6], %r2;
+  exit;
+}
+"#;
+    let k = r2d2_isa::parse_kernel(src).unwrap();
+    check_equivalent(&k, Dim3::d1(2), Dim3::d1(32), vec![], 4096);
+}
+
+#[test]
+fn delta_grouped_register_with_alu_use_by_kept_producer() {
+    // a1 joins a0's group with a constant delta (its non-producer uses are
+    // all memory bases), but a KEPT instruction (a spilled/unmapped linear
+    // producer chain head: here a multi-write pointer init) also reads a1 as
+    // a plain ALU source. The delta must not be dropped.
+    let mut b = KernelBuilder::new("deltaalu", 1);
+    let i = b.global_tid_x();
+    let off = b.shl_imm_wide(i, 3);
+    let p = b.ld_param(0);
+    let a0 = b.add_wide(p, off);
+    let v0 = b.ld_global(Ty::B32, a0, 0);
+    let a1 = b.add_wide(a0, Operand::Imm(4096)); // same shape, +4096
+    let v1 = b.ld_global(Ty::B32, a1, 0);
+    // multi-write pointer initialized FROM a1 (ALU use by a kept instr)
+    let ptr = b.fresh();
+    b.assign_mov(Ty::B64, ptr, a1);
+    b.assign_add(Ty::B64, ptr, Operand::Imm(8));
+    let v2 = b.ld_global(Ty::B32, ptr, 0);
+    let s1 = b.add(v0, v1);
+    let s2 = b.add(s1, v2);
+    b.st_global(Ty::B32, a0, 0, s2);
+    let k = b.build();
+    check_equivalent(&k, Dim3::d1(2), Dim3::d1(64), vec![], 4096 + 4096 + 1024);
+}

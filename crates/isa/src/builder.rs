@@ -1,0 +1,593 @@
+//! Programmatic kernel construction.
+
+use crate::instr::{
+    AtomOp, CmpOp, Dst, Instr, MemOffset, MemRef, MemSpace, Op, Operand, PredReg, Reg, SfuOp,
+    Special, Ty,
+};
+use crate::kernel::Kernel;
+
+/// A forward-referencable branch target created by [`KernelBuilder::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Builds a [`Kernel`] instruction by instruction, allocating virtual
+/// registers and resolving labels.
+///
+/// Methods that produce a value allocate and return a fresh [`Reg`], keeping
+/// kernels in the (near-)SSA form the R2D2 analyzer expects — except for
+/// explicit loop-carried updates via [`KernelBuilder::assign`], which reuse a
+/// register exactly like PTX does for loop iterators (paper Sec. 3.1.2).
+///
+/// # Example
+///
+/// ```
+/// use r2d2_isa::KernelBuilder;
+///
+/// let mut b = KernelBuilder::new("iota", 1);
+/// let i = b.global_tid_x();          // ctaid.x * ntid.x + tid.x
+/// let base = b.ld_param(0);
+/// let off = b.shl_imm_wide(i, 2);
+/// let addr = b.add_wide(base, off);
+/// b.st_global(r2d2_isa::Ty::B32, addr, 0, i);
+/// let kernel = b.build();
+/// assert!(kernel.validate().is_ok());
+/// ```
+#[derive(Debug)]
+pub struct KernelBuilder {
+    kernel: Kernel,
+    next_reg: u16,
+    next_pred: u16,
+    labels: Vec<Option<usize>>,
+    /// (instruction index, label) pairs awaiting resolution.
+    pending: Vec<(usize, Label)>,
+}
+
+impl KernelBuilder {
+    /// Start a kernel with `num_params` parameter slots.
+    pub fn new(name: impl Into<String>, num_params: usize) -> Self {
+        KernelBuilder {
+            kernel: Kernel::new(name, num_params),
+            next_reg: 0,
+            next_pred: 0,
+            labels: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Set the static shared-memory footprint per block.
+    pub fn shared_bytes(&mut self, bytes: u32) -> &mut Self {
+        self.kernel.shared_bytes = bytes;
+        self
+    }
+
+    /// Allocate a fresh virtual register without emitting an instruction.
+    pub fn fresh(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Allocate a fresh predicate register.
+    pub fn fresh_pred(&mut self) -> PredReg {
+        let p = PredReg(self.next_pred);
+        self.next_pred += 1;
+        p
+    }
+
+    /// Append a raw instruction.
+    pub fn push(&mut self, i: Instr) -> &mut Self {
+        self.kernel.instrs.push(i);
+        self
+    }
+
+    /// Current instruction index (the pc the next pushed instruction gets).
+    pub fn here(&self) -> usize {
+        self.kernel.instrs.len()
+    }
+
+    fn emit(&mut self, op: Op, ty: Ty, srcs: Vec<Operand>) -> Reg {
+        let d = self.fresh();
+        self.kernel.instrs.push(Instr::new(op, ty, Some(Dst::Reg(d)), srcs));
+        d
+    }
+
+    // ---- special registers -------------------------------------------------
+
+    /// `mov dst, %tid.x`
+    pub fn tid_x(&mut self) -> Reg {
+        self.special(Special::Tid(0))
+    }
+    /// `mov dst, %tid.y`
+    pub fn tid_y(&mut self) -> Reg {
+        self.special(Special::Tid(1))
+    }
+    /// `mov dst, %tid.z`
+    pub fn tid_z(&mut self) -> Reg {
+        self.special(Special::Tid(2))
+    }
+    /// `mov dst, %ctaid.x`
+    pub fn ctaid_x(&mut self) -> Reg {
+        self.special(Special::Ctaid(0))
+    }
+    /// `mov dst, %ctaid.y`
+    pub fn ctaid_y(&mut self) -> Reg {
+        self.special(Special::Ctaid(1))
+    }
+    /// `mov dst, %ctaid.z`
+    pub fn ctaid_z(&mut self) -> Reg {
+        self.special(Special::Ctaid(2))
+    }
+    /// `mov dst, %ntid.x`
+    pub fn ntid_x(&mut self) -> Reg {
+        self.special(Special::Ntid(0))
+    }
+    /// `mov dst, %ntid.y`
+    pub fn ntid_y(&mut self) -> Reg {
+        self.special(Special::Ntid(1))
+    }
+    /// `mov dst, %nctaid.x`
+    pub fn nctaid_x(&mut self) -> Reg {
+        self.special(Special::Nctaid(0))
+    }
+    /// `mov dst, %nctaid.y`
+    pub fn nctaid_y(&mut self) -> Reg {
+        self.special(Special::Nctaid(1))
+    }
+    /// `mov dst, <special>`
+    pub fn special(&mut self, s: Special) -> Reg {
+        self.emit(Op::Mov, Ty::B32, vec![Operand::Special(s)])
+    }
+
+    /// The canonical 1-D global thread id: `ctaid.x * ntid.x + tid.x`.
+    pub fn global_tid_x(&mut self) -> Reg {
+        let t = self.tid_x();
+        let c = self.ctaid_x();
+        let n = self.ntid_x();
+        self.mad(c, n, t)
+    }
+
+    // ---- parameters & immediates -------------------------------------------
+
+    /// `ld.param.b64 dst, [Pn]` — pointer/size parameters.
+    pub fn ld_param(&mut self, n: usize) -> Reg {
+        self.emit(Op::LdParam, Ty::B64, vec![Operand::Imm(n as i64)])
+    }
+
+    /// `ld.param.b32 dst, [Pn]` — 32-bit scalar parameters.
+    pub fn ld_param32(&mut self, n: usize) -> Reg {
+        self.emit(Op::LdParam, Ty::B32, vec![Operand::Imm(n as i64)])
+    }
+
+    /// `mov.b32 dst, imm`
+    pub fn imm32(&mut self, v: i32) -> Reg {
+        self.emit(Op::Mov, Ty::B32, vec![Operand::Imm(v as i64)])
+    }
+
+    /// `mov.b64 dst, imm`
+    pub fn imm64(&mut self, v: i64) -> Reg {
+        self.emit(Op::Mov, Ty::B64, vec![Operand::Imm(v)])
+    }
+
+    /// `mov.f32 dst, imm`
+    pub fn fimm32(&mut self, v: f32) -> Reg {
+        self.emit(Op::Mov, Ty::F32, vec![Operand::fimm32(v)])
+    }
+
+    // ---- arithmetic ---------------------------------------------------------
+
+    /// `add.b32 dst, a, b`
+    pub fn add(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.add_ty(Ty::B32, a, b)
+    }
+
+    /// `add.<ty> dst, a, b`
+    pub fn add_ty(&mut self, ty: Ty, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.emit(Op::Add, ty, vec![a.into(), b.into()])
+    }
+
+    /// `add.b64 dst, a, b` (address arithmetic)
+    pub fn add_wide(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.add_ty(Ty::B64, a, b)
+    }
+
+    /// `sub.b32 dst, a, b`
+    pub fn sub(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.sub_ty(Ty::B32, a, b)
+    }
+
+    /// `sub.<ty> dst, a, b`
+    pub fn sub_ty(&mut self, ty: Ty, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.emit(Op::Sub, ty, vec![a.into(), b.into()])
+    }
+
+    /// `mul.b32 dst, a, b`
+    pub fn mul(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.mul_ty(Ty::B32, a, b)
+    }
+
+    /// `mul.<ty> dst, a, b`
+    pub fn mul_ty(&mut self, ty: Ty, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.emit(Op::Mul, ty, vec![a.into(), b.into()])
+    }
+
+    /// `mad.b32 dst, a, b, c` — `a*b + c`
+    pub fn mad(
+        &mut self,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        c: impl Into<Operand>,
+    ) -> Reg {
+        self.mad_ty(Ty::B32, a, b, c)
+    }
+
+    /// `mad.<ty> dst, a, b, c`
+    pub fn mad_ty(
+        &mut self,
+        ty: Ty,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        c: impl Into<Operand>,
+    ) -> Reg {
+        self.emit(Op::Mad, ty, vec![a.into(), b.into(), c.into()])
+    }
+
+    /// `shl.b32 dst, a, bits`
+    pub fn shl_imm(&mut self, a: impl Into<Operand>, bits: u32) -> Reg {
+        self.emit(Op::Shl, Ty::B32, vec![a.into(), Operand::Imm(bits as i64)])
+    }
+
+    /// Widen to 64 bits then shift left: the idiomatic "index to byte offset"
+    /// sequence (`cvt.b64` + `shl.b64`). Returns the 64-bit byte offset.
+    pub fn shl_imm_wide(&mut self, a: impl Into<Operand>, bits: u32) -> Reg {
+        let wide = self.cvt_wide(a);
+        self.emit(Op::Shl, Ty::B64, vec![wide.into(), Operand::Imm(bits as i64)])
+    }
+
+    /// `shr.<ty> dst, a, bits` (arithmetic shift)
+    pub fn shr_imm(&mut self, ty: Ty, a: impl Into<Operand>, bits: u32) -> Reg {
+        self.emit(Op::Shr, ty, vec![a.into(), Operand::Imm(bits as i64)])
+    }
+
+    /// `cvt.b64 dst, a` — sign-extend a 32-bit value to 64 bits.
+    pub fn cvt_wide(&mut self, a: impl Into<Operand>) -> Reg {
+        self.emit(Op::Cvt, Ty::B64, vec![a.into()])
+    }
+
+    /// `cvt.<ty> dst, a` — explicit conversion.
+    pub fn cvt(&mut self, ty: Ty, a: impl Into<Operand>) -> Reg {
+        self.emit(Op::Cvt, ty, vec![a.into()])
+    }
+
+    /// `and.<ty> dst, a, b`
+    pub fn and_ty(&mut self, ty: Ty, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.emit(Op::And, ty, vec![a.into(), b.into()])
+    }
+
+    /// `or.<ty> dst, a, b`
+    pub fn or_ty(&mut self, ty: Ty, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.emit(Op::Or, ty, vec![a.into(), b.into()])
+    }
+
+    /// `xor.<ty> dst, a, b`
+    pub fn xor_ty(&mut self, ty: Ty, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.emit(Op::Xor, ty, vec![a.into(), b.into()])
+    }
+
+    /// `min.<ty> dst, a, b`
+    pub fn min_ty(&mut self, ty: Ty, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.emit(Op::Min, ty, vec![a.into(), b.into()])
+    }
+
+    /// `max.<ty> dst, a, b`
+    pub fn max_ty(&mut self, ty: Ty, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.emit(Op::Max, ty, vec![a.into(), b.into()])
+    }
+
+    /// `div.<ty> dst, a, b`
+    pub fn div_ty(&mut self, ty: Ty, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.emit(Op::Div, ty, vec![a.into(), b.into()])
+    }
+
+    /// `rem.<ty> dst, a, b`
+    pub fn rem_ty(&mut self, ty: Ty, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.emit(Op::Rem, ty, vec![a.into(), b.into()])
+    }
+
+    /// `<sfu>.<ty> dst, a` — special-function-unit op.
+    pub fn sfu(&mut self, op: SfuOp, ty: Ty, a: impl Into<Operand>) -> Reg {
+        self.emit(Op::Sfu(op), ty, vec![a.into()])
+    }
+
+    /// Loop-carried update: `add.<ty> r, r, b` writing an *existing* register.
+    ///
+    /// This deliberately breaks SSA the same way PTX loop iterators do, which
+    /// is what the analyzer's multi-write detection keys on.
+    pub fn assign_add(&mut self, ty: Ty, r: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.kernel
+            .instrs
+            .push(Instr::new(Op::Add, ty, Some(Dst::Reg(r)), vec![r.into(), b.into()]));
+        self
+    }
+
+    /// Loop-carried copy: `mov.<ty> r, src` writing an existing register.
+    pub fn assign_mov(&mut self, ty: Ty, r: Reg, src: impl Into<Operand>) -> &mut Self {
+        self.kernel
+            .instrs
+            .push(Instr::new(Op::Mov, ty, Some(Dst::Reg(r)), vec![src.into()]));
+        self
+    }
+
+    /// Guarded mov into an existing register (`@%p mov r, src`).
+    pub fn assign_mov_if(
+        &mut self,
+        ty: Ty,
+        r: Reg,
+        src: impl Into<Operand>,
+        p: PredReg,
+        sense: bool,
+    ) -> &mut Self {
+        self.kernel.instrs.push(
+            Instr::new(Op::Mov, ty, Some(Dst::Reg(r)), vec![src.into()]).with_guard(p, sense),
+        );
+        self
+    }
+
+    // ---- predicates & control flow -----------------------------------------
+
+    /// `setp.<cmp>.<ty> %p, a, b`
+    pub fn setp(
+        &mut self,
+        cmp: CmpOp,
+        ty: Ty,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> PredReg {
+        let p = self.fresh_pred();
+        self.kernel.instrs.push(Instr::new(
+            Op::Setp(cmp),
+            ty,
+            Some(Dst::Pred(p)),
+            vec![a.into(), b.into()],
+        ));
+        p
+    }
+
+    /// `selp.<ty> dst, a, b, %p` — dst = p ? a : b
+    pub fn selp(
+        &mut self,
+        ty: Ty,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        p: PredReg,
+    ) -> Reg {
+        self.emit(Op::Selp, ty, vec![a.into(), b.into(), Operand::Pred(p)])
+    }
+
+    /// Create an unplaced label for forward branches.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Place a label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already placed.
+    pub fn place(&mut self, l: Label) -> &mut Self {
+        assert!(self.labels[l.0].is_none(), "label placed twice");
+        self.labels[l.0] = Some(self.kernel.instrs.len());
+        self
+    }
+
+    /// Create a label placed at the current position (for backward branches).
+    pub fn here_label(&mut self) -> Label {
+        let l = self.label();
+        self.place(l);
+        l
+    }
+
+    /// Unconditional `bra label`.
+    pub fn bra(&mut self, l: Label) -> &mut Self {
+        let pc = self.kernel.instrs.len();
+        self.kernel.instrs.push(Instr::new(Op::Bra(u32::MAX), Ty::B32, None, vec![]));
+        self.pending.push((pc, l));
+        self
+    }
+
+    /// Predicated `@%p bra label` (or `@!%p` when `sense` is false).
+    pub fn bra_if(&mut self, p: PredReg, sense: bool, l: Label) -> &mut Self {
+        let pc = self.kernel.instrs.len();
+        self.kernel
+            .instrs
+            .push(Instr::new(Op::Bra(u32::MAX), Ty::B32, None, vec![]).with_guard(p, sense));
+        self.pending.push((pc, l));
+        self
+    }
+
+    /// `bar.sync` — block-wide barrier.
+    pub fn bar(&mut self) -> &mut Self {
+        self.kernel.instrs.push(Instr::new(Op::Bar, Ty::B32, None, vec![]));
+        self
+    }
+
+    /// `exit`
+    pub fn exit(&mut self) -> &mut Self {
+        self.kernel.instrs.push(Instr::new(Op::Exit, Ty::B32, None, vec![]));
+        self
+    }
+
+    // ---- memory -------------------------------------------------------------
+
+    /// `ld.global.<ty> dst, [addr+off]`
+    pub fn ld_global(&mut self, ty: Ty, addr: Reg, off: i64) -> Reg {
+        let d = self.fresh();
+        self.kernel.instrs.push(
+            Instr::new(Op::Ld(MemSpace::Global), ty, Some(Dst::Reg(d)), vec![]).with_mem(MemRef {
+                base: Operand::Reg(addr),
+                offset: MemOffset::Imm(off),
+            }),
+        );
+        d
+    }
+
+    /// `st.global.<ty> [addr+off], val`
+    pub fn st_global(&mut self, ty: Ty, addr: Reg, off: i64, val: impl Into<Operand>) -> &mut Self {
+        self.kernel.instrs.push(
+            Instr::new(Op::St(MemSpace::Global), ty, None, vec![val.into()]).with_mem(MemRef {
+                base: Operand::Reg(addr),
+                offset: MemOffset::Imm(off),
+            }),
+        );
+        self
+    }
+
+    /// `ld.shared.<ty> dst, [addr+off]`
+    pub fn ld_shared(&mut self, ty: Ty, addr: Reg, off: i64) -> Reg {
+        let d = self.fresh();
+        self.kernel.instrs.push(
+            Instr::new(Op::Ld(MemSpace::Shared), ty, Some(Dst::Reg(d)), vec![]).with_mem(MemRef {
+                base: Operand::Reg(addr),
+                offset: MemOffset::Imm(off),
+            }),
+        );
+        d
+    }
+
+    /// `st.shared.<ty> [addr+off], val`
+    pub fn st_shared(&mut self, ty: Ty, addr: Reg, off: i64, val: impl Into<Operand>) -> &mut Self {
+        self.kernel.instrs.push(
+            Instr::new(Op::St(MemSpace::Shared), ty, None, vec![val.into()]).with_mem(MemRef {
+                base: Operand::Reg(addr),
+                offset: MemOffset::Imm(off),
+            }),
+        );
+        self
+    }
+
+    /// `atom.<op>.<ty> dst, [addr+off], val` — returns the old value.
+    pub fn atom(
+        &mut self,
+        op: AtomOp,
+        ty: Ty,
+        addr: Reg,
+        off: i64,
+        val: impl Into<Operand>,
+    ) -> Reg {
+        let d = self.fresh();
+        self.kernel.instrs.push(
+            Instr::new(Op::Atom(op), ty, Some(Dst::Reg(d)), vec![val.into()]).with_mem(MemRef {
+                base: Operand::Reg(addr),
+                offset: MemOffset::Imm(off),
+            }),
+        );
+        d
+    }
+
+    /// Guard the most recently pushed instruction with `@%p` / `@!%p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no instruction has been pushed yet.
+    pub fn guard_last(&mut self, p: PredReg, sense: bool) -> &mut Self {
+        let i = self.kernel.instrs.last_mut().expect("no instruction to guard");
+        i.guard = Some((p, sense));
+        self
+    }
+
+    /// Resolve labels and finish the kernel, appending a final `exit` if the
+    /// stream does not already end in one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced label was never placed.
+    pub fn build(mut self) -> Kernel {
+        match self.kernel.instrs.last() {
+            Some(i) if i.guard.is_none() && matches!(i.op, Op::Exit) => {}
+            _ => {
+                self.kernel.instrs.push(Instr::new(Op::Exit, Ty::B32, None, vec![]));
+            }
+        }
+        for (pc, l) in &self.pending {
+            let target = self.labels[l.0].expect("branch to unplaced label");
+            if let Op::Bra(ref mut t) = self.kernel.instrs[*pc].op {
+                *t = target as u32;
+            }
+        }
+        self.kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vecadd_builds_and_validates() {
+        let mut b = KernelBuilder::new("vecadd", 3);
+        let i = b.global_tid_x();
+        let off = b.shl_imm_wide(i, 2);
+        let pa = b.ld_param(0);
+        let a = b.add_wide(pa, off);
+        let v = b.ld_global(Ty::F32, a, 0);
+        let pb = b.ld_param(1);
+        let c = b.add_wide(pb, off);
+        b.st_global(Ty::F32, c, 0, v);
+        let k = b.build();
+        assert!(k.validate().is_ok());
+        assert_eq!(k.instrs.last().unwrap().op, Op::Exit);
+    }
+
+    #[test]
+    fn loop_with_backward_branch() {
+        let mut b = KernelBuilder::new("loop", 0);
+        let i = b.imm32(0);
+        let top = b.here_label();
+        b.assign_add(Ty::B32, i, Operand::Imm(1));
+        let p = b.setp(CmpOp::Lt, Ty::B32, i, Operand::Imm(10));
+        b.bra_if(p, true, top);
+        let k = b.build();
+        assert!(k.validate().is_ok());
+        // The backward branch targets the assign_add.
+        let bra = k.instrs.iter().find(|x| matches!(x.op, Op::Bra(_))).unwrap();
+        if let Op::Bra(t) = bra.op {
+            assert_eq!(t, 1);
+        }
+    }
+
+    #[test]
+    fn forward_label_resolved() {
+        let mut b = KernelBuilder::new("fwd", 0);
+        let skip = b.label();
+        let x = b.imm32(3);
+        let p = b.setp(CmpOp::Eq, Ty::B32, x, Operand::Imm(3));
+        b.bra_if(p, true, skip);
+        b.imm32(99); // skipped work
+        b.place(skip);
+        b.exit();
+        let k = b.build();
+        assert!(k.validate().is_ok());
+        if let Op::Bra(t) = k.instrs[2].op {
+            assert_eq!(t as usize, 4);
+        } else {
+            panic!("expected bra at 2");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unplaced label")]
+    fn unplaced_label_panics() {
+        let mut b = KernelBuilder::new("bad", 0);
+        let l = b.label();
+        b.bra(l);
+        let _ = b.build();
+    }
+
+    #[test]
+    fn build_appends_exit_once() {
+        let mut b = KernelBuilder::new("k", 0);
+        b.exit();
+        let k = b.build();
+        assert_eq!(k.instrs.len(), 1);
+    }
+}

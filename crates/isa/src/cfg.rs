@@ -1,0 +1,324 @@
+//! Control-flow graph and immediate post-dominators.
+//!
+//! The simulator uses immediate post-dominators as SIMT reconvergence points
+//! (the classic stack-based reconvergence GPGPU-Sim implements); the analyzer
+//! uses basic-block structure to reason about multi-written registers
+//! (paper Sec. 3.1.2).
+
+use crate::instr::Op;
+use crate::kernel::Kernel;
+
+/// A basic block: instruction indices `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First instruction index.
+    pub start: usize,
+    /// One past the last instruction index.
+    pub end: usize,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+    /// Predecessor block ids.
+    pub preds: Vec<usize>,
+}
+
+/// Control-flow graph over a [`Kernel`]'s flat instruction stream.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks in program order (block 0 is the entry).
+    pub blocks: Vec<BasicBlock>,
+    /// block id of each instruction.
+    pub block_of: Vec<usize>,
+    /// Immediate post-dominator of each block (`None` = virtual exit).
+    pub ipdom: Vec<Option<usize>>,
+}
+
+impl Cfg {
+    /// Build the CFG and post-dominator tree for a kernel.
+    #[allow(clippy::needless_range_loop)] // index loops mirror the pc math
+    pub fn build(kernel: &Kernel) -> Cfg {
+        let n = kernel.instrs.len();
+        // Leaders: entry, branch targets, instruction after a branch/exit.
+        let mut leader = vec![false; n.max(1)];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for (pc, i) in kernel.instrs.iter().enumerate() {
+            match i.op {
+                Op::Bra(t) => {
+                    if (t as usize) < n {
+                        leader[t as usize] = true;
+                    }
+                    if pc + 1 < n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                Op::Exit
+                    if pc + 1 < n => {
+                        leader[pc + 1] = true;
+                    }
+                _ => {}
+            }
+        }
+        let mut starts: Vec<usize> = (0..n).filter(|&i| leader[i]).collect();
+        if starts.is_empty() {
+            starts.push(0);
+        }
+        let mut blocks: Vec<BasicBlock> = Vec::with_capacity(starts.len());
+        for (bi, &s) in starts.iter().enumerate() {
+            let e = starts.get(bi + 1).copied().unwrap_or(n);
+            blocks.push(BasicBlock { start: s, end: e, succs: Vec::new(), preds: Vec::new() });
+        }
+        let mut block_of = vec![0usize; n];
+        for (bi, b) in blocks.iter().enumerate() {
+            for pc in b.start..b.end {
+                block_of[pc] = bi;
+            }
+        }
+        // Successors.
+        let nb = blocks.len();
+        for bi in 0..nb {
+            let last = blocks[bi].end.saturating_sub(1);
+            if blocks[bi].start >= blocks[bi].end {
+                continue;
+            }
+            let i = &kernel.instrs[last];
+            let mut succs = Vec::new();
+            match i.op {
+                Op::Exit if i.guard.is_none() => {}
+                Op::Exit => {
+                    // predicated exit: may fall through
+                    if last + 1 < n {
+                        succs.push(block_of[last + 1]);
+                    }
+                }
+                Op::Bra(t) => {
+                    succs.push(block_of[t as usize]);
+                    if i.guard.is_some() && last + 1 < n {
+                        let ft = block_of[last + 1];
+                        if !succs.contains(&ft) {
+                            succs.push(ft);
+                        }
+                    }
+                }
+                _ => {
+                    if last + 1 < n {
+                        succs.push(block_of[last + 1]);
+                    }
+                }
+            }
+            blocks[bi].succs = succs;
+        }
+        for bi in 0..nb {
+            let succs = blocks[bi].succs.clone();
+            for s in succs {
+                if !blocks[s].preds.contains(&bi) {
+                    blocks[s].preds.push(bi);
+                }
+            }
+        }
+        let ipdom = Self::compute_ipdom(&blocks);
+        Cfg { blocks, block_of, ipdom }
+    }
+
+    /// Iterative post-dominator computation with a virtual exit node.
+    ///
+    /// Uses the standard dataflow formulation: `pdom(b) = {b} ∪ ⋂ pdom(succ)`.
+    /// Block count is small, so bitset-free `Vec<Option<usize>>` intersection
+    /// over the pdom tree (Cooper-Harvey-Kennedy style) is plenty fast.
+    fn compute_ipdom(blocks: &[BasicBlock]) -> Vec<Option<usize>> {
+        let n = blocks.len();
+        let exit = n; // virtual exit node id
+        // Successor function including virtual exit.
+        let succs = |b: usize| -> Vec<usize> {
+            if b == exit {
+                Vec::new()
+            } else if blocks[b].succs.is_empty() {
+                vec![exit]
+            } else {
+                blocks[b].succs.clone()
+            }
+        };
+        // Reverse post-order on the *reverse* CFG, i.e. post-order of forward CFG
+        // starting from entry; we instead do a DFS from exit on reverse edges.
+        // Build reverse adjacency (preds in the forward CFG = succs in reverse).
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for b in 0..n {
+            for s in succs(b) {
+                rev[s].push(b);
+            }
+        }
+        // Order: DFS from exit over rev edges, collect post-order, then reverse.
+        let mut order = Vec::with_capacity(n + 1);
+        let mut seen = vec![false; n + 1];
+        let mut stack = vec![(exit, 0usize)];
+        seen[exit] = true;
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            if *idx < rev[node].len() {
+                let nx = rev[node][*idx];
+                *idx += 1;
+                if !seen[nx] {
+                    seen[nx] = true;
+                    stack.push((nx, 0));
+                }
+            } else {
+                order.push(node);
+                stack.pop();
+            }
+        }
+        order.reverse(); // reverse post-order of the reverse CFG, exit first
+        let mut rpo_num = vec![usize::MAX; n + 1];
+        for (i, &b) in order.iter().enumerate() {
+            rpo_num[b] = i;
+        }
+        let mut idom: Vec<Option<usize>> = vec![None; n + 1];
+        idom[exit] = Some(exit);
+        let intersect = |idom: &[Option<usize>], rpo_num: &[usize], mut a: usize, mut b: usize| {
+            while a != b {
+                while rpo_num[a] > rpo_num[b] {
+                    a = idom[a].unwrap();
+                }
+                while rpo_num[b] > rpo_num[a] {
+                    b = idom[b].unwrap();
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in order.iter().skip(1) {
+                // preds in reverse CFG = succs in forward CFG
+                let mut new_idom: Option<usize> = None;
+                for s in succs(b) {
+                    if idom[s].is_some() {
+                        new_idom = Some(match new_idom {
+                            None => s,
+                            Some(cur) => intersect(&idom, &rpo_num, cur, s),
+                        });
+                    }
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b] != Some(ni) {
+                        idom[b] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        (0..n)
+            .map(|b| match idom[b] {
+                Some(d) if d != exit => Some(d),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The reconvergence pc for a divergent branch inside block `b`: the start
+    /// pc of `b`'s immediate post-dominator, or `None` when control only
+    /// reconverges at thread exit.
+    pub fn reconvergence_pc(&self, b: usize) -> Option<usize> {
+        self.ipdom[b].map(|d| self.blocks[d].start)
+    }
+
+    /// `true` when the branch at `pc` (targeting `target`) is a back edge,
+    /// i.e. part of a loop.
+    pub fn is_back_edge(&self, pc: usize, target: usize) -> bool {
+        target <= pc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::instr::{CmpOp, Operand, Ty};
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut b = KernelBuilder::new("s", 0);
+        b.imm32(1);
+        b.imm32(2);
+        let k = b.build();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.ipdom[0], None);
+    }
+
+    #[test]
+    fn if_else_reconverges_at_join() {
+        // if (p) {A} else {B}; C
+        let mut b = KernelBuilder::new("ite", 0);
+        let x = b.imm32(1);
+        let p = b.setp(CmpOp::Eq, Ty::B32, x, Operand::Imm(1));
+        let else_l = b.label();
+        let join = b.label();
+        b.bra_if(p, false, else_l);
+        b.imm32(10); // then
+        b.bra(join);
+        b.place(else_l);
+        b.imm32(20); // else
+        b.place(join);
+        b.imm32(30); // join
+        let k = b.build();
+        let cfg = Cfg::build(&k);
+        // Entry block ends with the conditional branch.
+        let entry = cfg.block_of[0];
+        assert_eq!(cfg.blocks[entry].succs.len(), 2);
+        // Its ipdom must be the join block (the one containing imm32(30)).
+        let join_pc = k
+            .instrs
+            .iter()
+            .position(|i| matches!(i.srcs.first(), Some(Operand::Imm(30))))
+            .unwrap();
+        let join_block = cfg.block_of[join_pc];
+        assert_eq!(cfg.ipdom[entry], Some(join_block));
+        assert_eq!(cfg.reconvergence_pc(entry), Some(cfg.blocks[join_block].start));
+    }
+
+    #[test]
+    fn loop_back_edge_detected() {
+        let mut b = KernelBuilder::new("loop", 0);
+        let i = b.imm32(0);
+        let top = b.here_label();
+        b.assign_add(Ty::B32, i, Operand::Imm(1));
+        let p = b.setp(CmpOp::Lt, Ty::B32, i, Operand::Imm(4));
+        b.bra_if(p, true, top);
+        let k = b.build();
+        let cfg = Cfg::build(&k);
+        let bra_pc = k.instrs.iter().position(|x| matches!(x.op, Op::Bra(_))).unwrap();
+        if let Op::Bra(t) = k.instrs[bra_pc].op {
+            assert!(cfg.is_back_edge(bra_pc, t as usize));
+        }
+        // Loop block's ipdom is the block after the loop (the exit block).
+        let loop_block = cfg.block_of[bra_pc];
+        let after = cfg.ipdom[loop_block].expect("loop must reconverge after itself");
+        assert!(cfg.blocks[after].start > bra_pc);
+    }
+
+    #[test]
+    fn exit_block_has_no_ipdom() {
+        let mut b = KernelBuilder::new("e", 0);
+        b.imm32(1);
+        let k = b.build();
+        let cfg = Cfg::build(&k);
+        let last = cfg.block_of[k.instrs.len() - 1];
+        assert_eq!(cfg.ipdom[last], None);
+    }
+
+    #[test]
+    fn block_of_covers_every_instruction() {
+        let mut b = KernelBuilder::new("cov", 0);
+        let x = b.imm32(0);
+        let p = b.setp(CmpOp::Ne, Ty::B32, x, Operand::Imm(0));
+        let l = b.label();
+        b.bra_if(p, true, l);
+        b.imm32(7);
+        b.place(l);
+        let k = b.build();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.block_of.len(), k.instrs.len());
+        for (pc, &bi) in cfg.block_of.iter().enumerate() {
+            assert!(cfg.blocks[bi].start <= pc && pc < cfg.blocks[bi].end);
+        }
+    }
+}

@@ -1,0 +1,713 @@
+//! Instruction, operand and register definitions.
+
+use std::fmt;
+
+/// Storage/interpretation type of an instruction.
+///
+/// Values live in 64-bit register slots; the type selects how an operation
+/// interprets them. `B32` integer math is signed 32-bit (like PTX `.s32`
+/// index arithmetic); `B64` is 64-bit (addresses); `F32`/`F64` are IEEE
+/// floats stored in the low bits; `Pred` is a 1-bit predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Ty {
+    /// 32-bit integer (signed semantics for compare/divide/shift-right).
+    #[default]
+    B32,
+    /// 64-bit integer (addresses, wide index math).
+    B64,
+    /// IEEE-754 binary32.
+    F32,
+    /// IEEE-754 binary64.
+    F64,
+    /// 1-bit predicate.
+    Pred,
+}
+
+impl Ty {
+    /// Width in bytes of a value of this type in memory.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Ty::B32 | Ty::F32 => 4,
+            Ty::B64 | Ty::F64 => 8,
+            Ty::Pred => 1,
+        }
+    }
+
+    /// `true` for the two integer types.
+    pub fn is_int(self) -> bool {
+        matches!(self, Ty::B32 | Ty::B64)
+    }
+
+    /// `true` for the two float types.
+    pub fn is_float(self) -> bool {
+        matches!(self, Ty::F32 | Ty::F64)
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::B32 => "b32",
+            Ty::B64 => "b64",
+            Ty::F32 => "f32",
+            Ty::F64 => "f64",
+            Ty::Pred => "pred",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A virtual general-purpose register `%rN`.
+///
+/// Like PTX, kernels use an unbounded virtual register space; the paper's
+/// analyzer relies on the (near-)SSA discipline of PTX to detect loops and
+/// divergence through multi-written registers (Sec. 3.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u16);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%r{}", self.0)
+    }
+}
+
+/// A predicate register `%pN`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredReg(pub u16);
+
+impl fmt::Display for PredReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%p{}", self.0)
+    }
+}
+
+/// R2D2 register classes (paper Sec. 3.2): the instruction generator defines
+/// thread-index (`%tr`), block-index (`%br`), coefficient (`%cr`) and linear
+/// (`%lr`) registers on top of the ordinary general-purpose space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegClass {
+    /// Ordinary per-thread general-purpose register.
+    Gp,
+    /// Thread-index part register — per thread *slot* in a block, shared by all
+    /// thread blocks (computed once per kernel by the first block).
+    Tr,
+    /// Block-index part register — per thread block, shared by its warps.
+    Br,
+    /// Coefficient register — per SM scalar, shared by everything on the SM.
+    Cr,
+    /// Linear register — the architectural *pair* (tr, br); reading it yields
+    /// their sum (added by the LSU, Sec. 4.3).
+    Lr,
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RegClass::Gp => "r",
+            RegClass::Tr => "tr",
+            RegClass::Br => "br",
+            RegClass::Cr => "cr",
+            RegClass::Lr => "lr",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Special (read-only) registers: built-in indices and dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Special {
+    /// `%tid.x/y/z` — thread index within the block (dim 0..=2).
+    Tid(u8),
+    /// `%ctaid.x/y/z` — block index within the grid.
+    Ctaid(u8),
+    /// `%ntid.x/y/z` — block dimensions.
+    Ntid(u8),
+    /// `%nctaid.x/y/z` — grid dimensions.
+    Nctaid(u8),
+    /// `%laneid` — lane within the warp (0..32).
+    LaneId,
+    /// `%smid` — the SM the warp runs on (used by persistent-thread kernels).
+    SmId,
+}
+
+impl fmt::Display for Special {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const DIM: [&str; 3] = ["x", "y", "z"];
+        match self {
+            Special::Tid(d) => write!(f, "%tid.{}", DIM[*d as usize % 3]),
+            Special::Ctaid(d) => write!(f, "%ctaid.{}", DIM[*d as usize % 3]),
+            Special::Ntid(d) => write!(f, "%ntid.{}", DIM[*d as usize % 3]),
+            Special::Nctaid(d) => write!(f, "%nctaid.{}", DIM[*d as usize % 3]),
+            Special::LaneId => write!(f, "%laneid"),
+            Special::SmId => write!(f, "%smid"),
+        }
+    }
+}
+
+/// Comparison operator for `setp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// equal
+    Eq,
+    /// not equal
+    Ne,
+    /// less than (signed / ordered)
+    Lt,
+    /// less or equal
+    Le,
+    /// greater than
+    Gt,
+    /// greater or equal
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Special-function-unit operation (transcendental pipe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SfuOp {
+    /// reciprocal
+    Rcp,
+    /// square root
+    Sqrt,
+    /// reciprocal square root
+    Rsqrt,
+    /// base-2 exponential
+    Ex2,
+    /// base-2 logarithm
+    Lg2,
+    /// sine
+    Sin,
+    /// cosine
+    Cos,
+}
+
+impl fmt::Display for SfuOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SfuOp::Rcp => "rcp",
+            SfuOp::Sqrt => "sqrt",
+            SfuOp::Rsqrt => "rsqrt",
+            SfuOp::Ex2 => "ex2",
+            SfuOp::Lg2 => "lg2",
+            SfuOp::Sin => "sin",
+            SfuOp::Cos => "cos",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Atomic read-modify-write operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomOp {
+    /// fetch-and-add
+    Add,
+    /// fetch-and-min
+    Min,
+    /// fetch-and-max
+    Max,
+    /// exchange
+    Exch,
+    /// compare-and-swap (src operands: compare, new)
+    Cas,
+}
+
+impl fmt::Display for AtomOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AtomOp::Add => "add",
+            AtomOp::Min => "min",
+            AtomOp::Max => "max",
+            AtomOp::Exch => "exch",
+            AtomOp::Cas => "cas",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Memory space for loads/stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Device (global) memory through L1/L2/DRAM.
+    Global,
+    /// Per-block scratchpad (shared memory).
+    Shared,
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemSpace::Global => f.write_str("global"),
+            MemSpace::Shared => f.write_str("shared"),
+        }
+    }
+}
+
+/// Opcodes.
+///
+/// The subset `{Mov, Cvt, Add, Sub, Mul, Shl, Mad, LdParam}` is exactly the
+/// Fig. 6 list the R2D2 analyzer tracks (plus `ld.param` providing the
+/// parameter symbols). Everything else terminates linearity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Copy a value (`mov dst, src`).
+    Mov,
+    /// Convert between widths; `b32 -> b64` sign-extends, float conversions
+    /// round (`cvt dst, src`).
+    Cvt,
+    /// `dst = src0 + src1`
+    Add,
+    /// `dst = src0 - src1`
+    Sub,
+    /// `dst = src0 * src1` (low half for ints)
+    Mul,
+    /// `dst = src0 * src1 + src2`
+    Mad,
+    /// `dst = src0 << src1`
+    Shl,
+    /// `dst = src0 >> src1` (arithmetic for B32/B64)
+    Shr,
+    /// bitwise and
+    And,
+    /// bitwise or
+    Or,
+    /// bitwise xor
+    Xor,
+    /// bitwise not (one source)
+    Not,
+    /// `dst = min(src0, src1)`
+    Min,
+    /// `dst = max(src0, src1)`
+    Max,
+    /// `dst = src0 / src1` (signed ints trap-free: x/0 = 0)
+    Div,
+    /// `dst = src0 % src1` (x%0 = 0)
+    Rem,
+    /// absolute value (one source)
+    Abs,
+    /// negate (one source)
+    Neg,
+    /// set predicate: `setp.<cmp> %p, src0, src1`
+    Setp(CmpOp),
+    /// select on predicate: `selp dst, src0, src1, %p`
+    Selp,
+    /// special function unit op (one source)
+    Sfu(SfuOp),
+    /// parameter load: `ld.param dst, [Pn]` (src0 = Imm(n))
+    LdParam,
+    /// memory load: `ld.<space> dst, [base+off]`
+    Ld(MemSpace),
+    /// memory store: `st.<space> [base+off], src0`
+    St(MemSpace),
+    /// atomic RMW on global memory: `atom.<op> dst, [base+off], src0 (, src1)`
+    Atom(AtomOp),
+    /// unconditional/predicated branch to instruction index
+    Bra(u32),
+    /// block-wide barrier (`bar.sync`)
+    Bar,
+    /// thread exit
+    Exit,
+}
+
+impl Op {
+    /// `true` if this opcode can propagate a linear combination (the Fig. 6
+    /// list). `LdParam` introduces parameter symbols.
+    pub fn is_linear_listed(self) -> bool {
+        matches!(
+            self,
+            Op::Mov | Op::Cvt | Op::Add | Op::Sub | Op::Mul | Op::Mad | Op::Shl | Op::LdParam
+        )
+    }
+
+    /// `true` for control-flow opcodes.
+    pub fn is_control(self) -> bool {
+        matches!(self, Op::Bra(_) | Op::Bar | Op::Exit)
+    }
+
+    /// `true` for memory opcodes (loads, stores, atomics; not `ld.param`).
+    pub fn is_mem(self) -> bool {
+        matches!(self, Op::Ld(_) | Op::St(_) | Op::Atom(_))
+    }
+}
+
+/// A source operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// General-purpose register.
+    Reg(Reg),
+    /// Integer immediate (also carries float immediates as raw bits via
+    /// [`Operand::fimm`]).
+    Imm(i64),
+    /// Special register (built-in index / dimension).
+    Special(Special),
+    /// Predicate register (as a data source for `selp`).
+    Pred(PredReg),
+    /// R2D2 thread-index register (transformed kernels only).
+    Tr(u16),
+    /// R2D2 block-index register (transformed kernels only).
+    Br(u16),
+    /// R2D2 coefficient register (transformed kernels only).
+    Cr(u16),
+    /// R2D2 linear register = tr + br (transformed kernels only).
+    Lr(u16),
+}
+
+impl Operand {
+    /// An `f32` immediate, stored as raw bits.
+    pub fn fimm32(v: f32) -> Operand {
+        Operand::Imm(v.to_bits() as i64)
+    }
+
+    /// An `f64` immediate, stored as raw bits.
+    pub fn fimm64(v: f64) -> Operand {
+        Operand::Imm(v.to_bits() as i64)
+    }
+
+    /// `true` if the operand is one of the R2D2 register classes.
+    pub fn is_r2d2_class(self) -> bool {
+        matches!(self, Operand::Tr(_) | Operand::Br(_) | Operand::Cr(_) | Operand::Lr(_))
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+            Operand::Special(s) => write!(f, "{s}"),
+            Operand::Pred(p) => write!(f, "{p}"),
+            Operand::Tr(i) => write!(f, "%tr{i}"),
+            Operand::Br(i) => write!(f, "%br{i}"),
+            Operand::Cr(i) => write!(f, "%cr{i}"),
+            Operand::Lr(i) => write!(f, "%lr{i}"),
+        }
+    }
+}
+
+/// An instruction destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dst {
+    /// General-purpose register.
+    Reg(Reg),
+    /// Predicate register (for `setp`).
+    Pred(PredReg),
+    /// R2D2 thread-index register (linear thread-index block).
+    Tr(u16),
+    /// R2D2 block-index register (linear block-index block).
+    Br(u16),
+    /// R2D2 coefficient register (linear coefficient block).
+    Cr(u16),
+}
+
+impl fmt::Display for Dst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dst::Reg(r) => write!(f, "{r}"),
+            Dst::Pred(p) => write!(f, "{p}"),
+            Dst::Tr(i) => write!(f, "%tr{i}"),
+            Dst::Br(i) => write!(f, "%br{i}"),
+            Dst::Cr(i) => write!(f, "%cr{i}"),
+        }
+    }
+}
+
+/// Offset part of a memory reference: an immediate byte offset or an R2D2
+/// coefficient register (the Sec. 3.1.4 rewrite `ld.global %f1, [%lr1+%cr7]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOffset {
+    /// Immediate byte offset.
+    Imm(i64),
+    /// Coefficient register holding the byte offset (transformed kernels).
+    Cr(u16),
+    /// Coefficient register plus an immediate (the LSU's existing adder
+    /// handles the immediate on top of the tr + br + cr sum, paper Sec. 4.3).
+    CrImm(u16, i64),
+}
+
+impl Default for MemOffset {
+    fn default() -> Self {
+        MemOffset::Imm(0)
+    }
+}
+
+/// A memory reference `[base + offset]` for loads, stores and atomics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Base address operand (GP register, or `%lr` in transformed kernels).
+    pub base: Operand,
+    /// Byte offset added to the base.
+    pub offset: MemOffset,
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            MemOffset::Imm(0) => write!(f, "[{}]", self.base),
+            MemOffset::Imm(v) if v < 0 => write!(f, "[{}{}]", self.base, v),
+            MemOffset::Imm(v) => write!(f, "[{}+{}]", self.base, v),
+            MemOffset::Cr(c) => write!(f, "[{}+%cr{}]", self.base, c),
+            MemOffset::CrImm(c, v) if v < 0 => write!(f, "[{}+%cr{}{}]", self.base, c, v),
+            MemOffset::CrImm(c, v) => write!(f, "[{}+%cr{}+{}]", self.base, c, v),
+        }
+    }
+}
+
+/// One instruction.
+///
+/// `guard` is PTX-style predication: `Some((p, true))` executes the lane when
+/// `p` is set; `Some((p, false))` when it is clear.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instr {
+    /// Opcode (with embedded compare/SFU/atomic sub-op or branch target).
+    pub op: Op,
+    /// Interpretation type.
+    pub ty: Ty,
+    /// Destination (absent for stores, branches, barriers, exit).
+    pub dst: Option<Dst>,
+    /// Source operands in positional order.
+    pub srcs: Vec<Operand>,
+    /// Optional predicate guard `@%p` / `@!%p`.
+    pub guard: Option<(PredReg, bool)>,
+    /// Memory reference for `Ld`/`St`/`Atom`.
+    pub mem: Option<MemRef>,
+}
+
+impl Instr {
+    /// A new unguarded instruction without a memory reference.
+    pub fn new(op: Op, ty: Ty, dst: Option<Dst>, srcs: Vec<Operand>) -> Self {
+        Instr { op, ty, dst, srcs, guard: None, mem: None }
+    }
+
+    /// Attach a predicate guard.
+    pub fn with_guard(mut self, p: PredReg, sense: bool) -> Self {
+        self.guard = Some((p, sense));
+        self
+    }
+
+    /// Attach a memory reference.
+    pub fn with_mem(mut self, mem: MemRef) -> Self {
+        self.mem = Some(mem);
+        self
+    }
+
+    /// The GP register this instruction writes, if any.
+    pub fn dst_reg(&self) -> Option<Reg> {
+        match self.dst {
+            Some(Dst::Reg(r)) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Iterate over all GP registers read by this instruction (sources,
+    /// memory base — not guards).
+    pub fn src_regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        let mem_base = match self.mem {
+            Some(MemRef { base: Operand::Reg(r), .. }) => Some(r),
+            _ => None,
+        };
+        self.srcs
+            .iter()
+            .filter_map(|o| match o {
+                Operand::Reg(r) => Some(*r),
+                _ => None,
+            })
+            .chain(mem_base)
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some((p, sense)) = self.guard {
+            if sense {
+                write!(f, "@{p} ")?;
+            } else {
+                write!(f, "@!{p} ")?;
+            }
+        }
+        // mnemonic
+        match self.op {
+            Op::Setp(c) => write!(f, "setp.{c}.{}", self.ty)?,
+            Op::Sfu(s) => write!(f, "{s}.{}", self.ty)?,
+            Op::Atom(a) => write!(f, "atom.{a}.{}", self.ty)?,
+            Op::Ld(sp) => write!(f, "ld.{sp}.{}", self.ty)?,
+            Op::St(sp) => write!(f, "st.{sp}.{}", self.ty)?,
+            Op::LdParam => write!(f, "ld.param.{}", self.ty)?,
+            Op::Bra(t) => {
+                write!(f, "bra {t};")?;
+                return Ok(());
+            }
+            Op::Bar => {
+                write!(f, "bar.sync;")?;
+                return Ok(());
+            }
+            Op::Exit => {
+                write!(f, "exit;")?;
+                return Ok(());
+            }
+            op => {
+                let m = match op {
+                    Op::Mov => "mov",
+                    Op::Cvt => "cvt",
+                    Op::Add => "add",
+                    Op::Sub => "sub",
+                    Op::Mul => "mul",
+                    Op::Mad => "mad",
+                    Op::Shl => "shl",
+                    Op::Shr => "shr",
+                    Op::And => "and",
+                    Op::Or => "or",
+                    Op::Xor => "xor",
+                    Op::Not => "not",
+                    Op::Min => "min",
+                    Op::Max => "max",
+                    Op::Div => "div",
+                    Op::Rem => "rem",
+                    Op::Abs => "abs",
+                    Op::Neg => "neg",
+                    Op::Selp => "selp",
+                    _ => unreachable!(),
+                };
+                write!(f, "{m}.{}", self.ty)?;
+            }
+        }
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if first {
+                first = false;
+                write!(f, " ")
+            } else {
+                write!(f, ", ")
+            }
+        };
+        if let Some(d) = &self.dst {
+            sep(f)?;
+            write!(f, "{d}")?;
+        }
+        // For st, memory ref prints before the value; for ld/atom, after dst.
+        if matches!(self.op, Op::St(_)) {
+            if let Some(m) = &self.mem {
+                sep(f)?;
+                write!(f, "{m}")?;
+            }
+            for s in &self.srcs {
+                sep(f)?;
+                write!(f, "{s}")?;
+            }
+        } else {
+            if let Some(m) = &self.mem {
+                sep(f)?;
+                write!(f, "{m}")?;
+            }
+            if self.op == Op::LdParam {
+                if let Some(Operand::Imm(n)) = self.srcs.first() {
+                    sep(f)?;
+                    write!(f, "[P{n}]")?;
+                }
+            } else {
+                for s in &self.srcs {
+                    sep(f)?;
+                    write!(f, "{s}")?;
+                }
+            }
+        }
+        write!(f, ";")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_arith() {
+        let i = Instr::new(
+            Op::Mad,
+            Ty::B32,
+            Some(Dst::Reg(Reg(9))),
+            vec![Reg(6).into(), Reg(7).into(), Reg(8).into()],
+        );
+        assert_eq!(i.to_string(), "mad.b32 %r9, %r6, %r7, %r8;");
+    }
+
+    #[test]
+    fn display_ld_param() {
+        let i = Instr::new(Op::LdParam, Ty::B64, Some(Dst::Reg(Reg(4))), vec![Operand::Imm(0)]);
+        assert_eq!(i.to_string(), "ld.param.b64 %r4, [P0];");
+    }
+
+    #[test]
+    fn display_ld_global_with_cr_offset() {
+        let i = Instr::new(Op::Ld(MemSpace::Global), Ty::F32, Some(Dst::Reg(Reg(1))), vec![])
+            .with_mem(MemRef { base: Operand::Lr(1), offset: MemOffset::Cr(7) });
+        assert_eq!(i.to_string(), "ld.global.f32 %r1, [%lr1+%cr7];");
+    }
+
+    #[test]
+    fn display_store_and_guard() {
+        let i = Instr::new(Op::St(MemSpace::Global), Ty::F32, None, vec![Reg(3).into()])
+            .with_mem(MemRef { base: Operand::Reg(Reg(2)), offset: MemOffset::Imm(8) })
+            .with_guard(PredReg(0), false);
+        assert_eq!(i.to_string(), "@!%p0 st.global.f32 [%r2+8], %r3;");
+    }
+
+    #[test]
+    fn display_setp_branch_exit() {
+        let s = Instr::new(
+            Op::Setp(CmpOp::Lt),
+            Ty::B32,
+            Some(Dst::Pred(PredReg(1))),
+            vec![Reg(0).into(), Operand::Imm(10)],
+        );
+        assert_eq!(s.to_string(), "setp.lt.b32 %p1, %r0, 10;");
+        let b = Instr::new(Op::Bra(42), Ty::B32, None, vec![]);
+        assert_eq!(b.to_string(), "bra 42;");
+        let e = Instr::new(Op::Exit, Ty::B32, None, vec![]);
+        assert_eq!(e.to_string(), "exit;");
+    }
+
+    #[test]
+    fn linear_listed_ops() {
+        for op in [Op::Mov, Op::Cvt, Op::Add, Op::Sub, Op::Mul, Op::Mad, Op::Shl, Op::LdParam] {
+            assert!(op.is_linear_listed());
+        }
+        for op in [Op::Shr, Op::And, Op::Div, Op::Selp, Op::Ld(MemSpace::Global)] {
+            assert!(!op.is_linear_listed());
+        }
+    }
+
+    #[test]
+    fn src_regs_includes_mem_base() {
+        let i = Instr::new(Op::St(MemSpace::Global), Ty::F32, None, vec![Reg(3).into()])
+            .with_mem(MemRef { base: Operand::Reg(Reg(2)), offset: MemOffset::Imm(0) });
+        let regs: Vec<Reg> = i.src_regs().collect();
+        assert_eq!(regs, vec![Reg(3), Reg(2)]);
+    }
+
+    #[test]
+    fn float_immediates_roundtrip_bits() {
+        let o = Operand::fimm32(1.5);
+        if let Operand::Imm(bits) = o {
+            assert_eq!(f32::from_bits(bits as u32), 1.5);
+        } else {
+            panic!("not an imm");
+        }
+    }
+}

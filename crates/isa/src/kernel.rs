@@ -1,0 +1,322 @@
+//! Kernel container and validation.
+
+use crate::instr::{Dst, Instr, Op, Operand, Reg};
+use std::fmt;
+
+/// A compiled kernel: a flat instruction stream with resolved branch targets.
+///
+/// Mirrors a PTX entry function. `num_params` scalar/pointer parameters are
+/// addressable via `ld.param [Pn]`; `shared_bytes` is the static shared-memory
+/// footprint per thread block.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Kernel {
+    /// Kernel (entry) name.
+    pub name: String,
+    /// Number of parameter slots (each a 64-bit value).
+    pub num_params: usize,
+    /// The instruction stream; branch targets are indices into this vector.
+    pub instrs: Vec<Instr>,
+    /// Static shared-memory bytes per thread block.
+    pub shared_bytes: u32,
+}
+
+/// Error from [`Kernel::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A branch target is out of range.
+    BadBranchTarget {
+        /// index of the offending instruction
+        pc: usize,
+        /// the out-of-range target
+        target: u32,
+    },
+    /// An instruction has the wrong number of source operands.
+    BadArity {
+        /// index of the offending instruction
+        pc: usize,
+        /// operands found
+        got: usize,
+        /// operands required
+        want: usize,
+    },
+    /// A memory instruction is missing its memory reference (or a non-memory
+    /// instruction has one).
+    BadMemRef {
+        /// index of the offending instruction
+        pc: usize,
+    },
+    /// A parameter index is out of range.
+    BadParam {
+        /// index of the offending instruction
+        pc: usize,
+        /// parameter slot referenced
+        param: i64,
+    },
+    /// The instruction requires a destination but has none (or must not have
+    /// one but does).
+    BadDst {
+        /// index of the offending instruction
+        pc: usize,
+    },
+    /// The final instruction can fall off the end of the stream.
+    MissingExit,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::BadBranchTarget { pc, target } => {
+                write!(f, "instruction {pc}: branch target {target} out of range")
+            }
+            ValidateError::BadArity { pc, got, want } => {
+                write!(f, "instruction {pc}: expected {want} source operands, found {got}")
+            }
+            ValidateError::BadMemRef { pc } => {
+                write!(f, "instruction {pc}: invalid memory reference")
+            }
+            ValidateError::BadParam { pc, param } => {
+                write!(f, "instruction {pc}: parameter P{param} out of range")
+            }
+            ValidateError::BadDst { pc } => {
+                write!(f, "instruction {pc}: invalid destination")
+            }
+            ValidateError::MissingExit => write!(f, "control can fall off the end of the kernel"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+impl Kernel {
+    /// Create an empty kernel.
+    pub fn new(name: impl Into<String>, num_params: usize) -> Self {
+        Kernel { name: name.into(), num_params, instrs: Vec::new(), shared_bytes: 0 }
+    }
+
+    /// Number of distinct GP virtual registers used (max id + 1).
+    pub fn num_regs(&self) -> usize {
+        let mut max: Option<u16> = None;
+        for i in &self.instrs {
+            if let Some(Dst::Reg(Reg(r))) = i.dst {
+                max = Some(max.map_or(r, |m| m.max(r)));
+            }
+            for r in i.src_regs() {
+                max = Some(max.map_or(r.0, |m| m.max(r.0)));
+            }
+        }
+        max.map_or(0, |m| m as usize + 1)
+    }
+
+    /// Number of distinct predicate registers used (max id + 1).
+    pub fn num_preds(&self) -> usize {
+        let mut max: Option<u16> = None;
+        for i in &self.instrs {
+            if let Some(Dst::Pred(p)) = i.dst {
+                max = Some(max.map_or(p.0, |m| m.max(p.0)));
+            }
+            if let Some((p, _)) = i.guard {
+                max = Some(max.map_or(p.0, |m| m.max(p.0)));
+            }
+            for s in &i.srcs {
+                if let Operand::Pred(p) = s {
+                    max = Some(max.map_or(p.0, |m| m.max(p.0)));
+                }
+            }
+        }
+        max.map_or(0, |m| m as usize + 1)
+    }
+
+    /// Required source-operand count for an opcode, if fixed.
+    fn arity(op: Op) -> Option<usize> {
+        Some(match op {
+            Op::Mov | Op::Cvt | Op::Not | Op::Abs | Op::Neg | Op::Sfu(_) => 1,
+            Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Shl
+            | Op::Shr
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Min
+            | Op::Max
+            | Op::Div
+            | Op::Rem
+            | Op::Setp(_) => 2,
+            Op::Mad | Op::Selp => 3,
+            Op::LdParam => 1,
+            Op::Ld(_) => 0,
+            Op::St(_) => 1,
+            Op::Atom(crate::instr::AtomOp::Cas) => 2,
+            Op::Atom(_) => 1,
+            Op::Bra(_) | Op::Bar | Op::Exit => 0,
+        })
+    }
+
+    /// Validate structural well-formedness: branch targets in range, operand
+    /// arities, memory references present exactly where required, parameter
+    /// indices within `num_params`, and a terminating instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] found, in program order.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        let n = self.instrs.len();
+        for (pc, i) in self.instrs.iter().enumerate() {
+            if let Op::Bra(t) = i.op {
+                if t as usize >= n {
+                    return Err(ValidateError::BadBranchTarget { pc, target: t });
+                }
+            }
+            if let Some(want) = Self::arity(i.op) {
+                if i.srcs.len() != want {
+                    return Err(ValidateError::BadArity { pc, got: i.srcs.len(), want });
+                }
+            }
+            let needs_mem = i.op.is_mem();
+            if needs_mem != i.mem.is_some() {
+                return Err(ValidateError::BadMemRef { pc });
+            }
+            if i.op == Op::LdParam {
+                match i.srcs.first() {
+                    Some(Operand::Imm(p)) if (*p as usize) < self.num_params && *p >= 0 => {}
+                    Some(Operand::Imm(p)) => {
+                        return Err(ValidateError::BadParam { pc, param: *p });
+                    }
+                    _ => return Err(ValidateError::BadArity { pc, got: i.srcs.len(), want: 1 }),
+                }
+            }
+            let needs_dst = !matches!(
+                i.op,
+                Op::St(_) | Op::Bra(_) | Op::Bar | Op::Exit
+            );
+            match (needs_dst, i.dst.is_some()) {
+                (true, false) => return Err(ValidateError::BadDst { pc }),
+                (false, true) if !matches!(i.op, Op::Atom(_)) => {
+                    return Err(ValidateError::BadDst { pc })
+                }
+                _ => {}
+            }
+            if matches!(i.op, Op::Setp(_)) && !matches!(i.dst, Some(Dst::Pred(_))) {
+                return Err(ValidateError::BadDst { pc });
+            }
+        }
+        // Control must not fall off the end: last instruction must be an
+        // unconditional exit or unconditional branch.
+        match self.instrs.last() {
+            Some(i) if i.guard.is_none() && matches!(i.op, Op::Exit | Op::Bra(_)) => Ok(()),
+            _ => Err(ValidateError::MissingExit),
+        }
+    }
+
+    /// Count static instructions by a predicate (useful in tests/reports).
+    pub fn count_instrs(&self, f: impl Fn(&Instr) -> bool) -> usize {
+        self.instrs.iter().filter(|i| f(i)).count()
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, ".kernel {} params={} shared={} {{", self.name, self.num_params, self.shared_bytes)?;
+        for (pc, i) in self.instrs.iter().enumerate() {
+            writeln!(f, "  /*{pc:04}*/ {i}")?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{CmpOp, Dst, MemOffset, MemRef, MemSpace, PredReg, Ty};
+
+    fn exit() -> Instr {
+        Instr::new(Op::Exit, Ty::B32, None, vec![])
+    }
+
+    #[test]
+    fn empty_kernel_fails_missing_exit() {
+        let k = Kernel::new("k", 0);
+        assert_eq!(k.validate(), Err(ValidateError::MissingExit));
+    }
+
+    #[test]
+    fn minimal_kernel_validates() {
+        let mut k = Kernel::new("k", 0);
+        k.instrs.push(exit());
+        assert_eq!(k.validate(), Ok(()));
+    }
+
+    #[test]
+    fn branch_target_out_of_range() {
+        let mut k = Kernel::new("k", 0);
+        k.instrs.push(Instr::new(Op::Bra(5), Ty::B32, None, vec![]));
+        k.instrs.push(exit());
+        assert_eq!(k.validate(), Err(ValidateError::BadBranchTarget { pc: 0, target: 5 }));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut k = Kernel::new("k", 0);
+        k.instrs.push(Instr::new(Op::Add, Ty::B32, Some(Dst::Reg(Reg(0))), vec![Reg(1).into()]));
+        k.instrs.push(exit());
+        assert_eq!(k.validate(), Err(ValidateError::BadArity { pc: 0, got: 1, want: 2 }));
+    }
+
+    #[test]
+    fn param_range_checked() {
+        let mut k = Kernel::new("k", 1);
+        k.instrs.push(Instr::new(Op::LdParam, Ty::B64, Some(Dst::Reg(Reg(0))), vec![Operand::Imm(3)]));
+        k.instrs.push(exit());
+        assert_eq!(k.validate(), Err(ValidateError::BadParam { pc: 0, param: 3 }));
+    }
+
+    #[test]
+    fn mem_ref_required() {
+        let mut k = Kernel::new("k", 0);
+        k.instrs.push(Instr::new(Op::Ld(MemSpace::Global), Ty::F32, Some(Dst::Reg(Reg(0))), vec![]));
+        k.instrs.push(exit());
+        assert_eq!(k.validate(), Err(ValidateError::BadMemRef { pc: 0 }));
+    }
+
+    #[test]
+    fn setp_needs_pred_dst() {
+        let mut k = Kernel::new("k", 0);
+        k.instrs.push(Instr::new(
+            Op::Setp(CmpOp::Lt),
+            Ty::B32,
+            Some(Dst::Reg(Reg(0))),
+            vec![Reg(1).into(), Operand::Imm(3)],
+        ));
+        k.instrs.push(exit());
+        assert_eq!(k.validate(), Err(ValidateError::BadDst { pc: 0 }));
+    }
+
+    #[test]
+    fn reg_counts() {
+        let mut k = Kernel::new("k", 0);
+        k.instrs.push(Instr::new(
+            Op::Setp(CmpOp::Eq),
+            Ty::B32,
+            Some(Dst::Pred(PredReg(2))),
+            vec![Reg(7).into(), Operand::Imm(0)],
+        ));
+        k.instrs.push(
+            Instr::new(Op::St(MemSpace::Global), Ty::B32, None, vec![Reg(3).into()]).with_mem(
+                MemRef { base: Operand::Reg(Reg(9)), offset: MemOffset::Imm(0) },
+            ),
+        );
+        k.instrs.push(exit());
+        assert_eq!(k.num_regs(), 10);
+        assert_eq!(k.num_preds(), 3);
+    }
+
+    #[test]
+    fn display_contains_name_and_pcs() {
+        let mut k = Kernel::new("demo", 2);
+        k.instrs.push(exit());
+        let s = k.to_string();
+        assert!(s.contains(".kernel demo params=2"));
+        assert!(s.contains("/*0000*/ exit;"));
+    }
+}

@@ -1,0 +1,680 @@
+//! Text assembler for the PTX-like kernel format.
+//!
+//! Accepts the format produced by the `Display` impls (numeric branch targets,
+//! `/*pc*/` comments) and the more convenient human-written form with `Label:`
+//! lines and `bra Label;`.
+
+use crate::instr::{
+    AtomOp, CmpOp, Dst, Instr, MemOffset, MemRef, MemSpace, Op, Operand, PredReg, Reg, SfuOp,
+    Special, Ty,
+};
+use crate::kernel::Kernel;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced by [`parse_kernel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, msg: msg.into() })
+}
+
+/// Parse a kernel from its textual form.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line on malformed input,
+/// unknown mnemonics/operands, or unresolved labels.
+///
+/// # Example
+///
+/// ```
+/// let src = r#"
+/// .kernel scale params=2 {
+///   mov.b32 %r0, %tid.x;
+///   ld.param.b64 %r1, [P0];
+///   cvt.b64 %r2, %r0;
+///   shl.b64 %r3, %r2, 2;
+///   add.b64 %r4, %r1, %r3;
+///   ld.global.f32 %r5, [%r4];
+///   mul.f32 %r6, %r5, %r5;
+///   st.global.f32 [%r4], %r6;
+///   exit;
+/// }
+/// "#;
+/// let k = r2d2_isa::parse_kernel(src).unwrap();
+/// assert_eq!(k.name, "scale");
+/// assert!(k.validate().is_ok());
+/// ```
+pub fn parse_kernel(src: &str) -> Result<Kernel, ParseError> {
+    let mut name = String::new();
+    let mut num_params = 0usize;
+    let mut shared_bytes = 0u32;
+    let mut body: Vec<(usize, String)> = Vec::new(); // (line, statement)
+    let mut in_body = false;
+    let mut header_seen = false;
+
+    for (ln, raw) in src.lines().enumerate() {
+        let line = ln + 1;
+        let mut s = raw.to_string();
+        // strip comments
+        if let Some(p) = s.find("//") {
+            s.truncate(p);
+        }
+        while let (Some(a), Some(b)) = (s.find("/*"), s.find("*/")) {
+            if b < a {
+                return err(line, "unmatched block comment");
+            }
+            s.replace_range(a..b + 2, " ");
+        }
+        let t = s.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if t.starts_with(".kernel") {
+            if header_seen {
+                return err(line, "multiple .kernel headers");
+            }
+            header_seen = true;
+            let rest = t.trim_start_matches(".kernel").trim().trim_end_matches('{').trim();
+            for (i, tok) in rest.split_whitespace().enumerate() {
+                if i == 0 {
+                    name = tok.to_string();
+                } else if let Some(v) = tok.strip_prefix("params=") {
+                    num_params =
+                        v.parse().map_err(|_| ParseError { line, msg: "bad params=".into() })?;
+                } else if let Some(v) = tok.strip_prefix("shared=") {
+                    shared_bytes =
+                        v.parse().map_err(|_| ParseError { line, msg: "bad shared=".into() })?;
+                } else {
+                    return err(line, format!("unexpected header token `{tok}`"));
+                }
+            }
+            in_body = true;
+            continue;
+        }
+        if t == "}" {
+            in_body = false;
+            continue;
+        }
+        if !in_body {
+            return err(line, "statement outside .kernel { }");
+        }
+        // Split on ';' — multiple statements per line allowed; labels end with ':'.
+        let mut rest = t;
+        loop {
+            rest = rest.trim();
+            if rest.is_empty() {
+                break;
+            }
+            // A label?
+            if let Some(p) = rest.find(':') {
+                let candidate = &rest[..p];
+                if !candidate.contains(';')
+                    && !candidate.is_empty()
+                    && candidate.chars().all(|c| c.is_alphanumeric() || c == '_')
+                    && !candidate.chars().next().unwrap().is_ascii_digit()
+                {
+                    body.push((line, format!("{candidate}:")));
+                    rest = &rest[p + 1..];
+                    continue;
+                }
+            }
+            match rest.find(';') {
+                Some(p) => {
+                    body.push((line, rest[..p].trim().to_string()));
+                    rest = &rest[p + 1..];
+                }
+                None => {
+                    return err(line, "missing `;`");
+                }
+            }
+        }
+    }
+    if !header_seen {
+        return err(0, "missing .kernel header");
+    }
+
+    // First pass: label positions.
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut pc = 0usize;
+    for (line, stmt) in &body {
+        if let Some(lbl) = stmt.strip_suffix(':') {
+            if labels.insert(lbl.to_string(), pc).is_some() {
+                return err(*line, format!("duplicate label `{lbl}`"));
+            }
+        } else if !stmt.is_empty() {
+            pc += 1;
+        }
+    }
+
+    // Second pass: instructions.
+    let mut instrs = Vec::with_capacity(pc);
+    for (line, stmt) in &body {
+        if stmt.ends_with(':') || stmt.is_empty() {
+            continue;
+        }
+        instrs.push(parse_instr(*line, stmt, &labels)?);
+    }
+
+    Ok(Kernel { name, num_params, instrs, shared_bytes })
+}
+
+fn parse_instr(
+    line: usize,
+    stmt: &str,
+    labels: &HashMap<String, usize>,
+) -> Result<Instr, ParseError> {
+    let mut s = stmt.trim();
+    // guard
+    let mut guard = None;
+    if let Some(rest) = s.strip_prefix('@') {
+        let (sense, rest) = match rest.strip_prefix('!') {
+            Some(r) => (false, r),
+            None => (true, rest),
+        };
+        let end = rest.find(char::is_whitespace).ok_or(ParseError {
+            line,
+            msg: "guard without instruction".into(),
+        })?;
+        let ptok = &rest[..end];
+        let p = parse_pred(line, ptok)?;
+        guard = Some((p, sense));
+        s = rest[end..].trim();
+    }
+    // mnemonic
+    let (mn, ops_str) = match s.find(char::is_whitespace) {
+        Some(p) => (&s[..p], s[p..].trim()),
+        None => (s, ""),
+    };
+    let parts: Vec<&str> = mn.split('.').collect();
+    let ops: Vec<String> = split_operands(ops_str);
+
+    let last_ty = |parts: &[&str]| -> Ty { parse_ty(parts.last().copied().unwrap_or("b32")) };
+
+    let base = parts[0];
+    let mut instr = match base {
+        "bra" => {
+            if ops.len() != 1 {
+                return err(line, "bra takes one target");
+            }
+            let target = if let Ok(n) = ops[0].parse::<u32>() {
+                n
+            } else if let Some(&t) = labels.get(ops[0].as_str()) {
+                t as u32
+            } else {
+                return err(line, format!("unknown label `{}`", ops[0]));
+            };
+            Instr::new(Op::Bra(target), Ty::B32, None, vec![])
+        }
+        "bar" => Instr::new(Op::Bar, Ty::B32, None, vec![]),
+        "exit" => Instr::new(Op::Exit, Ty::B32, None, vec![]),
+        "setp" => {
+            if parts.len() < 3 {
+                return err(line, "setp needs .cmp.ty");
+            }
+            let cmp = parse_cmp(line, parts[1])?;
+            let ty = parse_ty(parts[2]);
+            if ops.len() != 3 {
+                return err(line, "setp takes %p, a, b");
+            }
+            let p = parse_pred(line, &ops[0])?;
+            Instr::new(
+                Op::Setp(cmp),
+                ty,
+                Some(Dst::Pred(p)),
+                vec![parse_operand(line, &ops[1])?, parse_operand(line, &ops[2])?],
+            )
+        }
+        "ld" if parts.get(1) == Some(&"param") => {
+            let ty = last_ty(&parts);
+            if ops.len() != 2 {
+                return err(line, "ld.param takes dst, [Pn]");
+            }
+            let dst = parse_dst(line, &ops[0])?;
+            let inner = ops[1]
+                .strip_prefix("[P")
+                .and_then(|x| x.strip_suffix(']'))
+                .ok_or(ParseError { line, msg: "ld.param needs [Pn]".into() })?;
+            let n: i64 =
+                inner.parse().map_err(|_| ParseError { line, msg: "bad param index".into() })?;
+            Instr::new(Op::LdParam, ty, Some(dst), vec![Operand::Imm(n)])
+        }
+        "ld" | "st" | "atom" => {
+            let space = match (base, parts.get(1)) {
+                ("atom", _) => MemSpace::Global,
+                (_, Some(&"global")) => MemSpace::Global,
+                (_, Some(&"shared")) => MemSpace::Shared,
+                _ => return err(line, "ld/st needs .global or .shared"),
+            };
+            let ty = last_ty(&parts);
+            match base {
+                "ld" => {
+                    if ops.len() != 2 {
+                        return err(line, "ld takes dst, [addr]");
+                    }
+                    let dst = parse_dst(line, &ops[0])?;
+                    let mem = parse_memref(line, &ops[1])?;
+                    Instr::new(Op::Ld(space), ty, Some(dst), vec![]).with_mem(mem)
+                }
+                "st" => {
+                    if ops.len() != 2 {
+                        return err(line, "st takes [addr], src");
+                    }
+                    let mem = parse_memref(line, &ops[0])?;
+                    let v = parse_operand(line, &ops[1])?;
+                    Instr::new(Op::St(space), ty, None, vec![v]).with_mem(mem)
+                }
+                _ => {
+                    let aop = parse_atom(line, parts.get(1).copied().unwrap_or(""))?;
+                    let nsrc = if aop == AtomOp::Cas { 2 } else { 1 };
+                    if ops.len() != 2 + nsrc {
+                        return err(line, "atom takes dst, [addr], src(s)");
+                    }
+                    let dst = parse_dst(line, &ops[0])?;
+                    let mem = parse_memref(line, &ops[1])?;
+                    let mut srcs = Vec::new();
+                    for o in &ops[2..] {
+                        srcs.push(parse_operand(line, o)?);
+                    }
+                    Instr::new(Op::Atom(aop), ty, Some(dst), srcs).with_mem(mem)
+                }
+            }
+        }
+        _ => {
+            // plain ALU / SFU op: mnemonic.ty
+            let ty = last_ty(&parts);
+            let op = match base {
+                "mov" => Op::Mov,
+                "cvt" => Op::Cvt,
+                "add" => Op::Add,
+                "sub" => Op::Sub,
+                "mul" => Op::Mul,
+                "mad" => Op::Mad,
+                "shl" => Op::Shl,
+                "shr" => Op::Shr,
+                "and" => Op::And,
+                "or" => Op::Or,
+                "xor" => Op::Xor,
+                "not" => Op::Not,
+                "min" => Op::Min,
+                "max" => Op::Max,
+                "div" => Op::Div,
+                "rem" => Op::Rem,
+                "abs" => Op::Abs,
+                "neg" => Op::Neg,
+                "selp" => Op::Selp,
+                "rcp" => Op::Sfu(SfuOp::Rcp),
+                "sqrt" => Op::Sfu(SfuOp::Sqrt),
+                "rsqrt" => Op::Sfu(SfuOp::Rsqrt),
+                "ex2" => Op::Sfu(SfuOp::Ex2),
+                "lg2" => Op::Sfu(SfuOp::Lg2),
+                "sin" => Op::Sfu(SfuOp::Sin),
+                "cos" => Op::Sfu(SfuOp::Cos),
+                _ => return err(line, format!("unknown mnemonic `{mn}`")),
+            };
+            if ops.is_empty() {
+                return err(line, "missing destination");
+            }
+            let dst = parse_dst(line, &ops[0])?;
+            let mut srcs = Vec::new();
+            for o in &ops[1..] {
+                srcs.push(parse_operand(line, o)?);
+            }
+            Instr::new(op, ty, Some(dst), srcs)
+        }
+    };
+    instr.guard = guard;
+    Ok(instr)
+}
+
+/// Split operands on commas that are not inside brackets.
+fn split_operands(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                let t = cur.trim().to_string();
+                if !t.is_empty() {
+                    out.push(t);
+                }
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    let t = cur.trim().to_string();
+    if !t.is_empty() {
+        out.push(t);
+    }
+    out
+}
+
+fn parse_ty(s: &str) -> Ty {
+    match s {
+        "b64" | "s64" | "u64" => Ty::B64,
+        "f32" => Ty::F32,
+        "f64" => Ty::F64,
+        "pred" => Ty::Pred,
+        _ => Ty::B32,
+    }
+}
+
+fn parse_cmp(line: usize, s: &str) -> Result<CmpOp, ParseError> {
+    Ok(match s {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        _ => return err(line, format!("unknown comparison `{s}`")),
+    })
+}
+
+fn parse_atom(line: usize, s: &str) -> Result<AtomOp, ParseError> {
+    Ok(match s {
+        "add" => AtomOp::Add,
+        "min" => AtomOp::Min,
+        "max" => AtomOp::Max,
+        "exch" => AtomOp::Exch,
+        "cas" => AtomOp::Cas,
+        _ => return err(line, format!("unknown atomic `{s}`")),
+    })
+}
+
+fn parse_pred(line: usize, s: &str) -> Result<PredReg, ParseError> {
+    s.strip_prefix("%p")
+        .and_then(|x| x.parse().ok())
+        .map(PredReg)
+        .ok_or(ParseError { line, msg: format!("expected predicate register, got `{s}`") })
+}
+
+fn parse_dst(line: usize, s: &str) -> Result<Dst, ParseError> {
+    if let Some(x) = s.strip_prefix("%tr") {
+        if let Ok(n) = x.parse() {
+            return Ok(Dst::Tr(n));
+        }
+    }
+    if let Some(x) = s.strip_prefix("%br") {
+        if let Ok(n) = x.parse() {
+            return Ok(Dst::Br(n));
+        }
+    }
+    if let Some(x) = s.strip_prefix("%cr") {
+        if let Ok(n) = x.parse() {
+            return Ok(Dst::Cr(n));
+        }
+    }
+    if let Some(x) = s.strip_prefix("%p") {
+        if let Ok(n) = x.parse() {
+            return Ok(Dst::Pred(PredReg(n)));
+        }
+    }
+    if let Some(x) = s.strip_prefix("%r") {
+        if let Ok(n) = x.parse() {
+            return Ok(Dst::Reg(Reg(n)));
+        }
+    }
+    err(line, format!("expected destination register, got `{s}`"))
+}
+
+fn parse_special(s: &str) -> Option<Special> {
+    let dim = |d: &str| -> Option<u8> {
+        match d {
+            "x" => Some(0),
+            "y" => Some(1),
+            "z" => Some(2),
+            _ => None,
+        }
+    };
+    if let Some(r) = s.strip_prefix("%tid.") {
+        return dim(r).map(Special::Tid);
+    }
+    if let Some(r) = s.strip_prefix("%ctaid.") {
+        return dim(r).map(Special::Ctaid);
+    }
+    if let Some(r) = s.strip_prefix("%ntid.") {
+        return dim(r).map(Special::Ntid);
+    }
+    if let Some(r) = s.strip_prefix("%nctaid.") {
+        return dim(r).map(Special::Nctaid);
+    }
+    match s {
+        "%laneid" => Some(Special::LaneId),
+        "%smid" => Some(Special::SmId),
+        _ => None,
+    }
+}
+
+fn parse_operand(line: usize, s: &str) -> Result<Operand, ParseError> {
+    if let Some(sp) = parse_special(s) {
+        return Ok(Operand::Special(sp));
+    }
+    if let Some(x) = s.strip_prefix("%tr") {
+        if let Ok(n) = x.parse() {
+            return Ok(Operand::Tr(n));
+        }
+    }
+    if let Some(x) = s.strip_prefix("%br") {
+        if let Ok(n) = x.parse() {
+            return Ok(Operand::Br(n));
+        }
+    }
+    if let Some(x) = s.strip_prefix("%cr") {
+        if let Ok(n) = x.parse() {
+            return Ok(Operand::Cr(n));
+        }
+    }
+    if let Some(x) = s.strip_prefix("%lr") {
+        if let Ok(n) = x.parse() {
+            return Ok(Operand::Lr(n));
+        }
+    }
+    if let Some(x) = s.strip_prefix("%p") {
+        if let Ok(n) = x.parse() {
+            return Ok(Operand::Pred(PredReg(n)));
+        }
+    }
+    if let Some(x) = s.strip_prefix("%r") {
+        if let Ok(n) = x.parse() {
+            return Ok(Operand::Reg(Reg(n)));
+        }
+    }
+    // integer immediate (decimal or 0x hex)
+    let v = if let Some(h) = s.strip_prefix("0x") {
+        i64::from_str_radix(h, 16).ok()
+    } else if let Some(h) = s.strip_prefix("-0x") {
+        i64::from_str_radix(h, 16).ok().map(|v| -v)
+    } else {
+        s.parse::<i64>().ok()
+    };
+    match v {
+        Some(v) => Ok(Operand::Imm(v)),
+        None => err(line, format!("cannot parse operand `{s}`")),
+    }
+}
+
+fn parse_memref(line: usize, s: &str) -> Result<MemRef, ParseError> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|x| x.strip_suffix(']'))
+        .ok_or(ParseError { line, msg: format!("expected [addr], got `{s}`") })?;
+    // forms: base | base+imm | base-imm | base+%crN | base+%crN+imm
+    // Split at the FIRST +/- after the base register (the offset part may
+    // itself contain a '+', e.g. `%lr0+%cr9+768`).
+    let plus = inner.find('+');
+    let minus = inner.find('-');
+    let (base_s, off) = match (plus, minus) {
+        (Some(p), Some(m)) if m < p => (&inner[..m], Some((&inner[m + 1..], -1i64))),
+        (Some(p), _) => (&inner[..p], Some((&inner[p + 1..], 1i64))),
+        (None, Some(m)) => (&inner[..m], Some((&inner[m + 1..], -1i64))),
+        (None, None) => (inner, None),
+    };
+    let base = parse_operand(line, base_s.trim())?;
+    let offset = match off {
+        None => MemOffset::Imm(0),
+        Some((tok, sign)) => {
+            let tok = tok.trim();
+            if let Some(x) = tok.strip_prefix("%cr") {
+                if sign < 0 {
+                    return err(line, "negative %cr offset not supported");
+                }
+                // %crN, %crN+imm or %crN-imm
+                let (crs, rest) = match x.find(['+', '-']) {
+                    Some(p) => (&x[..p], Some(&x[p..])),
+                    None => (x, None),
+                };
+                let cr: u16 =
+                    crs.parse().map_err(|_| ParseError { line, msg: "bad %cr".into() })?;
+                match rest {
+                    None => MemOffset::Cr(cr),
+                    Some(r) => {
+                        let v: i64 = r
+                            .parse()
+                            .map_err(|_| ParseError { line, msg: "bad %cr offset".into() })?;
+                        MemOffset::CrImm(cr, v)
+                    }
+                }
+            } else {
+                let v: i64 =
+                    tok.parse().map_err(|_| ParseError { line, msg: "bad offset".into() })?;
+                MemOffset::Imm(sign * v)
+            }
+        }
+    };
+    Ok(MemRef { base, offset })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+
+    #[test]
+    fn parse_minimal() {
+        let k = parse_kernel(".kernel k params=0 {\n exit;\n}").unwrap();
+        assert_eq!(k.instrs.len(), 1);
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn parse_labels_and_guards() {
+        let src = r#"
+.kernel loop params=1 shared=16 {
+  mov.b32 %r0, 0;
+TOP:
+  add.b32 %r0, %r0, 1;
+  setp.lt.b32 %p0, %r0, 10;
+  @%p0 bra TOP;
+  @!%p0 bra DONE;
+DONE:
+  exit;
+}
+"#;
+        let k = parse_kernel(src).unwrap();
+        assert_eq!(k.name, "loop");
+        assert_eq!(k.shared_bytes, 16);
+        assert!(k.validate().is_ok());
+        if let Op::Bra(t) = k.instrs[3].op {
+            assert_eq!(t, 1);
+        } else {
+            panic!("expected bra");
+        }
+        assert_eq!(k.instrs[3].guard, Some((PredReg(0), true)));
+        assert_eq!(k.instrs[4].guard, Some((PredReg(0), false)));
+    }
+
+    #[test]
+    fn parse_memrefs() {
+        let src = r#"
+.kernel m params=2 {
+  ld.param.b64 %r0, [P1];
+  ld.global.f32 %r1, [%r0+8];
+  ld.global.f32 %r2, [%r0-4];
+  st.shared.b32 [%r0], %r1;
+  atom.add.b32 %r3, [%r0+16], %r1;
+  ld.global.f32 %r4, [%lr1+%cr7];
+  exit;
+}
+"#;
+        let k = parse_kernel(src).unwrap();
+        assert_eq!(
+            k.instrs[1].mem,
+            Some(MemRef { base: Operand::Reg(Reg(0)), offset: MemOffset::Imm(8) })
+        );
+        assert_eq!(
+            k.instrs[2].mem,
+            Some(MemRef { base: Operand::Reg(Reg(0)), offset: MemOffset::Imm(-4) })
+        );
+        assert_eq!(
+            k.instrs[5].mem,
+            Some(MemRef { base: Operand::Lr(1), offset: MemOffset::Cr(7) })
+        );
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let mut b = KernelBuilder::new("rt", 2);
+        let i = b.global_tid_x();
+        let p0 = b.ld_param(0);
+        let off = b.shl_imm_wide(i, 2);
+        let a = b.add_wide(p0, off);
+        let v = b.ld_global(Ty::F32, a, 4);
+        let w = b.mul_ty(Ty::F32, v, v);
+        let p = b.setp(CmpOp::Ge, Ty::F32, w, Operand::fimm32(0.0));
+        b.st_global(Ty::F32, a, 0, w);
+        b.guard_last(p, true);
+        let k = b.build();
+        let text = k.to_string();
+        let k2 = parse_kernel(&text).unwrap();
+        assert_eq!(k, k2, "display->parse must round-trip\n{text}");
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let src = ".kernel k params=0 {\n bogus.b32 %r0, %r1;\n exit;\n}";
+        let e = parse_kernel(src).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("bogus"));
+    }
+
+    #[test]
+    fn unknown_label_is_error() {
+        let src = ".kernel k params=0 {\n bra NOWHERE;\n exit;\n}";
+        assert!(parse_kernel(src).is_err());
+    }
+
+    #[test]
+    fn special_registers_parse() {
+        let src = ".kernel k params=0 {\n mov.b32 %r0, %ctaid.y;\n mov.b32 %r1, %ntid.z;\n mov.b32 %r2, %laneid;\n exit;\n}";
+        let k = parse_kernel(src).unwrap();
+        assert_eq!(k.instrs[0].srcs[0], Operand::Special(Special::Ctaid(1)));
+        assert_eq!(k.instrs[1].srcs[0], Operand::Special(Special::Ntid(2)));
+        assert_eq!(k.instrs[2].srcs[0], Operand::Special(Special::LaneId));
+    }
+}

@@ -1,0 +1,319 @@
+//! Compile-time instruction scheduling (list scheduling per basic block).
+//!
+//! Real GPU compilers hoist independent loads above their uses so the
+//! in-order warp front end can issue them back to back and overlap their
+//! latencies (software pipelining). Kernels written naively with
+//! `load; use; load; use` chains serialize one memory latency per pair.
+//! This pass reorders instructions *within* each basic block, preserving
+//! register and memory dependences, with loads given issue priority.
+//!
+//! The workload zoo applies it to every kernel, mirroring what `nvcc` does
+//! to the benchmarks the paper measures.
+
+use crate::cfg::Cfg;
+use crate::instr::{Dst, Instr, MemOffset, MemSpace, Op, Operand};
+use crate::kernel::Kernel;
+use std::collections::HashMap;
+
+/// Reorder instructions within basic blocks: independent loads float upward,
+/// dependent arithmetic sinks. Control flow, stores, atomics and barriers
+/// keep their relative order. Branch targets are remapped.
+pub fn schedule(kernel: &Kernel) -> Kernel {
+    let cfg = Cfg::build(kernel);
+    let n = kernel.instrs.len();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    for b in &cfg.blocks {
+        schedule_block(kernel, b.start, b.end, &mut order);
+    }
+    debug_assert_eq!(order.len(), n);
+    // old pc -> new pc
+    let mut new_pc = vec![0u32; n];
+    for (new, &old) in order.iter().enumerate() {
+        new_pc[old] = new as u32;
+    }
+    let mut instrs: Vec<Instr> = order.iter().map(|&pc| kernel.instrs[pc].clone()).collect();
+    for i in instrs.iter_mut() {
+        if let Op::Bra(t) = i.op {
+            i.op = Op::Bra(new_pc[t as usize]);
+        }
+    }
+    Kernel {
+        name: kernel.name.clone(),
+        num_params: kernel.num_params,
+        instrs,
+        shared_bytes: kernel.shared_bytes,
+    }
+}
+
+/// Key identifying a written location for dependence tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Loc {
+    Reg(u16),
+    Pred(u16),
+    Tr(u16),
+    Br(u16),
+    Cr(u16),
+}
+
+fn dst_loc(d: &Dst) -> Loc {
+    match d {
+        Dst::Reg(r) => Loc::Reg(r.0),
+        Dst::Pred(p) => Loc::Pred(p.0),
+        Dst::Tr(t) => Loc::Tr(*t),
+        Dst::Br(b) => Loc::Br(*b),
+        Dst::Cr(c) => Loc::Cr(*c),
+    }
+}
+
+fn src_locs(i: &Instr) -> Vec<Loc> {
+    let mut out = Vec::with_capacity(4);
+    let mut push_op = |o: &Operand| match o {
+        Operand::Reg(r) => out.push(Loc::Reg(r.0)),
+        Operand::Pred(p) => out.push(Loc::Pred(p.0)),
+        Operand::Tr(t) => out.push(Loc::Tr(*t)),
+        Operand::Br(b) => out.push(Loc::Br(*b)),
+        Operand::Cr(c) => out.push(Loc::Cr(*c)),
+        // %lr reads decompose into tr+br at execution, but for scheduling it
+        // is enough that nothing in the same block writes those classes in
+        // original kernels; treat as no-reg read.
+        Operand::Lr(_) | Operand::Imm(_) | Operand::Special(_) => {}
+    };
+    for s in &i.srcs {
+        push_op(s);
+    }
+    if let Some(m) = i.mem {
+        push_op(&m.base);
+        if let MemOffset::Cr(c) | MemOffset::CrImm(c, _) = m.offset {
+            out.push(Loc::Cr(c));
+        }
+    }
+    if let Some((p, _)) = i.guard {
+        out.push(Loc::Pred(p.0));
+    }
+    out
+}
+
+fn is_load(i: &Instr) -> bool {
+    matches!(i.op, Op::Ld(_))
+}
+
+/// `true` when the instruction pins program order against other memory ops.
+fn mem_kind(i: &Instr) -> Option<(MemSpace, bool)> {
+    match i.op {
+        Op::Ld(s) => Some((s, false)),
+        Op::St(s) => Some((s, true)),
+        Op::Atom(_) => Some((MemSpace::Global, true)),
+        _ => None,
+    }
+}
+
+fn schedule_block(kernel: &Kernel, start: usize, end: usize, order: &mut Vec<usize>) {
+    let len = end - start;
+    if len <= 2 {
+        order.extend(start..end);
+        return;
+    }
+    // Build dependence edges: preds[i] = number of unscheduled predecessors.
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); len];
+    let mut npreds = vec![0usize; len];
+    let edge = |a: usize, b: usize, succs: &mut Vec<Vec<usize>>, npreds: &mut Vec<usize>| {
+        if !succs[a].contains(&b) {
+            succs[a].push(b);
+            npreds[b] += 1;
+        }
+    };
+    let mut last_write: HashMap<Loc, usize> = HashMap::new();
+    let mut readers: HashMap<Loc, Vec<usize>> = HashMap::new();
+    let mut last_store: HashMap<MemSpace, usize> = HashMap::new();
+    let mut loads_since_store: HashMap<MemSpace, Vec<usize>> = HashMap::new();
+    let mut last_sync: Option<usize> = None;
+
+    for li in 0..len {
+        let i = &kernel.instrs[start + li];
+        // RAW
+        for loc in src_locs(i) {
+            if let Some(&w) = last_write.get(&loc) {
+                edge(w, li, &mut succs, &mut npreds);
+            }
+            readers.entry(loc).or_default().push(li);
+        }
+        if let Some(d) = &i.dst {
+            let loc = dst_loc(d);
+            // WAW
+            if let Some(&w) = last_write.get(&loc) {
+                edge(w, li, &mut succs, &mut npreds);
+            }
+            // WAR
+            if let Some(rs) = readers.get(&loc) {
+                for &r in rs {
+                    if r != li {
+                        edge(r, li, &mut succs, &mut npreds);
+                    }
+                }
+            }
+            last_write.insert(loc, li);
+            readers.insert(loc, vec![]);
+        }
+        // Memory ordering: loads may pass loads; nothing passes a store,
+        // atomic or barrier in the same space.
+        if let Some((space, is_write)) = mem_kind(i) {
+            if let Some(&s) = last_store.get(&space) {
+                edge(s, li, &mut succs, &mut npreds);
+            }
+            if is_write {
+                for &l in loads_since_store.entry(space).or_default().iter() {
+                    edge(l, li, &mut succs, &mut npreds);
+                }
+                loads_since_store.insert(space, vec![]);
+                last_store.insert(space, li);
+            } else {
+                loads_since_store.entry(space).or_default().push(li);
+            }
+        }
+        // Barriers and control flow pin everything before them (and after).
+        let pins = matches!(i.op, Op::Bar | Op::Bra(_) | Op::Exit);
+        if pins {
+            for prev in 0..li {
+                edge(prev, li, &mut succs, &mut npreds);
+            }
+            last_sync = Some(li);
+        } else if let Some(s) = last_sync {
+            edge(s, li, &mut succs, &mut npreds);
+        }
+    }
+
+    // List scheduling: among ready instructions pick loads first, then
+    // original order (stable, so non-load code stays put).
+    let mut ready: Vec<usize> = (0..len).filter(|&i| npreds[i] == 0).collect();
+    let mut scheduled = 0usize;
+    let mut done = vec![false; len];
+    while scheduled < len {
+        // choose
+        let pick_pos = ready
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &i)| {
+                let inst = &kernel.instrs[start + i];
+                let class = if is_load(inst) { 0usize } else { 1 };
+                (class, i)
+            })
+            .map(|(p, _)| p)
+            .expect("cycle in dependence graph");
+        let i = ready.swap_remove(pick_pos);
+        done[i] = true;
+        order.push(start + i);
+        scheduled += 1;
+        for &s in &succs[i] {
+            npreds[s] -= 1;
+            if npreds[s] == 0 && !done[s] {
+                ready.push(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::instr::Ty;
+
+    #[test]
+    fn loads_hoist_above_dependent_arithmetic() {
+        // ld a; add; ld b; add — both loads should come before both adds
+        // (after their shared address setup).
+        let mut b = KernelBuilder::new("k", 1);
+        let p = b.ld_param(0);
+        let v0 = b.ld_global(Ty::F32, p, 0);
+        let s0 = b.add_ty(Ty::F32, v0, v0);
+        let v1 = b.ld_global(Ty::F32, p, 4);
+        let s1 = b.add_ty(Ty::F32, s0, v1);
+        b.st_global(Ty::F32, p, 8, s1);
+        let k = b.build();
+        let s = schedule(&k);
+        assert!(s.validate().is_ok());
+        let pos = |pred: &dyn Fn(&Instr) -> bool| {
+            s.instrs.iter().position(pred).unwrap()
+        };
+        let first_add = pos(&|i: &Instr| i.op == Op::Add && i.ty == Ty::F32);
+        let last_load = s
+            .instrs
+            .iter()
+            .rposition(|i| matches!(i.op, Op::Ld(MemSpace::Global)))
+            .unwrap();
+        assert!(last_load < first_add, "loads must hoist:\n{s}");
+    }
+
+    #[test]
+    fn stores_pin_loads() {
+        // ld x; st x; ld x — the second load must not float above the store.
+        let mut b = KernelBuilder::new("k", 1);
+        let p = b.ld_param(0);
+        let v0 = b.ld_global(Ty::B32, p, 0);
+        b.st_global(Ty::B32, p, 0, v0);
+        let v1 = b.ld_global(Ty::B32, p, 0);
+        b.st_global(Ty::B32, p, 4, v1);
+        let k = b.build();
+        let s = schedule(&k);
+        let st0 = s.instrs.iter().position(|i| matches!(i.op, Op::St(_))).unwrap();
+        let ld_after = s.instrs[st0..].iter().any(|i| matches!(i.op, Op::Ld(MemSpace::Global)));
+        assert!(ld_after, "second load must stay after the first store:\n{s}");
+    }
+
+    #[test]
+    fn scheduling_preserves_semantics() {
+        use crate::parse::parse_kernel;
+        let src = r#"
+.kernel k params=2 {
+  mov.b32 %r0, %tid.x;
+  cvt.b64 %r1, %r0;
+  shl.b64 %r2, %r1, 2;
+  ld.param.b64 %r3, [P0];
+  add.b64 %r4, %r3, %r2;
+  ld.global.b32 %r5, [%r4];
+  add.b32 %r6, %r5, 1;
+  ld.global.b32 %r7, [%r4+128];
+  add.b32 %r8, %r6, %r7;
+  ld.param.b64 %r9, [P1];
+  add.b64 %r10, %r9, %r2;
+  st.global.b32 [%r10], %r8;
+  exit;
+}
+"#;
+        let k = parse_kernel(src).unwrap();
+        let s = schedule(&k);
+        assert!(s.validate().is_ok());
+        assert_eq!(s.instrs.len(), k.instrs.len());
+        // Same multiset of instructions.
+        let mut a: Vec<String> = k.instrs.iter().map(|i| i.to_string()).collect();
+        let mut b: Vec<String> = s.instrs.iter().map(|i| i.to_string()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn branches_stay_at_block_ends() {
+        use crate::instr::CmpOp;
+        let mut b = KernelBuilder::new("loop", 1);
+        let i = b.imm32(0);
+        let top = b.here_label();
+        let p = b.ld_param(0);
+        let v = b.ld_global(Ty::B32, p, 0);
+        let w = b.add(v, i);
+        b.st_global(Ty::B32, p, 0, w);
+        b.assign_add(Ty::B32, i, crate::instr::Operand::Imm(1));
+        let c = b.setp(CmpOp::Lt, Ty::B32, i, crate::instr::Operand::Imm(4));
+        b.bra_if(c, true, top);
+        let k = b.build();
+        let s = schedule(&k);
+        assert!(s.validate().is_ok());
+        // The backward branch still targets the loop head region and the
+        // loop still terminates with the same behavior (functionally checked
+        // in the sim crate's integration tests).
+        let bra = s.instrs.iter().find(|x| matches!(x.op, Op::Bra(_))).unwrap();
+        if let Op::Bra(t) = bra.op {
+            assert!((t as usize) < s.instrs.len());
+        }
+    }
+}

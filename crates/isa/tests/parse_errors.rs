@@ -1,0 +1,85 @@
+//! Parser robustness: every malformed input must fail with a line-accurate
+//! error, never panic.
+
+use r2d2_isa::parse_kernel;
+
+fn fails_at(src: &str, line: usize) {
+    let e = parse_kernel(src).expect_err(&format!("should fail:\n{src}"));
+    assert_eq!(e.line, line, "wrong line for: {e}");
+}
+
+#[test]
+fn missing_header() {
+    let e = parse_kernel("mov.b32 %r0, 1;").unwrap_err();
+    assert!(e.to_string().contains("outside"));
+}
+
+#[test]
+fn header_typos() {
+    assert!(parse_kernel(".kernel k params=x {\n exit;\n}").is_err());
+    assert!(parse_kernel(".kernel k bogus=3 {\n exit;\n}").is_err());
+    assert!(parse_kernel(".kernel k params=1 {\n exit;\n}\n.kernel j params=0 {\n exit;\n}").is_err());
+}
+
+#[test]
+fn bad_mnemonics_and_operands() {
+    fails_at(".kernel k params=0 {\n frobnicate.b32 %r0, %r1;\n exit;\n}", 2);
+    fails_at(".kernel k params=0 {\n add.b32 %r0, %bogus, 1;\n exit;\n}", 2);
+    fails_at(".kernel k params=0 {\n mov.b32 %r0, 12abc;\n exit;\n}", 2);
+}
+
+#[test]
+fn missing_semicolon() {
+    fails_at(".kernel k params=0 {\n mov.b32 %r0, 1\n exit;\n}", 2);
+}
+
+#[test]
+fn bad_memrefs() {
+    fails_at(".kernel k params=1 {\n ld.global.f32 %r0, %r1;\n exit;\n}", 2);
+    fails_at(".kernel k params=1 {\n ld.param.b64 %r0, [Q0];\n exit;\n}", 2);
+    fails_at(".kernel k params=1 {\n ld.global.f32 %r0, [%r1+xyz];\n exit;\n}", 2);
+}
+
+#[test]
+fn duplicate_and_unknown_labels() {
+    fails_at(".kernel k params=0 {\nA:\nA:\n exit;\n}", 3);
+    assert!(parse_kernel(".kernel k params=0 {\n bra NOWHERE;\n exit;\n}").is_err());
+}
+
+#[test]
+fn setp_requires_predicate_destination() {
+    fails_at(".kernel k params=0 {\n setp.lt.b32 %r0, %r1, %r2;\n exit;\n}", 2);
+}
+
+#[test]
+fn wrong_arity_is_rejected_by_validate() {
+    // The parser accepts `add` with one source; validation rejects it.
+    let k = parse_kernel(".kernel k params=0 {\n add.b32 %r0, %r1;\n exit;\n}").unwrap();
+    assert!(k.validate().is_err());
+}
+
+#[test]
+fn comments_and_whitespace_are_tolerated() {
+    let src = r#"
+.kernel k params=1 {
+  // line comment
+  mov.b32 %r0, %tid.x;  /* inline */ add.b32 %r1, %r0, 1;
+  /* spanning
+     nothing */
+  exit;
+}
+"#;
+    // block comments must be single-line in this assembler; the two-line one
+    // above is rejected cleanly rather than panicking.
+    let res = parse_kernel(src);
+    assert!(res.is_err());
+    let src_ok = ".kernel k params=1 {\n mov.b32 %r0, %tid.x; /* c */ add.b32 %r1, %r0, 1;\n exit;\n}";
+    let k = parse_kernel(src_ok).unwrap();
+    assert_eq!(k.instrs.len(), 3);
+}
+
+#[test]
+fn empty_kernel_fails_validation_not_parsing() {
+    let k = parse_kernel(".kernel k params=0 {\n}").unwrap();
+    assert!(k.validate().is_err());
+}

@@ -1,0 +1,185 @@
+//! Property: any kernel built from random (valid) instructions survives a
+//! Display -> parse round trip bit-exactly, and the CFG invariants hold.
+
+use proptest::prelude::*;
+use r2d2_isa::{
+    parse_kernel, Cfg, CmpOp, Dst, Instr, Kernel, MemOffset, MemRef, MemSpace, Op, Operand,
+    PredReg, Reg, SfuOp, Ty,
+};
+
+fn ty_strategy() -> impl Strategy<Value = Ty> {
+    prop_oneof![Just(Ty::B32), Just(Ty::B64), Just(Ty::F32), Just(Ty::F64)]
+}
+
+fn operand_strategy() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (0u16..16).prop_map(|r| Operand::Reg(Reg(r))),
+        (-1000i64..1000).prop_map(Operand::Imm),
+        (0u16..4).prop_map(Operand::Tr),
+        (0u16..4).prop_map(Operand::Cr),
+        (0u16..4).prop_map(Operand::Lr),
+    ]
+}
+
+fn alu_strategy() -> impl Strategy<Value = Instr> {
+    let binop = prop_oneof![
+        Just(Op::Add),
+        Just(Op::Sub),
+        Just(Op::Mul),
+        Just(Op::Shl),
+        Just(Op::Shr),
+        Just(Op::And),
+        Just(Op::Or),
+        Just(Op::Xor),
+        Just(Op::Min),
+        Just(Op::Max),
+        Just(Op::Div),
+        Just(Op::Rem),
+    ];
+    prop_oneof![
+        // binary
+        (binop, ty_strategy(), 0u16..16, operand_strategy(), operand_strategy()).prop_map(
+            |(op, ty, d, a, b)| Instr::new(op, ty, Some(Dst::Reg(Reg(d))), vec![a, b])
+        ),
+        // unary
+        (
+            prop_oneof![Just(Op::Mov), Just(Op::Cvt), Just(Op::Not), Just(Op::Abs), Just(Op::Neg)],
+            ty_strategy(),
+            0u16..16,
+            operand_strategy()
+        )
+            .prop_map(|(op, ty, d, a)| Instr::new(op, ty, Some(Dst::Reg(Reg(d))), vec![a])),
+        // sfu
+        (
+            prop_oneof![
+                Just(SfuOp::Rcp),
+                Just(SfuOp::Sqrt),
+                Just(SfuOp::Rsqrt),
+                Just(SfuOp::Ex2),
+                Just(SfuOp::Lg2),
+                Just(SfuOp::Sin),
+                Just(SfuOp::Cos)
+            ],
+            0u16..16,
+            operand_strategy()
+        )
+            .prop_map(|(s, d, a)| Instr::new(Op::Sfu(s), Ty::F32, Some(Dst::Reg(Reg(d))), vec![a])),
+        // mad / selp
+        (ty_strategy(), 0u16..16, operand_strategy(), operand_strategy(), operand_strategy())
+            .prop_map(|(ty, d, a, b, c)| Instr::new(Op::Mad, ty, Some(Dst::Reg(Reg(d))), vec![a, b, c])),
+        // setp
+        (
+            prop_oneof![
+                Just(CmpOp::Eq),
+                Just(CmpOp::Ne),
+                Just(CmpOp::Lt),
+                Just(CmpOp::Le),
+                Just(CmpOp::Gt),
+                Just(CmpOp::Ge)
+            ],
+            ty_strategy(),
+            0u16..4,
+            operand_strategy(),
+            operand_strategy()
+        )
+            .prop_map(|(c, ty, p, a, b)| Instr::new(
+                Op::Setp(c),
+                ty,
+                Some(Dst::Pred(PredReg(p))),
+                vec![a, b]
+            )),
+        // memory
+        (
+            prop_oneof![Just(MemSpace::Global), Just(MemSpace::Shared)],
+            ty_strategy(),
+            0u16..16,
+            0u16..16,
+            -64i64..64
+        )
+            .prop_map(|(sp, ty, d, base, off)| Instr::new(
+                Op::Ld(sp),
+                ty,
+                Some(Dst::Reg(Reg(d))),
+                vec![]
+            )
+            .with_mem(MemRef { base: Operand::Reg(Reg(base)), offset: MemOffset::Imm(off) })),
+        (
+            prop_oneof![Just(MemSpace::Global), Just(MemSpace::Shared)],
+            ty_strategy(),
+            operand_strategy(),
+            0u16..16,
+            -64i64..64
+        )
+            .prop_map(|(sp, ty, v, base, off)| Instr::new(Op::St(sp), ty, None, vec![v]).with_mem(
+                MemRef { base: Operand::Reg(Reg(base)), offset: MemOffset::Imm(off) }
+            )),
+        // param load
+        (0u16..16, 0i64..4).prop_map(|(d, p)| Instr::new(
+            Op::LdParam,
+            Ty::B64,
+            Some(Dst::Reg(Reg(d))),
+            vec![Operand::Imm(p)]
+        )),
+    ]
+}
+
+fn guarded(i: Instr, g: Option<(u16, bool)>) -> Instr {
+    match g {
+        Some((p, s)) => i.with_guard(PredReg(p), s),
+        None => i,
+    }
+}
+
+fn kernel_strategy() -> impl Strategy<Value = Kernel> {
+    proptest::collection::vec(
+        (alu_strategy(), proptest::option::of((0u16..4, any::<bool>()))),
+        1..24,
+    )
+    .prop_map(|instrs| {
+        let mut k = Kernel::new("prop", 4);
+        for (i, g) in instrs {
+            k.instrs.push(guarded(i, g));
+        }
+        // terminate
+        k.instrs.push(Instr::new(Op::Exit, Ty::B32, None, vec![]));
+        k
+    })
+}
+
+proptest! {
+    #[test]
+    fn display_parse_roundtrip(k in kernel_strategy()) {
+        prop_assert!(k.validate().is_ok(), "{:?}", k.validate());
+        let text = k.to_string();
+        let parsed = parse_kernel(&text).unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        prop_assert_eq!(&k, &parsed, "round-trip mismatch:\n{}", text);
+    }
+
+    #[test]
+    fn cfg_covers_all_instructions(k in kernel_strategy()) {
+        let cfg = Cfg::build(&k);
+        prop_assert_eq!(cfg.block_of.len(), k.instrs.len());
+        for (pc, &b) in cfg.block_of.iter().enumerate() {
+            prop_assert!(cfg.blocks[b].start <= pc && pc < cfg.blocks[b].end);
+        }
+        // Every successor edge has a matching predecessor edge.
+        for (bi, b) in cfg.blocks.iter().enumerate() {
+            for &s in &b.succs {
+                prop_assert!(cfg.blocks[s].preds.contains(&bi));
+            }
+        }
+    }
+
+    #[test]
+    fn num_regs_bounds_every_reference(k in kernel_strategy()) {
+        let n = k.num_regs() as u16;
+        for i in &k.instrs {
+            if let Some(r) = i.dst_reg() {
+                prop_assert!(r.0 < n);
+            }
+            for r in i.src_regs() {
+                prop_assert!(r.0 < n);
+            }
+        }
+    }
+}

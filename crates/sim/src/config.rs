@@ -1,0 +1,177 @@
+//! GPU configuration (paper Table 1) and instruction latencies.
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub bytes: u64,
+    /// Line size in bytes.
+    pub line: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        (self.bytes / self.line / self.ways as u64).max(1)
+    }
+}
+
+/// Instruction and memory latencies in core cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latencies {
+    /// Integer ALU result latency.
+    pub int_alu: u64,
+    /// FP32 result latency.
+    pub fp32: u64,
+    /// FP64 result latency.
+    pub fp64: u64,
+    /// SFU (transcendental) latency.
+    pub sfu: u64,
+    /// Shared-memory access latency.
+    pub shared: u64,
+    /// Global load, L1 hit.
+    pub l1_hit: u64,
+    /// Global load, L2 hit.
+    pub l2_hit: u64,
+    /// Global load served by DRAM.
+    pub dram: u64,
+    /// Atomic operation (processed at the L2).
+    pub atomic: u64,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        Latencies {
+            int_alu: 4,
+            fp32: 4,
+            fp64: 8,
+            sfu: 16,
+            shared: 24,
+            l1_hit: 28,
+            l2_hit: 190,
+            dram: 400,
+            atomic: 210,
+        }
+    }
+}
+
+/// Extra pipeline latencies R2D2 introduces (paper Sec. 5.4): starting-PC
+/// table access in the fetch units, physical-register-ID computation for
+/// linear register reads, and the LSU-side thread-index + block-index add.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct R2d2Latencies {
+    /// Added to the fetch of every *linear* (decoupled-block) instruction.
+    pub fetch_table: u64,
+    /// Added to any instruction reading an `%lr`/`%tr`/`%br` operand.
+    pub regid_calc: u64,
+    /// Added to memory address generation when an `%lr` base is used
+    /// (the tr + br addition; paper assumes 4 cycles like a CUDA-core add).
+    pub lr_add: u64,
+}
+
+impl Default for R2d2Latencies {
+    fn default() -> Self {
+        // The paper's operating point: small latencies fully hidden by TLP.
+        R2d2Latencies { fetch_table: 1, regid_calc: 1, lr_add: 4 }
+    }
+}
+
+/// Full GPU configuration. Defaults model the paper's baseline
+/// (NVIDIA TITAN V, Volta — Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Streaming multiprocessors. Table 1: 80.
+    pub num_sms: u32,
+    /// SIMD width / warp size. Table 1: 32.
+    pub warp_size: u32,
+    /// Warp schedulers per SM. Table 1: 4.
+    pub schedulers_per_sm: u32,
+    /// Shared fetch/decode bandwidth: instructions issued per SM per cycle
+    /// across all schedulers. GPGPU-Sim-class models are frontend-limited
+    /// (achieved baseline IPC/SM of 1-2); 2 reproduces that regime.
+    pub sm_issue_width: u32,
+    /// Max resident warps per SM. Table 1: 64.
+    pub max_warps_per_sm: u32,
+    /// Max resident thread blocks per SM. Table 1: 32.
+    pub max_blocks_per_sm: u32,
+    /// Register file bytes per SM. Table 1: 256 KB.
+    pub regfile_bytes: u64,
+    /// Shared memory bytes per SM.
+    pub shared_bytes_per_sm: u64,
+    /// L1 data cache per SM. Table 1: 96 KB.
+    pub l1: CacheConfig,
+    /// Shared L2. Table 1: 4.5 MB, 24-way.
+    pub l2: CacheConfig,
+    /// Instruction/memory latencies.
+    pub lat: Latencies,
+    /// DRAM service rate: transactions per core cycle (GPU-wide).
+    pub dram_txns_per_cycle: u32,
+    /// R2D2 added latencies (ignored for kernels without linear metadata).
+    pub r2d2: R2d2Latencies,
+    /// Abort a run after this many cycles (guards against deadlock bugs).
+    pub watchdog_cycles: u64,
+    /// Abort functional execution after this many instructions per warp.
+    pub watchdog_warp_instrs: u64,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig {
+            num_sms: 80,
+            warp_size: 32,
+            schedulers_per_sm: 4,
+            sm_issue_width: 2,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            regfile_bytes: 256 * 1024,
+            shared_bytes_per_sm: 96 * 1024,
+            l1: CacheConfig { bytes: 96 * 1024, line: 128, ways: 4 },
+            l2: CacheConfig { bytes: 4608 * 1024, line: 128, ways: 24 },
+            lat: Latencies::default(),
+            dram_txns_per_cycle: 8,
+            r2d2: R2d2Latencies::default(),
+            watchdog_cycles: 200_000_000,
+            watchdog_warp_instrs: 50_000_000,
+        }
+    }
+}
+
+impl GpuConfig {
+    /// Convenience: the Table 1 baseline with a different SM count
+    /// (Sec. 5.8.2 sweeps 80..160 SMs).
+    pub fn with_sms(num_sms: u32) -> Self {
+        GpuConfig { num_sms, ..Default::default() }
+    }
+
+    /// 4-byte registers available per SM.
+    pub fn regs_per_sm(&self) -> u64 {
+        self.regfile_bytes / 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let c = GpuConfig::default();
+        assert_eq!(c.num_sms, 80);
+        assert_eq!(c.warp_size, 32);
+        assert_eq!(c.max_warps_per_sm, 64);
+        assert_eq!(c.max_blocks_per_sm, 32);
+        assert_eq!(c.schedulers_per_sm, 4);
+        assert_eq!(c.regfile_bytes, 256 * 1024);
+        assert_eq!(c.regs_per_sm(), 65536);
+        assert_eq!(c.l1.bytes, 96 * 1024);
+        assert_eq!(c.l2.ways, 24);
+    }
+
+    #[test]
+    fn cache_sets() {
+        let c = CacheConfig { bytes: 96 * 1024, line: 128, ways: 4 };
+        assert_eq!(c.sets(), 192);
+    }
+}

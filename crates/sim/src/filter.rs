@@ -1,0 +1,142 @@
+//! Issue-time machine-model hooks.
+//!
+//! The paper evaluates DAC, DARSIE and DARSIE+Scalar as *optimistic* models
+//! layered on the baseline pipeline ("with no overhead", Sec. 5). We reproduce
+//! that with an [`IssueFilter`]: the timing simulator executes every warp
+//! instruction functionally, then asks the filter how to *charge* it:
+//! execute normally, execute on the scalar pipe, or skip it entirely.
+//! Filters never change values — only cost — which keeps all machine models
+//! bit-identical in results.
+
+use crate::exec::{MemInfo, OperandVals};
+use r2d2_isa::Instr;
+
+/// How an issued warp instruction is charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Normal SIMD execution.
+    Execute,
+    /// Executed once on the scalar pipeline (still occupies an issue slot;
+    /// paper Sec. 2.2: scalar warp instructions "should pass all GPU pipeline
+    /// stages").
+    Scalar,
+    /// Skipped entirely: no issue slot, no latency, no energy (the paper's
+    /// optimistic DAC/DARSIE modeling).
+    Skip,
+}
+
+/// Context handed to [`IssueFilter::classify`].
+#[derive(Debug)]
+pub struct IssueCtx<'a> {
+    /// pc of the instruction.
+    pub pc: usize,
+    /// The instruction.
+    pub instr: &'a Instr,
+    /// Linear block id within the grid.
+    pub block: u64,
+    /// Warp index within the block.
+    pub warp_in_block: u32,
+    /// Lanes that executed.
+    pub exec_mask: u32,
+    /// Captured operand values (present when the filter requested them via
+    /// [`IssueFilter::wants_values`]).
+    pub vals: Option<&'a OperandVals>,
+    /// Memory access description for loads/stores/atomics.
+    pub mem: Option<&'a MemInfo>,
+}
+
+/// A machine model's issue-time policy.
+pub trait IssueFilter {
+    /// `true` if the filter needs per-lane operand values (slower).
+    fn wants_values(&self) -> bool {
+        false
+    }
+
+    /// Called once per launch before simulation starts, with the kernel and
+    /// the block dimensions (for launch-time static analyses like DARSIE's
+    /// dimensionality check).
+    fn on_launch(&mut self, _kernel: &r2d2_isa::Kernel, _block: [u32; 3]) {}
+
+    /// Decide how to charge this warp instruction.
+    fn classify(&mut self, ctx: &IssueCtx<'_>) -> Disposition;
+
+    /// Called when a thread block completes (lets per-block state be freed).
+    fn on_block_done(&mut self, _block: u64) {}
+}
+
+/// The baseline machine: everything executes on the SIMD pipeline, except
+/// immediate/parameter-only operations which use the scalar pipeline that
+/// "existing GPUs" provide (paper Sec. 5: "The baseline GPU includes a scalar
+/// pipeline for the operations with constant variables").
+#[derive(Debug, Default, Clone)]
+pub struct BaselineFilter;
+
+impl IssueFilter for BaselineFilter {
+    fn classify(&mut self, ctx: &IssueCtx<'_>) -> Disposition {
+        use r2d2_isa::{Op, Operand};
+        if ctx.instr.op.is_control() || ctx.instr.op.is_mem() {
+            return Disposition::Execute;
+        }
+        let const_only = ctx
+            .instr
+            .srcs
+            .iter()
+            .all(|s| matches!(s, Operand::Imm(_) | Operand::Special(r2d2_isa::Special::Ntid(_)) | Operand::Special(r2d2_isa::Special::Nctaid(_))));
+        if const_only && !ctx.instr.srcs.is_empty() || ctx.instr.op == Op::LdParam {
+            Disposition::Scalar
+        } else {
+            Disposition::Execute
+        }
+    }
+}
+
+/// A filter that executes everything normally (no scalar pipe at all).
+#[derive(Debug, Default, Clone)]
+pub struct NoFilter;
+
+impl IssueFilter for NoFilter {
+    fn classify(&mut self, _ctx: &IssueCtx<'_>) -> Disposition {
+        Disposition::Execute
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2d2_isa::{Dst, Instr, Op, Operand, Reg, Ty};
+
+    fn ctx<'a>(instr: &'a Instr) -> IssueCtx<'a> {
+        IssueCtx {
+            pc: 0,
+            instr,
+            block: 0,
+            warp_in_block: 0,
+            exec_mask: u32::MAX,
+            vals: None,
+            mem: None,
+        }
+    }
+
+    #[test]
+    fn baseline_scalarizes_immediates() {
+        let mut f = BaselineFilter;
+        let imm = Instr::new(Op::Mov, Ty::B32, Some(Dst::Reg(Reg(0))), vec![Operand::Imm(3)]);
+        assert_eq!(f.classify(&ctx(&imm)), Disposition::Scalar);
+        let ldp = Instr::new(Op::LdParam, Ty::B64, Some(Dst::Reg(Reg(0))), vec![Operand::Imm(0)]);
+        assert_eq!(f.classify(&ctx(&ldp)), Disposition::Scalar);
+        let add = Instr::new(
+            Op::Add,
+            Ty::B32,
+            Some(Dst::Reg(Reg(1))),
+            vec![Operand::Reg(Reg(0)), Operand::Imm(1)],
+        );
+        assert_eq!(f.classify(&ctx(&add)), Disposition::Execute);
+    }
+
+    #[test]
+    fn no_filter_always_executes() {
+        let mut f = NoFilter;
+        let i = Instr::new(Op::Mov, Ty::B32, Some(Dst::Reg(Reg(0))), vec![Operand::Imm(3)]);
+        assert_eq!(f.classify(&ctx(&i)), Disposition::Execute);
+    }
+}

@@ -1,0 +1,138 @@
+//! Kernel launch descriptors.
+
+use crate::linear::LinearMeta;
+use r2d2_isa::Kernel;
+use r2d2_sym::LaunchEnv;
+
+/// Grid/block dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dim3 {
+    /// x extent (fastest varying).
+    pub x: u32,
+    /// y extent.
+    pub y: u32,
+    /// z extent.
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// 1-D dimension.
+    pub fn d1(x: u32) -> Self {
+        Dim3 { x, y: 1, z: 1 }
+    }
+
+    /// 2-D dimension.
+    pub fn d2(x: u32, y: u32) -> Self {
+        Dim3 { x, y, z: 1 }
+    }
+
+    /// 3-D dimension.
+    pub fn d3(x: u32, y: u32, z: u32) -> Self {
+        Dim3 { x, y, z }
+    }
+
+    /// Total element count.
+    pub fn count(&self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+
+    /// The `i`-th element in x-fastest linear order as `[x, y, z]`.
+    pub fn unflatten(&self, i: u64) -> [u32; 3] {
+        let x = (i % self.x as u64) as u32;
+        let y = ((i / self.x as u64) % self.y as u64) as u32;
+        let z = (i / (self.x as u64 * self.y as u64)) as u32;
+        [x, y, z]
+    }
+
+    /// As an `[i64; 3]` (for [`LaunchEnv`]).
+    pub fn as_i64(&self) -> [i64; 3] {
+        [self.x as i64, self.y as i64, self.z as i64]
+    }
+}
+
+/// A kernel launch: code plus configuration.
+///
+/// `meta` is present only for R2D2-transformed kernels and describes the
+/// decoupled linear instruction blocks (paper Sec. 3.2-3.3).
+#[derive(Debug, Clone)]
+pub struct Launch {
+    /// The kernel to run.
+    pub kernel: Kernel,
+    /// Grid dimensions (blocks).
+    pub grid: Dim3,
+    /// Block dimensions (threads).
+    pub block: Dim3,
+    /// Parameter values (`P0`, `P1`, ... as 64-bit words; pointers or scalars).
+    pub params: Vec<u64>,
+    /// R2D2 linear metadata (transformed kernels only).
+    pub meta: Option<LinearMeta>,
+}
+
+impl Launch {
+    /// A plain (non-R2D2) launch.
+    pub fn new(kernel: Kernel, grid: Dim3, block: Dim3, params: Vec<u64>) -> Self {
+        Launch { kernel, grid, block, params, meta: None }
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> u32 {
+        self.block.count() as u32
+    }
+
+    /// Warps per block (warp size 32).
+    pub fn warps_per_block(&self) -> u32 {
+        self.threads_per_block().div_ceil(32)
+    }
+
+    /// Total thread blocks.
+    pub fn num_blocks(&self) -> u64 {
+        self.grid.count()
+    }
+
+    /// The launch-time symbol environment seen by the R2D2 software.
+    pub fn env(&self) -> LaunchEnv {
+        LaunchEnv::new(
+            self.params.iter().map(|&p| p as i64).collect(),
+            self.block.as_i64(),
+            self.grid.as_i64(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2d2_isa::KernelBuilder;
+
+    #[test]
+    fn dim3_unflatten_roundtrip() {
+        let d = Dim3::d3(4, 3, 2);
+        assert_eq!(d.count(), 24);
+        for i in 0..d.count() {
+            let [x, y, z] = d.unflatten(i);
+            assert_eq!(
+                i,
+                x as u64 + (y as u64) * d.x as u64 + (z as u64) * d.x as u64 * d.y as u64
+            );
+        }
+    }
+
+    #[test]
+    fn warps_per_block_rounds_up() {
+        let k = KernelBuilder::new("k", 0).build();
+        let l = Launch::new(k, Dim3::d1(2), Dim3::d1(33), vec![]);
+        assert_eq!(l.warps_per_block(), 2);
+        assert_eq!(l.num_blocks(), 2);
+    }
+
+    #[test]
+    fn env_reflects_launch() {
+        let k = KernelBuilder::new("k", 0).build();
+        let mut l = Launch::new(k, Dim3::d2(8, 2), Dim3::d2(16, 4), vec![7, 9]);
+        l.params = vec![7, 9];
+        let env = l.env();
+        assert_eq!(env.params, vec![7, 9]);
+        assert_eq!(env.ntid, [16, 4, 1]);
+        assert_eq!(env.nctaid, [8, 2, 1]);
+    }
+}

@@ -1,0 +1,208 @@
+//! R2D2 linear-instruction metadata and register storage.
+//!
+//! A transformed kernel's instruction stream is laid out as four consecutive
+//! blocks (paper Fig. 5 / Sec. 3.2):
+//!
+//! ```text
+//! [ coefficients ][ thread-index parts ][ block-index parts ][ non-linear ]
+//!   ^coef_start     ^tidx_start           ^bidx_start          ^main_start
+//! ```
+//!
+//! The starting PCs form the microarchitecture's "Starting PC table"
+//! (Fig. 10). The register table (16 entries, Sec. 3.3) couples each linear
+//! register `%lrK` with a thread-index register id, so an `%lr` read resolves
+//! to `tr[table[K]] + br[K]`.
+
+/// Maximum linear registers (register-table entries, paper Sec. 3.3).
+pub const MAX_LR: usize = 16;
+
+/// Metadata accompanying an R2D2-transformed kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearMeta {
+    /// Start pc of the coefficient block (always 0 in generated kernels).
+    pub coef_start: usize,
+    /// Start pc of the thread-index block.
+    pub tidx_start: usize,
+    /// Start pc of the block-index block.
+    pub bidx_start: usize,
+    /// Start pc of the non-linear (main) stream.
+    pub main_start: usize,
+    /// Number of coefficient registers.
+    pub n_cr: usize,
+    /// Number of thread-index registers.
+    pub n_tr: usize,
+    /// Number of linear registers (= block-index part count), at most [`MAX_LR`].
+    pub n_lr: usize,
+    /// Register table: linear register id -> thread-index register id
+    /// (`None` when the combination has no thread-index part).
+    pub lr_tr: [Option<u16>; MAX_LR],
+}
+
+impl LinearMeta {
+    /// Which linear block a pc falls into.
+    pub fn phase_of(&self, pc: usize) -> Phase {
+        if pc < self.tidx_start {
+            Phase::Coef
+        } else if pc < self.bidx_start {
+            Phase::Tidx
+        } else if pc < self.main_start {
+            Phase::Bidx
+        } else {
+            Phase::Main
+        }
+    }
+
+    /// `true` when the transformed stream actually contains linear
+    /// instructions (the analyzer found something to decouple).
+    pub fn has_linear(&self) -> bool {
+        self.main_start > 0
+    }
+}
+
+/// Which of the four instruction blocks an instruction belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Linear instructions for coefficients (single thread per SM).
+    Coef,
+    /// Linear instructions for thread-index parts (first block per SM).
+    Tidx,
+    /// Linear instructions for block-index parts (first warp per block).
+    Bidx,
+    /// Non-linear instructions (every thread).
+    Main,
+}
+
+impl Phase {
+    /// Phase as an array index (Coef=0 .. Main=3).
+    pub fn idx(self) -> usize {
+        match self {
+            Phase::Coef => 0,
+            Phase::Tidx => 1,
+            Phase::Bidx => 2,
+            Phase::Main => 3,
+        }
+    }
+
+    /// `true` for the three decoupled linear blocks.
+    pub fn is_linear(self) -> bool {
+        self != Phase::Main
+    }
+}
+
+/// Per-SM storage for the R2D2 register classes.
+///
+/// * `cr` — coefficient registers, one scalar slot each (per SM).
+/// * `tr` — thread-index parts: `n_tr × threads_per_block` values, shared by
+///   all thread blocks on the SM (computed once per kernel).
+/// * `br` — block-index parts: `n_lr` values per *block slot* (recomputed for
+///   each newly scheduled block; following blocks reuse the slot's registers,
+///   paper Sec. 4.4).
+#[derive(Debug, Clone, Default)]
+pub struct LinearStore {
+    /// Coefficient registers (scalar, per SM).
+    pub cr: Vec<u64>,
+    /// Thread-index registers: indexed `tr_id * threads_per_block + slot`.
+    pub tr: Vec<u64>,
+    /// Block-index registers per block slot: indexed `[slot][lr_id]`.
+    pub br: Vec<Vec<u64>>,
+    /// Threads per block (row stride of `tr`).
+    pub threads_per_block: usize,
+}
+
+impl LinearStore {
+    /// Allocate storage for a launch.
+    pub fn new(meta: &LinearMeta, threads_per_block: usize, block_slots: usize) -> Self {
+        LinearStore {
+            cr: vec![0; meta.n_cr],
+            tr: vec![0; meta.n_tr * threads_per_block],
+            br: vec![vec![0; meta.n_lr]; block_slots],
+            threads_per_block,
+        }
+    }
+
+    /// Read a thread-index register for a thread slot.
+    pub fn tr_read(&self, tr_id: u16, thread_slot: usize) -> u64 {
+        self.tr[tr_id as usize * self.threads_per_block + thread_slot]
+    }
+
+    /// Write a thread-index register for a thread slot.
+    pub fn tr_write(&mut self, tr_id: u16, thread_slot: usize, v: u64) {
+        self.tr[tr_id as usize * self.threads_per_block + thread_slot] = v;
+    }
+
+    /// The linear register value for a thread: `tr + br` (paper Sec. 4.3).
+    pub fn lr_read(
+        &self,
+        meta: &LinearMeta,
+        lr_id: u16,
+        block_slot: usize,
+        thread_slot: usize,
+    ) -> u64 {
+        let t = match meta.lr_tr[lr_id as usize] {
+            Some(tr_id) => self.tr_read(tr_id, thread_slot),
+            None => 0,
+        };
+        t.wrapping_add(self.br[block_slot][lr_id as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> LinearMeta {
+        LinearMeta {
+            coef_start: 0,
+            tidx_start: 3,
+            bidx_start: 7,
+            main_start: 10,
+            n_cr: 4,
+            n_tr: 2,
+            n_lr: 3,
+            lr_tr: {
+                let mut t = [None; MAX_LR];
+                t[0] = Some(0);
+                t[1] = Some(1);
+                // lr2 has no thread part
+                t
+            },
+        }
+    }
+
+    #[test]
+    fn phase_boundaries() {
+        let m = meta();
+        assert_eq!(m.phase_of(0), Phase::Coef);
+        assert_eq!(m.phase_of(2), Phase::Coef);
+        assert_eq!(m.phase_of(3), Phase::Tidx);
+        assert_eq!(m.phase_of(7), Phase::Bidx);
+        assert_eq!(m.phase_of(10), Phase::Main);
+        assert_eq!(m.phase_of(999), Phase::Main);
+        assert!(m.has_linear());
+        assert!(Phase::Coef.is_linear());
+        assert!(!Phase::Main.is_linear());
+    }
+
+    #[test]
+    fn lr_read_sums_tr_and_br() {
+        let m = meta();
+        let mut s = LinearStore::new(&m, 64, 2);
+        s.tr_write(0, 5, 100);
+        s.br[1][0] = 23;
+        assert_eq!(s.lr_read(&m, 0, 1, 5), 123);
+        // lr2 has no thread part: value is br only.
+        s.br[1][2] = 77;
+        assert_eq!(s.lr_read(&m, 2, 1, 63), 77);
+    }
+
+    #[test]
+    fn tr_rows_are_disjoint() {
+        let m = meta();
+        let mut s = LinearStore::new(&m, 4, 1);
+        s.tr_write(0, 3, 1);
+        s.tr_write(1, 0, 2);
+        assert_eq!(s.tr_read(0, 3), 1);
+        assert_eq!(s.tr_read(1, 0), 2);
+        assert_eq!(s.tr_read(0, 0), 0);
+    }
+}

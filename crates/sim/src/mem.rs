@@ -1,0 +1,205 @@
+//! Global (device) memory with a bump allocator.
+
+use r2d2_isa::Ty;
+
+/// Device memory: a flat byte array with a simple bump allocator, standing in
+/// for the GPU's one-dimensional global address space (paper Sec. 1: "hardware
+/// threads on GPUs access the data in memory whose address space is always
+/// one-dimensional").
+#[derive(Debug, Clone, Default)]
+pub struct GlobalMem {
+    data: Vec<u8>,
+    next: u64,
+}
+
+/// Allocation alignment: one cache line, so buffers never straddle lines
+/// accidentally.
+const ALIGN: u64 = 256;
+
+impl GlobalMem {
+    /// Empty memory. Address 0 is reserved (never allocated) to catch
+    /// null-pointer style bugs.
+    pub fn new() -> Self {
+        GlobalMem { data: Vec::new(), next: ALIGN }
+    }
+
+    /// Allocate `bytes` of zeroed device memory; returns the base address.
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let base = self.next;
+        self.next = (self.next + bytes).div_ceil(ALIGN) * ALIGN;
+        let need = self.next as usize;
+        if self.data.len() < need {
+            self.data.resize(need, 0);
+        }
+        base
+    }
+
+    /// Total bytes currently backed.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[track_caller]
+    fn slice(&self, addr: u64, len: u64) -> &[u8] {
+        let a = addr as usize;
+        let l = len as usize;
+        assert!(
+            addr >= ALIGN && a + l <= self.data.len(),
+            "global memory access out of bounds: addr={addr:#x} len={len}"
+        );
+        &self.data[a..a + l]
+    }
+
+    #[track_caller]
+    fn slice_mut(&mut self, addr: u64, len: u64) -> &mut [u8] {
+        let a = addr as usize;
+        let l = len as usize;
+        assert!(
+            addr >= ALIGN && a + l <= self.data.len(),
+            "global memory access out of bounds: addr={addr:#x} len={len}"
+        );
+        &mut self.data[a..a + l]
+    }
+
+    /// Read a typed value; 32-bit integers are sign-extended into the 64-bit
+    /// register slot (matching the ISA's B32 convention), floats are stored as
+    /// raw bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access (an invariant violation in a workload).
+    #[track_caller]
+    pub fn read(&self, ty: Ty, addr: u64) -> u64 {
+        match ty {
+            Ty::B32 => {
+                let b: [u8; 4] = self.slice(addr, 4).try_into().unwrap();
+                i32::from_le_bytes(b) as i64 as u64
+            }
+            Ty::F32 => {
+                let b: [u8; 4] = self.slice(addr, 4).try_into().unwrap();
+                u32::from_le_bytes(b) as u64
+            }
+            Ty::B64 | Ty::F64 => {
+                let b: [u8; 8] = self.slice(addr, 8).try_into().unwrap();
+                u64::from_le_bytes(b)
+            }
+            Ty::Pred => u64::from(self.slice(addr, 1)[0] != 0),
+        }
+    }
+
+    /// Write a typed value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access.
+    #[track_caller]
+    pub fn write(&mut self, ty: Ty, addr: u64, val: u64) {
+        match ty {
+            Ty::B32 | Ty::F32 => {
+                self.slice_mut(addr, 4).copy_from_slice(&(val as u32).to_le_bytes());
+            }
+            Ty::B64 | Ty::F64 => {
+                self.slice_mut(addr, 8).copy_from_slice(&val.to_le_bytes());
+            }
+            Ty::Pred => self.slice_mut(addr, 1)[0] = (val != 0) as u8,
+        }
+    }
+
+    // ---- typed host-side helpers (for workload setup and result checks) ----
+
+    /// Write an `i32` at `base + 4*i`.
+    pub fn write_i32(&mut self, base: u64, i: u64, v: i32) {
+        self.write(Ty::B32, base + 4 * i, v as u32 as u64);
+    }
+
+    /// Read an `i32` from `base + 4*i`.
+    pub fn read_i32(&self, base: u64, i: u64) -> i32 {
+        self.read(Ty::B32, base + 4 * i) as u32 as i32
+    }
+
+    /// Write an `f32` at `base + 4*i`.
+    pub fn write_f32(&mut self, base: u64, i: u64, v: f32) {
+        self.write(Ty::F32, base + 4 * i, v.to_bits() as u64);
+    }
+
+    /// Read an `f32` from `base + 4*i`.
+    pub fn read_f32(&self, base: u64, i: u64) -> f32 {
+        f32::from_bits(self.read(Ty::F32, base + 4 * i) as u32)
+    }
+
+    /// Write a `u64` at `base + 8*i`.
+    pub fn write_u64(&mut self, base: u64, i: u64, v: u64) {
+        self.write(Ty::B64, base + 8 * i, v);
+    }
+
+    /// Read a `u64` from `base + 8*i`.
+    pub fn read_u64(&self, base: u64, i: u64) -> u64 {
+        self.read(Ty::B64, base + 8 * i)
+    }
+
+    /// Snapshot of the full backing store (for end-to-end equivalence tests).
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc(100);
+        let b = m.alloc(10);
+        assert_eq!(a % ALIGN, 0);
+        assert_eq!(b % ALIGN, 0);
+        assert!(b >= a + 100);
+        assert_ne!(a, 0, "address 0 must stay unmapped");
+    }
+
+    #[test]
+    fn b32_reads_sign_extend() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc(16);
+        m.write_i32(a, 0, -5);
+        assert_eq!(m.read(Ty::B32, a), (-5i64) as u64);
+        assert_eq!(m.read_i32(a, 0), -5);
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc(16);
+        m.write_f32(a, 2, 3.25);
+        assert_eq!(m.read_f32(a, 2), 3.25);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc(64);
+        m.write_u64(a, 3, 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read_u64(a, 3), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_read_panics() {
+        let m = GlobalMem::new();
+        let _ = m.read(Ty::B32, 0x10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn null_write_panics() {
+        let mut m = GlobalMem::new();
+        m.alloc(64);
+        m.write(Ty::B32, 0, 1);
+    }
+}

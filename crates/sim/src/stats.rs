@@ -1,0 +1,130 @@
+//! Execution statistics.
+
+use r2d2_energy::EventCounts;
+
+/// Counters collected by a simulation run.
+///
+/// Phase-indexed arrays use [`crate::linear::Phase::idx`] (Coef=0, Tidx=1,
+/// Bidx=2, Main=3); plain kernels put everything in Main.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Stats {
+    /// End-to-end execution cycles (timing runs only).
+    pub cycles: u64,
+    /// Warp instructions issued (vector + scalar; excludes skipped).
+    pub warp_instrs: u64,
+    /// Thread instructions charged (active lanes for vector issues, 1 for
+    /// scalar issues).
+    pub thread_instrs: u64,
+    /// Warp instructions that went down the scalar pipeline.
+    pub scalar_warp_instrs: u64,
+    /// Warp instructions skipped by an ideal machine model (DAC/DARSIE).
+    pub skipped_warp_instrs: u64,
+    /// Thread instructions those skips would have cost.
+    pub skipped_thread_instrs: u64,
+    /// Warp instructions by R2D2 phase.
+    pub warp_instrs_by_phase: [u64; 4],
+    /// Thread instructions by R2D2 phase.
+    pub thread_instrs_by_phase: [u64; 4],
+    /// Cycle at which the last SM finished its linear prologue (coefficient +
+    /// thread-index + first-wave block-index computations). ~Fig. 15's
+    /// "linear instruction" execution time.
+    pub prologue_cycles: u64,
+    /// L1 data cache hits (128B transactions).
+    pub l1_hits: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// DRAM transactions.
+    pub dram_txns: u64,
+    /// Shared-memory transactions.
+    pub shared_txns: u64,
+    /// Energy-relevant event counts.
+    pub events: EventCounts,
+}
+
+impl Stats {
+    /// Thread instructions including the ones machine models skipped —
+    /// i.e. what the baseline would have executed for the same work.
+    pub fn thread_instrs_with_skipped(&self) -> u64 {
+        self.thread_instrs + self.skipped_thread_instrs
+    }
+
+    /// Warp instructions including skips.
+    pub fn warp_instrs_with_skipped(&self) -> u64 {
+        self.warp_instrs + self.skipped_warp_instrs
+    }
+
+    /// Fraction of issued warp instructions that were linear (R2D2 overhead,
+    /// Fig. 14's "linear" bars).
+    pub fn linear_warp_share(&self) -> f64 {
+        let lin: u64 = self.warp_instrs_by_phase[..3].iter().sum();
+        if self.warp_instrs == 0 {
+            0.0
+        } else {
+            lin as f64 / self.warp_instrs as f64
+        }
+    }
+
+    /// Accumulate another run's counters (cycles take the max — SMs run in
+    /// parallel, but distinct launches add).
+    pub fn merge_sequential(&mut self, o: &Stats) {
+        self.cycles += o.cycles;
+        self.warp_instrs += o.warp_instrs;
+        self.thread_instrs += o.thread_instrs;
+        self.scalar_warp_instrs += o.scalar_warp_instrs;
+        self.skipped_warp_instrs += o.skipped_warp_instrs;
+        self.skipped_thread_instrs += o.skipped_thread_instrs;
+        for i in 0..4 {
+            self.warp_instrs_by_phase[i] += o.warp_instrs_by_phase[i];
+            self.thread_instrs_by_phase[i] += o.thread_instrs_by_phase[i];
+        }
+        self.prologue_cycles += o.prologue_cycles;
+        self.l1_hits += o.l1_hits;
+        self.l1_misses += o.l1_misses;
+        self.l2_hits += o.l2_hits;
+        self.l2_misses += o.l2_misses;
+        self.dram_txns += o.dram_txns;
+        self.shared_txns += o.shared_txns;
+        let cycles = self.events.cycles + o.events.cycles;
+        self.events.add(&o.events);
+        self.events.cycles = cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skipped_accounting() {
+        let s = Stats {
+            warp_instrs: 80,
+            skipped_warp_instrs: 20,
+            thread_instrs: 2560,
+            skipped_thread_instrs: 640,
+            ..Default::default()
+        };
+        assert_eq!(s.warp_instrs_with_skipped(), 100);
+        assert_eq!(s.thread_instrs_with_skipped(), 3200);
+    }
+
+    #[test]
+    fn linear_share() {
+        let mut s = Stats::default();
+        s.warp_instrs = 100;
+        s.warp_instrs_by_phase = [1, 2, 3, 94];
+        assert!((s.linear_warp_share() - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_cycles_sequentially() {
+        let mut a = Stats { cycles: 10, warp_instrs: 5, ..Default::default() };
+        let b = Stats { cycles: 7, warp_instrs: 3, ..Default::default() };
+        a.merge_sequential(&b);
+        assert_eq!(a.cycles, 17);
+        assert_eq!(a.warp_instrs, 8);
+    }
+}

@@ -1,0 +1,1064 @@
+//! Cycle-level timing simulation.
+//!
+//! Models the paper's baseline GPU (Table 1): 80 SMs, 4 GTO warp schedulers
+//! per SM issuing one instruction per cycle each, a per-register scoreboard,
+//! per-SM L1, shared banked L2, and a bandwidth-limited DRAM. R2D2 kernels
+//! additionally get the Sec. 4 microarchitecture: per-warp starting PCs
+//! (the Starting PC table), phase gating flags, round-robin scheduling while
+//! linear instructions are in flight, and the Sec. 5.4 latency adders.
+//!
+//! Execution is *execute-at-issue*: functional effects happen when the
+//! instruction issues, and the scoreboard delays dependents by the modeled
+//! latency. Machine models ([`IssueFilter`]) reclassify instructions at issue
+//! (execute / scalar / skip) without ever changing values.
+
+use crate::cache::Cache;
+use crate::config::GpuConfig;
+use crate::exec::{ExecError, MemInfo, Outcome, WarpExec, WarpState};
+use crate::filter::{Disposition, IssueCtx, IssueFilter};
+use crate::launch::Launch;
+use crate::linear::{LinearMeta, LinearStore, Phase};
+use crate::mem::GlobalMem;
+use crate::stats::Stats;
+use r2d2_isa::{Cfg, Dst, Instr, Kernel, MemOffset, MemSpace, Op, Operand, SfuOp, Ty};
+
+/// Error from a timing simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A warp ran away (functional watchdog).
+    Exec(ExecError),
+    /// No instruction issued for a long time with work remaining.
+    Deadlock {
+        /// Cycle at which the deadlock was declared.
+        cycle: u64,
+    },
+    /// The global cycle watchdog fired.
+    Watchdog {
+        /// The limit that was exceeded.
+        limit: u64,
+    },
+    /// The kernel cannot be resident on an SM (block too large).
+    Unschedulable,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Exec(e) => write!(f, "{e}"),
+            SimError::Deadlock { cycle } => write!(f, "no forward progress at cycle {cycle}"),
+            SimError::Watchdog { limit } => write!(f, "exceeded {limit} cycles"),
+            SimError::Unschedulable => write!(f, "thread block does not fit on an SM"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ExecError> for SimError {
+    fn from(e: ExecError) -> Self {
+        SimError::Exec(e)
+    }
+}
+
+const NO_GATE: usize = usize::MAX;
+/// Cap on zero-cost skips consumed per scheduler slot per cycle.
+const MAX_SKIPS_PER_PICK: usize = 64;
+
+struct TWarp {
+    w: WarpState,
+    reg_ready: Vec<u64>,
+    pred_ready: Vec<u64>,
+    slot: usize,
+    seq: u64,
+    next_gate: usize,
+}
+
+struct Slot {
+    active: bool,
+    first_wave: bool,
+    live: u32,
+    barrier_wait: u32,
+    smem: Vec<u8>,
+    bidx_done: bool,
+}
+
+struct Sm {
+    warps: Vec<Option<TWarp>>,
+    slots: Vec<Slot>,
+    l1: Cache,
+    store: Option<LinearStore>,
+    cr_ready: Vec<u64>,
+    tr_ready: Vec<u64>,
+    br_ready: Vec<u64>,
+    coef_done: bool,
+    tidx_done: bool,
+    tidx_pending: u32,
+    owner_assigned: bool,
+    gto_last: Vec<Option<usize>>,
+    rr_ptr: Vec<usize>,
+    gates_open_cycle: Option<u64>,
+    next_seq: u64,
+}
+
+/// Compute how many blocks of this launch fit on one SM, honoring the Table 1
+/// limits plus the register/shared-memory capacity, and — for R2D2 kernels —
+/// the Sec. 4.4 accounting for thread-index, block-index and coefficient
+/// registers.
+pub fn blocks_per_sm(cfg: &GpuConfig, launch: &Launch, phys_regs: u32) -> u32 {
+    let tpb = launch.threads_per_block() as u64;
+    let wpb = launch.warps_per_block();
+    if wpb == 0 || wpb > cfg.max_warps_per_sm {
+        return 0;
+    }
+    let mut cand = cfg
+        .max_blocks_per_sm
+        .min(cfg.max_warps_per_sm / wpb);
+    if launch.kernel.shared_bytes > 0 {
+        cand = cand.min((cfg.shared_bytes_per_sm / launch.kernel.shared_bytes as u64) as u32);
+    }
+    let regs_avail = cfg.regs_per_sm();
+    while cand > 0 {
+        let gp = phys_regs as u64 * tpb * cand as u64;
+        let linear = match &launch.meta {
+            Some(m) if m.has_linear() => {
+                // Sec. 5.6 accounting: tr are 4-byte per thread slot (shared
+                // across blocks), br take 8 bytes per lr per resident block,
+                // cr are per-SM scalars.
+                m.n_tr as u64 * tpb + 2 * m.n_lr as u64 * cand as u64 + m.n_cr as u64
+            }
+            _ => 0,
+        };
+        if gp + linear <= regs_avail {
+            return cand;
+        }
+        cand -= 1;
+    }
+    0
+}
+
+/// An estimate of physical registers per thread: the maximum number of
+/// simultaneously live virtual registers (what a register allocator needs).
+pub fn phys_regs_estimate(kernel: &Kernel, cfg: &Cfg) -> u32 {
+    max_live_regs(kernel, cfg).max(8) as u32
+}
+
+/// Maximum number of simultaneously-live GP virtual registers, by iterative
+/// backward liveness over the CFG.
+#[allow(clippy::needless_range_loop)]
+fn max_live_regs(kernel: &Kernel, cfg: &Cfg) -> usize {
+    let nregs = kernel.num_regs();
+    if nregs == 0 {
+        return 0;
+    }
+    let words = nregs.div_ceil(64);
+    let nb = cfg.blocks.len();
+    let mut live_out = vec![vec![0u64; words]; nb];
+    let mut live_in = vec![vec![0u64; words]; nb];
+    let set = |v: &mut [u64], r: usize| v[r / 64] |= 1 << (r % 64);
+    let get = |v: &[u64], r: usize| v[r / 64] & (1 << (r % 64)) != 0;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..nb).rev() {
+            let mut out = vec![0u64; words];
+            for &s in &cfg.blocks[b].succs {
+                for (o, i) in out.iter_mut().zip(live_in[s].iter()) {
+                    *o |= *i;
+                }
+            }
+            let mut cur = out.clone();
+            for pc in (cfg.blocks[b].start..cfg.blocks[b].end).rev() {
+                let ins = &kernel.instrs[pc];
+                if let Some(Dst::Reg(r)) = ins.dst {
+                    cur[r.0 as usize / 64] &= !(1 << (r.0 as usize % 64));
+                }
+                for r in ins.src_regs() {
+                    set(&mut cur, r.0 as usize);
+                }
+            }
+            if out != live_out[b] || cur != live_in[b] {
+                live_out[b] = out;
+                live_in[b] = cur;
+                changed = true;
+            }
+        }
+    }
+    // Max live at any point: re-walk each block.
+    let mut best = 0usize;
+    for b in 0..nb {
+        let mut cur = live_out[b].clone();
+        let count = |v: &[u64]| v.iter().map(|w| w.count_ones() as usize).sum::<usize>();
+        best = best.max(count(&cur));
+        for pc in (cfg.blocks[b].start..cfg.blocks[b].end).rev() {
+            let ins = &kernel.instrs[pc];
+            if let Some(Dst::Reg(r)) = ins.dst {
+                cur[r.0 as usize / 64] &= !(1 << (r.0 as usize % 64));
+            }
+            for r in ins.src_regs() {
+                if !get(&cur, r.0 as usize) {
+                    set(&mut cur, r.0 as usize);
+                }
+            }
+            best = best.max(count(&cur));
+        }
+    }
+    best
+}
+
+fn base_latency(cfg: &GpuConfig, instr: &Instr) -> u64 {
+    match instr.op {
+        Op::Sfu(_) => cfg.lat.sfu,
+        Op::Div | Op::Rem if instr.ty.is_int() => cfg.lat.sfu,
+        _ => match instr.ty {
+            Ty::F64 => cfg.lat.fp64,
+            Ty::F32 => cfg.lat.fp32,
+            _ => cfg.lat.int_alu,
+        },
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn mem_latency(
+    cfg: &GpuConfig,
+    mi: &MemInfo,
+    l1: &mut Cache,
+    l2: &mut Cache,
+    dram_busy_u: &mut u64,
+    now: u64,
+    stats: &mut Stats,
+) -> u64 {
+    match mi.space {
+        MemSpace::Shared => {
+            stats.shared_txns += 1;
+            stats.events.shared_accesses += 1;
+            cfg.lat.shared
+        }
+        MemSpace::Global => {
+            let lines = mi.lines(cfg.l1.line);
+            let n = lines.len() as u64;
+            let mut worst = 0u64;
+            for line in lines {
+                let lat = if mi.atomic {
+                    // Atomics are processed at the L2.
+                    stats.events.l2_accesses += 1;
+                    if l2.access(line) {
+                        stats.l2_hits += 1;
+                        cfg.lat.atomic
+                    } else {
+                        stats.l2_misses += 1;
+                        stats.dram_txns += 1;
+                        stats.events.dram_txns += 1;
+                        dram_queue(cfg, dram_busy_u, now) + cfg.lat.atomic
+                    }
+                } else if mi.write {
+                    // Write-through, no-allocate at L1; allocate at L2.
+                    stats.events.l2_accesses += 1;
+                    if l2.access(line) {
+                        stats.l2_hits += 1;
+                    } else {
+                        stats.l2_misses += 1;
+                        stats.dram_txns += 1;
+                        stats.events.dram_txns += 1;
+                        dram_queue(cfg, dram_busy_u, now);
+                    }
+                    0 // stores don't produce a value
+                } else {
+                    stats.events.l1_accesses += 1;
+                    if l1.access(line) {
+                        stats.l1_hits += 1;
+                        cfg.lat.l1_hit
+                    } else {
+                        stats.l1_misses += 1;
+                        stats.events.l2_accesses += 1;
+                        if l2.access(line) {
+                            stats.l2_hits += 1;
+                            cfg.lat.l2_hit
+                        } else {
+                            stats.l2_misses += 1;
+                            stats.dram_txns += 1;
+                            stats.events.dram_txns += 1;
+                            dram_queue(cfg, dram_busy_u, now) + cfg.lat.dram
+                        }
+                    }
+                };
+                worst = worst.max(lat);
+            }
+            // The LSU serializes transactions of one warp access.
+            worst + n.saturating_sub(1)
+        }
+    }
+}
+
+/// Bandwidth-limited DRAM: `dram_txns_per_cycle` service slots per cycle,
+/// tracked in sub-cycle units. Returns queueing delay in cycles.
+fn dram_queue(cfg: &GpuConfig, busy_u: &mut u64, now: u64) -> u64 {
+    let rate = cfg.dram_txns_per_cycle as u64;
+    let now_u = now * rate;
+    let slot = (*busy_u).max(now_u);
+    *busy_u = slot + 1;
+    (slot - now_u) / rate
+}
+
+enum Gate {
+    Ready(usize),
+    Blocked,
+    Done,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gate_and_pc(
+    tw: &mut TWarp,
+    meta: Option<&LinearMeta>,
+    coef_done: &mut bool,
+    tidx_done: &mut bool,
+    tidx_pending: &mut u32,
+    slot_bidx_done: &mut bool,
+) -> Gate {
+    loop {
+        let Some((pc, _)) = tw.w.sync_top() else {
+            return Gate::Done;
+        };
+        let Some(m) = meta else {
+            return Gate::Ready(pc);
+        };
+        if tw.next_gate != NO_GATE && pc >= tw.next_gate {
+            let boundary = tw.next_gate;
+            if boundary == m.tidx_start {
+                *coef_done = true;
+                tw.next_gate = m.bidx_start;
+            } else if boundary == m.bidx_start {
+                *tidx_pending = tidx_pending.saturating_sub(1);
+                if *tidx_pending == 0 {
+                    *tidx_done = true;
+                }
+                if tw.w.warp_in_block == 0 {
+                    tw.next_gate = m.main_start;
+                } else {
+                    // Non-first warps skip the block-index block.
+                    if let Some(top) = tw.w.stack.last_mut() {
+                        top.pc = m.main_start;
+                    }
+                    tw.next_gate = NO_GATE;
+                }
+            } else if boundary == m.main_start {
+                *slot_bidx_done = true;
+                tw.next_gate = NO_GATE;
+            } else {
+                tw.next_gate = NO_GATE;
+            }
+            continue;
+        }
+        // Entry gating at region starts.
+        if pc == m.tidx_start && m.tidx_start != m.bidx_start && !*coef_done {
+            return Gate::Blocked;
+        }
+        if pc == m.bidx_start && m.bidx_start != m.main_start && !*coef_done {
+            return Gate::Blocked;
+        }
+        if pc == m.main_start && !(*tidx_done && *slot_bidx_done) {
+            return Gate::Blocked;
+        }
+        return Gate::Ready(pc);
+    }
+}
+
+/// Per-SM readiness of the R2D2 register classes (a scoreboard over `%cr`,
+/// `%tr` and `%br`, shared across the SM's warps like the registers
+/// themselves).
+struct LinearReadiness<'a> {
+    cr: &'a [u64],
+    tr: &'a [u64],
+    br_slot: u64,
+    lr_tr: &'a [Option<u16>; crate::linear::MAX_LR],
+}
+
+impl LinearReadiness<'_> {
+    fn operand_ready(&self, o: &Operand, now: u64) -> bool {
+        match o {
+            Operand::Cr(k) => self.cr.get(*k as usize).copied().unwrap_or(0) <= now,
+            Operand::Tr(k) => self.tr.get(*k as usize).copied().unwrap_or(0) <= now,
+            Operand::Br(_) => self.br_slot <= now,
+            Operand::Lr(k) => {
+                let t = match self.lr_tr[*k as usize] {
+                    Some(t) => self.tr.get(t as usize).copied().unwrap_or(0),
+                    None => 0,
+                };
+                t <= now && self.br_slot <= now
+            }
+            _ => true,
+        }
+    }
+}
+
+fn deps_ready(tw: &TWarp, instr: &Instr, now: u64, lin: Option<&LinearReadiness<'_>>) -> bool {
+    if let Some((p, _)) = instr.guard {
+        if tw.pred_ready[p.0 as usize] > now {
+            return false;
+        }
+    }
+    for s in &instr.srcs {
+        match s {
+            Operand::Reg(r)
+                if tw.reg_ready[r.0 as usize] > now => {
+                    return false;
+                }
+            Operand::Pred(p)
+                if tw.pred_ready[p.0 as usize] > now => {
+                    return false;
+                }
+            o if o.is_r2d2_class() => {
+                if let Some(l) = lin {
+                    if !l.operand_ready(o, now) {
+                        return false;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(m) = instr.mem {
+        match m.base {
+            Operand::Reg(r)
+                if tw.reg_ready[r.0 as usize] > now => {
+                    return false;
+                }
+            o if o.is_r2d2_class() => {
+                if let Some(l) = lin {
+                    if !l.operand_ready(&o, now) {
+                        return false;
+                    }
+                }
+            }
+            _ => {}
+        }
+        if let MemOffset::Cr(k) | MemOffset::CrImm(k, _) = m.offset {
+            if let Some(l) = lin {
+                if !l.operand_ready(&Operand::Cr(k), now) {
+                    return false;
+                }
+            }
+        }
+    }
+    match instr.dst {
+        Some(Dst::Reg(r)) => tw.reg_ready[r.0 as usize] <= now,
+        Some(Dst::Pred(p)) => tw.pred_ready[p.0 as usize] <= now,
+        Some(Dst::Cr(k)) => lin.is_none_or(|l| l.cr.get(k as usize).copied().unwrap_or(0) <= now),
+        Some(Dst::Tr(k)) => lin.is_none_or(|l| l.tr.get(k as usize).copied().unwrap_or(0) <= now),
+        Some(Dst::Br(_)) => lin.is_none_or(|l| l.br_slot <= now),
+        None => true,
+    }
+}
+
+/// `true` when the instruction reads any R2D2 register class (costs the
+/// physical-register-ID computation of Sec. 4.2).
+fn reads_r2d2_class(instr: &Instr) -> bool {
+    instr.srcs.iter().any(|s| s.is_r2d2_class())
+        || matches!(
+            instr.mem,
+            Some(m) if m.base.is_r2d2_class()
+                || matches!(m.offset, MemOffset::Cr(_) | MemOffset::CrImm(..))
+        )
+}
+
+/// Count register-file source reads for energy: each GP/Tr/Br/Cr/Lr source is
+/// one access; an `%lr` costs an extra (scalar) access because it reads both
+/// the tr and br halves (Sec. 4.3).
+fn rf_reads_of(instr: &Instr) -> (u64, u64) {
+    let mut vec_reads = 0u64;
+    let mut scalar_reads = 0u64;
+    let mut count = |o: &Operand| match o {
+        Operand::Reg(_) | Operand::Tr(_) => vec_reads += 1,
+        Operand::Lr(_) => {
+            vec_reads += 1;
+            scalar_reads += 1;
+        }
+        Operand::Br(_) | Operand::Cr(_) => scalar_reads += 1,
+        _ => {}
+    };
+    for s in &instr.srcs {
+        count(s);
+    }
+    if let Some(m) = instr.mem {
+        count(&m.base);
+        if let MemOffset::Cr(_) | MemOffset::CrImm(..) = m.offset {
+            scalar_reads += 1;
+        }
+    }
+    (vec_reads, scalar_reads)
+}
+
+/// Run a launch on the timing model. Functional results land in `gmem`
+/// exactly as in the functional runner; `filter` decides per-instruction
+/// charging (pass [`crate::filter::BaselineFilter`] for the baseline GPU).
+///
+/// # Errors
+///
+/// [`SimError`] on deadlock, watchdog, runaway warps, or a block that cannot
+/// fit on an SM.
+#[allow(clippy::needless_range_loop)] // SM/scheduler loops use split borrows
+pub fn simulate(
+    cfg: &GpuConfig,
+    launch: &Launch,
+    gmem: &mut GlobalMem,
+    filter: &mut dyn IssueFilter,
+) -> Result<Stats, SimError> {
+    let kernel = &launch.kernel;
+    let cfgr = Cfg::build(kernel);
+    let meta = launch.meta.as_ref().filter(|m| m.has_linear());
+    let phys = phys_regs_estimate(kernel, &cfgr);
+    let resident = blocks_per_sm(cfg, launch, phys);
+    if resident == 0 {
+        return Err(SimError::Unschedulable);
+    }
+    let tpb = launch.threads_per_block();
+    let wpb = launch.warps_per_block() as usize;
+    let nregs = kernel.num_regs();
+    let npreds = kernel.num_preds().max(1);
+    let total_blocks = launch.num_blocks();
+    let nsched = cfg.schedulers_per_sm as usize;
+    filter.on_launch(kernel, [launch.block.x, launch.block.y, launch.block.z]);
+    let wants_vals = filter.wants_values();
+    let mut scratch = crate::exec::OperandVals::default();
+
+    let mut stats = Stats::default();
+    let mut l2 = Cache::new(cfg.l2);
+    let mut dram_busy_u = 0u64;
+
+    let mut sms: Vec<Sm> = (0..cfg.num_sms)
+        .map(|_| Sm {
+            warps: (0..resident as usize * wpb).map(|_| None).collect(),
+            slots: (0..resident as usize)
+                .map(|_| Slot {
+                    active: false,
+                    first_wave: true,
+                    live: 0,
+                    barrier_wait: 0,
+                    smem: Vec::new(),
+                    bidx_done: true,
+                })
+                .collect(),
+            l1: Cache::new(cfg.l1),
+            store: meta.map(|m| LinearStore::new(m, tpb as usize, resident as usize)),
+            cr_ready: vec![0; meta.map_or(0, |m| m.n_cr)],
+            tr_ready: vec![0; meta.map_or(0, |m| m.n_tr)],
+            br_ready: vec![0; resident as usize],
+            coef_done: meta.is_none(),
+            tidx_done: meta.is_none(),
+            tidx_pending: 0,
+            owner_assigned: false,
+            gto_last: vec![None; nsched],
+            rr_ptr: vec![0; nsched],
+            gates_open_cycle: if meta.is_none() { Some(0) } else { None },
+            next_seq: 0,
+        })
+        .collect();
+
+    // Dispatch a block into (sm, slot).
+    let dispatch = |sm: &mut Sm, slot_i: usize, blk: u64, launch: &Launch| {
+        let ctaid = launch.grid.unflatten(blk);
+        let slot = &mut sm.slots[slot_i];
+        slot.active = true;
+        slot.live = wpb as u32;
+        slot.barrier_wait = 0;
+        slot.smem = vec![0u8; launch.kernel.shared_bytes as usize];
+        slot.bidx_done = meta.is_none();
+        let owner = meta.is_some() && !sm.owner_assigned;
+        if owner {
+            sm.owner_assigned = true;
+            sm.tidx_pending = wpb as u32;
+        }
+        for wib in 0..wpb {
+            let (start, gate) = match meta {
+                None => (0, NO_GATE),
+                Some(m) => {
+                    if owner {
+                        if wib == 0 {
+                            (m.coef_start, m.tidx_start)
+                        } else {
+                            (m.tidx_start, m.bidx_start)
+                        }
+                    } else if wib == 0 {
+                        (m.bidx_start, m.main_start)
+                    } else {
+                        (m.main_start, NO_GATE)
+                    }
+                }
+            };
+            let w = WarpState::new(nregs, npreds, blk, ctaid, wib as u32, tpb, start);
+            sm.warps[slot_i * wpb + wib] = Some(TWarp {
+                w,
+                reg_ready: vec![0; nregs],
+                pred_ready: vec![0; npreds],
+                slot: slot_i,
+                seq: sm.next_seq,
+                next_gate: gate,
+            });
+            sm.next_seq += 1;
+        }
+    };
+
+    // Initial breadth-first fill.
+    let mut next_block = 0u64;
+    'fill: for slot_i in 0..resident as usize {
+        for sm in sms.iter_mut() {
+            if next_block >= total_blocks {
+                break 'fill;
+            }
+            dispatch(sm, slot_i, next_block, launch);
+            next_block += 1;
+        }
+    }
+
+    let mut remaining = total_blocks;
+    let mut now = 0u64;
+    let mut last_issue = 0u64;
+
+    while remaining > 0 {
+        now += 1;
+        if now > cfg.watchdog_cycles {
+            return Err(SimError::Watchdog { limit: cfg.watchdog_cycles });
+        }
+        if now - last_issue > 1_000_000 {
+            return Err(SimError::Deadlock { cycle: now });
+        }
+        for sm_i in 0..sms.len() {
+            // Split-borrow the shared structures.
+            let sm = &mut sms[sm_i];
+            // Round-robin only while the SM-wide linear prologue (coefficients
+            // + thread-index parts) is in flight (Sec. 4.1); per-block
+            // block-index recomputation rides on normal GTO scheduling.
+            let linear_mode = meta.is_some() && (!sm.coef_done || !sm.tidx_done);
+            let mut issued_this_cycle = 0u32;
+            for sched in 0..nsched {
+                if issued_this_cycle >= cfg.sm_issue_width {
+                    break;
+                }
+                // Build candidate order.
+                let mut order: Vec<usize> = (sched..sm.warps.len())
+                    .step_by(nsched)
+                    .filter(|&i| {
+                        sm.warps[i]
+                            .as_ref()
+                            .is_some_and(|t| !t.w.done && !t.w.at_barrier)
+                    })
+                    .collect();
+                if order.is_empty() {
+                    continue;
+                }
+                if linear_mode {
+                    // Round-robin while linear instructions are pending (Sec. 4.1).
+                    let ptr = sm.rr_ptr[sched];
+                    order.sort_by_key(|&i| {
+                        let pos = i / nsched;
+                        (pos + sm.warps.len() - ptr) % sm.warps.len()
+                    });
+                } else {
+                    order.sort_by_key(|&i| sm.warps[i].as_ref().map_or(u64::MAX, |t| t.seq));
+                    if let Some(last) = sm.gto_last[sched] {
+                        if let Some(p) = order.iter().position(|&i| i == last) {
+                            let l = order.remove(p);
+                            order.insert(0, l);
+                        }
+                    }
+                }
+
+                'cand: for &wi in &order {
+                    let mut skips = 0usize;
+                    loop {
+                        // --- gate / pc ---
+                        let (pc, linear_phase, phase) = {
+                            let (warps, slots) = (&mut sm.warps, &mut sm.slots);
+                            let tw = warps[wi].as_mut().unwrap();
+                            let mut slot_bidx = slots[tw.slot].bidx_done;
+                            let g = gate_and_pc(
+                                tw,
+                                meta,
+                                &mut sm.coef_done,
+                                &mut sm.tidx_done,
+                                &mut sm.tidx_pending,
+                                &mut slot_bidx,
+                            );
+                            slots[tw.slot].bidx_done = slot_bidx;
+                            match g {
+                                Gate::Blocked => continue 'cand,
+                                Gate::Done => {
+                                    // Warp finished via earlier skip chain.
+                                    break;
+                                }
+                                Gate::Ready(pc) => {
+                                    let ph = meta.map_or(Phase::Main, |m| m.phase_of(pc));
+                                    (pc, ph.is_linear(), ph)
+                                }
+                            }
+                        };
+                        let instr = &kernel.instrs[pc];
+                        {
+                            let tw = sm.warps[wi].as_ref().unwrap();
+                            let lr = meta.map(|m| LinearReadiness {
+                                cr: &sm.cr_ready,
+                                tr: &sm.tr_ready,
+                                br_slot: sm.br_ready[tw.slot],
+                                lr_tr: &m.lr_tr,
+                            });
+                            if !deps_ready(tw, instr, now, lr.as_ref()) {
+                                continue 'cand;
+                            }
+                        }
+                        // --- execute functionally ---
+                        let tw = sm.warps[wi].as_mut().unwrap();
+                        let tslot = tw.slot;
+                        let info = {
+                            let lin = sm
+                                .store
+                                .as_mut()
+                                .map(|s| (*meta.as_ref().unwrap(), s, tslot));
+                            let mut ex = WarpExec {
+                                kernel,
+                                cfg: &cfgr,
+                                params: &launch.params,
+                                ntid: [launch.block.x, launch.block.y, launch.block.z],
+                                nctaid: [launch.grid.x, launch.grid.y, launch.grid.z],
+                                smid: sm_i as u32,
+                                gmem,
+                                smem: &mut sm.slots[tslot].smem,
+                                linear: lin,
+                                scratch: if wants_vals && phase == Phase::Main {
+                                    Some(&mut scratch)
+                                } else {
+                                    None
+                                },
+                                watchdog: cfg.watchdog_warp_instrs,
+                            };
+                            ex.step(&mut tw.w)?
+                        };
+                        last_issue = now;
+                        let charged = if phase.is_linear() || matches!(instr.op, Op::Exit) {
+                            info.exec_mask.count_ones()
+                        } else {
+                            info.active.count_ones()
+                        } as u64;
+
+                        // --- classify ---
+                        let disposition = if phase != Phase::Main || instr.op.is_control() {
+                            if phase == Phase::Coef {
+                                Disposition::Scalar
+                            } else {
+                                Disposition::Execute
+                            }
+                        } else {
+                            filter.classify(&IssueCtx {
+                                pc,
+                                instr,
+                                block: tw.w.block_lin,
+                                warp_in_block: tw.w.warp_in_block,
+                                exec_mask: info.exec_mask,
+                                vals: if wants_vals { Some(&scratch) } else { None },
+                                mem: info.mem.as_ref(),
+                            })
+                        };
+
+                        if disposition == Disposition::Skip {
+                            stats.skipped_warp_instrs += 1;
+                            stats.skipped_thread_instrs += charged;
+                            // Results are available immediately; no charges.
+                            skips += 1;
+                            if tw.w.done || info.outcome != Outcome::Normal {
+                                // fall through to completion handling below
+                            } else if skips < MAX_SKIPS_PER_PICK {
+                                continue;
+                            }
+                        }
+
+                        // --- charge (Execute / Scalar / post-skip bookkeeping) ---
+                        if disposition != Disposition::Skip {
+                            issued_this_cycle += 1;
+                            let scalar = disposition == Disposition::Scalar;
+                            stats.warp_instrs += 1;
+                            stats.thread_instrs += if scalar { 1 } else { charged };
+                            stats.warp_instrs_by_phase[phase.idx()] += 1;
+                            stats.thread_instrs_by_phase[phase.idx()] +=
+                                if scalar { 1 } else { charged };
+                            if scalar {
+                                stats.scalar_warp_instrs += 1;
+                            }
+                            stats.events.fetch_decode += 1;
+                            let (vr, sr) = rf_reads_of(instr);
+                            if scalar {
+                                stats.events.rf_scalar_reads += vr + sr;
+                                if instr.dst.is_some() {
+                                    stats.events.rf_scalar_writes += 1;
+                                }
+                            } else {
+                                stats.events.rf_reads += vr;
+                                stats.events.rf_scalar_reads += sr;
+                                if instr.dst.is_some() {
+                                    match instr.dst {
+                                        Some(Dst::Cr(_)) | Some(Dst::Br(_)) => {
+                                            stats.events.rf_scalar_writes += 1;
+                                        }
+                                        _ => stats.events.rf_writes += 1,
+                                    }
+                                }
+                            }
+                            let lanes = if scalar { 1 } else { charged };
+                            if !instr.op.is_mem() && !instr.op.is_control() {
+                                match (instr.op, instr.ty) {
+                                    (Op::Sfu(_), _) => stats.events.sfu_lane_ops += lanes,
+                                    (_, Ty::F32) => stats.events.fp_lane_ops += lanes,
+                                    (_, Ty::F64) => stats.events.fp64_lane_ops += lanes,
+                                    _ => stats.events.int_lane_ops += lanes,
+                                }
+                            }
+
+                            // Latency & scoreboard.
+                            let mut lat = match &info.mem {
+                                Some(mi) => mem_latency(
+                                    cfg,
+                                    mi,
+                                    &mut sm.l1,
+                                    &mut l2,
+                                    &mut dram_busy_u,
+                                    now,
+                                    &mut stats,
+                                ),
+                                None => base_latency(cfg, instr),
+                            };
+                            if linear_phase {
+                                lat += cfg.r2d2.fetch_table;
+                            }
+                            if reads_r2d2_class(instr) {
+                                lat += cfg.r2d2.regid_calc;
+                                if matches!(info.mem, Some(ref m) if matches!(m.space, MemSpace::Global))
+                                    && matches!(instr.mem, Some(mm) if matches!(mm.base, Operand::Lr(_)))
+                                {
+                                    lat += cfg.r2d2.lr_add;
+                                }
+                            }
+                            let tw = sm.warps[wi].as_mut().unwrap();
+                            let tw_slot = tw.slot;
+                            match instr.dst {
+                                Some(Dst::Reg(r)) => tw.reg_ready[r.0 as usize] = now + lat,
+                                Some(Dst::Pred(p)) => tw.pred_ready[p.0 as usize] = now + lat,
+                                Some(Dst::Cr(k)) => sm.cr_ready[k as usize] = now + lat,
+                                Some(Dst::Tr(k)) => {
+                                    let e = &mut sm.tr_ready[k as usize];
+                                    *e = (*e).max(now + lat);
+                                }
+                                Some(Dst::Br(_)) => sm.br_ready[tw_slot] = now + lat,
+                                None => {}
+                            }
+                        }
+
+                        // --- outcome handling ---
+                        let tw = sm.warps[wi].as_mut().unwrap();
+                        let warp_done = tw.w.done;
+                        let at_barrier = info.outcome == Outcome::Barrier;
+                        if at_barrier {
+                            sm.slots[tslot].barrier_wait += 1;
+                        }
+                        if warp_done {
+                            sm.slots[tslot].live -= 1;
+                        }
+                        // Barrier release: all live warps arrived.
+                        let slot = &mut sm.slots[tslot];
+                        if slot.barrier_wait > 0 && slot.barrier_wait == slot.live {
+                            slot.barrier_wait = 0;
+                            for wj in (0..wpb).map(|k| tslot * wpb + k) {
+                                if let Some(t) = sm.warps[wj].as_mut() {
+                                    t.w.at_barrier = false;
+                                }
+                            }
+                        }
+                        if warp_done && slot.live == 0 {
+                            slot.active = false;
+                            remaining -= 1;
+                            let blk = sm.warps[wi].as_ref().unwrap().w.block_lin;
+                            filter.on_block_done(blk);
+                            for wj in (0..wpb).map(|k| tslot * wpb + k) {
+                                sm.warps[wj] = None;
+                            }
+                            if next_block < total_blocks {
+                                sm.slots[tslot].first_wave = false;
+                                dispatch(sm, tslot, next_block, launch);
+                                next_block += 1;
+                            }
+                        }
+                        if disposition != Disposition::Skip || warp_done || at_barrier {
+                            if !linear_mode {
+                                sm.gto_last[sched] = Some(wi);
+                            } else {
+                                sm.rr_ptr[sched] = (wi / nsched + 1) % (sm.warps.len() / nsched).max(1);
+                            }
+                            break 'cand;
+                        }
+                        // Skip chain exhausted its budget: issue slot spent.
+                        break 'cand;
+                    }
+                }
+            }
+            if sm.gates_open_cycle.is_none()
+                && sm.coef_done
+                && sm.tidx_done
+                && sm
+                    .slots
+                    .iter()
+                    .all(|s| !s.active || !s.first_wave || s.bidx_done)
+            {
+                sm.gates_open_cycle = Some(now);
+            }
+        }
+    }
+
+    stats.cycles = now;
+    stats.events.cycles = now;
+    stats.prologue_cycles = sms
+        .iter()
+        .map(|s| s.gates_open_cycle.unwrap_or(0))
+        .max()
+        .unwrap_or(0);
+    for sm in &sms {
+        let _ = &sm.l1; // hits/misses already folded into stats during accesses
+    }
+    // SFU note: Div/Rem routed through sfu latency; nothing else to fold.
+    let _ = SfuOp::Rcp;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::BaselineFilter;
+    use crate::launch::Dim3;
+    use r2d2_isa::KernelBuilder;
+
+    fn iota_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("iota", 1);
+        let i = b.global_tid_x();
+        let off = b.shl_imm_wide(i, 2);
+        let p = b.ld_param(0);
+        let a = b.add_wide(p, off);
+        b.st_global(Ty::B32, a, 0, i);
+        b.build()
+    }
+
+    #[test]
+    fn timing_matches_functional_results() {
+        let k = iota_kernel();
+        let n = 8 * 128u64;
+        let mk = |mut gmem: GlobalMem| {
+            let out = gmem.alloc(n * 4);
+            (gmem, out)
+        };
+        let (mut g1, out1) = mk(GlobalMem::new());
+        let launch1 = Launch::new(k.clone(), Dim3::d1(8), Dim3::d1(128), vec![out1]);
+        crate::functional::run(&launch1, &mut g1, 1_000_000, None).unwrap();
+
+        let (mut g2, out2) = mk(GlobalMem::new());
+        let launch2 = Launch::new(k, Dim3::d1(8), Dim3::d1(128), vec![out2]);
+        let cfg = GpuConfig { num_sms: 4, ..Default::default() };
+        let stats =
+            simulate(&cfg, &launch2, &mut g2, &mut BaselineFilter).unwrap();
+        assert_eq!(g1.bytes(), g2.bytes(), "timing and functional must agree");
+        assert!(stats.cycles > 0);
+        assert!(stats.warp_instrs > 0);
+    }
+
+    #[test]
+    fn more_sms_not_slower() {
+        let k = iota_kernel();
+        let run_with = |sms: u32| {
+            let mut g = GlobalMem::new();
+            let out = g.alloc(64 * 128 * 4);
+            let launch = Launch::new(k.clone(), Dim3::d1(64), Dim3::d1(128), vec![out]);
+            let cfg = GpuConfig { num_sms: sms, ..Default::default() };
+            simulate(&cfg, &launch, &mut g, &mut BaselineFilter).unwrap().cycles
+        };
+        let c8 = run_with(8);
+        let c32 = run_with(32);
+        assert!(c32 <= c8, "more SMs should not be slower ({c32} vs {c8})");
+    }
+
+    #[test]
+    fn barrier_kernel_completes() {
+        let mut b = KernelBuilder::new("barrier", 1);
+        b.shared_bytes(256 * 4);
+        let t = b.tid_x();
+        let soff = b.shl_imm_wide(t, 2);
+        b.st_shared(Ty::B32, soff, 0, t);
+        b.bar();
+        let v = b.ld_shared(Ty::B32, soff, 0);
+        let goff = b.shl_imm_wide(t, 2);
+        let p = b.ld_param(0);
+        let addr = b.add_wide(p, goff);
+        b.st_global(Ty::B32, addr, 0, v);
+        let k = b.build();
+        let mut g = GlobalMem::new();
+        let out = g.alloc(256 * 4);
+        let launch = Launch::new(k, Dim3::d1(1), Dim3::d1(256), vec![out]);
+        let cfg = GpuConfig { num_sms: 2, ..Default::default() };
+        let stats = simulate(&cfg, &launch, &mut g, &mut BaselineFilter).unwrap();
+        assert!(stats.cycles > 0);
+        for t in 0..256 {
+            assert_eq!(g.read_i32(out, t), t as i32);
+        }
+    }
+
+    #[test]
+    fn occupancy_respects_limits() {
+        let k = iota_kernel();
+        let cfg = GpuConfig::default();
+        let launch = Launch::new(k, Dim3::d1(1), Dim3::d1(1024), vec![0]);
+        // 1024 threads = 32 warps; 64 warps/SM max -> 2 blocks by warps.
+        let b = blocks_per_sm(&cfg, &launch, 16);
+        assert_eq!(b, 2);
+        let launch64 = Launch { block: Dim3::d1(64), ..launch };
+        // 2 warps per block -> warp limit gives 32, block limit gives 32.
+        assert_eq!(blocks_per_sm(&cfg, &launch64, 16), 32);
+    }
+
+    #[test]
+    fn max_live_regs_is_reasonable() {
+        let k = iota_kernel();
+        let c = Cfg::build(&k);
+        let live = max_live_regs(&k, &c);
+        assert!(live >= 2 && live <= k.num_regs(), "live={live}");
+    }
+
+    #[test]
+    fn cache_locality_speeds_up_reuse() {
+        // Two kernels: one streams 4MB (DRAM-bound), one rereads 16KB (L1).
+        let mk = |stride_blocks: u32| {
+            let mut b = KernelBuilder::new("ld", 2);
+            let i = b.global_tid_x();
+            let nb = b.imm32(stride_blocks as i32);
+            let wrapped = b.rem_ty(Ty::B32, i, nb);
+            let off = b.shl_imm_wide(wrapped, 2);
+            let p = b.ld_param(0);
+            let a = b.add_wide(p, off);
+            let v = b.ld_global(Ty::F32, a, 0);
+            let q = b.ld_param(1);
+            let oo = b.shl_imm_wide(i, 2);
+            let oa = b.add_wide(q, oo);
+            b.st_global(Ty::F32, oa, 0, v);
+            b.build()
+        };
+        let run = |k: Kernel, distinct: u64| {
+            let mut g = GlobalMem::new();
+            let inp = g.alloc(1024 * 1024 * 4);
+            let out = g.alloc(256 * 256 * 4);
+            let launch = Launch::new(k, Dim3::d1(256), Dim3::d1(256), vec![inp, out]);
+            let _ = distinct;
+            let cfg = GpuConfig { num_sms: 8, ..Default::default() };
+            simulate(&cfg, &launch, &mut g, &mut BaselineFilter).unwrap()
+        };
+        let hot = run(mk(1024), 1024); // 4KB working set
+        let cold = run(mk(1024 * 1024), 1 << 20); // way beyond L1
+        assert!(
+            hot.l1_hits * 2 > hot.l1_hits + hot.l1_misses,
+            "hot loop should mostly hit L1: {} hits {} misses",
+            hot.l1_hits,
+            hot.l1_misses
+        );
+        assert!(cold.dram_txns > hot.dram_txns);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property test: the set-associative LRU cache must agree with a simple
+//! reference model for arbitrary access traces.
+
+use proptest::prelude::*;
+use r2d2_sim::{Cache, CacheConfig};
+
+/// Reference: per set, a vector of tags in LRU order (front = most recent).
+struct RefCache {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    nsets: u64,
+}
+
+impl RefCache {
+    fn new(cfg: CacheConfig) -> Self {
+        RefCache {
+            sets: vec![Vec::new(); cfg.sets() as usize],
+            ways: cfg.ways as usize,
+            nsets: cfg.sets(),
+        }
+    }
+
+    fn access(&mut self, line: u64) -> bool {
+        let set = (line % self.nsets) as usize;
+        let tag = line / self.nsets;
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|&t| t == tag) {
+            let t = s.remove(pos);
+            s.insert(0, t);
+            true
+        } else {
+            s.insert(0, tag);
+            s.truncate(self.ways);
+            false
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn lru_cache_matches_reference(
+        ways in 1u32..8,
+        sets_log in 0u32..5,
+        trace in proptest::collection::vec(0u64..256, 1..400),
+    ) {
+        let line = 128u64;
+        let sets = 1u64 << sets_log;
+        let cfg = CacheConfig { bytes: sets * ways as u64 * line, line, ways };
+        let mut dut = Cache::new(cfg);
+        let mut reference = RefCache::new(cfg);
+        let mut hits = 0u64;
+        for &l in &trace {
+            let want = reference.access(l);
+            let got = dut.access(l);
+            prop_assert_eq!(got, want, "line {}", l);
+            if want {
+                hits += 1;
+            }
+        }
+        prop_assert_eq!(dut.hits(), hits);
+        prop_assert_eq!(dut.misses(), trace.len() as u64 - hits);
+    }
+
+    #[test]
+    fn working_set_within_capacity_always_hits_after_warmup(
+        ways in 2u32..8,
+        sets_log in 1u32..4,
+    ) {
+        let line = 128u64;
+        let sets = 1u64 << sets_log;
+        let cfg = CacheConfig { bytes: sets * ways as u64 * line, line, ways };
+        let capacity_lines = sets * ways as u64;
+        let mut c = Cache::new(cfg);
+        // Touch exactly `capacity_lines` distinct lines twice.
+        for l in 0..capacity_lines {
+            c.access(l);
+        }
+        for l in 0..capacity_lines {
+            prop_assert!(c.access(l), "line {} must hit within capacity", l);
+        }
+    }
+}

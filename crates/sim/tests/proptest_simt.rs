@@ -1,0 +1,202 @@
+//! Property tests for the SIMT reconvergence stack: randomly generated
+//! divergent control flow must produce exactly what a per-thread Rust
+//! reference computes.
+
+use proptest::prelude::*;
+use r2d2_isa::{CmpOp, KernelBuilder, Operand, Ty};
+use r2d2_sim::{functional, Dim3, GlobalMem, Launch};
+
+/// A little branchy program over a per-thread value `x = data[i]`:
+/// nested if/else via thresholds plus a data-dependent loop, then a store.
+#[derive(Debug, Clone)]
+struct Program {
+    t1: i32,
+    t2: i32,
+    t3: i32,
+    loop_mod: i32,
+}
+
+impl Program {
+    fn reference(&self, x: i32) -> i32 {
+        let mut acc = 0i32;
+        if x < self.t1 {
+            acc = acc.wrapping_add(10);
+            if x < self.t2 {
+                acc = acc.wrapping_add(100);
+            } else {
+                acc = acc.wrapping_add(200);
+            }
+        } else {
+            acc = acc.wrapping_add(20);
+        }
+        // data-dependent trip count in [0, loop_mod)
+        let trips = x.rem_euclid(self.loop_mod);
+        let mut i = 0;
+        while i < trips {
+            acc = acc.wrapping_add(i.wrapping_mul(3));
+            i += 1;
+        }
+        if x > self.t3 {
+            return acc.wrapping_mul(2); // early-exit path writes doubled value
+        }
+        acc
+    }
+
+    fn kernel(&self) -> r2d2_isa::Kernel {
+        let mut b = KernelBuilder::new("branchy", 2);
+        let gid = b.global_tid_x();
+        let doff = b.shl_imm_wide(gid, 2);
+        let p0 = b.ld_param(0);
+        let daddr = b.add_wide(p0, doff);
+        let x = b.ld_global(Ty::B32, daddr, 0);
+        let acc = b.imm32(0);
+
+        let else_l = b.label();
+        let join_l = b.label();
+        let p = b.setp(CmpOp::Lt, Ty::B32, x, Operand::Imm(self.t1 as i64));
+        b.bra_if(p, false, else_l);
+        b.assign_add(Ty::B32, acc, Operand::Imm(10));
+        let inner_else = b.label();
+        let inner_join = b.label();
+        let p2 = b.setp(CmpOp::Lt, Ty::B32, x, Operand::Imm(self.t2 as i64));
+        b.bra_if(p2, false, inner_else);
+        b.assign_add(Ty::B32, acc, Operand::Imm(100));
+        b.bra(inner_join);
+        b.place(inner_else);
+        b.assign_add(Ty::B32, acc, Operand::Imm(200));
+        b.place(inner_join);
+        b.bra(join_l);
+        b.place(else_l);
+        b.assign_add(Ty::B32, acc, Operand::Imm(20));
+        b.place(join_l);
+
+        // trips = x mod loop_mod (euclidean: ((x % m) + m) % m)
+        let m = b.imm32(self.loop_mod);
+        let r0 = b.rem_ty(Ty::B32, x, m);
+        let r1 = b.add(r0, m);
+        let trips = b.rem_ty(Ty::B32, r1, m);
+        let i = b.imm32(0);
+        let loop_done = b.label();
+        let loop_top = b.here_label();
+        let pd = b.setp(CmpOp::Ge, Ty::B32, i, trips);
+        b.bra_if(pd, true, loop_done);
+        let i3 = b.mul(i, Operand::Imm(3));
+        b.assign_add(Ty::B32, acc, i3);
+        b.assign_add(Ty::B32, i, Operand::Imm(1));
+        b.bra(loop_top);
+        b.place(loop_done);
+
+        // store (doubled on the > t3 path)
+        let p1 = b.ld_param(1);
+        let oaddr = b.add_wide(p1, doff);
+        let pg = b.setp(CmpOp::Gt, Ty::B32, x, Operand::Imm(self.t3 as i64));
+        let doubled = b.add(acc, acc);
+        let skip_dbl = b.label();
+        b.bra_if(pg, false, skip_dbl);
+        b.st_global(Ty::B32, oaddr, 0, doubled);
+        b.exit();
+        b.place(skip_dbl);
+        b.st_global(Ty::B32, oaddr, 0, acc);
+        b.build()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn divergent_control_flow_matches_reference(
+        t1 in -50i32..50,
+        t2 in -50i32..50,
+        t3 in -50i32..50,
+        loop_mod in 1i32..6,
+        data in proptest::collection::vec(-100i32..100, 64),
+        blocks in 1u32..3,
+    ) {
+        let prog = Program { t1, t2, t3, loop_mod };
+        let k = prog.kernel();
+        prop_assert!(k.validate().is_ok(), "{:?}", k.validate());
+        let tpb = 32u32;
+        let n = (blocks * tpb) as usize;
+        let mut g = GlobalMem::new();
+        let din = g.alloc(n as u64 * 4);
+        let dout = g.alloc(n as u64 * 4);
+        for (i, v) in data.iter().cycle().take(n).enumerate() {
+            g.write_i32(din, i as u64, *v);
+        }
+        let inputs: Vec<i32> = (0..n).map(|i| g.read_i32(din, i as u64)).collect();
+        let launch = Launch::new(k, Dim3::d1(blocks), Dim3::d1(tpb), vec![din, dout]);
+        functional::run(&launch, &mut g, 10_000_000, None).unwrap();
+        for (i, x) in inputs.iter().enumerate() {
+            let want = prog.reference(*x);
+            let got = g.read_i32(dout, i as u64);
+            prop_assert_eq!(got, want, "thread {} x={}", i, x);
+        }
+    }
+
+    #[test]
+    fn scheduling_preserves_divergent_semantics(
+        t1 in -50i32..50,
+        t2 in -50i32..50,
+        t3 in -50i32..50,
+        loop_mod in 1i32..6,
+        data in proptest::collection::vec(-100i32..100, 64),
+    ) {
+        // The compile-time instruction scheduler must be semantics-preserving
+        // even under divergence and loops.
+        let prog = Program { t1, t2, t3, loop_mod };
+        let k = prog.kernel();
+        let s = r2d2_isa::schedule(&k);
+        prop_assert!(s.validate().is_ok(), "{:?}", s.validate());
+        let n = 64usize;
+        let fill = |g: &mut GlobalMem| {
+            let din = g.alloc(n as u64 * 4);
+            let dout = g.alloc(n as u64 * 4);
+            for (i, v) in data.iter().take(n).enumerate() {
+                g.write_i32(din, i as u64, *v);
+            }
+            (din, dout)
+        };
+        let mut g1 = GlobalMem::new();
+        let (din1, dout1) = fill(&mut g1);
+        let l1 = Launch::new(k, Dim3::d1(2), Dim3::d1(32), vec![din1, dout1]);
+        functional::run(&l1, &mut g1, 10_000_000, None).unwrap();
+        let mut g2 = GlobalMem::new();
+        let (din2, dout2) = fill(&mut g2);
+        let l2 = Launch::new(s, Dim3::d1(2), Dim3::d1(32), vec![din2, dout2]);
+        functional::run(&l2, &mut g2, 10_000_000, None).unwrap();
+        prop_assert_eq!(g1.bytes(), g2.bytes());
+    }
+
+    #[test]
+    fn timing_model_matches_functional_on_divergent_code(
+        t1 in -50i32..50,
+        t2 in -50i32..50,
+        t3 in -50i32..50,
+        loop_mod in 1i32..5,
+        seed in 0u64..1000,
+    ) {
+        use r2d2_sim::{simulate, BaselineFilter, GpuConfig};
+        let prog = Program { t1, t2, t3, loop_mod };
+        let k = prog.kernel();
+        let n = 128u64;
+        let fill = |g: &mut GlobalMem| {
+            let din = g.alloc(n * 4);
+            let dout = g.alloc(n * 4);
+            for i in 0..n {
+                g.write_i32(din, i, ((i.wrapping_mul(seed + 7)) % 199) as i32 - 99);
+            }
+            (din, dout)
+        };
+        let mut g1 = GlobalMem::new();
+        let (din1, dout1) = fill(&mut g1);
+        let l1 = Launch::new(k.clone(), Dim3::d1(2), Dim3::d1(64), vec![din1, dout1]);
+        functional::run(&l1, &mut g1, 10_000_000, None).unwrap();
+        let mut g2 = GlobalMem::new();
+        let (din2, dout2) = fill(&mut g2);
+        let l2 = Launch::new(k, Dim3::d1(2), Dim3::d1(64), vec![din2, dout2]);
+        let cfg = GpuConfig { num_sms: 2, ..Default::default() };
+        simulate(&cfg, &l2, &mut g2, &mut BaselineFilter).unwrap();
+        prop_assert_eq!(g1.bytes(), g2.bytes());
+    }
+}

@@ -1,0 +1,181 @@
+//! Direct tests of the R2D2 phase engine (paper Sec. 4.1): hand-assembled
+//! linear instruction blocks with a hand-written register table, exercising
+//! the starting-PC gates, the per-SM register classes, and the LSU's tr+br
+//! addition — independently of the code generator.
+
+use r2d2_isa::parse_kernel;
+use r2d2_sim::{
+    functional, simulate, BaselineFilter, Dim3, GlobalMem, GpuConfig, Launch, LinearMeta, MAX_LR,
+};
+
+/// A transformed-style kernel, written by hand:
+///   coef:  %cr0 = P1 (the scale)           [pc 0]
+///   tidx:  %tr0 = tid.x * %cr0             [pc 1..3]
+///   bidx:  %br = bank(cr1); %br += ctaid.x * bank(cr2)  [pc 3..6]
+///   main:  out[gtid] = %lr0                [pc 6..]
+/// with cr1 = P2 (constant part) and cr2 = P3 (ctaid coefficient) filled by
+/// two more coef instructions.
+fn kernel_and_meta() -> (r2d2_isa::Kernel, LinearMeta) {
+    let src = r#"
+.kernel handmade params=4 {
+  // --- coefficients (single thread) ---
+  ld.param.b64 %cr0, [P1];
+  ld.param.b64 %cr1, [P2];
+  ld.param.b64 %cr2, [P3];
+  // --- thread-index parts (first block) ---
+  mov.b32 %r0, %tid.x;
+  mad.b64 %tr0, %r0, %cr0, 0;
+  // --- block-index parts (first warp of each block) ---
+  mov.b64 %br0, %cr1;
+  mov.b32 %r1, %ctaid.x;
+  mad.b64 %br0, %r1, %cr2, %br0;
+  // --- non-linear stream (everyone) ---
+  mov.b32 %r2, %tid.x;
+  mov.b32 %r3, %ctaid.x;
+  mov.b32 %r4, %ntid.x;
+  mad.b32 %r5, %r3, %r4, %r2;
+  cvt.b64 %r6, %r5;
+  shl.b64 %r7, %r6, 2;
+  ld.param.b64 %r8, [P0];
+  add.b64 %r9, %r8, %r7;
+  mov.b64 %r10, %lr0;
+  st.global.b32 [%r9], %r10;
+  exit;
+}
+"#;
+    let k = parse_kernel(src).unwrap();
+    k.validate().unwrap();
+    let mut lr_tr = [None; MAX_LR];
+    lr_tr[0] = Some(0);
+    let meta = LinearMeta {
+        coef_start: 0,
+        tidx_start: 3,
+        bidx_start: 5,
+        main_start: 8,
+        n_cr: 3,
+        n_tr: 1,
+        n_lr: 1,
+        lr_tr,
+    };
+    (k, meta)
+}
+
+fn expected(scale: i64, cnst: i64, bcoef: i64, tid: i64, ctaid: i64) -> i32 {
+    (cnst + scale * tid + bcoef * ctaid) as i32
+}
+
+#[test]
+fn functional_phases_compute_lr_as_tr_plus_br() {
+    let (k, meta) = kernel_and_meta();
+    let mut g = GlobalMem::new();
+    let out = g.alloc(1 << 16);
+    let (scale, cnst, bcoef) = (3i64, 1000, 777);
+    let mut l = Launch::new(
+        k,
+        Dim3::d1(4),
+        Dim3::d1(64),
+        vec![out, scale as u64, cnst as u64, bcoef as u64],
+    );
+    l.meta = Some(meta);
+    functional::run_r2d2(&l, &mut g, 1_000_000, None).unwrap();
+    for b in 0..4i64 {
+        for t in 0..64i64 {
+            let got = g.read_i32(out, (b * 64 + t) as u64);
+            assert_eq!(got, expected(scale, cnst, bcoef, t, b), "b={b} t={t}");
+        }
+    }
+}
+
+#[test]
+fn timed_phases_match_functional_and_respect_gates() {
+    let (k, meta) = kernel_and_meta();
+    let (scale, cnst, bcoef) = (5i64, 4000, 123);
+    let mk = |g: &mut GlobalMem| g.alloc(1 << 16);
+
+    let mut g1 = GlobalMem::new();
+    let out1 = mk(&mut g1);
+    let mut l1 = Launch::new(
+        k.clone(),
+        Dim3::d1(32),
+        Dim3::d1(64),
+        vec![out1, scale as u64, cnst as u64, bcoef as u64],
+    );
+    l1.meta = Some(meta.clone());
+    functional::run_r2d2(&l1, &mut g1, 1_000_000, None).unwrap();
+
+    let mut g2 = GlobalMem::new();
+    let out2 = mk(&mut g2);
+    let mut l2 = Launch::new(
+        k,
+        Dim3::d1(32),
+        Dim3::d1(64),
+        vec![out2, scale as u64, cnst as u64, bcoef as u64],
+    );
+    l2.meta = Some(meta);
+    let cfg = GpuConfig { num_sms: 4, ..Default::default() };
+    let stats = simulate(&cfg, &l2, &mut g2, &mut BaselineFilter).unwrap();
+
+    assert_eq!(g1.bytes(), g2.bytes());
+    // Phase accounting: coefficients run once per SM (scalar), thread-index
+    // parts once per SM-block, block-index parts once per block.
+    assert_eq!(stats.warp_instrs_by_phase[0], 3 * 4, "3 coef instrs x 4 SMs");
+    assert_eq!(stats.warp_instrs_by_phase[1], 2 * 2 * 4, "2 tidx instrs x 2 warps x 4 SMs");
+    assert_eq!(stats.warp_instrs_by_phase[2], 3 * 32, "3 bidx instrs x 32 blocks");
+    assert!(stats.prologue_cycles > 0 && stats.prologue_cycles < stats.cycles);
+    // Coefficient instructions go down the scalar pipe: 1 thread each.
+    assert_eq!(stats.thread_instrs_by_phase[0], 12);
+    // Block-index instructions run n_lr = 1 lane.
+    assert_eq!(stats.thread_instrs_by_phase[2], 3 * 32);
+}
+
+#[test]
+fn second_wave_blocks_recompute_block_parts_only() {
+    // More blocks than can be resident: following blocks must re-run the
+    // bidx block (their ctaid differs) but never coef/tidx.
+    let (k, meta) = kernel_and_meta();
+    let mut g = GlobalMem::new();
+    let out = g.alloc(1 << 20);
+    let mut l = Launch::new(k, Dim3::d1(256), Dim3::d1(64), vec![out, 2, 10, 1000]);
+    l.meta = Some(meta);
+    let cfg = GpuConfig { num_sms: 2, ..Default::default() };
+    let stats = simulate(&cfg, &l, &mut g, &mut BaselineFilter).unwrap();
+    assert_eq!(stats.warp_instrs_by_phase[0], 3 * 2, "coef once per SM");
+    assert_eq!(stats.warp_instrs_by_phase[1], 2 * 2 * 2, "tidx once per SM");
+    assert_eq!(stats.warp_instrs_by_phase[2], 3 * 256, "bidx once per block");
+    for blk in 0..256i64 {
+        for t in 0..64i64 {
+            let got = g.read_i32(out, (blk * 64 + t) as u64);
+            assert_eq!(got, (10 + 2 * t + 1000 * blk) as i32, "blk={blk}");
+        }
+    }
+}
+
+#[test]
+fn kernels_without_linearity_ignore_the_phase_engine() {
+    // meta.has_linear() == false must behave exactly like a plain launch.
+    let src = ".kernel plain params=1 {\n mov.b32 %r0, %tid.x;\n ld.param.b64 %r1, [P0];\n cvt.b64 %r2, %r0;\n shl.b64 %r3, %r2, 2;\n add.b64 %r4, %r1, %r3;\n st.global.b32 [%r4], %r0;\n exit;\n}";
+    let k = parse_kernel(src).unwrap();
+    let meta = LinearMeta {
+        coef_start: 0,
+        tidx_start: 0,
+        bidx_start: 0,
+        main_start: 0,
+        n_cr: 0,
+        n_tr: 0,
+        n_lr: 0,
+        lr_tr: [None; MAX_LR],
+    };
+    assert!(!meta.has_linear());
+    let mut g = GlobalMem::new();
+    let out = g.alloc(4096);
+    let mut l = Launch::new(k, Dim3::d1(2), Dim3::d1(32), vec![out]);
+    l.meta = Some(meta);
+    let cfg = GpuConfig { num_sms: 1, ..Default::default() };
+    let stats = simulate(&cfg, &l, &mut g, &mut BaselineFilter).unwrap();
+    assert_eq!(stats.warp_instrs_by_phase[0], 0);
+    assert_eq!(stats.warp_instrs_by_phase[1], 0);
+    assert_eq!(stats.warp_instrs_by_phase[2], 0);
+    for t in 0..32 {
+        assert_eq!(g.read_i32(out, t), t as i32);
+    }
+}

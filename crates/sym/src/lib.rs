@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! Symbolic launch-time scalars and coefficient vectors for R2D2.
+//!
+//! R2D2's code analyzer (paper Sec. 3.1) tracks, for every register, whether the
+//! register's value is a *linear combination* of the six built-in indices
+//! (`tid.x/y/z`, `ctaid.x/y/z`) with scalar coefficients. The coefficients are
+//! not generally compile-time constants: they are built from kernel parameters
+//! (`P0`, `P1`, ...) and kernel dimensions (`ntid.*`, `nctaid.*`), which are only
+//! known at launch. The paper therefore writes coefficients as symbolic
+//! expressions such as `16*(P1+1)` (Fig. 7).
+//!
+//! This crate provides:
+//!
+//! * [`Sym`] — the launch-time scalar symbols.
+//! * [`Poly`] — a multivariate integer polynomial over those symbols, with exact
+//!   (canonical) equality, so the analyzer can compare and group coefficients.
+//! * [`CoefVec`] — the 7-element coefficient vector `{c, x, y, z, X, Y, Z}` of
+//!   Fig. 6, with the transfer functions for each tracked opcode.
+//! * [`LaunchEnv`] — concrete launch values to evaluate polynomials at launch.
+//!
+//! # Example
+//!
+//! Reproducing the Fig. 7 trace for `shl %r5, %r1, 4` where `%r1 = ctaid.y`:
+//!
+//! ```
+//! use r2d2_sym::{CoefVec, Poly};
+//!
+//! let r1 = CoefVec::ctaid_y();             // {0,0,0,0,0,1,0}
+//! let r5 = r1.shl(&Poly::constant(4));     // {0,0,0,0,0,16,0}
+//! assert_eq!(r5, Some(CoefVec::from_parts([0, 0, 0, 0, 0, 16, 0])));
+//! ```
+
+mod poly;
+mod vec;
+
+pub use poly::{LaunchEnv, Monomial, Poly, Sym};
+pub use vec::{CoefVec, IndexVar, COEF_VEC_LEN};

@@ -1,0 +1,465 @@
+//! Multivariate integer polynomials over launch-time scalar symbols.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A launch-time scalar symbol.
+///
+/// These are the values the paper's analyzer cannot resolve at compile time
+/// (Sec. 2.1): kernel parameters and kernel dimensions. They become known at
+/// kernel launch, at which point a [`Poly`] can be evaluated with a
+/// [`LaunchEnv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sym {
+    /// Kernel input parameter `Pn` (n-th scalar parameter slot).
+    Param(u8),
+    /// Thread-block dimension `ntid.x/y/z` (0 = x, 1 = y, 2 = z).
+    Ntid(u8),
+    /// Grid dimension `nctaid.x/y/z` (0 = x, 1 = y, 2 = z).
+    Nctaid(u8),
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const DIM: [&str; 3] = ["x", "y", "z"];
+        match self {
+            Sym::Param(n) => write!(f, "P{n}"),
+            Sym::Ntid(d) => write!(f, "ntid.{}", DIM[*d as usize % 3]),
+            Sym::Nctaid(d) => write!(f, "nctaid.{}", DIM[*d as usize % 3]),
+        }
+    }
+}
+
+/// A product of symbols with multiplicity, e.g. `P1 * P1 * ntid.x`.
+///
+/// Stored as a sorted list so that two equal monomials compare equal.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Monomial(Vec<Sym>);
+
+impl Monomial {
+    /// The empty (constant) monomial.
+    pub fn one() -> Self {
+        Monomial(Vec::new())
+    }
+
+    /// A monomial consisting of a single symbol.
+    pub fn sym(s: Sym) -> Self {
+        Monomial(vec![s])
+    }
+
+    /// Multiply two monomials (concatenates and re-sorts factors).
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        v.sort_unstable();
+        Monomial(v)
+    }
+
+    /// Total degree (number of symbol factors, with multiplicity).
+    pub fn degree(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The symbol factors, sorted.
+    pub fn factors(&self) -> &[Sym] {
+        &self.0
+    }
+
+    fn eval(&self, env: &LaunchEnv) -> i64 {
+        self.0
+            .iter()
+            .fold(1i64, |acc, s| acc.wrapping_mul(env.value(*s)))
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "1");
+        }
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "*")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A multivariate polynomial with `i64` coefficients over [`Sym`] symbols.
+///
+/// The representation is canonical (zero terms are never stored), so `==` is
+/// semantic equality — exactly what the analyzer needs to group linear
+/// registers that share thread-index or block-index parts (Sec. 3.1.4).
+///
+/// All arithmetic wraps modulo 2^64 on evaluation, matching the simulator's
+/// integer semantics.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Poly {
+    /// monomial -> coefficient; invariant: no zero coefficients stored.
+    terms: BTreeMap<Monomial, i64>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly::default()
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: i64) -> Self {
+        let mut p = Poly::default();
+        if c != 0 {
+            p.terms.insert(Monomial::one(), c);
+        }
+        p
+    }
+
+    /// The polynomial consisting of a single symbol.
+    pub fn sym(s: Sym) -> Self {
+        let mut p = Poly::default();
+        p.terms.insert(Monomial::sym(s), 1);
+        p
+    }
+
+    /// Kernel parameter `Pn` as a polynomial.
+    pub fn param(n: u8) -> Self {
+        Poly::sym(Sym::Param(n))
+    }
+
+    /// `true` if this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// `true` if this polynomial is a compile-time constant (possibly zero).
+    pub fn is_constant(&self) -> bool {
+        self.terms.keys().all(|m| m.degree() == 0)
+    }
+
+    /// Returns the constant value if [`Poly::is_constant`].
+    pub fn as_constant(&self) -> Option<i64> {
+        if self.is_constant() {
+            Some(self.terms.get(&Monomial::one()).copied().unwrap_or(0))
+        } else {
+            None
+        }
+    }
+
+    /// Total degree of the polynomial (0 for constants, 0 for zero).
+    pub fn degree(&self) -> usize {
+        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// Number of (nonzero) terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterate over `(monomial, coefficient)` terms in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Monomial, i64)> {
+        self.terms.iter().map(|(m, c)| (m, *c))
+    }
+
+    /// Multiply by a power of two (left shift), used for `shl` (Fig. 6).
+    pub fn shl(&self, bits: u32) -> Poly {
+        self.scale(1i64.wrapping_shl(bits))
+    }
+
+    /// Multiply every coefficient by a constant.
+    pub fn scale(&self, k: i64) -> Poly {
+        if k == 0 {
+            return Poly::zero();
+        }
+        let mut out = Poly::default();
+        for (m, c) in &self.terms {
+            let v = c.wrapping_mul(k);
+            if v != 0 {
+                out.terms.insert(m.clone(), v);
+            }
+        }
+        out
+    }
+
+    /// Evaluate the polynomial under concrete launch values.
+    ///
+    /// Arithmetic wraps, mirroring 64-bit machine arithmetic.
+    pub fn eval(&self, env: &LaunchEnv) -> i64 {
+        self.terms
+            .iter()
+            .fold(0i64, |acc, (m, c)| acc.wrapping_add(c.wrapping_mul(m.eval(env))))
+    }
+
+    fn add_term(&mut self, m: Monomial, c: i64) {
+        if c == 0 {
+            return;
+        }
+        let entry = self.terms.entry(m).or_insert(0);
+        *entry = entry.wrapping_add(c);
+        if *entry == 0 {
+            // Re-fetch key to remove: use retain to keep it simple and correct.
+            self.terms.retain(|_, v| *v != 0);
+        }
+    }
+}
+
+impl From<i64> for Poly {
+    fn from(c: i64) -> Self {
+        Poly::constant(c)
+    }
+}
+
+impl From<Sym> for Poly {
+    fn from(s: Sym) -> Self {
+        Poly::sym(s)
+    }
+}
+
+impl Add for &Poly {
+    type Output = Poly;
+    fn add(self, rhs: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in &rhs.terms {
+            out.add_term(m.clone(), *c);
+        }
+        out
+    }
+}
+
+impl Add for Poly {
+    type Output = Poly;
+    fn add(self, rhs: Poly) -> Poly {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&Poly> for Poly {
+    fn add_assign(&mut self, rhs: &Poly) {
+        for (m, c) in &rhs.terms {
+            self.add_term(m.clone(), *c);
+        }
+    }
+}
+
+impl Sub for &Poly {
+    type Output = Poly;
+    fn sub(self, rhs: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in &rhs.terms {
+            out.add_term(m.clone(), c.wrapping_neg());
+        }
+        out
+    }
+}
+
+impl Sub for Poly {
+    type Output = Poly;
+    fn sub(self, rhs: Poly) -> Poly {
+        &self - &rhs
+    }
+}
+
+impl SubAssign<&Poly> for Poly {
+    fn sub_assign(&mut self, rhs: &Poly) {
+        for (m, c) in &rhs.terms {
+            self.add_term(m.clone(), c.wrapping_neg());
+        }
+    }
+}
+
+impl Neg for &Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        self.scale(-1)
+    }
+}
+
+impl Neg for Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        self.scale(-1)
+    }
+}
+
+impl Mul for &Poly {
+    type Output = Poly;
+    fn mul(self, rhs: &Poly) -> Poly {
+        let mut out = Poly::default();
+        for (ma, ca) in &self.terms {
+            for (mb, cb) in &rhs.terms {
+                out.add_term(ma.mul(mb), ca.wrapping_mul(*cb));
+            }
+        }
+        out
+    }
+}
+
+impl Mul for Poly {
+    type Output = Poly;
+    fn mul(self, rhs: Poly) -> Poly {
+        &self * &rhs
+    }
+}
+
+impl MulAssign<&Poly> for Poly {
+    fn mul_assign(&mut self, rhs: &Poly) {
+        *self = &*self * rhs;
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (m, c) in &self.terms {
+            if first {
+                first = false;
+                if m.degree() == 0 {
+                    write!(f, "{c}")?;
+                } else if *c == 1 {
+                    write!(f, "{m}")?;
+                } else if *c == -1 {
+                    write!(f, "-{m}")?;
+                } else {
+                    write!(f, "{c}*{m}")?;
+                }
+            } else {
+                let (sign, mag) = if *c < 0 { ("-", c.wrapping_neg()) } else { ("+", *c) };
+                if m.degree() == 0 {
+                    write!(f, "{sign}{mag}")?;
+                } else if mag == 1 {
+                    write!(f, "{sign}{m}")?;
+                } else {
+                    write!(f, "{sign}{mag}*{m}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Concrete launch-time values used to evaluate a [`Poly`].
+///
+/// Constructed once per kernel launch; mirrors the information the thread-block
+/// scheduler has when it launches a kernel (parameters, block dim, grid dim).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LaunchEnv {
+    /// Scalar parameter slots (`P0`, `P1`, ...). Addresses and sizes alike.
+    pub params: Vec<i64>,
+    /// Thread-block dimensions `(ntid.x, ntid.y, ntid.z)`.
+    pub ntid: [i64; 3],
+    /// Grid dimensions `(nctaid.x, nctaid.y, nctaid.z)`.
+    pub nctaid: [i64; 3],
+}
+
+impl LaunchEnv {
+    /// Create an environment from parameters, block dim and grid dim.
+    pub fn new(params: Vec<i64>, ntid: [i64; 3], nctaid: [i64; 3]) -> Self {
+        LaunchEnv { params, ntid, nctaid }
+    }
+
+    /// The concrete value of a symbol.
+    ///
+    /// Out-of-range parameter slots evaluate to 0 (the analyzer never emits
+    /// them; this keeps evaluation total).
+    pub fn value(&self, s: Sym) -> i64 {
+        match s {
+            Sym::Param(n) => self.params.get(n as usize).copied().unwrap_or(0),
+            Sym::Ntid(d) => self.ntid[d as usize % 3],
+            Sym::Nctaid(d) => self.nctaid[d as usize % 3],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> LaunchEnv {
+        LaunchEnv::new(vec![100, 15, 7], [16, 4, 1], [32, 8, 1])
+    }
+
+    #[test]
+    fn constant_roundtrip() {
+        let p = Poly::constant(42);
+        assert!(p.is_constant());
+        assert_eq!(p.as_constant(), Some(42));
+        assert_eq!(p.eval(&env()), 42);
+    }
+
+    #[test]
+    fn zero_is_canonical() {
+        let p = Poly::constant(5) - Poly::constant(5);
+        assert!(p.is_zero());
+        assert_eq!(p, Poly::zero());
+        assert_eq!(p.num_terms(), 0);
+    }
+
+    #[test]
+    fn fig7_coefficient_16_p1_plus_1() {
+        // 16*(P1+1) with P1 = 15 -> 256
+        let p1 = Poly::param(1);
+        let coef = (&p1 + &Poly::constant(1)).scale(16);
+        assert_eq!(coef.eval(&env()), 256);
+        assert_eq!(coef.to_string(), "16+16*P1");
+    }
+
+    #[test]
+    fn mul_is_distributive_over_terms() {
+        // (P0 + 2) * (P1 - 3) = P0*P1 - 3 P0 + 2 P1 - 6
+        let a = Poly::param(0) + Poly::constant(2);
+        let b = Poly::param(1) - Poly::constant(3);
+        let prod = &a * &b;
+        let e = env();
+        assert_eq!(prod.eval(&e), (100 + 2) * (15 - 3));
+        assert_eq!(prod.degree(), 2);
+        assert_eq!(prod.num_terms(), 4);
+    }
+
+    #[test]
+    fn shl_matches_scale() {
+        let p = Poly::param(2) + Poly::constant(1);
+        assert_eq!(p.shl(4), p.scale(16));
+    }
+
+    #[test]
+    fn ntid_nctaid_eval() {
+        let p = Poly::sym(Sym::Ntid(0)) * Poly::sym(Sym::Nctaid(1));
+        assert_eq!(p.eval(&env()), 16 * 8);
+    }
+
+    #[test]
+    fn add_cancels_terms() {
+        let p = Poly::param(0).scale(3);
+        let q = Poly::param(0).scale(-3) + Poly::constant(1);
+        let sum = p + q;
+        assert_eq!(sum, Poly::constant(1));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Poly::constant(4) + Poly::param(1).scale(4);
+        assert_eq!(p.to_string(), "4+4*P1");
+        assert_eq!(Poly::zero().to_string(), "0");
+        let q = Poly::param(0) - Poly::param(1);
+        assert_eq!(q.to_string(), "P0-P1");
+    }
+
+    #[test]
+    fn monomial_ordering_is_canonical() {
+        let a = Monomial::sym(Sym::Param(1)).mul(&Monomial::sym(Sym::Param(0)));
+        let b = Monomial::sym(Sym::Param(0)).mul(&Monomial::sym(Sym::Param(1)));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn missing_param_evaluates_to_zero() {
+        let p = Poly::param(9);
+        assert_eq!(p.eval(&env()), 0);
+    }
+}

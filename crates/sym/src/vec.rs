@@ -1,0 +1,415 @@
+//! The 7-element coefficient vector of paper Fig. 6.
+
+use crate::poly::{LaunchEnv, Poly};
+use std::fmt;
+
+/// Number of elements in a coefficient vector: one constant plus six built-in
+/// index coefficients (paper Sec. 3.1: "coefficient vectors").
+pub const COEF_VEC_LEN: usize = 7;
+
+/// One of the six built-in index variables a coefficient can multiply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IndexVar {
+    /// `threadIdx.x`
+    TidX,
+    /// `threadIdx.y`
+    TidY,
+    /// `threadIdx.z`
+    TidZ,
+    /// `blockIdx.x`
+    CtaidX,
+    /// `blockIdx.y`
+    CtaidY,
+    /// `blockIdx.z`
+    CtaidZ,
+}
+
+impl IndexVar {
+    /// All six index variables, in coefficient-vector order.
+    pub const ALL: [IndexVar; 6] = [
+        IndexVar::TidX,
+        IndexVar::TidY,
+        IndexVar::TidZ,
+        IndexVar::CtaidX,
+        IndexVar::CtaidY,
+        IndexVar::CtaidZ,
+    ];
+
+    /// Index of this variable inside a [`CoefVec`] (1..=6; slot 0 is the constant).
+    pub fn slot(self) -> usize {
+        match self {
+            IndexVar::TidX => 1,
+            IndexVar::TidY => 2,
+            IndexVar::TidZ => 3,
+            IndexVar::CtaidX => 4,
+            IndexVar::CtaidY => 5,
+            IndexVar::CtaidZ => 6,
+        }
+    }
+
+    /// `true` for the three thread-index variables.
+    pub fn is_thread(self) -> bool {
+        matches!(self, IndexVar::TidX | IndexVar::TidY | IndexVar::TidZ)
+    }
+}
+
+impl fmt::Display for IndexVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IndexVar::TidX => "tid.x",
+            IndexVar::TidY => "tid.y",
+            IndexVar::TidZ => "tid.z",
+            IndexVar::CtaidX => "ctaid.x",
+            IndexVar::CtaidY => "ctaid.y",
+            IndexVar::CtaidZ => "ctaid.z",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A coefficient vector `{c, x, y, z, X, Y, Z}` (paper Fig. 6 / Sec. 3.1).
+///
+/// Represents the linear combination
+/// `c + x·tid.x + y·tid.y + z·tid.z + X·ctaid.x + Y·ctaid.y + Z·ctaid.z`,
+/// where each element is a launch-time scalar [`Poly`].
+///
+/// The *thread-index part* is `(x, y, z)`; the *block-index part* is
+/// `(c, X, Y, Z)` — the constant rides with the block part, mirroring the
+/// paper's decoupling where the block-index register is initialized from the
+/// constant coefficient (`mov.br %br, %cr1` in Fig. 9).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
+pub struct CoefVec {
+    elems: [Poly; COEF_VEC_LEN],
+}
+
+impl CoefVec {
+    /// The zero vector (constant 0).
+    pub fn zero() -> Self {
+        CoefVec::default()
+    }
+
+    /// A pure scalar (constant-part-only) vector.
+    pub fn scalar(p: Poly) -> Self {
+        let mut v = CoefVec::default();
+        v.elems[0] = p;
+        v
+    }
+
+    /// A compile-time immediate constant.
+    pub fn imm(c: i64) -> Self {
+        CoefVec::scalar(Poly::constant(c))
+    }
+
+    /// The vector for a single built-in index variable with coefficient 1.
+    pub fn index(var: IndexVar) -> Self {
+        let mut v = CoefVec::default();
+        v.elems[var.slot()] = Poly::constant(1);
+        v
+    }
+
+    /// `{0,1,0,0,0,0,0}` — `tid.x`.
+    pub fn tid_x() -> Self {
+        CoefVec::index(IndexVar::TidX)
+    }
+    /// `{0,0,1,0,0,0,0}` — `tid.y`.
+    pub fn tid_y() -> Self {
+        CoefVec::index(IndexVar::TidY)
+    }
+    /// `{0,0,0,1,0,0,0}` — `tid.z`.
+    pub fn tid_z() -> Self {
+        CoefVec::index(IndexVar::TidZ)
+    }
+    /// `{0,0,0,0,1,0,0}` — `ctaid.x`.
+    pub fn ctaid_x() -> Self {
+        CoefVec::index(IndexVar::CtaidX)
+    }
+    /// `{0,0,0,0,0,1,0}` — `ctaid.y`.
+    pub fn ctaid_y() -> Self {
+        CoefVec::index(IndexVar::CtaidY)
+    }
+    /// `{0,0,0,0,0,0,1}` — `ctaid.z`.
+    pub fn ctaid_z() -> Self {
+        CoefVec::index(IndexVar::CtaidZ)
+    }
+
+    /// Build from seven constant parts `[c, x, y, z, X, Y, Z]`.
+    pub fn from_parts(parts: [i64; COEF_VEC_LEN]) -> Self {
+        let mut v = CoefVec::default();
+        for (i, p) in parts.into_iter().enumerate() {
+            v.elems[i] = Poly::constant(p);
+        }
+        v
+    }
+
+    /// Build from seven polynomial parts `[c, x, y, z, X, Y, Z]`.
+    pub fn from_polys(parts: [Poly; COEF_VEC_LEN]) -> Self {
+        CoefVec { elems: parts }
+    }
+
+    /// The constant part `c`.
+    pub fn constant(&self) -> &Poly {
+        &self.elems[0]
+    }
+
+    /// Coefficient of a built-in index variable.
+    pub fn coef(&self, var: IndexVar) -> &Poly {
+        &self.elems[var.slot()]
+    }
+
+    /// All seven elements `[c, x, y, z, X, Y, Z]`.
+    pub fn elems(&self) -> &[Poly; COEF_VEC_LEN] {
+        &self.elems
+    }
+
+    /// `true` when all six index coefficients are zero: the combination is a
+    /// pure launch-time scalar, i.e. identical across every thread (the paper's
+    /// "scalar computations").
+    pub fn is_scalar(&self) -> bool {
+        IndexVar::ALL.iter().all(|v| self.coef(*v).is_zero())
+    }
+
+    /// `true` when the vector is a compile-time immediate (scalar and constant).
+    pub fn is_immediate(&self) -> bool {
+        self.is_scalar() && self.constant().is_constant()
+    }
+
+    /// `true` when at least one thread-index coefficient is nonzero.
+    pub fn has_thread_part(&self) -> bool {
+        IndexVar::ALL
+            .iter()
+            .filter(|v| v.is_thread())
+            .any(|v| !self.coef(*v).is_zero())
+    }
+
+    /// `true` when at least one block-index coefficient is nonzero.
+    pub fn has_block_part(&self) -> bool {
+        IndexVar::ALL
+            .iter()
+            .filter(|v| !v.is_thread())
+            .any(|v| !self.coef(*v).is_zero())
+    }
+
+    /// The thread-index part `(x, y, z)` — shared once per kernel (Sec. 2.1).
+    pub fn thread_part(&self) -> [&Poly; 3] {
+        [&self.elems[1], &self.elems[2], &self.elems[3]]
+    }
+
+    /// The block-index part `(c, X, Y, Z)` — computed once per thread block.
+    pub fn block_part(&self) -> [&Poly; 4] {
+        [&self.elems[0], &self.elems[4], &self.elems[5], &self.elems[6]]
+    }
+
+    /// Elementwise sum (transfer function for `add`, Fig. 6).
+    pub fn add(&self, rhs: &CoefVec) -> CoefVec {
+        let mut out = CoefVec::default();
+        for i in 0..COEF_VEC_LEN {
+            out.elems[i] = &self.elems[i] + &rhs.elems[i];
+        }
+        out
+    }
+
+    /// Elementwise difference (transfer function for `sub`, Fig. 6).
+    pub fn sub(&self, rhs: &CoefVec) -> CoefVec {
+        let mut out = CoefVec::default();
+        for i in 0..COEF_VEC_LEN {
+            out.elems[i] = &self.elems[i] - &rhs.elems[i];
+        }
+        out
+    }
+
+    /// Multiply by a scalar polynomial (transfer function for `mul` where the
+    /// second source is scalar, Fig. 6 `mul dst, src1, src2*`).
+    pub fn mul_scalar(&self, k: &Poly) -> CoefVec {
+        let mut out = CoefVec::default();
+        for i in 0..COEF_VEC_LEN {
+            out.elems[i] = &self.elems[i] * k;
+        }
+        out
+    }
+
+    /// Shift left by a scalar amount, which must be a compile-time constant
+    /// (Fig. 6 `shl dst, src1, src2*`). Returns `None` for symbolic shifts:
+    /// the analyzer treats those as non-linear.
+    pub fn shl(&self, amount: &Poly) -> Option<CoefVec> {
+        let bits = amount.as_constant()?;
+        if !(0..64).contains(&bits) {
+            return None;
+        }
+        Some(self.mul_scalar(&Poly::constant(1i64.wrapping_shl(bits as u32))))
+    }
+
+    /// Multiply-and-add (Fig. 6 `mad dst, src1, src2*, src3`):
+    /// `self * k + addend`, where `k` must be scalar.
+    pub fn mad(&self, k: &Poly, addend: &CoefVec) -> CoefVec {
+        self.mul_scalar(k).add(addend)
+    }
+
+    /// Evaluate this linear combination for a concrete thread.
+    ///
+    /// `tid` and `ctaid` are the three thread / block index components. Values
+    /// wrap as 64-bit integers, matching machine arithmetic.
+    pub fn eval(&self, env: &LaunchEnv, tid: [i64; 3], ctaid: [i64; 3]) -> i64 {
+        let mut acc = self.elems[0].eval(env);
+        for (i, t) in tid.iter().enumerate() {
+            acc = acc.wrapping_add(self.elems[1 + i].eval(env).wrapping_mul(*t));
+        }
+        for (i, b) in ctaid.iter().enumerate() {
+            acc = acc.wrapping_add(self.elems[4 + i].eval(env).wrapping_mul(*b));
+        }
+        acc
+    }
+
+    /// Evaluate only the thread-index part for a thread: `x·tid.x + y·tid.y + z·tid.z`.
+    pub fn eval_thread_part(&self, env: &LaunchEnv, tid: [i64; 3]) -> i64 {
+        let mut acc = 0i64;
+        for (i, t) in tid.iter().enumerate() {
+            acc = acc.wrapping_add(self.elems[1 + i].eval(env).wrapping_mul(*t));
+        }
+        acc
+    }
+
+    /// Evaluate only the block-index part for a block:
+    /// `c + X·ctaid.x + Y·ctaid.y + Z·ctaid.z`.
+    pub fn eval_block_part(&self, env: &LaunchEnv, ctaid: [i64; 3]) -> i64 {
+        let mut acc = self.elems[0].eval(env);
+        for (i, b) in ctaid.iter().enumerate() {
+            acc = acc.wrapping_add(self.elems[4 + i].eval(env).wrapping_mul(*b));
+        }
+        acc
+    }
+
+    /// `true` when the two vectors have identical thread-index *and*
+    /// block-index coefficients (but possibly different constants) — the
+    /// grouping condition of Sec. 3.1.4 (e.g. `w[index]` vs `oldw[index]`).
+    pub fn same_shape(&self, other: &CoefVec) -> bool {
+        IndexVar::ALL.iter().all(|v| self.coef(*v) == other.coef(*v))
+    }
+}
+
+impl fmt::Display for CoefVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.elems.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::{LaunchEnv, Poly};
+
+    fn env() -> LaunchEnv {
+        // Backprop-like: P1 = hid = 16, HEIGHT folded into constants.
+        LaunchEnv::new(vec![1000, 16, 2000, 3000, 4000, 5000], [16, 4, 1], [1, 8, 1])
+    }
+
+    #[test]
+    fn fig7_trace_backprop() {
+        // Reproduce the Fig. 7 analysis:
+        //   mov %r1, %ctaid.y        -> {0,0,0,0,0,1,0}
+        //   shl %r5, %r1, 4          -> {0,0,0,0,0,16,0}
+        //   mov %r2, %tid.y          -> {0,0,1,0,0,0,0}
+        //   add %r6, %r5, %r2        -> {0,0,1,0,0,16,0}
+        //   add %r7, %r4, 1   (%r4 = P1) -> {P1+1,0,...}
+        let r1 = CoefVec::ctaid_y();
+        let r5 = r1.shl(&Poly::constant(4)).unwrap();
+        assert_eq!(r5, CoefVec::from_parts([0, 0, 0, 0, 0, 16, 0]));
+        let r2 = CoefVec::tid_y();
+        let r6 = r5.add(&r2);
+        assert_eq!(r6, CoefVec::from_parts([0, 0, 1, 0, 0, 16, 0]));
+        let r4 = CoefVec::scalar(Poly::param(1));
+        let r7 = r4.add(&CoefVec::imm(1));
+        assert!(r7.is_scalar());
+        assert_eq!(r7.constant().eval(&env()), 17);
+    }
+
+    #[test]
+    fn fig7_rd13_full_linear_combination() {
+        // %r9 = mad(%r6, %r7, %r8) where %r8 = tx + (P1+1) (index computation),
+        // then mul %rd13, %r9, 4 yields the paper's
+        // {4*P1+4, 4, 4*(P1+1), 0, 0, 64*(P1+1), 0} modulo constant offset.
+        let p1p1 = Poly::param(1) + Poly::constant(1);
+        let r6 = CoefVec::from_parts([0, 0, 1, 0, 0, 16, 0]);
+        let r8 = CoefVec::tid_x().add(&CoefVec::scalar(p1p1.clone()));
+        let r9 = r6.mad(&p1p1, &r8);
+        let rd13 = r9.mul_scalar(&Poly::constant(4));
+        let e = env();
+        // Check against direct evaluation of 4*((hid+1)*(16*by+ty) + tx + hid+1)
+        let hid = 16i64;
+        for by in 0..8 {
+            for ty in 0..4 {
+                for tx in 0..16 {
+                    let want = 4 * ((hid + 1) * (16 * by + ty) + tx + hid + 1);
+                    let got = rd13.eval(&e, [tx, ty, 0], [0, by, 0]);
+                    assert_eq!(got, want, "tx={tx} ty={ty} by={by}");
+                }
+            }
+        }
+        assert!(rd13.has_thread_part());
+        assert!(rd13.has_block_part());
+    }
+
+    #[test]
+    fn scalar_and_immediate_classification() {
+        assert!(CoefVec::imm(5).is_immediate());
+        assert!(CoefVec::scalar(Poly::param(0)).is_scalar());
+        assert!(!CoefVec::scalar(Poly::param(0)).is_immediate());
+        assert!(!CoefVec::tid_x().is_scalar());
+    }
+
+    #[test]
+    fn same_shape_groups_constant_offsets() {
+        // w[index] and oldw[index] from Fig. 2: same shape, different base.
+        let idx = CoefVec::tid_x().mul_scalar(&Poly::constant(4));
+        let w = idx.add(&CoefVec::scalar(Poly::param(2)));
+        let oldw = idx.add(&CoefVec::scalar(Poly::param(3)));
+        assert!(w.same_shape(&oldw));
+        assert_ne!(w, oldw);
+    }
+
+    #[test]
+    fn symbolic_shl_rejected() {
+        let v = CoefVec::tid_x();
+        assert!(v.shl(&Poly::param(0)).is_none());
+        assert!(v.shl(&Poly::constant(70)).is_none());
+    }
+
+    #[test]
+    fn eval_decomposes_into_parts() {
+        // lr = tr + br must hold for every thread: the microarchitectural
+        // invariant behind Sec. 4.3's LSU-side addition.
+        let e = env();
+        let v = CoefVec::from_polys([
+            Poly::param(0),
+            Poly::constant(4),
+            Poly::param(1),
+            Poly::zero(),
+            Poly::constant(64),
+            Poly::param(1).scale(16),
+            Poly::zero(),
+        ]);
+        for tx in 0..4 {
+            for by in 0..3 {
+                let tid = [tx, 2, 0];
+                let ctaid = [1, by, 0];
+                let whole = v.eval(&e, tid, ctaid);
+                let parts = v
+                    .eval_thread_part(&e, tid)
+                    .wrapping_add(v.eval_block_part(&e, ctaid));
+                assert_eq!(whole, parts);
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let v = CoefVec::from_parts([0, 4, 0, 0, 0, 16, 0]);
+        assert_eq!(v.to_string(), "{0,4,0,0,0,16,0}");
+    }
+}

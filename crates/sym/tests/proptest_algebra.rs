@@ -1,0 +1,138 @@
+//! Property-based tests: the coefficient-vector algebra must be an exact
+//! homomorphism onto wrapping 64-bit evaluation — that is the entire
+//! soundness argument for the R2D2 analyzer.
+
+use proptest::prelude::*;
+use r2d2_sym::{CoefVec, IndexVar, LaunchEnv, Poly, Sym};
+
+fn sym_strategy() -> impl Strategy<Value = Sym> {
+    prop_oneof![
+        (0u8..6).prop_map(Sym::Param),
+        (0u8..3).prop_map(Sym::Ntid),
+        (0u8..3).prop_map(Sym::Nctaid),
+    ]
+}
+
+fn poly_strategy() -> impl Strategy<Value = Poly> {
+    let leaf = prop_oneof![
+        (-100i64..100).prop_map(Poly::constant),
+        sym_strategy().prop_map(Poly::sym),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            (inner, -50i64..50).prop_map(|(a, k)| a.scale(k)),
+        ]
+    })
+}
+
+fn env_strategy() -> impl Strategy<Value = LaunchEnv> {
+    (
+        proptest::collection::vec(-1000i64..1000, 6),
+        [1i64..32, 1i64..8, 1i64..4],
+        [1i64..64, 1i64..8, 1i64..4],
+    )
+        .prop_map(|(params, ntid, nctaid)| LaunchEnv::new(params, ntid, nctaid))
+}
+
+proptest! {
+    #[test]
+    fn add_is_eval_homomorphism(a in poly_strategy(), b in poly_strategy(), env in env_strategy()) {
+        let sum = &a + &b;
+        prop_assert_eq!(sum.eval(&env), a.eval(&env).wrapping_add(b.eval(&env)));
+    }
+
+    #[test]
+    fn sub_is_eval_homomorphism(a in poly_strategy(), b in poly_strategy(), env in env_strategy()) {
+        let d = &a - &b;
+        prop_assert_eq!(d.eval(&env), a.eval(&env).wrapping_sub(b.eval(&env)));
+    }
+
+    #[test]
+    fn mul_is_eval_homomorphism(a in poly_strategy(), b in poly_strategy(), env in env_strategy()) {
+        let p = &a * &b;
+        prop_assert_eq!(p.eval(&env), a.eval(&env).wrapping_mul(b.eval(&env)));
+    }
+
+    #[test]
+    fn scale_matches_shl(a in poly_strategy(), k in 0u32..8, env in env_strategy()) {
+        prop_assert_eq!(a.shl(k).eval(&env), a.eval(&env).wrapping_shl(k));
+    }
+
+    #[test]
+    fn add_commutes_and_associates(a in poly_strategy(), b in poly_strategy(), c in poly_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_distributes(a in poly_strategy(), b in poly_strategy(), c in poly_strategy()) {
+        let lhs = &a * &(&b + &c);
+        let rhs = &(&a * &b) + &(&a * &c);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn canonical_zero(a in poly_strategy()) {
+        let z = &a - &a;
+        prop_assert!(z.is_zero());
+        prop_assert_eq!(z, Poly::zero());
+    }
+
+    #[test]
+    fn coefvec_eval_decomposes(
+        parts in proptest::collection::vec(poly_strategy(), 7),
+        env in env_strategy(),
+        tid in [0i64..32, 0i64..8, 0i64..4],
+        ctaid in [0i64..64, 0i64..8, 0i64..4],
+    ) {
+        // lr = tr + br: the Sec. 4.3 microarchitectural invariant.
+        let v = CoefVec::from_polys(parts.try_into().unwrap());
+        let whole = v.eval(&env, tid, ctaid);
+        let split = v
+            .eval_thread_part(&env, tid)
+            .wrapping_add(v.eval_block_part(&env, ctaid));
+        prop_assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn coefvec_transfer_functions_are_sound(
+        a in proptest::collection::vec(poly_strategy(), 7),
+        b in proptest::collection::vec(poly_strategy(), 7),
+        k in poly_strategy(),
+        env in env_strategy(),
+        tid in [0i64..16, 0i64..4, 0i64..2],
+        ctaid in [0i64..16, 0i64..4, 0i64..2],
+    ) {
+        // Fig. 6 rows evaluated pointwise.
+        let va = CoefVec::from_polys(a.try_into().unwrap());
+        let vb = CoefVec::from_polys(b.try_into().unwrap());
+        let ea = va.eval(&env, tid, ctaid);
+        let eb = vb.eval(&env, tid, ctaid);
+        prop_assert_eq!(va.add(&vb).eval(&env, tid, ctaid), ea.wrapping_add(eb));
+        prop_assert_eq!(va.sub(&vb).eval(&env, tid, ctaid), ea.wrapping_sub(eb));
+        let ek = k.eval(&env);
+        prop_assert_eq!(va.mul_scalar(&k).eval(&env, tid, ctaid), ea.wrapping_mul(ek));
+        prop_assert_eq!(
+            va.mad(&k, &vb).eval(&env, tid, ctaid),
+            ea.wrapping_mul(ek).wrapping_add(eb)
+        );
+    }
+
+    #[test]
+    fn same_shape_iff_all_index_coefs_match(
+        a in proptest::collection::vec(poly_strategy(), 7),
+        delta in poly_strategy(),
+    ) {
+        let va = CoefVec::from_polys(a.try_into().unwrap());
+        let mut parts = va.elems().clone();
+        parts[0] = &parts[0] + &delta;
+        let vb = CoefVec::from_polys(parts);
+        prop_assert!(va.same_shape(&vb));
+        for iv in IndexVar::ALL {
+            prop_assert_eq!(va.coef(iv), vb.coef(iv));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Deterministic input-data generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use r2d2_sim::GlobalMem;
+
+/// A seeded RNG so every run sees identical inputs.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Allocate and fill an `f32` array with uniform values in `[lo, hi)`.
+pub fn alloc_f32(g: &mut GlobalMem, n: u64, rng: &mut StdRng, lo: f32, hi: f32) -> u64 {
+    let base = g.alloc(n * 4);
+    for i in 0..n {
+        g.write_f32(base, i, rng.gen_range(lo..hi));
+    }
+    base
+}
+
+/// Allocate a zeroed `f32` array.
+pub fn alloc_f32_zero(g: &mut GlobalMem, n: u64) -> u64 {
+    g.alloc(n * 4)
+}
+
+/// Allocate and fill an `i32` array with uniform values in `[lo, hi)`.
+pub fn alloc_i32(g: &mut GlobalMem, n: u64, rng: &mut StdRng, lo: i32, hi: i32) -> u64 {
+    let base = g.alloc(n * 4);
+    for i in 0..n {
+        g.write_i32(base, i, rng.gen_range(lo..hi));
+    }
+    base
+}
+
+/// Allocate a zeroed `i32` array.
+pub fn alloc_i32_zero(g: &mut GlobalMem, n: u64) -> u64 {
+    g.alloc(n * 4)
+}
+
+/// A random sparse CSR matrix / graph: returns `(row_ptr, col_idx, nnz)`.
+/// `row_ptr` has `rows + 1` entries; each row gets `[1, max_deg]` neighbors.
+pub fn alloc_csr(
+    g: &mut GlobalMem,
+    rows: u64,
+    cols: u64,
+    max_deg: u64,
+    rng: &mut StdRng,
+) -> (u64, u64, u64) {
+    let mut rp: Vec<i32> = Vec::with_capacity(rows as usize + 1);
+    let mut ci: Vec<i32> = Vec::new();
+    rp.push(0);
+    for _ in 0..rows {
+        let deg = rng.gen_range(1..=max_deg);
+        for _ in 0..deg {
+            ci.push(rng.gen_range(0..cols) as i32);
+        }
+        rp.push(ci.len() as i32);
+    }
+    let row_ptr = g.alloc((rows + 1) * 4);
+    for (i, v) in rp.iter().enumerate() {
+        g.write_i32(row_ptr, i as u64, *v);
+    }
+    let nnz = ci.len() as u64;
+    let col_idx = g.alloc(nnz.max(1) * 4);
+    for (i, v) in ci.iter().enumerate() {
+        g.write_i32(col_idx, i as u64, *v);
+    }
+    (row_ptr, col_idx, nnz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = rng(7);
+        let mut b = rng(7);
+        let x: f64 = a.gen();
+        let y: f64 = b.gen();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn csr_is_well_formed() {
+        let mut g = GlobalMem::new();
+        let mut r = rng(1);
+        let (rp, ci, nnz) = alloc_csr(&mut g, 10, 10, 4, &mut r);
+        assert_eq!(g.read_i32(rp, 0), 0);
+        assert_eq!(g.read_i32(rp, 10) as u64, nnz);
+        for e in 0..nnz {
+            let c = g.read_i32(ci, e);
+            assert!((0..10).contains(&c));
+        }
+    }
+}

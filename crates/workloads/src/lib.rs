@@ -1,0 +1,226 @@
+#![warn(missing_docs)]
+//! The benchmark zoo: synthetic reconstructions of the paper's Table 2
+//! workloads, written in the `r2d2-isa` virtual ISA.
+//!
+//! The property R2D2 exploits lives entirely in each kernel's
+//! *address-generation structure*: which fraction of its dynamic instructions
+//! form linear combinations of built-in indices, how many arrays share index
+//! shapes, how much control divergence interleaves, and how memory-intensive
+//! the kernel is. Each workload here reproduces those characteristics of its
+//! namesake (e.g. `BP` computes the paper's Fig. 2 expression
+//! `(hid+1)*(HEIGHT*by+ty+1)+tx+1` verbatim), scaled so the cycle-level
+//! simulator finishes in seconds. See `DESIGN.md` for the substitution
+//! rationale.
+//!
+//! # Example
+//!
+//! ```
+//! use r2d2_workloads::{build, Size};
+//!
+//! let w = build("BP", Size::Small).expect("backprop exists");
+//! assert_eq!(w.suite, "rodinia");
+//! assert!(!w.launches.is_empty());
+//! ```
+
+mod data;
+mod patterns;
+mod suites;
+
+use r2d2_sim::{GlobalMem, Launch};
+
+/// Workload scale: `Small` keeps unit tests fast; `Full` is what the figure
+/// harness runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Size {
+    /// Tiny inputs for tests.
+    Small,
+    /// Evaluation-sized inputs for the bench harness.
+    Full,
+}
+
+impl Size {
+    /// A generic multiplier used by workload builders.
+    pub fn factor(self) -> u32 {
+        match self {
+            Size::Small => 1,
+            Size::Full => 64,
+        }
+    }
+}
+
+/// A ready-to-run workload: initialized device memory plus one or more kernel
+/// launches executed back to back (sharing `gmem`).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Table 2 abbreviation (e.g. `"BP"`).
+    pub name: &'static str,
+    /// Table 2 suite (e.g. `"rodinia"`).
+    pub suite: &'static str,
+    /// Initialized device memory. Clone it per machine-model run.
+    pub gmem: GlobalMem,
+    /// Kernel launches, in order.
+    pub launches: Vec<Launch>,
+}
+
+/// `(abbreviation, suite)` for every implemented workload, in Table 2 order.
+pub const NAMES: &[(&str, &str)] = &[
+    ("LIB", "ispass"),
+    ("LPS", "ispass"),
+    ("RAY", "ispass"),
+    ("HIS", "parboil"),
+    ("MRG", "parboil"),
+    ("MRQ", "parboil"),
+    ("SAD", "parboil"),
+    ("SGM", "parboil"),
+    ("SPM", "parboil"),
+    ("STC", "parboil"),
+    ("2DC", "polybench"),
+    ("2MM", "polybench"),
+    ("3DC", "polybench"),
+    ("3MM", "polybench"),
+    ("ATA", "polybench"),
+    ("BIC", "polybench"),
+    ("FDT", "polybench"),
+    ("GEM", "polybench"),
+    ("GSM", "polybench"),
+    ("MVT", "polybench"),
+    ("BFS", "rodinia"),
+    ("BP", "rodinia"),
+    ("BTR", "rodinia"),
+    ("CFD", "rodinia"),
+    ("DWT", "rodinia"),
+    ("GAS", "rodinia"),
+    ("HSP", "rodinia"),
+    ("HTW", "rodinia"),
+    ("KM", "rodinia"),
+    ("LMD", "rodinia"),
+    ("LUD", "rodinia"),
+    ("MUM", "rodinia"),
+    ("NN", "rodinia"),
+    ("PTH", "rodinia"),
+    ("SRAD1", "rodinia"),
+    ("SRAD2", "rodinia"),
+    ("CCMP", "graphBig"),
+    ("KCR", "graphBig"),
+    ("SSSP", "graphBig"),
+    ("FFT", "cuFFT"),
+    ("FFT_PT", "cuFFT"),
+    ("RES", "Nebula"),
+    ("VGG", "Nebula"),
+];
+
+/// Build one workload by its Table 2 abbreviation.
+///
+/// Kernels run through the compile-time instruction scheduler
+/// ([`r2d2_isa::schedule`]) exactly as `nvcc` software-pipelines the original
+/// benchmarks — loads hoist above their uses so warp-level in-order issue can
+/// overlap memory latencies.
+pub fn build(name: &str, size: Size) -> Option<Workload> {
+    let mut w = build_raw(name, size)?;
+    for l in &mut w.launches {
+        l.kernel = r2d2_isa::schedule(&l.kernel);
+    }
+    Some(w)
+}
+
+fn build_raw(name: &str, size: Size) -> Option<Workload> {
+    Some(match name {
+        "LIB" => suites::ispass::lib(size),
+        "LPS" => suites::ispass::lps(size),
+        "RAY" => suites::ispass::ray(size),
+        "HIS" => suites::parboil::histo(size),
+        "MRG" => suites::parboil::mri_gridding(size),
+        "MRQ" => suites::parboil::mri_q(size),
+        "SAD" => suites::parboil::sad(size),
+        "SGM" => suites::parboil::sgemm(size),
+        "SPM" => suites::parboil::spmv(size),
+        "STC" => suites::parboil::stencil(size),
+        "2DC" => suites::polybench::conv2d(size),
+        "2MM" => suites::polybench::mm2(size),
+        "3DC" => suites::polybench::conv3d(size),
+        "3MM" => suites::polybench::mm3(size),
+        "ATA" => suites::polybench::atax(size),
+        "BIC" => suites::polybench::bicg(size),
+        "FDT" => suites::polybench::fdtd2d(size),
+        "GEM" => suites::polybench::gemm(size),
+        "GSM" => suites::polybench::gesummv(size),
+        "MVT" => suites::polybench::mvt(size),
+        "BFS" => suites::rodinia::bfs(size),
+        "BP" => suites::rodinia::backprop(size),
+        "BTR" => suites::rodinia::btree(size),
+        "CFD" => suites::rodinia::cfd(size),
+        "DWT" => suites::rodinia::dwt2d(size),
+        "GAS" => suites::rodinia::gaussian(size),
+        "HSP" => suites::rodinia::hotspot(size),
+        "HTW" => suites::rodinia::heartwall(size),
+        "KM" => suites::rodinia::kmeans(size),
+        "LMD" => suites::rodinia::lavamd(size),
+        "LUD" => suites::rodinia::lud(size),
+        "MUM" => suites::rodinia::mummer(size),
+        "NN" => suites::rodinia::nn(size),
+        "PTH" => suites::rodinia::pathfinder(size),
+        "SRAD1" => suites::rodinia::srad1(size),
+        "SRAD2" => suites::rodinia::srad2(size),
+        "CCMP" => suites::graph::ccmp(size),
+        "KCR" => suites::graph::kcore(size),
+        "SSSP" => suites::graph::sssp(size),
+        "FFT" => suites::fft::fft(size),
+        "FFT_PT" => suites::fft::fft_pt(size),
+        "RES" => suites::dnn::resnet(size),
+        "VGG" => suites::dnn::vgg(size),
+        _ => return None,
+    })
+}
+
+/// Build every workload.
+pub fn all(size: Size) -> Vec<Workload> {
+    NAMES.iter().map(|(n, _)| build(n, size).unwrap()).collect()
+}
+
+/// Backprop with a configurable number of input nodes (`2^log_nodes`) for the
+/// Table 3 blocks-per-grid sensitivity study.
+pub fn backprop_scaled(log_nodes: u32) -> Workload {
+    let mut w = suites::rodinia::backprop_with_nodes(1 << log_nodes);
+    for l in &mut w.launches {
+        l.kernel = r2d2_isa::schedule(&l.kernel);
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_builds_and_validates() {
+        for (name, suite) in NAMES {
+            let w = build(name, Size::Small).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(w.suite, *suite);
+            assert!(!w.launches.is_empty(), "{name} has no launches");
+            for l in &w.launches {
+                assert!(
+                    l.kernel.validate().is_ok(),
+                    "{name}/{}: {:?}",
+                    l.kernel.name,
+                    l.kernel.validate()
+                );
+                assert!(l.num_blocks() > 0);
+                assert!(l.threads_per_block() > 0);
+                assert!(l.threads_per_block() <= 1024);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(build("NOPE", Size::Small).is_none());
+    }
+
+    #[test]
+    fn full_size_scales_up() {
+        let s = build("GEM", Size::Small).unwrap();
+        let f = build("GEM", Size::Full).unwrap();
+        let blocks = |w: &Workload| w.launches.iter().map(|l| l.num_blocks()).sum::<u64>();
+        assert!(blocks(&f) > blocks(&s));
+    }
+}

@@ -1,0 +1,796 @@
+//! Shared kernel-structure emitters.
+//!
+//! Each Table 2 application reduces to a handful of address-generation
+//! archetypes (streaming maps, mat-mul/mat-vec loops, stencils, CSR graph
+//! traversals, butterflies, ...). The suite modules compose these emitters
+//! with app-specific dimensions, array counts and parameters.
+
+use r2d2_isa::{AtomOp, CmpOp, Kernel, KernelBuilder, Operand, Reg, SfuOp, Ty};
+
+/// Emit the full per-array address chain real PTX produces for `arr[idx]`:
+/// `ld.param` + `cvt` + `shl` + `add` every time (paper Fig. 3 — compilers
+/// re-derive each array's address from the shared index registers rather
+/// than CSE-ing one byte offset across arrays).
+pub(crate) fn gaddr(b: &mut KernelBuilder, param: usize, idx: Reg, scale_log2: u32) -> Reg {
+    let p = b.ld_param(param);
+    let off = b.shl_imm_wide(idx, scale_log2);
+    b.add_wide(p, off)
+}
+
+
+/// `out[i] = fold(in_0[i], ..., in_{k-1}[i])` with `extra_flops` extra mads.
+///
+/// Params: `[in_0, .., in_{k-1}, out]`. One thread per element.
+pub fn streaming_map(name: &str, inputs: usize, extra_flops: usize) -> Kernel {
+    let mut b = KernelBuilder::new(name, inputs + 1);
+    let i = b.global_tid_x();
+    let mut acc: Option<Reg> = None;
+    for k in 0..inputs {
+        let a = gaddr(&mut b, k, i, 2);
+        let v = b.ld_global(Ty::F32, a, 0);
+        acc = Some(match acc {
+            None => v,
+            Some(prev) => b.add_ty(Ty::F32, prev, v),
+        });
+    }
+    let mut acc = acc.expect("at least one input");
+    for f in 0..extra_flops {
+        let c = b.fimm32(1.0 + f as f32 * 0.25);
+        acc = b.mad_ty(Ty::F32, acc, c, acc);
+    }
+    let ao = gaddr(&mut b, inputs, i, 2);
+    b.st_global(Ty::F32, ao, 0, acc);
+    b.build()
+}
+
+/// Dense mat-mul `C = A x B` with `A: N x K`, `B: K x N`, `C: N x N`; one
+/// thread per output element, inner loop over `k` with pointer increments
+/// (the paper's SGM loop-offset case).
+///
+/// Params: `[A, B, C, N, K]`. Launch with 2D blocks covering N x N.
+pub fn matmul(name: &str) -> Kernel {
+    let mut b = KernelBuilder::new(name, 5);
+    let tx = b.tid_x();
+    let ty = b.tid_y();
+    let bx = b.ctaid_x();
+    let by = b.ctaid_y();
+    let ntx = b.ntid_x();
+    let nty = b.ntid_y();
+    let col = b.mad(bx, ntx, tx);
+    let row = b.mad(by, nty, ty);
+    let n = b.ld_param32(3);
+    let kdim = b.ld_param32(4);
+    // aptr = A + row*K*4 ; bptr = B + col*4
+    let rown = b.mul(row, kdim);
+    let aoff = b.shl_imm_wide(rown, 2);
+    let pa = b.ld_param(0);
+    let aptr = b.add_wide(pa, aoff);
+    let boff = b.shl_imm_wide(col, 2);
+    let pb = b.ld_param(1);
+    let bptr = b.add_wide(pb, boff);
+    let nstride = b.shl_imm(n, 2); // 4*N byte stride, widened below
+    let nstride_w = b.cvt_wide(nstride);
+    let acc = b.fimm32(0.0);
+    let k = b.imm32(0);
+    let top = b.here_label();
+    let av = b.ld_global(Ty::F32, aptr, 0);
+    let bv = b.ld_global(Ty::F32, bptr, 0);
+    let prod = b.mad_ty(Ty::F32, av, bv, acc);
+    b.assign_mov(Ty::F32, acc, prod);
+    b.assign_add(Ty::B64, aptr, Operand::Imm(4));
+    b.assign_add(Ty::B64, bptr, nstride_w);
+    b.assign_add(Ty::B32, k, Operand::Imm(1));
+    let p = b.setp(CmpOp::Lt, Ty::B32, k, kdim);
+    b.bra_if(p, true, top);
+    let cidx = b.mad(row, n, col);
+    let coff = b.shl_imm_wide(cidx, 2);
+    let pc = b.ld_param(2);
+    let cptr = b.add_wide(pc, coff);
+    b.st_global(Ty::F32, cptr, 0, acc);
+    b.build()
+}
+
+/// Tiled shared-memory mat-mul (16x16 tiles), the classic SGEMM shape with
+/// `bar.sync` between tile loads.
+///
+/// Params: `[A, B, C, N]`. Launch with 16x16 blocks covering N x N;
+/// `N` must be a multiple of 16.
+pub fn matmul_tiled(name: &str) -> Kernel {
+    const T: i64 = 16;
+    let mut b = KernelBuilder::new(name, 4);
+    b.shared_bytes((2 * T * T * 4) as u32);
+    let tx = b.tid_x();
+    let ty = b.tid_y();
+    let bx = b.ctaid_x();
+    let by = b.ctaid_y();
+    let col0 = b.shl_imm(bx, 4);
+    let col = b.add(col0, tx);
+    let row0 = b.shl_imm(by, 4);
+    let row = b.add(row0, ty);
+    let n = b.ld_param32(3);
+    let pa = b.ld_param(0);
+    let pb = b.ld_param(1);
+    // shared tile offsets for (ty, tx)
+    let tidx = b.mad(ty, Operand::Imm(T), tx);
+    let soff_a32 = b.shl_imm(tidx, 2);
+    let soff_a = b.cvt_wide(soff_a32);
+    let soff_b = b.add_wide(soff_a, Operand::Imm(T * T * 4));
+    let acc = b.fimm32(0.0);
+    let t = b.imm32(0);
+    let top = b.here_label();
+    // load A[row][t*16+tx] and B[t*16+ty][col] into shared
+    let t16 = b.shl_imm(t, 4);
+    let acol = b.add(t16, tx);
+    let aidx = b.mad(row, n, acol);
+    let aoff = b.shl_imm_wide(aidx, 2);
+    let aaddr = b.add_wide(pa, aoff);
+    let av = b.ld_global(Ty::F32, aaddr, 0);
+    b.st_shared(Ty::F32, soff_a, 0, av);
+    let brow = b.add(t16, ty);
+    let bidx = b.mad(brow, n, col);
+    let boff = b.shl_imm_wide(bidx, 2);
+    let baddr = b.add_wide(pb, boff);
+    let bv = b.ld_global(Ty::F32, baddr, 0);
+    b.st_shared(Ty::F32, soff_b, 0, bv);
+    b.bar();
+    // inner product over the tile (unrolled)
+    let tyrow32 = b.shl_imm(ty, 2 + 4); // ty*16*4 bytes
+    let tyrow = b.cvt_wide(tyrow32);
+    let txcol32 = b.shl_imm(tx, 2);
+    let txcol0 = b.cvt_wide(txcol32);
+    let txcol = b.add_wide(txcol0, Operand::Imm(T * T * 4));
+    for kk in 0..T {
+        let a = b.ld_shared(Ty::F32, tyrow, kk * 4);
+        let bb_ = b.ld_shared(Ty::F32, txcol, kk * T * 4);
+        let r = b.mad_ty(Ty::F32, a, bb_, acc);
+        b.assign_mov(Ty::F32, acc, r);
+    }
+    b.bar();
+    b.assign_add(Ty::B32, t, Operand::Imm(1));
+    let ntiles = b.shr_imm(Ty::B32, n, 4);
+    let p = b.setp(CmpOp::Lt, Ty::B32, t, ntiles);
+    b.bra_if(p, true, top);
+    let cidx = b.mad(row, n, col);
+    let coff = b.shl_imm_wide(cidx, 2);
+    let pcp = b.ld_param(2);
+    let cptr = b.add_wide(pcp, coff);
+    b.st_global(Ty::F32, cptr, 0, acc);
+    b.build()
+}
+
+/// Mat-vec `y = A x` (rows x cols). `trans` walks A column-wise
+/// (stride = cols) like `atax`/`mvt` transposed passes.
+///
+/// Params: `[A, x, y, cols]`. One thread per row (or per column when
+/// `trans`).
+pub fn matvec(name: &str, trans: bool) -> Kernel {
+    let mut b = KernelBuilder::new(name, 4);
+    let i = b.global_tid_x();
+    let cols = b.ld_param32(3);
+    let pa = b.ld_param(0);
+    let (aptr, stride) = if trans {
+        // column walk: A + i*4, stride cols*4
+        let off = b.shl_imm_wide(i, 2);
+        let p = b.add_wide(pa, off);
+        let s32 = b.shl_imm(cols, 2);
+        let s = b.cvt_wide(s32);
+        (p, s)
+    } else {
+        // row walk: A + i*cols*4, stride 4
+        let icols = b.mul(i, cols);
+        let off = b.shl_imm_wide(icols, 2);
+        let p = b.add_wide(pa, off);
+        let s = b.imm64(4);
+        (p, s)
+    };
+    let px = b.ld_param(1);
+    let xptr = b.fresh();
+    b.assign_mov(Ty::B64, xptr, px);
+    let acc = b.fimm32(0.0);
+    let k = b.imm32(0);
+    let top = b.here_label();
+    let av = b.ld_global(Ty::F32, aptr, 0);
+    let xv = b.ld_global(Ty::F32, xptr, 0);
+    let r = b.mad_ty(Ty::F32, av, xv, acc);
+    b.assign_mov(Ty::F32, acc, r);
+    b.assign_add(Ty::B64, aptr, stride);
+    b.assign_add(Ty::B64, xptr, Operand::Imm(4));
+    b.assign_add(Ty::B32, k, Operand::Imm(1));
+    let p = b.setp(CmpOp::Lt, Ty::B32, k, cols);
+    b.bra_if(p, true, top);
+    let yoff = b.shl_imm_wide(i, 2);
+    let py = b.ld_param(2);
+    let yptr = b.add_wide(py, yoff);
+    b.st_global(Ty::F32, yptr, 0, acc);
+    b.build()
+}
+
+/// 2D stencil over a padded grid: `out[y][x] = sum_k w_k * in[y+dy][x+dx]`.
+/// The taps are constant offsets from one shared linear address — the
+/// paper's Fig. 8 CFD pattern (one LR group, many `%cr` offsets).
+///
+/// Params: `[in, out, pitch]`. Interior is `W x H`; the arrays are padded by
+/// one element on every side with `pitch = W + 2`. Launch 2D blocks over
+/// W x H.
+pub fn stencil2d(name: &str, taps: &[(i64, i64, f32)]) -> Kernel {
+    let mut b = KernelBuilder::new(name, 3);
+    let tx = b.tid_x();
+    let ty = b.tid_y();
+    let bx = b.ctaid_x();
+    let by = b.ctaid_y();
+    let ntx = b.ntid_x();
+    let nty = b.ntid_y();
+    let x = b.mad(bx, ntx, tx);
+    let y = b.mad(by, nty, ty);
+    let pitch = b.ld_param32(2);
+    let x1 = b.add(x, Operand::Imm(1));
+    let y1 = b.add(y, Operand::Imm(1));
+    let idx = b.mad(y1, pitch, x1);
+    let off = b.shl_imm_wide(idx, 2);
+    let pin = b.ld_param(0);
+    let base = b.add_wide(pin, off);
+    // The tap byte offsets are only known at launch (pitch is a parameter),
+    // so fold dy*pitch into index math per tap: addr = base + (dy*pitch+dx)*4.
+    let mut acc = b.fimm32(0.0);
+    for &(dy, dx, w) in taps {
+        let v = if dy == 0 {
+            b.ld_global(Ty::F32, base, dx * 4)
+        } else {
+            let dpitch = b.mul(pitch, Operand::Imm(dy));
+            let delta = b.add(dpitch, Operand::Imm(dx));
+            let dw32 = b.shl_imm(delta, 2);
+            let dw = b.cvt_wide(dw32);
+            let addr = b.add_wide(base, dw);
+            b.ld_global(Ty::F32, addr, 0)
+        };
+        let wc = b.fimm32(w);
+        acc = b.mad_ty(Ty::F32, v, wc, acc);
+    }
+    let pout = b.ld_param(1);
+    let obase = b.add_wide(pout, off);
+    b.st_global(Ty::F32, obase, 0, acc);
+    b.build()
+}
+
+/// 3D 7-point stencil: 2D block over (x, y), loop over z. The paper's STC /
+/// LPS / 3DC shape (register-heavy, z-loop with plane-stride pointer bumps).
+///
+/// Params: `[in, out, pitch, planes]` with plane stride `pitch*pitch` and a
+/// one-element halo in x/y/z.
+pub fn stencil3d(name: &str) -> Kernel {
+    let mut b = KernelBuilder::new(name, 4);
+    let tx = b.tid_x();
+    let ty = b.tid_y();
+    let bx = b.ctaid_x();
+    let by = b.ctaid_y();
+    let ntx = b.ntid_x();
+    let nty = b.ntid_y();
+    let x = b.mad(bx, ntx, tx);
+    let y = b.mad(by, nty, ty);
+    let pitch = b.ld_param32(2);
+    let planes = b.ld_param32(3);
+    let plane = b.mul(pitch, pitch);
+    let x1 = b.add(x, Operand::Imm(1));
+    let y1 = b.add(y, Operand::Imm(1));
+    let yrow = b.mad(y1, pitch, x1);
+    let idx0 = b.add(yrow, plane); // z = 1
+    let off = b.shl_imm_wide(idx0, 2);
+    let pin = b.ld_param(0);
+    let pout = b.ld_param(1);
+    let iptr = b.add_wide(pin, off);
+    let optr = b.add_wide(pout, off);
+    let pstride32 = b.shl_imm(plane, 2);
+    let pstride = b.cvt_wide(pstride32);
+    let prow32 = b.shl_imm(pitch, 2);
+    let prow = b.cvt_wide(prow32);
+    let z = b.imm32(1);
+    let top = b.here_label();
+    let c = b.ld_global(Ty::F32, iptr, 0);
+    let e = b.ld_global(Ty::F32, iptr, 4);
+    let w = b.ld_global(Ty::F32, iptr, -4);
+    // north/south need runtime pitch stride
+    let naddr = b.add_wide(iptr, prow);
+    let nn = b.ld_global(Ty::F32, naddr, 0);
+    let saddr = b.sub_ty(Ty::B64, iptr, prow);
+    let ss = b.ld_global(Ty::F32, saddr, 0);
+    let uaddr = b.add_wide(iptr, pstride);
+    let uu = b.ld_global(Ty::F32, uaddr, 0);
+    let daddr = b.sub_ty(Ty::B64, iptr, pstride);
+    let dd = b.ld_global(Ty::F32, daddr, 0);
+    let s1 = b.add_ty(Ty::F32, e, w);
+    let s2 = b.add_ty(Ty::F32, nn, ss);
+    let s3 = b.add_ty(Ty::F32, uu, dd);
+    let s4 = b.add_ty(Ty::F32, s1, s2);
+    let s5 = b.add_ty(Ty::F32, s3, s4);
+    let wc = b.fimm32(1.0 / 6.0);
+    let c2 = b.fimm32(0.5);
+    let part = b.mul_ty(Ty::F32, s5, wc);
+    let res = b.mad_ty(Ty::F32, c, c2, part);
+    b.st_global(Ty::F32, optr, 0, res);
+    b.assign_add(Ty::B64, iptr, pstride);
+    b.assign_add(Ty::B64, optr, pstride);
+    b.assign_add(Ty::B32, z, Operand::Imm(1));
+    let pm1 = b.sub(planes, Operand::Imm(1));
+    let p = b.setp(CmpOp::Lt, Ty::B32, z, pm1);
+    b.bra_if(p, true, top);
+    b.build()
+}
+
+/// CSR traversal body variants for the graph workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphOp {
+    /// BFS level expansion: `level[n] = cur + 1` for unvisited neighbors.
+    BfsLevel,
+    /// SSSP relaxation: `atom.min(dist[n], dist[v] + w[e])`.
+    SsspRelax,
+    /// Connected components: `atom.min(label[n], label[v])`.
+    LabelMin,
+    /// K-core: count neighbors with `deg >= k` into `out[v]`.
+    CountActive,
+}
+
+/// CSR graph kernel: one thread per vertex, guarded early exit for excess
+/// threads, data-dependent inner loop over the adjacency list. This is the
+/// paper's "irregular with regular address prologue" BFS case (Sec. 5.2).
+///
+/// Params: `[row_ptr, col_idx, a, b, nverts, k]` where `a`/`b` are the
+/// per-variant arrays (level/dist/label/deg + aux) and `k` is a scalar
+/// (current BFS level / k-core threshold / edge weight scale).
+pub fn csr_kernel(name: &str, op: GraphOp) -> Kernel {
+    let mut b = KernelBuilder::new(name, 6);
+    let v = b.global_tid_x();
+    let nv = b.ld_param32(4);
+    let poob = b.setp(CmpOp::Ge, Ty::B32, v, nv);
+    b.exit();
+    b.guard_last(poob, true);
+    let voff = b.shl_imm_wide(v, 2);
+    let prp = b.ld_param(0);
+    let rp_addr = b.add_wide(prp, voff);
+    let start = b.ld_global(Ty::B32, rp_addr, 0);
+    let end = b.ld_global(Ty::B32, rp_addr, 4);
+    let pa = b.ld_param(2);
+    let va_addr = b.add_wide(pa, voff);
+    let myval = b.ld_global(Ty::B32, va_addr, 0);
+    let kparam = b.ld_param32(5);
+
+    // BFS/label only process "active" vertices this iteration.
+    let skip = b.label();
+    match op {
+        GraphOp::BfsLevel => {
+            let pn = b.setp(CmpOp::Ne, Ty::B32, myval, kparam);
+            b.bra_if(pn, true, skip);
+        }
+        GraphOp::LabelMin | GraphOp::SsspRelax | GraphOp::CountActive => {}
+    }
+
+    let pci = b.ld_param(1);
+    let e = b.fresh();
+    b.assign_mov(Ty::B32, e, start);
+    let count = b.imm32(0);
+    let loop_top = b.here_label();
+    let pdone = b.setp(CmpOp::Ge, Ty::B32, e, end);
+    b.bra_if(pdone, true, skip);
+    let eoff = b.shl_imm_wide(e, 2);
+    let ci_addr = b.add_wide(pci, eoff);
+    let n = b.ld_global(Ty::B32, ci_addr, 0);
+    let noff32 = b.shl_imm(n, 2);
+    let noff = b.cvt_wide(noff32);
+    match op {
+        GraphOp::BfsLevel => {
+            let pb_ = b.ld_param(3);
+            let lv_addr = b.add_wide(pb_, noff);
+            let nl = b.ld_global(Ty::B32, lv_addr, 0);
+            let punv = b.setp(CmpOp::Lt, Ty::B32, nl, Operand::Imm(0));
+            let k1 = b.add(kparam, Operand::Imm(1));
+            b.st_global(Ty::B32, lv_addr, 0, k1);
+            b.guard_last(punv, true);
+        }
+        GraphOp::SsspRelax => {
+            let wsc = b.and_ty(Ty::B32, n, Operand::Imm(7));
+            let wgt = b.add(wsc, Operand::Imm(1));
+            let cand = b.add(myval, wgt);
+            let pb_ = b.ld_param(3);
+            let d_addr = b.add_wide(pb_, noff);
+            b.atom(AtomOp::Min, Ty::B32, d_addr, 0, cand);
+        }
+        GraphOp::LabelMin => {
+            let pb_ = b.ld_param(3);
+            let l_addr = b.add_wide(pb_, noff);
+            b.atom(AtomOp::Min, Ty::B32, l_addr, 0, myval);
+        }
+        GraphOp::CountActive => {
+            let pb_ = b.ld_param(3);
+            let d_addr = b.add_wide(pb_, noff);
+            let nd = b.ld_global(Ty::B32, d_addr, 0);
+            let pact = b.setp(CmpOp::Ge, Ty::B32, nd, kparam);
+            let one = b.selp(Ty::B32, Operand::Imm(1), Operand::Imm(0), pact);
+            b.assign_add(Ty::B32, count, one);
+        }
+    }
+    b.assign_add(Ty::B32, e, Operand::Imm(1));
+    b.bra(loop_top);
+    b.place(skip);
+    if op == GraphOp::CountActive {
+        b.st_global(Ty::B32, va_addr, 0, count);
+    }
+    b.build()
+}
+
+/// Fully-connected layer `y[o] = act(sum_i W[o*I+i]*x[i] + bias[o])`.
+///
+/// Params: `[W, x, bias, y, in_features]`. One thread per output feature.
+pub fn fc_layer(name: &str, relu: bool) -> Kernel {
+    let mut b = KernelBuilder::new(name, 5);
+    let o = b.global_tid_x();
+    let nin = b.ld_param32(4);
+    let row = b.mul(o, nin);
+    let woff = b.shl_imm_wide(row, 2);
+    let pw = b.ld_param(0);
+    let wptr = b.add_wide(pw, woff);
+    let px = b.ld_param(1);
+    let xptr = b.fresh();
+    b.assign_mov(Ty::B64, xptr, px);
+    let acc = b.fimm32(0.0);
+    let k = b.imm32(0);
+    let top = b.here_label();
+    let wv = b.ld_global(Ty::F32, wptr, 0);
+    let xv = b.ld_global(Ty::F32, xptr, 0);
+    let r = b.mad_ty(Ty::F32, wv, xv, acc);
+    b.assign_mov(Ty::F32, acc, r);
+    b.assign_add(Ty::B64, wptr, Operand::Imm(4));
+    b.assign_add(Ty::B64, xptr, Operand::Imm(4));
+    b.assign_add(Ty::B32, k, Operand::Imm(1));
+    let p = b.setp(CmpOp::Lt, Ty::B32, k, nin);
+    b.bra_if(p, true, top);
+    let ooff = b.shl_imm_wide(o, 2);
+    let pbias = b.ld_param(2);
+    let baddr = b.add_wide(pbias, ooff);
+    let bias = b.ld_global(Ty::F32, baddr, 0);
+    let mut out = b.add_ty(Ty::F32, acc, bias);
+    if relu {
+        let zero = b.fimm32(0.0);
+        out = b.max_ty(Ty::F32, out, zero);
+    }
+    let py = b.ld_param(3);
+    let yaddr = b.add_wide(py, ooff);
+    b.st_global(Ty::F32, yaddr, 0, out);
+    b.build()
+}
+
+/// Direct 3x3 single-channel convolution with weights in memory: the DNN
+/// conv-layer shape (nine constant-offset taps from one base — a single LR
+/// group — plus nine uniform weight loads).
+///
+/// Params: `[in, weights, out, pitch]` (padded input, pitch = W + 2).
+pub fn conv3x3(name: &str) -> Kernel {
+    let mut b = KernelBuilder::new(name, 4);
+    let tx = b.tid_x();
+    let ty = b.tid_y();
+    let bx = b.ctaid_x();
+    let by = b.ctaid_y();
+    let ntx = b.ntid_x();
+    let nty = b.ntid_y();
+    let x = b.mad(bx, ntx, tx);
+    let y = b.mad(by, nty, ty);
+    let pitch = b.ld_param32(3);
+    let x1 = b.add(x, Operand::Imm(1));
+    let y1 = b.add(y, Operand::Imm(1));
+    let idx = b.mad(y1, pitch, x1);
+    let off = b.shl_imm_wide(idx, 2);
+    let pin = b.ld_param(0);
+    let base = b.add_wide(pin, off);
+    let pw = b.ld_param(1);
+    let mut acc = b.fimm32(0.0);
+    for ky in -1i64..=1 {
+        for kx in -1i64..=1 {
+            let v = if ky == 0 {
+                b.ld_global(Ty::F32, base, kx * 4)
+            } else {
+                let d = b.mul(pitch, Operand::Imm(ky));
+                let d2 = b.add(d, Operand::Imm(kx));
+                let dw32 = b.shl_imm(d2, 2);
+                let dw = b.cvt_wide(dw32);
+                let a = b.add_wide(base, dw);
+                b.ld_global(Ty::F32, a, 0)
+            };
+            let widx = ((ky + 1) * 3 + (kx + 1)) * 4;
+            let wv = b.ld_global(Ty::F32, pw, widx);
+            acc = b.mad_ty(Ty::F32, v, wv, acc);
+        }
+    }
+    let zero = b.fimm32(0.0);
+    let relu = b.max_ty(Ty::F32, acc, zero);
+    let pout = b.ld_param(2);
+    let obase = b.add_wide(pout, off);
+    b.st_global(Ty::F32, obase, 0, relu);
+    b.build()
+}
+
+/// One radix-2 FFT butterfly stage on interleaved (re, im) f32 pairs; partner
+/// selection uses XOR (non-linear), twiddles use the SFU — the mixed
+/// regular/irregular profile of the cuFFT workload.
+///
+/// Params: `[re, im, span, n_half]`. One thread per butterfly.
+pub fn fft_stage(name: &str) -> Kernel {
+    let mut b = KernelBuilder::new(name, 4);
+    let i = b.global_tid_x();
+    let span = b.ld_param32(2);
+    // lower index: j = (i & ~(span-1)) * 2 + (i & (span-1))
+    let sm1 = b.sub(span, Operand::Imm(1));
+    let lowbits = b.and_ty(Ty::B32, i, sm1);
+    let notm = b.not_like(sm1);
+    let hibits = b.and_ty(Ty::B32, i, notm);
+    let hi2 = b.shl_imm(hibits, 1);
+    let j = b.add(hi2, lowbits);
+    let jp = b.add(j, span);
+    let joff = b.shl_imm_wide(j, 2);
+    let jpoff = b.shl_imm_wide(jp, 2);
+    let pre = b.ld_param(0);
+    let pim = b.ld_param(1);
+    let are = b.add_wide(pre, joff);
+    let aim = b.add_wide(pim, joff);
+    let bre = b.add_wide(pre, jpoff);
+    let bim = b.add_wide(pim, jpoff);
+    let xr = b.ld_global(Ty::F32, are, 0);
+    let xi = b.ld_global(Ty::F32, aim, 0);
+    let yr = b.ld_global(Ty::F32, bre, 0);
+    let yi = b.ld_global(Ty::F32, bim, 0);
+    // twiddle angle = -pi * lowbits / span
+    let lf = b.cvt(Ty::F32, lowbits);
+    let sf = b.cvt(Ty::F32, span);
+    let ratio = b.div_ty(Ty::F32, lf, sf);
+    let mpi = b.fimm32(-std::f32::consts::PI);
+    let ang = b.mul_ty(Ty::F32, ratio, mpi);
+    let c = b.sfu(SfuOp::Cos, Ty::F32, ang);
+    let s = b.sfu(SfuOp::Sin, Ty::F32, ang);
+    // t = w * y
+    let cyr = b.mul_ty(Ty::F32, c, yr);
+    let syi = b.mul_ty(Ty::F32, s, yi);
+    let tr = b.sub_ty(Ty::F32, cyr, syi);
+    let cyi = b.mul_ty(Ty::F32, c, yi);
+    let syr = b.mul_ty(Ty::F32, s, yr);
+    let ti = b.add_ty(Ty::F32, cyi, syr);
+    let or0 = b.add_ty(Ty::F32, xr, tr);
+    let oi0 = b.add_ty(Ty::F32, xi, ti);
+    let or1 = b.sub_ty(Ty::F32, xr, tr);
+    let oi1 = b.sub_ty(Ty::F32, xi, ti);
+    b.st_global(Ty::F32, are, 0, or0);
+    b.st_global(Ty::F32, aim, 0, oi0);
+    b.st_global(Ty::F32, bre, 0, or1);
+    b.st_global(Ty::F32, bim, 0, oi1);
+    b.build()
+}
+
+trait NotHelper {
+    fn not_like(&mut self, r: Reg) -> Reg;
+}
+
+impl NotHelper for KernelBuilder {
+    fn not_like(&mut self, r: Reg) -> Reg {
+        let d = self.fresh();
+        self.push(r2d2_isa::Instr::new(
+            r2d2_isa::Op::Not,
+            Ty::B32,
+            Some(r2d2_isa::Dst::Reg(d)),
+            vec![Operand::Reg(r)],
+        ));
+        d
+    }
+}
+
+/// Histogram with atomics: `atom.add(hist[data[i] & (bins-1)], 1)`.
+///
+/// Params: `[data, hist, bins_mask]`.
+pub fn histogram(name: &str) -> Kernel {
+    let mut b = KernelBuilder::new(name, 3);
+    let i = b.global_tid_x();
+    let off = b.shl_imm_wide(i, 2);
+    let pd = b.ld_param(0);
+    let daddr = b.add_wide(pd, off);
+    let v = b.ld_global(Ty::B32, daddr, 0);
+    let mask = b.ld_param32(2);
+    let bin = b.and_ty(Ty::B32, v, mask);
+    let boff32 = b.shl_imm(bin, 2);
+    let boff = b.cvt_wide(boff32);
+    let ph = b.ld_param(1);
+    let haddr = b.add_wide(ph, boff);
+    let one = b.imm32(1);
+    b.atom(AtomOp::Add, Ty::B32, haddr, 0, one);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2d2_sim::{functional, Dim3, GlobalMem, Launch};
+
+    #[test]
+    fn matmul_computes_correct_product() {
+        let k = matmul("mm");
+        let n = 16u64;
+        let mut g = GlobalMem::new();
+        let a = g.alloc(n * n * 4);
+        let bb = g.alloc(n * n * 4);
+        let c = g.alloc(n * n * 4);
+        for i in 0..n * n {
+            g.write_f32(a, i, (i % 7) as f32);
+            g.write_f32(bb, i, (i % 5) as f32);
+        }
+        let launch =
+            Launch::new(k, Dim3::d2(1, 1), Dim3::d2(16, 16), vec![a, bb, c, n, n]);
+        functional::run(&launch, &mut g, 10_000_000, None).unwrap();
+        for row in 0..n {
+            for col in 0..n {
+                let mut want = 0.0f32;
+                for kk in 0..n {
+                    want += g.read_f32(a, row * n + kk) * g.read_f32(bb, kk * n + col);
+                }
+                let got = g.read_f32(c, row * n + col);
+                assert!((got - want).abs() < 1e-3, "C[{row}][{col}] {got} != {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_matmul_matches_untiled() {
+        let n = 32u64;
+        let fill = |g: &mut GlobalMem| {
+            let a = g.alloc(n * n * 4);
+            let bb = g.alloc(n * n * 4);
+            let c = g.alloc(n * n * 4);
+            for i in 0..n * n {
+                g.write_f32(a, i, ((i * 13) % 11) as f32 - 5.0);
+                g.write_f32(bb, i, ((i * 7) % 9) as f32 - 4.0);
+            }
+            (a, bb, c)
+        };
+        let mut g1 = GlobalMem::new();
+        let (a1, b1, c1) = fill(&mut g1);
+        let l1 =
+            Launch::new(matmul("mm"), Dim3::d2(2, 2), Dim3::d2(16, 16), vec![a1, b1, c1, n, n]);
+        functional::run(&l1, &mut g1, 10_000_000, None).unwrap();
+        let mut g2 = GlobalMem::new();
+        let (a2, b2, c2) = fill(&mut g2);
+        let l2 = Launch::new(
+            matmul_tiled("mmt"),
+            Dim3::d2(2, 2),
+            Dim3::d2(16, 16),
+            vec![a2, b2, c2, n],
+        );
+        functional::run(&l2, &mut g2, 10_000_000, None).unwrap();
+        for i in 0..n * n {
+            let x = g1.read_f32(c1, i);
+            let y = g2.read_f32(c2, i);
+            assert!((x - y).abs() < 1e-2, "i={i} {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn stencil2d_averages_neighbors() {
+        let taps: &[(i64, i64, f32)] =
+            &[(0, 0, 0.5), (0, 1, 0.125), (0, -1, 0.125), (1, 0, 0.125), (-1, 0, 0.125)];
+        let k = stencil2d("st", taps);
+        let w = 16u64;
+        let h = 8u64;
+        let pitch = w + 2;
+        let mut g = GlobalMem::new();
+        let input = g.alloc(pitch * (h + 2) * 4);
+        let output = g.alloc(pitch * (h + 2) * 4);
+        for i in 0..pitch * (h + 2) {
+            g.write_f32(input, i, 2.0);
+        }
+        let launch = Launch::new(k, Dim3::d2(1, 1), Dim3::d2(16, 8), vec![input, output, pitch]);
+        functional::run(&launch, &mut g, 10_000_000, None).unwrap();
+        // Uniform field: every interior output equals 2.0 * sum(w) = 2.0.
+        for y in 0..h {
+            for x in 0..w {
+                let v = g.read_f32(output, (y + 1) * pitch + x + 1);
+                assert!((v - 2.0).abs() < 1e-5, "({x},{y}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_levels_expand() {
+        // Path graph 0-1-2-3: level[0]=0; run 3 iterations.
+        let k = csr_kernel("bfs", GraphOp::BfsLevel);
+        let mut g = GlobalMem::new();
+        let rp = g.alloc(5 * 4);
+        let ci = g.alloc(6 * 4);
+        // adjacency: 0:[1] 1:[0,2] 2:[1,3] 3:[2]
+        for (i, v) in [0, 1, 3, 5, 6].iter().enumerate() {
+            g.write_i32(rp, i as u64, *v);
+        }
+        for (i, v) in [1, 0, 2, 1, 3, 2].iter().enumerate() {
+            g.write_i32(ci, i as u64, *v);
+        }
+        let level = g.alloc(4 * 4);
+        for i in 0..4 {
+            g.write_i32(level, i, if i == 0 { 0 } else { -1 });
+        }
+        for it in 0..3u64 {
+            let launch = Launch::new(
+                k.clone(),
+                Dim3::d1(1),
+                Dim3::d1(32),
+                vec![rp, ci, level, level, 4, it],
+            );
+            functional::run(&launch, &mut g, 10_000_000, None).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(g.read_i32(level, i), i as i32, "level[{i}]");
+        }
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let k = histogram("his");
+        let mut g = GlobalMem::new();
+        let n = 256u64;
+        let data = g.alloc(n * 4);
+        for i in 0..n {
+            g.write_i32(data, i, (i * 37) as i32);
+        }
+        let hist = g.alloc(16 * 4);
+        let launch = Launch::new(k, Dim3::d1(2), Dim3::d1(128), vec![data, hist, 15]);
+        functional::run(&launch, &mut g, 10_000_000, None).unwrap();
+        let total: i32 = (0..16).map(|i| g.read_i32(hist, i)).sum();
+        assert_eq!(total, n as i32);
+    }
+
+    #[test]
+    fn fc_layer_matches_reference() {
+        let k = fc_layer("fc", true);
+        let nin = 8u64;
+        let nout = 32u64;
+        let mut g = GlobalMem::new();
+        let w = g.alloc(nout * nin * 4);
+        let x = g.alloc(nin * 4);
+        let bias = g.alloc(nout * 4);
+        let y = g.alloc(nout * 4);
+        for i in 0..nout * nin {
+            g.write_f32(w, i, ((i % 13) as f32 - 6.0) * 0.1);
+        }
+        for i in 0..nin {
+            g.write_f32(x, i, i as f32 * 0.3);
+        }
+        for i in 0..nout {
+            g.write_f32(bias, i, -0.2);
+        }
+        let launch = Launch::new(k, Dim3::d1(1), Dim3::d1(32), vec![w, x, bias, y, nin]);
+        functional::run(&launch, &mut g, 10_000_000, None).unwrap();
+        for o in 0..nout {
+            let mut want = -0.2f32;
+            for i in 0..nin {
+                want += g.read_f32(w, o * nin + i) * g.read_f32(x, i);
+            }
+            want = want.max(0.0);
+            let got = g.read_f32(y, o);
+            assert!((got - want).abs() < 1e-4, "y[{o}] {got} != {want}");
+        }
+    }
+
+    #[test]
+    fn fft_stage_preserves_energy() {
+        // Parseval-ish smoke check across one full FFT of size 8.
+        let n = 8u64;
+        let mut g = GlobalMem::new();
+        let re = g.alloc(n * 4);
+        let im = g.alloc(n * 4);
+        for i in 0..n {
+            g.write_f32(re, i, (i as f32 * 0.7).sin());
+        }
+        let k = fft_stage("fft");
+        let mut span = 1u64;
+        while span < n {
+            let launch =
+                Launch::new(k.clone(), Dim3::d1(1), Dim3::d1((n / 2) as u32), vec![re, im, span, n / 2]);
+            functional::run(&launch, &mut g, 10_000_000, None).unwrap();
+            span *= 2;
+        }
+        let sum: f32 = (0..n)
+            .map(|i| g.read_f32(re, i).powi(2) + g.read_f32(im, i).powi(2))
+            .sum();
+        assert!(sum.is_finite() && sum > 0.0);
+    }
+}

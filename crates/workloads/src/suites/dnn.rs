@@ -1,0 +1,158 @@
+//! Nebula-style lightweight neural networks: RES (ResNet-ish) and VGG.
+
+use crate::data;
+use crate::patterns;
+use crate::{Size, Workload};
+use r2d2_isa::{KernelBuilder, Ty};
+use r2d2_sim::{Dim3, GlobalMem, Launch};
+
+fn img_dims(size: Size) -> (u64, u64) {
+    match size {
+        Size::Small => (32, 16),
+        Size::Full => (256, 256),
+    }
+}
+
+fn conv_launch(
+    kernel: r2d2_isa::Kernel,
+    input: u64,
+    weights: u64,
+    output: u64,
+    w: u64,
+    h: u64,
+    pitch: u64,
+) -> Launch {
+    Launch::new(
+        kernel,
+        Dim3::d2((w / 32) as u32, (h / 4) as u32),
+        Dim3::d2(32, 4),
+        vec![input, weights, output, pitch],
+    )
+}
+
+/// 2x2 max-pool with stride 2 (the VGG downsampling stage).
+fn maxpool_kernel() -> r2d2_isa::Kernel {
+    // params: [in, out, pitch_in, pitch_out]
+    let mut b = KernelBuilder::new("maxpool2", 4);
+    let tx = b.tid_x();
+    let ty = b.tid_y();
+    let bx = b.ctaid_x();
+    let by = b.ctaid_y();
+    let ntx = b.ntid_x();
+    let nty = b.ntid_y();
+    let x = b.mad(bx, ntx, tx);
+    let y = b.mad(by, nty, ty);
+    let pin = b.ld_param32(2);
+    let x2 = b.shl_imm(x, 1);
+    let y2 = b.shl_imm(y, 1);
+    let idx = b.mad(y2, pin, x2);
+    let off = b.shl_imm_wide(idx, 2);
+    let p0 = b.ld_param(0);
+    let base = b.add_wide(p0, off);
+    let a = b.ld_global(Ty::F32, base, 0);
+    let c = b.ld_global(Ty::F32, base, 4);
+    let prow = b.mul(pin, r2d2_isa::Operand::Imm(4));
+    let proww = b.cvt_wide(prow);
+    let base2 = b.add_wide(base, proww);
+    let d = b.ld_global(Ty::F32, base2, 0);
+    let e = b.ld_global(Ty::F32, base2, 4);
+    let m1 = b.max_ty(Ty::F32, a, c);
+    let m2 = b.max_ty(Ty::F32, d, e);
+    let m = b.max_ty(Ty::F32, m1, m2);
+    let pout = b.ld_param32(3);
+    let oidx = b.mad(y, pout, x);
+    let ooff = b.shl_imm_wide(oidx, 2);
+    let p1 = b.ld_param(1);
+    let oaddr = b.add_wide(p1, ooff);
+    b.st_global(Ty::F32, oaddr, 0, m);
+    b.build()
+}
+
+/// RES: two 3x3 conv layers with a residual (elementwise) add, then a small
+/// fully-connected head — the ResNet block structure.
+pub fn resnet(size: Size) -> Workload {
+    let (w, h) = img_dims(size);
+    let pitch = w + 2;
+    let total = pitch * (h + 2);
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x2e5);
+    let input = data::alloc_f32(&mut g, total, &mut rng, 0.0, 1.0);
+    let w1 = data::alloc_f32(&mut g, 9, &mut rng, -0.5, 0.5);
+    let w2 = data::alloc_f32(&mut g, 9, &mut rng, -0.5, 0.5);
+    let act1 = data::alloc_f32_zero(&mut g, total);
+    let act2 = data::alloc_f32_zero(&mut g, total);
+    let res = data::alloc_f32_zero(&mut g, total);
+    // FC head: 64 outputs over the first 256 activations.
+    let nin = 256u64;
+    let nout = 64u64;
+    let fw = data::alloc_f32(&mut g, nout * nin, &mut rng, -0.1, 0.1);
+    let fb = data::alloc_f32(&mut g, nout, &mut rng, -0.1, 0.1);
+    let fy = data::alloc_f32_zero(&mut g, nout);
+    let launches = vec![
+        conv_launch(patterns::conv3x3("res_conv1"), input, w1, act1, w, h, pitch),
+        conv_launch(patterns::conv3x3("res_conv2"), act1, w2, act2, w, h, pitch),
+        // residual add: res = act2 + input
+        Launch::new(
+            patterns::streaming_map("res_add", 2, 0),
+            Dim3::d1((total / 256) as u32),
+            Dim3::d1(256),
+            vec![act2, input, res],
+        ),
+        Launch::new(
+            patterns::fc_layer("res_fc", true),
+            Dim3::d1((nout / 64) as u32),
+            Dim3::d1(64),
+            vec![fw, res, fb, fy, nin],
+        ),
+    ];
+    Workload { name: "RES", suite: "Nebula", gmem: g, launches }
+}
+
+/// VGG: conv -> conv -> maxpool -> two FC layers.
+pub fn vgg(size: Size) -> Workload {
+    let (w, h) = img_dims(size);
+    let pitch = w + 2;
+    let total = pitch * (h + 2);
+    let hw = w / 2;
+    let hh = h / 2;
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x766);
+    let input = data::alloc_f32(&mut g, total, &mut rng, 0.0, 1.0);
+    let w1 = data::alloc_f32(&mut g, 9, &mut rng, -0.5, 0.5);
+    let w2 = data::alloc_f32(&mut g, 9, &mut rng, -0.5, 0.5);
+    let act1 = data::alloc_f32_zero(&mut g, total);
+    let act2 = data::alloc_f32_zero(&mut g, total);
+    let pooled = data::alloc_f32_zero(&mut g, hw * hh + hw);
+    let nin = 128u64;
+    let nmid = 128u64;
+    let nout = 64u64;
+    let fw1 = data::alloc_f32(&mut g, nmid * nin, &mut rng, -0.1, 0.1);
+    let fb1 = data::alloc_f32(&mut g, nmid, &mut rng, -0.1, 0.1);
+    let fy1 = data::alloc_f32_zero(&mut g, nmid);
+    let fw2 = data::alloc_f32(&mut g, nout * nmid, &mut rng, -0.1, 0.1);
+    let fb2 = data::alloc_f32(&mut g, nout, &mut rng, -0.1, 0.1);
+    let fy2 = data::alloc_f32_zero(&mut g, nout);
+    let launches = vec![
+        conv_launch(patterns::conv3x3("vgg_conv1"), input, w1, act1, w, h, pitch),
+        conv_launch(patterns::conv3x3("vgg_conv2"), act1, w2, act2, w, h, pitch),
+        Launch::new(
+            maxpool_kernel(),
+            Dim3::d2((hw / 16) as u32, (hh / 4) as u32),
+            Dim3::d2(16, 4),
+            vec![act2, pooled, pitch, hw],
+        ),
+        Launch::new(
+            patterns::fc_layer("vgg_fc1", true),
+            Dim3::d1((nmid / 64) as u32),
+            Dim3::d1(64),
+            vec![fw1, pooled, fb1, fy1, nin],
+        ),
+        Launch::new(
+            patterns::fc_layer("vgg_fc2", false),
+            Dim3::d1((nout / 64) as u32),
+            Dim3::d1(64),
+            vec![fw2, fy1, fb2, fy2, nmid],
+        ),
+    ];
+    Workload { name: "VGG", suite: "Nebula", gmem: g, launches }
+}

@@ -1,0 +1,131 @@
+//! cuFFT workloads: FFT and the persistent-thread FFT_PT (paper Sec. 5.7).
+
+use crate::data;
+use crate::patterns;
+use crate::{Size, Workload};
+use r2d2_isa::{CmpOp, KernelBuilder, Operand, SfuOp, Ty};
+use r2d2_sim::{Dim3, GlobalMem, Launch};
+
+fn fft_points(size: Size) -> u64 {
+    match size {
+        Size::Small => 2048,
+        Size::Full => 65536,
+    }
+}
+
+/// FFT: one radix-2 stage per launch (`log2(n)` launches).
+pub fn fft(size: Size) -> Workload {
+    let n = fft_points(size);
+    let half = n / 2;
+    let k = patterns::fft_stage("fft_stage");
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0xff7);
+    let re = data::alloc_f32(&mut g, n, &mut rng, -1.0, 1.0);
+    let im = data::alloc_f32_zero(&mut g, n);
+    let mut launches = Vec::new();
+    let mut span = 1u64;
+    while span < n {
+        launches.push(Launch::new(
+            k.clone(),
+            Dim3::d1((half / 256) as u32),
+            Dim3::d1(256),
+            vec![re, im, span, half],
+        ));
+        span *= 2;
+    }
+    Workload { name: "FFT", suite: "cuFFT", gmem: g, launches }
+}
+
+/// FFT_PT: persistent-thread butterfly stage — a fixed number of thread
+/// blocks loop over virtual work chunks with a regular (linear) chunk-stride
+/// communication pattern, the case the paper's Sec. 5.7 highlights.
+pub fn fft_pt(size: Size) -> Workload {
+    let n = fft_points(size);
+    let half = n / 2;
+    // Fixed launch: 16 blocks x 128 threads = 2048 persistent threads.
+    let nthreads = 2048u64.min(half);
+
+    // params: [re, im, span, half]
+    let mut b = KernelBuilder::new("fft_pt_stage", 4);
+    let tid = b.global_tid_x();
+    let halfr = b.ld_param32(3);
+    let span = b.ld_param32(2);
+    let sm1 = b.sub(span, Operand::Imm(1));
+    let pre = b.ld_param(0);
+    let pim = b.ld_param(1);
+    let total = b.imm32(nthreads as i32);
+    // virtual-thread loop: v = tid; while v < half { butterfly(v); v += total }
+    let v = b.fresh();
+    b.assign_mov(Ty::B32, v, tid);
+    let done = b.label();
+    let top = b.here_label();
+    let pd = b.setp(CmpOp::Ge, Ty::B32, v, halfr);
+    b.bra_if(pd, true, done);
+    let lowbits = b.and_ty(Ty::B32, v, sm1);
+    let notm = {
+        let d = b.fresh();
+        b.push(r2d2_isa::Instr::new(
+            r2d2_isa::Op::Not,
+            Ty::B32,
+            Some(r2d2_isa::Dst::Reg(d)),
+            vec![Operand::Reg(sm1)],
+        ));
+        d
+    };
+    let hibits = b.and_ty(Ty::B32, v, notm);
+    let hi2 = b.shl_imm(hibits, 1);
+    let j = b.add(hi2, lowbits);
+    let jp = b.add(j, span);
+    let joff = b.shl_imm_wide(j, 2);
+    let jpoff = b.shl_imm_wide(jp, 2);
+    let are = b.add_wide(pre, joff);
+    let aim = b.add_wide(pim, joff);
+    let bre = b.add_wide(pre, jpoff);
+    let bim = b.add_wide(pim, jpoff);
+    let xr = b.ld_global(Ty::F32, are, 0);
+    let xi = b.ld_global(Ty::F32, aim, 0);
+    let yr = b.ld_global(Ty::F32, bre, 0);
+    let yi = b.ld_global(Ty::F32, bim, 0);
+    let lf = b.cvt(Ty::F32, lowbits);
+    let sf = b.cvt(Ty::F32, span);
+    let ratio = b.div_ty(Ty::F32, lf, sf);
+    let mpi = b.fimm32(-std::f32::consts::PI);
+    let ang = b.mul_ty(Ty::F32, ratio, mpi);
+    let c = b.sfu(SfuOp::Cos, Ty::F32, ang);
+    let s = b.sfu(SfuOp::Sin, Ty::F32, ang);
+    let cyr = b.mul_ty(Ty::F32, c, yr);
+    let syi = b.mul_ty(Ty::F32, s, yi);
+    let tr = b.sub_ty(Ty::F32, cyr, syi);
+    let cyi = b.mul_ty(Ty::F32, c, yi);
+    let syr = b.mul_ty(Ty::F32, s, yr);
+    let ti = b.add_ty(Ty::F32, cyi, syr);
+    let or0 = b.add_ty(Ty::F32, xr, tr);
+    let oi0 = b.add_ty(Ty::F32, xi, ti);
+    let or1 = b.sub_ty(Ty::F32, xr, tr);
+    let oi1 = b.sub_ty(Ty::F32, xi, ti);
+    b.st_global(Ty::F32, are, 0, or0);
+    b.st_global(Ty::F32, aim, 0, oi0);
+    b.st_global(Ty::F32, bre, 0, or1);
+    b.st_global(Ty::F32, bim, 0, oi1);
+    b.assign_add(Ty::B32, v, total);
+    b.bra(top);
+    b.place(done);
+    let k = b.build();
+
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0xff8);
+    let re = data::alloc_f32(&mut g, n, &mut rng, -1.0, 1.0);
+    let im = data::alloc_f32_zero(&mut g, n);
+    let mut launches = Vec::new();
+    let mut span = 1u64;
+    while span < n {
+        launches.push(Launch::new(
+            k.clone(),
+            Dim3::d1((nthreads / 128) as u32),
+            Dim3::d1(128),
+            vec![re, im, span, half],
+        ));
+        span *= 2;
+    }
+    Workload { name: "FFT_PT", suite: "cuFFT", gmem: g, launches }
+}

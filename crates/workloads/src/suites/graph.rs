@@ -1,0 +1,79 @@
+//! graphBig workloads: CCMP, KCR, SSSP.
+
+use crate::data;
+use crate::patterns::{self, GraphOp};
+use crate::{Size, Workload};
+use r2d2_sim::{Dim3, GlobalMem, Launch};
+
+fn graph_size(size: Size) -> u64 {
+    // Graphs are the slowest workloads to simulate per instruction
+    // (divergent neighbor loops); cap their growth.
+    8192 * size.factor().min(16) as u64
+}
+
+/// CCMP: connected components by iterative label minimization,
+/// double-buffered so atomic-min results are execution-order independent.
+pub fn ccmp(size: Size) -> Workload {
+    let nverts = graph_size(size);
+    let k = patterns::csr_kernel("ccmp_step", GraphOp::LabelMin);
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0xcc);
+    let (rp, ci, _) = data::alloc_csr(&mut g, nverts, nverts, 5, &mut rng);
+    let la = g.alloc(nverts * 4);
+    let lb = g.alloc(nverts * 4);
+    for i in 0..nverts {
+        g.write_i32(la, i, i as i32);
+        g.write_i32(lb, i, i as i32);
+    }
+    let grid = Dim3::d1(nverts.div_ceil(256) as u32);
+    let launches = (0..3)
+        .map(|it| {
+            let (src, dst) = if it % 2 == 0 { (la, lb) } else { (lb, la) };
+            Launch::new(k.clone(), grid, Dim3::d1(256), vec![rp, ci, src, dst, nverts, 0])
+        })
+        .collect();
+    Workload { name: "CCMP", suite: "graphBig", gmem: g, launches }
+}
+
+/// KCR: k-core decomposition — count neighbors above the degree threshold.
+pub fn kcore(size: Size) -> Workload {
+    let nverts = graph_size(size);
+    let k = patterns::csr_kernel("kcore_count", GraphOp::CountActive);
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x6c);
+    let (rp, ci, _) = data::alloc_csr(&mut g, nverts, nverts, 6, &mut rng);
+    let deg = data::alloc_i32(&mut g, nverts, &mut rng, 0, 8);
+    let counts = data::alloc_i32_zero(&mut g, nverts);
+    let grid = Dim3::d1(nverts.div_ceil(256) as u32);
+    let launches = (2..5u64)
+        .map(|kk| {
+            Launch::new(k.clone(), grid, Dim3::d1(256), vec![rp, ci, counts, deg, nverts, kk])
+        })
+        .collect();
+    Workload { name: "KCR", suite: "graphBig", gmem: g, launches }
+}
+
+/// SSSP: Bellman-Ford-style relaxation with atomic min — the paper's most
+/// irregular case (R2D2 finds little linearity; overhead must stay small).
+pub fn sssp(size: Size) -> Workload {
+    let nverts = graph_size(size);
+    let k = patterns::csr_kernel("sssp_relax", GraphOp::SsspRelax);
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x555);
+    let (rp, ci, _) = data::alloc_csr(&mut g, nverts, nverts, 5, &mut rng);
+    let da = g.alloc(nverts * 4);
+    let db = g.alloc(nverts * 4);
+    for i in 0..nverts {
+        let v = if i == 0 { 0 } else { 1 << 20 };
+        g.write_i32(da, i, v);
+        g.write_i32(db, i, v);
+    }
+    let grid = Dim3::d1(nverts.div_ceil(256) as u32);
+    let launches = (0..3)
+        .map(|it| {
+            let (src, dst) = if it % 2 == 0 { (da, db) } else { (db, da) };
+            Launch::new(k.clone(), grid, Dim3::d1(256), vec![rp, ci, src, dst, nverts, 0])
+        })
+        .collect();
+    Workload { name: "SSSP", suite: "graphBig", gmem: g, launches }
+}

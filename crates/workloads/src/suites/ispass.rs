@@ -1,0 +1,131 @@
+//! ispass-2009 workloads: LIB, LPS, RAY.
+
+use crate::data;
+use crate::patterns;
+use crate::{Size, Workload};
+use r2d2_isa::{CmpOp, KernelBuilder, SfuOp, Ty};
+use r2d2_sim::{Dim3, GlobalMem, Launch};
+
+/// LIB: Monte-Carlo LIBOR path simulation — per-thread loop over maturities
+/// with uniform rate loads and SFU math; addresses fully linear in the path
+/// index.
+pub fn lib(size: Size) -> Workload {
+    let f = size.factor();
+    let npaths = 4096u64 * f as u64;
+    let steps = 16i64;
+
+    let mut b = KernelBuilder::new("lib_paths", 3);
+    let i = b.global_tid_x();
+    let off = b.shl_imm_wide(i, 2);
+    let pz = b.ld_param(0);
+    let zaddr = b.add_wide(pz, off);
+    let z = b.ld_global(Ty::F32, zaddr, 0);
+    let prates = b.ld_param(1);
+    let acc = b.fimm32(1.0);
+    for s in 0..steps {
+        // uniform rate load (same address for all threads)
+        let r = b.ld_global(Ty::F32, prates, s * 4);
+        let drift = b.mad_ty(Ty::F32, r, z, acc);
+        let g = b.sfu(SfuOp::Ex2, Ty::F32, r);
+        let nx = b.mad_ty(Ty::F32, drift, g, acc);
+        b.assign_mov(Ty::F32, acc, nx);
+    }
+    let pout = b.ld_param(2);
+    let oaddr = b.add_wide(pout, off);
+    b.st_global(Ty::F32, oaddr, 0, acc);
+    let k = b.build();
+
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x11b);
+    let z = data::alloc_f32(&mut g, npaths, &mut rng, -0.1, 0.1);
+    let rates = data::alloc_f32(&mut g, steps as u64, &mut rng, 0.0, 0.05);
+    let out = data::alloc_f32_zero(&mut g, npaths);
+    let launch = Launch::new(k, Dim3::d1((npaths / 256) as u32), Dim3::d1(256), vec![z, rates, out]);
+    Workload { name: "LIB", suite: "ispass", gmem: g, launches: vec![launch] }
+}
+
+/// LPS: 3D Laplace solver — the z-loop stencil shape.
+pub fn lps(size: Size) -> Workload {
+    let (w, h, planes) = match size {
+        Size::Small => (64u64, 16u64, 8u64),
+        Size::Full => (256, 128, 26),
+    };
+    let pitch = w + 2;
+    let total = pitch * pitch * (planes + 2);
+
+    let k = patterns::stencil3d("lps_laplace");
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x195);
+    let input = data::alloc_f32(&mut g, total, &mut rng, 0.0, 1.0);
+    let output = data::alloc_f32_zero(&mut g, total);
+    let launch = Launch::new(
+        k,
+        Dim3::d2((w / 32) as u32, (h / 4) as u32),
+        Dim3::d2(32, 4),
+        vec![input, output, pitch, planes + 2],
+    );
+    Workload { name: "LPS", suite: "ispass", gmem: g, launches: vec![launch] }
+}
+
+/// RAY: per-pixel ray/sphere intersection — 2D pixel indexing, a loop over
+/// spheres, heavy SFU use and data-dependent selection (divergence).
+pub fn ray(size: Size) -> Workload {
+    let (w, h) = match size {
+        Size::Small => (64u64, 16u64),
+        Size::Full => (256, 512),
+    };
+    let nspheres = 8i64;
+
+    let mut b = KernelBuilder::new("ray_trace", 3);
+    let tx = b.tid_x();
+    let ty = b.tid_y();
+    let bx = b.ctaid_x();
+    let by = b.ctaid_y();
+    let ntx = b.ntid_x();
+    let nty = b.ntid_y();
+    let x = b.mad(bx, ntx, tx);
+    let y = b.mad(by, nty, ty);
+    let wreg = b.ld_param32(2);
+    let pix = b.mad(y, wreg, x);
+    // ray direction from pixel coords
+    let xf = b.cvt(Ty::F32, x);
+    let yf = b.cvt(Ty::F32, y);
+    let scale = b.fimm32(1.0 / 64.0);
+    let dx = b.mul_ty(Ty::F32, xf, scale);
+    let dy = b.mul_ty(Ty::F32, yf, scale);
+    let psph = b.ld_param(0);
+    let best = b.fimm32(1.0e30);
+    for s in 0..nspheres {
+        // sphere s: (cx, cy, r) packed as 3 floats
+        let cx = b.ld_global(Ty::F32, psph, s * 12);
+        let cy = b.ld_global(Ty::F32, psph, s * 12 + 4);
+        let rr = b.ld_global(Ty::F32, psph, s * 12 + 8);
+        let ox = b.sub_ty(Ty::F32, dx, cx);
+        let oy = b.sub_ty(Ty::F32, dy, cy);
+        let oxx = b.mul_ty(Ty::F32, ox, ox);
+        let d2 = b.mad_ty(Ty::F32, oy, oy, oxx);
+        let r2 = b.mul_ty(Ty::F32, rr, rr);
+        let p = b.setp(CmpOp::Lt, Ty::F32, d2, r2);
+        let dist = b.sfu(SfuOp::Sqrt, Ty::F32, d2);
+        let cand = b.min_ty(Ty::F32, dist, best);
+        let sel = b.selp(Ty::F32, cand, best, p);
+        b.assign_mov(Ty::F32, best, sel);
+    }
+    let off = b.shl_imm_wide(pix, 2);
+    let pout = b.ld_param(1);
+    let oaddr = b.add_wide(pout, off);
+    b.st_global(Ty::F32, oaddr, 0, best);
+    let k = b.build();
+
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x4a7);
+    let spheres = data::alloc_f32(&mut g, nspheres as u64 * 3, &mut rng, 0.0, 1.0);
+    let out = data::alloc_f32_zero(&mut g, w * h);
+    let launch = Launch::new(
+        k,
+        Dim3::d2((w / 32) as u32, (h / 4) as u32),
+        Dim3::d2(32, 4),
+        vec![spheres, out, w],
+    );
+    Workload { name: "RAY", suite: "ispass", gmem: g, launches: vec![launch] }
+}

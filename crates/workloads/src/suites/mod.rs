@@ -1,0 +1,9 @@
+//! Per-suite workload builders (Table 2).
+
+pub mod dnn;
+pub mod fft;
+pub mod graph;
+pub mod ispass;
+pub mod parboil;
+pub mod polybench;
+pub mod rodinia;

@@ -1,0 +1,294 @@
+//! Parboil workloads: HIS, MRG, MRQ, SAD, SGM, SPM, STC.
+
+use crate::data;
+use crate::patterns;
+use crate::{Size, Workload};
+use r2d2_isa::{AtomOp, CmpOp, KernelBuilder, Operand, SfuOp, Ty};
+use r2d2_sim::{Dim3, GlobalMem, Launch};
+
+/// HIS: histogramming with atomics.
+pub fn histo(size: Size) -> Workload {
+    let f = size.factor() as u64;
+    let n = 16384 * f;
+    let bins = 256u64;
+    let k = patterns::histogram("histo");
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x415);
+    let input = data::alloc_i32(&mut g, n, &mut rng, 0, i32::MAX);
+    let hist = data::alloc_i32_zero(&mut g, bins);
+    let launch = Launch::new(
+        k,
+        Dim3::d1((n / 256) as u32),
+        Dim3::d1(256),
+        vec![input, hist, bins - 1],
+    );
+    Workload { name: "HIS", suite: "parboil", gmem: g, launches: vec![launch] }
+}
+
+/// MRG: MRI gridding — scattered atomic accumulation of samples into a grid.
+pub fn mri_gridding(size: Size) -> Workload {
+    let f = size.factor() as u64;
+    let nsamples = 8192 * f;
+    let gridside = 64u64;
+
+    let mut b = KernelBuilder::new("mri_grid", 5);
+    let i = b.global_tid_x();
+    let off = b.shl_imm_wide(i, 2);
+    let pxs = b.ld_param(0);
+    let pys = b.ld_param(1);
+    let pval = b.ld_param(2);
+    let ax = b.add_wide(pxs, off);
+    let ay = b.add_wide(pys, off);
+    let av = b.add_wide(pval, off);
+    let x = b.ld_global(Ty::B32, ax, 0);
+    let y = b.ld_global(Ty::B32, ay, 0);
+    let v = b.ld_global(Ty::B32, av, 0);
+    let side = b.ld_param32(4);
+    let cell = b.mad(y, side, x);
+    let coff32 = b.shl_imm(cell, 2);
+    let coff = b.cvt_wide(coff32);
+    let pg = b.ld_param(3);
+    let gaddr = b.add_wide(pg, coff);
+    b.atom(AtomOp::Add, Ty::B32, gaddr, 0, v);
+    let k = b.build();
+
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x396);
+    let xs = data::alloc_i32(&mut g, nsamples, &mut rng, 0, gridside as i32);
+    let ys = data::alloc_i32(&mut g, nsamples, &mut rng, 0, gridside as i32);
+    let vals = data::alloc_i32(&mut g, nsamples, &mut rng, 0, 100);
+    let grid = data::alloc_i32_zero(&mut g, gridside * gridside);
+    let launch = Launch::new(
+        k,
+        Dim3::d1((nsamples / 256) as u32),
+        Dim3::d1(256),
+        vec![xs, ys, vals, grid, gridside],
+    );
+    Workload { name: "MRG", suite: "parboil", gmem: g, launches: vec![launch] }
+}
+
+/// MRQ: MRI Q computation — per-voxel loop over k-space with sin/cos.
+pub fn mri_q(size: Size) -> Workload {
+    let f = size.factor() as u64;
+    let nvoxels = 2048 * f;
+    let kpoints = 32i64;
+
+    let mut b = KernelBuilder::new("mri_q", 4);
+    let i = b.global_tid_x();
+    let off = b.shl_imm_wide(i, 2);
+    let px = b.ld_param(0);
+    let xaddr = b.add_wide(px, off);
+    let x = b.ld_global(Ty::F32, xaddr, 0);
+    let pk = b.ld_param(1);
+    let qr = b.fimm32(0.0);
+    let qi = b.fimm32(0.0);
+    for kk in 0..kpoints {
+        let kv = b.ld_global(Ty::F32, pk, kk * 4); // uniform
+        let phase = b.mul_ty(Ty::F32, kv, x);
+        let c = b.sfu(SfuOp::Cos, Ty::F32, phase);
+        let s = b.sfu(SfuOp::Sin, Ty::F32, phase);
+        let nqr = b.add_ty(Ty::F32, qr, c);
+        let nqi = b.add_ty(Ty::F32, qi, s);
+        b.assign_mov(Ty::F32, qr, nqr);
+        b.assign_mov(Ty::F32, qi, nqi);
+    }
+    let pqr = b.ld_param(2);
+    let pqi = b.ld_param(3);
+    let ar = b.add_wide(pqr, off);
+    let ai = b.add_wide(pqi, off);
+    b.st_global(Ty::F32, ar, 0, qr);
+    b.st_global(Ty::F32, ai, 0, qi);
+    let k = b.build();
+
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x3129);
+    let x = data::alloc_f32(&mut g, nvoxels, &mut rng, -1.0, 1.0);
+    let kt = data::alloc_f32(&mut g, kpoints as u64, &mut rng, 0.0, std::f32::consts::TAU);
+    let outr = data::alloc_f32_zero(&mut g, nvoxels);
+    let outi = data::alloc_f32_zero(&mut g, nvoxels);
+    let launch = Launch::new(
+        k,
+        Dim3::d1((nvoxels / 256) as u32),
+        Dim3::d1(256),
+        vec![x, kt, outr, outi],
+    );
+    Workload { name: "MRQ", suite: "parboil", gmem: g, launches: vec![launch] }
+}
+
+/// SAD: sum of absolute differences over a 4x4 window — unrolled
+/// constant-offset taps from two images (one LR group each).
+pub fn sad(size: Size) -> Workload {
+    let f = size.factor() as u64;
+    let w = 64u64;
+    let h = 64 * f;
+    let pitch = w + 4;
+
+    let mut b = KernelBuilder::new("sad_4x4", 4);
+    let tx = b.tid_x();
+    let ty = b.tid_y();
+    let bx = b.ctaid_x();
+    let by = b.ctaid_y();
+    let ntx = b.ntid_x();
+    let nty = b.ntid_y();
+    let x = b.mad(bx, ntx, tx);
+    let y = b.mad(by, nty, ty);
+    let pitch_r = b.ld_param32(3);
+    let idx = b.mad(y, pitch_r, x);
+    let off = b.shl_imm_wide(idx, 2);
+    let pa = b.ld_param(0);
+    let pb = b.ld_param(1);
+    let abase = b.add_wide(pa, off);
+    let bbase = b.add_wide(pb, off);
+    let mut acc = b.fimm32(0.0);
+    for wy in 0..4i64 {
+        for wx in 0..4i64 {
+            let doff = wy * (pitch as i64) * 4 + wx * 4;
+            let av = b.ld_global(Ty::F32, abase, doff);
+            let bv = b.ld_global(Ty::F32, bbase, doff);
+            let d = b.sub_ty(Ty::F32, av, bv);
+            let ad = b.push_abs(d);
+            acc = b.add_ty(Ty::F32, acc, ad);
+        }
+    }
+    let pout = b.ld_param(2);
+    let oaddr = b.add_wide(pout, off);
+    b.st_global(Ty::F32, oaddr, 0, acc);
+    let k = b.build();
+
+    let total = pitch * (h + 4);
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x5ad);
+    let ia = data::alloc_f32(&mut g, total, &mut rng, 0.0, 255.0);
+    let ib = data::alloc_f32(&mut g, total, &mut rng, 0.0, 255.0);
+    let out = data::alloc_f32_zero(&mut g, total);
+    let launch = Launch::new(
+        k,
+        Dim3::d2((w / 32) as u32, (h / 4) as u32),
+        Dim3::d2(32, 4),
+        vec![ia, ib, out, pitch],
+    );
+    Workload { name: "SAD", suite: "parboil", gmem: g, launches: vec![launch] }
+}
+
+trait AbsHelper {
+    fn push_abs(&mut self, r: r2d2_isa::Reg) -> r2d2_isa::Reg;
+}
+
+impl AbsHelper for KernelBuilder {
+    fn push_abs(&mut self, r: r2d2_isa::Reg) -> r2d2_isa::Reg {
+        let d = self.fresh();
+        self.push(r2d2_isa::Instr::new(
+            r2d2_isa::Op::Abs,
+            Ty::F32,
+            Some(r2d2_isa::Dst::Reg(d)),
+            vec![Operand::Reg(r)],
+        ));
+        d
+    }
+}
+
+/// SGM: tiled shared-memory SGEMM — the paper's loop-offset showcase.
+pub fn sgemm(size: Size) -> Workload {
+    let n = match size {
+        Size::Small => 32u64,
+        Size::Full => 128,
+    };
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x563);
+    let a = data::alloc_f32(&mut g, n * n, &mut rng, -1.0, 1.0);
+    let b = data::alloc_f32(&mut g, n * n, &mut rng, -1.0, 1.0);
+    let c = data::alloc_f32_zero(&mut g, n * n);
+    let launch = Launch::new(
+        patterns::matmul_tiled("sgemm"),
+        Dim3::d2((n / 16) as u32, (n / 16) as u32),
+        Dim3::d2(16, 16),
+        vec![a, b, c, n],
+    );
+    Workload { name: "SGM", suite: "parboil", gmem: g, launches: vec![launch] }
+}
+
+/// SPM: CSR sparse mat-vec — register-regular prologue, data-dependent
+/// gather in the inner loop (the paper's memory-intensive case).
+pub fn spmv(size: Size) -> Workload {
+    let rows = match size {
+        Size::Small => 4096u64,
+        Size::Full => 65536,
+    };
+
+    let mut b = KernelBuilder::new("spmv_csr", 6);
+    let r = b.global_tid_x();
+    let nrows = b.ld_param32(5);
+    let poob = b.setp(CmpOp::Ge, Ty::B32, r, nrows);
+    b.exit();
+    b.guard_last(poob, true);
+    let roff = b.shl_imm_wide(r, 2);
+    let prp = b.ld_param(0);
+    let rp_addr = b.add_wide(prp, roff);
+    let start = b.ld_global(Ty::B32, rp_addr, 0);
+    let end = b.ld_global(Ty::B32, rp_addr, 4);
+    let pci = b.ld_param(1);
+    let pval = b.ld_param(2);
+    let px = b.ld_param(3);
+    let acc = b.fimm32(0.0);
+    let e = b.fresh();
+    b.assign_mov(Ty::B32, e, start);
+    let done = b.label();
+    let top = b.here_label();
+    let pd = b.setp(CmpOp::Ge, Ty::B32, e, end);
+    b.bra_if(pd, true, done);
+    let eoff = b.shl_imm_wide(e, 2);
+    let ci_addr = b.add_wide(pci, eoff);
+    let col = b.ld_global(Ty::B32, ci_addr, 0);
+    let v_addr = b.add_wide(pval, eoff);
+    let v = b.ld_global(Ty::F32, v_addr, 0);
+    let xoff32 = b.shl_imm(col, 2);
+    let xoff = b.cvt_wide(xoff32);
+    let x_addr = b.add_wide(px, xoff);
+    let xv = b.ld_global(Ty::F32, x_addr, 0);
+    let na = b.mad_ty(Ty::F32, v, xv, acc);
+    b.assign_mov(Ty::F32, acc, na);
+    b.assign_add(Ty::B32, e, Operand::Imm(1));
+    b.bra(top);
+    b.place(done);
+    let py = b.ld_param(4);
+    let y_addr = b.add_wide(py, roff);
+    b.st_global(Ty::F32, y_addr, 0, acc);
+    let k = b.build();
+
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x5b37);
+    let (rp, ci, nnz) = data::alloc_csr(&mut g, rows, rows, 8, &mut rng);
+    let vals = data::alloc_f32(&mut g, nnz, &mut rng, -1.0, 1.0);
+    let x = data::alloc_f32(&mut g, rows, &mut rng, -1.0, 1.0);
+    let y = data::alloc_f32_zero(&mut g, rows);
+    let launch = Launch::new(
+        k,
+        Dim3::d1((rows / 256) as u32),
+        Dim3::d1(256),
+        vec![rp, ci, vals, x, y, rows],
+    );
+    Workload { name: "SPM", suite: "parboil", gmem: g, launches: vec![launch] }
+}
+
+/// STC: the 3D stencil whose `block2D_hybrid_coarsen_x` kernel is the
+/// paper's Sec. 5.6 register-pressure example (128 threads/block).
+pub fn stencil(size: Size) -> Workload {
+    let (w, h, planes) = match size {
+        Size::Small => (64u64, 16u64, 8u64),
+        Size::Full => (256, 128, 26),
+    };
+    let pitch = w + 2;
+    let total = pitch * pitch * (planes + 2);
+    let k = patterns::stencil3d("block2D_hybrid_coarsen_x");
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x57c);
+    let input = data::alloc_f32(&mut g, total, &mut rng, 0.0, 1.0);
+    let output = data::alloc_f32_zero(&mut g, total);
+    let launch = Launch::new(
+        k,
+        Dim3::d2((w / 32) as u32, (h / 4) as u32),
+        Dim3::d2(32, 4),
+        vec![input, output, pitch, planes + 2],
+    );
+    Workload { name: "STC", suite: "parboil", gmem: g, launches: vec![launch] }
+}

@@ -1,0 +1,264 @@
+//! PolyBench workloads: 2DC, 2MM, 3DC, 3MM, ATA, BIC, FDT, GEM, GSM, MVT.
+
+use crate::data;
+use crate::patterns;
+use crate::{Size, Workload};
+use r2d2_sim::{Dim3, GlobalMem, Launch};
+
+fn mm_dim(size: Size) -> u64 {
+    match size {
+        Size::Small => 32,
+        Size::Full => 256,
+    }
+}
+
+fn mm_k(size: Size) -> u64 {
+    match size {
+        Size::Small => 32,
+        Size::Full => 64,
+    }
+}
+
+fn mv_dim(size: Size) -> u64 {
+    match size {
+        Size::Small => 128,
+        Size::Full => 2048,
+    }
+}
+
+fn alloc_matrix(g: &mut GlobalMem, rng: &mut rand::rngs::StdRng, n: u64) -> u64 {
+    data::alloc_f32(g, n * n, rng, -1.0, 1.0)
+}
+
+fn mm_launch(kernel: r2d2_isa::Kernel, a: u64, b: u64, c: u64, n: u64, k: u64) -> Launch {
+    Launch::new(
+        kernel,
+        Dim3::d2((n / 16) as u32, (n / 16) as u32),
+        Dim3::d2(16, 16),
+        vec![a, b, c, n, k],
+    )
+}
+
+/// 2DC: 3x3 2D convolution over a padded image.
+pub fn conv2d(size: Size) -> Workload {
+    let f = size.factor() as u64;
+    let w = 128u64;
+    let h = 32 * f;
+    let pitch = w + 2;
+    let taps: &[(i64, i64, f32)] = &[
+        (-1, -1, 0.05),
+        (-1, 0, 0.1),
+        (-1, 1, 0.05),
+        (0, -1, 0.1),
+        (0, 0, 0.4),
+        (0, 1, 0.1),
+        (1, -1, 0.05),
+        (1, 0, 0.1),
+        (1, 1, 0.05),
+    ];
+    let k = patterns::stencil2d("conv2d", taps);
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x2dc);
+    let input = data::alloc_f32(&mut g, pitch * (h + 2), &mut rng, -1.0, 1.0);
+    let output = data::alloc_f32_zero(&mut g, pitch * (h + 2));
+    let launch = Launch::new(
+        k,
+        Dim3::d2((w / 32) as u32, (h / 4) as u32),
+        Dim3::d2(32, 4),
+        vec![input, output, pitch],
+    );
+    Workload { name: "2DC", suite: "polybench", gmem: g, launches: vec![launch] }
+}
+
+/// 2MM: `E = (A x B) x D` as two dependent mat-muls.
+pub fn mm2(size: Size) -> Workload {
+    let n = mm_dim(size);
+    let kd = mm_k(size);
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x2313);
+    let a = data::alloc_f32(&mut g, n * kd, &mut rng, -1.0, 1.0);
+    let b = data::alloc_f32(&mut g, kd * n, &mut rng, -1.0, 1.0);
+    let c = data::alloc_f32_zero(&mut g, n * n);
+    let d = alloc_matrix(&mut g, &mut rng, n);
+    let e = data::alloc_f32_zero(&mut g, n * n);
+    let launches = vec![
+        mm_launch(patterns::matmul("mm2_1"), a, b, c, n, kd),
+        mm_launch(patterns::matmul("mm2_2"), c, d, e, n, n.min(2 * kd)),
+    ];
+    Workload { name: "2MM", suite: "polybench", gmem: g, launches }
+}
+
+/// 3DC: 3D convolution (z-loop stencil).
+pub fn conv3d(size: Size) -> Workload {
+    let (w, h, planes) = match size {
+        Size::Small => (64u64, 16u64, 6u64),
+        Size::Full => (256, 64, 18),
+    };
+    let pitch = w + 2;
+    let total = pitch * pitch * (planes + 2);
+    let k = patterns::stencil3d("conv3d");
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x3dc);
+    let input = data::alloc_f32(&mut g, total, &mut rng, -1.0, 1.0);
+    let output = data::alloc_f32_zero(&mut g, total);
+    let launch = Launch::new(
+        k,
+        Dim3::d2((w / 32) as u32, (h / 4) as u32),
+        Dim3::d2(32, 4),
+        vec![input, output, pitch, planes + 2],
+    );
+    Workload { name: "3DC", suite: "polybench", gmem: g, launches: vec![launch] }
+}
+
+/// 3MM: `G = (A x B) x (C x D)` as three mat-muls.
+pub fn mm3(size: Size) -> Workload {
+    let n = mm_dim(size);
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x3313);
+    let a = alloc_matrix(&mut g, &mut rng, n);
+    let b = alloc_matrix(&mut g, &mut rng, n);
+    let e = data::alloc_f32_zero(&mut g, n * n);
+    let c = alloc_matrix(&mut g, &mut rng, n);
+    let d = alloc_matrix(&mut g, &mut rng, n);
+    let ff = data::alloc_f32_zero(&mut g, n * n);
+    let out = data::alloc_f32_zero(&mut g, n * n);
+    let kd = mm_k(size);
+    let launches = vec![
+        mm_launch(patterns::matmul("mm3_1"), a, b, e, n, kd),
+        mm_launch(patterns::matmul("mm3_2"), c, d, ff, n, kd),
+        mm_launch(patterns::matmul("mm3_3"), e, ff, out, n, kd),
+    ];
+    Workload { name: "3MM", suite: "polybench", gmem: g, launches }
+}
+
+fn mv_launch(kernel: r2d2_isa::Kernel, a: u64, x: u64, y: u64, n: u64) -> Launch {
+    Launch::new(kernel, Dim3::d1((n / 128) as u32), Dim3::d1(128), vec![a, x, y, n])
+}
+
+/// ATA: `y = A^T (A x)` — row-walk then column-walk mat-vec.
+pub fn atax(size: Size) -> Workload {
+    let n = mv_dim(size);
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0xa7a);
+    let a = alloc_matrix(&mut g, &mut rng, n);
+    let x = data::alloc_f32(&mut g, n, &mut rng, -1.0, 1.0);
+    let tmp = data::alloc_f32_zero(&mut g, n);
+    let y = data::alloc_f32_zero(&mut g, n);
+    let launches = vec![
+        mv_launch(patterns::matvec("atax_1", false), a, x, tmp, n),
+        mv_launch(patterns::matvec("atax_2", true), a, tmp, y, n),
+    ];
+    Workload { name: "ATA", suite: "polybench", gmem: g, launches }
+}
+
+/// BIC: BiCG — `q = A p` and `s = A^T r`.
+pub fn bicg(size: Size) -> Workload {
+    let n = mv_dim(size);
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0xb1c);
+    let a = alloc_matrix(&mut g, &mut rng, n);
+    let p = data::alloc_f32(&mut g, n, &mut rng, -1.0, 1.0);
+    let r = data::alloc_f32(&mut g, n, &mut rng, -1.0, 1.0);
+    let q = data::alloc_f32_zero(&mut g, n);
+    let s = data::alloc_f32_zero(&mut g, n);
+    let launches = vec![
+        mv_launch(patterns::matvec("bicg_q", false), a, p, q, n),
+        mv_launch(patterns::matvec("bicg_s", true), a, r, s, n),
+    ];
+    Workload { name: "BIC", suite: "polybench", gmem: g, launches }
+}
+
+/// FDT: FDTD-2D — three field-update sweeps with 1-D thread blocks (the
+/// paper calls out FDT's one-dimensional blocks as an R2D2 win across
+/// blocks).
+pub fn fdtd2d(size: Size) -> Workload {
+    let f = size.factor() as u64;
+    let w = 64u64;
+    let h = 32 * f;
+    let pitch = w + 2;
+    let n = pitch * (h + 2);
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0xfd7);
+    let ex = data::alloc_f32(&mut g, n, &mut rng, -1.0, 1.0);
+    let ey = data::alloc_f32(&mut g, n, &mut rng, -1.0, 1.0);
+    let hz = data::alloc_f32(&mut g, n, &mut rng, -1.0, 1.0);
+    let grid = Dim3::d2((w / 64) as u32, h as u32);
+    let block = Dim3::d2(64, 1);
+    let mut launches = Vec::new();
+    for _step in 0..2 {
+        launches.push(Launch::new(
+            patterns::stencil2d("fdtd_ey", &[(0, 0, 1.0), (-1, 0, -0.5)]),
+            grid,
+            block,
+            vec![hz, ey, pitch],
+        ));
+        launches.push(Launch::new(
+            patterns::stencil2d("fdtd_ex", &[(0, 0, 1.0), (0, -1, -0.5)]),
+            grid,
+            block,
+            vec![hz, ex, pitch],
+        ));
+        launches.push(Launch::new(
+            patterns::stencil2d("fdtd_hz", &[(0, 0, 0.6), (0, 1, -0.2), (1, 0, -0.2)]),
+            grid,
+            block,
+            vec![ey, hz, pitch],
+        ));
+    }
+    Workload { name: "FDT", suite: "polybench", gmem: g, launches }
+}
+
+/// GEM: a single GEMM.
+pub fn gemm(size: Size) -> Workload {
+    let n = mm_dim(size);
+    let kd = mm_k(size) * 2;
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x6e3);
+    let a = data::alloc_f32(&mut g, n * kd, &mut rng, -1.0, 1.0);
+    let b = data::alloc_f32(&mut g, kd * n, &mut rng, -1.0, 1.0);
+    let c = data::alloc_f32_zero(&mut g, n * n);
+    let launches = vec![mm_launch(patterns::matmul("gemm"), a, b, c, n, kd)];
+    Workload { name: "GEM", suite: "polybench", gmem: g, launches }
+}
+
+/// GSM: GESUMMV — `y = alpha*A*x + beta*B*x` via two mat-vec passes and a
+/// streaming combine.
+pub fn gesummv(size: Size) -> Workload {
+    let n = mv_dim(size);
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x65b);
+    let a = alloc_matrix(&mut g, &mut rng, n);
+    let b = alloc_matrix(&mut g, &mut rng, n);
+    let x = data::alloc_f32(&mut g, n, &mut rng, -1.0, 1.0);
+    let t1 = data::alloc_f32_zero(&mut g, n);
+    let t2 = data::alloc_f32_zero(&mut g, n);
+    let y = data::alloc_f32_zero(&mut g, n);
+    let launches = vec![
+        mv_launch(patterns::matvec("gesummv_a", false), a, x, t1, n),
+        mv_launch(patterns::matvec("gesummv_b", false), b, x, t2, n),
+        Launch::new(
+            patterns::streaming_map("gesummv_sum", 2, 1),
+            Dim3::d1((n / 128) as u32),
+            Dim3::d1(128),
+            vec![t1, t2, y],
+        ),
+    ];
+    Workload { name: "GSM", suite: "polybench", gmem: g, launches }
+}
+
+/// MVT: `x1 += A y1; x2 += A^T y2` as two mat-vec passes.
+pub fn mvt(size: Size) -> Workload {
+    let n = mv_dim(size);
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x347);
+    let a = alloc_matrix(&mut g, &mut rng, n);
+    let y1 = data::alloc_f32(&mut g, n, &mut rng, -1.0, 1.0);
+    let y2 = data::alloc_f32(&mut g, n, &mut rng, -1.0, 1.0);
+    let x1 = data::alloc_f32_zero(&mut g, n);
+    let x2 = data::alloc_f32_zero(&mut g, n);
+    let launches = vec![
+        mv_launch(patterns::matvec("mvt_1", false), a, y1, x1, n),
+        mv_launch(patterns::matvec("mvt_2", true), a, y2, x2, n),
+    ];
+    Workload { name: "MVT", suite: "polybench", gmem: g, launches }
+}

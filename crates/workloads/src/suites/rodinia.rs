@@ -1,0 +1,1100 @@
+//! Rodinia workloads: BFS, BP, BTR, CFD, DWT, GAS, HSP, HTW, KM, LMD, LUD,
+//! MUM, NN, PTH, SRAD1, SRAD2.
+
+use crate::data;
+use crate::patterns::{self, GraphOp};
+use crate::{Size, Workload};
+use r2d2_isa::{CmpOp, Kernel, KernelBuilder, Operand, SfuOp, Ty};
+use r2d2_sim::{Dim3, GlobalMem, Launch};
+
+/// BFS: level-synchronous breadth-first search over a random graph
+/// (regular address prologue + irregular neighbor expansion, Sec. 5.2).
+pub fn bfs(size: Size) -> Workload {
+    let f = size.factor().min(16) as u64;
+    let nverts = 8192 * f;
+    let k = patterns::csr_kernel("bfs_step", GraphOp::BfsLevel);
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0xbf5);
+    let (rp, ci, _nnz) = data::alloc_csr(&mut g, nverts, nverts, 6, &mut rng);
+    let level = g.alloc(nverts * 4);
+    for i in 0..nverts {
+        g.write_i32(level, i, if i == 0 { 0 } else { -1 });
+    }
+    let grid = Dim3::d1(nverts.div_ceil(256) as u32);
+    let launches = (0..4u64)
+        .map(|it| {
+            Launch::new(k.clone(), grid, Dim3::d1(256), vec![rp, ci, level, level, nverts, it])
+        })
+        .collect();
+    Workload { name: "BFS", suite: "rodinia", gmem: g, launches }
+}
+
+/// The paper's Fig. 2 kernel, verbatim:
+/// `index = (hid+1) * (HEIGHT*by + ty + 1) + (tx + 1)`,
+/// `w[index] += ETA * delta[tx+1] * ly[HEIGHT*by+ty+1] + MOMENTUM * oldw[index]`,
+/// then `oldw[index] = <same>`.
+fn bp_adjust_weights() -> Kernel {
+    const ETA: f32 = 0.3;
+    const MOMENTUM: f32 = 0.3;
+    const HEIGHT: i64 = 16;
+    // params: [delta, ly, w, oldw, hid]
+    let mut b = KernelBuilder::new("bp_adjust_weights", 5);
+    let tx = b.tid_x();
+    let ty = b.tid_y();
+    let by = b.ctaid_y();
+    let hid = b.ld_param32(4);
+    let hid1 = b.add(hid, Operand::Imm(1));
+    let hby = b.mul(by, Operand::Imm(HEIGHT));
+    let row = b.add(hby, ty);
+    let row1 = b.add(row, Operand::Imm(1)); // index_y = HEIGHT*by + ty + 1
+    let tx1 = b.add(tx, Operand::Imm(1)); // index_x = tx + 1
+    let idx0 = b.mul(hid1, row1);
+    let index = b.add(idx0, tx1);
+
+    let ixoff = b.shl_imm_wide(tx1, 2);
+    let iyoff = b.shl_imm_wide(row1, 2);
+    let ioff = b.shl_imm_wide(index, 2);
+    let pdelta = b.ld_param(0);
+    let ply = b.ld_param(1);
+    let pw = b.ld_param(2);
+    let poldw = b.ld_param(3);
+    let a_delta = b.add_wide(pdelta, ixoff);
+    let a_ly = b.add_wide(ply, iyoff);
+    let a_w = b.add_wide(pw, ioff);
+    let a_oldw = b.add_wide(poldw, ioff);
+    let d = b.ld_global(Ty::F32, a_delta, 0);
+    let l = b.ld_global(Ty::F32, a_ly, 0);
+    let ow = b.ld_global(Ty::F32, a_oldw, 0);
+    let eta = b.fimm32(ETA);
+    let mom = b.fimm32(MOMENTUM);
+    let dl = b.mul_ty(Ty::F32, d, l);
+    let t1 = b.mul_ty(Ty::F32, eta, dl);
+    let upd = b.mad_ty(Ty::F32, mom, ow, t1);
+    let wv = b.ld_global(Ty::F32, a_w, 0);
+    let nw = b.add_ty(Ty::F32, wv, upd);
+    b.st_global(Ty::F32, a_w, 0, nw);
+    b.st_global(Ty::F32, a_oldw, 0, upd);
+    b.build()
+}
+
+/// Backprop layer-forward: partial products into shared memory and a
+/// reduction over `ty` (the other Rodinia backprop kernel).
+fn bp_layerforward() -> Kernel {
+    const HEIGHT: i64 = 16;
+    // params: [input, conn, hidden_partial, hid]
+    let mut b = KernelBuilder::new("bp_layerforward", 4);
+    b.shared_bytes((16 * 16 * 4) as u32);
+    let tx = b.tid_x();
+    let ty = b.tid_y();
+    let by = b.ctaid_y();
+    let hid = b.ld_param32(3);
+    let hid1 = b.add(hid, Operand::Imm(1));
+    let hby = b.mul(by, Operand::Imm(HEIGHT));
+    let row = b.add(hby, ty);
+    let row1 = b.add(row, Operand::Imm(1));
+    let tx1 = b.add(tx, Operand::Imm(1));
+    let idx0 = b.mul(hid1, row1);
+    let index = b.add(idx0, tx1);
+    // load input unit for this row, weight for (row, tx)
+    let iyoff = b.shl_imm_wide(row1, 2);
+    let pin = b.ld_param(0);
+    let a_in = b.add_wide(pin, iyoff);
+    let unit = b.ld_global(Ty::F32, a_in, 0);
+    let ioff = b.shl_imm_wide(index, 2);
+    let pconn = b.ld_param(1);
+    let a_conn = b.add_wide(pconn, ioff);
+    let wv = b.ld_global(Ty::F32, a_conn, 0);
+    let prod = b.mul_ty(Ty::F32, wv, unit);
+    // shared[ty][tx] = prod
+    let sidx = b.mad(ty, Operand::Imm(16), tx);
+    let soff32 = b.shl_imm(sidx, 2);
+    let soff = b.cvt_wide(soff32);
+    b.st_shared(Ty::F32, soff, 0, prod);
+    b.bar();
+    // ty == 0 reduces the column and accumulates into hidden_partial[by*16+tx]
+    let pz = b.setp(CmpOp::Ne, Ty::B32, ty, Operand::Imm(0));
+    let skip = b.label();
+    b.bra_if(pz, true, skip);
+    let txoff32 = b.shl_imm(tx, 2);
+    let txoff = b.cvt_wide(txoff32);
+    let acc = b.fimm32(0.0);
+    for r in 0..16i64 {
+        let v = b.ld_shared(Ty::F32, txoff, r * 16 * 4);
+        let na = b.add_ty(Ty::F32, acc, v);
+        b.assign_mov(Ty::F32, acc, na);
+    }
+    // squash through a sigmoid (1 / (1 + 2^(-x*log2 e))) as the real kernel does
+    let nl2e = b.fimm32(-std::f32::consts::LOG2_E);
+    let ex = b.mul_ty(Ty::F32, acc, nl2e);
+    let p2 = b.sfu(SfuOp::Ex2, Ty::F32, ex);
+    let one = b.fimm32(1.0);
+    let denom = b.add_ty(Ty::F32, p2, one);
+    let sig = b.sfu(SfuOp::Rcp, Ty::F32, denom);
+    let col = b.mul(by, Operand::Imm(16));
+    let colx = b.add(col, tx);
+    let poff = b.shl_imm_wide(colx, 2);
+    let pout = b.ld_param(2);
+    let a_out = b.add_wide(pout, poff);
+    b.st_global(Ty::F32, a_out, 0, sig);
+    b.place(skip);
+    b.build()
+}
+
+/// BP with `nodes` input rows (grid.y = nodes/16), Table 3's knob.
+pub fn backprop_with_nodes(nodes: u64) -> Workload {
+    let hid = 16u64;
+    let rows = nodes.max(16);
+    let grid_y = (rows / 16) as u32;
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0xb9);
+    let wsize = (hid + 1) * (rows + 1) + hid + 2;
+    let input = data::alloc_f32(&mut g, rows + 2, &mut rng, 0.0, 1.0);
+    let conn = data::alloc_f32(&mut g, wsize, &mut rng, -0.5, 0.5);
+    let partial = data::alloc_f32_zero(&mut g, rows.max(16) * 2);
+    let delta = data::alloc_f32(&mut g, hid + 2, &mut rng, -0.1, 0.1);
+    let ly = data::alloc_f32(&mut g, rows + 2, &mut rng, 0.0, 1.0);
+    let w = data::alloc_f32(&mut g, wsize, &mut rng, -0.5, 0.5);
+    let oldw = data::alloc_f32_zero(&mut g, wsize);
+    let launches = vec![
+        Launch::new(
+            bp_layerforward(),
+            Dim3::d2(1, grid_y),
+            Dim3::d2(16, 16),
+            vec![input, conn, partial, hid],
+        ),
+        Launch::new(
+            bp_adjust_weights(),
+            Dim3::d2(1, grid_y),
+            Dim3::d2(16, 16),
+            vec![delta, ly, w, oldw, hid],
+        ),
+    ];
+    Workload { name: "BP", suite: "rodinia", gmem: g, launches }
+}
+
+/// BP at default scale.
+pub fn backprop(size: Size) -> Workload {
+    backprop_with_nodes(match size {
+        Size::Small => 256,
+        Size::Full => 16384,
+    })
+}
+
+/// BTR: B+tree lookups — a regular prologue then data-dependent pointer
+/// chasing down a fixed-depth tree.
+pub fn btree(size: Size) -> Workload {
+    let f = size.factor() as u64;
+    let nqueries = 4096 * f;
+    let fanout = 4u64;
+    let depth = 6u32;
+    let nnodes = (fanout.pow(depth + 1) - 1) / (fanout - 1);
+
+    let mut b = KernelBuilder::new("btree_lookup", 4);
+    let i = b.global_tid_x();
+    let off = b.shl_imm_wide(i, 2);
+    let pq = b.ld_param(0);
+    let qaddr = b.add_wide(pq, off);
+    let key = b.ld_global(Ty::B32, qaddr, 0);
+    let ptree = b.ld_param(1);
+    let node = b.imm32(0);
+    for level in 0..depth {
+        // branch = (key >> (2*level)) & (fanout-1)
+        let sh = b.shr_imm(Ty::B32, key, 2 * level);
+        let branch = b.and_ty(Ty::B32, sh, Operand::Imm(fanout as i64 - 1));
+        // child = tree[node*fanout + branch]
+        let nf = b.mul(node, Operand::Imm(fanout as i64));
+        let slot = b.add(nf, branch);
+        let soff32 = b.shl_imm(slot, 2);
+        let soff = b.cvt_wide(soff32);
+        let taddr = b.add_wide(ptree, soff);
+        let child = b.ld_global(Ty::B32, taddr, 0);
+        b.assign_mov(Ty::B32, node, child);
+    }
+    let pout = b.ld_param(2);
+    let oaddr = b.add_wide(pout, off);
+    b.st_global(Ty::B32, oaddr, 0, node);
+    let k = b.build();
+
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0xb7e);
+    let queries = data::alloc_i32(&mut g, nqueries, &mut rng, 0, i32::MAX);
+    // children table: node*fanout + j -> child id (kept in range)
+    let tree = g.alloc(nnodes * fanout * 4);
+    for n in 0..nnodes {
+        for j in 0..fanout {
+            let child = (n * fanout + j + 1) % nnodes;
+            g.write_i32(tree, n * fanout + j, child as i32);
+        }
+    }
+    let out = data::alloc_i32_zero(&mut g, nqueries);
+    let launch = Launch::new(
+        k,
+        Dim3::d1((nqueries / 256) as u32),
+        Dim3::d1(256),
+        vec![queries, tree, out, nnodes],
+    );
+    Workload { name: "BTR", suite: "rodinia", gmem: g, launches: vec![launch] }
+}
+
+/// CFD: flux computation — four same-shape state arrays read at the cell and
+/// a neighbor (the paper's Fig. 8 shared-coefficient pattern), with
+/// div/sqrt-heavy math.
+pub fn cfd(size: Size) -> Workload {
+    let f = size.factor() as u64;
+    let ncells = 4096 * f;
+
+    // params: [density, momx, momy, energy, out, ncells]
+    let mut b = KernelBuilder::new("cfd_flux", 6);
+    let i = b.global_tid_x();
+    // Each state array re-derives its own address chain from the shared
+    // index registers (the paper's Fig. 8 CFD excerpt shows exactly this).
+    let ad = crate::patterns::gaddr(&mut b, 0, i, 2);
+    let amx = crate::patterns::gaddr(&mut b, 1, i, 2);
+    let amy = crate::patterns::gaddr(&mut b, 2, i, 2);
+    let ae = crate::patterns::gaddr(&mut b, 3, i, 2);
+    let d0 = b.ld_global(Ty::F32, ad, 0);
+    let mx0 = b.ld_global(Ty::F32, amx, 0);
+    let my0 = b.ld_global(Ty::F32, amy, 0);
+    let e0 = b.ld_global(Ty::F32, ae, 0);
+    // neighbor (i+1) via constant 4-byte offsets on the same bases
+    let d1 = b.ld_global(Ty::F32, ad, 4);
+    let mx1 = b.ld_global(Ty::F32, amx, 4);
+    let my1 = b.ld_global(Ty::F32, amy, 4);
+    let e1 = b.ld_global(Ty::F32, ae, 4);
+    // Realistic compressible-flow flux: velocity, kinetic energy, pressure
+    // (gamma-law), speed of sound, then upwinded differences per component.
+    let vx = b.div_ty(Ty::F32, mx0, d0);
+    let vy = b.div_ty(Ty::F32, my0, d0);
+    let v2a = b.mul_ty(Ty::F32, vx, vx);
+    let v2 = b.mad_ty(Ty::F32, vy, vy, v2a);
+    let halfv = b.fimm32(0.5);
+    let ke = b.mul_ty(Ty::F32, v2, halfv);
+    let ked = b.mul_ty(Ty::F32, ke, d0);
+    let egas = b.sub_ty(Ty::F32, e0, ked);
+    let gm1 = b.fimm32(0.4);
+    let pres = b.mul_ty(Ty::F32, egas, gm1);
+    let gamma = b.fimm32(1.4);
+    let gp = b.mul_ty(Ty::F32, pres, gamma);
+    let c2s = b.div_ty(Ty::F32, gp, d0);
+    let sound = b.sfu(SfuOp::Sqrt, Ty::F32, c2s);
+    let speed0 = b.sfu(SfuOp::Sqrt, Ty::F32, v2);
+    let speed = b.add_ty(Ty::F32, speed0, sound);
+    let de = b.sub_ty(Ty::F32, e1, e0);
+    let dd = b.sub_ty(Ty::F32, d1, d0);
+    let dmx = b.sub_ty(Ty::F32, mx1, mx0);
+    let dmy = b.sub_ty(Ty::F32, my1, my0);
+    let fd = b.mad_ty(Ty::F32, speed, dd, dmx);
+    let fmx0 = b.mul_ty(Ty::F32, vx, dmx);
+    let fmx = b.mad_ty(Ty::F32, speed, fmx0, pres);
+    let fmy0 = b.mul_ty(Ty::F32, vy, dmy);
+    let fmy = b.mad_ty(Ty::F32, speed, fmy0, pres);
+    let fe0 = b.add_ty(Ty::F32, de, pres);
+    let fe = b.mad_ty(Ty::F32, speed, fe0, ke);
+    let fab = b.add_ty(Ty::F32, fd, fmx);
+    let fcd = b.add_ty(Ty::F32, fmy, fe);
+    let flux = b.add_ty(Ty::F32, fab, fcd);
+    let ao = crate::patterns::gaddr(&mut b, 4, i, 2);
+    b.st_global(Ty::F32, ao, 0, flux);
+    let k = b.build();
+
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0xcfd);
+    let n1 = ncells + 64; // slack for the +1 neighbor
+    let dens = data::alloc_f32(&mut g, n1, &mut rng, 0.5, 2.0);
+    let momx = data::alloc_f32(&mut g, n1, &mut rng, -1.0, 1.0);
+    let momy = data::alloc_f32(&mut g, n1, &mut rng, -1.0, 1.0);
+    let ener = data::alloc_f32(&mut g, n1, &mut rng, 1.0, 3.0);
+    let out = data::alloc_f32_zero(&mut g, n1);
+    let launch = Launch::new(
+        k,
+        Dim3::d1((ncells / 128) as u32),
+        Dim3::d1(128),
+        vec![dens, momx, momy, ener, out, ncells],
+    );
+    Workload { name: "CFD", suite: "rodinia", gmem: g, launches: vec![launch] }
+}
+
+/// DWT: one Haar wavelet level — horizontal pair-averaging pass then a
+/// vertical pass (stride-2 addressing).
+pub fn dwt2d(size: Size) -> Workload {
+    let f = size.factor() as u64;
+    let w = 128u64;
+    let h = 32 * f;
+
+    // horizontal: out[y*w/2+x] = (in[y*w+2x] + in[y*w+2x+1]) / 2
+    let hpass = {
+        let mut b = KernelBuilder::new("dwt_h", 3);
+        let tx = b.tid_x();
+        let bx = b.ctaid_x();
+        let by = b.ctaid_y();
+        let ntx = b.ntid_x();
+        let x = b.mad(bx, ntx, tx);
+        let wreg = b.ld_param32(2);
+        let row = b.mul(by, wreg);
+        let x2 = b.shl_imm(x, 1);
+        let iidx = b.add(row, x2);
+        let ioff = b.shl_imm_wide(iidx, 2);
+        let pin = b.ld_param(0);
+        let ia = b.add_wide(pin, ioff);
+        let a = b.ld_global(Ty::F32, ia, 0);
+        let bb = b.ld_global(Ty::F32, ia, 4);
+        let s = b.add_ty(Ty::F32, a, bb);
+        let half = b.fimm32(0.5);
+        let avg = b.mul_ty(Ty::F32, s, half);
+        let wh = b.shr_imm(Ty::B32, wreg, 1);
+        let orow = b.mul(by, wh);
+        let oidx = b.add(orow, x);
+        let ooff = b.shl_imm_wide(oidx, 2);
+        let pout = b.ld_param(1);
+        let oa = b.add_wide(pout, ooff);
+        b.st_global(Ty::F32, oa, 0, avg);
+        b.build()
+    };
+    // vertical on the half-width image: out[(y)*w/2+x] = (t[2y*w/2+x]+t[(2y+1)*w/2+x])/2
+    let vpass = {
+        let mut b = KernelBuilder::new("dwt_v", 3);
+        let tx = b.tid_x();
+        let bx = b.ctaid_x();
+        let by = b.ctaid_y();
+        let ntx = b.ntid_x();
+        let x = b.mad(bx, ntx, tx);
+        let wh = b.ld_param32(2);
+        let y2 = b.shl_imm(by, 1);
+        let r0 = b.mul(y2, wh);
+        let i0 = b.add(r0, x);
+        let ioff = b.shl_imm_wide(i0, 2);
+        let pin = b.ld_param(0);
+        let ia = b.add_wide(pin, ioff);
+        let a = b.ld_global(Ty::F32, ia, 0);
+        let wh4 = b.shl_imm(wh, 2);
+        let wh4w = b.cvt_wide(wh4);
+        let ia2 = b.add_wide(ia, wh4w);
+        let c = b.ld_global(Ty::F32, ia2, 0);
+        let s = b.add_ty(Ty::F32, a, c);
+        let half = b.fimm32(0.5);
+        let avg = b.mul_ty(Ty::F32, s, half);
+        let orow = b.mul(by, wh);
+        let oidx = b.add(orow, x);
+        let ooff = b.shl_imm_wide(oidx, 2);
+        let pout = b.ld_param(1);
+        let oa = b.add_wide(pout, ooff);
+        b.st_global(Ty::F32, oa, 0, avg);
+        b.build()
+    };
+
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0xd27);
+    let img = data::alloc_f32(&mut g, w * h, &mut rng, 0.0, 255.0);
+    let tmp = data::alloc_f32_zero(&mut g, (w / 2) * h);
+    let out = data::alloc_f32_zero(&mut g, (w / 2) * (h / 2));
+    let launches = vec![
+        Launch::new(hpass, Dim3::d2((w / 2 / 64) as u32, h as u32), Dim3::d2(64, 1), vec![img, tmp, w]),
+        Launch::new(
+            vpass,
+            Dim3::d2((w / 2 / 64) as u32, (h / 2) as u32),
+            Dim3::d2(64, 1),
+            vec![tmp, out, w / 2],
+        ),
+    ];
+    Workload { name: "DWT", suite: "rodinia", gmem: g, launches }
+}
+
+/// GAS: Gaussian elimination — per-iteration Fan1 (multipliers) and Fan2
+/// (row updates) kernels whose addresses are linear in the iteration
+/// parameter.
+pub fn gaussian(size: Size) -> Workload {
+    let n = match size {
+        Size::Small => 64u64,
+        Size::Full => 512,
+    };
+    let iters = 4u64;
+
+    // fan1: m[i] = a[i*n+k] / a[k*n+k] for i in k+1..n (one thread per row)
+    let fan1 = {
+        let mut b = KernelBuilder::new("gas_fan1", 4);
+        let t = b.global_tid_x();
+        let kparam = b.ld_param32(3);
+        let i = b.add(t, kparam);
+        let i1 = b.add(i, Operand::Imm(1));
+        let nreg = b.ld_param32(2);
+        let poob = b.setp(CmpOp::Ge, Ty::B32, i1, nreg);
+        b.exit();
+        b.guard_last(poob, true);
+        let row = b.mul(i1, nreg);
+        let idx = b.add(row, kparam);
+        let off = b.shl_imm_wide(idx, 2);
+        let pa = b.ld_param(0);
+        let aaddr = b.add_wide(pa, off);
+        let av = b.ld_global(Ty::F32, aaddr, 0);
+        let kk = b.mul(kparam, nreg);
+        let kidx = b.add(kk, kparam);
+        let koff = b.shl_imm_wide(kidx, 2);
+        let kaddr = b.add_wide(pa, koff);
+        let pivot = b.ld_global(Ty::F32, kaddr, 0);
+        let m = b.div_ty(Ty::F32, av, pivot);
+        let moff = b.shl_imm_wide(i1, 2);
+        let pm = b.ld_param(1);
+        let maddr = b.add_wide(pm, moff);
+        b.st_global(Ty::F32, maddr, 0, m);
+        b.build()
+    };
+    // fan2: a[i][j] -= m[i] * a[k][j]
+    let fan2 = {
+        let mut b = KernelBuilder::new("gas_fan2", 4);
+        let tx = b.tid_x();
+        let ty = b.tid_y();
+        let bx = b.ctaid_x();
+        let by = b.ctaid_y();
+        let ntx = b.ntid_x();
+        let nty = b.ntid_y();
+        let j = b.mad(bx, ntx, tx);
+        let t = b.mad(by, nty, ty);
+        let kparam = b.ld_param32(3);
+        let i = b.add(t, kparam);
+        let i1 = b.add(i, Operand::Imm(1));
+        let nreg = b.ld_param32(2);
+        let pi = b.setp(CmpOp::Ge, Ty::B32, i1, nreg);
+        b.exit();
+        b.guard_last(pi, true);
+        let pj = b.setp(CmpOp::Ge, Ty::B32, j, nreg);
+        b.exit();
+        b.guard_last(pj, true);
+        let pa = b.ld_param(0);
+        let rowi = b.mul(i1, nreg);
+        let idxi = b.add(rowi, j);
+        let offi = b.shl_imm_wide(idxi, 2);
+        let ai = b.add_wide(pa, offi);
+        let rowk = b.mul(kparam, nreg);
+        let idxk = b.add(rowk, j);
+        let offk = b.shl_imm_wide(idxk, 2);
+        let ak = b.add_wide(pa, offk);
+        let moff = b.shl_imm_wide(i1, 2);
+        let pm = b.ld_param(1);
+        let am = b.add_wide(pm, moff);
+        let akv = b.ld_global(Ty::F32, ak, 0);
+        let mv = b.ld_global(Ty::F32, am, 0);
+        let aiv = b.ld_global(Ty::F32, ai, 0);
+        let prod = b.mul_ty(Ty::F32, mv, akv);
+        let nv = b.sub_ty(Ty::F32, aiv, prod);
+        b.st_global(Ty::F32, ai, 0, nv);
+        b.build()
+    };
+
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x6a5);
+    let a = data::alloc_f32(&mut g, n * n, &mut rng, 1.0, 2.0);
+    let m = data::alloc_f32_zero(&mut g, n);
+    let mut launches = Vec::new();
+    for k in 0..iters {
+        launches.push(Launch::new(
+            fan1.clone(),
+            Dim3::d1((n / 64) as u32),
+            Dim3::d1(64),
+            vec![a, m, n, k],
+        ));
+        launches.push(Launch::new(
+            fan2.clone(),
+            Dim3::d2((n / 16) as u32, (n / 16) as u32),
+            Dim3::d2(16, 16),
+            vec![a, m, n, k],
+        ));
+    }
+    Workload { name: "GAS", suite: "rodinia", gmem: g, launches }
+}
+
+/// HSP: hotspot — a 5-point stencil over two same-index input grids
+/// (temperature + power) with border handling via padding.
+pub fn hotspot(size: Size) -> Workload {
+    let f = size.factor() as u64;
+    let w = 64u64;
+    let h = 32 * f;
+    let pitch = w + 2;
+
+    // params: [temp, power, out, pitch]
+    let mut b = KernelBuilder::new("hotspot", 4);
+    let tx = b.tid_x();
+    let ty = b.tid_y();
+    let bx = b.ctaid_x();
+    let by = b.ctaid_y();
+    let ntx = b.ntid_x();
+    let nty = b.ntid_y();
+    let x = b.mad(bx, ntx, tx);
+    let y = b.mad(by, nty, ty);
+    let pitch_r = b.ld_param32(3);
+    let x1 = b.add(x, Operand::Imm(1));
+    let y1 = b.add(y, Operand::Imm(1));
+    let idx = b.mad(y1, pitch_r, x1);
+    let off = b.shl_imm_wide(idx, 2);
+    let pt = b.ld_param(0);
+    let pp = b.ld_param(1);
+    let tbase = b.add_wide(pt, off);
+    let pbase = b.add_wide(pp, off);
+    let c = b.ld_global(Ty::F32, tbase, 0);
+    let e = b.ld_global(Ty::F32, tbase, 4);
+    let wv = b.ld_global(Ty::F32, tbase, -4);
+    let prow = b.mul(pitch_r, Operand::Imm(4));
+    let proww = b.cvt_wide(prow);
+    let na = b.add_wide(tbase, proww);
+    let nn = b.ld_global(Ty::F32, na, 0);
+    let sa = b.sub_ty(Ty::B64, tbase, proww);
+    let ss = b.ld_global(Ty::F32, sa, 0);
+    let pw = b.ld_global(Ty::F32, pbase, 0);
+    // Full hotspot update: separate x/y conductances, ambient term, power.
+    let rx = b.fimm32(0.2);
+    let ry = b.fimm32(0.15);
+    let rz = b.fimm32(0.0625);
+    let amb = b.fimm32(80.0);
+    let ex0 = b.add_ty(Ty::F32, e, wv);
+    let cm2 = b.fimm32(-2.0);
+    let gx = b.mad_ty(Ty::F32, c, cm2, ex0);
+    let gxr = b.mul_ty(Ty::F32, gx, rx);
+    let ny0 = b.add_ty(Ty::F32, nn, ss);
+    let gy = b.mad_ty(Ty::F32, c, cm2, ny0);
+    let gyr = b.mul_ty(Ty::F32, gy, ry);
+    let az = b.sub_ty(Ty::F32, amb, c);
+    let gzr = b.mul_ty(Ty::F32, az, rz);
+    let s01 = b.add_ty(Ty::F32, gxr, gyr);
+    let s02 = b.add_ty(Ty::F32, gzr, pw);
+    let dtv = b.add_ty(Ty::F32, s01, s02);
+    let step = b.fimm32(0.5);
+    let out = b.mad_ty(Ty::F32, dtv, step, c);
+    let po = b.ld_param(2);
+    let obase = b.add_wide(po, off);
+    b.st_global(Ty::F32, obase, 0, out);
+    let k = b.build();
+
+    let total = pitch * (h + 2);
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x457);
+    let temp = data::alloc_f32(&mut g, total, &mut rng, 320.0, 340.0);
+    let power = data::alloc_f32(&mut g, total, &mut rng, 0.0, 0.2);
+    let out = data::alloc_f32_zero(&mut g, total);
+    let launch = Launch::new(
+        k,
+        Dim3::d2((w / 32) as u32, (h / 4) as u32),
+        Dim3::d2(32, 4),
+        vec![temp, power, out, pitch],
+    );
+    Workload { name: "HSP", suite: "rodinia", gmem: g, launches: vec![launch] }
+}
+
+/// HTW: heartwall — windowed template correlation (unrolled 2D taps + sqrt
+/// normalization).
+pub fn heartwall(size: Size) -> Workload {
+    let f = size.factor() as u64;
+    let w = 64u64;
+    let h = 16 * f;
+    let pitch = w + 4;
+
+    // params: [frame, template, out, pitch]
+    let mut b = KernelBuilder::new("htw_corr", 4);
+    let tx = b.tid_x();
+    let ty = b.tid_y();
+    let bx = b.ctaid_x();
+    let by = b.ctaid_y();
+    let ntx = b.ntid_x();
+    let nty = b.ntid_y();
+    let x = b.mad(bx, ntx, tx);
+    let y = b.mad(by, nty, ty);
+    let pitch_r = b.ld_param32(3);
+    let idx = b.mad(y, pitch_r, x);
+    let off = b.shl_imm_wide(idx, 2);
+    let pf = b.ld_param(0);
+    let ptm = b.ld_param(1);
+    let fbase = b.add_wide(pf, off);
+    let mut dot = b.fimm32(0.0);
+    let mut norm = b.fimm32(1e-6);
+    for wy in 0..4i64 {
+        for wx in 0..4i64 {
+            let doff = wy * pitch as i64 * 4 + wx * 4;
+            let fv = b.ld_global(Ty::F32, fbase, doff);
+            let tv = b.ld_global(Ty::F32, ptm, (wy * 4 + wx) * 4);
+            dot = b.mad_ty(Ty::F32, fv, tv, dot);
+            norm = b.mad_ty(Ty::F32, fv, fv, norm);
+        }
+    }
+    let rs = b.sfu(SfuOp::Rsqrt, Ty::F32, norm);
+    let corr = b.mul_ty(Ty::F32, dot, rs);
+    let po = b.ld_param(2);
+    let oaddr = b.add_wide(po, off);
+    b.st_global(Ty::F32, oaddr, 0, corr);
+    let k = b.build();
+
+    let total = pitch * (h + 4);
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x47b);
+    let frame = data::alloc_f32(&mut g, total, &mut rng, 0.0, 1.0);
+    let tmpl = data::alloc_f32(&mut g, 16, &mut rng, 0.0, 1.0);
+    let out = data::alloc_f32_zero(&mut g, total);
+    let launch = Launch::new(
+        k,
+        Dim3::d2((w / 32) as u32, (h / 4) as u32),
+        Dim3::d2(32, 4),
+        vec![frame, tmpl, out, pitch],
+    );
+    Workload { name: "HTW", suite: "rodinia", gmem: g, launches: vec![launch] }
+}
+
+/// KM: k-means membership — 1-D blocks, per-point loop over clusters and
+/// features (the paper notes KM's 1-D blocks still win via cross-block
+/// sharing).
+pub fn kmeans(size: Size) -> Workload {
+    let f = size.factor() as u64;
+    let npoints = 4096 * f;
+    let nclusters = 5i64;
+    let nfeat = 4i64;
+
+    // params: [points, centroids, membership, npoints]
+    let mut b = KernelBuilder::new("kmeans_assign", 4);
+    let i = b.global_tid_x();
+    let nf = b.imm32(nfeat as i32);
+    let row = b.mul(i, nf);
+    let roff = b.shl_imm_wide(row, 2);
+    let pp = b.ld_param(0);
+    let pbase = b.add_wide(pp, roff);
+    let pc = b.ld_param(1);
+    let best = b.fimm32(1.0e30);
+    let bestk = b.imm32(0);
+    for c in 0..nclusters {
+        let mut dist = b.fimm32(0.0);
+        for ft in 0..nfeat {
+            let pv = b.ld_global(Ty::F32, pbase, ft * 4);
+            let cv = b.ld_global(Ty::F32, pc, (c * nfeat + ft) * 4);
+            let d = b.sub_ty(Ty::F32, pv, cv);
+            dist = b.mad_ty(Ty::F32, d, d, dist);
+        }
+        let p = b.setp(CmpOp::Lt, Ty::F32, dist, best);
+        let nb = b.selp(Ty::F32, dist, best, p);
+        let ck = b.imm32(c as i32);
+        let nk = b.selp(Ty::B32, ck, bestk, p);
+        b.assign_mov(Ty::F32, best, nb);
+        b.assign_mov(Ty::B32, bestk, nk);
+    }
+    let moff = b.shl_imm_wide(i, 2);
+    let pm = b.ld_param(2);
+    let maddr = b.add_wide(pm, moff);
+    b.st_global(Ty::B32, maddr, 0, bestk);
+    let k = b.build();
+
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x6b3);
+    let pts = data::alloc_f32(&mut g, npoints * nfeat as u64, &mut rng, 0.0, 10.0);
+    let cents = data::alloc_f32(&mut g, (nclusters * nfeat) as u64, &mut rng, 0.0, 10.0);
+    let memb = data::alloc_i32_zero(&mut g, npoints);
+    let launch = Launch::new(
+        k,
+        Dim3::d1((npoints / 128) as u32),
+        Dim3::d1(128),
+        vec![pts, cents, memb, npoints],
+    );
+    Workload { name: "KM", suite: "rodinia", gmem: g, launches: vec![launch] }
+}
+
+/// LMD: lavaMD — per-particle loop over a neighbor list with rsqrt force
+/// kernels.
+pub fn lavamd(size: Size) -> Workload {
+    let f = size.factor() as u64;
+    let nparticles = 2048 * f;
+    let nneigh = 16i64;
+
+    // params: [pos, out, nparticles]
+    let mut b = KernelBuilder::new("lavamd_force", 3);
+    let i = b.global_tid_x();
+    let i3 = b.mul(i, Operand::Imm(3));
+    let poff = b.shl_imm_wide(i3, 2);
+    let pp = b.ld_param(0);
+    let pbase = b.add_wide(pp, poff);
+    let x = b.ld_global(Ty::F32, pbase, 0);
+    let y = b.ld_global(Ty::F32, pbase, 4);
+    let z = b.ld_global(Ty::F32, pbase, 8);
+    let mut force = b.fimm32(0.0);
+    for nb in 1..=nneigh {
+        let nx = b.ld_global(Ty::F32, pbase, nb * 12);
+        let ny = b.ld_global(Ty::F32, pbase, nb * 12 + 4);
+        let nz = b.ld_global(Ty::F32, pbase, nb * 12 + 8);
+        let dx = b.sub_ty(Ty::F32, x, nx);
+        let dy = b.sub_ty(Ty::F32, y, ny);
+        let dz = b.sub_ty(Ty::F32, z, nz);
+        let r2a = b.mul_ty(Ty::F32, dx, dx);
+        let r2b = b.mad_ty(Ty::F32, dy, dy, r2a);
+        let eps = b.fimm32(0.01);
+        let r2c = b.mad_ty(Ty::F32, dz, dz, r2b);
+        let r2 = b.add_ty(Ty::F32, r2c, eps);
+        let inv = b.sfu(SfuOp::Rsqrt, Ty::F32, r2);
+        force = b.add_ty(Ty::F32, force, inv);
+    }
+    let ooff = b.shl_imm_wide(i, 2);
+    let po = b.ld_param(1);
+    let oaddr = b.add_wide(po, ooff);
+    b.st_global(Ty::F32, oaddr, 0, force);
+    let k = b.build();
+
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x1a6);
+    let pos = data::alloc_f32(&mut g, (nparticles + nneigh as u64 + 1) * 3, &mut rng, 0.0, 8.0);
+    let out = data::alloc_f32_zero(&mut g, nparticles);
+    let launch = Launch::new(
+        k,
+        Dim3::d1((nparticles / 128) as u32),
+        Dim3::d1(128),
+        vec![pos, out, nparticles],
+    );
+    Workload { name: "LMD", suite: "rodinia", gmem: g, launches: vec![launch] }
+}
+
+/// LUD: blocked LU decomposition — *many tiny kernel launches* over a
+/// shrinking submatrix, the paper's Fig. 14 worst case for linear-instruction
+/// overhead.
+pub fn lud(size: Size) -> Workload {
+    let n = match size {
+        Size::Small => 64u64,
+        Size::Full => 128,
+    };
+    let tile = 16u64;
+
+    // internal update: a[i][j] -= l[i][k] * u[k][j] over the trailing block,
+    // with the iteration origin passed as a parameter.
+    let internal = {
+        let mut b = KernelBuilder::new("lud_internal", 3);
+        let tx = b.tid_x();
+        let ty = b.tid_y();
+        let bx = b.ctaid_x();
+        let by = b.ctaid_y();
+        let ntx = b.ntid_x();
+        let nty = b.ntid_y();
+        let xo = b.mad(bx, ntx, tx);
+        let yo = b.mad(by, nty, ty);
+        let org = b.ld_param32(2);
+        let org1 = b.add(org, Operand::Imm(16));
+        let j = b.add(xo, org1);
+        let i = b.add(yo, org1);
+        let nreg = b.ld_param32(1);
+        let rowi = b.mul(i, nreg);
+        let aij = b.add(rowi, j);
+        let aoff = b.shl_imm_wide(aij, 2);
+        let pa = b.ld_param(0);
+        let aaddr = b.add_wide(pa, aoff);
+        let lik = b.add(rowi, org);
+        let loff = b.shl_imm_wide(lik, 2);
+        let laddr = b.add_wide(pa, loff);
+        let rowk = b.mul(org, nreg);
+        let ukj = b.add(rowk, j);
+        let uoff = b.shl_imm_wide(ukj, 2);
+        let uaddr = b.add_wide(pa, uoff);
+        let lv = b.ld_global(Ty::F32, laddr, 0);
+        let uv = b.ld_global(Ty::F32, uaddr, 0);
+        let av = b.ld_global(Ty::F32, aaddr, 0);
+        let prod = b.mul_ty(Ty::F32, lv, uv);
+        let nv = b.sub_ty(Ty::F32, av, prod);
+        b.st_global(Ty::F32, aaddr, 0, nv);
+        b.build()
+    };
+
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x15d);
+    let a = data::alloc_f32(&mut g, n * n, &mut rng, 1.0, 2.0);
+    let mut launches = Vec::new();
+    let mut span = n - tile;
+    let mut org = 0u64;
+    while span >= tile {
+        launches.push(Launch::new(
+            internal.clone(),
+            Dim3::d2((span / tile) as u32, (span / tile) as u32),
+            Dim3::d2(16, 16),
+            vec![a, n, org],
+        ));
+        org += tile;
+        span -= tile;
+    }
+    Workload { name: "LUD", suite: "rodinia", gmem: g, launches }
+}
+
+/// MUM: MUMmer suffix-tree matching — character-driven pointer chasing.
+pub fn mummer(size: Size) -> Workload {
+    let f = size.factor().min(32) as u64;
+    let nqueries = 2048 * f;
+    let qlen = 8u32;
+    let nnodes = 1024u64;
+
+    // params: [queries, tree, out, qlen]
+    let mut b = KernelBuilder::new("mum_match", 4);
+    let i = b.global_tid_x();
+    let ql = b.ld_param32(3);
+    let qstart = b.mul(i, ql);
+    let pq = b.ld_param(0);
+    let ptree = b.ld_param(1);
+    let node = b.imm32(0);
+    let pos = b.imm32(0);
+    let exit_l = b.label();
+    let top = b.here_label();
+    let pd = b.setp(CmpOp::Ge, Ty::B32, pos, ql);
+    b.bra_if(pd, true, exit_l);
+    let qi = b.add(qstart, pos);
+    let qoff = b.shl_imm_wide(qi, 2);
+    let qaddr = b.add_wide(pq, qoff);
+    let ch = b.ld_global(Ty::B32, qaddr, 0);
+    let c4 = b.and_ty(Ty::B32, ch, Operand::Imm(3));
+    let n4 = b.shl_imm(node, 2);
+    let slot = b.add(n4, c4);
+    let soff32 = b.shl_imm(slot, 2);
+    let soff = b.cvt_wide(soff32);
+    let taddr = b.add_wide(ptree, soff);
+    let child = b.ld_global(Ty::B32, taddr, 0);
+    b.assign_mov(Ty::B32, node, child);
+    b.assign_add(Ty::B32, pos, Operand::Imm(1));
+    b.bra(top);
+    b.place(exit_l);
+    let ooff = b.shl_imm_wide(i, 2);
+    let po = b.ld_param(2);
+    let oaddr = b.add_wide(po, ooff);
+    b.st_global(Ty::B32, oaddr, 0, node);
+    let k = b.build();
+
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x313);
+    let queries = data::alloc_i32(&mut g, nqueries * qlen as u64, &mut rng, 0, 4);
+    let tree = g.alloc(nnodes * 4 * 4);
+    for nidx in 0..nnodes {
+        for c in 0..4u64 {
+            g.write_i32(tree, nidx * 4 + c, ((nidx * 7 + c * 13 + 1) % nnodes) as i32);
+        }
+    }
+    let out = data::alloc_i32_zero(&mut g, nqueries);
+    let launch = Launch::new(
+        k,
+        Dim3::d1((nqueries / 256) as u32),
+        Dim3::d1(256),
+        vec![queries, tree, out, qlen as u64],
+    );
+    Workload { name: "MUM", suite: "rodinia", gmem: g, launches: vec![launch] }
+}
+
+/// NN: nearest-neighbor distance — pure streaming with sqrt.
+pub fn nn(size: Size) -> Workload {
+    let f = size.factor() as u64;
+    let n = 16384 * f;
+
+    // params: [lat, lng, dist] with target folded into constants
+    let mut b = KernelBuilder::new("nn_dist", 3);
+    let i = b.global_tid_x();
+    let off = b.shl_imm_wide(i, 2);
+    let plat = b.ld_param(0);
+    let plng = b.ld_param(1);
+    let alat = b.add_wide(plat, off);
+    let alng = b.add_wide(plng, off);
+    let lat = b.ld_global(Ty::F32, alat, 0);
+    let lng = b.ld_global(Ty::F32, alng, 0);
+    // haversine-style distance, as the original hurricane-record NN does
+    let tlat = b.fimm32(30.0);
+    let tlng = b.fimm32(-90.0);
+    let dlat = b.sub_ty(Ty::F32, lat, tlat);
+    let dlng = b.sub_ty(Ty::F32, lng, tlng);
+    let halfc = b.fimm32(0.5 * 0.0174533);
+    let hlat = b.mul_ty(Ty::F32, dlat, halfc);
+    let hlng = b.mul_ty(Ty::F32, dlng, halfc);
+    let slat = b.sfu(SfuOp::Sin, Ty::F32, hlat);
+    let slng = b.sfu(SfuOp::Sin, Ty::F32, hlng);
+    let rad = b.fimm32(0.0174533);
+    let rl1 = b.mul_ty(Ty::F32, lat, rad);
+    let rl2 = b.mul_ty(Ty::F32, tlat, rad);
+    let cl1 = b.sfu(SfuOp::Cos, Ty::F32, rl1);
+    let cl2 = b.sfu(SfuOp::Cos, Ty::F32, rl2);
+    let s2a = b.mul_ty(Ty::F32, slat, slat);
+    let cc = b.mul_ty(Ty::F32, cl1, cl2);
+    let s2b = b.mul_ty(Ty::F32, slng, slng);
+    let ccs = b.mul_ty(Ty::F32, cc, s2b);
+    let h = b.add_ty(Ty::F32, s2a, ccs);
+    let d = b.sfu(SfuOp::Sqrt, Ty::F32, h);
+    let po = b.ld_param(2);
+    let ao = b.add_wide(po, off);
+    b.st_global(Ty::F32, ao, 0, d);
+    let k = b.build();
+
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x22);
+    let lat = data::alloc_f32(&mut g, n, &mut rng, 25.0, 35.0);
+    let lng = data::alloc_f32(&mut g, n, &mut rng, -95.0, -85.0);
+    let dist = data::alloc_f32_zero(&mut g, n);
+    let launch =
+        Launch::new(k, Dim3::d1((n / 256) as u32), Dim3::d1(256), vec![lat, lng, dist]);
+    Workload { name: "NN", suite: "rodinia", gmem: g, launches: vec![launch] }
+}
+
+/// PTH: pathfinder — dynamic-programming rows with clamped neighbor reads
+/// (min/max index clamping breaks linearity at the borders, like the
+/// original's halo handling).
+pub fn pathfinder(size: Size) -> Workload {
+    let f = size.factor() as u64;
+    let w = 8192 * f;
+    let rows = 4u64;
+
+    // params: [prev, wall, out, width]
+    let mut b = KernelBuilder::new("pathfinder_row", 4);
+    let x = b.global_tid_x();
+    let wreg = b.ld_param32(3);
+    let wm1 = b.sub(wreg, Operand::Imm(1));
+    let zero = b.imm32(0);
+    let xm1 = b.sub(x, Operand::Imm(1));
+    let left_i = b.max_ty(Ty::B32, xm1, zero);
+    let xp1 = b.add(x, Operand::Imm(1));
+    let right_i = b.min_ty(Ty::B32, xp1, wm1);
+    let pprev = b.ld_param(0);
+    let coff = b.shl_imm_wide(x, 2);
+    let ca = b.add_wide(pprev, coff);
+    let center = b.ld_global(Ty::F32, ca, 0);
+    let loff = b.shl_imm_wide(left_i, 2);
+    let la = b.add_wide(pprev, loff);
+    let left = b.ld_global(Ty::F32, la, 0);
+    let roff = b.shl_imm_wide(right_i, 2);
+    let ra = b.add_wide(pprev, roff);
+    let right = b.ld_global(Ty::F32, ra, 0);
+    let m1 = b.min_ty(Ty::F32, left, center);
+    let m = b.min_ty(Ty::F32, m1, right);
+    let pwall = b.ld_param(1);
+    let wa = b.add_wide(pwall, coff);
+    let wv = b.ld_global(Ty::F32, wa, 0);
+    let res = b.add_ty(Ty::F32, m, wv);
+    let po = b.ld_param(2);
+    let oa = b.add_wide(po, coff);
+    b.st_global(Ty::F32, oa, 0, res);
+    let k = b.build();
+
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x974);
+    let mut prev = data::alloc_f32(&mut g, w, &mut rng, 0.0, 10.0);
+    let walls: Vec<u64> =
+        (0..rows).map(|_| data::alloc_f32(&mut g, w, &mut rng, 0.0, 10.0)).collect();
+    let mut bufs = [data::alloc_f32_zero(&mut g, w), data::alloc_f32_zero(&mut g, w)];
+    let mut launches = Vec::new();
+    for r in 0..rows as usize {
+        let out = bufs[r % 2];
+        launches.push(Launch::new(
+            k.clone(),
+            Dim3::d1((w / 256) as u32),
+            Dim3::d1(256),
+            vec![prev, walls[r], out, w],
+        ));
+        prev = out;
+        bufs[r % 2] = prev;
+    }
+    Workload { name: "PTH", suite: "rodinia", gmem: g, launches }
+}
+
+fn srad_kernel(name: &str) -> Kernel {
+    // params: [in, out, pitch] — 4-neighbor diffusion with a division.
+    let mut b = KernelBuilder::new(name, 3);
+    let tx = b.tid_x();
+    let ty = b.tid_y();
+    let bx = b.ctaid_x();
+    let by = b.ctaid_y();
+    let ntx = b.ntid_x();
+    let nty = b.ntid_y();
+    let x = b.mad(bx, ntx, tx);
+    let y = b.mad(by, nty, ty);
+    let pitch = b.ld_param32(2);
+    let x1 = b.add(x, Operand::Imm(1));
+    let y1 = b.add(y, Operand::Imm(1));
+    let idx = b.mad(y1, pitch, x1);
+    let off = b.shl_imm_wide(idx, 2);
+    let pin = b.ld_param(0);
+    let base = b.add_wide(pin, off);
+    let c = b.ld_global(Ty::F32, base, 0);
+    let e = b.ld_global(Ty::F32, base, 4);
+    let w = b.ld_global(Ty::F32, base, -4);
+    let prow = b.mul(pitch, Operand::Imm(4));
+    let proww = b.cvt_wide(prow);
+    let na = b.add_wide(base, proww);
+    let n = b.ld_global(Ty::F32, na, 0);
+    let sa = b.sub_ty(Ty::B64, base, proww);
+    let s = b.ld_global(Ty::F32, sa, 0);
+    // Full SRAD update: normalized gradients, laplacian, instantaneous
+    // coefficient of variation, exp-shaped diffusion coefficient.
+    let s1 = b.add_ty(Ty::F32, n, s);
+    let s2 = b.add_ty(Ty::F32, e, w);
+    let s3 = b.add_ty(Ty::F32, s1, s2);
+    let cm4 = b.fimm32(-4.0);
+    let lap = b.mad_ty(Ty::F32, c, cm4, s3);
+    let eps = b.fimm32(1e-3);
+    let cs = b.add_ty(Ty::F32, c, eps);
+    let dn = b.sub_ty(Ty::F32, n, c);
+    let ds = b.sub_ty(Ty::F32, s, c);
+    let de = b.sub_ty(Ty::F32, e, c);
+    let dw = b.sub_ty(Ty::F32, w, c);
+    let g2a = b.mul_ty(Ty::F32, dn, dn);
+    let g2b = b.mad_ty(Ty::F32, ds, ds, g2a);
+    let g2c = b.mad_ty(Ty::F32, de, de, g2b);
+    let g2 = b.mad_ty(Ty::F32, dw, dw, g2c);
+    let c2 = b.mul_ty(Ty::F32, cs, cs);
+    let g2n = b.div_ty(Ty::F32, g2, c2);
+    let lapn = b.div_ty(Ty::F32, lap, cs);
+    let half = b.fimm32(0.5);
+    let l2 = b.mul_ty(Ty::F32, lapn, lapn);
+    let sixteenth = b.fimm32(1.0 / 16.0);
+    let l2s = b.mul_ty(Ty::F32, l2, sixteenth);
+    let num0 = b.mad_ty(Ty::F32, g2n, half, l2s);
+    let quarter = b.fimm32(0.25);
+    let onec = b.fimm32(1.0);
+    let lq = b.mad_ty(Ty::F32, lapn, quarter, onec);
+    let den = b.mul_ty(Ty::F32, lq, lq);
+    let qsqr = b.div_ty(Ty::F32, num0, den);
+    let q0 = b.fimm32(0.05);
+    let qd = b.sub_ty(Ty::F32, qsqr, q0);
+    let qn = b.mad_ty(Ty::F32, q0, q0, q0);
+    let arg = b.div_ty(Ty::F32, qd, qn);
+    let nlog2e = b.fimm32(-std::f32::consts::LOG2_E);
+    let earg = b.mul_ty(Ty::F32, arg, nlog2e);
+    let cdiff0 = b.sfu(SfuOp::Ex2, Ty::F32, earg);
+    let one = b.fimm32(1.0);
+    let cd1 = b.min_ty(Ty::F32, cdiff0, one);
+    let zero = b.fimm32(0.0);
+    let cdiff = b.max_ty(Ty::F32, cd1, zero);
+    let d0 = b.mul_ty(Ty::F32, cdiff, lap);
+    let lam = b.fimm32(0.125);
+    let upd = b.mad_ty(Ty::F32, d0, lam, c);
+    let po = b.ld_param(1);
+    let obase = b.add_wide(po, off);
+    b.st_global(Ty::F32, obase, 0, upd);
+    b.build()
+}
+
+/// SRAD1: speckle-reducing anisotropic diffusion, 16x16 blocks.
+pub fn srad1(size: Size) -> Workload {
+    let f = size.factor() as u64;
+    let w = 64u64;
+    let h = 32 * f;
+    let pitch = w + 2;
+    let total = pitch * (h + 2);
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x52a);
+    let input = data::alloc_f32(&mut g, total, &mut rng, 0.1, 1.0);
+    let output = data::alloc_f32_zero(&mut g, total);
+    let launch = Launch::new(
+        srad_kernel("srad1"),
+        Dim3::d2((w / 16) as u32, (h / 16) as u32),
+        Dim3::d2(16, 16),
+        vec![input, output, pitch],
+    );
+    Workload { name: "SRAD1", suite: "rodinia", gmem: g, launches: vec![launch] }
+}
+
+/// SRAD2: the paper's across-block showcase — 8 warps per block, thousands
+/// of blocks sharing thread-index parts.
+pub fn srad2(size: Size) -> Workload {
+    let f = size.factor() as u64;
+    let w = 256u64;
+    let h = 32 * f;
+    let pitch = w + 2;
+    let total = pitch * (h + 2);
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x52b);
+    let input = data::alloc_f32(&mut g, total, &mut rng, 0.1, 1.0);
+    let output = data::alloc_f32_zero(&mut g, total);
+    // 32x8 = 256 threads = 8 warps per block, like the paper's SRAD2.
+    let launch = Launch::new(
+        srad_kernel("srad2"),
+        Dim3::d2((w / 32) as u32, (h / 8) as u32),
+        Dim3::d2(32, 8),
+        vec![input, output, pitch],
+    );
+    Workload { name: "SRAD2", suite: "rodinia", gmem: g, launches: vec![launch] }
+}

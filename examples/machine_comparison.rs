@@ -1,0 +1,77 @@
+//! Run one Table 2 workload under every machine model the paper evaluates
+//! (baseline, DAC, DARSIE, DARSIE+Scalar, R2D2) and print a comparison.
+//!
+//! Run with: `cargo run --release --example machine_comparison [WORKLOAD]`
+//! e.g. `cargo run --release --example machine_comparison SRAD2`
+
+use r2d2::baselines::{DacFilter, DarsieFilter, DarsieScalarFilter};
+use r2d2::core::machine::{run_baseline, run_r2d2, run_with_filter};
+use r2d2::prelude::*;
+use r2d2::sim::Stats;
+use r2d2::workloads;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "BP".to_string());
+    let w = workloads::build(&name, Size::Small)
+        .unwrap_or_else(|| panic!("unknown workload {name}; see r2d2::workloads::NAMES"));
+    let cfg = GpuConfig { num_sms: 16, ..Default::default() };
+
+    let mut results: Vec<(&str, Stats, f64)> = Vec::new();
+    let mut reference: Option<Vec<u8>> = None;
+
+    let models: Vec<(&str, Box<dyn Fn(&Launch, &mut GlobalMem) -> r2d2::core::machine::RunResult>)> = vec![
+        ("Baseline", Box::new(|l, g| run_baseline(&cfg, l, g).unwrap())),
+        ("DAC", Box::new(|l, g| run_with_filter(&cfg, l, g, &mut DacFilter::new()).unwrap())),
+        ("DARSIE", Box::new(|l, g| run_with_filter(&cfg, l, g, &mut DarsieFilter::new()).unwrap())),
+        (
+            "DARSIE+S",
+            Box::new(|l, g| run_with_filter(&cfg, l, g, &mut DarsieScalarFilter::new()).unwrap()),
+        ),
+        (
+            "R2D2",
+            Box::new(|l, g| {
+                run_r2d2(&cfg, &l.kernel, l.grid, l.block, l.params.clone(), g).unwrap()
+            }),
+        ),
+    ];
+
+    for (mname, run) in &models {
+        let mut g = w.gmem.clone();
+        let mut stats = Stats::default();
+        let mut energy = 0.0;
+        for l in &w.launches {
+            let r = run(l, &mut g);
+            stats.merge_sequential(&r.stats);
+            energy += r.energy.total_pj();
+        }
+        match &reference {
+            None => reference = Some(g.bytes().to_vec()),
+            Some(bytes) => assert_eq!(
+                bytes.as_slice(),
+                g.bytes(),
+                "{mname} changed results — machine models must be value-preserving"
+            ),
+        }
+        results.push((mname, stats, energy));
+    }
+
+    let base = results[0].1.clone();
+    let base_e = results[0].2;
+    println!("workload {name} ({} launches), results identical across machines ✓\n", w.launches.len());
+    println!(
+        "{:>10} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "machine", "warp instrs", "reduction", "cycles", "speedup", "energy"
+    );
+    for (mname, s, e) in &results {
+        println!(
+            "{:>10} {:>12} {:>9.1}% {:>10} {:>9.2}x {:>9.1}%",
+            mname,
+            s.warp_instrs,
+            100.0 * (base.warp_instrs as f64 - s.warp_instrs as f64) / base.warp_instrs as f64,
+            s.cycles,
+            base.cycles as f64 / s.cycles as f64,
+            100.0 * (base_e - e) / base_e,
+        );
+    }
+    Ok(())
+}

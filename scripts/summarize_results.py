@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Summarize the bench-harness CSVs under results/ (paper-vs-measured).
+
+Run after `cargo bench`:  python3 scripts/summarize_results.py
+"""
+import csv
+import os
+import sys
+
+RESULTS = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+def rows(name):
+    path = os.path.join(RESULTS, name + ".csv")
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        return list(csv.DictReader(f))
+
+
+def last_row(name):
+    r = rows(name)
+    return r[-1] if r else None
+
+
+def main():
+    print("paper-vs-measured summary (see EXPERIMENTS.md for discussion)\n")
+
+    r = last_row("fig04_ideal_machines")
+    if r:
+        print(f"Fig.4  ideal reductions   paper WP 27 / TB 22 / LN 33"
+              f"   measured WP {r['WP']} / TB {r['TB']} / LN {r['LN']}")
+
+    r = last_row("fig12_instruction_reduction")
+    if r:
+        print(f"Fig.12 instr reduction    paper DAC 20 / DARSIE 18 / D+S 19 / R2D2 28"
+              f"   measured {r['DAC']} / {r['DARSIE']} / {r['DARSIE+S']} / {r['R2D2']}")
+
+    r = last_row("fig13_speedup")
+    if r:
+        print(f"Fig.13 speedup (geomean)  paper 1.15 / 1.14 / 1.14 / 1.25"
+              f"   measured {r['DAC']} / {r['DARSIE']} / {r['DARSIE+S']} / {r['R2D2']}")
+
+    r = last_row("fig14_instruction_breakdown")
+    if r:
+        print(f"Fig.14 linear instr share paper ~1% avg"
+              f"   measured {r['linear_share']}% avg")
+
+    r = last_row("fig15_cycle_breakdown")
+    if r:
+        print(f"Fig.15 linear cycle share paper ~1% avg"
+              f"   measured {r['linear_share_%']}% avg (prologue share)")
+
+    r = last_row("fig16_energy")
+    if r:
+        print(f"Fig.16 energy reduction   paper 9 / 8 / 9 / 17"
+              f"   measured {r['DAC']} / {r['DARSIE']} / {r['DARSIE+S']} / {r['R2D2']}")
+
+    t3 = rows("table3_blocks_sweep")
+    if t3:
+        reds = "/".join(x["instr_reduction_%"] for x in t3)
+        sps = "/".join(x["speedup"] for x in t3)
+        print(f"Table3 BP sweep           paper 38.3-39.7% & 1.35-1.36x"
+              f"   measured {reds}% & {sps}x")
+
+    s54 = rows("sec54_latency_study")
+    if s54:
+        worst = max(float(x["drop_%"]) for x in s54)
+        print(f"Sec5.4 latency tolerance  paper ~1% drop at design point"
+              f"   measured worst sweep drop {worst:.1f}%")
+
+    s56 = rows("sec56_register_usage")
+    if s56:
+        fb = sum(1 for x in s56 if x["fallback"] == "true")
+        print(f"Sec5.6 register fallback  paper: none   measured: {fb} of {len(s56)} kernels")
+
+    s57 = rows("sec57_persistent_threads")
+    if s57:
+        for x in s57:
+            print(f"Sec5.7 {x['bench']:>6}            reduction {x['instr_reduction_%']}%"
+                  f", speedup {x['speedup']}x")
+
+    s58 = rows("sec58_sm_sweep")
+    if s58:
+        sps = ", ".join(f"{x['sms']}:{x['geomean_speedup']}" for x in s58)
+        print(f"Sec5.8 SM sweep           paper flat   measured {sps}")
+
+    abl = last_row("ablation_design_choices")
+    if abl:
+        print(f"Ablation (avg reduction)  full {abl['full']} / no-group {abl['no-grouping']}"
+              f" / lr=4 {abl['lr=4']} / lr=8 {abl['lr=8']} / no-scalar {abl['no-scalar-cr']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

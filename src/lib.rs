@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+//! # R2D2 — Removing ReDunDancy Utilizing Linearity of Address Generation in GPUs
+//!
+//! A full Rust reproduction of the ISCA 2023 paper by Ha, Oh and Ro,
+//! including the SIMT GPU simulator it needs as a substrate.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`sym`] | `r2d2-sym` | coefficient-vector algebra (paper Fig. 6) |
+//! | [`isa`] | `r2d2-isa` | the PTX-like virtual ISA, builder, assembler |
+//! | [`sim`] | `r2d2-sim` | cycle-level SIMT GPU simulator (Table 1 config) |
+//! | [`energy`] | `r2d2-energy` | event-based energy model (Fig. 16) |
+//! | [`core`] | `r2d2-core` | the R2D2 analyzer/generator/microarchitecture |
+//! | [`baselines`] | `r2d2-baselines` | WP/TB/LN ideal machines, DAC, DARSIE |
+//! | [`workloads`] | `r2d2-workloads` | the Table 2 benchmark zoo |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use r2d2::prelude::*;
+//!
+//! // Build a workload, run it on the baseline GPU and on R2D2, compare.
+//! let w = r2d2::workloads::build("BP", r2d2::workloads::Size::Small).unwrap();
+//! let cfg = GpuConfig { num_sms: 8, ..Default::default() };
+//!
+//! let mut g1 = w.gmem.clone();
+//! let mut base = Stats::default();
+//! for l in &w.launches {
+//!     base.merge_sequential(&run_baseline(&cfg, l, &mut g1)?.stats);
+//! }
+//!
+//! let mut g2 = w.gmem.clone();
+//! let mut r2 = Stats::default();
+//! for l in &w.launches {
+//!     let (launch, _) = make_launch(&cfg, &l.kernel, l.grid, l.block, l.params.clone());
+//!     r2.merge_sequential(&r2d2::sim::simulate(&cfg, &launch, &mut g2, &mut BaselineFilter)?);
+//! }
+//!
+//! assert_eq!(g1.bytes(), g2.bytes(), "identical results");
+//! assert!(r2.warp_instrs < base.warp_instrs, "fewer dynamic instructions");
+//! # Ok::<(), r2d2::sim::SimError>(())
+//! ```
+
+pub use r2d2_baselines as baselines;
+pub use r2d2_core as core;
+pub use r2d2_energy as energy;
+pub use r2d2_isa as isa;
+pub use r2d2_sim as sim;
+pub use r2d2_sym as sym;
+pub use r2d2_workloads as workloads;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use r2d2_baselines::{DacFilter, DarsieFilter, DarsieScalarFilter};
+    pub use r2d2_core::machine::{run_baseline, run_r2d2, run_with_filter};
+    pub use r2d2_core::transform::{make_launch, transform};
+    pub use r2d2_isa::{Kernel, KernelBuilder, Ty};
+    pub use r2d2_sim::{
+        BaselineFilter, Dim3, GlobalMem, GpuConfig, IssueFilter, Launch, Stats,
+    };
+    pub use r2d2_workloads::{Size, Workload};
+}

@@ -1,0 +1,176 @@
+//! Validate selected workloads against native Rust reference implementations:
+//! the zoo must not just run, it must compute the right thing.
+
+use r2d2::sim::functional;
+use r2d2::workloads::{build, Size};
+
+fn run_functional(w: &r2d2::workloads::Workload) -> r2d2::sim::GlobalMem {
+    let mut g = w.gmem.clone();
+    for l in &w.launches {
+        functional::run(l, &mut g, 100_000_000, None).unwrap();
+    }
+    g
+}
+
+#[test]
+fn backprop_matches_fig2_formula() {
+    // w[index] += ETA*delta[tx+1]*ly[HEIGHT*by+ty+1] + MOMENTUM*oldw[index]
+    // with index = (hid+1)*(HEIGHT*by+ty+1) + tx+1, hid = 16, HEIGHT = 16.
+    let w = build("BP", Size::Small).unwrap();
+    // Snapshot inputs before running.
+    let g0 = w.gmem.clone();
+    let l = &w.launches[1]; // bp_adjust_weights
+    let (delta, ly, wptr, oldw, hid) =
+        (l.params[0], l.params[1], l.params[2], l.params[3], l.params[4] as i64);
+    let grid_y = l.grid.y as i64;
+
+    let g = run_functional(&w);
+
+    let eta = 0.3f32;
+    let momentum = 0.3f32;
+    let mut checked = 0;
+    for by in 0..grid_y {
+        for ty in 0..16i64 {
+            for tx in 0..16i64 {
+                let row = 16 * by + ty + 1;
+                let index = ((hid + 1) * row + tx + 1) as u64;
+                let d = g0.read_f32(delta, (tx + 1) as u64);
+                let lyv = g0.read_f32(ly, row as u64);
+                let ow = g0.read_f32(oldw, index);
+                let upd = eta * (d * lyv) + momentum * ow;
+                let want_w = g0.read_f32(wptr, index) + upd;
+                let got_w = g.read_f32(wptr, index);
+                assert!(
+                    (got_w - want_w).abs() < 1e-4,
+                    "w[{index}] (by={by},ty={ty},tx={tx}): {got_w} != {want_w}"
+                );
+                let got_old = g.read_f32(oldw, index);
+                assert!((got_old - upd).abs() < 1e-4, "oldw[{index}]");
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 4096, "checked {checked} weights");
+}
+
+#[test]
+fn gemm_matches_reference_matmul() {
+    let w = build("GEM", Size::Small).unwrap();
+    let l = &w.launches[0];
+    let (a, b, c, n, kd) =
+        (l.params[0], l.params[1], l.params[2], l.params[3], l.params[4]);
+    let g0 = w.gmem.clone();
+    let g = run_functional(&w);
+    // Spot-check a grid of output elements.
+    for row in (0..n).step_by(7) {
+        for col in (0..n).step_by(5) {
+            let mut want = 0.0f32;
+            for k in 0..kd {
+                want += g0.read_f32(a, row * kd + k) * g0.read_f32(b, k * n + col);
+            }
+            let got = g.read_f32(c, row * n + col);
+            assert!(
+                (got - want).abs() < 1e-2 * want.abs().max(1.0),
+                "C[{row}][{col}] {got} != {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn histogram_bins_match_reference() {
+    let w = build("HIS", Size::Small).unwrap();
+    let l = &w.launches[0];
+    let (data, hist, mask) = (l.params[0], l.params[1], l.params[2] as i32);
+    let n = l.num_blocks() * l.threads_per_block() as u64;
+    let g0 = w.gmem.clone();
+    let g = run_functional(&w);
+    let mut want = vec![0i32; (mask + 1) as usize];
+    for i in 0..n {
+        let v = g0.read_i32(data, i);
+        want[(v & mask) as usize] += 1;
+    }
+    for (bin, wv) in want.iter().enumerate() {
+        assert_eq!(g.read_i32(hist, bin as u64), *wv, "bin {bin}");
+    }
+}
+
+#[test]
+fn bfs_levels_match_reference_bfs() {
+    let w = build("BFS", Size::Small).unwrap();
+    let l = &w.launches[0];
+    let (rp, ci, level, nverts) = (l.params[0], l.params[1], l.params[2], l.params[4]);
+    let iters = w.launches.len() as i32;
+    let g0 = w.gmem.clone();
+    let g = run_functional(&w);
+    // Reference: BFS limited to `iters` level expansions from vertex 0.
+    let mut want = vec![-1i32; nverts as usize];
+    want[0] = 0;
+    for cur in 0..iters {
+        let snapshot = want.clone();
+        for v in 0..nverts as usize {
+            if snapshot[v] == cur {
+                let s = g0.read_i32(rp, v as u64) as u64;
+                let e = g0.read_i32(rp, v as u64 + 1) as u64;
+                for ei in s..e {
+                    let nb = g0.read_i32(ci, ei) as usize;
+                    if want[nb] < 0 {
+                        want[nb] = cur + 1;
+                    }
+                }
+            }
+        }
+    }
+    for v in 0..nverts {
+        assert_eq!(g.read_i32(level, v), want[v as usize], "level[{v}]");
+    }
+}
+
+#[test]
+fn nn_distances_match_haversine_reference() {
+    let w = build("NN", Size::Small).unwrap();
+    let l = &w.launches[0];
+    let (lat, lng, dist) = (l.params[0], l.params[1], l.params[2]);
+    let g0 = w.gmem.clone();
+    let g = run_functional(&w);
+    let n = l.num_blocks() * l.threads_per_block() as u64;
+    let rad = 0.0174533f32;
+    for i in (0..n).step_by(97) {
+        let la = g0.read_f32(lat, i);
+        let lo = g0.read_f32(lng, i);
+        let hlat = ((la - 30.0) * 0.5 * rad).sin();
+        let hlng = ((lo - -90.0) * 0.5 * rad).sin();
+        let h = hlat * hlat + (la * rad).cos() * (30.0f32 * rad).cos() * hlng * hlng;
+        let want = h.sqrt();
+        let got = g.read_f32(dist, i);
+        assert!((got - want).abs() < 1e-4, "dist[{i}] {got} != {want}");
+    }
+}
+
+#[test]
+fn pathfinder_rows_match_dp_reference() {
+    let w = build("PTH", Size::Small).unwrap();
+    let g0 = w.gmem.clone();
+    let g = run_functional(&w);
+    // Reconstruct the DP from the launch parameters.
+    let width = w.launches[0].params[3] as usize;
+    let mut prev: Vec<f32> =
+        (0..width).map(|x| g0.read_f32(w.launches[0].params[0], x as u64)).collect();
+    let mut final_out = 0;
+    for l in &w.launches {
+        let wall = l.params[1];
+        let mut next = vec![0.0f32; width];
+        for x in 0..width {
+            let lft = prev[x.saturating_sub(1)];
+            let ctr = prev[x];
+            let rgt = prev[(x + 1).min(width - 1)];
+            next[x] = lft.min(ctr).min(rgt) + g0.read_f32(wall, x as u64);
+        }
+        prev = next;
+        final_out = l.params[2];
+    }
+    for x in (0..width).step_by(53) {
+        let got = g.read_f32(final_out, x as u64);
+        assert!((got - prev[x]).abs() < 1e-3, "row[{x}] {got} != {}", prev[x]);
+    }
+}
