@@ -136,9 +136,9 @@ impl DacFilter {
             return false;
         }
         let stride = dv / dl;
-        lanes.iter().all(|&l| {
-            v.dst[l] as i64 == v0.wrapping_add(stride.wrapping_mul(l as i64 - l0))
-        })
+        lanes
+            .iter()
+            .all(|&l| v.dst[l] as i64 == v0.wrapping_add(stride.wrapping_mul(l as i64 - l0)))
     }
 }
 
@@ -240,16 +240,14 @@ impl DarsieFilter {
                     t = true;
                 }
                 match i.dst {
-                    Some(r2d2_isa::Dst::Reg(r))
-                        if t && !reg_taint[r.0 as usize] => {
-                            reg_taint[r.0 as usize] = true;
-                            changed = true;
-                        }
-                    Some(r2d2_isa::Dst::Pred(p))
-                        if t && !pred_taint[p.0 as usize] => {
-                            pred_taint[p.0 as usize] = true;
-                            changed = true;
-                        }
+                    Some(r2d2_isa::Dst::Reg(r)) if t && !reg_taint[r.0 as usize] => {
+                        reg_taint[r.0 as usize] = true;
+                        changed = true;
+                    }
+                    Some(r2d2_isa::Dst::Pred(p)) if t && !pred_taint[p.0 as usize] => {
+                        pred_taint[p.0 as usize] = true;
+                        changed = true;
+                    }
                     _ => {}
                 }
             }
@@ -370,7 +368,10 @@ mod tests {
         let mut g = GlobalMem::new();
         let buf = g.alloc(1 << 20);
         let launch = Launch::new(kernel(), Dim3::d1(16), Dim3::d1(256), vec![buf]);
-        let cfg = GpuConfig { num_sms: 4, ..Default::default() };
+        let cfg = GpuConfig {
+            num_sms: 4,
+            ..Default::default()
+        };
         simulate(&cfg, &launch, &mut g, filter).unwrap()
     }
 
@@ -386,7 +387,10 @@ mod tests {
         );
         assert!(dac.skipped_warp_instrs > 0);
         // Functional totals must be identical.
-        assert_eq!(dac.warp_instrs_with_skipped(), base.warp_instrs_with_skipped());
+        assert_eq!(
+            dac.warp_instrs_with_skipped(),
+            base.warp_instrs_with_skipped()
+        );
     }
 
     #[test]
@@ -404,7 +408,10 @@ mod tests {
         let mut g1 = GlobalMem::new();
         let b1 = g1.alloc(1 << 16);
         let l1 = Launch::new(k.clone(), Dim3::d1(4), Dim3::d1(256), vec![b1]);
-        let cfg = GpuConfig { num_sms: 2, ..Default::default() };
+        let cfg = GpuConfig {
+            num_sms: 2,
+            ..Default::default()
+        };
         let base = simulate(&cfg, &l1, &mut g1, &mut BaselineFilter).unwrap();
         let mut g2 = GlobalMem::new();
         let b2 = g2.alloc(1 << 16);
@@ -434,7 +441,10 @@ mod tests {
             let buf = g.alloc(1 << 20);
             (g, buf)
         };
-        let cfg = GpuConfig { num_sms: 2, ..Default::default() };
+        let cfg = GpuConfig {
+            num_sms: 2,
+            ..Default::default()
+        };
         let mut outs: Vec<Vec<u8>> = Vec::new();
         let mut filters: Vec<Box<dyn IssueFilter>> = vec![
             Box::new(BaselineFilter),

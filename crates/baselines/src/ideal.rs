@@ -76,7 +76,10 @@ pub struct IdealObserver {
 impl IdealObserver {
     /// Build from the analyzer's result for the same kernel.
     pub fn new(analysis: Analysis) -> Self {
-        IdealObserver { analysis, ..Default::default() }
+        IdealObserver {
+            analysis,
+            ..Default::default()
+        }
     }
 
     /// Final counts.

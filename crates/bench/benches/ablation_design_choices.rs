@@ -5,43 +5,42 @@
 //!
 //! Reported as dynamic warp-instruction reduction vs the baseline GPU.
 
-use r2d2_bench::{fmt_pct, pct_reduction, run_model, run_r2d2_with, size_from_env, Model, Report};
-use r2d2_core::GenOptions;
-use r2d2_sim::GpuConfig;
-
-const SUBSET: &[&str] = &["BP", "2DC", "CFD", "SRAD2", "SAD", "HSP", "KM", "GEM", "RES"];
+use r2d2_bench::{fmt_pct, pct_reduction, run_figure_jobs, size_from_env, Report};
+use r2d2_harness::sets::{ablation_variants, ABLATION_SUBSET};
 
 fn main() {
-    let cfg = GpuConfig::default();
-    let size = size_from_env();
-    let variants: Vec<(&str, GenOptions)> = vec![
-        ("full", GenOptions::default()),
-        ("no-grouping", GenOptions { share_groups: false, ..Default::default() }),
-        ("lr=4", GenOptions { max_lr: 4, ..Default::default() }),
-        ("lr=8", GenOptions { max_lr: 8, ..Default::default() }),
-        ("no-scalar-cr", GenOptions { map_scalars: false, ..Default::default() }),
-    ];
+    let specs = r2d2_harness::sets::ablation(size_from_env());
+    let summary = run_figure_jobs(&specs);
+    let variants = ablation_variants();
+    let stride = 1 + variants.len(); // baseline + one job per variant
     let mut rep = Report::new(
         "Ablation — R2D2 warp-instruction reduction (%) under design variants",
-        &["bench", "full", "no-grouping", "lr=4", "lr=8", "no-scalar-cr"],
+        &[
+            "bench",
+            "full",
+            "no-grouping",
+            "lr=4",
+            "lr=8",
+            "no-scalar-cr",
+        ],
     );
     let mut sums = vec![0.0f64; variants.len()];
-    for name in SUBSET {
-        let w = r2d2_workloads::build(name, size).unwrap();
-        let base = run_model(&cfg, &w, Model::Baseline);
+    for (w, name) in ABLATION_SUBSET.iter().enumerate() {
+        let base = &summary.records[w * stride];
         let mut cells = vec![name.to_string()];
-        for (vi, (_, opts)) in variants.iter().enumerate() {
-            let r = run_r2d2_with(&cfg, &w, opts);
+        for (vi, _) in variants.iter().enumerate() {
+            let r = &summary.records[w * stride + 1 + vi];
             let red = pct_reduction(base.stats.warp_instrs, r.stats.warp_instrs);
             sums[vi] += red;
             cells.push(fmt_pct(red));
         }
         rep.row(cells);
-        eprintln!("  [{name} done]");
     }
-    let n = SUBSET.len() as f64;
+    let n = ABLATION_SUBSET.len() as f64;
     rep.row(
-        std::iter::once("AVG".to_string()).chain(sums.iter().map(|s| fmt_pct(s / n))).collect(),
+        std::iter::once("AVG".to_string())
+            .chain(sums.iter().map(|s| fmt_pct(s / n)))
+            .collect(),
     );
     rep.finish("ablation_design_choices");
     println!("expected: full >= lr=8 >= lr=4; grouping and scalar mapping each contribute");

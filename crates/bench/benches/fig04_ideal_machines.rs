@@ -3,39 +3,31 @@
 //! LN (linearity of SIMT). Paper averages: WP 27%, TB 22%, LN 33%, with LN
 //! above both on most benchmarks.
 
-use r2d2_baselines::measure_ideals;
-use r2d2_bench::{fmt_pct, size_from_env, Report};
-use r2d2_sim::functional;
+use r2d2_bench::{fmt_pct, run_figure_jobs, size_from_env, Report};
 
 fn main() {
     let size = size_from_env();
+    let specs = r2d2_harness::sets::fig04(size);
+    let summary = run_figure_jobs(&specs);
     let mut rep = Report::new(
         "Fig. 4 — ideal machine dynamic thread-instruction reduction (%)",
         &["bench", "WP", "TB", "LN"],
     );
     let mut sums = [0.0f64; 3];
     let mut n = 0.0;
-    for (name, _) in r2d2_workloads::NAMES {
-        let w = r2d2_workloads::build(name, size).unwrap();
-        let mut gmem = w.gmem.clone();
-        let mut total = r2d2_baselines::IdealCounts::default();
-        for l in &w.launches {
-            let c = measure_ideals(l, &mut gmem).unwrap();
-            total.baseline += c.baseline;
-            total.wp += c.wp;
-            total.tb += c.tb;
-            total.ln += c.ln;
-            total.baseline_warp += c.baseline_warp;
-        }
-        // keep memory state moving forward between launches
-        let _ = functional::FuncStats::default();
-        let (wp, tb, ln) = total.reductions();
+    for (spec, rec) in specs.iter().zip(&summary.records) {
+        let counts = rec.ideal.expect("ideals job records counts");
+        let (wp, tb, ln) = counts.reductions();
         sums[0] += wp;
         sums[1] += tb;
         sums[2] += ln;
         n += 1.0;
-        rep.row(vec![name.to_string(), fmt_pct(wp), fmt_pct(tb), fmt_pct(ln)]);
-        eprintln!("  [{name} done]");
+        rep.row(vec![
+            spec.workload.clone(),
+            fmt_pct(wp),
+            fmt_pct(tb),
+            fmt_pct(ln),
+        ]);
     }
     rep.row(vec![
         "AVG".to_string(),

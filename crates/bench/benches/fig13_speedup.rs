@@ -1,27 +1,31 @@
 //! Paper Fig. 13: end-to-end speedup over the baseline GPU.
 //! Paper geomeans: DAC 1.15x, DARSIE 1.14x, DARSIE+Scalar 1.14x, R2D2 1.25x.
 
-use r2d2_bench::{comparison_rows, fmt_x, geomean, size_from_env, Model, Report};
-use r2d2_sim::GpuConfig;
+use r2d2_bench::{fmt_x, geomean, run_figure_jobs, size_from_env, Report};
+use r2d2_harness::sets::COMPARISON_MODELS;
 
 fn main() {
-    let cfg = GpuConfig::default();
-    let rows = comparison_rows(&cfg, size_from_env());
+    let specs = r2d2_harness::sets::comparison(size_from_env());
+    let summary = run_figure_jobs(&specs);
+    let nm = COMPARISON_MODELS.len();
     let mut rep = Report::new(
         "Fig. 13 — speedup over baseline (x)",
         &["bench", "DAC", "DARSIE", "DARSIE+S", "R2D2"],
     );
-    let mut per_model: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for r in &rows {
-        let base = r.runs[0].stats.cycles as f64;
-        let sp: Vec<f64> = (1..Model::ALL.len())
-            .map(|m| base / r.runs[m].stats.cycles as f64)
+    let mut per_model: Vec<Vec<f64>> = vec![Vec::new(); nm - 1];
+    for (w, (name, _)) in r2d2_workloads::NAMES.iter().enumerate() {
+        let runs = &summary.records[w * nm..(w + 1) * nm];
+        let base = runs[0].stats.cycles as f64;
+        let sp: Vec<f64> = (1..nm)
+            .map(|m| base / runs[m].stats.cycles as f64)
             .collect();
         for (v, s) in per_model.iter_mut().zip(&sp) {
             v.push(*s);
         }
         rep.row(
-            std::iter::once(r.name.to_string()).chain(sp.iter().map(|v| fmt_x(*v))).collect(),
+            std::iter::once(name.to_string())
+                .chain(sp.iter().map(|v| fmt_x(*v)))
+                .collect(),
         );
     }
     rep.row(

@@ -3,22 +3,28 @@
 //! non-linear stream, normalized to the baseline GPU. The paper reports the
 //! linear instructions at ~1% of the total on average, peaking at 19% (LUD).
 
-use r2d2_bench::{fmt_pct, run_model, size_from_env, Model, Report};
-use r2d2_sim::GpuConfig;
+use r2d2_bench::{fmt_pct, run_figure_jobs, size_from_env, Report};
 
 fn main() {
-    let cfg = GpuConfig::default();
-    let size = size_from_env();
+    let specs = r2d2_harness::sets::baseline_r2d2_pairs(size_from_env());
+    let summary = run_figure_jobs(&specs);
     let mut rep = Report::new(
         "Fig. 14 — R2D2 dynamic warp instructions, % of baseline",
-        &["bench", "coef", "tidx", "bidx", "nonlinear", "total", "linear_share"],
+        &[
+            "bench",
+            "coef",
+            "tidx",
+            "bidx",
+            "nonlinear",
+            "total",
+            "linear_share",
+        ],
     );
     let mut lin_share_sum = 0.0;
     let mut n = 0.0;
-    for (name, _) in r2d2_workloads::NAMES {
-        let w = r2d2_workloads::build(name, size).unwrap();
-        let base = run_model(&cfg, &w, Model::Baseline);
-        let r2 = run_model(&cfg, &w, Model::R2d2);
+    for (w, (name, _)) in r2d2_workloads::NAMES.iter().enumerate() {
+        let base = &summary.records[w * 2];
+        let r2 = &summary.records[w * 2 + 1];
         let bt = base.stats.warp_instrs as f64;
         let p = &r2.stats.warp_instrs_by_phase;
         let total = r2.stats.warp_instrs as f64;
@@ -34,7 +40,6 @@ fn main() {
             fmt_pct(100.0 * total / bt),
             fmt_pct(lin_share),
         ]);
-        eprintln!("  [{name} done]");
     }
     rep.row(vec![
         "AVG".into(),

@@ -4,22 +4,27 @@
 //! first-wave block-index computation) as the linear share; the paper puts
 //! it at ~1% of execution time.
 
-use r2d2_bench::{fmt_pct, fmt_x, run_model, size_from_env, Model, Report};
-use r2d2_sim::GpuConfig;
+use r2d2_bench::{fmt_pct, fmt_x, run_figure_jobs, size_from_env, Report};
 
 fn main() {
-    let cfg = GpuConfig::default();
-    let size = size_from_env();
+    let specs = r2d2_harness::sets::baseline_r2d2_pairs(size_from_env());
+    let summary = run_figure_jobs(&specs);
     let mut rep = Report::new(
         "Fig. 15 — R2D2 cycles vs baseline, and linear-prologue share",
-        &["bench", "base_cycles", "r2d2_cycles", "norm", "prologue", "linear_share_%"],
+        &[
+            "bench",
+            "base_cycles",
+            "r2d2_cycles",
+            "norm",
+            "prologue",
+            "linear_share_%",
+        ],
     );
     let mut share_sum = 0.0;
     let mut n = 0.0;
-    for (name, _) in r2d2_workloads::NAMES {
-        let w = r2d2_workloads::build(name, size).unwrap();
-        let base = run_model(&cfg, &w, Model::Baseline);
-        let r2 = run_model(&cfg, &w, Model::R2d2);
+    for (w, (name, _)) in r2d2_workloads::NAMES.iter().enumerate() {
+        let base = &summary.records[w * 2];
+        let r2 = &summary.records[w * 2 + 1];
         let share = 100.0 * r2.stats.prologue_cycles as f64 / r2.stats.cycles.max(1) as f64;
         share_sum += share;
         n += 1.0;
@@ -31,7 +36,6 @@ fn main() {
             r2.stats.prologue_cycles.to_string(),
             fmt_pct(share),
         ]);
-        eprintln!("  [{name} done]");
     }
     rep.row(vec![
         "AVG".into(),

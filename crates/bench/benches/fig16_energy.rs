@@ -1,34 +1,38 @@
 //! Paper Fig. 16: total energy reduction vs the baseline GPU.
 //! Paper averages: DAC 9%, DARSIE 8%, DARSIE+Scalar 9%, R2D2 17%.
 
-use r2d2_bench::{comparison_rows, fmt_pct, size_from_env, Model, Report};
-use r2d2_sim::GpuConfig;
+use r2d2_bench::{fmt_pct, run_figure_jobs, size_from_env, Report};
+use r2d2_harness::sets::COMPARISON_MODELS;
 
 fn main() {
-    let cfg = GpuConfig::default();
-    let rows = comparison_rows(&cfg, size_from_env());
+    let specs = r2d2_harness::sets::comparison(size_from_env());
+    let summary = run_figure_jobs(&specs);
+    let nm = COMPARISON_MODELS.len();
     let mut rep = Report::new(
         "Fig. 16 — energy reduction vs baseline (%)",
         &["bench", "DAC", "DARSIE", "DARSIE+S", "R2D2"],
     );
     let mut sums = [0.0f64; 4];
-    for r in &rows {
-        let base = r.runs[0].energy.total_pj();
-        let reds: Vec<f64> = (1..Model::ALL.len())
-            .map(|m| 100.0 * (base - r.runs[m].energy.total_pj()) / base)
+    for (w, (name, _)) in r2d2_workloads::NAMES.iter().enumerate() {
+        let runs = &summary.records[w * nm..(w + 1) * nm];
+        let base = runs[0].energy.total_pj();
+        let reds: Vec<f64> = (1..nm)
+            .map(|m| 100.0 * (base - runs[m].energy.total_pj()) / base)
             .collect();
         for (s, v) in sums.iter_mut().zip(&reds) {
             *s += v;
         }
         rep.row(
-            std::iter::once(r.name.to_string())
+            std::iter::once(name.to_string())
                 .chain(reds.iter().map(|v| fmt_pct(*v)))
                 .collect(),
         );
     }
-    let n = rows.len() as f64;
+    let n = r2d2_workloads::NAMES.len() as f64;
     rep.row(
-        std::iter::once("AVG".to_string()).chain(sums.iter().map(|s| fmt_pct(s / n))).collect(),
+        std::iter::once("AVG".to_string())
+            .chain(sums.iter().map(|s| fmt_pct(s / n)))
+            .collect(),
     );
     rep.finish("fig16_energy");
     println!("paper: DAC 9%, DARSIE 8%, DARSIE+S 9%, R2D2 17% (averages)");

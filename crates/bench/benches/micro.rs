@@ -1,11 +1,16 @@
-//! Criterion micro-benchmarks of the reproduction's own machinery: analyzer
+//! Micro-benchmarks of the reproduction's own machinery: analyzer
 //! throughput, end-to-end transform, functional and timing simulation rates.
+//!
+//! Hand-rolled timing loop (median-of-samples) instead of criterion so the
+//! workspace builds with zero external dependencies. Not statistically
+//! rigorous — it answers "did I make the hot path 2x slower", not "is this
+//! 1% faster".
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use r2d2_core::analyzer::analyze;
 use r2d2_core::transform::transform;
 use r2d2_isa::{Kernel, KernelBuilder, Ty};
 use r2d2_sim::{functional, simulate, BaselineFilter, Dim3, GlobalMem, GpuConfig, Launch};
+use std::time::Instant;
 
 fn saxpy_like() -> Kernel {
     let mut b = KernelBuilder::new("saxpy", 3);
@@ -24,35 +29,61 @@ fn saxpy_like() -> Kernel {
     b.build()
 }
 
-fn bench_analyzer(c: &mut Criterion) {
-    let k = saxpy_like();
-    c.bench_function("analyze_saxpy", |b| b.iter(|| analyze(std::hint::black_box(&k))));
-    c.bench_function("transform_saxpy", |b| b.iter(|| transform(std::hint::black_box(&k))));
+/// Run `f` in batches until ~0.5 s elapses (min 4 samples), and report the
+/// median per-iteration time over the collected batch samples.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Warmup.
+    for _ in 0..3 {
+        std::hint::black_box(f());
+    }
+    let mut samples: Vec<f64> = Vec::new();
+    let batch = 4u32;
+    let deadline = Instant::now() + std::time::Duration::from_millis(500);
+    while Instant::now() < deadline || samples.len() < 4 {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        samples.push(t0.elapsed().as_secs_f64() / f64::from(batch));
+        if samples.len() >= 256 {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let unit = if median >= 1e-3 {
+        format!("{:.3} ms", median * 1e3)
+    } else {
+        format!("{:.1} us", median * 1e6)
+    };
+    println!(
+        "{name:<32} {unit:>12}/iter  ({} samples x {batch})",
+        samples.len()
+    );
 }
 
-fn bench_simulators(c: &mut Criterion) {
+fn main() {
     let k = saxpy_like();
+    bench("analyze_saxpy", || analyze(std::hint::black_box(&k)));
+    bench("transform_saxpy", || transform(std::hint::black_box(&k)));
+
     let n = 32 * 128u64;
-    c.bench_function("functional_saxpy_4k_threads", |b| {
-        b.iter(|| {
-            let mut g = GlobalMem::new();
-            let x = g.alloc(n * 4);
-            let y = g.alloc(n * 4);
-            let launch = Launch::new(k.clone(), Dim3::d1(32), Dim3::d1(128), vec![x, y, 3]);
-            functional::run(&launch, &mut g, 10_000_000, None).unwrap()
-        })
+    bench("functional_saxpy_4k_threads", || {
+        let mut g = GlobalMem::new();
+        let x = g.alloc(n * 4);
+        let y = g.alloc(n * 4);
+        let launch = Launch::new(k.clone(), Dim3::d1(32), Dim3::d1(128), vec![x, y, 3]);
+        functional::run(&launch, &mut g, 10_000_000, None).unwrap()
     });
-    let cfg = GpuConfig { num_sms: 8, ..Default::default() };
-    c.bench_function("timing_saxpy_4k_threads", |b| {
-        b.iter(|| {
-            let mut g = GlobalMem::new();
-            let x = g.alloc(n * 4);
-            let y = g.alloc(n * 4);
-            let launch = Launch::new(k.clone(), Dim3::d1(32), Dim3::d1(128), vec![x, y, 3]);
-            simulate(&cfg, &launch, &mut g, &mut BaselineFilter).unwrap()
-        })
+    let cfg = GpuConfig {
+        num_sms: 8,
+        ..Default::default()
+    };
+    bench("timing_saxpy_4k_threads", || {
+        let mut g = GlobalMem::new();
+        let x = g.alloc(n * 4);
+        let y = g.alloc(n * 4);
+        let launch = Launch::new(k.clone(), Dim3::d1(32), Dim3::d1(128), vec![x, y, 3]);
+        simulate(&cfg, &launch, &mut g, &mut BaselineFilter).unwrap()
     });
 }
-
-criterion_group!(benches, bench_analyzer, bench_simulators);
-criterion_main!(benches);

@@ -3,46 +3,46 @@
 //! starting-PC-table fetch, 5 cycles for physical-register-ID computation
 //! (the tr+br add is fixed at 4 cycles, like a CUDA-core add). We sweep the
 //! same knobs on a representative subset.
+//!
+//! Job layout (see `r2d2_harness::sets::sec54`): one baseline per subset
+//! workload — the latency knobs only touch decoupled blocks, so a single
+//! baseline serves every sweep point — then the nominal R2D2 runs, then the
+//! per-point R2D2 runs.
 
-use r2d2_bench::{fmt_x, geomean, run_model, size_from_env, Model};
-use r2d2_bench::Report;
-use r2d2_sim::{GpuConfig, R2d2Latencies};
-
-const SUBSET: &[&str] = &["BP", "NN", "2DC", "SRAD2", "KM", "CFD", "HSP", "FDT"];
-
-fn geomean_speedup(cfg: &GpuConfig, size: r2d2_workloads::Size) -> f64 {
-    let mut sp = Vec::new();
-    for name in SUBSET {
-        let w = r2d2_workloads::build(name, size).unwrap();
-        let base = run_model(cfg, &w, Model::Baseline);
-        let r2 = run_model(cfg, &w, Model::R2d2);
-        sp.push(base.stats.cycles as f64 / r2.stats.cycles.max(1) as f64);
-    }
-    geomean(&sp)
-}
+use r2d2_bench::{fmt_x, geomean, run_figure_jobs, size_from_env, Report};
+use r2d2_harness::sets::{SEC54_POINTS, SEC54_SUBSET};
 
 fn main() {
-    let size = size_from_env();
+    let specs = r2d2_harness::sets::sec54(size_from_env());
+    let summary = run_figure_jobs(&specs);
+    let nw = SEC54_SUBSET.len();
+    let base_cycles: Vec<f64> = summary.records[..nw]
+        .iter()
+        .map(|r| r.stats.cycles as f64)
+        .collect();
+    let geomean_speedup = |r2_records: &[r2d2_harness::RunRecord]| {
+        let sp: Vec<f64> = base_cycles
+            .iter()
+            .zip(r2_records)
+            .map(|(b, r)| b / r.stats.cycles.max(1) as f64)
+            .collect();
+        geomean(&sp)
+    };
+    let nominal = geomean_speedup(&summary.records[nw..2 * nw]);
+
     let mut rep = Report::new(
         "Sec. 5.4 — R2D2 latency tolerance (geomean speedup on subset)",
-        &["fetch_table", "regid_calc", "lr_add", "geomean_speedup", "drop_%"],
+        &[
+            "fetch_table",
+            "regid_calc",
+            "lr_add",
+            "geomean_speedup",
+            "drop_%",
+        ],
     );
-    let base_cfg = GpuConfig::default();
-    let nominal = geomean_speedup(&base_cfg, size);
-    let mut sweep = vec![(0u64, 0u64, 4u64)];
-    for f in [1u64, 3, 5, 7, 9] {
-        sweep.push((f, 1, 4));
-    }
-    for r in [3u64, 5, 7] {
-        sweep.push((1, r, 4));
-    }
-    sweep.push((7, 5, 4)); // the paper's combined 1%-drop operating point
-    for (ft, rc, la) in sweep {
-        let cfg = GpuConfig {
-            r2d2: R2d2Latencies { fetch_table: ft, regid_calc: rc, lr_add: la },
-            ..GpuConfig::default()
-        };
-        let s = geomean_speedup(&cfg, size);
+    for (p, (ft, rc, la)) in SEC54_POINTS.iter().enumerate() {
+        let start = (2 + p) * nw;
+        let s = geomean_speedup(&summary.records[start..start + nw]);
         let drop = 100.0 * (nominal - s) / nominal;
         rep.row(vec![
             ft.to_string(),
@@ -51,7 +51,6 @@ fn main() {
             fmt_x(s),
             format!("{drop:.2}"),
         ]);
-        eprintln!("  [fetch={ft} regid={rc} add={la} done]");
     }
     rep.finish("sec54_latency_study");
     println!("paper: ~1% speedup drop at 7-cycle fetch or 5-cycle reg-ID latency");

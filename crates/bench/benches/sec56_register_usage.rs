@@ -18,7 +18,9 @@ fn main() {
             "occ_r2d2", "fallback",
         ],
     );
-    for name in ["STC", "CCMP", "FFT", "KCR", "RES", "SSSP", "VGG", "BP", "SGM", "LUD"] {
+    for name in [
+        "STC", "CCMP", "FFT", "KCR", "RES", "SSSP", "VGG", "BP", "SGM", "LUD",
+    ] {
         let w = r2d2_workloads::build(name, size).unwrap();
         let l = &w.launches[0];
         let r2 = transform(&l.kernel);

@@ -3,26 +3,23 @@
 //! computation; the paper reports "considerable performance improvement" for
 //! FFT_PT.
 
-use r2d2_bench::{fmt_pct, fmt_x, pct_reduction, run_model, size_from_env, Model, Report};
-use r2d2_sim::GpuConfig;
+use r2d2_bench::{fmt_pct, fmt_x, pct_reduction, run_figure_jobs, size_from_env, Report};
 
 fn main() {
-    let cfg = GpuConfig::default();
-    let size = size_from_env();
+    let specs = r2d2_harness::sets::sec57(size_from_env());
+    let summary = run_figure_jobs(&specs);
     let mut rep = Report::new(
         "Sec. 5.7 — FFT vs persistent-thread FFT under R2D2",
         &["bench", "instr_reduction_%", "speedup"],
     );
-    for name in ["FFT", "FFT_PT"] {
-        let w = r2d2_workloads::build(name, size).unwrap();
-        let base = run_model(&cfg, &w, Model::Baseline);
-        let r2 = run_model(&cfg, &w, Model::R2d2);
+    for (i, name) in ["FFT", "FFT_PT"].iter().enumerate() {
+        let base = &summary.records[i * 2];
+        let r2 = &summary.records[i * 2 + 1];
         rep.row(vec![
             name.to_string(),
             fmt_pct(pct_reduction(base.stats.warp_instrs, r2.stats.warp_instrs)),
             fmt_x(base.stats.cycles as f64 / r2.stats.cycles.max(1) as f64),
         ]);
-        eprintln!("  [{name} done]");
     }
     rep.finish("sec57_persistent_threads");
     println!("paper: regular-communication persistent threads benefit considerably");

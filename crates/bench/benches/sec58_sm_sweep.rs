@@ -2,28 +2,26 @@
 //! kernel sizes: linear combinations are shared across fewer blocks per SM,
 //! but R2D2's relative performance must not drop.
 
-use r2d2_bench::{fmt_x, geomean, run_model, size_from_env, Model, Report};
-use r2d2_sim::GpuConfig;
-
-const SUBSET: &[&str] = &["BP", "NN", "SRAD2", "2DC", "KM", "HSP"];
+use r2d2_bench::{fmt_x, geomean, run_figure_jobs, size_from_env, Report};
+use r2d2_harness::sets::{SEC58_SMS, SEC58_SUBSET};
 
 fn main() {
-    let size = size_from_env();
+    let specs = r2d2_harness::sets::sec58(size_from_env());
+    let summary = run_figure_jobs(&specs);
+    let nw = SEC58_SUBSET.len();
     let mut rep = Report::new(
         "Sec. 5.8.2 — R2D2 speedup vs SM count (geomean over subset)",
         &["sms", "geomean_speedup"],
     );
-    for sms in [80u32, 100, 120, 140, 160] {
-        let cfg = GpuConfig::with_sms(sms);
-        let mut sp = Vec::new();
-        for name in SUBSET {
-            let w = r2d2_workloads::build(name, size).unwrap();
-            let base = run_model(&cfg, &w, Model::Baseline);
-            let r2 = run_model(&cfg, &w, Model::R2d2);
-            sp.push(base.stats.cycles as f64 / r2.stats.cycles.max(1) as f64);
-        }
+    for (s, sms) in SEC58_SMS.iter().enumerate() {
+        let sp: Vec<f64> = (0..nw)
+            .map(|w| {
+                let base = &summary.records[(s * nw + w) * 2];
+                let r2 = &summary.records[(s * nw + w) * 2 + 1];
+                base.stats.cycles as f64 / r2.stats.cycles.max(1) as f64
+            })
+            .collect();
         rep.row(vec![sms.to_string(), fmt_x(geomean(&sp))]);
-        eprintln!("  [{sms} SMs done]");
     }
     rep.finish("sec58_sm_sweep");
     println!("paper: no performance drop from 80 to 160 SMs");

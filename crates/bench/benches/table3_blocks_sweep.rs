@@ -2,24 +2,30 @@
 //! 2^4 to 2^6.. input nodes; the paper's row labels). Instruction reduction
 //! should stay ~flat (38-40%) and speedup ~1.35-1.36x across sizes.
 
-use r2d2_bench::{fmt_pct, fmt_x, pct_reduction, run_model, Model, Report};
-use r2d2_sim::GpuConfig;
+use r2d2_bench::{fmt_pct, fmt_x, pct_reduction, run_figure_jobs, Report};
+use r2d2_harness::sets::TABLE3_LOGS;
 
 fn main() {
-    let cfg = GpuConfig::default();
+    let specs = r2d2_harness::sets::table3();
+    let summary = run_figure_jobs(&specs);
     let mut rep = Report::new(
         "Table 3 — backprop blocks-per-grid sensitivity",
         &["config", "blocks", "instr_reduction_%", "speedup"],
     );
-    for log_nodes in [4u32, 8, 10, 12, 14] {
-        let w = r2d2_workloads::backprop_scaled(log_nodes);
-        let base = run_model(&cfg, &w, Model::Baseline);
-        let r2 = run_model(&cfg, &w, Model::R2d2);
+    for (i, log_nodes) in TABLE3_LOGS.iter().enumerate() {
+        let base = &summary.records[i * 2];
+        let r2 = &summary.records[i * 2 + 1];
         let red = pct_reduction(base.stats.warp_instrs, r2.stats.warp_instrs);
         let sp = base.stats.cycles as f64 / r2.stats.cycles.max(1) as f64;
+        // Block counts come from the workload shape, not the simulation.
+        let w = r2d2_workloads::backprop_scaled(*log_nodes);
         let blocks: u64 = w.launches.iter().map(|l| l.num_blocks()).sum();
-        rep.row(vec![format!("BP_{log_nodes:02}"), blocks.to_string(), fmt_pct(red), fmt_x(sp)]);
-        eprintln!("  [BP_{log_nodes:02} done]");
+        rep.row(vec![
+            format!("BP_{log_nodes:02}"),
+            blocks.to_string(),
+            fmt_pct(red),
+            fmt_x(sp),
+        ]);
     }
     rep.finish("table3_blocks_sweep");
     println!("paper: reduction 38.3-39.7%, speedup 1.35-1.36x, both ~flat in grid size");

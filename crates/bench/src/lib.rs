@@ -1,4 +1,4 @@
-//! Experiment harness shared by the per-figure bench targets.
+//! Reporting helpers shared by the per-figure bench targets.
 //!
 //! Every table and figure in the paper's evaluation (Sec. 5) has a bench
 //! target under `benches/` (registered with `harness = false`), each of which
@@ -6,141 +6,41 @@
 //! all with `cargo bench`, or one with e.g.
 //! `cargo bench --bench fig13_speedup`.
 //!
-//! Set `R2D2_SIZE=small` to use test-sized inputs (CI smoke runs).
+//! The simulations themselves go through [`r2d2_harness`]: each target
+//! builds its job set from [`r2d2_harness::sets`] and submits it to
+//! [`r2d2_harness::run_jobs`], which parallelizes across worker threads and
+//! answers repeated jobs from the content-addressed cache under
+//! `results/cache/` — re-running a figure whose jobs are cached performs
+//! zero simulations (the summary line reports the split). `r2d2 sweep` uses
+//! the same job sets, so the CLI and the bench targets share cache entries.
+//!
+//! Knobs (environment): `R2D2_SIZE=small` for test-sized inputs,
+//! `R2D2_JOBS=N` to bound worker threads, `R2D2_NO_CACHE=1` to force
+//! re-simulation, `R2D2_RESULTS=dir` to relocate `results/`.
 
-use r2d2_core::machine::RunResult;
-use r2d2_core::transform::make_launch;
-use r2d2_energy::{EnergyBreakdown, EnergyModel};
-use r2d2_sim::{simulate, BaselineFilter, GpuConfig, IssueFilter, Stats};
-use r2d2_workloads::{Size, Workload};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-/// The machine models of Figs. 12/13/16.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Model {
-    /// Table 1 baseline GPU (with its stock scalar pipeline).
-    Baseline,
-    /// Decoupled Affine Computation (optimistic).
-    Dac,
-    /// DARSIE (optimistic).
-    Darsie,
-    /// DARSIE + generalized scalar pipeline.
-    DarsieScalar,
-    /// This paper: R2D2.
-    R2d2,
-}
+pub use r2d2_harness::size_from_env;
+use r2d2_harness::{run_jobs, JobSpec, RunOptions, RunSummary};
 
-impl Model {
-    /// All models, baseline first.
-    pub const ALL: [Model; 5] =
-        [Model::Baseline, Model::Dac, Model::Darsie, Model::DarsieScalar, Model::R2d2];
-
-    /// Display name used in tables.
-    pub fn name(self) -> &'static str {
-        match self {
-            Model::Baseline => "Baseline",
-            Model::Dac => "DAC",
-            Model::Darsie => "DARSIE",
-            Model::DarsieScalar => "DARSIE+S",
-            Model::R2d2 => "R2D2",
-        }
+/// Run a figure's job set with options taken from the environment
+/// (`R2D2_JOBS`, `R2D2_NO_CACHE`) and export the unified CSV afterwards.
+pub fn run_figure_jobs(specs: &[JobSpec]) -> RunSummary {
+    let opts = RunOptions {
+        jobs: std::env::var("R2D2_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+        use_cache: std::env::var_os("R2D2_NO_CACHE").is_none(),
+        verbose: true,
+    };
+    let summary = run_jobs(specs, &opts);
+    let cache = r2d2_harness::Cache::open_default();
+    if let Err(e) = r2d2_harness::export_csv(&cache, &r2d2_harness::default_csv_path()) {
+        eprintln!("warning: could not write run_records.csv: {e}");
     }
-
-    fn filter(self) -> Box<dyn IssueFilter> {
-        match self {
-            Model::Baseline | Model::R2d2 => Box::new(BaselineFilter),
-            Model::Dac => Box::new(r2d2_baselines::DacFilter::new()),
-            Model::Darsie => Box::new(r2d2_baselines::DarsieFilter::new()),
-            Model::DarsieScalar => Box::new(r2d2_baselines::DarsieScalarFilter::new()),
-        }
-    }
-}
-
-/// Workload size selected by `R2D2_SIZE` (default: full).
-pub fn size_from_env() -> Size {
-    match std::env::var("R2D2_SIZE").as_deref() {
-        Ok("small") | Ok("Small") | Ok("SMALL") => Size::Small,
-        _ => Size::Full,
-    }
-}
-
-/// Run every launch of a workload under `model` on a fresh copy of its
-/// memory; returns accumulated stats and the energy breakdown.
-///
-/// # Panics
-///
-/// Panics if the simulator reports an error (the zoo is validated by tests).
-pub fn run_model(cfg: &GpuConfig, w: &Workload, model: Model) -> RunResult {
-    let mut gmem = w.gmem.clone();
-    let mut stats = Stats::default();
-    let mut used_r2d2 = false;
-    for l in &w.launches {
-        let s = match model {
-            Model::R2d2 => {
-                let (launch, used) = make_launch(cfg, &l.kernel, l.grid, l.block, l.params.clone());
-                used_r2d2 |= used;
-                simulate(cfg, &launch, &mut gmem, &mut BaselineFilter)
-            }
-            _ => {
-                let mut f = model.filter();
-                simulate(cfg, l, &mut gmem, f.as_mut())
-            }
-        }
-        .unwrap_or_else(|e| panic!("{}/{:?}: {e}", w.name, model));
-        stats.merge_sequential(&s);
-    }
-    let energy = EnergyModel::volta().breakdown(&stats.events);
-    RunResult { stats, energy, used_r2d2 }
-}
-
-/// Run a workload under R2D2 with explicit generator options (ablations).
-/// Falls back to the original kernel when nothing is decoupled.
-pub fn run_r2d2_with(
-    cfg: &GpuConfig,
-    w: &Workload,
-    opts: &r2d2_core::GenOptions,
-) -> RunResult {
-    let mut gmem = w.gmem.clone();
-    let mut stats = Stats::default();
-    let mut used = false;
-    for l in &w.launches {
-        let r2 = r2d2_core::transform_with(&l.kernel, opts);
-        let s = if r2.meta.has_linear() {
-            used = true;
-            let mut launch =
-                r2d2_sim::Launch::new(r2.kernel, l.grid, l.block, l.params.clone());
-            launch.meta = Some(r2.meta);
-            simulate(cfg, &launch, &mut gmem, &mut BaselineFilter)
-        } else {
-            simulate(cfg, l, &mut gmem, &mut BaselineFilter)
-        }
-        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        stats.merge_sequential(&s);
-    }
-    let energy = EnergyModel::volta().breakdown(&stats.events);
-    RunResult { stats, energy, used_r2d2: used }
-}
-
-/// One workload's results under every model (Figs. 12/13/16 share this).
-pub struct ComparisonRow {
-    /// Table 2 abbreviation.
-    pub name: &'static str,
-    /// Results indexed like [`Model::ALL`].
-    pub runs: Vec<RunResult>,
-}
-
-/// Run the whole zoo under every machine model.
-pub fn comparison_rows(cfg: &GpuConfig, size: Size) -> Vec<ComparisonRow> {
-    r2d2_workloads::NAMES
-        .iter()
-        .map(|(name, _)| {
-            let w = r2d2_workloads::build(name, size).unwrap();
-            let runs = Model::ALL.iter().map(|m| run_model(cfg, &w, *m)).collect();
-            eprintln!("  [{name} done]");
-            ComparisonRow { name, runs }
-        })
-        .collect()
+    summary
 }
 
 /// Geometric mean of a slice of positive numbers.
@@ -197,7 +97,11 @@ impl Report {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", line(&self.header, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for r in &self.rows {
             let _ = writeln!(out, "{}", line(r, &widths));
         }
@@ -215,10 +119,9 @@ impl Report {
     }
 }
 
-/// The `results/` directory at the workspace root.
+/// The `results/` directory at the workspace root (`R2D2_RESULTS` overrides).
 pub fn results_dir() -> PathBuf {
-    // CARGO_MANIFEST_DIR = crates/bench; results live at the workspace root.
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+    r2d2_harness::results_dir()
 }
 
 /// Percent reduction of `v` vs `base`.
@@ -240,11 +143,6 @@ pub fn fmt_x(v: f64) -> String {
     format!("{v:.2}")
 }
 
-/// Total energy helper.
-pub fn total_pj(e: &EnergyBreakdown) -> f64 {
-    e.total_pj()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,15 +158,5 @@ mod tests {
     fn pct_reduction_basics() {
         assert_eq!(pct_reduction(100, 72), 28.0);
         assert_eq!(pct_reduction(0, 5), 0.0);
-    }
-
-    #[test]
-    fn run_model_smoke() {
-        let cfg = GpuConfig { num_sms: 4, ..Default::default() };
-        let w = r2d2_workloads::build("NN", Size::Small).unwrap();
-        let base = run_model(&cfg, &w, Model::Baseline);
-        let r2 = run_model(&cfg, &w, Model::R2d2);
-        assert!(base.stats.cycles > 0);
-        assert!(r2.stats.warp_instrs < base.stats.warp_instrs);
     }
 }

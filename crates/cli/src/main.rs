@@ -16,16 +16,23 @@
 //!     (M: baseline | dac | darsie | darsie-scalar | r2d2; default baseline)
 //! r2d2 trace <kernel.kasm> [run options] [--limit N]
 //!     print the first N dynamic warp instructions (default 64)
+//! r2d2 sweep list                         list figure job sets + cache state
+//! r2d2 sweep run <set>|all [options]      run a figure's jobs in parallel
+//!     --jobs N              worker threads            (default: all cores)
+//!     --no-cache            re-simulate even when cached (refreshes entries)
+//!     --size small|full     workload scale            (default full)
+//! r2d2 sweep clean                        delete all cached results
 //! ```
+//!
+//! `sweep` shares its job sets — and therefore its content-addressed cache
+//! under `results/cache/` — with the `cargo bench` figure targets.
 
 use r2d2_baselines::{DacFilter, DarsieFilter, DarsieScalarFilter};
 use r2d2_core::analyzer::analyze;
 use r2d2_core::transform::{make_launch, transform};
 use r2d2_energy::EnergyModel;
 use r2d2_isa::parse_kernel;
-use r2d2_sim::{
-    simulate, BaselineFilter, Dim3, GlobalMem, GpuConfig, IssueFilter, Launch, Stats,
-};
+use r2d2_sim::{simulate, BaselineFilter, Dim3, GlobalMem, GpuConfig, IssueFilter, Launch, Stats};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -37,8 +44,9 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("workload") => cmd_workload(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         _ => {
-            eprintln!("usage: r2d2 <list|analyze|transform|run|trace|workload> ...");
+            eprintln!("usage: r2d2 <list|analyze|transform|run|trace|workload|sweep> ...");
             eprintln!("see `r2d2-cli` crate docs for options");
             return ExitCode::from(2);
         }
@@ -74,7 +82,11 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     let k = load_kernel(args)?;
     let a = analyze(&k);
     println!("{k}");
-    println!("linear registers ({} of {} GP regs):", a.linear.len(), k.num_regs());
+    println!(
+        "linear registers ({} of {} GP regs):",
+        a.linear.len(),
+        k.num_regs()
+    );
     let mut regs: Vec<_> = a.linear.iter().collect();
     regs.sort_by_key(|(r, _)| r.0);
     for (r, info) in regs {
@@ -82,7 +94,10 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     }
     if !a.multi_write.is_empty() {
         let list: Vec<String> = a.multi_write.iter().map(|r| format!("%r{}", r.0)).collect();
-        println!("multi-write (loop/divergence) registers: {}", list.join(", "));
+        println!(
+            "multi-write (loop/divergence) registers: {}",
+            list.join(", ")
+        );
     }
     let demanded = a.demanded(&k);
     let list: Vec<String> = demanded.iter().map(|r| format!("%r{}", r.0)).collect();
@@ -94,7 +109,10 @@ fn cmd_transform(args: &[String]) -> CliResult {
     let k = load_kernel(args)?;
     let r2 = transform(&k);
     println!("{}", r2.kernel);
-    println!("starting PCs: coef=0 tidx={} bidx={} main={}", r2.meta.tidx_start, r2.meta.bidx_start, r2.meta.main_start);
+    println!(
+        "starting PCs: coef=0 tidx={} bidx={} main={}",
+        r2.meta.tidx_start, r2.meta.bidx_start, r2.meta.main_start
+    );
     println!(
         "registers: {} lr / {} tr / {} cr; register table: {:?}",
         r2.meta.n_lr,
@@ -122,12 +140,12 @@ fn parse_dim(s: &str) -> Result<Dim3, Box<dyn std::error::Error>> {
 fn print_stats(stats: &Stats) {
     let energy = EnergyModel::volta().breakdown(&stats.events);
     println!("cycles:            {}", stats.cycles);
-    println!("warp instructions: {} (+{} skipped)", stats.warp_instrs, stats.skipped_warp_instrs);
-    println!("thread instrs:     {}", stats.thread_instrs);
     println!(
-        "phases (c/t/b/m):  {:?}",
-        stats.warp_instrs_by_phase
+        "warp instructions: {} (+{} skipped)",
+        stats.warp_instrs, stats.skipped_warp_instrs
     );
+    println!("thread instrs:     {}", stats.thread_instrs);
+    println!("phases (c/t/b/m):  {:?}", stats.warp_instrs_by_phase);
     println!(
         "memory:            L1 {}/{} hits, L2 {}/{} hits, {} DRAM txns",
         stats.l1_hits,
@@ -164,7 +182,11 @@ fn cmd_run(args: &[String]) -> CliResult {
                 i += 1;
             }
             "--param" => {
-                params.push(args.get(i + 1).ok_or("--param needs a value")?.parse::<i64>()? as u64);
+                params.push(
+                    args.get(i + 1)
+                        .ok_or("--param needs a value")?
+                        .parse::<i64>()? as u64,
+                );
                 i += 1;
             }
             "--r2d2" => use_r2d2 = true,
@@ -176,12 +198,19 @@ fn cmd_run(args: &[String]) -> CliResult {
         }
         i += 1;
     }
-    let cfg = GpuConfig { num_sms: sms, ..Default::default() };
+    let cfg = GpuConfig {
+        num_sms: sms,
+        ..Default::default()
+    };
     let stats = if use_r2d2 {
         let (launch, used) = make_launch(&cfg, &k, grid, block, params);
         println!(
             "launching {} kernel\n",
-            if used { "the R2D2-transformed" } else { "the original (register-pressure fallback)" }
+            if used {
+                "the R2D2-transformed"
+            } else {
+                "the original (register-pressure fallback)"
+            }
         );
         simulate(&cfg, &launch, &mut gmem, &mut BaselineFilter)?
     } else {
@@ -217,7 +246,11 @@ fn cmd_trace(args: &[String]) -> CliResult {
                 i += 1;
             }
             "--param" => {
-                params.push(args.get(i + 1).ok_or("--param needs a value")?.parse::<i64>()? as u64);
+                params.push(
+                    args.get(i + 1)
+                        .ok_or("--param needs a value")?
+                        .parse::<i64>()? as u64,
+                );
                 i += 1;
             }
             "--limit" => {
@@ -246,7 +279,10 @@ fn cmd_trace(args: &[String]) -> CliResult {
             );
         }
     }
-    let mut t = Tracer { left: limit, truncated: false };
+    let mut t = Tracer {
+        left: limit,
+        truncated: false,
+    };
     let launch = Launch::new(k, grid, block, params);
     functional::run(&launch, &mut gmem, 100_000_000, Some(&mut t))?;
     if t.truncated {
@@ -255,8 +291,111 @@ fn cmd_trace(args: &[String]) -> CliResult {
     Ok(())
 }
 
+fn cmd_sweep(args: &[String]) -> CliResult {
+    use r2d2_harness::{sets, Cache, JobSpec, RunOptions};
+
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            let cache = Cache::open_default();
+            let size = r2d2_harness::size_from_env();
+            println!(
+                "{:<10} {:>6} {:>8}   shares cache with",
+                "set", "jobs", "cached"
+            );
+            for name in sets::SET_NAMES {
+                let specs = sets::set(name, size).expect("named set exists");
+                let cached = specs.iter().filter(|s| cache.load(s).is_some()).count();
+                let shared = match *name {
+                    "fig12" | "fig13" | "fig16" => "fig12/fig13/fig16",
+                    "fig14" | "fig15" => "fig14/fig15 (subset of fig12)",
+                    "sec57" => "subset of fig12",
+                    _ => "-",
+                };
+                println!("{name:<10} {:>6} {cached:>8}   {shared}", specs.len());
+            }
+            println!(
+                "\ncache: {} entries under {}",
+                cache.len(),
+                cache.dir().display()
+            );
+            Ok(())
+        }
+        Some("run") => {
+            let mut names: Vec<String> = Vec::new();
+            let mut opts = RunOptions::default();
+            let mut size = r2d2_harness::size_from_env();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--jobs" => {
+                        opts.jobs = args.get(i + 1).ok_or("--jobs needs a value")?.parse()?;
+                        i += 1;
+                    }
+                    "--no-cache" => opts.use_cache = false,
+                    "--size" => {
+                        size = match args.get(i + 1).ok_or("--size needs a value")?.as_str() {
+                            "small" => r2d2_workloads::Size::Small,
+                            "full" => r2d2_workloads::Size::Full,
+                            other => return Err(format!("bad size {other:?}").into()),
+                        };
+                        i += 1;
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(format!("unknown option {flag}").into())
+                    }
+                    name => names.push(name.to_string()),
+                }
+                i += 1;
+            }
+            if names.is_empty() {
+                return Err(format!(
+                    "missing set name; one of: {} | all",
+                    sets::SET_NAMES.join(" | ")
+                )
+                .into());
+            }
+            if names.iter().any(|n| n == "all") {
+                names = sets::SET_NAMES.iter().map(|s| s.to_string()).collect();
+            }
+            // Collect specs across sets, deduplicating by cache key so
+            // overlapping figures don't queue the same job twice.
+            let mut specs: Vec<JobSpec> = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for name in &names {
+                let set = sets::set(name, size)
+                    .ok_or_else(|| format!("unknown set {name:?} (try `r2d2 sweep list`)"))?;
+                for s in set {
+                    if seen.insert(s.content_hash()) {
+                        specs.push(s);
+                    }
+                }
+            }
+            println!(
+                "running {} unique jobs from: {}",
+                specs.len(),
+                names.join(", ")
+            );
+            r2d2_harness::run_jobs(&specs, &opts);
+            let cache = Cache::open_default();
+            let path = r2d2_harness::default_csv_path();
+            let rows = r2d2_harness::export_csv(&cache, &path)?;
+            println!("[written {} ({rows} rows)]", path.display());
+            Ok(())
+        }
+        Some("clean") => {
+            let cache = Cache::open_default();
+            let n = cache.clean()?;
+            println!("removed {n} cached results from {}", cache.dir().display());
+            Ok(())
+        }
+        _ => Err("usage: r2d2 sweep <list|run|clean> ...".into()),
+    }
+}
+
 fn cmd_workload(args: &[String]) -> CliResult {
-    let name = args.first().ok_or("missing workload name (try `r2d2 list`)")?;
+    let name = args
+        .first()
+        .ok_or("missing workload name (try `r2d2 list`)")?;
     let mut model = "baseline".to_string();
     let mut size = r2d2_workloads::Size::Small;
     let mut i = 1;
@@ -294,7 +433,10 @@ fn cmd_workload(args: &[String]) -> CliResult {
         };
         stats.merge_sequential(&s);
     }
-    println!("workload {name} under {model} ({} launches):\n", w.launches.len());
+    println!(
+        "workload {name} under {model} ({} launches):\n",
+        w.launches.len()
+    );
     print_stats(&stats);
     Ok(())
 }

@@ -91,10 +91,17 @@ fn list_names_all_workloads() {
 fn analyze_prints_coefficient_vectors() {
     let path = kernel_file();
     let out = bin().arg("analyze").arg(&*path).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("linear registers"));
-    assert!(text.contains("{P0,4,0,0"), "expected the address vector:\n{text}");
+    assert!(
+        text.contains("{P0,4,0,0"),
+        "expected the address vector:\n{text}"
+    );
 }
 
 #[test]
@@ -113,10 +120,16 @@ fn run_executes_on_the_simulator() {
     let out = bin()
         .args(["run"])
         .arg(&*path)
-        .args(["--grid", "4", "--block", "128", "--buf", "2048", "--buf", "2048", "--sms", "4"])
+        .args([
+            "--grid", "4", "--block", "128", "--buf", "2048", "--buf", "2048", "--sms", "4",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("cycles:"));
     assert!(text.contains("warp instructions:"));
@@ -128,7 +141,9 @@ fn run_r2d2_reports_transformed_launch() {
     let out = bin()
         .args(["run"])
         .arg(&*path)
-        .args(["--grid", "4", "--block", "128", "--buf", "2048", "--buf", "2048", "--r2d2"])
+        .args([
+            "--grid", "4", "--block", "128", "--buf", "2048", "--buf", "2048", "--r2d2",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -138,8 +153,15 @@ fn run_r2d2_reports_transformed_launch() {
 
 #[test]
 fn workload_subcommand_runs() {
-    let out = bin().args(["workload", "NN", "--model", "r2d2"]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .args(["workload", "NN", "--model", "r2d2"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("energy:"));
 }
@@ -150,10 +172,16 @@ fn trace_prints_dynamic_instructions() {
     let out = bin()
         .args(["trace"])
         .arg(&*path)
-        .args(["--grid", "1", "--block", "32", "--buf", "512", "--buf", "512", "--limit", "5"])
+        .args([
+            "--grid", "1", "--block", "32", "--buf", "512", "--buf", "512", "--limit", "5",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert_eq!(text.lines().filter(|l| l.starts_with("blk")).count(), 5);
     assert!(text.contains("truncated"));
@@ -161,8 +189,85 @@ fn trace_prints_dynamic_instructions() {
 
 #[test]
 fn bad_usage_exits_nonzero() {
+    // Garbage subcommand: usage on stderr, exit code 2.
     let out = bin().arg("frobnicate").output().unwrap();
-    assert!(!out.status.success());
-    let out = bin().args(["workload", "NOPE"]).output().unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+    assert!(out.stdout.is_empty());
+    // No subcommand at all behaves the same.
+    let out = bin().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Bad arguments to real subcommands: exit code 1 with an error line.
+    for args in [
+        vec!["workload", "NOPE"],
+        vec!["analyze"],
+        vec!["analyze", "/nonexistent/k.kasm"],
+        vec!["run"],
+        vec!["run", "/nonexistent/k.kasm"],
+        vec!["sweep"],
+        vec!["sweep", "run"],
+        vec!["sweep", "run", "nope-not-a-set"],
+        vec!["sweep", "run", "fig13", "--size", "tiny"],
+    ] {
+        let out = bin().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(1), "{args:?} should fail cleanly");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("error:"),
+            "{args:?} should explain itself"
+        );
+    }
+}
+
+#[test]
+fn sweep_list_names_every_set() {
+    let out = bin().args(["sweep", "list"]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    for set in [
+        "fig04", "fig12", "fig13", "fig14", "fig15", "fig16", "table3", "sec54", "sec57", "sec58",
+    ] {
+        assert!(text.contains(set), "missing {set}:\n{text}");
+    }
+}
+
+#[test]
+fn sweep_run_populates_then_hits_the_cache() {
+    let results = std::env::temp_dir().join(format!("r2d2-sweep-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&results);
+    let run = |extra: &[&str]| {
+        let mut c = bin();
+        c.env("R2D2_RESULTS", &results)
+            .args(["sweep", "run", "sec57", "--size", "small", "--jobs", "2"])
+            .args(extra);
+        let out = c.output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let cold = run(&[]);
+    assert!(cold.contains("4 jobs: 0 cached, 4 simulated"), "{cold}");
+    let warm = run(&[]);
+    assert!(warm.contains("4 jobs: 4 cached, 0 simulated"), "{warm}");
+    let refresh = run(&["--no-cache"]);
+    assert!(
+        refresh.contains("4 jobs: 0 cached, 4 simulated"),
+        "{refresh}"
+    );
+    assert!(results.join("run_records.csv").is_file());
+    // clean empties the cache
+    let out = bin()
+        .env("R2D2_RESULTS", &results)
+        .args(["sweep", "clean"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("removed 4"));
+    let _ = std::fs::remove_dir_all(&results);
 }

@@ -141,15 +141,16 @@ pub fn analyze(kernel: &Kernel) -> Analysis {
 
     let mut multi_write = multi;
     multi_write.sort_by_key(|r| r.0);
-    Analysis { linear, multi_write, producer }
+    Analysis {
+        linear,
+        multi_write,
+        producer,
+    }
 }
 
 /// The Fig. 6 transfer function for one instruction, given a coefficient
 /// lookup for its operands. `None` means "not linear".
-fn propagate(
-    instr: &Instr,
-    lookup: impl Fn(&Operand) -> Option<CoefVec>,
-) -> Option<CoefVec> {
+fn propagate(instr: &Instr, lookup: impl Fn(&Operand) -> Option<CoefVec>) -> Option<CoefVec> {
     if !instr.op.is_linear_listed() {
         return None;
     }
@@ -168,7 +169,9 @@ fn propagate(
     }
     match instr.op {
         Op::LdParam => {
-            let Operand::Imm(n) = instr.srcs[0] else { return None };
+            let Operand::Imm(n) = instr.srcs[0] else {
+                return None;
+            };
             Some(CoefVec::scalar(Poly::param(n as u8)))
         }
         Op::Mov | Op::Cvt => lookup(&instr.srcs[0]),

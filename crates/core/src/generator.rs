@@ -42,7 +42,11 @@ pub struct GenOptions {
 
 impl Default for GenOptions {
     fn default() -> Self {
-        GenOptions { max_lr: MAX_LR, share_groups: true, map_scalars: true }
+        GenOptions {
+            max_lr: MAX_LR,
+            share_groups: true,
+            map_scalars: true,
+        }
     }
 }
 
@@ -71,7 +75,12 @@ struct CrAlloc {
 
 impl CrAlloc {
     fn new() -> Self {
-        CrAlloc { next: 0, instrs: Vec::new(), sym_memo: HashMap::new(), poly_memo: HashMap::new() }
+        CrAlloc {
+            next: 0,
+            instrs: Vec::new(),
+            sym_memo: HashMap::new(),
+            poly_memo: HashMap::new(),
+        }
     }
 
     fn alloc(&mut self) -> u16 {
@@ -87,9 +96,12 @@ impl CrAlloc {
         }
         let id = self.alloc();
         let instr = match s {
-            Sym::Param(n) => {
-                Instr::new(Op::LdParam, Ty::B64, Some(Dst::Cr(id)), vec![Operand::Imm(n as i64)])
-            }
+            Sym::Param(n) => Instr::new(
+                Op::LdParam,
+                Ty::B64,
+                Some(Dst::Cr(id)),
+                vec![Operand::Imm(n as i64)],
+            ),
             Sym::Ntid(d) => Instr::new(
                 Op::Mov,
                 Ty::B64,
@@ -263,7 +275,10 @@ pub fn generate(kernel: &Kernel, analysis: &Analysis) -> GenOutput {
 /// Panics if `opts.max_lr` exceeds the architectural register-table size
 /// ([`MAX_LR`]).
 pub fn generate_with(kernel: &Kernel, analysis: &Analysis, opts: &GenOptions) -> GenOutput {
-    assert!(opts.max_lr <= MAX_LR, "register table holds at most {MAX_LR} entries");
+    assert!(
+        opts.max_lr <= MAX_LR,
+        "register table holds at most {MAX_LR} entries"
+    );
     // ---- classify demanded linear registers -------------------------------
     let mut uses: HashMap<Reg, UseKinds> = HashMap::new();
     for (pc, instr) in kernel.instrs.iter().enumerate() {
@@ -277,7 +292,11 @@ pub fn generate_with(kernel: &Kernel, analysis: &Analysis, opts: &GenOptions) ->
                 }
             }
         }
-        if let Some(MemRef { base: Operand::Reg(r), .. }) = instr.mem {
+        if let Some(MemRef {
+            base: Operand::Reg(r),
+            ..
+        }) = instr.mem
+        {
             if analysis.linear.contains_key(&r) {
                 uses.entry(r).or_default().mem_base += 1;
             }
@@ -329,7 +348,10 @@ pub fn generate_with(kernel: &Kernel, analysis: &Analysis, opts: &GenOptions) ->
             .iter_mut()
             .find(|g| g.shape == shape && g.rep_const == cnst)
         {
-            g.members.push(Member { reg: *r, delta: Poly::zero() });
+            g.members.push(Member {
+                reg: *r,
+                delta: Poly::zero(),
+            });
             g.benefit += benefit;
             continue;
         }
@@ -346,7 +368,10 @@ pub fn generate_with(kernel: &Kernel, analysis: &Analysis, opts: &GenOptions) ->
         groups.push(Group {
             shape,
             rep_const: cnst,
-            members: vec![Member { reg: *r, delta: Poly::zero() }],
+            members: vec![Member {
+                reg: *r,
+                delta: Poly::zero(),
+            }],
             benefit,
         });
     }
@@ -390,7 +415,10 @@ pub fn generate_with(kernel: &Kernel, analysis: &Analysis, opts: &GenOptions) ->
     // uses force the producer to stay (the read then uses the original GP
     // register).
     let non_base_use = |pc: usize, r: Reg| -> bool {
-        kernel.instrs[pc].srcs.iter().any(|s| matches!(s, Operand::Reg(x) if *x == r))
+        kernel.instrs[pc]
+            .srcs
+            .iter()
+            .any(|s| matches!(s, Operand::Reg(x) if *x == r))
     };
     let mut removable: Vec<bool> = (0..n).map(|pc| analysis.producer[pc]).collect();
     let mut changed = true;
@@ -408,9 +436,8 @@ pub fn generate_with(kernel: &Kernel, analysis: &Analysis, opts: &GenOptions) ->
             let alive_use = users
                 .get(&dst)
                 .map(|us| {
-                    us.iter().any(|&u| {
-                        !removable[u] && (!delta_mapped || non_base_use(u, dst))
-                    })
+                    us.iter()
+                        .any(|&u| !removable[u] && (!delta_mapped || non_base_use(u, dst)))
                 })
                 .unwrap_or(false);
             if alive_use {
@@ -462,9 +489,8 @@ pub fn generate_with(kernel: &Kernel, analysis: &Analysis, opts: &GenOptions) ->
     // ---- coefficient banks for the block-index block -----------------------
     // Bank 0: constant parts; banks 1..=3: ctaid.x/y/z coefficients.
     // Allocated contiguously so lane i of a `.br` instruction reads slot i.
-    let need_dim: [bool; 3] = std::array::from_fn(|d| {
-        groups.iter().any(|g| !g.shape[3 + d].is_zero())
-    });
+    let need_dim: [bool; 3] =
+        std::array::from_fn(|d| groups.iter().any(|g| !g.shape[3 + d].is_zero()));
     let mut bank_base = [0u16; 4];
     if n_lr > 0 {
         bank_base[0] = cr.next;
@@ -570,7 +596,11 @@ pub fn generate_with(kernel: &Kernel, analysis: &Analysis, opts: &GenOptions) ->
                     Op::Mad,
                     Ty::B64,
                     Some(Dst::Br(0)),
-                    vec![Operand::Reg(r), Operand::Cr(bank_base[1 + d]), Operand::Br(0)],
+                    vec![
+                        Operand::Reg(r),
+                        Operand::Cr(bank_base[1 + d]),
+                        Operand::Br(0),
+                    ],
                 ));
             }
         }
@@ -677,7 +707,13 @@ pub fn generate_with(kernel: &Kernel, analysis: &Analysis, opts: &GenOptions) ->
         instrs,
         shared_bytes: kernel.shared_bytes,
     };
-    GenOutput { kernel: out, meta, removed_instrs, spilled_groups, scalar_crs }
+    GenOutput {
+        kernel: out,
+        meta,
+        removed_instrs,
+        spilled_groups,
+        scalar_crs,
+    }
 }
 
 #[cfg(test)]
@@ -712,7 +748,11 @@ mod tests {
         assert!(g.removed_instrs >= 8, "removed {}", g.removed_instrs);
         // The three addresses share one thread part.
         assert_eq!(g.meta.n_tr, 1);
-        assert!(g.meta.n_lr >= 1 && g.meta.n_lr <= 3, "n_lr = {}", g.meta.n_lr);
+        assert!(
+            g.meta.n_lr >= 1 && g.meta.n_lr <= 3,
+            "n_lr = {}",
+            g.meta.n_lr
+        );
         assert!(g.kernel.validate().is_ok(), "{:?}", g.kernel.validate());
         // Main stream must contain the FP add and the loads/stores.
         let main = &g.kernel.instrs[g.meta.main_start..];
@@ -748,9 +788,13 @@ mod tests {
         // one LR group, folded offset.
         assert_eq!(g.meta.n_lr, 1, "expected shared group, got {}", g.meta.n_lr);
         let main = &g.kernel.instrs[g.meta.main_start..];
-        assert!(main.iter().any(
-            |i| matches!(i.mem, Some(MemRef { offset: MemOffset::Imm(4096), .. }))
-        ));
+        assert!(main.iter().any(|i| matches!(
+            i.mem,
+            Some(MemRef {
+                offset: MemOffset::Imm(4096),
+                ..
+            })
+        )));
     }
 
     #[test]
@@ -791,7 +835,12 @@ mod tests {
         assert!(g.kernel.validate().is_ok(), "{:?}", g.kernel.validate());
         // The backward branch must land on the loop body's first instruction
         // (the add into acc), which is inside the main stream.
-        let bra = g.kernel.instrs.iter().find(|i| matches!(i.op, Op::Bra(_))).unwrap();
+        let bra = g
+            .kernel
+            .instrs
+            .iter()
+            .find(|i| matches!(i.op, Op::Bra(_)))
+            .unwrap();
         if let Op::Bra(t) = bra.op {
             assert!((t as usize) >= g.meta.main_start);
             let target = &g.kernel.instrs[t as usize];

@@ -23,7 +23,11 @@ pub struct RunResult {
 impl RunResult {
     fn new(stats: Stats, used_r2d2: bool) -> Self {
         let energy = EnergyModel::volta().breakdown(&stats.events);
-        RunResult { stats, energy, used_r2d2 }
+        RunResult {
+            stats,
+            energy,
+            used_r2d2,
+        }
     }
 }
 
@@ -105,7 +109,10 @@ mod tests {
         // Memory-bound: the paper's SPM case — big instruction reduction,
         // modest cycle change (DRAM bandwidth dominates end-to-end time).
         let k = streaming_kernel();
-        let cfg = GpuConfig { num_sms: 8, ..Default::default() };
+        let cfg = GpuConfig {
+            num_sms: 8,
+            ..Default::default()
+        };
         let grid = Dim3::d1(128);
         let block = Dim3::d1(256);
         let n = 128 * 256u64;
@@ -160,7 +167,10 @@ mod tests {
         b.st_global(Ty::B32, addr, 0, v);
         let k = b.build();
 
-        let cfg = GpuConfig { num_sms: 8, ..Default::default() };
+        let cfg = GpuConfig {
+            num_sms: 8,
+            ..Default::default()
+        };
         let grid = Dim3::d1(256);
         let block = Dim3::d1(256);
         let n = 256 * 256u64;

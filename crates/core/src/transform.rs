@@ -165,7 +165,11 @@ mod tests {
         l2.meta = Some(r.meta.clone());
         let s2 = functional::run_r2d2(&l2, &mut g2, 1_000_000, None).unwrap();
 
-        assert_eq!(g1.bytes(), g2.bytes(), "transformed kernel must be bit-identical");
+        assert_eq!(
+            g1.bytes(),
+            g2.bytes(),
+            "transformed kernel must be bit-identical"
+        );
         assert!(s2.warp_by_phase[0] > 0, "coefficient instructions ran");
     }
 

@@ -1,13 +1,15 @@
-//! Property-based end-to-end test of the R2D2 software pipeline: for random
+//! Randomized end-to-end test of the R2D2 software pipeline: for random
 //! kernels built from random linear index expressions (plus loads, stores and
 //! non-linear noise), the transformed kernel must (a) validate, (b) leave
 //! device memory byte-identical to the original, and (c) match a direct Rust
-//! evaluation of each expression.
+//! evaluation of each expression. Cases come from the in-repo seeded PRNG.
 
-use proptest::prelude::*;
 use r2d2_core::transform::transform;
 use r2d2_isa::{Kernel, KernelBuilder, Operand, Reg, Ty};
 use r2d2_sim::{functional, Dim3, GlobalMem, Launch};
+use r2d2_sym::Rng;
+
+const CASES: usize = 64;
 
 /// A random linear expression over built-in indices and parameters.
 #[derive(Debug, Clone)]
@@ -24,6 +26,34 @@ enum Expr {
 }
 
 impl Expr {
+    fn gen(r: &mut Rng, depth: u32) -> Expr {
+        if depth == 0 || r.below(3) == 0 {
+            return match r.below(4) {
+                0 => Expr::Tid(r.gen_range(0u8..3)),
+                1 => Expr::Ctaid(r.gen_range(0u8..2)),
+                2 => Expr::Param(r.gen_range(0u8..3)),
+                _ => Expr::Imm(r.gen_range(-50i32..50)),
+            };
+        }
+        match r.below(5) {
+            0 => Expr::Add(
+                Expr::gen(r, depth - 1).into(),
+                Expr::gen(r, depth - 1).into(),
+            ),
+            1 => Expr::Sub(
+                Expr::gen(r, depth - 1).into(),
+                Expr::gen(r, depth - 1).into(),
+            ),
+            2 => Expr::MulImm(Expr::gen(r, depth - 1).into(), r.gen_range(-8i32..8)),
+            3 => Expr::Shl(Expr::gen(r, depth - 1).into(), r.gen_range(0u32..5)),
+            _ => Expr::MadImm(
+                Expr::gen(r, depth - 1).into(),
+                r.gen_range(-8i32..8),
+                Expr::gen(r, depth - 1).into(),
+            ),
+        }
+    }
+
     /// Emit instructions computing the expression (32-bit).
     fn emit(&self, b: &mut KernelBuilder) -> Reg {
         match self {
@@ -67,8 +97,12 @@ impl Expr {
             Expr::Ctaid(d) => ctaid[*d as usize % 3],
             Expr::Param(n) => params.get(*n as usize).copied().unwrap_or(0),
             Expr::Imm(v) => *v,
-            Expr::Add(x, y) => x.eval(tid, ctaid, params).wrapping_add(y.eval(tid, ctaid, params)),
-            Expr::Sub(x, y) => x.eval(tid, ctaid, params).wrapping_sub(y.eval(tid, ctaid, params)),
+            Expr::Add(x, y) => x
+                .eval(tid, ctaid, params)
+                .wrapping_add(y.eval(tid, ctaid, params)),
+            Expr::Sub(x, y) => x
+                .eval(tid, ctaid, params)
+                .wrapping_sub(y.eval(tid, ctaid, params)),
             Expr::MulImm(x, c) => x.eval(tid, ctaid, params).wrapping_mul(*c),
             Expr::Shl(x, k) => x.eval(tid, ctaid, params).wrapping_shl(*k),
             Expr::MadImm(x, c, y) => x
@@ -77,25 +111,6 @@ impl Expr {
                 .wrapping_add(y.eval(tid, ctaid, params)),
         }
     }
-}
-
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0u8..3).prop_map(Expr::Tid),
-        (0u8..2).prop_map(Expr::Ctaid),
-        (0u8..3).prop_map(Expr::Param),
-        (-50i32..50).prop_map(Expr::Imm),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(a.into(), b.into())),
-            (inner.clone(), -8i32..8).prop_map(|(a, c)| Expr::MulImm(a.into(), c)),
-            (inner.clone(), 0u32..5).prop_map(|(a, k)| Expr::Shl(a.into(), k)),
-            (inner.clone(), -8i32..8, inner)
-                .prop_map(|(a, c, b)| Expr::MadImm(a.into(), c, b.into())),
-        ]
-    })
 }
 
 /// Build a kernel that stores each expression's value to its own output
@@ -124,22 +139,23 @@ fn build_kernel(exprs: &[Expr]) -> Kernel {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn transform_preserves_semantics() {
+    let mut r = Rng::new(0x72a2f);
+    for _ in 0..CASES {
+        let exprs: Vec<Expr> = (0..r.gen_range(1usize..4))
+            .map(|_| Expr::gen(&mut r, 4))
+            .collect();
+        let bx = r.gen_range(1u32..3);
+        let by = r.gen_range(1u32..3);
+        let ntx = *r.choose(&[8u32, 16, 32, 33]);
+        let nty = r.gen_range(1u32..3);
+        let params: Vec<i32> = (0..3).map(|_| r.gen_range(-100i32..100)).collect();
 
-    #[test]
-    fn transform_preserves_semantics(
-        exprs in proptest::collection::vec(expr_strategy(), 1..4),
-        bx in 1u32..3,
-        by in 1u32..3,
-        ntx in prop_oneof![Just(8u32), Just(16), Just(32), Just(33)],
-        nty in 1u32..3,
-        params in proptest::collection::vec(-100i32..100, 3),
-    ) {
         let kernel = build_kernel(&exprs);
-        prop_assert!(kernel.validate().is_ok());
+        assert!(kernel.validate().is_ok());
         let r2 = transform(&kernel);
-        prop_assert!(r2.kernel.validate().is_ok(), "{:?}", r2.kernel.validate());
+        assert!(r2.kernel.validate().is_ok(), "{:?}", r2.kernel.validate());
 
         let grid = Dim3::d2(bx, by);
         let block = Dim3::d2(ntx, nty);
@@ -169,7 +185,7 @@ proptest! {
             let l2 = Launch::new(r2.kernel, grid, block, ps2);
             functional::run(&l2, &mut g2, 10_000_000, None).unwrap();
         }
-        prop_assert_eq!(g1.bytes(), g2.bytes(), "transformed kernel diverged");
+        assert_eq!(g1.bytes(), g2.bytes(), "transformed kernel diverged");
 
         // Spot-check expression values against the Rust reference. The
         // kernel's gtid (ctaid.x*ntid.x + tid.x) collides across y lanes, so
@@ -184,7 +200,7 @@ proptest! {
                     let cta = [blk as i32, 0, 0];
                     let want = expr.eval(tid, cta, &params);
                     let got = g1.read_i32(ps1[0], e as u64 * total + sample);
-                    prop_assert_eq!(got, want, "expr {} thread {}", e, sample);
+                    assert_eq!(got, want, "expr {e} thread {sample}");
                 }
             }
         }

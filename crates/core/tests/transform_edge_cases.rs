@@ -49,7 +49,11 @@ fn more_than_16_groups_spill_but_stay_correct() {
     let k = b.build();
     let r2 = transform(&k);
     assert_eq!(r2.meta.n_lr, MAX_LR);
-    assert!(r2.report.spilled_groups >= 4, "spilled {}", r2.report.spilled_groups);
+    assert!(
+        r2.report.spilled_groups >= 4,
+        "spilled {}",
+        r2.report.spilled_groups
+    );
     // Buffer must cover max address: i_max=63, idx = 63*20+19 = 1279.
     check_equivalent(&k, Dim3::d1(2), Dim3::d1(32), vec![], 1280 * 4 + 256);
 }
@@ -73,10 +77,15 @@ fn symbolic_delta_becomes_cr_offset() {
     let k = b.build();
     let r2 = transform(&k);
     assert_eq!(r2.meta.n_lr, 1, "one shared group expected");
-    let uses_cr_offset = r2.kernel.instrs.iter().any(|ins| {
-        matches!(ins.mem, Some(m) if matches!(m.offset, r2d2_isa::MemOffset::Cr(_)))
-    });
-    assert!(uses_cr_offset, "expected a [%lr+%cr] access:\n{}", r2.kernel);
+    let uses_cr_offset =
+        r2.kernel.instrs.iter().any(
+            |ins| matches!(ins.mem, Some(m) if matches!(m.offset, r2d2_isa::MemOffset::Cr(_))),
+        );
+    assert!(
+        uses_cr_offset,
+        "expected a [%lr+%cr] access:\n{}",
+        r2.kernel
+    );
     check_equivalent(&k, Dim3::d1(4), Dim3::d1(64), vec![1024], 4096 + 256);
 }
 
@@ -117,7 +126,9 @@ fn loop_carried_pointer_keeps_update_but_decouples_init() {
     // rewritten operands, and its upstream mul/shl/cvt chain must be gone.
     let main = &r2.kernel.instrs[r2.meta.main_start..];
     assert!(
-        !main.iter().any(|ins| ins.op == r2d2_isa::Op::Mul && ins.ty == Ty::B32),
+        !main
+            .iter()
+            .any(|ins| ins.op == r2d2_isa::Op::Mul && ins.ty == Ty::B32),
         "index mul should be decoupled:\n{}",
         r2.kernel
     );
@@ -223,8 +234,8 @@ fn transformed_kernels_roundtrip_through_the_assembler() {
     for l in &w.launches {
         let r2 = transform(&l.kernel);
         let text = r2.kernel.to_string();
-        let parsed = r2d2_isa::parse_kernel(&text)
-            .unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        let parsed =
+            r2d2_isa::parse_kernel(&text).unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
         assert_eq!(r2.kernel, parsed, "round-trip mismatch:\n{text}");
     }
 }
@@ -273,10 +284,23 @@ fn ablation_options_preserve_semantics() {
     let k = b.build();
     for opts in [
         GenOptions::default(),
-        GenOptions { max_lr: 2, ..Default::default() },
-        GenOptions { share_groups: false, ..Default::default() },
-        GenOptions { map_scalars: false, ..Default::default() },
-        GenOptions { max_lr: 1, share_groups: false, map_scalars: false },
+        GenOptions {
+            max_lr: 2,
+            ..Default::default()
+        },
+        GenOptions {
+            share_groups: false,
+            ..Default::default()
+        },
+        GenOptions {
+            map_scalars: false,
+            ..Default::default()
+        },
+        GenOptions {
+            max_lr: 1,
+            share_groups: false,
+            map_scalars: false,
+        },
     ] {
         let r2 = transform_with(&k, &opts);
         assert!(r2.kernel.validate().is_ok(), "{opts:?}");

@@ -232,8 +232,17 @@ mod tests {
 
     #[test]
     fn counts_accumulate() {
-        let mut a = EventCounts { int_lane_ops: 1, cycles: 10, ..Default::default() };
-        let b = EventCounts { int_lane_ops: 2, cycles: 7, rf_reads: 5, ..Default::default() };
+        let mut a = EventCounts {
+            int_lane_ops: 1,
+            cycles: 10,
+            ..Default::default()
+        };
+        let b = EventCounts {
+            int_lane_ops: 2,
+            cycles: 7,
+            rf_reads: 5,
+            ..Default::default()
+        };
         a.add(&b);
         assert_eq!(a.int_lane_ops, 3);
         assert_eq!(a.rf_reads, 5);

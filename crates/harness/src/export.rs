@@ -1,0 +1,150 @@
+//! Unified CSV export of cached results.
+//!
+//! `results/run_records.csv` is a flat, stable-schema materialization of the
+//! whole cache — one row per cached job — consumed by
+//! `scripts/summarize_results.py` (which also still understands the legacy
+//! per-figure CSVs the bench targets write).
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::cache::{results_dir, Cache};
+use crate::json;
+use crate::record::RunRecord;
+use crate::spec::JobSpec;
+
+/// Column order of the unified CSV. Append-only: the Python side addresses
+/// columns by name.
+pub const CSV_HEADER: &str = "workload,size,model,num_sms,fetch_table,regid_calc,lr_add,hash,\
+used_r2d2,cycles,warp_instrs,thread_instrs,scalar_warp_instrs,warp_coef,warp_tidx,warp_bidx,\
+warp_main,prologue_cycles,l1_hits,l1_misses,l2_hits,l2_misses,dram_txns,shared_txns,\
+alu_pj,rf_pj,frontend_pj,mem_pj,static_pj,total_pj,\
+ideal_baseline,ideal_wp,ideal_tb,ideal_ln,wall_s";
+
+/// Every valid `(spec, record)` pair currently in the cache. Unreadable or
+/// malformed files are skipped, matching the cache's miss-not-error policy.
+pub fn cache_entries(cache: &Cache) -> Vec<(JobSpec, RunRecord)> {
+    let mut out = Vec::new();
+    let Ok(dir) = std::fs::read_dir(cache.dir()) else {
+        return out;
+    };
+    for entry in dir.flatten() {
+        let path = entry.path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let Ok(v) = json::parse(&text) else {
+            continue;
+        };
+        let (Some(sv), Some(rv)) = (v.get("spec"), v.get("record")) else {
+            continue;
+        };
+        if let (Some(spec), Some(rec)) = (JobSpec::from_json(sv), RunRecord::from_json(rv)) {
+            out.push((spec, rec));
+        }
+    }
+    // Deterministic order for stable diffs.
+    out.sort_by_key(|(spec, _)| spec.canonical());
+    out
+}
+
+fn csv_row(spec: &JobSpec, rec: &RunRecord) -> String {
+    fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
+        v.map_or_else(String::new, |x| x.to_string())
+    }
+    let s = &rec.stats;
+    let e = &rec.energy;
+    let ideal = |f: fn(&r2d2_baselines::IdealCounts) -> u64| opt(rec.ideal.as_ref().map(f));
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        spec.workload,
+        match spec.size {
+            r2d2_workloads::Size::Small => "small",
+            r2d2_workloads::Size::Full => "full",
+        },
+        spec.model.canonical(),
+        opt(spec.overrides.num_sms),
+        opt(spec.overrides.fetch_table),
+        opt(spec.overrides.regid_calc),
+        opt(spec.overrides.lr_add),
+        spec.hash_hex(),
+        rec.used_r2d2,
+        s.cycles,
+        s.warp_instrs,
+        s.thread_instrs,
+        s.scalar_warp_instrs,
+        s.warp_instrs_by_phase[0],
+        s.warp_instrs_by_phase[1],
+        s.warp_instrs_by_phase[2],
+        s.warp_instrs_by_phase[3],
+        s.prologue_cycles,
+        s.l1_hits,
+        s.l1_misses,
+        s.l2_hits,
+        s.l2_misses,
+        s.dram_txns,
+        s.shared_txns,
+        e.alu_pj,
+        e.rf_pj,
+        e.frontend_pj,
+        e.mem_pj,
+        e.static_pj,
+        e.total_pj(),
+        ideal(|c| c.baseline),
+        ideal(|c| c.wp),
+        ideal(|c| c.tb),
+        ideal(|c| c.ln),
+        rec.wall_s,
+    )
+}
+
+/// Write the unified CSV for every cache entry; returns the row count.
+pub fn export_csv(cache: &Cache, path: &Path) -> std::io::Result<usize> {
+    let entries = cache_entries(cache);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{CSV_HEADER}")?;
+    for (spec, rec) in &entries {
+        writeln!(f, "{}", csv_row(spec, rec))?;
+    }
+    Ok(entries.len())
+}
+
+/// The default export path, `results/run_records.csv`.
+pub fn default_csv_path() -> PathBuf {
+    results_dir().join("run_records.csv")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_matches_row_width() {
+        let cols = CSV_HEADER.split(',').count();
+        let spec = JobSpec::new(
+            "BP",
+            r2d2_workloads::Size::Small,
+            crate::spec::ModelSpec::Baseline,
+        );
+        let rec = RunRecord {
+            stats: Default::default(),
+            energy: r2d2_energy::EnergyBreakdown {
+                alu_pj: 0.0,
+                rf_pj: 0.0,
+                frontend_pj: 0.0,
+                mem_pj: 0.0,
+                static_pj: 0.0,
+            },
+            used_r2d2: false,
+            ideal: None,
+            wall_s: 0.0,
+        };
+        assert_eq!(csv_row(&spec, &rec).split(',').count(), cols);
+    }
+}

@@ -1,0 +1,279 @@
+//! The unified result record stored in the cache and consumed by
+//! `scripts/summarize_results.py`.
+//!
+//! One [`RunRecord`] holds everything a figure needs about one job: the full
+//! simulator [`Stats`] (including energy-relevant [`EventCounts`] and the
+//! R2D2 phase counters), the [`EnergyBreakdown`], and — for Fig. 4's
+//! functional-only jobs — the [`IdealCounts`]. Serialization is the
+//! hand-rolled JSON in [`crate::json`]; all `u64` counters round-trip
+//! exactly.
+
+use r2d2_baselines::IdealCounts;
+use r2d2_energy::{EnergyBreakdown, EventCounts};
+use r2d2_sim::Stats;
+
+use crate::json::{int, num, obj, Value};
+
+/// Results of one job, in cache-file and CSV-exportable form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Full simulation statistics (zero for `Ideals` jobs).
+    pub stats: Stats,
+    /// Energy breakdown derived from `stats.events`.
+    pub energy: EnergyBreakdown,
+    /// Whether the R2D2 transform actually decoupled anything.
+    pub used_r2d2: bool,
+    /// Fig. 4 ideal-machine counts (only for `ModelSpec::Ideals` jobs).
+    pub ideal: Option<IdealCounts>,
+    /// Wall-clock seconds the simulation took (informational; not hashed).
+    pub wall_s: f64,
+}
+
+fn phase_arr(a: &[u64; 4]) -> Value {
+    Value::Arr(a.iter().map(|&v| int(v)).collect())
+}
+
+fn parse_phase_arr(v: Option<&Value>) -> Option<[u64; 4]> {
+    let items = v?.as_arr()?;
+    if items.len() != 4 {
+        return None;
+    }
+    let mut out = [0u64; 4];
+    for (slot, item) in out.iter_mut().zip(items) {
+        *slot = item.as_u64()?;
+    }
+    Some(out)
+}
+
+fn events_to_json(e: &EventCounts) -> Value {
+    obj(vec![
+        ("int_lane_ops", int(e.int_lane_ops)),
+        ("fp_lane_ops", int(e.fp_lane_ops)),
+        ("fp64_lane_ops", int(e.fp64_lane_ops)),
+        ("sfu_lane_ops", int(e.sfu_lane_ops)),
+        ("rf_reads", int(e.rf_reads)),
+        ("rf_writes", int(e.rf_writes)),
+        ("rf_scalar_reads", int(e.rf_scalar_reads)),
+        ("rf_scalar_writes", int(e.rf_scalar_writes)),
+        ("fetch_decode", int(e.fetch_decode)),
+        ("l1_accesses", int(e.l1_accesses)),
+        ("l2_accesses", int(e.l2_accesses)),
+        ("dram_txns", int(e.dram_txns)),
+        ("shared_accesses", int(e.shared_accesses)),
+        ("cycles", int(e.cycles)),
+    ])
+}
+
+fn events_from_json(v: &Value) -> Option<EventCounts> {
+    let g = |k: &str| v.get(k).and_then(Value::as_u64);
+    Some(EventCounts {
+        int_lane_ops: g("int_lane_ops")?,
+        fp_lane_ops: g("fp_lane_ops")?,
+        fp64_lane_ops: g("fp64_lane_ops")?,
+        sfu_lane_ops: g("sfu_lane_ops")?,
+        rf_reads: g("rf_reads")?,
+        rf_writes: g("rf_writes")?,
+        rf_scalar_reads: g("rf_scalar_reads")?,
+        rf_scalar_writes: g("rf_scalar_writes")?,
+        fetch_decode: g("fetch_decode")?,
+        l1_accesses: g("l1_accesses")?,
+        l2_accesses: g("l2_accesses")?,
+        dram_txns: g("dram_txns")?,
+        shared_accesses: g("shared_accesses")?,
+        cycles: g("cycles")?,
+    })
+}
+
+fn stats_to_json(s: &Stats) -> Value {
+    obj(vec![
+        ("cycles", int(s.cycles)),
+        ("warp_instrs", int(s.warp_instrs)),
+        ("thread_instrs", int(s.thread_instrs)),
+        ("scalar_warp_instrs", int(s.scalar_warp_instrs)),
+        ("skipped_warp_instrs", int(s.skipped_warp_instrs)),
+        ("skipped_thread_instrs", int(s.skipped_thread_instrs)),
+        ("warp_instrs_by_phase", phase_arr(&s.warp_instrs_by_phase)),
+        (
+            "thread_instrs_by_phase",
+            phase_arr(&s.thread_instrs_by_phase),
+        ),
+        ("prologue_cycles", int(s.prologue_cycles)),
+        ("l1_hits", int(s.l1_hits)),
+        ("l1_misses", int(s.l1_misses)),
+        ("l2_hits", int(s.l2_hits)),
+        ("l2_misses", int(s.l2_misses)),
+        ("dram_txns", int(s.dram_txns)),
+        ("shared_txns", int(s.shared_txns)),
+        ("events", events_to_json(&s.events)),
+    ])
+}
+
+fn stats_from_json(v: &Value) -> Option<Stats> {
+    let g = |k: &str| v.get(k).and_then(Value::as_u64);
+    Some(Stats {
+        cycles: g("cycles")?,
+        warp_instrs: g("warp_instrs")?,
+        thread_instrs: g("thread_instrs")?,
+        scalar_warp_instrs: g("scalar_warp_instrs")?,
+        skipped_warp_instrs: g("skipped_warp_instrs")?,
+        skipped_thread_instrs: g("skipped_thread_instrs")?,
+        warp_instrs_by_phase: parse_phase_arr(v.get("warp_instrs_by_phase"))?,
+        thread_instrs_by_phase: parse_phase_arr(v.get("thread_instrs_by_phase"))?,
+        prologue_cycles: g("prologue_cycles")?,
+        l1_hits: g("l1_hits")?,
+        l1_misses: g("l1_misses")?,
+        l2_hits: g("l2_hits")?,
+        l2_misses: g("l2_misses")?,
+        dram_txns: g("dram_txns")?,
+        shared_txns: g("shared_txns")?,
+        events: events_from_json(v.get("events")?)?,
+    })
+}
+
+fn energy_to_json(e: &EnergyBreakdown) -> Value {
+    obj(vec![
+        ("alu_pj", num(e.alu_pj)),
+        ("rf_pj", num(e.rf_pj)),
+        ("frontend_pj", num(e.frontend_pj)),
+        ("mem_pj", num(e.mem_pj)),
+        ("static_pj", num(e.static_pj)),
+    ])
+}
+
+fn energy_from_json(v: &Value) -> Option<EnergyBreakdown> {
+    let g = |k: &str| v.get(k).and_then(Value::as_f64);
+    Some(EnergyBreakdown {
+        alu_pj: g("alu_pj")?,
+        rf_pj: g("rf_pj")?,
+        frontend_pj: g("frontend_pj")?,
+        mem_pj: g("mem_pj")?,
+        static_pj: g("static_pj")?,
+    })
+}
+
+fn ideal_to_json(c: &IdealCounts) -> Value {
+    obj(vec![
+        ("baseline", int(c.baseline)),
+        ("wp", int(c.wp)),
+        ("tb", int(c.tb)),
+        ("ln", int(c.ln)),
+        ("baseline_warp", int(c.baseline_warp)),
+    ])
+}
+
+fn ideal_from_json(v: &Value) -> Option<IdealCounts> {
+    let g = |k: &str| v.get(k).and_then(Value::as_u64);
+    Some(IdealCounts {
+        baseline: g("baseline")?,
+        wp: g("wp")?,
+        tb: g("tb")?,
+        ln: g("ln")?,
+        baseline_warp: g("baseline_warp")?,
+    })
+}
+
+impl RunRecord {
+    /// Serialize to a JSON value.
+    pub fn to_json(&self) -> Value {
+        obj(vec![
+            ("stats", stats_to_json(&self.stats)),
+            ("energy", energy_to_json(&self.energy)),
+            ("used_r2d2", Value::Bool(self.used_r2d2)),
+            (
+                "ideal",
+                self.ideal.as_ref().map_or(Value::Null, ideal_to_json),
+            ),
+            ("wall_s", num(self.wall_s)),
+        ])
+    }
+
+    /// Parse back from JSON; `None` on any missing/mistyped field.
+    pub fn from_json(v: &Value) -> Option<RunRecord> {
+        Some(RunRecord {
+            stats: stats_from_json(v.get("stats")?)?,
+            energy: energy_from_json(v.get("energy")?)?,
+            used_r2d2: v.get("used_r2d2")?.as_bool()?,
+            ideal: match v.get("ideal")? {
+                Value::Null => None,
+                other => Some(ideal_from_json(other)?),
+            },
+            wall_s: v.get("wall_s")?.as_f64()?,
+        })
+    }
+
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.energy.total_pj()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunRecord {
+        let mut stats = Stats {
+            cycles: 123_456_789_012,
+            warp_instrs: 42,
+            thread_instrs: 1344,
+            scalar_warp_instrs: 7,
+            skipped_warp_instrs: 3,
+            skipped_thread_instrs: 96,
+            warp_instrs_by_phase: [1, 2, 3, 36],
+            thread_instrs_by_phase: [32, 64, 96, 1152],
+            prologue_cycles: 17,
+            l1_hits: 9,
+            l1_misses: 1,
+            l2_hits: 1,
+            l2_misses: 0,
+            dram_txns: 5,
+            shared_txns: 11,
+            events: EventCounts::default(),
+        };
+        stats.events.int_lane_ops = u64::MAX; // exercise exact u64 round-trip
+        stats.events.cycles = stats.cycles;
+        RunRecord {
+            stats,
+            energy: EnergyBreakdown {
+                alu_pj: 1.25,
+                rf_pj: 0.5,
+                frontend_pj: 3.0,
+                mem_pj: 0.125,
+                static_pj: 1e9 + 0.1,
+            },
+            used_r2d2: true,
+            ideal: Some(IdealCounts {
+                baseline: 100,
+                wp: 80,
+                tb: 70,
+                ln: 60,
+                baseline_warp: 4,
+            }),
+            wall_s: 1.5,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        for rec in [
+            sample(),
+            RunRecord {
+                ideal: None,
+                ..sample()
+            },
+        ] {
+            let text = rec.to_json().to_json();
+            let back = RunRecord::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+            assert_eq!(rec, back);
+        }
+    }
+
+    #[test]
+    fn missing_field_is_none_not_panic() {
+        let mut v = sample().to_json();
+        if let Value::Obj(fields) = &mut v {
+            fields.retain(|(k, _)| k != "energy");
+        }
+        assert!(RunRecord::from_json(&v).is_none());
+    }
+}

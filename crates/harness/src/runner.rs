@@ -1,0 +1,277 @@
+//! Job execution and the parallel worker pool.
+//!
+//! Each job is one single-threaded simulation (the simulator itself is
+//! sequential and deterministic); the pool runs independent jobs on
+//! `std::thread::scope` workers pulling from a shared atomic index. Results
+//! land in per-job slots, so the output order always matches the input
+//! order regardless of which worker finished when — `--jobs N` can never
+//! change what a figure reports, only how fast it appears.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use r2d2_core::transform::make_launch;
+use r2d2_energy::EnergyModel;
+use r2d2_sim::{simulate, BaselineFilter, IssueFilter, Stats};
+
+use crate::cache::Cache;
+use crate::record::RunRecord;
+use crate::spec::{JobSpec, ModelSpec};
+
+/// How to run a batch of jobs.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Worker threads; `0` picks `min(available_parallelism, #jobs)`.
+    pub jobs: usize,
+    /// Read cached results. (Completed jobs are written back to the cache
+    /// either way, so `--no-cache` acts as a refresh.)
+    pub use_cache: bool,
+    /// Print a per-job progress line (stderr).
+    pub verbose: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            jobs: 0,
+            use_cache: true,
+            verbose: true,
+        }
+    }
+}
+
+/// What a batch did, plus the records in input order.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// One record per input spec, same order.
+    pub records: Vec<RunRecord>,
+    /// Jobs answered from the cache.
+    pub cache_hits: usize,
+    /// Jobs actually simulated.
+    pub simulated: usize,
+    /// Workers that completed at least one job.
+    pub workers_used: usize,
+    /// End-to-end wall-clock seconds for the batch.
+    pub wall_s: f64,
+}
+
+impl RunSummary {
+    /// The one-line batch summary (also printed by [`run_jobs`]).
+    pub fn line(&self) -> String {
+        format!(
+            "[harness] {} jobs: {} cached, {} simulated, {} workers, {:.1}s",
+            self.records.len(),
+            self.cache_hits,
+            self.simulated,
+            self.workers_used,
+            self.wall_s
+        )
+    }
+}
+
+/// Execute one job now, ignoring the cache. Errors name the job rather than
+/// panicking so the CLI can report bad ids gracefully.
+pub fn execute(spec: &JobSpec) -> Result<RunRecord, String> {
+    let w = r2d2_workloads::resolve(&spec.workload, spec.size)
+        .ok_or_else(|| format!("unknown workload id {:?}", spec.workload))?;
+    let cfg = spec.overrides.apply();
+    let t0 = Instant::now();
+    let mut gmem = w.gmem.clone();
+    let mut stats = Stats::default();
+    let mut used_r2d2 = false;
+    let mut ideal = None;
+
+    match spec.model {
+        ModelSpec::Ideals => {
+            let mut acc = r2d2_baselines::IdealCounts::default();
+            for l in &w.launches {
+                let c = r2d2_baselines::measure_ideals(l, &mut gmem)
+                    .map_err(|e| format!("{}/Ideals: {e}", w.name))?;
+                acc.baseline += c.baseline;
+                acc.wp += c.wp;
+                acc.tb += c.tb;
+                acc.ln += c.ln;
+                acc.baseline_warp += c.baseline_warp;
+            }
+            ideal = Some(acc);
+        }
+        ModelSpec::R2d2 => {
+            for l in &w.launches {
+                let (launch, used) =
+                    make_launch(&cfg, &l.kernel, l.grid, l.block, l.params.clone());
+                used_r2d2 |= used;
+                let s = simulate(&cfg, &launch, &mut gmem, &mut BaselineFilter)
+                    .map_err(|e| format!("{}/R2D2: {e}", w.name))?;
+                stats.merge_sequential(&s);
+            }
+        }
+        ModelSpec::R2d2With(opts) => {
+            for l in &w.launches {
+                let r2 = r2d2_core::transform_with(&l.kernel, &opts);
+                let s = if r2.meta.has_linear() {
+                    used_r2d2 = true;
+                    let mut launch =
+                        r2d2_sim::Launch::new(r2.kernel, l.grid, l.block, l.params.clone());
+                    launch.meta = Some(r2.meta);
+                    simulate(&cfg, &launch, &mut gmem, &mut BaselineFilter)
+                } else {
+                    simulate(&cfg, l, &mut gmem, &mut BaselineFilter)
+                }
+                .map_err(|e| format!("{}/R2D2(opts): {e}", w.name))?;
+                stats.merge_sequential(&s);
+            }
+        }
+        baseline_like => {
+            let mut filter: Box<dyn IssueFilter> = match baseline_like {
+                ModelSpec::Baseline => Box::new(BaselineFilter),
+                ModelSpec::Dac => Box::new(r2d2_baselines::DacFilter::new()),
+                ModelSpec::Darsie => Box::new(r2d2_baselines::DarsieFilter::new()),
+                ModelSpec::DarsieScalar => Box::new(r2d2_baselines::DarsieScalarFilter::new()),
+                _ => unreachable!("handled above"),
+            };
+            for l in &w.launches {
+                let s = simulate(&cfg, l, &mut gmem, filter.as_mut())
+                    .map_err(|e| format!("{}/{}: {e}", w.name, spec.model.name()))?;
+                stats.merge_sequential(&s);
+            }
+        }
+    }
+
+    let energy = EnergyModel::volta().breakdown(&stats.events);
+    Ok(RunRecord {
+        stats,
+        energy,
+        used_r2d2,
+        ideal,
+        wall_s: t0.elapsed().as_secs_f64(),
+    })
+}
+
+fn worker_count(requested: usize, njobs: usize) -> usize {
+    let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let n = if requested == 0 { auto } else { requested };
+    n.clamp(1, njobs.max(1))
+}
+
+/// Run a batch through the default cache, printing the summary line.
+///
+/// # Panics
+///
+/// Panics if a job fails (the workload zoo is validated by tests; bad
+/// workload ids should be rejected before submission).
+pub fn run_jobs(specs: &[JobSpec], opts: &RunOptions) -> RunSummary {
+    let cache = Cache::open_default();
+    let summary = run_jobs_with(specs, opts, &cache);
+    println!("{}", summary.line());
+    summary
+}
+
+/// [`run_jobs`] against an explicit cache, without printing the summary.
+pub fn run_jobs_with(specs: &[JobSpec], opts: &RunOptions, cache: &Cache) -> RunSummary {
+    let t0 = Instant::now();
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let hits = AtomicUsize::new(0);
+    let sims = AtomicUsize::new(0);
+    let workers_used = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunRecord>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+    let n = specs.len();
+    let nworkers = worker_count(opts.jobs, n);
+
+    std::thread::scope(|s| {
+        for _ in 0..nworkers {
+            s.spawn(|| {
+                let mut did_any = false;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    did_any = true;
+                    let spec = &specs[i];
+                    let mut cached = false;
+                    let rec = if opts.use_cache {
+                        cache.load(spec).inspect(|_| cached = true)
+                    } else {
+                        None
+                    }
+                    .unwrap_or_else(|| {
+                        let rec = execute(spec)
+                            .unwrap_or_else(|e| panic!("job {} failed: {e}", spec.label()));
+                        if let Err(e) = cache.store(spec, &rec) {
+                            eprintln!("[harness] warning: cache write failed: {e}");
+                        }
+                        rec
+                    });
+                    if cached {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        sims.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if opts.verbose {
+                        if cached {
+                            eprintln!("  [{k}/{n}] {} (cached)", spec.label());
+                        } else {
+                            eprintln!("  [{k}/{n}] {} {:.1}s", spec.label(), rec.wall_s);
+                        }
+                    }
+                    *slots[i].lock().unwrap() = Some(rec);
+                }
+                if did_any {
+                    workers_used.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    let records = slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("every slot filled"))
+        .collect();
+    RunSummary {
+        records,
+        cache_hits: hits.into_inner(),
+        simulated: sims.into_inner(),
+        workers_used: workers_used.into_inner(),
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2d2_workloads::Size;
+
+    #[test]
+    fn execute_smoke_baseline_vs_r2d2() {
+        let base = execute(&JobSpec::new("NN", Size::Small, ModelSpec::Baseline)).unwrap();
+        let r2 = execute(&JobSpec::new("NN", Size::Small, ModelSpec::R2d2)).unwrap();
+        assert!(base.stats.cycles > 0);
+        assert!(r2.used_r2d2);
+        assert!(r2.stats.warp_instrs < base.stats.warp_instrs);
+    }
+
+    #[test]
+    fn execute_unknown_workload_is_err() {
+        assert!(execute(&JobSpec::new("NOPE", Size::Small, ModelSpec::Baseline)).is_err());
+    }
+
+    #[test]
+    fn ideals_job_fills_ideal_counts() {
+        let rec = execute(&JobSpec::new("BP", Size::Small, ModelSpec::Ideals)).unwrap();
+        let c = rec.ideal.expect("ideals job records counts");
+        assert!(c.baseline > 0);
+        assert!(c.ln <= c.baseline);
+        assert_eq!(rec.stats, Stats::default(), "ideals jobs do no timing run");
+    }
+
+    #[test]
+    fn worker_count_bounds() {
+        assert_eq!(worker_count(4, 2), 2);
+        assert_eq!(worker_count(1, 100), 1);
+        assert!(worker_count(0, 100) >= 1);
+        assert_eq!(worker_count(8, 0), 1);
+    }
+}

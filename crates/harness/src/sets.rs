@@ -1,0 +1,307 @@
+//! Named job sets for the paper's figures and studies.
+//!
+//! Both the `cargo bench` targets and `r2d2 sweep` build their jobs here, so
+//! they produce identical [`JobSpec`]s — and therefore share cache entries.
+//! Running `r2d2 sweep run fig13` warms the cache for
+//! `cargo bench --bench fig13_speedup` and vice versa; figures that need the
+//! same runs (Figs. 12/13/16 all compare the five machine models) overlap
+//! completely and cost nothing extra.
+//!
+//! Job layout per set is documented on each constructor; consumers index
+//! `RunSummary::records` by that layout.
+
+use r2d2_core::GenOptions;
+use r2d2_workloads::Size;
+
+use crate::spec::{ConfigOverrides, JobSpec, ModelSpec};
+
+/// The five Fig. 12/13/16 machine models, baseline first.
+pub const COMPARISON_MODELS: [ModelSpec; 5] = [
+    ModelSpec::Baseline,
+    ModelSpec::Dac,
+    ModelSpec::Darsie,
+    ModelSpec::DarsieScalar,
+    ModelSpec::R2d2,
+];
+
+/// Sec. 5.4 representative subset.
+pub const SEC54_SUBSET: &[&str] = &["BP", "NN", "2DC", "SRAD2", "KM", "CFD", "HSP", "FDT"];
+/// Sec. 5.8.2 representative subset.
+pub const SEC58_SUBSET: &[&str] = &["BP", "NN", "SRAD2", "2DC", "KM", "HSP"];
+/// Ablation subset.
+pub const ABLATION_SUBSET: &[&str] = &[
+    "BP", "2DC", "CFD", "SRAD2", "SAD", "HSP", "KM", "GEM", "RES",
+];
+/// Sec. 5.4 latency sweep points `(fetch_table, regid_calc, lr_add)`, in
+/// report order. The last is the paper's combined 1%-drop operating point.
+pub const SEC54_POINTS: [(u64, u64, u64); 10] = [
+    (0, 0, 4),
+    (1, 1, 4),
+    (3, 1, 4),
+    (5, 1, 4),
+    (7, 1, 4),
+    (9, 1, 4),
+    (1, 3, 4),
+    (1, 5, 4),
+    (1, 7, 4),
+    (7, 5, 4),
+];
+/// Sec. 5.8.2 SM counts.
+pub const SEC58_SMS: [u32; 5] = [80, 100, 120, 140, 160];
+/// Table 3 backprop scales (`log2` input nodes).
+pub const TABLE3_LOGS: [u32; 5] = [4, 8, 10, 12, 14];
+/// Ablation design variants `(label, options)`, in report order.
+pub fn ablation_variants() -> Vec<(&'static str, GenOptions)> {
+    vec![
+        ("full", GenOptions::default()),
+        (
+            "no-grouping",
+            GenOptions {
+                share_groups: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "lr=4",
+            GenOptions {
+                max_lr: 4,
+                ..Default::default()
+            },
+        ),
+        (
+            "lr=8",
+            GenOptions {
+                max_lr: 8,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-scalar-cr",
+            GenOptions {
+                map_scalars: false,
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
+/// Every named set, in paper order (the two simulation-free targets —
+/// `sec56` and `micro` — have no job set).
+pub const SET_NAMES: &[&str] = &[
+    "fig04", "fig12", "fig13", "fig14", "fig15", "fig16", "table3", "sec54", "sec57", "sec58",
+    "ablation",
+];
+
+fn zoo() -> impl Iterator<Item = &'static str> {
+    r2d2_workloads::NAMES.iter().map(|(n, _)| *n)
+}
+
+/// Fig. 4: one `Ideals` job per zoo workload, in Table 2 order.
+pub fn fig04(size: Size) -> Vec<JobSpec> {
+    zoo()
+        .map(|n| JobSpec::new(n, size, ModelSpec::Ideals))
+        .collect()
+}
+
+/// Figs. 12/13/16: the whole zoo under all five machine models,
+/// workload-major (`records[w * 5 + m]`, models in [`COMPARISON_MODELS`]
+/// order).
+pub fn comparison(size: Size) -> Vec<JobSpec> {
+    zoo()
+        .flat_map(|n| {
+            COMPARISON_MODELS
+                .iter()
+                .map(move |&m| JobSpec::new(n, size, m))
+        })
+        .collect()
+}
+
+/// Figs. 14/15: the whole zoo under `(Baseline, R2D2)` pairs
+/// (`records[w * 2]` / `records[w * 2 + 1]`). A strict subset of
+/// [`comparison`]'s specs, so the cache is shared.
+pub fn baseline_r2d2_pairs(size: Size) -> Vec<JobSpec> {
+    zoo()
+        .flat_map(|n| {
+            [
+                JobSpec::new(n, size, ModelSpec::Baseline),
+                JobSpec::new(n, size, ModelSpec::R2d2),
+            ]
+        })
+        .collect()
+}
+
+/// Table 3: `(Baseline, R2D2)` pairs for scaled backprop, one pair per entry
+/// of [`TABLE3_LOGS`]. Scaled workloads have one fixed size, so `Size` does
+/// not parameterize this set.
+pub fn table3() -> Vec<JobSpec> {
+    TABLE3_LOGS
+        .iter()
+        .flat_map(|log| {
+            let id = format!("BP@n{log}");
+            [
+                JobSpec::new(&id, Size::Full, ModelSpec::Baseline),
+                JobSpec::new(&id, Size::Full, ModelSpec::R2d2),
+            ]
+        })
+        .collect()
+}
+
+/// Sec. 5.4 latency sweep. Layout: first one `Baseline` job per subset
+/// workload (latency knobs only affect decoupled blocks, so one baseline
+/// serves every point), then one nominal `R2D2` job per workload, then for
+/// each of [`SEC54_POINTS`] one overridden `R2D2` job per workload.
+pub fn sec54(size: Size) -> Vec<JobSpec> {
+    let mut specs: Vec<JobSpec> = SEC54_SUBSET
+        .iter()
+        .map(|n| JobSpec::new(n, size, ModelSpec::Baseline))
+        .collect();
+    specs.extend(
+        SEC54_SUBSET
+            .iter()
+            .map(|n| JobSpec::new(n, size, ModelSpec::R2d2)),
+    );
+    for &(ft, rc, la) in &SEC54_POINTS {
+        specs.extend(SEC54_SUBSET.iter().map(|n| JobSpec {
+            overrides: ConfigOverrides {
+                fetch_table: Some(ft),
+                regid_calc: Some(rc),
+                lr_add: Some(la),
+                ..Default::default()
+            },
+            ..JobSpec::new(n, size, ModelSpec::R2d2)
+        }));
+    }
+    specs
+}
+
+/// Sec. 5.7: `(Baseline, R2D2)` pairs for FFT then FFT_PT.
+pub fn sec57(size: Size) -> Vec<JobSpec> {
+    ["FFT", "FFT_PT"]
+        .iter()
+        .flat_map(|n| {
+            [
+                JobSpec::new(n, size, ModelSpec::Baseline),
+                JobSpec::new(n, size, ModelSpec::R2d2),
+            ]
+        })
+        .collect()
+}
+
+/// Sec. 5.8.2 SM sweep: for each of [`SEC58_SMS`], `(Baseline, R2D2)` pairs
+/// over [`SEC58_SUBSET`] with the SM count overridden
+/// (`records[(s * len + w) * 2 (+1)]`).
+pub fn sec58(size: Size) -> Vec<JobSpec> {
+    SEC58_SMS
+        .iter()
+        .flat_map(|&sms| {
+            SEC58_SUBSET.iter().flat_map(move |n| {
+                let ov = ConfigOverrides {
+                    num_sms: Some(sms),
+                    ..Default::default()
+                };
+                [
+                    JobSpec {
+                        overrides: ov,
+                        ..JobSpec::new(n, size, ModelSpec::Baseline)
+                    },
+                    JobSpec {
+                        overrides: ov,
+                        ..JobSpec::new(n, size, ModelSpec::R2d2)
+                    },
+                ]
+            })
+        })
+        .collect()
+}
+
+/// Ablation: per subset workload, one `Baseline` job then one `R2D2` job per
+/// design variant (`records[w * 6]` baseline, `records[w * 6 + 1 + v]`).
+pub fn ablation(size: Size) -> Vec<JobSpec> {
+    let variants = ablation_variants();
+    ABLATION_SUBSET
+        .iter()
+        .flat_map(|n| {
+            let mut v = vec![JobSpec::new(n, size, ModelSpec::Baseline)];
+            v.extend(
+                variants
+                    .iter()
+                    .map(|(_, o)| JobSpec::new(n, size, ModelSpec::R2d2With(*o))),
+            );
+            v
+        })
+        .collect()
+}
+
+/// Look up a named set ([`SET_NAMES`]).
+pub fn set(name: &str, size: Size) -> Option<Vec<JobSpec>> {
+    Some(match name {
+        "fig04" => fig04(size),
+        "fig12" | "fig13" | "fig16" => comparison(size),
+        "fig14" | "fig15" => baseline_r2d2_pairs(size),
+        "table3" => table3(),
+        "sec54" => sec54(size),
+        "sec57" => sec57(size),
+        "sec58" => sec58(size),
+        "ablation" => ablation(size),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_named_set_resolves_and_is_nonempty() {
+        for name in SET_NAMES {
+            let specs = set(name, Size::Small).unwrap_or_else(|| panic!("{name} missing"));
+            assert!(!specs.is_empty(), "{name} empty");
+            for s in &specs {
+                assert!(
+                    r2d2_workloads::resolve(&s.workload, s.size).is_some(),
+                    "{name}: bad workload id {:?}",
+                    s.workload
+                );
+            }
+        }
+        assert!(set("nope", Size::Small).is_none());
+    }
+
+    #[test]
+    fn figure_sets_share_cache_keys() {
+        // fig14's pairs are a strict subset of the fig12/13/16 comparison.
+        let cmp: std::collections::HashSet<u64> = comparison(Size::Small)
+            .iter()
+            .map(JobSpec::content_hash)
+            .collect();
+        for s in baseline_r2d2_pairs(Size::Small) {
+            assert!(
+                cmp.contains(&s.content_hash()),
+                "{} must share a key",
+                s.label()
+            );
+        }
+        // sec57's specs too (FFT/FFT_PT are zoo members).
+        for s in sec57(Size::Small) {
+            assert!(cmp.contains(&s.content_hash()));
+        }
+    }
+
+    #[test]
+    fn expected_sizes() {
+        let nzoo = r2d2_workloads::NAMES.len();
+        assert_eq!(fig04(Size::Small).len(), nzoo);
+        assert_eq!(comparison(Size::Small).len(), nzoo * 5);
+        assert_eq!(baseline_r2d2_pairs(Size::Small).len(), nzoo * 2);
+        assert_eq!(table3().len(), TABLE3_LOGS.len() * 2);
+        assert_eq!(
+            sec54(Size::Small).len(),
+            SEC54_SUBSET.len() * (2 + SEC54_POINTS.len())
+        );
+        assert_eq!(
+            sec58(Size::Small).len(),
+            SEC58_SMS.len() * SEC58_SUBSET.len() * 2
+        );
+        assert_eq!(ablation(Size::Small).len(), ABLATION_SUBSET.len() * 6);
+    }
+}

@@ -1,0 +1,401 @@
+//! Job specifications and their content hashes.
+//!
+//! A [`JobSpec`] pins down everything that determines a simulation's outcome:
+//! which workload, at what size, under which machine model, with which
+//! configuration overrides. Two specs with the same [`JobSpec::content_hash`]
+//! are guaranteed (modulo a code change, captured by [`SCHEMA_VERSION`]) to
+//! produce identical results, which is what makes the on-disk cache sound:
+//! the hash is computed over a canonical text encoding of every knob, so any
+//! change to any knob changes the cache key.
+
+use r2d2_core::GenOptions;
+use r2d2_sim::GpuConfig;
+use r2d2_workloads::Size;
+
+use crate::json::{self, Value};
+
+/// Bump when the simulator/transform semantics change in a way that
+/// invalidates cached results (the hash preimage includes this).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Which machine model to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelSpec {
+    /// Table 1 baseline GPU.
+    Baseline,
+    /// Decoupled Affine Computation (optimistic).
+    Dac,
+    /// DARSIE (optimistic).
+    Darsie,
+    /// DARSIE + generalized scalar pipeline.
+    DarsieScalar,
+    /// R2D2 with default generator options.
+    R2d2,
+    /// R2D2 with explicit generator options (ablations).
+    R2d2With(GenOptions),
+    /// Fig. 4's ideal instruction-count machines (functional, no timing).
+    Ideals,
+}
+
+impl ModelSpec {
+    /// Display name used in reports and records.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelSpec::Baseline => "Baseline",
+            ModelSpec::Dac => "DAC",
+            ModelSpec::Darsie => "DARSIE",
+            ModelSpec::DarsieScalar => "DARSIE+S",
+            ModelSpec::R2d2 | ModelSpec::R2d2With(_) => "R2D2",
+            ModelSpec::Ideals => "Ideals",
+        }
+    }
+
+    /// Canonical text form (hash preimage component; also the CSV `model`
+    /// column).
+    pub fn canonical(self) -> String {
+        match self {
+            ModelSpec::Baseline => "baseline".into(),
+            ModelSpec::Dac => "dac".into(),
+            ModelSpec::Darsie => "darsie".into(),
+            ModelSpec::DarsieScalar => "darsie_scalar".into(),
+            ModelSpec::R2d2 => "r2d2".into(),
+            ModelSpec::R2d2With(o) => {
+                format!(
+                    "r2d2[max_lr={},share={},scalars={}]",
+                    o.max_lr, o.share_groups, o.map_scalars
+                )
+            }
+            ModelSpec::Ideals => "ideals".into(),
+        }
+    }
+
+    fn to_json(self) -> Value {
+        json::s(&self.canonical())
+    }
+
+    fn from_json(v: &Value) -> Option<ModelSpec> {
+        let s = v.as_str()?;
+        Some(match s {
+            "baseline" => ModelSpec::Baseline,
+            "dac" => ModelSpec::Dac,
+            "darsie" => ModelSpec::Darsie,
+            "darsie_scalar" => ModelSpec::DarsieScalar,
+            "r2d2" => ModelSpec::R2d2,
+            "ideals" => ModelSpec::Ideals,
+            s if s.starts_with("r2d2[") && s.ends_with(']') => {
+                let body = &s[5..s.len() - 1];
+                let mut opts = GenOptions::default();
+                for part in body.split(',') {
+                    let (k, v) = part.split_once('=')?;
+                    match k {
+                        "max_lr" => opts.max_lr = v.parse().ok()?,
+                        "share" => opts.share_groups = v.parse().ok()?,
+                        "scalars" => opts.map_scalars = v.parse().ok()?,
+                        _ => return None,
+                    }
+                }
+                ModelSpec::R2d2With(opts)
+            }
+            _ => return None,
+        })
+    }
+}
+
+/// Optional deviations from the default [`GpuConfig`]. `None` means "leave at
+/// default"; only set fields enter the cache key via the canonical encoding
+/// (but a default-valued `Some` hashes differently from `None` on purpose —
+/// explicit is explicit).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfigOverrides {
+    /// Number of SMs (Sec. 5.8 scaling study).
+    pub num_sms: Option<u32>,
+    /// R2D2 fetch-table latency (Sec. 5.4 sensitivity).
+    pub fetch_table: Option<u64>,
+    /// R2D2 register-id calculation latency (Sec. 5.4).
+    pub regid_calc: Option<u64>,
+    /// R2D2 `%lr` addition latency (Sec. 5.4).
+    pub lr_add: Option<u64>,
+}
+
+impl ConfigOverrides {
+    /// Produce the effective [`GpuConfig`] for this job.
+    pub fn apply(&self) -> GpuConfig {
+        let mut cfg = GpuConfig::default();
+        if let Some(n) = self.num_sms {
+            cfg = GpuConfig::with_sms(n);
+        }
+        if let Some(v) = self.fetch_table {
+            cfg.r2d2.fetch_table = v;
+        }
+        if let Some(v) = self.regid_calc {
+            cfg.r2d2.regid_calc = v;
+        }
+        if let Some(v) = self.lr_add {
+            cfg.r2d2.lr_add = v;
+        }
+        cfg
+    }
+
+    fn canonical(&self) -> String {
+        fn f<T: std::fmt::Display>(v: Option<T>) -> String {
+            v.map_or_else(|| "-".to_string(), |x| x.to_string())
+        }
+        format!(
+            "sms={};ft={};rc={};la={}",
+            f(self.num_sms),
+            f(self.fetch_table),
+            f(self.regid_calc),
+            f(self.lr_add)
+        )
+    }
+
+    fn to_json(self) -> Value {
+        fn opt(v: Option<u64>) -> Value {
+            v.map_or(Value::Null, json::int)
+        }
+        json::obj(vec![
+            ("num_sms", opt(self.num_sms.map(u64::from))),
+            ("fetch_table", opt(self.fetch_table)),
+            ("regid_calc", opt(self.regid_calc)),
+            ("lr_add", opt(self.lr_add)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Option<ConfigOverrides> {
+        fn opt(v: Option<&Value>) -> Option<u64> {
+            v.and_then(Value::as_u64)
+        }
+        Some(ConfigOverrides {
+            num_sms: opt(v.get("num_sms")).and_then(|n| u32::try_from(n).ok()),
+            fetch_table: opt(v.get("fetch_table")),
+            regid_calc: opt(v.get("regid_calc")),
+            lr_add: opt(v.get("lr_add")),
+        })
+    }
+}
+
+/// One experiment: a workload under a machine model and configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Workload id accepted by [`r2d2_workloads::resolve`]: a Table 2
+    /// abbreviation (`"BP"`) or a scaled variant (`"BP@n12"`).
+    pub workload: String,
+    /// Input scale.
+    pub size: Size,
+    /// Machine model.
+    pub model: ModelSpec,
+    /// Configuration deviations from [`GpuConfig::default`].
+    pub overrides: ConfigOverrides,
+}
+
+impl JobSpec {
+    /// A plain (no overrides) job at the given size.
+    pub fn new(workload: &str, size: Size, model: ModelSpec) -> JobSpec {
+        JobSpec {
+            workload: workload.to_string(),
+            size,
+            model,
+            overrides: ConfigOverrides::default(),
+        }
+    }
+
+    /// Canonical text encoding — the content-hash preimage. Every field of
+    /// the spec (and the schema version) appears here.
+    pub fn canonical(&self) -> String {
+        format!(
+            "r2d2-job-v{};w={};size={};model={};cfg={}",
+            SCHEMA_VERSION,
+            self.workload,
+            match self.size {
+                Size::Small => "small",
+                Size::Full => "full",
+            },
+            self.model.canonical(),
+            self.overrides.canonical()
+        )
+    }
+
+    /// Stable 64-bit FNV-1a content hash of [`JobSpec::canonical`].
+    pub fn content_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for b in self.canonical().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+
+    /// The hash as the 16-hex-digit cache file stem.
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", self.content_hash())
+    }
+
+    /// Short human label for progress lines.
+    pub fn label(&self) -> String {
+        let mut l = format!("{}/{}", self.workload, self.model.name());
+        if self.overrides != ConfigOverrides::default() {
+            l.push_str(&format!(" [{}]", self.overrides.canonical()));
+        }
+        l
+    }
+
+    /// Spec as JSON (embedded in cache files for verification).
+    pub fn to_json(&self) -> Value {
+        json::obj(vec![
+            ("workload", json::s(&self.workload)),
+            (
+                "size",
+                json::s(match self.size {
+                    Size::Small => "small",
+                    Size::Full => "full",
+                }),
+            ),
+            ("model", self.model.to_json()),
+            ("overrides", self.overrides.to_json()),
+        ])
+    }
+
+    /// Parse a spec back from its JSON form.
+    pub fn from_json(v: &Value) -> Option<JobSpec> {
+        Some(JobSpec {
+            workload: v.get("workload")?.as_str()?.to_string(),
+            size: match v.get("size")?.as_str()? {
+                "small" => Size::Small,
+                "full" => Size::Full,
+                _ => return None,
+            },
+            model: ModelSpec::from_json(v.get("model")?)?,
+            overrides: ConfigOverrides::from_json(v.get("overrides")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_spec_same_hash() {
+        let a = JobSpec::new("BP", Size::Full, ModelSpec::R2d2);
+        let b = JobSpec::new("BP", Size::Full, ModelSpec::R2d2);
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_eq!(a.hash_hex().len(), 16);
+    }
+
+    #[test]
+    fn any_knob_change_changes_hash() {
+        let base = JobSpec::new("BP", Size::Full, ModelSpec::R2d2);
+        let mut variants = vec![
+            JobSpec::new("NN", Size::Full, ModelSpec::R2d2),
+            JobSpec::new("BP", Size::Small, ModelSpec::R2d2),
+            JobSpec::new("BP", Size::Full, ModelSpec::Baseline),
+            JobSpec::new("BP", Size::Full, ModelSpec::Dac),
+            JobSpec::new("BP", Size::Full, ModelSpec::Ideals),
+            JobSpec::new(
+                "BP",
+                Size::Full,
+                ModelSpec::R2d2With(GenOptions {
+                    max_lr: 8,
+                    ..GenOptions::default()
+                }),
+            ),
+            JobSpec::new(
+                "BP",
+                Size::Full,
+                ModelSpec::R2d2With(GenOptions {
+                    share_groups: false,
+                    ..GenOptions::default()
+                }),
+            ),
+        ];
+        for (field, ov) in [
+            (
+                "num_sms",
+                ConfigOverrides {
+                    num_sms: Some(120),
+                    ..Default::default()
+                },
+            ),
+            (
+                "fetch_table",
+                ConfigOverrides {
+                    fetch_table: Some(2),
+                    ..Default::default()
+                },
+            ),
+            (
+                "regid_calc",
+                ConfigOverrides {
+                    regid_calc: Some(3),
+                    ..Default::default()
+                },
+            ),
+            (
+                "lr_add",
+                ConfigOverrides {
+                    lr_add: Some(8),
+                    ..Default::default()
+                },
+            ),
+        ] {
+            let mut j = base.clone();
+            j.overrides = ov;
+            assert_ne!(
+                j.content_hash(),
+                base.content_hash(),
+                "{field} must enter the hash"
+            );
+            variants.push(j);
+        }
+        let mut hashes: Vec<u64> = variants.iter().map(JobSpec::content_hash).collect();
+        hashes.push(base.content_hash());
+        let n = hashes.len();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), n, "all variant hashes must be distinct");
+    }
+
+    #[test]
+    fn spec_json_roundtrip() {
+        let specs = [
+            JobSpec::new("BP@n12", Size::Full, ModelSpec::Ideals),
+            JobSpec {
+                workload: "KM".into(),
+                size: Size::Small,
+                model: ModelSpec::R2d2With(GenOptions {
+                    max_lr: 4,
+                    share_groups: false,
+                    map_scalars: true,
+                }),
+                overrides: ConfigOverrides {
+                    num_sms: Some(160),
+                    fetch_table: Some(1),
+                    regid_calc: None,
+                    lr_add: Some(4),
+                },
+            },
+        ];
+        for spec in specs {
+            let text = spec.to_json().to_json();
+            let back = JobSpec::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+            assert_eq!(spec, back);
+        }
+    }
+
+    #[test]
+    fn overrides_apply_to_config() {
+        let ov = ConfigOverrides {
+            num_sms: Some(100),
+            fetch_table: Some(9),
+            regid_calc: None,
+            lr_add: Some(2),
+        };
+        let cfg = ov.apply();
+        assert_eq!(cfg.num_sms, 100);
+        assert_eq!(cfg.r2d2.fetch_table, 9);
+        assert_eq!(cfg.r2d2.regid_calc, GpuConfig::default().r2d2.regid_calc);
+        assert_eq!(cfg.r2d2.lr_add, 2);
+    }
+}

@@ -87,7 +87,9 @@ impl KernelBuilder {
 
     fn emit(&mut self, op: Op, ty: Ty, srcs: Vec<Operand>) -> Reg {
         let d = self.fresh();
-        self.kernel.instrs.push(Instr::new(op, ty, Some(Dst::Reg(d)), srcs));
+        self.kernel
+            .instrs
+            .push(Instr::new(op, ty, Some(Dst::Reg(d)), srcs));
         d
     }
 
@@ -240,7 +242,11 @@ impl KernelBuilder {
     /// sequence (`cvt.b64` + `shl.b64`). Returns the 64-bit byte offset.
     pub fn shl_imm_wide(&mut self, a: impl Into<Operand>, bits: u32) -> Reg {
         let wide = self.cvt_wide(a);
-        self.emit(Op::Shl, Ty::B64, vec![wide.into(), Operand::Imm(bits as i64)])
+        self.emit(
+            Op::Shl,
+            Ty::B64,
+            vec![wide.into(), Operand::Imm(bits as i64)],
+        )
     }
 
     /// `shr.<ty> dst, a, bits` (arithmetic shift)
@@ -303,9 +309,12 @@ impl KernelBuilder {
     /// This deliberately breaks SSA the same way PTX loop iterators do, which
     /// is what the analyzer's multi-write detection keys on.
     pub fn assign_add(&mut self, ty: Ty, r: Reg, b: impl Into<Operand>) -> &mut Self {
-        self.kernel
-            .instrs
-            .push(Instr::new(Op::Add, ty, Some(Dst::Reg(r)), vec![r.into(), b.into()]));
+        self.kernel.instrs.push(Instr::new(
+            Op::Add,
+            ty,
+            Some(Dst::Reg(r)),
+            vec![r.into(), b.into()],
+        ));
         self
     }
 
@@ -390,7 +399,9 @@ impl KernelBuilder {
     /// Unconditional `bra label`.
     pub fn bra(&mut self, l: Label) -> &mut Self {
         let pc = self.kernel.instrs.len();
-        self.kernel.instrs.push(Instr::new(Op::Bra(u32::MAX), Ty::B32, None, vec![]));
+        self.kernel
+            .instrs
+            .push(Instr::new(Op::Bra(u32::MAX), Ty::B32, None, vec![]));
         self.pending.push((pc, l));
         self
     }
@@ -407,13 +418,17 @@ impl KernelBuilder {
 
     /// `bar.sync` — block-wide barrier.
     pub fn bar(&mut self) -> &mut Self {
-        self.kernel.instrs.push(Instr::new(Op::Bar, Ty::B32, None, vec![]));
+        self.kernel
+            .instrs
+            .push(Instr::new(Op::Bar, Ty::B32, None, vec![]));
         self
     }
 
     /// `exit`
     pub fn exit(&mut self) -> &mut Self {
-        self.kernel.instrs.push(Instr::new(Op::Exit, Ty::B32, None, vec![]));
+        self.kernel
+            .instrs
+            .push(Instr::new(Op::Exit, Ty::B32, None, vec![]));
         self
     }
 
@@ -490,7 +505,11 @@ impl KernelBuilder {
     ///
     /// Panics if no instruction has been pushed yet.
     pub fn guard_last(&mut self, p: PredReg, sense: bool) -> &mut Self {
-        let i = self.kernel.instrs.last_mut().expect("no instruction to guard");
+        let i = self
+            .kernel
+            .instrs
+            .last_mut()
+            .expect("no instruction to guard");
         i.guard = Some((p, sense));
         self
     }
@@ -505,7 +524,9 @@ impl KernelBuilder {
         match self.kernel.instrs.last() {
             Some(i) if i.guard.is_none() && matches!(i.op, Op::Exit) => {}
             _ => {
-                self.kernel.instrs.push(Instr::new(Op::Exit, Ty::B32, None, vec![]));
+                self.kernel
+                    .instrs
+                    .push(Instr::new(Op::Exit, Ty::B32, None, vec![]));
             }
         }
         for (pc, l) in &self.pending {
@@ -549,7 +570,11 @@ mod tests {
         let k = b.build();
         assert!(k.validate().is_ok());
         // The backward branch targets the assign_add.
-        let bra = k.instrs.iter().find(|x| matches!(x.op, Op::Bra(_))).unwrap();
+        let bra = k
+            .instrs
+            .iter()
+            .find(|x| matches!(x.op, Op::Bra(_)))
+            .unwrap();
         if let Op::Bra(t) = bra.op {
             assert_eq!(t, 1);
         }

@@ -52,10 +52,9 @@ impl Cfg {
                         leader[pc + 1] = true;
                     }
                 }
-                Op::Exit
-                    if pc + 1 < n => {
-                        leader[pc + 1] = true;
-                    }
+                Op::Exit if pc + 1 < n => {
+                    leader[pc + 1] = true;
+                }
                 _ => {}
             }
         }
@@ -66,7 +65,12 @@ impl Cfg {
         let mut blocks: Vec<BasicBlock> = Vec::with_capacity(starts.len());
         for (bi, &s) in starts.iter().enumerate() {
             let e = starts.get(bi + 1).copied().unwrap_or(n);
-            blocks.push(BasicBlock { start: s, end: e, succs: Vec::new(), preds: Vec::new() });
+            blocks.push(BasicBlock {
+                start: s,
+                end: e,
+                succs: Vec::new(),
+                preds: Vec::new(),
+            });
         }
         let mut block_of = vec![0usize; n];
         for (bi, b) in blocks.iter().enumerate() {
@@ -117,7 +121,11 @@ impl Cfg {
             }
         }
         let ipdom = Self::compute_ipdom(&blocks);
-        Cfg { blocks, block_of, ipdom }
+        Cfg {
+            blocks,
+            block_of,
+            ipdom,
+        }
     }
 
     /// Iterative post-dominator computation with a virtual exit node.
@@ -128,7 +136,7 @@ impl Cfg {
     fn compute_ipdom(blocks: &[BasicBlock]) -> Vec<Option<usize>> {
         let n = blocks.len();
         let exit = n; // virtual exit node id
-        // Successor function including virtual exit.
+                      // Successor function including virtual exit.
         let succs = |b: usize| -> Vec<usize> {
             if b == exit {
                 Vec::new()
@@ -272,7 +280,10 @@ mod tests {
             .unwrap();
         let join_block = cfg.block_of[join_pc];
         assert_eq!(cfg.ipdom[entry], Some(join_block));
-        assert_eq!(cfg.reconvergence_pc(entry), Some(cfg.blocks[join_block].start));
+        assert_eq!(
+            cfg.reconvergence_pc(entry),
+            Some(cfg.blocks[join_block].start)
+        );
     }
 
     #[test]
@@ -285,7 +296,11 @@ mod tests {
         b.bra_if(p, true, top);
         let k = b.build();
         let cfg = Cfg::build(&k);
-        let bra_pc = k.instrs.iter().position(|x| matches!(x.op, Op::Bra(_))).unwrap();
+        let bra_pc = k
+            .instrs
+            .iter()
+            .position(|x| matches!(x.op, Op::Bra(_)))
+            .unwrap();
         if let Op::Bra(t) = k.instrs[bra_pc].op {
             assert!(cfg.is_back_edge(bra_pc, t as usize));
         }

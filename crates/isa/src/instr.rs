@@ -377,7 +377,10 @@ impl Operand {
 
     /// `true` if the operand is one of the R2D2 register classes.
     pub fn is_r2d2_class(self) -> bool {
-        matches!(self, Operand::Tr(_) | Operand::Br(_) | Operand::Cr(_) | Operand::Lr(_))
+        matches!(
+            self,
+            Operand::Tr(_) | Operand::Br(_) | Operand::Cr(_) | Operand::Lr(_)
+        )
     }
 }
 
@@ -493,7 +496,14 @@ pub struct Instr {
 impl Instr {
     /// A new unguarded instruction without a memory reference.
     pub fn new(op: Op, ty: Ty, dst: Option<Dst>, srcs: Vec<Operand>) -> Self {
-        Instr { op, ty, dst, srcs, guard: None, mem: None }
+        Instr {
+            op,
+            ty,
+            dst,
+            srcs,
+            guard: None,
+            mem: None,
+        }
     }
 
     /// Attach a predicate guard.
@@ -520,7 +530,10 @@ impl Instr {
     /// memory base — not guards).
     pub fn src_regs(&self) -> impl Iterator<Item = Reg> + '_ {
         let mem_base = match self.mem {
-            Some(MemRef { base: Operand::Reg(r), .. }) => Some(r),
+            Some(MemRef {
+                base: Operand::Reg(r),
+                ..
+            }) => Some(r),
             _ => None,
         };
         self.srcs
@@ -649,21 +662,37 @@ mod tests {
 
     #[test]
     fn display_ld_param() {
-        let i = Instr::new(Op::LdParam, Ty::B64, Some(Dst::Reg(Reg(4))), vec![Operand::Imm(0)]);
+        let i = Instr::new(
+            Op::LdParam,
+            Ty::B64,
+            Some(Dst::Reg(Reg(4))),
+            vec![Operand::Imm(0)],
+        );
         assert_eq!(i.to_string(), "ld.param.b64 %r4, [P0];");
     }
 
     #[test]
     fn display_ld_global_with_cr_offset() {
-        let i = Instr::new(Op::Ld(MemSpace::Global), Ty::F32, Some(Dst::Reg(Reg(1))), vec![])
-            .with_mem(MemRef { base: Operand::Lr(1), offset: MemOffset::Cr(7) });
+        let i = Instr::new(
+            Op::Ld(MemSpace::Global),
+            Ty::F32,
+            Some(Dst::Reg(Reg(1))),
+            vec![],
+        )
+        .with_mem(MemRef {
+            base: Operand::Lr(1),
+            offset: MemOffset::Cr(7),
+        });
         assert_eq!(i.to_string(), "ld.global.f32 %r1, [%lr1+%cr7];");
     }
 
     #[test]
     fn display_store_and_guard() {
         let i = Instr::new(Op::St(MemSpace::Global), Ty::F32, None, vec![Reg(3).into()])
-            .with_mem(MemRef { base: Operand::Reg(Reg(2)), offset: MemOffset::Imm(8) })
+            .with_mem(MemRef {
+                base: Operand::Reg(Reg(2)),
+                offset: MemOffset::Imm(8),
+            })
             .with_guard(PredReg(0), false);
         assert_eq!(i.to_string(), "@!%p0 st.global.f32 [%r2+8], %r3;");
     }
@@ -685,18 +714,37 @@ mod tests {
 
     #[test]
     fn linear_listed_ops() {
-        for op in [Op::Mov, Op::Cvt, Op::Add, Op::Sub, Op::Mul, Op::Mad, Op::Shl, Op::LdParam] {
+        for op in [
+            Op::Mov,
+            Op::Cvt,
+            Op::Add,
+            Op::Sub,
+            Op::Mul,
+            Op::Mad,
+            Op::Shl,
+            Op::LdParam,
+        ] {
             assert!(op.is_linear_listed());
         }
-        for op in [Op::Shr, Op::And, Op::Div, Op::Selp, Op::Ld(MemSpace::Global)] {
+        for op in [
+            Op::Shr,
+            Op::And,
+            Op::Div,
+            Op::Selp,
+            Op::Ld(MemSpace::Global),
+        ] {
             assert!(!op.is_linear_listed());
         }
     }
 
     #[test]
     fn src_regs_includes_mem_base() {
-        let i = Instr::new(Op::St(MemSpace::Global), Ty::F32, None, vec![Reg(3).into()])
-            .with_mem(MemRef { base: Operand::Reg(Reg(2)), offset: MemOffset::Imm(0) });
+        let i = Instr::new(Op::St(MemSpace::Global), Ty::F32, None, vec![Reg(3).into()]).with_mem(
+            MemRef {
+                base: Operand::Reg(Reg(2)),
+                offset: MemOffset::Imm(0),
+            },
+        );
         let regs: Vec<Reg> = i.src_regs().collect();
         assert_eq!(regs, vec![Reg(3), Reg(2)]);
     }

@@ -69,7 +69,10 @@ impl fmt::Display for ValidateError {
                 write!(f, "instruction {pc}: branch target {target} out of range")
             }
             ValidateError::BadArity { pc, got, want } => {
-                write!(f, "instruction {pc}: expected {want} source operands, found {got}")
+                write!(
+                    f,
+                    "instruction {pc}: expected {want} source operands, found {got}"
+                )
             }
             ValidateError::BadMemRef { pc } => {
                 write!(f, "instruction {pc}: invalid memory reference")
@@ -90,7 +93,12 @@ impl std::error::Error for ValidateError {}
 impl Kernel {
     /// Create an empty kernel.
     pub fn new(name: impl Into<String>, num_params: usize) -> Self {
-        Kernel { name: name.into(), num_params, instrs: Vec::new(), shared_bytes: 0 }
+        Kernel {
+            name: name.into(),
+            num_params,
+            instrs: Vec::new(),
+            shared_bytes: 0,
+        }
     }
 
     /// Number of distinct GP virtual registers used (max id + 1).
@@ -170,7 +178,11 @@ impl Kernel {
             }
             if let Some(want) = Self::arity(i.op) {
                 if i.srcs.len() != want {
-                    return Err(ValidateError::BadArity { pc, got: i.srcs.len(), want });
+                    return Err(ValidateError::BadArity {
+                        pc,
+                        got: i.srcs.len(),
+                        want,
+                    });
                 }
             }
             let needs_mem = i.op.is_mem();
@@ -183,13 +195,16 @@ impl Kernel {
                     Some(Operand::Imm(p)) => {
                         return Err(ValidateError::BadParam { pc, param: *p });
                     }
-                    _ => return Err(ValidateError::BadArity { pc, got: i.srcs.len(), want: 1 }),
+                    _ => {
+                        return Err(ValidateError::BadArity {
+                            pc,
+                            got: i.srcs.len(),
+                            want: 1,
+                        })
+                    }
                 }
             }
-            let needs_dst = !matches!(
-                i.op,
-                Op::St(_) | Op::Bra(_) | Op::Bar | Op::Exit
-            );
+            let needs_dst = !matches!(i.op, Op::St(_) | Op::Bra(_) | Op::Bar | Op::Exit);
             match (needs_dst, i.dst.is_some()) {
                 (true, false) => return Err(ValidateError::BadDst { pc }),
                 (false, true) if !matches!(i.op, Op::Atom(_)) => {
@@ -217,7 +232,11 @@ impl Kernel {
 
 impl fmt::Display for Kernel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, ".kernel {} params={} shared={} {{", self.name, self.num_params, self.shared_bytes)?;
+        writeln!(
+            f,
+            ".kernel {} params={} shared={} {{",
+            self.name, self.num_params, self.shared_bytes
+        )?;
         for (pc, i) in self.instrs.iter().enumerate() {
             writeln!(f, "  /*{pc:04}*/ {i}")?;
         }
@@ -252,29 +271,57 @@ mod tests {
         let mut k = Kernel::new("k", 0);
         k.instrs.push(Instr::new(Op::Bra(5), Ty::B32, None, vec![]));
         k.instrs.push(exit());
-        assert_eq!(k.validate(), Err(ValidateError::BadBranchTarget { pc: 0, target: 5 }));
+        assert_eq!(
+            k.validate(),
+            Err(ValidateError::BadBranchTarget { pc: 0, target: 5 })
+        );
     }
 
     #[test]
     fn arity_checked() {
         let mut k = Kernel::new("k", 0);
-        k.instrs.push(Instr::new(Op::Add, Ty::B32, Some(Dst::Reg(Reg(0))), vec![Reg(1).into()]));
+        k.instrs.push(Instr::new(
+            Op::Add,
+            Ty::B32,
+            Some(Dst::Reg(Reg(0))),
+            vec![Reg(1).into()],
+        ));
         k.instrs.push(exit());
-        assert_eq!(k.validate(), Err(ValidateError::BadArity { pc: 0, got: 1, want: 2 }));
+        assert_eq!(
+            k.validate(),
+            Err(ValidateError::BadArity {
+                pc: 0,
+                got: 1,
+                want: 2
+            })
+        );
     }
 
     #[test]
     fn param_range_checked() {
         let mut k = Kernel::new("k", 1);
-        k.instrs.push(Instr::new(Op::LdParam, Ty::B64, Some(Dst::Reg(Reg(0))), vec![Operand::Imm(3)]));
+        k.instrs.push(Instr::new(
+            Op::LdParam,
+            Ty::B64,
+            Some(Dst::Reg(Reg(0))),
+            vec![Operand::Imm(3)],
+        ));
         k.instrs.push(exit());
-        assert_eq!(k.validate(), Err(ValidateError::BadParam { pc: 0, param: 3 }));
+        assert_eq!(
+            k.validate(),
+            Err(ValidateError::BadParam { pc: 0, param: 3 })
+        );
     }
 
     #[test]
     fn mem_ref_required() {
         let mut k = Kernel::new("k", 0);
-        k.instrs.push(Instr::new(Op::Ld(MemSpace::Global), Ty::F32, Some(Dst::Reg(Reg(0))), vec![]));
+        k.instrs.push(Instr::new(
+            Op::Ld(MemSpace::Global),
+            Ty::F32,
+            Some(Dst::Reg(Reg(0))),
+            vec![],
+        ));
         k.instrs.push(exit());
         assert_eq!(k.validate(), Err(ValidateError::BadMemRef { pc: 0 }));
     }
@@ -303,7 +350,10 @@ mod tests {
         ));
         k.instrs.push(
             Instr::new(Op::St(MemSpace::Global), Ty::B32, None, vec![Reg(3).into()]).with_mem(
-                MemRef { base: Operand::Reg(Reg(9)), offset: MemOffset::Imm(0) },
+                MemRef {
+                    base: Operand::Reg(Reg(9)),
+                    offset: MemOffset::Imm(0),
+                },
             ),
         );
         k.instrs.push(exit());

@@ -30,7 +30,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line, msg: msg.into() })
+    Err(ParseError {
+        line,
+        msg: msg.into(),
+    })
 }
 
 /// Parse a kernel from its textual form.
@@ -90,16 +93,24 @@ pub fn parse_kernel(src: &str) -> Result<Kernel, ParseError> {
                 return err(line, "multiple .kernel headers");
             }
             header_seen = true;
-            let rest = t.trim_start_matches(".kernel").trim().trim_end_matches('{').trim();
+            let rest = t
+                .trim_start_matches(".kernel")
+                .trim()
+                .trim_end_matches('{')
+                .trim();
             for (i, tok) in rest.split_whitespace().enumerate() {
                 if i == 0 {
                     name = tok.to_string();
                 } else if let Some(v) = tok.strip_prefix("params=") {
-                    num_params =
-                        v.parse().map_err(|_| ParseError { line, msg: "bad params=".into() })?;
+                    num_params = v.parse().map_err(|_| ParseError {
+                        line,
+                        msg: "bad params=".into(),
+                    })?;
                 } else if let Some(v) = tok.strip_prefix("shared=") {
-                    shared_bytes =
-                        v.parse().map_err(|_| ParseError { line, msg: "bad shared=".into() })?;
+                    shared_bytes = v.parse().map_err(|_| ParseError {
+                        line,
+                        msg: "bad shared=".into(),
+                    })?;
                 } else {
                     return err(line, format!("unexpected header token `{tok}`"));
                 }
@@ -171,7 +182,12 @@ pub fn parse_kernel(src: &str) -> Result<Kernel, ParseError> {
         instrs.push(parse_instr(*line, stmt, &labels)?);
     }
 
-    Ok(Kernel { name, num_params, instrs, shared_bytes })
+    Ok(Kernel {
+        name,
+        num_params,
+        instrs,
+        shared_bytes,
+    })
 }
 
 fn parse_instr(
@@ -249,9 +265,14 @@ fn parse_instr(
             let inner = ops[1]
                 .strip_prefix("[P")
                 .and_then(|x| x.strip_suffix(']'))
-                .ok_or(ParseError { line, msg: "ld.param needs [Pn]".into() })?;
-            let n: i64 =
-                inner.parse().map_err(|_| ParseError { line, msg: "bad param index".into() })?;
+                .ok_or(ParseError {
+                    line,
+                    msg: "ld.param needs [Pn]".into(),
+                })?;
+            let n: i64 = inner.parse().map_err(|_| ParseError {
+                line,
+                msg: "bad param index".into(),
+            })?;
             Instr::new(Op::LdParam, ty, Some(dst), vec![Operand::Imm(n)])
         }
         "ld" | "st" | "atom" => {
@@ -411,7 +432,10 @@ fn parse_pred(line: usize, s: &str) -> Result<PredReg, ParseError> {
     s.strip_prefix("%p")
         .and_then(|x| x.parse().ok())
         .map(PredReg)
-        .ok_or(ParseError { line, msg: format!("expected predicate register, got `{s}`") })
+        .ok_or(ParseError {
+            line,
+            msg: format!("expected predicate register, got `{s}`"),
+        })
 }
 
 fn parse_dst(line: usize, s: &str) -> Result<Dst, ParseError> {
@@ -523,7 +547,10 @@ fn parse_memref(line: usize, s: &str) -> Result<MemRef, ParseError> {
     let inner = s
         .strip_prefix('[')
         .and_then(|x| x.strip_suffix(']'))
-        .ok_or(ParseError { line, msg: format!("expected [addr], got `{s}`") })?;
+        .ok_or(ParseError {
+            line,
+            msg: format!("expected [addr], got `{s}`"),
+        })?;
     // forms: base | base+imm | base-imm | base+%crN | base+%crN+imm
     // Split at the FIRST +/- after the base register (the offset part may
     // itself contain a '+', e.g. `%lr0+%cr9+768`).
@@ -549,20 +576,25 @@ fn parse_memref(line: usize, s: &str) -> Result<MemRef, ParseError> {
                     Some(p) => (&x[..p], Some(&x[p..])),
                     None => (x, None),
                 };
-                let cr: u16 =
-                    crs.parse().map_err(|_| ParseError { line, msg: "bad %cr".into() })?;
+                let cr: u16 = crs.parse().map_err(|_| ParseError {
+                    line,
+                    msg: "bad %cr".into(),
+                })?;
                 match rest {
                     None => MemOffset::Cr(cr),
                     Some(r) => {
-                        let v: i64 = r
-                            .parse()
-                            .map_err(|_| ParseError { line, msg: "bad %cr offset".into() })?;
+                        let v: i64 = r.parse().map_err(|_| ParseError {
+                            line,
+                            msg: "bad %cr offset".into(),
+                        })?;
                         MemOffset::CrImm(cr, v)
                     }
                 }
             } else {
-                let v: i64 =
-                    tok.parse().map_err(|_| ParseError { line, msg: "bad offset".into() })?;
+                let v: i64 = tok.parse().map_err(|_| ParseError {
+                    line,
+                    msg: "bad offset".into(),
+                })?;
                 MemOffset::Imm(sign * v)
             }
         }
@@ -625,15 +657,24 @@ DONE:
         let k = parse_kernel(src).unwrap();
         assert_eq!(
             k.instrs[1].mem,
-            Some(MemRef { base: Operand::Reg(Reg(0)), offset: MemOffset::Imm(8) })
+            Some(MemRef {
+                base: Operand::Reg(Reg(0)),
+                offset: MemOffset::Imm(8)
+            })
         );
         assert_eq!(
             k.instrs[2].mem,
-            Some(MemRef { base: Operand::Reg(Reg(0)), offset: MemOffset::Imm(-4) })
+            Some(MemRef {
+                base: Operand::Reg(Reg(0)),
+                offset: MemOffset::Imm(-4)
+            })
         );
         assert_eq!(
             k.instrs[5].mem,
-            Some(MemRef { base: Operand::Lr(1), offset: MemOffset::Cr(7) })
+            Some(MemRef {
+                base: Operand::Lr(1),
+                offset: MemOffset::Cr(7)
+            })
         );
     }
 

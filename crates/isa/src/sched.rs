@@ -232,9 +232,7 @@ mod tests {
         let k = b.build();
         let s = schedule(&k);
         assert!(s.validate().is_ok());
-        let pos = |pred: &dyn Fn(&Instr) -> bool| {
-            s.instrs.iter().position(pred).unwrap()
-        };
+        let pos = |pred: &dyn Fn(&Instr) -> bool| s.instrs.iter().position(pred).unwrap();
         let first_add = pos(&|i: &Instr| i.op == Op::Add && i.ty == Ty::F32);
         let last_load = s
             .instrs
@@ -255,9 +253,18 @@ mod tests {
         b.st_global(Ty::B32, p, 4, v1);
         let k = b.build();
         let s = schedule(&k);
-        let st0 = s.instrs.iter().position(|i| matches!(i.op, Op::St(_))).unwrap();
-        let ld_after = s.instrs[st0..].iter().any(|i| matches!(i.op, Op::Ld(MemSpace::Global)));
-        assert!(ld_after, "second load must stay after the first store:\n{s}");
+        let st0 = s
+            .instrs
+            .iter()
+            .position(|i| matches!(i.op, Op::St(_)))
+            .unwrap();
+        let ld_after = s.instrs[st0..]
+            .iter()
+            .any(|i| matches!(i.op, Op::Ld(MemSpace::Global)));
+        assert!(
+            ld_after,
+            "second load must stay after the first store:\n{s}"
+        );
     }
 
     #[test]
@@ -311,7 +318,11 @@ mod tests {
         // The backward branch still targets the loop head region and the
         // loop still terminates with the same behavior (functionally checked
         // in the sim crate's integration tests).
-        let bra = s.instrs.iter().find(|x| matches!(x.op, Op::Bra(_))).unwrap();
+        let bra = s
+            .instrs
+            .iter()
+            .find(|x| matches!(x.op, Op::Bra(_)))
+            .unwrap();
         if let Op::Bra(t) = bra.op {
             assert!((t as usize) < s.instrs.len());
         }

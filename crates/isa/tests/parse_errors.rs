@@ -18,13 +18,21 @@ fn missing_header() {
 fn header_typos() {
     assert!(parse_kernel(".kernel k params=x {\n exit;\n}").is_err());
     assert!(parse_kernel(".kernel k bogus=3 {\n exit;\n}").is_err());
-    assert!(parse_kernel(".kernel k params=1 {\n exit;\n}\n.kernel j params=0 {\n exit;\n}").is_err());
+    assert!(
+        parse_kernel(".kernel k params=1 {\n exit;\n}\n.kernel j params=0 {\n exit;\n}").is_err()
+    );
 }
 
 #[test]
 fn bad_mnemonics_and_operands() {
-    fails_at(".kernel k params=0 {\n frobnicate.b32 %r0, %r1;\n exit;\n}", 2);
-    fails_at(".kernel k params=0 {\n add.b32 %r0, %bogus, 1;\n exit;\n}", 2);
+    fails_at(
+        ".kernel k params=0 {\n frobnicate.b32 %r0, %r1;\n exit;\n}",
+        2,
+    );
+    fails_at(
+        ".kernel k params=0 {\n add.b32 %r0, %bogus, 1;\n exit;\n}",
+        2,
+    );
     fails_at(".kernel k params=0 {\n mov.b32 %r0, 12abc;\n exit;\n}", 2);
 }
 
@@ -35,9 +43,18 @@ fn missing_semicolon() {
 
 #[test]
 fn bad_memrefs() {
-    fails_at(".kernel k params=1 {\n ld.global.f32 %r0, %r1;\n exit;\n}", 2);
-    fails_at(".kernel k params=1 {\n ld.param.b64 %r0, [Q0];\n exit;\n}", 2);
-    fails_at(".kernel k params=1 {\n ld.global.f32 %r0, [%r1+xyz];\n exit;\n}", 2);
+    fails_at(
+        ".kernel k params=1 {\n ld.global.f32 %r0, %r1;\n exit;\n}",
+        2,
+    );
+    fails_at(
+        ".kernel k params=1 {\n ld.param.b64 %r0, [Q0];\n exit;\n}",
+        2,
+    );
+    fails_at(
+        ".kernel k params=1 {\n ld.global.f32 %r0, [%r1+xyz];\n exit;\n}",
+        2,
+    );
 }
 
 #[test]
@@ -48,7 +65,10 @@ fn duplicate_and_unknown_labels() {
 
 #[test]
 fn setp_requires_predicate_destination() {
-    fails_at(".kernel k params=0 {\n setp.lt.b32 %r0, %r1, %r2;\n exit;\n}", 2);
+    fails_at(
+        ".kernel k params=0 {\n setp.lt.b32 %r0, %r1, %r2;\n exit;\n}",
+        2,
+    );
 }
 
 #[test]
@@ -73,7 +93,8 @@ fn comments_and_whitespace_are_tolerated() {
     // above is rejected cleanly rather than panicking.
     let res = parse_kernel(src);
     assert!(res.is_err());
-    let src_ok = ".kernel k params=1 {\n mov.b32 %r0, %tid.x; /* c */ add.b32 %r1, %r0, 1;\n exit;\n}";
+    let src_ok =
+        ".kernel k params=1 {\n mov.b32 %r0, %tid.x; /* c */ add.b32 %r1, %r0, 1;\n exit;\n}";
     let k = parse_kernel(src_ok).unwrap();
     assert_eq!(k.instrs.len(), 3);
 }

@@ -1,0 +1,184 @@
+//! Property: any kernel built from random (valid) instructions survives a
+//! Display -> parse round trip bit-exactly, and the CFG invariants hold.
+//! Cases come from the in-repo seeded PRNG, so the suite is deterministic
+//! and dependency-free.
+
+use r2d2_isa::{
+    parse_kernel, Cfg, CmpOp, Dst, Instr, Kernel, MemOffset, MemRef, MemSpace, Op, Operand,
+    PredReg, Reg, SfuOp, Ty,
+};
+use r2d2_sym::Rng;
+
+const CASES: usize = 192;
+
+fn gen_ty(r: &mut Rng) -> Ty {
+    *r.choose(&[Ty::B32, Ty::B64, Ty::F32, Ty::F64])
+}
+
+fn gen_operand(r: &mut Rng) -> Operand {
+    match r.below(5) {
+        0 => Operand::Reg(Reg(r.gen_range(0u16..16))),
+        1 => Operand::Imm(r.gen_range(-1000i64..1000)),
+        2 => Operand::Tr(r.gen_range(0u16..4)),
+        3 => Operand::Cr(r.gen_range(0u16..4)),
+        _ => Operand::Lr(r.gen_range(0u16..4)),
+    }
+}
+
+fn gen_instr(r: &mut Rng) -> Instr {
+    match r.below(8) {
+        0 | 1 => {
+            // binary ALU
+            let op = *r.choose(&[
+                Op::Add,
+                Op::Sub,
+                Op::Mul,
+                Op::Shl,
+                Op::Shr,
+                Op::And,
+                Op::Or,
+                Op::Xor,
+                Op::Min,
+                Op::Max,
+                Op::Div,
+                Op::Rem,
+            ]);
+            let d = Reg(r.gen_range(0u16..16));
+            let (a, b) = (gen_operand(r), gen_operand(r));
+            Instr::new(op, gen_ty(r), Some(Dst::Reg(d)), vec![a, b])
+        }
+        2 => {
+            // unary
+            let op = *r.choose(&[Op::Mov, Op::Cvt, Op::Not, Op::Abs, Op::Neg]);
+            let d = Reg(r.gen_range(0u16..16));
+            let a = gen_operand(r);
+            Instr::new(op, gen_ty(r), Some(Dst::Reg(d)), vec![a])
+        }
+        3 => {
+            // sfu
+            let s = *r.choose(&[
+                SfuOp::Rcp,
+                SfuOp::Sqrt,
+                SfuOp::Rsqrt,
+                SfuOp::Ex2,
+                SfuOp::Lg2,
+                SfuOp::Sin,
+                SfuOp::Cos,
+            ]);
+            let d = Reg(r.gen_range(0u16..16));
+            let a = gen_operand(r);
+            Instr::new(Op::Sfu(s), Ty::F32, Some(Dst::Reg(d)), vec![a])
+        }
+        4 => {
+            // mad
+            let d = Reg(r.gen_range(0u16..16));
+            let (a, b, c) = (gen_operand(r), gen_operand(r), gen_operand(r));
+            Instr::new(Op::Mad, gen_ty(r), Some(Dst::Reg(d)), vec![a, b, c])
+        }
+        5 => {
+            // setp
+            let c = *r.choose(&[
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+            ]);
+            let p = PredReg(r.gen_range(0u16..4));
+            let (a, b) = (gen_operand(r), gen_operand(r));
+            Instr::new(Op::Setp(c), gen_ty(r), Some(Dst::Pred(p)), vec![a, b])
+        }
+        6 => {
+            // memory: ld or st
+            let sp = *r.choose(&[MemSpace::Global, MemSpace::Shared]);
+            let base = Reg(r.gen_range(0u16..16));
+            let off = r.gen_range(-64i64..64);
+            let mem = MemRef {
+                base: Operand::Reg(base),
+                offset: MemOffset::Imm(off),
+            };
+            if r.gen_bool() {
+                let d = Reg(r.gen_range(0u16..16));
+                Instr::new(Op::Ld(sp), gen_ty(r), Some(Dst::Reg(d)), vec![]).with_mem(mem)
+            } else {
+                let v = gen_operand(r);
+                Instr::new(Op::St(sp), gen_ty(r), None, vec![v]).with_mem(mem)
+            }
+        }
+        _ => {
+            // param load
+            let d = Reg(r.gen_range(0u16..16));
+            let p = r.gen_range(0i64..4);
+            Instr::new(
+                Op::LdParam,
+                Ty::B64,
+                Some(Dst::Reg(d)),
+                vec![Operand::Imm(p)],
+            )
+        }
+    }
+}
+
+fn gen_kernel(r: &mut Rng) -> Kernel {
+    let n = r.gen_range(1usize..24);
+    let mut k = Kernel::new("prop", 4);
+    for _ in 0..n {
+        let mut i = gen_instr(r);
+        if r.below(3) == 0 {
+            i = i.with_guard(PredReg(r.gen_range(0u16..4)), r.gen_bool());
+        }
+        k.instrs.push(i);
+    }
+    // terminate
+    k.instrs.push(Instr::new(Op::Exit, Ty::B32, None, vec![]));
+    k
+}
+
+#[test]
+fn display_parse_roundtrip() {
+    let mut r = Rng::new(0x20d2d17);
+    for _ in 0..CASES {
+        let k = gen_kernel(&mut r);
+        assert!(k.validate().is_ok(), "{:?}", k.validate());
+        let text = k.to_string();
+        let parsed = parse_kernel(&text).unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        assert_eq!(k, parsed, "round-trip mismatch:\n{text}");
+    }
+}
+
+#[test]
+fn cfg_covers_all_instructions() {
+    let mut r = Rng::new(0xcf6);
+    for _ in 0..CASES {
+        let k = gen_kernel(&mut r);
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.block_of.len(), k.instrs.len());
+        for (pc, &b) in cfg.block_of.iter().enumerate() {
+            assert!(cfg.blocks[b].start <= pc && pc < cfg.blocks[b].end);
+        }
+        // Every successor edge has a matching predecessor edge.
+        for (bi, b) in cfg.blocks.iter().enumerate() {
+            for &s in &b.succs {
+                assert!(cfg.blocks[s].preds.contains(&bi));
+            }
+        }
+    }
+}
+
+#[test]
+fn num_regs_bounds_every_reference() {
+    let mut r = Rng::new(0xb0a2d);
+    for _ in 0..CASES {
+        let k = gen_kernel(&mut r);
+        let n = k.num_regs() as u16;
+        for i in &k.instrs {
+            if let Some(reg) = i.dst_reg() {
+                assert!(reg.0 < n);
+            }
+            for reg in i.src_regs() {
+                assert!(reg.0 < n);
+            }
+        }
+    }
+}

@@ -29,7 +29,14 @@ impl Cache {
         let num_sets = cfg.sets();
         Cache {
             sets: vec![
-                vec![Way { tag: 0, lru: 0, valid: false }; cfg.ways as usize];
+                vec![
+                    Way {
+                        tag: 0,
+                        lru: 0,
+                        valid: false
+                    };
+                    cfg.ways as usize
+                ];
                 num_sets as usize
             ],
             num_sets,
@@ -67,7 +74,11 @@ impl Cache {
                 victim = i;
             }
         }
-        ways[victim] = Way { tag, lru: self.tick, valid: true };
+        ways[victim] = Way {
+            tag,
+            lru: self.tick,
+            valid: true,
+        };
         false
     }
 
@@ -88,7 +99,11 @@ mod tests {
 
     fn small() -> Cache {
         // 4 sets x 2 ways x 128B lines = 1 KiB
-        Cache::new(CacheConfig { bytes: 1024, line: 128, ways: 2 })
+        Cache::new(CacheConfig {
+            bytes: 1024,
+            line: 128,
+            ways: 2,
+        })
     }
 
     #[test]

@@ -74,7 +74,11 @@ pub struct R2d2Latencies {
 impl Default for R2d2Latencies {
     fn default() -> Self {
         // The paper's operating point: small latencies fully hidden by TLP.
-        R2d2Latencies { fetch_table: 1, regid_calc: 1, lr_add: 4 }
+        R2d2Latencies {
+            fetch_table: 1,
+            regid_calc: 1,
+            lr_add: 4,
+        }
     }
 }
 
@@ -127,8 +131,16 @@ impl Default for GpuConfig {
             max_blocks_per_sm: 32,
             regfile_bytes: 256 * 1024,
             shared_bytes_per_sm: 96 * 1024,
-            l1: CacheConfig { bytes: 96 * 1024, line: 128, ways: 4 },
-            l2: CacheConfig { bytes: 4608 * 1024, line: 128, ways: 24 },
+            l1: CacheConfig {
+                bytes: 96 * 1024,
+                line: 128,
+                ways: 4,
+            },
+            l2: CacheConfig {
+                bytes: 4608 * 1024,
+                line: 128,
+                ways: 24,
+            },
             lat: Latencies::default(),
             dram_txns_per_cycle: 8,
             r2d2: R2d2Latencies::default(),
@@ -142,7 +154,10 @@ impl GpuConfig {
     /// Convenience: the Table 1 baseline with a different SM count
     /// (Sec. 5.8.2 sweeps 80..160 SMs).
     pub fn with_sms(num_sms: u32) -> Self {
-        GpuConfig { num_sms, ..Default::default() }
+        GpuConfig {
+            num_sms,
+            ..Default::default()
+        }
     }
 
     /// 4-byte registers available per SM.
@@ -171,7 +186,11 @@ mod tests {
 
     #[test]
     fn cache_sets() {
-        let c = CacheConfig { bytes: 96 * 1024, line: 128, ways: 4 };
+        let c = CacheConfig {
+            bytes: 96 * 1024,
+            line: 128,
+            ways: 4,
+        };
         assert_eq!(c.sets(), 192);
     }
 }

@@ -8,9 +8,7 @@
 
 use crate::linear::{LinearMeta, LinearStore, Phase};
 use crate::mem::GlobalMem;
-use r2d2_isa::{
-    AtomOp, CmpOp, Dst, Kernel, MemOffset, MemSpace, Op, Operand, SfuOp, Special, Ty,
-};
+use r2d2_isa::{AtomOp, CmpOp, Dst, Kernel, MemOffset, MemSpace, Op, Operand, SfuOp, Special, Ty};
 
 /// Warp width (paper Table 1: SIMD width 32).
 pub const WARP_SIZE: usize = 32;
@@ -69,15 +67,25 @@ impl WarpState {
         start_pc: usize,
     ) -> Self {
         let first = warp_in_block * WARP_SIZE as u32;
-        let lanes = threads_per_block.saturating_sub(first).min(WARP_SIZE as u32);
-        let init_mask = if lanes >= 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+        let lanes = threads_per_block
+            .saturating_sub(first)
+            .min(WARP_SIZE as u32);
+        let init_mask = if lanes >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << lanes) - 1
+        };
         WarpState {
             block_lin,
             ctaid,
             warp_in_block,
             regs: vec![0; num_regs * WARP_SIZE],
             preds: vec![0; num_preds],
-            stack: vec![StackEntry { pc: start_pc, rpc: NO_RPC, mask: init_mask }],
+            stack: vec![StackEntry {
+                pc: start_pc,
+                rpc: NO_RPC,
+                mask: init_mask,
+            }],
             exited: 0,
             init_mask,
             done: lanes == 0,
@@ -173,7 +181,12 @@ pub struct OperandVals {
 
 impl Default for OperandVals {
     fn default() -> Self {
-        OperandVals { nsrc: 0, srcs: [[0; WARP_SIZE]; 3], dst: [0; WARP_SIZE], has_dst: false }
+        OperandVals {
+            nsrc: 0,
+            srcs: [[0; WARP_SIZE]; 3],
+            dst: [0; WARP_SIZE],
+            has_dst: false,
+        }
     }
 }
 
@@ -210,7 +223,10 @@ impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExecError::Watchdog { pc, limit } => {
-                write!(f, "warp exceeded {limit} dynamic instructions at pc {pc} (infinite loop?)")
+                write!(
+                    f,
+                    "warp exceeded {limit} dynamic instructions at pc {pc} (infinite loop?)"
+                )
             }
         }
     }
@@ -345,7 +361,10 @@ impl<'a> WarpExec<'a> {
         };
         w.instr_count += 1;
         if w.instr_count > self.watchdog {
-            return Err(ExecError::Watchdog { pc, limit: self.watchdog });
+            return Err(ExecError::Watchdog {
+                pc,
+                limit: self.watchdog,
+            });
         }
         let instr = &self.kernel.instrs[pc];
         let phase = match &self.linear {
@@ -365,7 +384,11 @@ impl<'a> WarpExec<'a> {
             Phase::Coef => exec_mask = 1,
             Phase::Bidx => {
                 let (meta, _, _) = self.linear.as_ref().unwrap();
-                exec_mask = if meta.n_lr >= 32 { u32::MAX } else { (1u32 << meta.n_lr) - 1 };
+                exec_mask = if meta.n_lr >= 32 {
+                    u32::MAX
+                } else {
+                    (1u32 << meta.n_lr) - 1
+                };
             }
             _ => {}
         }
@@ -400,8 +423,16 @@ impl<'a> WarpExec<'a> {
                             .reconvergence_pc(self.cfg.block_of[pc])
                             .unwrap_or(NO_RPC);
                         top.pc = rpc;
-                        w.stack.push(StackEntry { pc: pc + 1, rpc, mask: not_taken });
-                        w.stack.push(StackEntry { pc: t, rpc, mask: taken });
+                        w.stack.push(StackEntry {
+                            pc: pc + 1,
+                            rpc,
+                            mask: not_taken,
+                        });
+                        w.stack.push(StackEntry {
+                            pc: t,
+                            rpc,
+                            mask: taken,
+                        });
                     }
                 }
                 return Ok(info);
@@ -804,6 +835,7 @@ mod tests {
     use super::*;
     use r2d2_isa::{Cfg, KernelBuilder, Operand};
 
+    #[allow(clippy::too_many_arguments)]
     fn run_to_completion(
         kernel: &Kernel,
         ctaid: [u32; 3],
@@ -872,7 +904,16 @@ mod tests {
             gmem.write_f32(a, i, i as f32);
             gmem.write_f32(bb, i, 100.0 + i as f32);
         }
-        run_to_completion(&k, [0; 3], 0, 32, [32, 1, 1], [1, 1, 1], &mut gmem, &[a, bb, c]);
+        run_to_completion(
+            &k,
+            [0; 3],
+            0,
+            32,
+            [32, 1, 1],
+            [1, 1, 1],
+            &mut gmem,
+            &[a, bb, c],
+        );
         for i in 0..32 {
             assert_eq!(gmem.read_f32(c, i), 100.0 + 2.0 * i as f32);
         }
@@ -953,7 +994,10 @@ mod tests {
         let out = gmem.alloc(32 * 4);
         run_to_completion(&k, [0; 3], 0, 32, [32, 1, 1], [1, 1, 1], &mut gmem, &[out]);
         for lane in 0..32i64 {
-            assert_eq!(gmem.read_i32(out, lane as u64), (lane * (lane - 1) / 2) as i32);
+            assert_eq!(
+                gmem.read_i32(out, lane as u64),
+                (lane * (lane - 1) / 2) as i32
+            );
         }
     }
 
@@ -1104,7 +1148,6 @@ mod tests {
         };
         let _ = ex.step(&mut w).unwrap(); // mov
         let _ = ex.step(&mut w).unwrap(); // add
-        drop(ex);
         assert_eq!(scratch.srcs[0][0], 5);
         assert_eq!(scratch.srcs[1][7], 3);
         assert_eq!(scratch.dst[31], 8);
@@ -1120,7 +1163,11 @@ mod tests {
             mask: u32::MAX,
             addrs: std::array::from_fn(|l| 0x1000 + 4 * l as u64),
         };
-        assert_eq!(mi.lines(128).len(), 1, "consecutive f32 accesses fit one line");
+        assert_eq!(
+            mi.lines(128).len(),
+            1,
+            "consecutive f32 accesses fit one line"
+        );
         let mi2 = MemInfo {
             addrs: std::array::from_fn(|l| 0x1000 + 128 * l as u64),
             ..mi

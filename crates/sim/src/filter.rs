@@ -77,11 +77,14 @@ impl IssueFilter for BaselineFilter {
         if ctx.instr.op.is_control() || ctx.instr.op.is_mem() {
             return Disposition::Execute;
         }
-        let const_only = ctx
-            .instr
-            .srcs
-            .iter()
-            .all(|s| matches!(s, Operand::Imm(_) | Operand::Special(r2d2_isa::Special::Ntid(_)) | Operand::Special(r2d2_isa::Special::Nctaid(_))));
+        let const_only = ctx.instr.srcs.iter().all(|s| {
+            matches!(
+                s,
+                Operand::Imm(_)
+                    | Operand::Special(r2d2_isa::Special::Ntid(_))
+                    | Operand::Special(r2d2_isa::Special::Nctaid(_))
+            )
+        });
         if const_only && !ctx.instr.srcs.is_empty() || ctx.instr.op == Op::LdParam {
             Disposition::Scalar
         } else {
@@ -120,9 +123,19 @@ mod tests {
     #[test]
     fn baseline_scalarizes_immediates() {
         let mut f = BaselineFilter;
-        let imm = Instr::new(Op::Mov, Ty::B32, Some(Dst::Reg(Reg(0))), vec![Operand::Imm(3)]);
+        let imm = Instr::new(
+            Op::Mov,
+            Ty::B32,
+            Some(Dst::Reg(Reg(0))),
+            vec![Operand::Imm(3)],
+        );
         assert_eq!(f.classify(&ctx(&imm)), Disposition::Scalar);
-        let ldp = Instr::new(Op::LdParam, Ty::B64, Some(Dst::Reg(Reg(0))), vec![Operand::Imm(0)]);
+        let ldp = Instr::new(
+            Op::LdParam,
+            Ty::B64,
+            Some(Dst::Reg(Reg(0))),
+            vec![Operand::Imm(0)],
+        );
         assert_eq!(f.classify(&ctx(&ldp)), Disposition::Scalar);
         let add = Instr::new(
             Op::Add,
@@ -136,7 +149,12 @@ mod tests {
     #[test]
     fn no_filter_always_executes() {
         let mut f = NoFilter;
-        let i = Instr::new(Op::Mov, Ty::B32, Some(Dst::Reg(Reg(0))), vec![Operand::Imm(3)]);
+        let i = Instr::new(
+            Op::Mov,
+            Ty::B32,
+            Some(Dst::Reg(Reg(0))),
+            vec![Operand::Imm(3)],
+        );
         assert_eq!(f.classify(&ctx(&i)), Disposition::Execute);
     }
 }

@@ -121,7 +121,11 @@ impl<'a> BlockRun<'a> {
                         kernel: self.kernel,
                         cfg: self.cfg,
                         params: &self.launch.params,
-                        ntid: [self.launch.block.x, self.launch.block.y, self.launch.block.z],
+                        ntid: [
+                            self.launch.block.x,
+                            self.launch.block.y,
+                            self.launch.block.z,
+                        ],
                         nctaid: [self.launch.grid.x, self.launch.grid.y, self.launch.grid.z],
                         smid: 0,
                         gmem,
@@ -186,7 +190,12 @@ pub fn run(
 ) -> Result<FuncStats, ExecError> {
     let kernel = &launch.kernel;
     let cfg = Cfg::build(kernel);
-    let runner = BlockRun { kernel, cfg: &cfg, launch, watchdog };
+    let runner = BlockRun {
+        kernel,
+        cfg: &cfg,
+        launch,
+        watchdog,
+    };
     let mut stats = FuncStats::default();
     let tpb = launch.threads_per_block();
     let wpb = launch.warps_per_block();
@@ -227,10 +236,18 @@ pub fn run_r2d2(
     watchdog: u64,
     mut obs: Option<&mut dyn Observer>,
 ) -> Result<FuncStats, ExecError> {
-    let meta = launch.meta.as_ref().expect("run_r2d2 requires linear metadata");
+    let meta = launch
+        .meta
+        .as_ref()
+        .expect("run_r2d2 requires linear metadata");
     let kernel = &launch.kernel;
     let cfg = Cfg::build(kernel);
-    let runner = BlockRun { kernel, cfg: &cfg, launch, watchdog };
+    let runner = BlockRun {
+        kernel,
+        cfg: &cfg,
+        launch,
+        watchdog,
+    };
     let mut stats = FuncStats::default();
     let tpb = launch.threads_per_block();
     let wpb = launch.warps_per_block();
@@ -241,13 +258,13 @@ pub fn run_r2d2(
     // Helper: run one warp from `start` until its pc reaches `stop` (linear
     // blocks are straight-line, so pc increases monotonically).
     let run_range = |store: &mut LinearStore,
-                         gmem: &mut GlobalMem,
-                         stats: &mut FuncStats,
-                         blk: u64,
-                         ctaid: [u32; 3],
-                         wib: u32,
-                         start: usize,
-                         stop: usize|
+                     gmem: &mut GlobalMem,
+                     stats: &mut FuncStats,
+                     blk: u64,
+                     ctaid: [u32; 3],
+                     wib: u32,
+                     start: usize,
+                     stop: usize|
      -> Result<(), ExecError> {
         let mut w = WarpState::new(nregs, npreds, blk, ctaid, wib, tpb, start);
         let mut smem: Vec<u8> = Vec::new();
@@ -275,15 +292,42 @@ pub fn run_r2d2(
     };
 
     // 1. Coefficients (single thread).
-    run_range(&mut store, gmem, &mut stats, 0, [0; 3], 0, meta.coef_start, meta.tidx_start)?;
+    run_range(
+        &mut store,
+        gmem,
+        &mut stats,
+        0,
+        [0; 3],
+        0,
+        meta.coef_start,
+        meta.tidx_start,
+    )?;
     // 2. Thread-index parts (every warp of the first block).
     for wib in 0..wpb {
-        run_range(&mut store, gmem, &mut stats, 0, [0; 3], wib, meta.tidx_start, meta.bidx_start)?;
+        run_range(
+            &mut store,
+            gmem,
+            &mut stats,
+            0,
+            [0; 3],
+            wib,
+            meta.tidx_start,
+            meta.bidx_start,
+        )?;
     }
     // 3. Per block: block-index parts then the non-linear stream.
     for blk in 0..launch.num_blocks() {
         let ctaid = launch.grid.unflatten(blk);
-        run_range(&mut store, gmem, &mut stats, blk, ctaid, 0, meta.bidx_start, meta.main_start)?;
+        run_range(
+            &mut store,
+            gmem,
+            &mut stats,
+            blk,
+            ctaid,
+            0,
+            meta.bidx_start,
+            meta.main_start,
+        )?;
         let mut warps: Vec<WarpState> = (0..wpb)
             .map(|wib| WarpState::new(nregs, npreds, blk, ctaid, wib, tpb, meta.main_start))
             .collect();

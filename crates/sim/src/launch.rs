@@ -71,7 +71,13 @@ pub struct Launch {
 impl Launch {
     /// A plain (non-R2D2) launch.
     pub fn new(kernel: Kernel, grid: Dim3, block: Dim3, params: Vec<u64>) -> Self {
-        Launch { kernel, grid, block, params, meta: None }
+        Launch {
+            kernel,
+            grid,
+            block,
+            params,
+            meta: None,
+        }
     }
 
     /// Threads per block.

@@ -20,7 +20,10 @@ impl GlobalMem {
     /// Empty memory. Address 0 is reserved (never allocated) to catch
     /// null-pointer style bugs.
     pub fn new() -> Self {
-        GlobalMem { data: Vec::new(), next: ALIGN }
+        GlobalMem {
+            data: Vec::new(),
+            next: ALIGN,
+        }
     }
 
     /// Allocate `bytes` of zeroed device memory; returns the base address.
@@ -101,7 +104,8 @@ impl GlobalMem {
     pub fn write(&mut self, ty: Ty, addr: u64, val: u64) {
         match ty {
             Ty::B32 | Ty::F32 => {
-                self.slice_mut(addr, 4).copy_from_slice(&(val as u32).to_le_bytes());
+                self.slice_mut(addr, 4)
+                    .copy_from_slice(&(val as u32).to_le_bytes());
             }
             Ty::B64 | Ty::F64 => {
                 self.slice_mut(addr, 8).copy_from_slice(&val.to_le_bytes());

@@ -113,16 +113,26 @@ mod tests {
 
     #[test]
     fn linear_share() {
-        let mut s = Stats::default();
-        s.warp_instrs = 100;
-        s.warp_instrs_by_phase = [1, 2, 3, 94];
+        let s = Stats {
+            warp_instrs: 100,
+            warp_instrs_by_phase: [1, 2, 3, 94],
+            ..Default::default()
+        };
         assert!((s.linear_warp_share() - 0.06).abs() < 1e-12);
     }
 
     #[test]
     fn merge_adds_cycles_sequentially() {
-        let mut a = Stats { cycles: 10, warp_instrs: 5, ..Default::default() };
-        let b = Stats { cycles: 7, warp_instrs: 3, ..Default::default() };
+        let mut a = Stats {
+            cycles: 10,
+            warp_instrs: 5,
+            ..Default::default()
+        };
+        let b = Stats {
+            cycles: 7,
+            warp_instrs: 3,
+            ..Default::default()
+        };
         a.merge_sequential(&b);
         assert_eq!(a.cycles, 17);
         assert_eq!(a.warp_instrs, 8);

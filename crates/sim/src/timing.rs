@@ -110,9 +110,7 @@ pub fn blocks_per_sm(cfg: &GpuConfig, launch: &Launch, phys_regs: u32) -> u32 {
     if wpb == 0 || wpb > cfg.max_warps_per_sm {
         return 0;
     }
-    let mut cand = cfg
-        .max_blocks_per_sm
-        .min(cfg.max_warps_per_sm / wpb);
+    let mut cand = cfg.max_blocks_per_sm.min(cfg.max_warps_per_sm / wpb);
     if launch.kernel.shared_bytes > 0 {
         cand = cand.min((cfg.shared_bytes_per_sm / launch.kernel.shared_bytes as u64) as u32);
     }
@@ -398,14 +396,12 @@ fn deps_ready(tw: &TWarp, instr: &Instr, now: u64, lin: Option<&LinearReadiness<
     }
     for s in &instr.srcs {
         match s {
-            Operand::Reg(r)
-                if tw.reg_ready[r.0 as usize] > now => {
-                    return false;
-                }
-            Operand::Pred(p)
-                if tw.pred_ready[p.0 as usize] > now => {
-                    return false;
-                }
+            Operand::Reg(r) if tw.reg_ready[r.0 as usize] > now => {
+                return false;
+            }
+            Operand::Pred(p) if tw.pred_ready[p.0 as usize] > now => {
+                return false;
+            }
             o if o.is_r2d2_class() => {
                 if let Some(l) = lin {
                     if !l.operand_ready(o, now) {
@@ -418,10 +414,9 @@ fn deps_ready(tw: &TWarp, instr: &Instr, now: u64, lin: Option<&LinearReadiness<
     }
     if let Some(m) = instr.mem {
         match m.base {
-            Operand::Reg(r)
-                if tw.reg_ready[r.0 as usize] > now => {
-                    return false;
-                }
+            Operand::Reg(r) if tw.reg_ready[r.0 as usize] > now => {
+                return false;
+            }
             o if o.is_r2d2_class() => {
                 if let Some(l) = lin {
                     if !l.operand_ready(&o, now) {
@@ -616,7 +611,9 @@ pub fn simulate(
     while remaining > 0 {
         now += 1;
         if now > cfg.watchdog_cycles {
-            return Err(SimError::Watchdog { limit: cfg.watchdog_cycles });
+            return Err(SimError::Watchdog {
+                limit: cfg.watchdog_cycles,
+            });
         }
         if now - last_issue > 1_000_000 {
             return Err(SimError::Deadlock { cycle: now });
@@ -887,7 +884,8 @@ pub fn simulate(
                             if !linear_mode {
                                 sm.gto_last[sched] = Some(wi);
                             } else {
-                                sm.rr_ptr[sched] = (wi / nsched + 1) % (sm.warps.len() / nsched).max(1);
+                                sm.rr_ptr[sched] =
+                                    (wi / nsched + 1) % (sm.warps.len() / nsched).max(1);
                             }
                             break 'cand;
                         }
@@ -955,9 +953,11 @@ mod tests {
 
         let (mut g2, out2) = mk(GlobalMem::new());
         let launch2 = Launch::new(k, Dim3::d1(8), Dim3::d1(128), vec![out2]);
-        let cfg = GpuConfig { num_sms: 4, ..Default::default() };
-        let stats =
-            simulate(&cfg, &launch2, &mut g2, &mut BaselineFilter).unwrap();
+        let cfg = GpuConfig {
+            num_sms: 4,
+            ..Default::default()
+        };
+        let stats = simulate(&cfg, &launch2, &mut g2, &mut BaselineFilter).unwrap();
         assert_eq!(g1.bytes(), g2.bytes(), "timing and functional must agree");
         assert!(stats.cycles > 0);
         assert!(stats.warp_instrs > 0);
@@ -970,8 +970,13 @@ mod tests {
             let mut g = GlobalMem::new();
             let out = g.alloc(64 * 128 * 4);
             let launch = Launch::new(k.clone(), Dim3::d1(64), Dim3::d1(128), vec![out]);
-            let cfg = GpuConfig { num_sms: sms, ..Default::default() };
-            simulate(&cfg, &launch, &mut g, &mut BaselineFilter).unwrap().cycles
+            let cfg = GpuConfig {
+                num_sms: sms,
+                ..Default::default()
+            };
+            simulate(&cfg, &launch, &mut g, &mut BaselineFilter)
+                .unwrap()
+                .cycles
         };
         let c8 = run_with(8);
         let c32 = run_with(32);
@@ -995,7 +1000,10 @@ mod tests {
         let mut g = GlobalMem::new();
         let out = g.alloc(256 * 4);
         let launch = Launch::new(k, Dim3::d1(1), Dim3::d1(256), vec![out]);
-        let cfg = GpuConfig { num_sms: 2, ..Default::default() };
+        let cfg = GpuConfig {
+            num_sms: 2,
+            ..Default::default()
+        };
         let stats = simulate(&cfg, &launch, &mut g, &mut BaselineFilter).unwrap();
         assert!(stats.cycles > 0);
         for t in 0..256 {
@@ -1011,7 +1019,10 @@ mod tests {
         // 1024 threads = 32 warps; 64 warps/SM max -> 2 blocks by warps.
         let b = blocks_per_sm(&cfg, &launch, 16);
         assert_eq!(b, 2);
-        let launch64 = Launch { block: Dim3::d1(64), ..launch };
+        let launch64 = Launch {
+            block: Dim3::d1(64),
+            ..launch
+        };
         // 2 warps per block -> warp limit gives 32, block limit gives 32.
         assert_eq!(blocks_per_sm(&cfg, &launch64, 16), 32);
     }
@@ -1048,7 +1059,10 @@ mod tests {
             let out = g.alloc(256 * 256 * 4);
             let launch = Launch::new(k, Dim3::d1(256), Dim3::d1(256), vec![inp, out]);
             let _ = distinct;
-            let cfg = GpuConfig { num_sms: 8, ..Default::default() };
+            let cfg = GpuConfig {
+                num_sms: 8,
+                ..Default::default()
+            };
             simulate(&cfg, &launch, &mut g, &mut BaselineFilter).unwrap()
         };
         let hot = run(mk(1024), 1024); // 4KB working set

@@ -43,8 +43,16 @@ fn eval_binary(
 fn tricky_pairs() -> ([u64; 32], [u64; 32]) {
     let mut a = [0u64; 32];
     let mut b = [0u64; 32];
-    let interesting: [i64; 8] =
-        [0, 1, -1, i32::MAX as i64, i32::MIN as i64, 7, -12345, 1 << 20];
+    let interesting: [i64; 8] = [
+        0,
+        1,
+        -1,
+        i32::MAX as i64,
+        i32::MIN as i64,
+        7,
+        -12345,
+        1 << 20,
+    ];
     for i in 0..32 {
         a[i] = interesting[i % 8] as u64;
         b[i] = interesting[(i / 8 + i) % 8] as u64;
@@ -56,7 +64,8 @@ fn tricky_pairs() -> ([u64; 32], [u64; 32]) {
 #[test]
 fn b32_arithmetic_matches_wrapping_rust() {
     let (a, b) = tricky_pairs();
-    let cases: Vec<(&str, fn(i32, i32) -> i32)> = vec![
+    type BinRef = fn(i32, i32) -> i32;
+    let cases: Vec<(&str, BinRef)> = vec![
         ("add", |x, y| x.wrapping_add(y)),
         ("sub", |x, y| x.wrapping_sub(y)),
         ("mul", |x, y| x.wrapping_mul(y)),
@@ -101,11 +110,17 @@ fn b64_arithmetic_matches_wrapping_rust() {
     let (a, b) = tricky_pairs();
     let got = eval_binary(Ty::B64, |bld, x, y| bld.add_ty(Ty::B64, x, y), &a, &b);
     for lane in 0..32 {
-        assert_eq!(got[lane], (a[lane] as i64).wrapping_add(b[lane] as i64) as u64);
+        assert_eq!(
+            got[lane],
+            (a[lane] as i64).wrapping_add(b[lane] as i64) as u64
+        );
     }
     let got = eval_binary(Ty::B64, |bld, x, y| bld.mul_ty(Ty::B64, x, y), &a, &b);
     for lane in 0..32 {
-        assert_eq!(got[lane], (a[lane] as i64).wrapping_mul(b[lane] as i64) as u64);
+        assert_eq!(
+            got[lane],
+            (a[lane] as i64).wrapping_mul(b[lane] as i64) as u64
+        );
     }
 }
 

@@ -1,8 +1,8 @@
-//! Property test: the set-associative LRU cache must agree with a simple
-//! reference model for arbitrary access traces.
+//! Randomized test: the set-associative LRU cache must agree with a simple
+//! reference model for arbitrary access traces (in-repo seeded PRNG).
 
-use proptest::prelude::*;
 use r2d2_sim::{Cache, CacheConfig};
+use r2d2_sym::Rng;
 
 /// Reference: per set, a vector of tags in LRU order (front = most recent).
 struct RefCache {
@@ -36,39 +36,51 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #[test]
-    fn lru_cache_matches_reference(
-        ways in 1u32..8,
-        sets_log in 0u32..5,
-        trace in proptest::collection::vec(0u64..256, 1..400),
-    ) {
+#[test]
+fn lru_cache_matches_reference() {
+    let mut r = Rng::new(0x10ca);
+    for _ in 0..256 {
+        let ways = r.gen_range(1u32..8);
+        let sets_log = r.gen_range(0u32..5);
+        let trace: Vec<u64> = (0..r.gen_range(1usize..400))
+            .map(|_| r.gen_range(0u64..256))
+            .collect();
         let line = 128u64;
         let sets = 1u64 << sets_log;
-        let cfg = CacheConfig { bytes: sets * ways as u64 * line, line, ways };
+        let cfg = CacheConfig {
+            bytes: sets * ways as u64 * line,
+            line,
+            ways,
+        };
         let mut dut = Cache::new(cfg);
         let mut reference = RefCache::new(cfg);
         let mut hits = 0u64;
         for &l in &trace {
             let want = reference.access(l);
             let got = dut.access(l);
-            prop_assert_eq!(got, want, "line {}", l);
+            assert_eq!(got, want, "line {l} (ways={ways} sets={sets})");
             if want {
                 hits += 1;
             }
         }
-        prop_assert_eq!(dut.hits(), hits);
-        prop_assert_eq!(dut.misses(), trace.len() as u64 - hits);
+        assert_eq!(dut.hits(), hits);
+        assert_eq!(dut.misses(), trace.len() as u64 - hits);
     }
+}
 
-    #[test]
-    fn working_set_within_capacity_always_hits_after_warmup(
-        ways in 2u32..8,
-        sets_log in 1u32..4,
-    ) {
+#[test]
+fn working_set_within_capacity_always_hits_after_warmup() {
+    let mut r = Rng::new(0xca9);
+    for _ in 0..64 {
+        let ways = r.gen_range(2u32..8);
+        let sets_log = r.gen_range(1u32..4);
         let line = 128u64;
         let sets = 1u64 << sets_log;
-        let cfg = CacheConfig { bytes: sets * ways as u64 * line, line, ways };
+        let cfg = CacheConfig {
+            bytes: sets * ways as u64 * line,
+            line,
+            ways,
+        };
         let capacity_lines = sets * ways as u64;
         let mut c = Cache::new(cfg);
         // Touch exactly `capacity_lines` distinct lines twice.
@@ -76,7 +88,7 @@ proptest! {
             c.access(l);
         }
         for l in 0..capacity_lines {
-            prop_assert!(c.access(l), "line {} must hit within capacity", l);
+            assert!(c.access(l), "line {l} must hit within capacity");
         }
     }
 }

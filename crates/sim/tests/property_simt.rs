@@ -1,10 +1,12 @@
-//! Property tests for the SIMT reconvergence stack: randomly generated
+//! Randomized tests for the SIMT reconvergence stack: randomly generated
 //! divergent control flow must produce exactly what a per-thread Rust
-//! reference computes.
+//! reference computes. Cases come from the in-repo seeded PRNG.
 
-use proptest::prelude::*;
 use r2d2_isa::{CmpOp, KernelBuilder, Operand, Ty};
 use r2d2_sim::{functional, Dim3, GlobalMem, Launch};
+use r2d2_sym::Rng;
+
+const CASES: usize = 48;
 
 /// A little branchy program over a per-thread value `x = data[i]`:
 /// nested if/else via thresholds plus a data-dependent loop, then a store.
@@ -17,6 +19,15 @@ struct Program {
 }
 
 impl Program {
+    fn gen(r: &mut Rng) -> Self {
+        Program {
+            t1: r.gen_range(-50i32..50),
+            t2: r.gen_range(-50i32..50),
+            t3: r.gen_range(-50i32..50),
+            loop_mod: r.gen_range(1i32..6),
+        }
+    }
+
     fn reference(&self, x: i32) -> i32 {
         let mut acc = 0i32;
         if x < self.t1 {
@@ -101,23 +112,21 @@ impl Program {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn gen_data(r: &mut Rng, n: usize) -> Vec<i32> {
+    (0..n).map(|_| r.gen_range(-100i32..100)).collect()
+}
 
-    #[test]
-    fn divergent_control_flow_matches_reference(
-        t1 in -50i32..50,
-        t2 in -50i32..50,
-        t3 in -50i32..50,
-        loop_mod in 1i32..6,
-        data in proptest::collection::vec(-100i32..100, 64),
-        blocks in 1u32..3,
-    ) {
-        let prog = Program { t1, t2, t3, loop_mod };
+#[test]
+fn divergent_control_flow_matches_reference() {
+    let mut r = Rng::new(0xd1e6);
+    for _ in 0..CASES {
+        let prog = Program::gen(&mut r);
         let k = prog.kernel();
-        prop_assert!(k.validate().is_ok(), "{:?}", k.validate());
+        assert!(k.validate().is_ok(), "{:?}", k.validate());
+        let blocks = r.gen_range(1u32..3);
         let tpb = 32u32;
         let n = (blocks * tpb) as usize;
+        let data = gen_data(&mut r, 64);
         let mut g = GlobalMem::new();
         let din = g.alloc(n as u64 * 4);
         let dout = g.alloc(n as u64 * 4);
@@ -130,25 +139,23 @@ proptest! {
         for (i, x) in inputs.iter().enumerate() {
             let want = prog.reference(*x);
             let got = g.read_i32(dout, i as u64);
-            prop_assert_eq!(got, want, "thread {} x={}", i, x);
+            assert_eq!(got, want, "thread {i} x={x} prog={prog:?}");
         }
     }
+}
 
-    #[test]
-    fn scheduling_preserves_divergent_semantics(
-        t1 in -50i32..50,
-        t2 in -50i32..50,
-        t3 in -50i32..50,
-        loop_mod in 1i32..6,
-        data in proptest::collection::vec(-100i32..100, 64),
-    ) {
-        // The compile-time instruction scheduler must be semantics-preserving
-        // even under divergence and loops.
-        let prog = Program { t1, t2, t3, loop_mod };
+#[test]
+fn scheduling_preserves_divergent_semantics() {
+    // The compile-time instruction scheduler must be semantics-preserving
+    // even under divergence and loops.
+    let mut r = Rng::new(0x5c4ed);
+    for _ in 0..CASES {
+        let prog = Program::gen(&mut r);
         let k = prog.kernel();
         let s = r2d2_isa::schedule(&k);
-        prop_assert!(s.validate().is_ok(), "{:?}", s.validate());
+        assert!(s.validate().is_ok(), "{:?}", s.validate());
         let n = 64usize;
+        let data = gen_data(&mut r, n);
         let fill = |g: &mut GlobalMem| {
             let din = g.alloc(n as u64 * 4);
             let dout = g.alloc(n as u64 * 4);
@@ -165,21 +172,22 @@ proptest! {
         let (din2, dout2) = fill(&mut g2);
         let l2 = Launch::new(s, Dim3::d1(2), Dim3::d1(32), vec![din2, dout2]);
         functional::run(&l2, &mut g2, 10_000_000, None).unwrap();
-        prop_assert_eq!(g1.bytes(), g2.bytes());
+        assert_eq!(g1.bytes(), g2.bytes(), "{prog:?}");
     }
+}
 
-    #[test]
-    fn timing_model_matches_functional_on_divergent_code(
-        t1 in -50i32..50,
-        t2 in -50i32..50,
-        t3 in -50i32..50,
-        loop_mod in 1i32..5,
-        seed in 0u64..1000,
-    ) {
-        use r2d2_sim::{simulate, BaselineFilter, GpuConfig};
-        let prog = Program { t1, t2, t3, loop_mod };
+#[test]
+fn timing_model_matches_functional_on_divergent_code() {
+    use r2d2_sim::{simulate, BaselineFilter, GpuConfig};
+    let mut r = Rng::new(0x71316);
+    for _ in 0..CASES {
+        let prog = Program {
+            loop_mod: r.gen_range(1i32..5),
+            ..Program::gen(&mut r)
+        };
         let k = prog.kernel();
         let n = 128u64;
+        let seed = r.gen_range(0u64..1000);
         let fill = |g: &mut GlobalMem| {
             let din = g.alloc(n * 4);
             let dout = g.alloc(n * 4);
@@ -195,8 +203,11 @@ proptest! {
         let mut g2 = GlobalMem::new();
         let (din2, dout2) = fill(&mut g2);
         let l2 = Launch::new(k, Dim3::d1(2), Dim3::d1(64), vec![din2, dout2]);
-        let cfg = GpuConfig { num_sms: 2, ..Default::default() };
+        let cfg = GpuConfig {
+            num_sms: 2,
+            ..Default::default()
+        };
         simulate(&cfg, &l2, &mut g2, &mut BaselineFilter).unwrap();
-        prop_assert_eq!(g1.bytes(), g2.bytes());
+        assert_eq!(g1.bytes(), g2.bytes(), "{prog:?}");
     }
 }

@@ -112,15 +112,30 @@ fn timed_phases_match_functional_and_respect_gates() {
         vec![out2, scale as u64, cnst as u64, bcoef as u64],
     );
     l2.meta = Some(meta);
-    let cfg = GpuConfig { num_sms: 4, ..Default::default() };
+    let cfg = GpuConfig {
+        num_sms: 4,
+        ..Default::default()
+    };
     let stats = simulate(&cfg, &l2, &mut g2, &mut BaselineFilter).unwrap();
 
     assert_eq!(g1.bytes(), g2.bytes());
     // Phase accounting: coefficients run once per SM (scalar), thread-index
     // parts once per SM-block, block-index parts once per block.
-    assert_eq!(stats.warp_instrs_by_phase[0], 3 * 4, "3 coef instrs x 4 SMs");
-    assert_eq!(stats.warp_instrs_by_phase[1], 2 * 2 * 4, "2 tidx instrs x 2 warps x 4 SMs");
-    assert_eq!(stats.warp_instrs_by_phase[2], 3 * 32, "3 bidx instrs x 32 blocks");
+    assert_eq!(
+        stats.warp_instrs_by_phase[0],
+        3 * 4,
+        "3 coef instrs x 4 SMs"
+    );
+    assert_eq!(
+        stats.warp_instrs_by_phase[1],
+        2 * 2 * 4,
+        "2 tidx instrs x 2 warps x 4 SMs"
+    );
+    assert_eq!(
+        stats.warp_instrs_by_phase[2],
+        3 * 32,
+        "3 bidx instrs x 32 blocks"
+    );
     assert!(stats.prologue_cycles > 0 && stats.prologue_cycles < stats.cycles);
     // Coefficient instructions go down the scalar pipe: 1 thread each.
     assert_eq!(stats.thread_instrs_by_phase[0], 12);
@@ -137,11 +152,18 @@ fn second_wave_blocks_recompute_block_parts_only() {
     let out = g.alloc(1 << 20);
     let mut l = Launch::new(k, Dim3::d1(256), Dim3::d1(64), vec![out, 2, 10, 1000]);
     l.meta = Some(meta);
-    let cfg = GpuConfig { num_sms: 2, ..Default::default() };
+    let cfg = GpuConfig {
+        num_sms: 2,
+        ..Default::default()
+    };
     let stats = simulate(&cfg, &l, &mut g, &mut BaselineFilter).unwrap();
     assert_eq!(stats.warp_instrs_by_phase[0], 3 * 2, "coef once per SM");
     assert_eq!(stats.warp_instrs_by_phase[1], 2 * 2 * 2, "tidx once per SM");
-    assert_eq!(stats.warp_instrs_by_phase[2], 3 * 256, "bidx once per block");
+    assert_eq!(
+        stats.warp_instrs_by_phase[2],
+        3 * 256,
+        "bidx once per block"
+    );
     for blk in 0..256i64 {
         for t in 0..64i64 {
             let got = g.read_i32(out, (blk * 64 + t) as u64);
@@ -170,7 +192,10 @@ fn kernels_without_linearity_ignore_the_phase_engine() {
     let out = g.alloc(4096);
     let mut l = Launch::new(k, Dim3::d1(2), Dim3::d1(32), vec![out]);
     l.meta = Some(meta);
-    let cfg = GpuConfig { num_sms: 1, ..Default::default() };
+    let cfg = GpuConfig {
+        num_sms: 1,
+        ..Default::default()
+    };
     let stats = simulate(&cfg, &l, &mut g, &mut BaselineFilter).unwrap();
     assert_eq!(stats.warp_instrs_by_phase[0], 0);
     assert_eq!(stats.warp_instrs_by_phase[1], 0);

@@ -37,8 +37,16 @@ fn run(cfg: &GpuConfig, kernel: r2d2_isa::Kernel, blocks: u32, tpb: u32) -> r2d2
 fn dram_bandwidth_limits_streaming() {
     // Starving DRAM bandwidth must lengthen a DRAM-bound kernel noticeably.
     // Enough blocks that aggregate traffic, not per-warp latency, dominates.
-    let fast = GpuConfig { num_sms: 4, dram_txns_per_cycle: 16, ..Default::default() };
-    let slow = GpuConfig { num_sms: 4, dram_txns_per_cycle: 1, ..Default::default() };
+    let fast = GpuConfig {
+        num_sms: 4,
+        dram_txns_per_cycle: 16,
+        ..Default::default()
+    };
+    let slow = GpuConfig {
+        num_sms: 4,
+        dram_txns_per_cycle: 1,
+        ..Default::default()
+    };
     let cf = run(&fast, streaming_kernel(8), 512, 256);
     let cs = run(&slow, streaming_kernel(8), 512, 256);
     assert!(
@@ -63,8 +71,16 @@ fn issue_width_limits_compute() {
     let a = b.add_wide(p, off);
     b.st_global(Ty::B32, a, 0, v);
     let k = b.build();
-    let wide = GpuConfig { num_sms: 2, sm_issue_width: 4, ..Default::default() };
-    let narrow = GpuConfig { num_sms: 2, sm_issue_width: 1, ..Default::default() };
+    let wide = GpuConfig {
+        num_sms: 2,
+        sm_issue_width: 4,
+        ..Default::default()
+    };
+    let narrow = GpuConfig {
+        num_sms: 2,
+        sm_issue_width: 1,
+        ..Default::default()
+    };
     let cw = run(&wide, k.clone(), 64, 256);
     let cn = run(&narrow, k, 64, 256);
     assert!(
@@ -77,7 +93,10 @@ fn issue_width_limits_compute() {
 
 #[test]
 fn multiple_waves_scale_roughly_linearly() {
-    let cfg = GpuConfig { num_sms: 2, ..Default::default() };
+    let cfg = GpuConfig {
+        num_sms: 2,
+        ..Default::default()
+    };
     let one = run(&cfg, streaming_kernel(2), 16, 256); // 8 blocks/SM: one wave
     let four = run(&cfg, streaming_kernel(2), 64, 256); // four waves
     let ratio = four.cycles as f64 / one.cycles as f64;
@@ -106,7 +125,10 @@ fn barriers_serialize_block_phases() {
         b.st_global(Ty::B32, a, 0, v);
         b.build()
     };
-    let cfg = GpuConfig { num_sms: 1, ..Default::default() };
+    let cfg = GpuConfig {
+        num_sms: 1,
+        ..Default::default()
+    };
     let no_bar = run(&cfg, mk(0), 4, 256);
     let many = run(&cfg, mk(16), 4, 256);
     assert!(many.cycles > no_bar.cycles);
@@ -117,8 +139,24 @@ fn l1_is_per_sm_and_l2_is_shared() {
     // The same workload on 1 SM vs many SMs: total L1 misses can grow with
     // SM count (cold caches), while results stay identical.
     let k = streaming_kernel(4);
-    let one = run(&GpuConfig { num_sms: 1, ..Default::default() }, k.clone(), 32, 256);
-    let many = run(&GpuConfig { num_sms: 16, ..Default::default() }, k, 32, 256);
+    let one = run(
+        &GpuConfig {
+            num_sms: 1,
+            ..Default::default()
+        },
+        k.clone(),
+        32,
+        256,
+    );
+    let many = run(
+        &GpuConfig {
+            num_sms: 16,
+            ..Default::default()
+        },
+        k,
+        32,
+        256,
+    );
     assert!(many.l1_misses >= one.l1_misses);
     assert_eq!(
         one.warp_instrs, many.warp_instrs,
@@ -135,7 +173,10 @@ fn partial_warps_charge_only_active_lanes() {
     let a = b.add_wide(p, off);
     b.st_global(Ty::B32, a, 0, i);
     let k = b.build();
-    let cfg = GpuConfig { num_sms: 1, ..Default::default() };
+    let cfg = GpuConfig {
+        num_sms: 1,
+        ..Default::default()
+    };
     let full = run(&cfg, k.clone(), 1, 32);
     let partial = run(&cfg, k, 1, 8);
     assert_eq!(full.warp_instrs, partial.warp_instrs);
@@ -174,7 +215,11 @@ fn unschedulable_block_is_rejected() {
     // 2048 threads/block = 64 warps > hardware's per-block residency options.
     let mut g = GlobalMem::new();
     g.alloc(64);
-    let cfg = GpuConfig { num_sms: 1, max_warps_per_sm: 32, ..Default::default() };
+    let cfg = GpuConfig {
+        num_sms: 1,
+        max_warps_per_sm: 32,
+        ..Default::default()
+    };
     let launch = Launch::new(k, Dim3::d1(1), Dim3::d1(2048), vec![]);
     let err = simulate(&cfg, &launch, &mut g, &mut BaselineFilter).unwrap_err();
     assert!(err.to_string().contains("fit"), "{err}");

@@ -31,7 +31,9 @@
 //! ```
 
 mod poly;
+pub mod rng;
 mod vec;
 
 pub use poly::{LaunchEnv, Monomial, Poly, Sym};
+pub use rng::Rng;
 pub use vec::{CoefVec, IndexVar, COEF_VEC_LEN};

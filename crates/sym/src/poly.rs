@@ -188,9 +188,9 @@ impl Poly {
     ///
     /// Arithmetic wraps, mirroring 64-bit machine arithmetic.
     pub fn eval(&self, env: &LaunchEnv) -> i64 {
-        self.terms
-            .iter()
-            .fold(0i64, |acc, (m, c)| acc.wrapping_add(c.wrapping_mul(m.eval(env))))
+        self.terms.iter().fold(0i64, |acc, (m, c)| {
+            acc.wrapping_add(c.wrapping_mul(m.eval(env)))
+        })
     }
 
     fn add_term(&mut self, m: Monomial, c: i64) {
@@ -329,7 +329,11 @@ impl fmt::Display for Poly {
                     write!(f, "{c}*{m}")?;
                 }
             } else {
-                let (sign, mag) = if *c < 0 { ("-", c.wrapping_neg()) } else { ("+", *c) };
+                let (sign, mag) = if *c < 0 {
+                    ("-", c.wrapping_neg())
+                } else {
+                    ("+", *c)
+                };
                 if m.degree() == 0 {
                     write!(f, "{sign}{mag}")?;
                 } else if mag == 1 {
@@ -360,7 +364,11 @@ pub struct LaunchEnv {
 impl LaunchEnv {
     /// Create an environment from parameters, block dim and grid dim.
     pub fn new(params: Vec<i64>, ntid: [i64; 3], nctaid: [i64; 3]) -> Self {
-        LaunchEnv { params, ntid, nctaid }
+        LaunchEnv {
+            params,
+            ntid,
+            nctaid,
+        }
     }
 
     /// The concrete value of a symbol.

@@ -196,7 +196,12 @@ impl CoefVec {
 
     /// The block-index part `(c, X, Y, Z)` — computed once per thread block.
     pub fn block_part(&self) -> [&Poly; 4] {
-        [&self.elems[0], &self.elems[4], &self.elems[5], &self.elems[6]]
+        [
+            &self.elems[0],
+            &self.elems[4],
+            &self.elems[5],
+            &self.elems[6],
+        ]
     }
 
     /// Elementwise sum (transfer function for `add`, Fig. 6).
@@ -282,7 +287,9 @@ impl CoefVec {
     /// block-index coefficients (but possibly different constants) — the
     /// grouping condition of Sec. 3.1.4 (e.g. `w[index]` vs `oldw[index]`).
     pub fn same_shape(&self, other: &CoefVec) -> bool {
-        IndexVar::ALL.iter().all(|v| self.coef(*v) == other.coef(*v))
+        IndexVar::ALL
+            .iter()
+            .all(|v| self.coef(*v) == other.coef(*v))
     }
 }
 
@@ -306,7 +313,11 @@ mod tests {
 
     fn env() -> LaunchEnv {
         // Backprop-like: P1 = hid = 16, HEIGHT folded into constants.
-        LaunchEnv::new(vec![1000, 16, 2000, 3000, 4000, 5000], [16, 4, 1], [1, 8, 1])
+        LaunchEnv::new(
+            vec![1000, 16, 2000, 3000, 4000, 5000],
+            [16, 4, 1],
+            [1, 8, 1],
+        )
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Randomized property tests: the coefficient-vector algebra must be an exact
+//! homomorphism onto wrapping 64-bit evaluation — that is the entire
+//! soundness argument for the R2D2 analyzer.
+//!
+//! Cases are generated with the in-repo seeded PRNG ([`r2d2_sym::Rng`]), so
+//! every run exercises the same case set deterministically and the suite has
+//! no external dependencies.
+
+use r2d2_sym::{CoefVec, IndexVar, LaunchEnv, Poly, Rng, Sym};
+
+const CASES: usize = 256;
+
+fn gen_sym(r: &mut Rng) -> Sym {
+    match r.below(3) {
+        0 => Sym::Param(r.gen_range(0u8..6)),
+        1 => Sym::Ntid(r.gen_range(0u8..3)),
+        _ => Sym::Nctaid(r.gen_range(0u8..3)),
+    }
+}
+
+fn gen_poly(r: &mut Rng, depth: u32) -> Poly {
+    if depth == 0 || r.below(3) == 0 {
+        return if r.gen_bool() {
+            Poly::constant(r.gen_range(-100i64..100))
+        } else {
+            Poly::sym(gen_sym(r))
+        };
+    }
+    match r.below(4) {
+        0 => gen_poly(r, depth - 1) + gen_poly(r, depth - 1),
+        1 => gen_poly(r, depth - 1) - gen_poly(r, depth - 1),
+        2 => gen_poly(r, depth - 1) * gen_poly(r, depth - 1),
+        _ => gen_poly(r, depth - 1).scale(r.gen_range(-50i64..50)),
+    }
+}
+
+fn gen_env(r: &mut Rng) -> LaunchEnv {
+    let params: Vec<i64> = (0..6).map(|_| r.gen_range(-1000i64..1000)).collect();
+    let ntid = [
+        r.gen_range(1i64..32),
+        r.gen_range(1i64..8),
+        r.gen_range(1i64..4),
+    ];
+    let nctaid = [
+        r.gen_range(1i64..64),
+        r.gen_range(1i64..8),
+        r.gen_range(1i64..4),
+    ];
+    LaunchEnv::new(params, ntid, nctaid)
+}
+
+fn gen_tid(r: &mut Rng) -> [i64; 3] {
+    [
+        r.gen_range(0i64..32),
+        r.gen_range(0i64..8),
+        r.gen_range(0i64..4),
+    ]
+}
+
+fn gen_ctaid(r: &mut Rng) -> [i64; 3] {
+    [
+        r.gen_range(0i64..64),
+        r.gen_range(0i64..8),
+        r.gen_range(0i64..4),
+    ]
+}
+
+fn gen_vec(r: &mut Rng) -> CoefVec {
+    let parts: Vec<Poly> = (0..7).map(|_| gen_poly(r, 2)).collect();
+    CoefVec::from_polys(parts.try_into().unwrap())
+}
+
+#[test]
+fn add_sub_mul_are_eval_homomorphisms() {
+    let mut r = Rng::new(0xa15eb8a);
+    for _ in 0..CASES {
+        let (a, b, env) = (gen_poly(&mut r, 3), gen_poly(&mut r, 3), gen_env(&mut r));
+        let (ea, eb) = (a.eval(&env), b.eval(&env));
+        assert_eq!((&a + &b).eval(&env), ea.wrapping_add(eb), "{a} + {b}");
+        assert_eq!((&a - &b).eval(&env), ea.wrapping_sub(eb), "{a} - {b}");
+        assert_eq!((&a * &b).eval(&env), ea.wrapping_mul(eb), "{a} * {b}");
+    }
+}
+
+#[test]
+fn scale_matches_shl() {
+    let mut r = Rng::new(0x5ca1e);
+    for _ in 0..CASES {
+        let a = gen_poly(&mut r, 3);
+        let k = r.gen_range(0u32..8);
+        let env = gen_env(&mut r);
+        assert_eq!(
+            a.shl(k).eval(&env),
+            a.eval(&env).wrapping_shl(k),
+            "{a} << {k}"
+        );
+    }
+}
+
+#[test]
+fn add_commutes_and_associates() {
+    let mut r = Rng::new(0xc0111);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            gen_poly(&mut r, 3),
+            gen_poly(&mut r, 3),
+            gen_poly(&mut r, 3),
+        );
+        assert_eq!(&a + &b, &b + &a);
+        assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+}
+
+#[test]
+fn mul_distributes() {
+    let mut r = Rng::new(0xd157);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            gen_poly(&mut r, 3),
+            gen_poly(&mut r, 3),
+            gen_poly(&mut r, 3),
+        );
+        let lhs = &a * &(&b + &c);
+        let rhs = &(&a * &b) + &(&a * &c);
+        assert_eq!(lhs, rhs, "{a} * ({b} + {c})");
+    }
+}
+
+#[test]
+fn canonical_zero() {
+    let mut r = Rng::new(0x2e60);
+    for _ in 0..CASES {
+        let a = gen_poly(&mut r, 3);
+        let z = &a - &a;
+        assert!(z.is_zero(), "{a} - {a} = {z}");
+        assert_eq!(z, Poly::zero());
+    }
+}
+
+#[test]
+fn coefvec_eval_decomposes() {
+    // lr = tr + br: the Sec. 4.3 microarchitectural invariant.
+    let mut r = Rng::new(0xdec0);
+    for _ in 0..CASES {
+        let v = gen_vec(&mut r);
+        let env = gen_env(&mut r);
+        let (tid, ctaid) = (gen_tid(&mut r), gen_ctaid(&mut r));
+        let whole = v.eval(&env, tid, ctaid);
+        let split = v
+            .eval_thread_part(&env, tid)
+            .wrapping_add(v.eval_block_part(&env, ctaid));
+        assert_eq!(whole, split, "{v:?} @ tid={tid:?} ctaid={ctaid:?}");
+    }
+}
+
+#[test]
+fn coefvec_transfer_functions_are_sound() {
+    // Fig. 6 rows evaluated pointwise.
+    let mut r = Rng::new(0xf16);
+    for _ in 0..CASES {
+        let va = gen_vec(&mut r);
+        let vb = gen_vec(&mut r);
+        let k = gen_poly(&mut r, 2);
+        let env = gen_env(&mut r);
+        let tid = [
+            r.gen_range(0i64..16),
+            r.gen_range(0i64..4),
+            r.gen_range(0i64..2),
+        ];
+        let ctaid = [
+            r.gen_range(0i64..16),
+            r.gen_range(0i64..4),
+            r.gen_range(0i64..2),
+        ];
+        let ea = va.eval(&env, tid, ctaid);
+        let eb = vb.eval(&env, tid, ctaid);
+        assert_eq!(va.add(&vb).eval(&env, tid, ctaid), ea.wrapping_add(eb));
+        assert_eq!(va.sub(&vb).eval(&env, tid, ctaid), ea.wrapping_sub(eb));
+        let ek = k.eval(&env);
+        assert_eq!(
+            va.mul_scalar(&k).eval(&env, tid, ctaid),
+            ea.wrapping_mul(ek)
+        );
+        assert_eq!(
+            va.mad(&k, &vb).eval(&env, tid, ctaid),
+            ea.wrapping_mul(ek).wrapping_add(eb)
+        );
+    }
+}
+
+#[test]
+fn same_shape_iff_all_index_coefs_match() {
+    let mut r = Rng::new(0x5a5e);
+    for _ in 0..CASES {
+        let va = gen_vec(&mut r);
+        let delta = gen_poly(&mut r, 3);
+        let mut parts = va.elems().clone();
+        parts[0] = &parts[0] + &delta;
+        let vb = CoefVec::from_polys(parts);
+        assert!(va.same_shape(&vb), "constant offset must not change shape");
+        for iv in IndexVar::ALL {
+            assert_eq!(va.coef(iv), vb.coef(iv));
+        }
+    }
+}

@@ -177,6 +177,23 @@ pub fn all(size: Size) -> Vec<Workload> {
     NAMES.iter().map(|(n, _)| build(n, size).unwrap()).collect()
 }
 
+/// Resolve an extended workload id to a built workload. Accepts every
+/// Table 2 abbreviation from [`NAMES`], plus `"BP@n<log>"` for the Table 3
+/// scaled backprop (`2^log` input nodes, `log` in `1..=16`). These ids are
+/// the stable registry keys the experiment harness hashes into cache keys,
+/// so renaming one orphans its cached results.
+pub fn resolve(id: &str, size: Size) -> Option<Workload> {
+    if let Some(log) = id.strip_prefix("BP@n") {
+        let log: u32 = log.parse().ok()?;
+        if !(1..=16).contains(&log) {
+            return None;
+        }
+        Some(backprop_scaled(log))
+    } else {
+        build(id, size)
+    }
+}
+
 /// Backprop with a configurable number of input nodes (`2^log_nodes`) for the
 /// Table 3 blocks-per-grid sensitivity study.
 pub fn backprop_scaled(log_nodes: u32) -> Workload {
@@ -214,6 +231,19 @@ mod tests {
     #[test]
     fn unknown_name_is_none() {
         assert!(build("NOPE", Size::Small).is_none());
+    }
+
+    #[test]
+    fn resolve_accepts_plain_and_scaled_ids() {
+        assert!(resolve("BP", Size::Small).is_some());
+        let w = resolve("BP@n4", Size::Small).unwrap();
+        assert_eq!(w.name, "BP");
+        for bad in ["BP@n", "BP@n0", "BP@n99", "BP@nx", "NOPE"] {
+            assert!(
+                resolve(bad, Size::Small).is_none(),
+                "{bad:?} should not resolve"
+            );
+        }
     }
 
     #[test]

@@ -17,7 +17,6 @@ pub(crate) fn gaddr(b: &mut KernelBuilder, param: usize, idx: Reg, scale_log2: u
     b.add_wide(p, off)
 }
 
-
 /// `out[i] = fold(in_0[i], ..., in_{k-1}[i])` with `extra_flops` extra mads.
 ///
 /// Params: `[in_0, .., in_{k-1}, out]`. One thread per element.
@@ -616,8 +615,7 @@ mod tests {
             g.write_f32(a, i, (i % 7) as f32);
             g.write_f32(bb, i, (i % 5) as f32);
         }
-        let launch =
-            Launch::new(k, Dim3::d2(1, 1), Dim3::d2(16, 16), vec![a, bb, c, n, n]);
+        let launch = Launch::new(k, Dim3::d2(1, 1), Dim3::d2(16, 16), vec![a, bb, c, n, n]);
         functional::run(&launch, &mut g, 10_000_000, None).unwrap();
         for row in 0..n {
             for col in 0..n {
@@ -646,8 +644,12 @@ mod tests {
         };
         let mut g1 = GlobalMem::new();
         let (a1, b1, c1) = fill(&mut g1);
-        let l1 =
-            Launch::new(matmul("mm"), Dim3::d2(2, 2), Dim3::d2(16, 16), vec![a1, b1, c1, n, n]);
+        let l1 = Launch::new(
+            matmul("mm"),
+            Dim3::d2(2, 2),
+            Dim3::d2(16, 16),
+            vec![a1, b1, c1, n, n],
+        );
         functional::run(&l1, &mut g1, 10_000_000, None).unwrap();
         let mut g2 = GlobalMem::new();
         let (a2, b2, c2) = fill(&mut g2);
@@ -667,8 +669,13 @@ mod tests {
 
     #[test]
     fn stencil2d_averages_neighbors() {
-        let taps: &[(i64, i64, f32)] =
-            &[(0, 0, 0.5), (0, 1, 0.125), (0, -1, 0.125), (1, 0, 0.125), (-1, 0, 0.125)];
+        let taps: &[(i64, i64, f32)] = &[
+            (0, 0, 0.5),
+            (0, 1, 0.125),
+            (0, -1, 0.125),
+            (1, 0, 0.125),
+            (-1, 0, 0.125),
+        ];
         let k = stencil2d("st", taps);
         let w = 16u64;
         let h = 8u64;
@@ -679,7 +686,12 @@ mod tests {
         for i in 0..pitch * (h + 2) {
             g.write_f32(input, i, 2.0);
         }
-        let launch = Launch::new(k, Dim3::d2(1, 1), Dim3::d2(16, 8), vec![input, output, pitch]);
+        let launch = Launch::new(
+            k,
+            Dim3::d2(1, 1),
+            Dim3::d2(16, 8),
+            vec![input, output, pitch],
+        );
         functional::run(&launch, &mut g, 10_000_000, None).unwrap();
         // Uniform field: every interior output equals 2.0 * sum(w) = 2.0.
         for y in 0..h {
@@ -783,8 +795,12 @@ mod tests {
         let k = fft_stage("fft");
         let mut span = 1u64;
         while span < n {
-            let launch =
-                Launch::new(k.clone(), Dim3::d1(1), Dim3::d1((n / 2) as u32), vec![re, im, span, n / 2]);
+            let launch = Launch::new(
+                k.clone(),
+                Dim3::d1(1),
+                Dim3::d1((n / 2) as u32),
+                vec![re, im, span, n / 2],
+            );
             functional::run(&launch, &mut g, 10_000_000, None).unwrap();
             span *= 2;
         }

@@ -105,7 +105,12 @@ pub fn resnet(size: Size) -> Workload {
             vec![fw, res, fb, fy, nin],
         ),
     ];
-    Workload { name: "RES", suite: "Nebula", gmem: g, launches }
+    Workload {
+        name: "RES",
+        suite: "Nebula",
+        gmem: g,
+        launches,
+    }
 }
 
 /// VGG: conv -> conv -> maxpool -> two FC layers.
@@ -154,5 +159,10 @@ pub fn vgg(size: Size) -> Workload {
             vec![fw2, fy1, fb2, fy2, nmid],
         ),
     ];
-    Workload { name: "VGG", suite: "Nebula", gmem: g, launches }
+    Workload {
+        name: "VGG",
+        suite: "Nebula",
+        gmem: g,
+        launches,
+    }
 }

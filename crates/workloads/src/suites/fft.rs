@@ -33,7 +33,12 @@ pub fn fft(size: Size) -> Workload {
         ));
         span *= 2;
     }
-    Workload { name: "FFT", suite: "cuFFT", gmem: g, launches }
+    Workload {
+        name: "FFT",
+        suite: "cuFFT",
+        gmem: g,
+        launches,
+    }
 }
 
 /// FFT_PT: persistent-thread butterfly stage — a fixed number of thread
@@ -127,5 +132,10 @@ pub fn fft_pt(size: Size) -> Workload {
         ));
         span *= 2;
     }
-    Workload { name: "FFT_PT", suite: "cuFFT", gmem: g, launches }
+    Workload {
+        name: "FFT_PT",
+        suite: "cuFFT",
+        gmem: g,
+        launches,
+    }
 }

@@ -29,10 +29,20 @@ pub fn ccmp(size: Size) -> Workload {
     let launches = (0..3)
         .map(|it| {
             let (src, dst) = if it % 2 == 0 { (la, lb) } else { (lb, la) };
-            Launch::new(k.clone(), grid, Dim3::d1(256), vec![rp, ci, src, dst, nverts, 0])
+            Launch::new(
+                k.clone(),
+                grid,
+                Dim3::d1(256),
+                vec![rp, ci, src, dst, nverts, 0],
+            )
         })
         .collect();
-    Workload { name: "CCMP", suite: "graphBig", gmem: g, launches }
+    Workload {
+        name: "CCMP",
+        suite: "graphBig",
+        gmem: g,
+        launches,
+    }
 }
 
 /// KCR: k-core decomposition — count neighbors above the degree threshold.
@@ -47,10 +57,20 @@ pub fn kcore(size: Size) -> Workload {
     let grid = Dim3::d1(nverts.div_ceil(256) as u32);
     let launches = (2..5u64)
         .map(|kk| {
-            Launch::new(k.clone(), grid, Dim3::d1(256), vec![rp, ci, counts, deg, nverts, kk])
+            Launch::new(
+                k.clone(),
+                grid,
+                Dim3::d1(256),
+                vec![rp, ci, counts, deg, nverts, kk],
+            )
         })
         .collect();
-    Workload { name: "KCR", suite: "graphBig", gmem: g, launches }
+    Workload {
+        name: "KCR",
+        suite: "graphBig",
+        gmem: g,
+        launches,
+    }
 }
 
 /// SSSP: Bellman-Ford-style relaxation with atomic min — the paper's most
@@ -72,8 +92,18 @@ pub fn sssp(size: Size) -> Workload {
     let launches = (0..3)
         .map(|it| {
             let (src, dst) = if it % 2 == 0 { (da, db) } else { (db, da) };
-            Launch::new(k.clone(), grid, Dim3::d1(256), vec![rp, ci, src, dst, nverts, 0])
+            Launch::new(
+                k.clone(),
+                grid,
+                Dim3::d1(256),
+                vec![rp, ci, src, dst, nverts, 0],
+            )
         })
         .collect();
-    Workload { name: "SSSP", suite: "graphBig", gmem: g, launches }
+    Workload {
+        name: "SSSP",
+        suite: "graphBig",
+        gmem: g,
+        launches,
+    }
 }

@@ -40,8 +40,18 @@ pub fn lib(size: Size) -> Workload {
     let z = data::alloc_f32(&mut g, npaths, &mut rng, -0.1, 0.1);
     let rates = data::alloc_f32(&mut g, steps as u64, &mut rng, 0.0, 0.05);
     let out = data::alloc_f32_zero(&mut g, npaths);
-    let launch = Launch::new(k, Dim3::d1((npaths / 256) as u32), Dim3::d1(256), vec![z, rates, out]);
-    Workload { name: "LIB", suite: "ispass", gmem: g, launches: vec![launch] }
+    let launch = Launch::new(
+        k,
+        Dim3::d1((npaths / 256) as u32),
+        Dim3::d1(256),
+        vec![z, rates, out],
+    );
+    Workload {
+        name: "LIB",
+        suite: "ispass",
+        gmem: g,
+        launches: vec![launch],
+    }
 }
 
 /// LPS: 3D Laplace solver — the z-loop stencil shape.
@@ -64,7 +74,12 @@ pub fn lps(size: Size) -> Workload {
         Dim3::d2(32, 4),
         vec![input, output, pitch, planes + 2],
     );
-    Workload { name: "LPS", suite: "ispass", gmem: g, launches: vec![launch] }
+    Workload {
+        name: "LPS",
+        suite: "ispass",
+        gmem: g,
+        launches: vec![launch],
+    }
 }
 
 /// RAY: per-pixel ray/sphere intersection — 2D pixel indexing, a loop over
@@ -127,5 +142,10 @@ pub fn ray(size: Size) -> Workload {
         Dim3::d2(32, 4),
         vec![spheres, out, w],
     );
-    Workload { name: "RAY", suite: "ispass", gmem: g, launches: vec![launch] }
+    Workload {
+        name: "RAY",
+        suite: "ispass",
+        gmem: g,
+        launches: vec![launch],
+    }
 }

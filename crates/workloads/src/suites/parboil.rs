@@ -22,7 +22,12 @@ pub fn histo(size: Size) -> Workload {
         Dim3::d1(256),
         vec![input, hist, bins - 1],
     );
-    Workload { name: "HIS", suite: "parboil", gmem: g, launches: vec![launch] }
+    Workload {
+        name: "HIS",
+        suite: "parboil",
+        gmem: g,
+        launches: vec![launch],
+    }
 }
 
 /// MRG: MRI gridding — scattered atomic accumulation of samples into a grid.
@@ -64,7 +69,12 @@ pub fn mri_gridding(size: Size) -> Workload {
         Dim3::d1(256),
         vec![xs, ys, vals, grid, gridside],
     );
-    Workload { name: "MRG", suite: "parboil", gmem: g, launches: vec![launch] }
+    Workload {
+        name: "MRG",
+        suite: "parboil",
+        gmem: g,
+        launches: vec![launch],
+    }
 }
 
 /// MRQ: MRI Q computation — per-voxel loop over k-space with sin/cos.
@@ -112,7 +122,12 @@ pub fn mri_q(size: Size) -> Workload {
         Dim3::d1(256),
         vec![x, kt, outr, outi],
     );
-    Workload { name: "MRQ", suite: "parboil", gmem: g, launches: vec![launch] }
+    Workload {
+        name: "MRQ",
+        suite: "parboil",
+        gmem: g,
+        launches: vec![launch],
+    }
 }
 
 /// SAD: sum of absolute differences over a 4x4 window — unrolled
@@ -167,7 +182,12 @@ pub fn sad(size: Size) -> Workload {
         Dim3::d2(32, 4),
         vec![ia, ib, out, pitch],
     );
-    Workload { name: "SAD", suite: "parboil", gmem: g, launches: vec![launch] }
+    Workload {
+        name: "SAD",
+        suite: "parboil",
+        gmem: g,
+        launches: vec![launch],
+    }
 }
 
 trait AbsHelper {
@@ -204,7 +224,12 @@ pub fn sgemm(size: Size) -> Workload {
         Dim3::d2(16, 16),
         vec![a, b, c, n],
     );
-    Workload { name: "SGM", suite: "parboil", gmem: g, launches: vec![launch] }
+    Workload {
+        name: "SGM",
+        suite: "parboil",
+        gmem: g,
+        launches: vec![launch],
+    }
 }
 
 /// SPM: CSR sparse mat-vec — register-regular prologue, data-dependent
@@ -267,7 +292,12 @@ pub fn spmv(size: Size) -> Workload {
         Dim3::d1(256),
         vec![rp, ci, vals, x, y, rows],
     );
-    Workload { name: "SPM", suite: "parboil", gmem: g, launches: vec![launch] }
+    Workload {
+        name: "SPM",
+        suite: "parboil",
+        gmem: g,
+        launches: vec![launch],
+    }
 }
 
 /// STC: the 3D stencil whose `block2D_hybrid_coarsen_x` kernel is the
@@ -290,5 +320,10 @@ pub fn stencil(size: Size) -> Workload {
         Dim3::d2(32, 4),
         vec![input, output, pitch, planes + 2],
     );
-    Workload { name: "STC", suite: "parboil", gmem: g, launches: vec![launch] }
+    Workload {
+        name: "STC",
+        suite: "parboil",
+        gmem: g,
+        launches: vec![launch],
+    }
 }

@@ -26,7 +26,7 @@ fn mv_dim(size: Size) -> u64 {
     }
 }
 
-fn alloc_matrix(g: &mut GlobalMem, rng: &mut rand::rngs::StdRng, n: u64) -> u64 {
+fn alloc_matrix(g: &mut GlobalMem, rng: &mut r2d2_sym::Rng, n: u64) -> u64 {
     data::alloc_f32(g, n * n, rng, -1.0, 1.0)
 }
 
@@ -67,7 +67,12 @@ pub fn conv2d(size: Size) -> Workload {
         Dim3::d2(32, 4),
         vec![input, output, pitch],
     );
-    Workload { name: "2DC", suite: "polybench", gmem: g, launches: vec![launch] }
+    Workload {
+        name: "2DC",
+        suite: "polybench",
+        gmem: g,
+        launches: vec![launch],
+    }
 }
 
 /// 2MM: `E = (A x B) x D` as two dependent mat-muls.
@@ -85,7 +90,12 @@ pub fn mm2(size: Size) -> Workload {
         mm_launch(patterns::matmul("mm2_1"), a, b, c, n, kd),
         mm_launch(patterns::matmul("mm2_2"), c, d, e, n, n.min(2 * kd)),
     ];
-    Workload { name: "2MM", suite: "polybench", gmem: g, launches }
+    Workload {
+        name: "2MM",
+        suite: "polybench",
+        gmem: g,
+        launches,
+    }
 }
 
 /// 3DC: 3D convolution (z-loop stencil).
@@ -107,7 +117,12 @@ pub fn conv3d(size: Size) -> Workload {
         Dim3::d2(32, 4),
         vec![input, output, pitch, planes + 2],
     );
-    Workload { name: "3DC", suite: "polybench", gmem: g, launches: vec![launch] }
+    Workload {
+        name: "3DC",
+        suite: "polybench",
+        gmem: g,
+        launches: vec![launch],
+    }
 }
 
 /// 3MM: `G = (A x B) x (C x D)` as three mat-muls.
@@ -128,11 +143,21 @@ pub fn mm3(size: Size) -> Workload {
         mm_launch(patterns::matmul("mm3_2"), c, d, ff, n, kd),
         mm_launch(patterns::matmul("mm3_3"), e, ff, out, n, kd),
     ];
-    Workload { name: "3MM", suite: "polybench", gmem: g, launches }
+    Workload {
+        name: "3MM",
+        suite: "polybench",
+        gmem: g,
+        launches,
+    }
 }
 
 fn mv_launch(kernel: r2d2_isa::Kernel, a: u64, x: u64, y: u64, n: u64) -> Launch {
-    Launch::new(kernel, Dim3::d1((n / 128) as u32), Dim3::d1(128), vec![a, x, y, n])
+    Launch::new(
+        kernel,
+        Dim3::d1((n / 128) as u32),
+        Dim3::d1(128),
+        vec![a, x, y, n],
+    )
 }
 
 /// ATA: `y = A^T (A x)` — row-walk then column-walk mat-vec.
@@ -148,7 +173,12 @@ pub fn atax(size: Size) -> Workload {
         mv_launch(patterns::matvec("atax_1", false), a, x, tmp, n),
         mv_launch(patterns::matvec("atax_2", true), a, tmp, y, n),
     ];
-    Workload { name: "ATA", suite: "polybench", gmem: g, launches }
+    Workload {
+        name: "ATA",
+        suite: "polybench",
+        gmem: g,
+        launches,
+    }
 }
 
 /// BIC: BiCG — `q = A p` and `s = A^T r`.
@@ -165,7 +195,12 @@ pub fn bicg(size: Size) -> Workload {
         mv_launch(patterns::matvec("bicg_q", false), a, p, q, n),
         mv_launch(patterns::matvec("bicg_s", true), a, r, s, n),
     ];
-    Workload { name: "BIC", suite: "polybench", gmem: g, launches }
+    Workload {
+        name: "BIC",
+        suite: "polybench",
+        gmem: g,
+        launches,
+    }
 }
 
 /// FDT: FDTD-2D — three field-update sweeps with 1-D thread blocks (the
@@ -205,7 +240,12 @@ pub fn fdtd2d(size: Size) -> Workload {
             vec![ey, hz, pitch],
         ));
     }
-    Workload { name: "FDT", suite: "polybench", gmem: g, launches }
+    Workload {
+        name: "FDT",
+        suite: "polybench",
+        gmem: g,
+        launches,
+    }
 }
 
 /// GEM: a single GEMM.
@@ -218,7 +258,12 @@ pub fn gemm(size: Size) -> Workload {
     let b = data::alloc_f32(&mut g, kd * n, &mut rng, -1.0, 1.0);
     let c = data::alloc_f32_zero(&mut g, n * n);
     let launches = vec![mm_launch(patterns::matmul("gemm"), a, b, c, n, kd)];
-    Workload { name: "GEM", suite: "polybench", gmem: g, launches }
+    Workload {
+        name: "GEM",
+        suite: "polybench",
+        gmem: g,
+        launches,
+    }
 }
 
 /// GSM: GESUMMV — `y = alpha*A*x + beta*B*x` via two mat-vec passes and a
@@ -243,7 +288,12 @@ pub fn gesummv(size: Size) -> Workload {
             vec![t1, t2, y],
         ),
     ];
-    Workload { name: "GSM", suite: "polybench", gmem: g, launches }
+    Workload {
+        name: "GSM",
+        suite: "polybench",
+        gmem: g,
+        launches,
+    }
 }
 
 /// MVT: `x1 += A y1; x2 += A^T y2` as two mat-vec passes.
@@ -260,5 +310,10 @@ pub fn mvt(size: Size) -> Workload {
         mv_launch(patterns::matvec("mvt_1", false), a, y1, x1, n),
         mv_launch(patterns::matvec("mvt_2", true), a, y2, x2, n),
     ];
-    Workload { name: "MVT", suite: "polybench", gmem: g, launches }
+    Workload {
+        name: "MVT",
+        suite: "polybench",
+        gmem: g,
+        launches,
+    }
 }

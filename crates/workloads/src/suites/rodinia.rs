@@ -23,10 +23,20 @@ pub fn bfs(size: Size) -> Workload {
     let grid = Dim3::d1(nverts.div_ceil(256) as u32);
     let launches = (0..4u64)
         .map(|it| {
-            Launch::new(k.clone(), grid, Dim3::d1(256), vec![rp, ci, level, level, nverts, it])
+            Launch::new(
+                k.clone(),
+                grid,
+                Dim3::d1(256),
+                vec![rp, ci, level, level, nverts, it],
+            )
         })
         .collect();
-    Workload { name: "BFS", suite: "rodinia", gmem: g, launches }
+    Workload {
+        name: "BFS",
+        suite: "rodinia",
+        gmem: g,
+        launches,
+    }
 }
 
 /// The paper's Fig. 2 kernel, verbatim:
@@ -169,7 +179,12 @@ pub fn backprop_with_nodes(nodes: u64) -> Workload {
             vec![delta, ly, w, oldw, hid],
         ),
     ];
-    Workload { name: "BP", suite: "rodinia", gmem: g, launches }
+    Workload {
+        name: "BP",
+        suite: "rodinia",
+        gmem: g,
+        launches,
+    }
 }
 
 /// BP at default scale.
@@ -233,7 +248,12 @@ pub fn btree(size: Size) -> Workload {
         Dim3::d1(256),
         vec![queries, tree, out, nnodes],
     );
-    Workload { name: "BTR", suite: "rodinia", gmem: g, launches: vec![launch] }
+    Workload {
+        name: "BTR",
+        suite: "rodinia",
+        gmem: g,
+        launches: vec![launch],
+    }
 }
 
 /// CFD: flux computation — four same-shape state arrays read at the cell and
@@ -311,7 +331,12 @@ pub fn cfd(size: Size) -> Workload {
         Dim3::d1(128),
         vec![dens, momx, momy, ener, out, ncells],
     );
-    Workload { name: "CFD", suite: "rodinia", gmem: g, launches: vec![launch] }
+    Workload {
+        name: "CFD",
+        suite: "rodinia",
+        gmem: g,
+        launches: vec![launch],
+    }
 }
 
 /// DWT: one Haar wavelet level — horizontal pair-averaging pass then a
@@ -388,7 +413,12 @@ pub fn dwt2d(size: Size) -> Workload {
     let tmp = data::alloc_f32_zero(&mut g, (w / 2) * h);
     let out = data::alloc_f32_zero(&mut g, (w / 2) * (h / 2));
     let launches = vec![
-        Launch::new(hpass, Dim3::d2((w / 2 / 64) as u32, h as u32), Dim3::d2(64, 1), vec![img, tmp, w]),
+        Launch::new(
+            hpass,
+            Dim3::d2((w / 2 / 64) as u32, h as u32),
+            Dim3::d2(64, 1),
+            vec![img, tmp, w],
+        ),
         Launch::new(
             vpass,
             Dim3::d2((w / 2 / 64) as u32, (h / 2) as u32),
@@ -396,7 +426,12 @@ pub fn dwt2d(size: Size) -> Workload {
             vec![tmp, out, w / 2],
         ),
     ];
-    Workload { name: "DWT", suite: "rodinia", gmem: g, launches }
+    Workload {
+        name: "DWT",
+        suite: "rodinia",
+        gmem: g,
+        launches,
+    }
 }
 
 /// GAS: Gaussian elimination — per-iteration Fan1 (multipliers) and Fan2
@@ -499,7 +534,12 @@ pub fn gaussian(size: Size) -> Workload {
             vec![a, m, n, k],
         ));
     }
-    Workload { name: "GAS", suite: "rodinia", gmem: g, launches }
+    Workload {
+        name: "GAS",
+        suite: "rodinia",
+        gmem: g,
+        launches,
+    }
 }
 
 /// HSP: hotspot — a 5-point stencil over two same-index input grids
@@ -575,7 +615,12 @@ pub fn hotspot(size: Size) -> Workload {
         Dim3::d2(32, 4),
         vec![temp, power, out, pitch],
     );
-    Workload { name: "HSP", suite: "rodinia", gmem: g, launches: vec![launch] }
+    Workload {
+        name: "HSP",
+        suite: "rodinia",
+        gmem: g,
+        launches: vec![launch],
+    }
 }
 
 /// HTW: heartwall — windowed template correlation (unrolled 2D taps + sqrt
@@ -632,7 +677,12 @@ pub fn heartwall(size: Size) -> Workload {
         Dim3::d2(32, 4),
         vec![frame, tmpl, out, pitch],
     );
-    Workload { name: "HTW", suite: "rodinia", gmem: g, launches: vec![launch] }
+    Workload {
+        name: "HTW",
+        suite: "rodinia",
+        gmem: g,
+        launches: vec![launch],
+    }
 }
 
 /// KM: k-means membership — 1-D blocks, per-point loop over clusters and
@@ -687,7 +737,12 @@ pub fn kmeans(size: Size) -> Workload {
         Dim3::d1(128),
         vec![pts, cents, memb, npoints],
     );
-    Workload { name: "KM", suite: "rodinia", gmem: g, launches: vec![launch] }
+    Workload {
+        name: "KM",
+        suite: "rodinia",
+        gmem: g,
+        launches: vec![launch],
+    }
 }
 
 /// LMD: lavaMD — per-particle loop over a neighbor list with rsqrt force
@@ -731,7 +786,13 @@ pub fn lavamd(size: Size) -> Workload {
 
     let mut g = GlobalMem::new();
     let mut rng = data::rng(0x1a6);
-    let pos = data::alloc_f32(&mut g, (nparticles + nneigh as u64 + 1) * 3, &mut rng, 0.0, 8.0);
+    let pos = data::alloc_f32(
+        &mut g,
+        (nparticles + nneigh as u64 + 1) * 3,
+        &mut rng,
+        0.0,
+        8.0,
+    );
     let out = data::alloc_f32_zero(&mut g, nparticles);
     let launch = Launch::new(
         k,
@@ -739,7 +800,12 @@ pub fn lavamd(size: Size) -> Workload {
         Dim3::d1(128),
         vec![pos, out, nparticles],
     );
-    Workload { name: "LMD", suite: "rodinia", gmem: g, launches: vec![launch] }
+    Workload {
+        name: "LMD",
+        suite: "rodinia",
+        gmem: g,
+        launches: vec![launch],
+    }
 }
 
 /// LUD: blocked LU decomposition — *many tiny kernel launches* over a
@@ -806,7 +872,12 @@ pub fn lud(size: Size) -> Workload {
         org += tile;
         span -= tile;
     }
-    Workload { name: "LUD", suite: "rodinia", gmem: g, launches }
+    Workload {
+        name: "LUD",
+        suite: "rodinia",
+        gmem: g,
+        launches,
+    }
 }
 
 /// MUM: MUMmer suffix-tree matching — character-driven pointer chasing.
@@ -856,7 +927,11 @@ pub fn mummer(size: Size) -> Workload {
     let tree = g.alloc(nnodes * 4 * 4);
     for nidx in 0..nnodes {
         for c in 0..4u64 {
-            g.write_i32(tree, nidx * 4 + c, ((nidx * 7 + c * 13 + 1) % nnodes) as i32);
+            g.write_i32(
+                tree,
+                nidx * 4 + c,
+                ((nidx * 7 + c * 13 + 1) % nnodes) as i32,
+            );
         }
     }
     let out = data::alloc_i32_zero(&mut g, nqueries);
@@ -866,7 +941,12 @@ pub fn mummer(size: Size) -> Workload {
         Dim3::d1(256),
         vec![queries, tree, out, qlen as u64],
     );
-    Workload { name: "MUM", suite: "rodinia", gmem: g, launches: vec![launch] }
+    Workload {
+        name: "MUM",
+        suite: "rodinia",
+        gmem: g,
+        launches: vec![launch],
+    }
 }
 
 /// NN: nearest-neighbor distance — pure streaming with sqrt.
@@ -915,9 +995,18 @@ pub fn nn(size: Size) -> Workload {
     let lat = data::alloc_f32(&mut g, n, &mut rng, 25.0, 35.0);
     let lng = data::alloc_f32(&mut g, n, &mut rng, -95.0, -85.0);
     let dist = data::alloc_f32_zero(&mut g, n);
-    let launch =
-        Launch::new(k, Dim3::d1((n / 256) as u32), Dim3::d1(256), vec![lat, lng, dist]);
-    Workload { name: "NN", suite: "rodinia", gmem: g, launches: vec![launch] }
+    let launch = Launch::new(
+        k,
+        Dim3::d1((n / 256) as u32),
+        Dim3::d1(256),
+        vec![lat, lng, dist],
+    );
+    Workload {
+        name: "NN",
+        suite: "rodinia",
+        gmem: g,
+        launches: vec![launch],
+    }
 }
 
 /// PTH: pathfinder — dynamic-programming rows with clamped neighbor reads
@@ -962,9 +1051,13 @@ pub fn pathfinder(size: Size) -> Workload {
     let mut g = GlobalMem::new();
     let mut rng = data::rng(0x974);
     let mut prev = data::alloc_f32(&mut g, w, &mut rng, 0.0, 10.0);
-    let walls: Vec<u64> =
-        (0..rows).map(|_| data::alloc_f32(&mut g, w, &mut rng, 0.0, 10.0)).collect();
-    let mut bufs = [data::alloc_f32_zero(&mut g, w), data::alloc_f32_zero(&mut g, w)];
+    let walls: Vec<u64> = (0..rows)
+        .map(|_| data::alloc_f32(&mut g, w, &mut rng, 0.0, 10.0))
+        .collect();
+    let mut bufs = [
+        data::alloc_f32_zero(&mut g, w),
+        data::alloc_f32_zero(&mut g, w),
+    ];
     let mut launches = Vec::new();
     for r in 0..rows as usize {
         let out = bufs[r % 2];
@@ -977,7 +1070,12 @@ pub fn pathfinder(size: Size) -> Workload {
         prev = out;
         bufs[r % 2] = prev;
     }
-    Workload { name: "PTH", suite: "rodinia", gmem: g, launches }
+    Workload {
+        name: "PTH",
+        suite: "rodinia",
+        gmem: g,
+        launches,
+    }
 }
 
 fn srad_kernel(name: &str) -> Kernel {
@@ -1074,7 +1172,12 @@ pub fn srad1(size: Size) -> Workload {
         Dim3::d2(16, 16),
         vec![input, output, pitch],
     );
-    Workload { name: "SRAD1", suite: "rodinia", gmem: g, launches: vec![launch] }
+    Workload {
+        name: "SRAD1",
+        suite: "rodinia",
+        gmem: g,
+        launches: vec![launch],
+    }
 }
 
 /// SRAD2: the paper's across-block showcase — 8 warps per block, thousands
@@ -1096,5 +1199,10 @@ pub fn srad2(size: Size) -> Workload {
         Dim3::d2(32, 8),
         vec![input, output, pitch],
     );
-    Workload { name: "SRAD2", suite: "rodinia", gmem: g, launches: vec![launch] }
+    Workload {
+        name: "SRAD2",
+        suite: "rodinia",
+        gmem: g,
+        launches: vec![launch],
+    }
 }

@@ -114,7 +114,10 @@ fn cfd_reads_four_same_shape_state_arrays() {
     let w = build("CFD", Size::Small).unwrap();
     let k = &w.launches[0].kernel;
     let loads = k.count_instrs(|i| matches!(i.op, Op::Ld(_)));
-    assert!(loads >= 8, "cell + neighbor loads of 4 state arrays, got {loads}");
+    assert!(
+        loads >= 8,
+        "cell + neighbor loads of 4 state arrays, got {loads}"
+    );
 }
 
 #[test]
@@ -123,7 +126,10 @@ fn his_and_mrg_use_atomics() {
     for name in ["HIS", "MRG"] {
         let w = build(name, Size::Small).unwrap();
         let k = &w.launches[0].kernel;
-        assert!(k.count_instrs(|i| matches!(i.op, Op::Atom(_))) > 0, "{name}");
+        assert!(
+            k.count_instrs(|i| matches!(i.op, Op::Atom(_))) > 0,
+            "{name}"
+        );
     }
 }
 
@@ -195,7 +201,10 @@ fn full_size_keeps_simulation_tractable_but_occupied() {
             .map(|l| l.num_blocks() * l.warps_per_block() as u64 * l.kernel.instrs.len() as u64)
             .sum();
         // Loops can exceed this; it is a sanity bound on sheer launch size.
-        assert!(static_bound < 30_000_000, "{name}: static bound {static_bound}");
+        assert!(
+            static_bound < 30_000_000,
+            "{name}: static bound {static_bound}"
+        );
     }
 }
 
@@ -208,7 +217,11 @@ fn scheduling_hoists_loads_in_every_workload() {
     for name in ["2DC", "HSP", "CFD", "SAD"] {
         let w = build(name, Size::Small).unwrap();
         let k = &w.launches[0].kernel;
-        let first_ld = k.instrs.iter().position(|i| matches!(i.op, Op::Ld(_))).unwrap();
+        let first_ld = k
+            .instrs
+            .iter()
+            .position(|i| matches!(i.op, Op::Ld(_)))
+            .unwrap();
         let loads_before_first_fp = k.instrs[..first_ld + 8]
             .iter()
             .filter(|i| matches!(i.op, Op::Ld(_)))

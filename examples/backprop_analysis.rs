@@ -64,7 +64,12 @@ fn main() {
 
     let mut g2 = GlobalMem::new();
     let buf2 = g2.alloc(1 << 22);
-    let mut l2 = Launch::new(r2.kernel.clone(), grid, block, vec![buf2, 16, 0, 0, 0, buf2]);
+    let mut l2 = Launch::new(
+        r2.kernel.clone(),
+        grid,
+        block,
+        vec![buf2, 16, 0, 0, 0, buf2],
+    );
     l2.meta = Some(r2.meta.clone());
     let s2 = functional::run_r2d2(&l2, &mut g2, 10_000_000, None).unwrap();
     assert_eq!(g1.bytes(), g2.bytes());

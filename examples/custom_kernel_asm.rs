@@ -61,13 +61,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let mut g1 = GlobalMem::new();
     let (i1, o1) = setup(&mut g1);
-    let l1 = Launch::new(kernel, Dim3::d1((rows / 128) as u32), Dim3::d1(128), vec![i1, o1, w]);
+    let l1 = Launch::new(
+        kernel,
+        Dim3::d1((rows / 128) as u32),
+        Dim3::d1(128),
+        vec![i1, o1, w],
+    );
     let s1 = functional::run(&l1, &mut g1, 10_000_000, None)?;
 
     let mut g2 = GlobalMem::new();
     let (i2, o2) = setup(&mut g2);
-    let mut l2 =
-        Launch::new(r2.kernel, Dim3::d1((rows / 128) as u32), Dim3::d1(128), vec![i2, o2, w]);
+    let mut l2 = Launch::new(
+        r2.kernel,
+        Dim3::d1((rows / 128) as u32),
+        Dim3::d1(128),
+        vec![i2, o2, w],
+    );
     l2.meta = Some(r2.meta);
     let s2 = functional::run_r2d2(&l2, &mut g2, 10_000_000, None)?;
 

@@ -60,7 +60,10 @@ fn main() {
     println!("\nFigure 1(b) — baseAddr + byteSize*threadIdx.x + byteSize*blockDim.x*blockIdx.x\n");
     let row1: Vec<i64> = ids.iter().map(|_| BYTE_SIZE * THREADS as i64).collect();
     let row2: Vec<i64> = ids.iter().map(|(_, t)| BYTE_SIZE * t).collect();
-    let row3: Vec<i64> = ids.iter().map(|(b, _)| BYTE_SIZE * THREADS as i64 * b).collect();
+    let row3: Vec<i64> = ids
+        .iter()
+        .map(|(b, _)| BYTE_SIZE * THREADS as i64 * b)
+        .collect();
     let row4: Vec<i64> = row2.iter().map(|v| BASE_ADDR + v).collect();
     let row5: Vec<i64> = row4.iter().zip(&row3).map(|(a, b)| a + b).collect();
     print_row("byteSize*blockDim.x", &row1);
@@ -73,7 +76,10 @@ fn main() {
     // kept as (thread-part, block-part) tuples — no row-5 computations.
     let unique_b = 1 + unique(&row2) + unique(&row3) + unique(&row4);
     println!("\nunique computations: {unique_b} of {}", 5 * ids.len());
-    assert_eq!(unique_b, 13, "1 scalar + 4 thread-scaled + 4 block parts + 4 thread+base");
+    assert_eq!(
+        unique_b, 13,
+        "1 scalar + 4 thread-scaled + 4 block parts + 4 thread+base"
+    );
 
     // The introduction's 29-of-80 counts each *row-1..4 computation that must
     // actually execute* under R2D2's decoupling with the tuple optimization:

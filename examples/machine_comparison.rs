@@ -14,15 +14,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "BP".to_string());
     let w = workloads::build(&name, Size::Small)
         .unwrap_or_else(|| panic!("unknown workload {name}; see r2d2::workloads::NAMES"));
-    let cfg = GpuConfig { num_sms: 16, ..Default::default() };
+    let cfg = GpuConfig {
+        num_sms: 16,
+        ..Default::default()
+    };
 
     let mut results: Vec<(&str, Stats, f64)> = Vec::new();
     let mut reference: Option<Vec<u8>> = None;
 
-    let models: Vec<(&str, Box<dyn Fn(&Launch, &mut GlobalMem) -> r2d2::core::machine::RunResult>)> = vec![
-        ("Baseline", Box::new(|l, g| run_baseline(&cfg, l, g).unwrap())),
-        ("DAC", Box::new(|l, g| run_with_filter(&cfg, l, g, &mut DacFilter::new()).unwrap())),
-        ("DARSIE", Box::new(|l, g| run_with_filter(&cfg, l, g, &mut DarsieFilter::new()).unwrap())),
+    type ModelFn<'a> = Box<dyn Fn(&Launch, &mut GlobalMem) -> r2d2::core::machine::RunResult + 'a>;
+    let models: Vec<(&str, ModelFn)> = vec![
+        (
+            "Baseline",
+            Box::new(|l, g| run_baseline(&cfg, l, g).unwrap()),
+        ),
+        (
+            "DAC",
+            Box::new(|l, g| run_with_filter(&cfg, l, g, &mut DacFilter::new()).unwrap()),
+        ),
+        (
+            "DARSIE",
+            Box::new(|l, g| run_with_filter(&cfg, l, g, &mut DarsieFilter::new()).unwrap()),
+        ),
         (
             "DARSIE+S",
             Box::new(|l, g| run_with_filter(&cfg, l, g, &mut DarsieScalarFilter::new()).unwrap()),
@@ -57,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let base = results[0].1.clone();
     let base_e = results[0].2;
-    println!("workload {name} ({} launches), results identical across machines ✓\n", w.launches.len());
+    println!(
+        "workload {name} ({} launches), results identical across machines ✓\n",
+        w.launches.len()
+    );
     println!(
         "{:>10} {:>12} {:>10} {:>10} {:>10} {:>10}",
         "machine", "warp instrs", "reduction", "cycles", "speedup", "energy"

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Run both machines on identical inputs.
-    let cfg = GpuConfig { num_sms: 16, ..Default::default() };
+    let cfg = GpuConfig {
+        num_sms: 16,
+        ..Default::default()
+    };
     let grid = Dim3::d1(512);
     let block = Dim3::d1(256);
     let n = grid.count() * block.count();
@@ -68,8 +71,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(g1.bytes(), g2.bytes(), "bit-identical results");
     assert_eq!(g1.read_f32(y1, 100), 201.0);
 
-    println!("baseline: {:>9} warp instructions, {:>7} cycles", base.stats.warp_instrs, base.stats.cycles);
-    println!("R2D2:     {:>9} warp instructions, {:>7} cycles", r2run.stats.warp_instrs, r2run.stats.cycles);
+    println!(
+        "baseline: {:>9} warp instructions, {:>7} cycles",
+        base.stats.warp_instrs, base.stats.cycles
+    );
+    println!(
+        "R2D2:     {:>9} warp instructions, {:>7} cycles",
+        r2run.stats.warp_instrs, r2run.stats.cycles
+    );
     println!(
         "          {:.1}% fewer instructions, {:.2}x speedup, {:.1}% less energy",
         100.0 * (base.stats.warp_instrs - r2run.stats.warp_instrs) as f64

@@ -1,13 +1,26 @@
 #!/usr/bin/env python3
-"""Summarize the bench-harness CSVs under results/ (paper-vs-measured).
+"""Summarize the harness results under results/ (paper-vs-measured).
 
-Run after `cargo bench`:  python3 scripts/summarize_results.py
+Run after `cargo bench` or `r2d2 sweep run all`:
+    python3 scripts/summarize_results.py
+
+Two sources are understood:
+  * results/run_records.csv — the unified one-row-per-job export written by
+    the r2d2-harness cache (schema: r2d2_harness::export::CSV_HEADER).
+  * results/<figure>.csv — the legacy per-figure tables each bench target
+    still writes alongside its stdout report.
 """
 import csv
+import math
 import os
 import sys
 
-RESULTS = os.path.join(os.path.dirname(__file__), "..", "results")
+RESULTS = os.environ.get(
+    "R2D2_RESULTS", os.path.join(os.path.dirname(__file__), "..", "results")
+)
+
+# Comparison models as named in run_records.csv's `model` column.
+MODELS = ["dac", "darsie", "darsie_scalar", "r2d2"]
 
 
 def rows(name):
@@ -23,8 +36,64 @@ def last_row(name):
     return r[-1] if r else None
 
 
+def geomean(xs):
+    xs = [x for x in xs if x > 0]
+    if not xs:
+        return float("nan")
+    return math.exp(sum(math.log(x) for x in xs) / len(xs))
+
+
+def summarize_run_records():
+    """Headline numbers straight from the unified cache export."""
+    recs = rows("run_records")
+    if not recs:
+        return False
+    # Nominal-config rows only (no GpuConfig overrides); prefer full size.
+    nominal = [r for r in recs if not (r["num_sms"] or r["fetch_table"]
+                                       or r["regid_calc"] or r["lr_add"])]
+    sizes = {r["size"] for r in nominal}
+    size = "full" if "full" in sizes else "small"
+    nominal = [r for r in nominal if r["size"] == size]
+    by_wl = {}
+    for r in nominal:
+        by_wl.setdefault(r["workload"], {})[r["model"]] = r
+
+    print(f"unified run_records.csv: {len(recs)} cached jobs "
+          f"({len(by_wl)} workloads at size={size})")
+    for model in MODELS:
+        speed, instr, energy = [], [], []
+        for per in by_wl.values():
+            base, m = per.get("baseline"), per.get(model)
+            if not base or not m:
+                continue
+            speed.append(int(base["cycles"]) / max(int(m["cycles"]), 1))
+            instr.append(100.0 * (1 - int(m["warp_instrs"])
+                                  / max(int(base["warp_instrs"]), 1)))
+            energy.append(100.0 * (1 - float(m["total_pj"])
+                                   / max(float(base["total_pj"]), 1e-9)))
+        if speed:
+            d_instr = -sum(instr) / len(instr)   # negative = fewer instructions
+            d_energy = -sum(energy) / len(energy)
+            print(f"  {model:<14} geomean speedup {geomean(speed):5.2f}x"
+                  f"   instr {d_instr:+5.1f}%"
+                  f"   energy {d_energy:+5.1f}%"
+                  f"   ({len(speed)} workloads)")
+    ideals = [r for r in nominal if r["model"] == "ideals" and r["ideal_baseline"]]
+    if ideals:
+        def red(col):
+            return sum(100.0 * (1 - int(r[col]) / max(int(r["ideal_baseline"]), 1))
+                       for r in ideals) / len(ideals)
+        print(f"  {'ideals':<14} avg reduction  WP {red('ideal_wp'):.0f}%"
+              f" / TB {red('ideal_tb'):.0f}% / LN {red('ideal_ln'):.0f}%"
+              f"   (paper Fig.4: 27/22/33)")
+    print()
+    return True
+
+
 def main():
     print("paper-vs-measured summary (see EXPERIMENTS.md for discussion)\n")
+
+    summarize_run_records()
 
     r = last_row("fig04_ideal_machines")
     if r:

@@ -57,8 +57,6 @@ pub mod prelude {
     pub use r2d2_core::machine::{run_baseline, run_r2d2, run_with_filter};
     pub use r2d2_core::transform::{make_launch, transform};
     pub use r2d2_isa::{Kernel, KernelBuilder, Ty};
-    pub use r2d2_sim::{
-        BaselineFilter, Dim3, GlobalMem, GpuConfig, IssueFilter, Launch, Stats,
-    };
+    pub use r2d2_sim::{BaselineFilter, Dim3, GlobalMem, GpuConfig, IssueFilter, Launch, Stats};
     pub use r2d2_workloads::{Size, Workload};
 }

@@ -67,7 +67,10 @@ fn every_workload_is_r2d2_equivalent() {
 #[test]
 fn timed_baseline_matches_functional_results() {
     use r2d2::sim::{simulate, BaselineFilter, GpuConfig};
-    let cfg = GpuConfig { num_sms: 8, ..Default::default() };
+    let cfg = GpuConfig {
+        num_sms: 8,
+        ..Default::default()
+    };
     // A representative subset across suites (full-zoo timing runs live in the
     // bench harness).
     for name in ["BP", "GEM", "BFS", "SPM", "2DC", "FFT", "VGG", "LUD"] {
@@ -79,7 +82,11 @@ fn timed_baseline_matches_functional_results() {
         for l in &w.launches {
             stats.merge_sequential(&simulate(&cfg, l, &mut g2, &mut BaselineFilter).unwrap());
         }
-        assert_eq!(g1.bytes(), g2.bytes(), "{name}: timing diverged from functional");
+        assert_eq!(
+            g1.bytes(),
+            g2.bytes(),
+            "{name}: timing diverged from functional"
+        );
         assert!(stats.cycles > 0, "{name}");
     }
 }
@@ -88,7 +95,10 @@ fn timed_baseline_matches_functional_results() {
 fn timed_r2d2_matches_baseline_results() {
     use r2d2::core::transform::make_launch;
     use r2d2::sim::{simulate, BaselineFilter, GpuConfig};
-    let cfg = GpuConfig { num_sms: 8, ..Default::default() };
+    let cfg = GpuConfig {
+        num_sms: 8,
+        ..Default::default()
+    };
     for name in ["BP", "GEM", "SRAD2", "KM", "CFD", "NN", "FFT_PT"] {
         let w = workloads::build(name, Size::Small).unwrap();
         let mut g1 = w.gmem.clone();

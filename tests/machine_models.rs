@@ -22,7 +22,10 @@ fn run_all(
 
 #[test]
 fn all_models_preserve_results_across_the_zoo() {
-    let cfg = GpuConfig { num_sms: 4, ..Default::default() };
+    let cfg = GpuConfig {
+        num_sms: 4,
+        ..Default::default()
+    };
     for (name, _) in workloads::NAMES {
         let w = workloads::build(name, Size::Small).unwrap();
         let (base, bytes) = run_all(&w, &cfg, Box::new(BaselineFilter));
@@ -41,14 +44,20 @@ fn all_models_preserve_results_across_the_zoo() {
                 s.skipped_warp_instrs,
                 base.warp_instrs
             );
-            assert!(s.warp_instrs <= base.warp_instrs, "{name}/{mname} added instructions");
+            assert!(
+                s.warp_instrs <= base.warp_instrs,
+                "{name}/{mname} added instructions"
+            );
         }
     }
 }
 
 #[test]
 fn stats_invariants_hold() {
-    let cfg = GpuConfig { num_sms: 4, ..Default::default() };
+    let cfg = GpuConfig {
+        num_sms: 4,
+        ..Default::default()
+    };
     for name in ["BP", "SRAD2", "BFS", "GEM", "FFT", "LUD", "HIS"] {
         let w = workloads::build(name, Size::Small).unwrap();
         let (s, _) = run_all(&w, &cfg, Box::new(BaselineFilter));
@@ -60,7 +69,10 @@ fn stats_invariants_hold() {
         );
         assert_eq!(s.l1_hits + s.l1_misses, s.events.l1_accesses, "{name}");
         assert_eq!(s.l2_hits + s.l2_misses, s.events.l2_accesses, "{name}");
-        assert!(s.dram_txns <= s.events.l2_accesses, "{name}: DRAM beyond L2 misses");
+        assert!(
+            s.dram_txns <= s.events.l2_accesses,
+            "{name}: DRAM beyond L2 misses"
+        );
         assert_eq!(s.events.fetch_decode, s.warp_instrs, "{name}");
     }
 }
@@ -70,7 +82,10 @@ fn r2d2_prologue_is_bounded() {
     // Fig. 15's qualitative claim: the linear prologue is a small part of
     // execution (we allow a loose bound at test sizes — the bench harness
     // measures the real share at evaluation sizes).
-    let cfg = GpuConfig { num_sms: 4, ..Default::default() };
+    let cfg = GpuConfig {
+        num_sms: 4,
+        ..Default::default()
+    };
     for name in ["BP", "SRAD2", "NN", "2DC"] {
         let w = workloads::build(name, Size::Small).unwrap();
         let mut g = w.gmem.clone();
@@ -103,7 +118,9 @@ fn r2d2_prologue_is_bounded() {
 fn ideal_ln_beats_wp_and_tb_on_average() {
     // The Fig. 4 headline ordering, at test size over a representative set.
     let mut sums = (0.0f64, 0.0f64, 0.0f64);
-    let names = ["BP", "2DC", "SRAD2", "NN", "CFD", "HSP", "FDT", "KM", "SAD", "DWT"];
+    let names = [
+        "BP", "2DC", "SRAD2", "NN", "CFD", "HSP", "FDT", "KM", "SAD", "DWT",
+    ];
     for name in names {
         let w = workloads::build(name, Size::Small).unwrap();
         let mut g = w.gmem.clone();

@@ -20,8 +20,13 @@ fn backprop_matches_fig2_formula() {
     // Snapshot inputs before running.
     let g0 = w.gmem.clone();
     let l = &w.launches[1]; // bp_adjust_weights
-    let (delta, ly, wptr, oldw, hid) =
-        (l.params[0], l.params[1], l.params[2], l.params[3], l.params[4] as i64);
+    let (delta, ly, wptr, oldw, hid) = (
+        l.params[0],
+        l.params[1],
+        l.params[2],
+        l.params[3],
+        l.params[4] as i64,
+    );
     let grid_y = l.grid.y as i64;
 
     let g = run_functional(&w);
@@ -57,8 +62,13 @@ fn backprop_matches_fig2_formula() {
 fn gemm_matches_reference_matmul() {
     let w = build("GEM", Size::Small).unwrap();
     let l = &w.launches[0];
-    let (a, b, c, n, kd) =
-        (l.params[0], l.params[1], l.params[2], l.params[3], l.params[4]);
+    let (a, b, c, n, kd) = (
+        l.params[0],
+        l.params[1],
+        l.params[2],
+        l.params[3],
+        l.params[4],
+    );
     let g0 = w.gmem.clone();
     let g = run_functional(&w);
     // Spot-check a grid of output elements.
@@ -108,8 +118,8 @@ fn bfs_levels_match_reference_bfs() {
     want[0] = 0;
     for cur in 0..iters {
         let snapshot = want.clone();
-        for v in 0..nverts as usize {
-            if snapshot[v] == cur {
+        for (v, &lvl) in snapshot.iter().enumerate() {
+            if lvl == cur {
                 let s = g0.read_i32(rp, v as u64) as u64;
                 let e = g0.read_i32(rp, v as u64 + 1) as u64;
                 for ei in s..e {
@@ -154,8 +164,9 @@ fn pathfinder_rows_match_dp_reference() {
     let g = run_functional(&w);
     // Reconstruct the DP from the launch parameters.
     let width = w.launches[0].params[3] as usize;
-    let mut prev: Vec<f32> =
-        (0..width).map(|x| g0.read_f32(w.launches[0].params[0], x as u64)).collect();
+    let mut prev: Vec<f32> = (0..width)
+        .map(|x| g0.read_f32(w.launches[0].params[0], x as u64))
+        .collect();
     let mut final_out = 0;
     for l in &w.launches {
         let wall = l.params[1];
@@ -171,6 +182,10 @@ fn pathfinder_rows_match_dp_reference() {
     }
     for x in (0..width).step_by(53) {
         let got = g.read_f32(final_out, x as u64);
-        assert!((got - prev[x]).abs() < 1e-3, "row[{x}] {got} != {}", prev[x]);
+        assert!(
+            (got - prev[x]).abs() < 1e-3,
+            "row[{x}] {got} != {}",
+            prev[x]
+        );
     }
 }
