@@ -9,8 +9,16 @@
 use r2d2_core::analyzer::analyze;
 use r2d2_core::transform::transform;
 use r2d2_isa::{Kernel, KernelBuilder, Ty};
-use r2d2_sim::{functional, simulate, BaselineFilter, Dim3, GlobalMem, GpuConfig, Launch};
+use r2d2_sim::{
+    functional, simulate, BaselineFilter, Dim3, GlobalMem, GpuConfig, Launch, LoopKind, Stats,
+};
 use std::time::Instant;
+
+/// Smoke mode (`R2D2_MICRO_SMOKE=1`): shrink sizes and deadlines so CI can
+/// run every bench in seconds while still exercising the same code paths.
+fn smoke() -> bool {
+    std::env::var("R2D2_MICRO_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 fn saxpy_like() -> Kernel {
     let mut b = KernelBuilder::new("saxpy", 3);
@@ -29,16 +37,18 @@ fn saxpy_like() -> Kernel {
     b.build()
 }
 
-/// Run `f` in batches until ~0.5 s elapses (min 4 samples), and report the
-/// median per-iteration time over the collected batch samples.
-fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+/// Run `f` in batches until ~0.5 s elapses (min 4 samples; ~0.1 s in smoke
+/// mode), report the median per-iteration time over the collected batch
+/// samples, and return it in seconds.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> f64 {
     // Warmup.
     for _ in 0..3 {
         std::hint::black_box(f());
     }
     let mut samples: Vec<f64> = Vec::new();
     let batch = 4u32;
-    let deadline = Instant::now() + std::time::Duration::from_millis(500);
+    let budget_ms = if smoke() { 100 } else { 500 };
+    let deadline = Instant::now() + std::time::Duration::from_millis(budget_ms);
     while Instant::now() < deadline || samples.len() < 4 {
         let t0 = Instant::now();
         for _ in 0..batch {
@@ -60,6 +70,120 @@ fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
         "{name:<32} {unit:>12}/iter  ({} samples x {batch})",
         samples.len()
     );
+    median
+}
+
+/// DRAM-bound kernel: a serial chain of `rounds` cold loads, each touching
+/// its own 128-byte line and feeding (a zero from the zero-initialized
+/// buffer) into the next address. With one warp per scheduler, every warp
+/// spends ~a full DRAM latency stalled per round — the cycle-skipping sweet
+/// spot.
+fn dram_bound_kernel(rounds: u32, nthreads: u32) -> Kernel {
+    let mut b = KernelBuilder::new("dram_bound", 2);
+    let i = b.global_tid_x();
+    let p = b.ld_param(0);
+    let mut v = b.imm32(0);
+    for r in 0..rounds {
+        let dep = b.add_ty(Ty::B32, i, v); // serializes on the previous load
+        let ri = b.imm32(r as i32);
+        let nt = b.imm32(nthreads as i32);
+        let j = b.mad_ty(Ty::B32, ri, nt, dep);
+        let loff = b.shl_imm_wide(j, 7); // one fresh L1 line per round
+        let a = b.add_wide(p, loff);
+        v = b.ld_global(Ty::B32, a, 0);
+    }
+    let q = b.ld_param(1);
+    let soff = b.shl_imm_wide(i, 2);
+    let sa = b.add_wide(q, soff);
+    b.st_global(Ty::B32, sa, 0, v);
+    b.build()
+}
+
+/// ALU-bound kernel: a long dependent FP32 chain with one store at the end —
+/// almost every cycle issues, so cycle skipping has nothing to skip.
+fn alu_bound_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("alu_bound", 1);
+    let i = b.global_tid_x();
+    let f = b.cvt(Ty::F32, i);
+    let mut acc = f;
+    for _ in 0..64 {
+        acc = b.mad_ty(Ty::F32, acc, f, f);
+    }
+    let off = b.shl_imm_wide(i, 2);
+    let p = b.ld_param(0);
+    let a = b.add_wide(p, off);
+    b.st_global(Ty::F32, a, 0, acc);
+    b.build()
+}
+
+/// Measure simulator throughput for one kernel under one loop kind: median
+/// wall seconds per run, printed as simulated cycles and warp instructions
+/// per wall-second.
+fn sim_throughput(
+    tag: &str,
+    kernel: &Kernel,
+    grid: u32,
+    block: u32,
+    bufs: &[u64],
+    kind: LoopKind,
+) -> (f64, Stats) {
+    let cfg = GpuConfig {
+        num_sms: 8,
+        loop_kind: kind,
+        ..Default::default()
+    };
+    let run = || {
+        let mut g = GlobalMem::new();
+        let params: Vec<u64> = bufs.iter().map(|&b| g.alloc(b)).collect();
+        let launch = Launch::new(kernel.clone(), Dim3::d1(grid), Dim3::d1(block), params);
+        simulate(&cfg, &launch, &mut g, &mut BaselineFilter).unwrap()
+    };
+    let stats = run();
+    let kname = match kind {
+        LoopKind::Lockstep => "lockstep",
+        LoopKind::EventDriven => "event",
+    };
+    let med = bench(&format!("sim_{tag}_{kname}"), run);
+    println!(
+        "{:<32} {:>10.1}M sim-cycles/s  {:>8.2}M warp-instrs/s",
+        format!("  ({} cycles={})", kname, stats.cycles),
+        stats.cycles as f64 / med / 1e6,
+        stats.warp_instrs as f64 / med / 1e6,
+    );
+    (med, stats)
+}
+
+/// The DRAM-bound vs ALU-bound throughput comparison between the two loop
+/// kinds (the headline numbers for the event-driven rewrite).
+fn sim_throughput_suite() {
+    // DRAM case: occupancy stays fixed at one warp per scheduler (grid 16 x
+    // block 64 over 8 SMs); full mode deepens the stall chain instead of
+    // widening the machine, which would shift time into functional execution
+    // (identical under both loops) and hide the loop overhead being measured.
+    let rounds = if smoke() { 4 } else { 16 };
+    let (dgrid, dblock) = (16u32, 64u32);
+    let dn = u64::from(dgrid * dblock);
+    let ascale = if smoke() { 1 } else { 4 };
+    let (agrid, ablock) = (16 * ascale, 128u32);
+    let an = u64::from(agrid * ablock);
+    let cases = [
+        // Low occupancy + serial cold misses: long fully-idle stalls.
+        (
+            "dram_bound",
+            dram_bound_kernel(rounds, dgrid * dblock),
+            dgrid,
+            dblock,
+            vec![u64::from(rounds) * dn * 128, dn * 4],
+        ),
+        // Dense dependent ALU work: near-full issue slots, nothing to skip.
+        ("alu_bound", alu_bound_kernel(), agrid, ablock, vec![an * 4]),
+    ];
+    for (tag, k, grid, block, bufs) in cases {
+        let (t_ev, s_ev) = sim_throughput(tag, &k, grid, block, &bufs, LoopKind::EventDriven);
+        let (t_ls, s_ls) = sim_throughput(tag, &k, grid, block, &bufs, LoopKind::Lockstep);
+        assert_eq!(s_ev, s_ls, "{tag}: loop kinds must report identical stats");
+        println!("{tag:<32} event-driven speedup: {:.2}x\n", t_ls / t_ev);
+    }
 }
 
 fn main() {
@@ -86,4 +210,6 @@ fn main() {
         let launch = Launch::new(k.clone(), Dim3::d1(32), Dim3::d1(128), vec![x, y, 3]);
         simulate(&cfg, &launch, &mut g, &mut BaselineFilter).unwrap()
     });
+
+    sim_throughput_suite();
 }

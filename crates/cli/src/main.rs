@@ -11,6 +11,8 @@
 //!     --param N             pass a scalar parameter
 //!     --r2d2                run the R2D2-transformed kernel
 //!     --sms N               number of SMs             (default 80)
+//!     --lockstep            use the cycle-by-cycle reference loop
+//!                           (default: event-driven, bit-identical)
 //! r2d2 workload <NAME> [--model M] [--full]
 //!     run one zoo workload under a machine model
 //!     (M: baseline | dac | darsie | darsie-scalar | r2d2; default baseline)
@@ -32,7 +34,9 @@ use r2d2_core::analyzer::analyze;
 use r2d2_core::transform::{make_launch, transform};
 use r2d2_energy::EnergyModel;
 use r2d2_isa::parse_kernel;
-use r2d2_sim::{simulate, BaselineFilter, Dim3, GlobalMem, GpuConfig, IssueFilter, Launch, Stats};
+use r2d2_sim::{
+    simulate, BaselineFilter, Dim3, GlobalMem, GpuConfig, IssueFilter, Launch, LoopKind, Stats,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -165,6 +169,7 @@ fn cmd_run(args: &[String]) -> CliResult {
     let mut params: Vec<u64> = Vec::new();
     let mut use_r2d2 = false;
     let mut sms = 80u32;
+    let mut loop_kind = LoopKind::default();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -194,12 +199,14 @@ fn cmd_run(args: &[String]) -> CliResult {
                 sms = args.get(i + 1).ok_or("--sms needs a value")?.parse()?;
                 i += 1;
             }
+            "--lockstep" => loop_kind = LoopKind::Lockstep,
             other => return Err(format!("unknown option {other}").into()),
         }
         i += 1;
     }
     let cfg = GpuConfig {
         num_sms: sms,
+        loop_kind,
         ..Default::default()
     };
     let stats = if use_r2d2 {

@@ -147,7 +147,8 @@ mod tests {
             },
             used_r2d2: false,
             ideal: None,
-            wall_s: 0.0,
+            wall_ms: 0.0,
+            cached: false,
         }
     }
 

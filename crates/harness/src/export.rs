@@ -19,7 +19,7 @@ pub const CSV_HEADER: &str = "workload,size,model,num_sms,fetch_table,regid_calc
 used_r2d2,cycles,warp_instrs,thread_instrs,scalar_warp_instrs,warp_coef,warp_tidx,warp_bidx,\
 warp_main,prologue_cycles,l1_hits,l1_misses,l2_hits,l2_misses,dram_txns,shared_txns,\
 alu_pj,rf_pj,frontend_pj,mem_pj,static_pj,total_pj,\
-ideal_baseline,ideal_wp,ideal_tb,ideal_ln,wall_s";
+ideal_baseline,ideal_wp,ideal_tb,ideal_ln,wall_ms,cached";
 
 /// Every valid `(spec, record)` pair currently in the cache. Unreadable or
 /// malformed files are skipped, matching the cache's miss-not-error policy.
@@ -59,7 +59,7 @@ fn csv_row(spec: &JobSpec, rec: &RunRecord) -> String {
     let e = &rec.energy;
     let ideal = |f: fn(&r2d2_baselines::IdealCounts) -> u64| opt(rec.ideal.as_ref().map(f));
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         spec.workload,
         match spec.size {
             r2d2_workloads::Size::Small => "small",
@@ -97,7 +97,8 @@ fn csv_row(spec: &JobSpec, rec: &RunRecord) -> String {
         ideal(|c| c.wp),
         ideal(|c| c.tb),
         ideal(|c| c.ln),
-        rec.wall_s,
+        rec.wall_ms,
+        rec.cached,
     )
 }
 
@@ -143,7 +144,8 @@ mod tests {
             },
             used_r2d2: false,
             ideal: None,
-            wall_s: 0.0,
+            wall_ms: 0.0,
+            cached: false,
         };
         assert_eq!(csv_row(&spec, &rec).split(',').count(), cols);
     }

@@ -25,8 +25,12 @@ pub struct RunRecord {
     pub used_r2d2: bool,
     /// Fig. 4 ideal-machine counts (only for `ModelSpec::Ideals` jobs).
     pub ideal: Option<IdealCounts>,
-    /// Wall-clock seconds the simulation took (informational; not hashed).
-    pub wall_s: f64,
+    /// Wall-clock milliseconds the simulation took (informational; not
+    /// hashed). Cache hits report 0 — see `cached`.
+    pub wall_ms: f64,
+    /// Whether this record was answered from the result cache (in which case
+    /// `wall_ms` is 0; the stored entry keeps the original measurement).
+    pub cached: bool,
 }
 
 fn phase_arr(a: &[u64; 4]) -> Value {
@@ -183,7 +187,8 @@ impl RunRecord {
                 "ideal",
                 self.ideal.as_ref().map_or(Value::Null, ideal_to_json),
             ),
-            ("wall_s", num(self.wall_s)),
+            ("wall_ms", num(self.wall_ms)),
+            ("cached", Value::Bool(self.cached)),
         ])
     }
 
@@ -197,7 +202,9 @@ impl RunRecord {
                 Value::Null => None,
                 other => Some(ideal_from_json(other)?),
             },
-            wall_s: v.get("wall_s")?.as_f64()?,
+            wall_ms: v.get("wall_ms")?.as_f64()?,
+            // Absent in entries written before the flag existed.
+            cached: v.get("cached").and_then(Value::as_bool).unwrap_or(false),
         })
     }
 
@@ -249,7 +256,8 @@ mod tests {
                 ln: 60,
                 baseline_warp: 4,
             }),
-            wall_s: 1.5,
+            wall_ms: 1500.0,
+            cached: false,
         }
     }
 

@@ -144,7 +144,8 @@ pub fn execute(spec: &JobSpec) -> Result<RunRecord, String> {
         energy,
         used_r2d2,
         ideal,
-        wall_s: t0.elapsed().as_secs_f64(),
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        cached: false,
     })
 }
 
@@ -192,7 +193,13 @@ pub fn run_jobs_with(specs: &[JobSpec], opts: &RunOptions, cache: &Cache) -> Run
                     let spec = &specs[i];
                     let mut cached = false;
                     let rec = if opts.use_cache {
-                        cache.load(spec).inspect(|_| cached = true)
+                        // Hits report zero wall time: nothing was simulated.
+                        cache.load(spec).map(|mut r| {
+                            cached = true;
+                            r.cached = true;
+                            r.wall_ms = 0.0;
+                            r
+                        })
                     } else {
                         None
                     }
@@ -214,7 +221,7 @@ pub fn run_jobs_with(specs: &[JobSpec], opts: &RunOptions, cache: &Cache) -> Run
                         if cached {
                             eprintln!("  [{k}/{n}] {} (cached)", spec.label());
                         } else {
-                            eprintln!("  [{k}/{n}] {} {:.1}s", spec.label(), rec.wall_s);
+                            eprintln!("  [{k}/{n}] {} {:.0}ms", spec.label(), rec.wall_ms);
                         }
                     }
                     *slots[i].lock().unwrap() = Some(rec);

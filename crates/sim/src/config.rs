@@ -82,6 +82,24 @@ impl Default for R2d2Latencies {
     }
 }
 
+/// Which main-loop implementation [`crate::timing::simulate`] uses.
+///
+/// Both produce bit-identical [`crate::Stats`] and global memory — the
+/// equivalence is enforced by the `loop_equivalence` differential test across
+/// the full workload zoo and every machine model. `Lockstep` is the naive
+/// one-cycle-at-a-time reference; `EventDriven` (the default) keeps
+/// persistent scheduler orderings and fast-forwards over cycles in which no
+/// warp can possibly issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoopKind {
+    /// Advance one cycle at a time, rebuilding scheduler candidate orderings
+    /// from scratch each cycle. Slow; kept as the semantic reference.
+    Lockstep,
+    /// Allocation-free scheduling plus exact idle-cycle skipping.
+    #[default]
+    EventDriven,
+}
+
 /// Full GPU configuration. Defaults model the paper's baseline
 /// (NVIDIA TITAN V, Volta — Table 1).
 #[derive(Debug, Clone, PartialEq)]
@@ -118,6 +136,8 @@ pub struct GpuConfig {
     pub watchdog_cycles: u64,
     /// Abort functional execution after this many instructions per warp.
     pub watchdog_warp_instrs: u64,
+    /// Which timing main loop to run (identical results either way).
+    pub loop_kind: LoopKind,
 }
 
 impl Default for GpuConfig {
@@ -146,6 +166,7 @@ impl Default for GpuConfig {
             r2d2: R2d2Latencies::default(),
             watchdog_cycles: 200_000_000,
             watchdog_warp_instrs: 50_000_000,
+            loop_kind: LoopKind::default(),
         }
     }
 }

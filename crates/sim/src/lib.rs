@@ -55,7 +55,7 @@ mod stats;
 pub mod timing;
 
 pub use cache::Cache;
-pub use config::{CacheConfig, GpuConfig, Latencies, R2d2Latencies};
+pub use config::{CacheConfig, GpuConfig, Latencies, LoopKind, R2d2Latencies};
 pub use exec::{
     ExecError, MemInfo, OperandVals, Outcome, StackEntry, StepInfo, WarpExec, WarpState, NO_RPC,
     WARP_SIZE,

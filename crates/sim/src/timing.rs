@@ -11,16 +11,34 @@
 //! instruction issues, and the scoreboard delays dependents by the modeled
 //! latency. Machine models ([`IssueFilter`]) reclassify instructions at issue
 //! (execute / scalar / skip) without ever changing values.
+//!
+//! Two main-loop implementations share one per-candidate issue engine
+//! ([`attempt_issue`]) and are selected by [`crate::config::LoopKind`]:
+//!
+//! * `Lockstep` — the reference: every cycle, each scheduler rebuilds and
+//!   sorts its candidate list from scratch.
+//! * `EventDriven` (default) — persistent per-scheduler orderings (a GTO
+//!   priority list in `seq` order, an RR ring pointer) maintained at
+//!   dispatch/completion events, recycled scoreboard/smem buffers, and exact
+//!   idle-cycle skipping: when a full pass over all SMs neither executes an
+//!   instruction nor crosses a phase-gate boundary, `now` jumps straight to
+//!   the earliest scoreboard wakeup (or the cycle where the watchdog or
+//!   deadlock check would fire, whichever is first).
+//!
+//! Both produce bit-identical [`Stats`] and global memory; the
+//! `loop_equivalence` differential test enforces this across the workload
+//! zoo and every machine model. See DESIGN.md "Timing-loop internals" for
+//! the exactness argument.
 
 use crate::cache::Cache;
-use crate::config::GpuConfig;
-use crate::exec::{ExecError, MemInfo, Outcome, WarpExec, WarpState};
+use crate::config::{GpuConfig, LoopKind};
+use crate::exec::{ExecError, MemInfo, OperandVals, Outcome, WarpExec, WarpState};
 use crate::filter::{Disposition, IssueCtx, IssueFilter};
 use crate::launch::Launch;
 use crate::linear::{LinearMeta, LinearStore, Phase};
 use crate::mem::GlobalMem;
 use crate::stats::Stats;
-use r2d2_isa::{Cfg, Dst, Instr, Kernel, MemOffset, MemSpace, Op, Operand, SfuOp, Ty};
+use r2d2_isa::{Cfg, Dst, Instr, Kernel, MemOffset, MemSpace, Op, Operand, Ty};
 
 /// Error from a timing simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +81,8 @@ impl From<ExecError> for SimError {
 const NO_GATE: usize = usize::MAX;
 /// Cap on zero-cost skips consumed per scheduler slot per cycle.
 const MAX_SKIPS_PER_PICK: usize = 64;
+/// Cycles without an issue before the deadlock detector fires.
+const DEADLOCK_WINDOW: u64 = 1_000_000;
 
 struct TWarp {
     w: WarpState,
@@ -98,6 +118,12 @@ struct Sm {
     rr_ptr: Vec<usize>,
     gates_open_cycle: Option<u64>,
     next_seq: u64,
+    /// Per-scheduler warp indices in `seq` order (the persistent GTO list;
+    /// appended at dispatch, pruned at block completion). Entries may point
+    /// at done/at-barrier warps — filtered at iteration time.
+    lane_seq: Vec<Vec<u32>>,
+    /// Recycled `(reg_ready, pred_ready)` buffers from completed warps.
+    free_ready: Vec<(Vec<u64>, Vec<u64>)>,
 }
 
 /// Compute how many blocks of this launch fit on one SM, honoring the Table 1
@@ -303,6 +329,10 @@ enum Gate {
     Done,
 }
 
+/// Resolve the warp's next PC through the R2D2 phase gates. Sets `crossed`
+/// when a gate boundary is crossed — crossings mutate SM-wide state
+/// (`coef_done`/`tidx_done`/`tidx_pending`/`bidx_done`) that other warps
+/// observe, so the event-driven loop must treat them as forward progress.
 #[allow(clippy::too_many_arguments)]
 fn gate_and_pc(
     tw: &mut TWarp,
@@ -311,6 +341,7 @@ fn gate_and_pc(
     tidx_done: &mut bool,
     tidx_pending: &mut u32,
     slot_bidx_done: &mut bool,
+    crossed: &mut bool,
 ) -> Gate {
     loop {
         let Some((pc, _)) = tw.w.sync_top() else {
@@ -321,6 +352,7 @@ fn gate_and_pc(
         };
         if tw.next_gate != NO_GATE && pc >= tw.next_gate {
             let boundary = tw.next_gate;
+            *crossed = true;
             if boundary == m.tidx_start {
                 *coef_done = true;
                 tw.next_gate = m.bidx_start;
@@ -371,20 +403,25 @@ struct LinearReadiness<'a> {
 }
 
 impl LinearReadiness<'_> {
-    fn operand_ready(&self, o: &Operand, now: u64) -> bool {
+    /// Cycle at which the operand's scoreboard entry clears (0 = ready).
+    fn operand_time(&self, o: &Operand) -> u64 {
         match o {
-            Operand::Cr(k) => self.cr.get(*k as usize).copied().unwrap_or(0) <= now,
-            Operand::Tr(k) => self.tr.get(*k as usize).copied().unwrap_or(0) <= now,
-            Operand::Br(_) => self.br_slot <= now,
+            Operand::Cr(k) => self.cr.get(*k as usize).copied().unwrap_or(0),
+            Operand::Tr(k) => self.tr.get(*k as usize).copied().unwrap_or(0),
+            Operand::Br(_) => self.br_slot,
             Operand::Lr(k) => {
                 let t = match self.lr_tr[*k as usize] {
                     Some(t) => self.tr.get(t as usize).copied().unwrap_or(0),
                     None => 0,
                 };
-                t <= now && self.br_slot <= now
+                t.max(self.br_slot)
             }
-            _ => true,
+            _ => 0,
         }
+    }
+
+    fn operand_ready(&self, o: &Operand, now: u64) -> bool {
+        self.operand_time(o) <= now
     }
 }
 
@@ -444,6 +481,68 @@ fn deps_ready(tw: &TWarp, instr: &Instr, now: u64, lin: Option<&LinearReadiness<
     }
 }
 
+/// Earliest cycle at which [`deps_ready`] could turn true: the max readiness
+/// time over every scoreboard entry the instruction waits on. Only meaningful
+/// when `deps_ready` is currently false; the event-driven loop folds this
+/// into its wakeup minimum. `deps_ready(tw, instr, t, lin)` holds exactly for
+/// all `t >= deps_wake(tw, instr, lin)` (scoreboard entries only move forward
+/// when an instruction issues, which counts as progress).
+fn deps_wake(tw: &TWarp, instr: &Instr, lin: Option<&LinearReadiness<'_>>) -> u64 {
+    let mut t = 0u64;
+    if let Some((p, _)) = instr.guard {
+        t = t.max(tw.pred_ready[p.0 as usize]);
+    }
+    for s in &instr.srcs {
+        match s {
+            Operand::Reg(r) => t = t.max(tw.reg_ready[r.0 as usize]),
+            Operand::Pred(p) => t = t.max(tw.pred_ready[p.0 as usize]),
+            o if o.is_r2d2_class() => {
+                if let Some(l) = lin {
+                    t = t.max(l.operand_time(o));
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(m) = instr.mem {
+        match m.base {
+            Operand::Reg(r) => t = t.max(tw.reg_ready[r.0 as usize]),
+            o if o.is_r2d2_class() => {
+                if let Some(l) = lin {
+                    t = t.max(l.operand_time(&o));
+                }
+            }
+            _ => {}
+        }
+        if let MemOffset::Cr(k) | MemOffset::CrImm(k, _) = m.offset {
+            if let Some(l) = lin {
+                t = t.max(l.operand_time(&Operand::Cr(k)));
+            }
+        }
+    }
+    match instr.dst {
+        Some(Dst::Reg(r)) => t = t.max(tw.reg_ready[r.0 as usize]),
+        Some(Dst::Pred(p)) => t = t.max(tw.pred_ready[p.0 as usize]),
+        Some(Dst::Cr(k)) => {
+            if let Some(l) = lin {
+                t = t.max(l.cr.get(k as usize).copied().unwrap_or(0));
+            }
+        }
+        Some(Dst::Tr(k)) => {
+            if let Some(l) = lin {
+                t = t.max(l.tr.get(k as usize).copied().unwrap_or(0));
+            }
+        }
+        Some(Dst::Br(_)) => {
+            if let Some(l) = lin {
+                t = t.max(l.br_slot);
+            }
+        }
+        None => {}
+    }
+    t
+}
+
 /// `true` when the instruction reads any R2D2 register class (costs the
 /// physical-register-ID computation of Sec. 4.2).
 fn reads_r2d2_class(instr: &Instr) -> bool {
@@ -482,15 +581,708 @@ fn rf_reads_of(instr: &Instr) -> (u64, u64) {
     (vec_reads, scalar_reads)
 }
 
+/// Launch-wide immutable context threaded through the loop machinery.
+struct LaunchCtx<'a> {
+    cfg: &'a GpuConfig,
+    kernel: &'a Kernel,
+    cfgr: &'a Cfg,
+    meta: Option<&'a LinearMeta>,
+    launch: &'a Launch,
+    tpb: u32,
+    wpb: usize,
+    nregs: usize,
+    npreds: usize,
+    total_blocks: u64,
+    nsched: usize,
+    wants_vals: bool,
+}
+
+/// Full mutable simulation state.
+struct Machine<'a> {
+    sms: Vec<Sm>,
+    stats: Stats,
+    l2: Cache,
+    dram_busy_u: u64,
+    gmem: &'a mut GlobalMem,
+    filter: &'a mut dyn IssueFilter,
+    scratch: OperandVals,
+    remaining: u64,
+    next_block: u64,
+    last_issue: u64,
+}
+
+/// The non-SM slice of [`Machine`], split-borrowed so an `&mut Sm` can be
+/// held alongside it during a scheduler pass.
+struct Shared<'a> {
+    stats: &'a mut Stats,
+    l2: &'a mut Cache,
+    dram_busy_u: &'a mut u64,
+    gmem: &'a mut GlobalMem,
+    filter: &'a mut dyn IssueFilter,
+    scratch: &'a mut OperandVals,
+    remaining: &'a mut u64,
+    next_block: &'a mut u64,
+    last_issue: &'a mut u64,
+}
+
+/// Wakeup accounting accumulated over one full pass of the event-driven loop.
+struct EvAcc {
+    /// Earliest future cycle at which any blocked dependency clears
+    /// (`u64::MAX` = no finite wakeup exists).
+    wake: u64,
+    /// Whether this pass executed an instruction or crossed a gate boundary.
+    progress: bool,
+}
+
+impl EvAcc {
+    fn new() -> Self {
+        EvAcc {
+            wake: u64::MAX,
+            progress: false,
+        }
+    }
+}
+
+/// What a scheduler learned from examining one candidate warp.
+enum Attempt {
+    /// The scheduler's issue slot was consumed (issue or exhausted skip
+    /// chain); move on to the next scheduler.
+    Used,
+    /// The candidate could not issue; try the next candidate.
+    Next,
+}
+
+fn is_candidate(warps: &[Option<TWarp>], wi: usize) -> bool {
+    warps[wi]
+        .as_ref()
+        .is_some_and(|t| !t.w.done && !t.w.at_barrier)
+}
+
+/// Dispatch block `blk` into `(sm, slot_i)`, recycling scoreboard buffers
+/// from previously completed warps and the slot's shared-memory buffer.
+fn dispatch_block(ctx: &LaunchCtx<'_>, sm: &mut Sm, slot_i: usize, blk: u64) {
+    let meta = ctx.meta;
+    let ctaid = ctx.launch.grid.unflatten(blk);
+    let slot = &mut sm.slots[slot_i];
+    slot.active = true;
+    slot.live = ctx.wpb as u32;
+    slot.barrier_wait = 0;
+    slot.smem.clear();
+    slot.smem.resize(ctx.launch.kernel.shared_bytes as usize, 0);
+    slot.bidx_done = meta.is_none();
+    let owner = meta.is_some() && !sm.owner_assigned;
+    if owner {
+        sm.owner_assigned = true;
+        sm.tidx_pending = ctx.wpb as u32;
+    }
+    for wib in 0..ctx.wpb {
+        let (start, gate) = match meta {
+            None => (0, NO_GATE),
+            Some(m) => {
+                if owner {
+                    if wib == 0 {
+                        (m.coef_start, m.tidx_start)
+                    } else {
+                        (m.tidx_start, m.bidx_start)
+                    }
+                } else if wib == 0 {
+                    (m.bidx_start, m.main_start)
+                } else {
+                    (m.main_start, NO_GATE)
+                }
+            }
+        };
+        let w = WarpState::new(
+            ctx.nregs, ctx.npreds, blk, ctaid, wib as u32, ctx.tpb, start,
+        );
+        let (mut reg_ready, mut pred_ready) = sm.free_ready.pop().unwrap_or_default();
+        reg_ready.clear();
+        reg_ready.resize(ctx.nregs, 0);
+        pred_ready.clear();
+        pred_ready.resize(ctx.npreds, 0);
+        let wi = slot_i * ctx.wpb + wib;
+        sm.warps[wi] = Some(TWarp {
+            w,
+            reg_ready,
+            pred_ready,
+            slot: slot_i,
+            seq: sm.next_seq,
+            next_gate: gate,
+        });
+        sm.next_seq += 1;
+        // `seq` is monotonic, so appending keeps the lane list seq-sorted.
+        sm.lane_seq[wi % ctx.nsched].push(wi as u32);
+    }
+}
+
+/// Examine candidate warp `wi` on scheduler `sched`: gate resolution, the
+/// scoreboard check, functional execute, machine-model classification, skip
+/// chains, charging, and outcome handling. This is the single issue engine
+/// shared by both loop implementations — their only difference is the order
+/// in which they present candidates and how they advance `now`.
+#[allow(clippy::too_many_arguments)]
+fn attempt_issue(
+    ctx: &LaunchCtx<'_>,
+    sm: &mut Sm,
+    sh: &mut Shared<'_>,
+    sm_i: usize,
+    sched: usize,
+    wi: usize,
+    now: u64,
+    linear_mode: bool,
+    issued_this_cycle: &mut u32,
+    ev: &mut EvAcc,
+) -> Result<Attempt, SimError> {
+    let kernel = ctx.kernel;
+    let meta = ctx.meta;
+    let mut skips = 0usize;
+    loop {
+        // --- gate / pc ---
+        let (pc, linear_phase, phase) = {
+            let (warps, slots) = (&mut sm.warps, &mut sm.slots);
+            let tw = warps[wi].as_mut().unwrap();
+            let mut slot_bidx = slots[tw.slot].bidx_done;
+            let mut crossed = false;
+            let g = gate_and_pc(
+                tw,
+                meta,
+                &mut sm.coef_done,
+                &mut sm.tidx_done,
+                &mut sm.tidx_pending,
+                &mut slot_bidx,
+                &mut crossed,
+            );
+            slots[tw.slot].bidx_done = slot_bidx;
+            if crossed {
+                ev.progress = true;
+            }
+            match g {
+                Gate::Blocked => return Ok(Attempt::Next),
+                Gate::Done => {
+                    // Warp finished via earlier skip chain.
+                    return Ok(Attempt::Next);
+                }
+                Gate::Ready(pc) => {
+                    let ph = meta.map_or(Phase::Main, |m| m.phase_of(pc));
+                    (pc, ph.is_linear(), ph)
+                }
+            }
+        };
+        let instr = &kernel.instrs[pc];
+        {
+            let tw = sm.warps[wi].as_ref().unwrap();
+            let lr = meta.map(|m| LinearReadiness {
+                cr: &sm.cr_ready,
+                tr: &sm.tr_ready,
+                br_slot: sm.br_ready[tw.slot],
+                lr_tr: &m.lr_tr,
+            });
+            if !deps_ready(tw, instr, now, lr.as_ref()) {
+                let wake = deps_wake(tw, instr, lr.as_ref()).max(now + 1);
+                ev.wake = ev.wake.min(wake);
+                return Ok(Attempt::Next);
+            }
+        }
+        // --- execute functionally ---
+        let tw = sm.warps[wi].as_mut().unwrap();
+        let tslot = tw.slot;
+        let info = {
+            let lin = sm.store.as_mut().map(|s| (meta.unwrap(), s, tslot));
+            let mut ex = WarpExec {
+                kernel,
+                cfg: ctx.cfgr,
+                params: &ctx.launch.params,
+                ntid: [ctx.launch.block.x, ctx.launch.block.y, ctx.launch.block.z],
+                nctaid: [ctx.launch.grid.x, ctx.launch.grid.y, ctx.launch.grid.z],
+                smid: sm_i as u32,
+                gmem: &mut *sh.gmem,
+                smem: &mut sm.slots[tslot].smem,
+                linear: lin,
+                scratch: if ctx.wants_vals && phase == Phase::Main {
+                    Some(&mut *sh.scratch)
+                } else {
+                    None
+                },
+                watchdog: ctx.cfg.watchdog_warp_instrs,
+            };
+            ex.step(&mut tw.w)?
+        };
+        *sh.last_issue = now;
+        ev.progress = true;
+        let charged = if phase.is_linear() || matches!(instr.op, Op::Exit) {
+            info.exec_mask.count_ones()
+        } else {
+            info.active.count_ones()
+        } as u64;
+
+        // --- classify ---
+        let disposition = if phase != Phase::Main || instr.op.is_control() {
+            if phase == Phase::Coef {
+                Disposition::Scalar
+            } else {
+                Disposition::Execute
+            }
+        } else {
+            sh.filter.classify(&IssueCtx {
+                pc,
+                instr,
+                block: tw.w.block_lin,
+                warp_in_block: tw.w.warp_in_block,
+                exec_mask: info.exec_mask,
+                vals: if ctx.wants_vals {
+                    Some(&*sh.scratch)
+                } else {
+                    None
+                },
+                mem: info.mem.as_ref(),
+            })
+        };
+
+        if disposition == Disposition::Skip {
+            sh.stats.skipped_warp_instrs += 1;
+            sh.stats.skipped_thread_instrs += charged;
+            // Results are available immediately; no charges.
+            skips += 1;
+            if tw.w.done || info.outcome != Outcome::Normal {
+                // fall through to completion handling below
+            } else if skips < MAX_SKIPS_PER_PICK {
+                continue;
+            }
+        }
+
+        // --- charge (Execute / Scalar / post-skip bookkeeping) ---
+        if disposition != Disposition::Skip {
+            *issued_this_cycle += 1;
+            let scalar = disposition == Disposition::Scalar;
+            let stats = &mut *sh.stats;
+            stats.warp_instrs += 1;
+            stats.thread_instrs += if scalar { 1 } else { charged };
+            stats.warp_instrs_by_phase[phase.idx()] += 1;
+            stats.thread_instrs_by_phase[phase.idx()] += if scalar { 1 } else { charged };
+            if scalar {
+                stats.scalar_warp_instrs += 1;
+            }
+            stats.events.fetch_decode += 1;
+            let (vr, sr) = rf_reads_of(instr);
+            if scalar {
+                stats.events.rf_scalar_reads += vr + sr;
+                if instr.dst.is_some() {
+                    stats.events.rf_scalar_writes += 1;
+                }
+            } else {
+                stats.events.rf_reads += vr;
+                stats.events.rf_scalar_reads += sr;
+                if instr.dst.is_some() {
+                    match instr.dst {
+                        Some(Dst::Cr(_)) | Some(Dst::Br(_)) => {
+                            stats.events.rf_scalar_writes += 1;
+                        }
+                        _ => stats.events.rf_writes += 1,
+                    }
+                }
+            }
+            let lanes = if scalar { 1 } else { charged };
+            if !instr.op.is_mem() && !instr.op.is_control() {
+                match (instr.op, instr.ty) {
+                    (Op::Sfu(_), _) => stats.events.sfu_lane_ops += lanes,
+                    (_, Ty::F32) => stats.events.fp_lane_ops += lanes,
+                    (_, Ty::F64) => stats.events.fp64_lane_ops += lanes,
+                    _ => stats.events.int_lane_ops += lanes,
+                }
+            }
+
+            // Latency & scoreboard.
+            let mut lat = match &info.mem {
+                Some(mi) => mem_latency(
+                    ctx.cfg,
+                    mi,
+                    &mut sm.l1,
+                    &mut *sh.l2,
+                    &mut *sh.dram_busy_u,
+                    now,
+                    &mut *sh.stats,
+                ),
+                None => base_latency(ctx.cfg, instr),
+            };
+            if linear_phase {
+                lat += ctx.cfg.r2d2.fetch_table;
+            }
+            if reads_r2d2_class(instr) {
+                lat += ctx.cfg.r2d2.regid_calc;
+                if matches!(info.mem, Some(ref m) if matches!(m.space, MemSpace::Global))
+                    && matches!(instr.mem, Some(mm) if matches!(mm.base, Operand::Lr(_)))
+                {
+                    lat += ctx.cfg.r2d2.lr_add;
+                }
+            }
+            let tw = sm.warps[wi].as_mut().unwrap();
+            let tw_slot = tw.slot;
+            match instr.dst {
+                Some(Dst::Reg(r)) => tw.reg_ready[r.0 as usize] = now + lat,
+                Some(Dst::Pred(p)) => tw.pred_ready[p.0 as usize] = now + lat,
+                Some(Dst::Cr(k)) => sm.cr_ready[k as usize] = now + lat,
+                Some(Dst::Tr(k)) => {
+                    let e = &mut sm.tr_ready[k as usize];
+                    *e = (*e).max(now + lat);
+                }
+                Some(Dst::Br(_)) => sm.br_ready[tw_slot] = now + lat,
+                None => {}
+            }
+        }
+
+        // --- outcome handling ---
+        let tw = sm.warps[wi].as_mut().unwrap();
+        let warp_done = tw.w.done;
+        let at_barrier = info.outcome == Outcome::Barrier;
+        if at_barrier {
+            sm.slots[tslot].barrier_wait += 1;
+        }
+        if warp_done {
+            sm.slots[tslot].live -= 1;
+        }
+        // Barrier release: all live warps arrived.
+        let slot = &mut sm.slots[tslot];
+        if slot.barrier_wait > 0 && slot.barrier_wait == slot.live {
+            slot.barrier_wait = 0;
+            for wj in (0..ctx.wpb).map(|k| tslot * ctx.wpb + k) {
+                if let Some(t) = sm.warps[wj].as_mut() {
+                    t.w.at_barrier = false;
+                }
+            }
+        }
+        if warp_done && slot.live == 0 {
+            slot.active = false;
+            *sh.remaining -= 1;
+            let blk = sm.warps[wi].as_ref().unwrap().w.block_lin;
+            sh.filter.on_block_done(blk);
+            for wj in (0..ctx.wpb).map(|k| tslot * ctx.wpb + k) {
+                if let Some(t) = sm.warps[wj].take() {
+                    sm.free_ready.push((t.reg_ready, t.pred_ready));
+                }
+                sm.lane_seq[wj % ctx.nsched].retain(|&x| x as usize != wj);
+            }
+            if *sh.next_block < ctx.total_blocks {
+                sm.slots[tslot].first_wave = false;
+                dispatch_block(ctx, sm, tslot, *sh.next_block);
+                *sh.next_block += 1;
+            }
+        }
+        if disposition != Disposition::Skip || warp_done || at_barrier {
+            if !linear_mode {
+                sm.gto_last[sched] = Some(wi);
+            } else {
+                sm.rr_ptr[sched] = (wi / ctx.nsched + 1) % (sm.warps.len() / ctx.nsched).max(1);
+            }
+            return Ok(Attempt::Used);
+        }
+        // Skip chain exhausted its budget: issue slot spent.
+        return Ok(Attempt::Used);
+    }
+}
+
+/// Record the cycle at which this SM's R2D2 phase gates all opened.
+fn eval_gates_open(sm: &mut Sm, now: u64) {
+    if sm.gates_open_cycle.is_none()
+        && sm.coef_done
+        && sm.tidx_done
+        && sm
+            .slots
+            .iter()
+            .all(|s| !s.active || !s.first_wave || s.bidx_done)
+    {
+        sm.gates_open_cycle = Some(now);
+    }
+}
+
+/// One cycle of one SM under the lockstep reference: rebuild and sort each
+/// scheduler's candidate list from scratch, exactly as the original loop did.
+fn sm_pass_lockstep(
+    ctx: &LaunchCtx<'_>,
+    m: &mut Machine<'_>,
+    sm_i: usize,
+    now: u64,
+) -> Result<(), SimError> {
+    let Machine {
+        sms,
+        stats,
+        l2,
+        dram_busy_u,
+        gmem,
+        filter,
+        scratch,
+        remaining,
+        next_block,
+        last_issue,
+    } = m;
+    let sm = &mut sms[sm_i];
+    let mut sh = Shared {
+        stats,
+        l2,
+        dram_busy_u,
+        gmem,
+        filter: &mut **filter,
+        scratch,
+        remaining,
+        next_block,
+        last_issue,
+    };
+    // Round-robin only while the SM-wide linear prologue (coefficients
+    // + thread-index parts) is in flight (Sec. 4.1); per-block
+    // block-index recomputation rides on normal GTO scheduling.
+    let linear_mode = ctx.meta.is_some() && (!sm.coef_done || !sm.tidx_done);
+    let mut issued_this_cycle = 0u32;
+    let mut ev = EvAcc::new(); // unused by the reference loop
+    for sched in 0..ctx.nsched {
+        if issued_this_cycle >= ctx.cfg.sm_issue_width {
+            break;
+        }
+        // Build candidate order.
+        let mut order: Vec<usize> = (sched..sm.warps.len())
+            .step_by(ctx.nsched)
+            .filter(|&i| is_candidate(&sm.warps, i))
+            .collect();
+        if order.is_empty() {
+            continue;
+        }
+        if linear_mode {
+            // Round-robin while linear instructions are pending (Sec. 4.1).
+            let ptr = sm.rr_ptr[sched];
+            let len = sm.warps.len();
+            order.sort_by_key(|&i| {
+                let pos = i / ctx.nsched;
+                (pos + len - ptr) % len
+            });
+        } else {
+            order.sort_by_key(|&i| sm.warps[i].as_ref().map_or(u64::MAX, |t| t.seq));
+            if let Some(last) = sm.gto_last[sched] {
+                if let Some(p) = order.iter().position(|&i| i == last) {
+                    let l = order.remove(p);
+                    order.insert(0, l);
+                }
+            }
+        }
+        for &wi in &order {
+            let a = attempt_issue(
+                ctx,
+                sm,
+                &mut sh,
+                sm_i,
+                sched,
+                wi,
+                now,
+                linear_mode,
+                &mut issued_this_cycle,
+                &mut ev,
+            )?;
+            if let Attempt::Used = a {
+                break;
+            }
+        }
+    }
+    eval_gates_open(sm, now);
+    Ok(())
+}
+
+/// One cycle of one SM under the event-driven loop: walk the persistent
+/// per-scheduler orderings (no allocation, no sort) and fold blocked-warp
+/// wakeups into `ev`. Presents candidates in exactly the order the lockstep
+/// pass would: for RR, ring positions `ptr..=maxpos` then `0..ptr` (the sort
+/// key `(pos + len - ptr) % len` ranks all `pos >= ptr` ascending before all
+/// `pos < ptr` ascending); for GTO, `gto_last` first (when a candidate) then
+/// the seq-ordered lane list.
+fn sm_pass_event(
+    ctx: &LaunchCtx<'_>,
+    m: &mut Machine<'_>,
+    sm_i: usize,
+    now: u64,
+    ev: &mut EvAcc,
+) -> Result<(), SimError> {
+    let Machine {
+        sms,
+        stats,
+        l2,
+        dram_busy_u,
+        gmem,
+        filter,
+        scratch,
+        remaining,
+        next_block,
+        last_issue,
+    } = m;
+    let sm = &mut sms[sm_i];
+    let mut sh = Shared {
+        stats,
+        l2,
+        dram_busy_u,
+        gmem,
+        filter: &mut **filter,
+        scratch,
+        remaining,
+        next_block,
+        last_issue,
+    };
+    let linear_mode = ctx.meta.is_some() && (!sm.coef_done || !sm.tidx_done);
+    let mut issued_this_cycle = 0u32;
+    'sched: for sched in 0..ctx.nsched {
+        if issued_this_cycle >= ctx.cfg.sm_issue_width {
+            break;
+        }
+        if linear_mode {
+            let len = sm.warps.len();
+            if sched >= len {
+                continue;
+            }
+            let maxpos = (len - 1 - sched) / ctx.nsched;
+            let ptr = sm.rr_ptr[sched];
+            // rr_ptr is always <= maxpos (it is taken modulo the lane
+            // length); fall back to 0 defensively, matching what the
+            // lockstep sort key degenerates to for an out-of-range ptr.
+            let ptr = if ptr > maxpos { 0 } else { ptr };
+            for pos in (ptr..=maxpos).chain(0..ptr) {
+                let wi = sched + pos * ctx.nsched;
+                if !is_candidate(&sm.warps, wi) {
+                    continue;
+                }
+                let a = attempt_issue(
+                    ctx,
+                    sm,
+                    &mut sh,
+                    sm_i,
+                    sched,
+                    wi,
+                    now,
+                    linear_mode,
+                    &mut issued_this_cycle,
+                    ev,
+                )?;
+                if let Attempt::Used = a {
+                    continue 'sched;
+                }
+            }
+        } else {
+            let last = sm.gto_last[sched].filter(|&l| is_candidate(&sm.warps, l));
+            if let Some(l) = last {
+                let a = attempt_issue(
+                    ctx,
+                    sm,
+                    &mut sh,
+                    sm_i,
+                    sched,
+                    l,
+                    now,
+                    linear_mode,
+                    &mut issued_this_cycle,
+                    ev,
+                )?;
+                if let Attempt::Used = a {
+                    continue 'sched;
+                }
+            }
+            // Index-walk the lane list: membership only changes inside an
+            // attempt that returns `Used`, which exits this loop.
+            let mut k = 0;
+            while k < sm.lane_seq[sched].len() {
+                let wi = sm.lane_seq[sched][k] as usize;
+                k += 1;
+                if Some(wi) == last || !is_candidate(&sm.warps, wi) {
+                    continue;
+                }
+                let a = attempt_issue(
+                    ctx,
+                    sm,
+                    &mut sh,
+                    sm_i,
+                    sched,
+                    wi,
+                    now,
+                    linear_mode,
+                    &mut issued_this_cycle,
+                    ev,
+                )?;
+                if let Attempt::Used = a {
+                    continue 'sched;
+                }
+            }
+        }
+    }
+    eval_gates_open(sm, now);
+    Ok(())
+}
+
+/// The reference main loop: advance one cycle at a time.
+fn run_lockstep(ctx: &LaunchCtx<'_>, m: &mut Machine<'_>) -> Result<u64, SimError> {
+    let mut now = 0u64;
+    while m.remaining > 0 {
+        now += 1;
+        if now > ctx.cfg.watchdog_cycles {
+            return Err(SimError::Watchdog {
+                limit: ctx.cfg.watchdog_cycles,
+            });
+        }
+        if now - m.last_issue > DEADLOCK_WINDOW {
+            return Err(SimError::Deadlock { cycle: now });
+        }
+        for sm_i in 0..m.sms.len() {
+            sm_pass_lockstep(ctx, m, sm_i, now)?;
+        }
+    }
+    Ok(now)
+}
+
+/// The event-driven main loop. Identical per-cycle semantics to
+/// [`run_lockstep`], plus: when a full pass over every SM makes no progress
+/// (nothing executed, no gate boundary crossed), no SM state can change
+/// before the earliest scoreboard wakeup — every blocked warp is blocked
+/// either on a scoreboard time (collected into `ev.wake`) or on an event
+/// that only progress can trigger (gate entry, barrier release). So `now`
+/// jumps directly to the minimum of `ev.wake` and the first cycle at which
+/// the watchdog or deadlock check would fire; the loop head then performs
+/// exactly the checks the lockstep loop would have performed there. With no
+/// finite wakeup, the jump lands on the error cycle and the run terminates
+/// with the identical `SimError`.
+fn run_event(ctx: &LaunchCtx<'_>, m: &mut Machine<'_>) -> Result<u64, SimError> {
+    let mut now = 0u64;
+    while m.remaining > 0 {
+        now += 1;
+        if now > ctx.cfg.watchdog_cycles {
+            return Err(SimError::Watchdog {
+                limit: ctx.cfg.watchdog_cycles,
+            });
+        }
+        if now - m.last_issue > DEADLOCK_WINDOW {
+            return Err(SimError::Deadlock { cycle: now });
+        }
+        let mut ev = EvAcc::new();
+        for sm_i in 0..m.sms.len() {
+            sm_pass_event(ctx, m, sm_i, now, &mut ev)?;
+        }
+        if !ev.progress && m.remaining > 0 {
+            let error_at = ctx
+                .cfg
+                .watchdog_cycles
+                .saturating_add(1)
+                .min(m.last_issue.saturating_add(DEADLOCK_WINDOW + 1));
+            let target = ev.wake.min(error_at);
+            debug_assert!(target > now, "wakeup must be in the future");
+            // Loop head re-adds 1 and re-runs the error checks, exactly as
+            // the lockstep loop would at `target`.
+            now = target - 1;
+        }
+    }
+    Ok(now)
+}
+
 /// Run a launch on the timing model. Functional results land in `gmem`
 /// exactly as in the functional runner; `filter` decides per-instruction
 /// charging (pass [`crate::filter::BaselineFilter`] for the baseline GPU).
+///
+/// The main loop implementation is chosen by `cfg.loop_kind`; both produce
+/// bit-identical results (see module docs).
 ///
 /// # Errors
 ///
 /// [`SimError`] on deadlock, watchdog, runaway warps, or a block that cannot
 /// fit on an SM.
-#[allow(clippy::needless_range_loop)] // SM/scheduler loops use split borrows
 pub fn simulate(
     cfg: &GpuConfig,
     launch: &Launch,
@@ -507,19 +1299,10 @@ pub fn simulate(
     }
     let tpb = launch.threads_per_block();
     let wpb = launch.warps_per_block() as usize;
-    let nregs = kernel.num_regs();
-    let npreds = kernel.num_preds().max(1);
-    let total_blocks = launch.num_blocks();
     let nsched = cfg.schedulers_per_sm as usize;
     filter.on_launch(kernel, [launch.block.x, launch.block.y, launch.block.z]);
-    let wants_vals = filter.wants_values();
-    let mut scratch = crate::exec::OperandVals::default();
 
-    let mut stats = Stats::default();
-    let mut l2 = Cache::new(cfg.l2);
-    let mut dram_busy_u = 0u64;
-
-    let mut sms: Vec<Sm> = (0..cfg.num_sms)
+    let sms: Vec<Sm> = (0..cfg.num_sms)
         .map(|_| Sm {
             warps: (0..resident as usize * wpb).map(|_| None).collect(),
             slots: (0..resident as usize)
@@ -545,380 +1328,64 @@ pub fn simulate(
             rr_ptr: vec![0; nsched],
             gates_open_cycle: if meta.is_none() { Some(0) } else { None },
             next_seq: 0,
+            lane_seq: vec![Vec::new(); nsched],
+            free_ready: Vec::new(),
         })
         .collect();
 
-    // Dispatch a block into (sm, slot).
-    let dispatch = |sm: &mut Sm, slot_i: usize, blk: u64, launch: &Launch| {
-        let ctaid = launch.grid.unflatten(blk);
-        let slot = &mut sm.slots[slot_i];
-        slot.active = true;
-        slot.live = wpb as u32;
-        slot.barrier_wait = 0;
-        slot.smem = vec![0u8; launch.kernel.shared_bytes as usize];
-        slot.bidx_done = meta.is_none();
-        let owner = meta.is_some() && !sm.owner_assigned;
-        if owner {
-            sm.owner_assigned = true;
-            sm.tidx_pending = wpb as u32;
-        }
-        for wib in 0..wpb {
-            let (start, gate) = match meta {
-                None => (0, NO_GATE),
-                Some(m) => {
-                    if owner {
-                        if wib == 0 {
-                            (m.coef_start, m.tidx_start)
-                        } else {
-                            (m.tidx_start, m.bidx_start)
-                        }
-                    } else if wib == 0 {
-                        (m.bidx_start, m.main_start)
-                    } else {
-                        (m.main_start, NO_GATE)
-                    }
-                }
-            };
-            let w = WarpState::new(nregs, npreds, blk, ctaid, wib as u32, tpb, start);
-            sm.warps[slot_i * wpb + wib] = Some(TWarp {
-                w,
-                reg_ready: vec![0; nregs],
-                pred_ready: vec![0; npreds],
-                slot: slot_i,
-                seq: sm.next_seq,
-                next_gate: gate,
-            });
-            sm.next_seq += 1;
-        }
+    let ctx = LaunchCtx {
+        cfg,
+        kernel,
+        cfgr: &cfgr,
+        meta,
+        launch,
+        tpb,
+        wpb,
+        nregs: kernel.num_regs(),
+        npreds: kernel.num_preds().max(1),
+        total_blocks: launch.num_blocks(),
+        nsched,
+        wants_vals: filter.wants_values(),
+    };
+
+    let mut m = Machine {
+        sms,
+        stats: Stats::default(),
+        l2: Cache::new(cfg.l2),
+        dram_busy_u: 0,
+        gmem,
+        filter,
+        scratch: OperandVals::default(),
+        remaining: ctx.total_blocks,
+        next_block: 0,
+        last_issue: 0,
     };
 
     // Initial breadth-first fill.
-    let mut next_block = 0u64;
     'fill: for slot_i in 0..resident as usize {
-        for sm in sms.iter_mut() {
-            if next_block >= total_blocks {
+        for sm in m.sms.iter_mut() {
+            if m.next_block >= ctx.total_blocks {
                 break 'fill;
             }
-            dispatch(sm, slot_i, next_block, launch);
-            next_block += 1;
+            dispatch_block(&ctx, sm, slot_i, m.next_block);
+            m.next_block += 1;
         }
     }
 
-    let mut remaining = total_blocks;
-    let mut now = 0u64;
-    let mut last_issue = 0u64;
+    let now = match cfg.loop_kind {
+        LoopKind::Lockstep => run_lockstep(&ctx, &mut m)?,
+        LoopKind::EventDriven => run_event(&ctx, &mut m)?,
+    };
 
-    while remaining > 0 {
-        now += 1;
-        if now > cfg.watchdog_cycles {
-            return Err(SimError::Watchdog {
-                limit: cfg.watchdog_cycles,
-            });
-        }
-        if now - last_issue > 1_000_000 {
-            return Err(SimError::Deadlock { cycle: now });
-        }
-        for sm_i in 0..sms.len() {
-            // Split-borrow the shared structures.
-            let sm = &mut sms[sm_i];
-            // Round-robin only while the SM-wide linear prologue (coefficients
-            // + thread-index parts) is in flight (Sec. 4.1); per-block
-            // block-index recomputation rides on normal GTO scheduling.
-            let linear_mode = meta.is_some() && (!sm.coef_done || !sm.tidx_done);
-            let mut issued_this_cycle = 0u32;
-            for sched in 0..nsched {
-                if issued_this_cycle >= cfg.sm_issue_width {
-                    break;
-                }
-                // Build candidate order.
-                let mut order: Vec<usize> = (sched..sm.warps.len())
-                    .step_by(nsched)
-                    .filter(|&i| {
-                        sm.warps[i]
-                            .as_ref()
-                            .is_some_and(|t| !t.w.done && !t.w.at_barrier)
-                    })
-                    .collect();
-                if order.is_empty() {
-                    continue;
-                }
-                if linear_mode {
-                    // Round-robin while linear instructions are pending (Sec. 4.1).
-                    let ptr = sm.rr_ptr[sched];
-                    order.sort_by_key(|&i| {
-                        let pos = i / nsched;
-                        (pos + sm.warps.len() - ptr) % sm.warps.len()
-                    });
-                } else {
-                    order.sort_by_key(|&i| sm.warps[i].as_ref().map_or(u64::MAX, |t| t.seq));
-                    if let Some(last) = sm.gto_last[sched] {
-                        if let Some(p) = order.iter().position(|&i| i == last) {
-                            let l = order.remove(p);
-                            order.insert(0, l);
-                        }
-                    }
-                }
-
-                'cand: for &wi in &order {
-                    let mut skips = 0usize;
-                    loop {
-                        // --- gate / pc ---
-                        let (pc, linear_phase, phase) = {
-                            let (warps, slots) = (&mut sm.warps, &mut sm.slots);
-                            let tw = warps[wi].as_mut().unwrap();
-                            let mut slot_bidx = slots[tw.slot].bidx_done;
-                            let g = gate_and_pc(
-                                tw,
-                                meta,
-                                &mut sm.coef_done,
-                                &mut sm.tidx_done,
-                                &mut sm.tidx_pending,
-                                &mut slot_bidx,
-                            );
-                            slots[tw.slot].bidx_done = slot_bidx;
-                            match g {
-                                Gate::Blocked => continue 'cand,
-                                Gate::Done => {
-                                    // Warp finished via earlier skip chain.
-                                    break;
-                                }
-                                Gate::Ready(pc) => {
-                                    let ph = meta.map_or(Phase::Main, |m| m.phase_of(pc));
-                                    (pc, ph.is_linear(), ph)
-                                }
-                            }
-                        };
-                        let instr = &kernel.instrs[pc];
-                        {
-                            let tw = sm.warps[wi].as_ref().unwrap();
-                            let lr = meta.map(|m| LinearReadiness {
-                                cr: &sm.cr_ready,
-                                tr: &sm.tr_ready,
-                                br_slot: sm.br_ready[tw.slot],
-                                lr_tr: &m.lr_tr,
-                            });
-                            if !deps_ready(tw, instr, now, lr.as_ref()) {
-                                continue 'cand;
-                            }
-                        }
-                        // --- execute functionally ---
-                        let tw = sm.warps[wi].as_mut().unwrap();
-                        let tslot = tw.slot;
-                        let info = {
-                            let lin = sm
-                                .store
-                                .as_mut()
-                                .map(|s| (*meta.as_ref().unwrap(), s, tslot));
-                            let mut ex = WarpExec {
-                                kernel,
-                                cfg: &cfgr,
-                                params: &launch.params,
-                                ntid: [launch.block.x, launch.block.y, launch.block.z],
-                                nctaid: [launch.grid.x, launch.grid.y, launch.grid.z],
-                                smid: sm_i as u32,
-                                gmem,
-                                smem: &mut sm.slots[tslot].smem,
-                                linear: lin,
-                                scratch: if wants_vals && phase == Phase::Main {
-                                    Some(&mut scratch)
-                                } else {
-                                    None
-                                },
-                                watchdog: cfg.watchdog_warp_instrs,
-                            };
-                            ex.step(&mut tw.w)?
-                        };
-                        last_issue = now;
-                        let charged = if phase.is_linear() || matches!(instr.op, Op::Exit) {
-                            info.exec_mask.count_ones()
-                        } else {
-                            info.active.count_ones()
-                        } as u64;
-
-                        // --- classify ---
-                        let disposition = if phase != Phase::Main || instr.op.is_control() {
-                            if phase == Phase::Coef {
-                                Disposition::Scalar
-                            } else {
-                                Disposition::Execute
-                            }
-                        } else {
-                            filter.classify(&IssueCtx {
-                                pc,
-                                instr,
-                                block: tw.w.block_lin,
-                                warp_in_block: tw.w.warp_in_block,
-                                exec_mask: info.exec_mask,
-                                vals: if wants_vals { Some(&scratch) } else { None },
-                                mem: info.mem.as_ref(),
-                            })
-                        };
-
-                        if disposition == Disposition::Skip {
-                            stats.skipped_warp_instrs += 1;
-                            stats.skipped_thread_instrs += charged;
-                            // Results are available immediately; no charges.
-                            skips += 1;
-                            if tw.w.done || info.outcome != Outcome::Normal {
-                                // fall through to completion handling below
-                            } else if skips < MAX_SKIPS_PER_PICK {
-                                continue;
-                            }
-                        }
-
-                        // --- charge (Execute / Scalar / post-skip bookkeeping) ---
-                        if disposition != Disposition::Skip {
-                            issued_this_cycle += 1;
-                            let scalar = disposition == Disposition::Scalar;
-                            stats.warp_instrs += 1;
-                            stats.thread_instrs += if scalar { 1 } else { charged };
-                            stats.warp_instrs_by_phase[phase.idx()] += 1;
-                            stats.thread_instrs_by_phase[phase.idx()] +=
-                                if scalar { 1 } else { charged };
-                            if scalar {
-                                stats.scalar_warp_instrs += 1;
-                            }
-                            stats.events.fetch_decode += 1;
-                            let (vr, sr) = rf_reads_of(instr);
-                            if scalar {
-                                stats.events.rf_scalar_reads += vr + sr;
-                                if instr.dst.is_some() {
-                                    stats.events.rf_scalar_writes += 1;
-                                }
-                            } else {
-                                stats.events.rf_reads += vr;
-                                stats.events.rf_scalar_reads += sr;
-                                if instr.dst.is_some() {
-                                    match instr.dst {
-                                        Some(Dst::Cr(_)) | Some(Dst::Br(_)) => {
-                                            stats.events.rf_scalar_writes += 1;
-                                        }
-                                        _ => stats.events.rf_writes += 1,
-                                    }
-                                }
-                            }
-                            let lanes = if scalar { 1 } else { charged };
-                            if !instr.op.is_mem() && !instr.op.is_control() {
-                                match (instr.op, instr.ty) {
-                                    (Op::Sfu(_), _) => stats.events.sfu_lane_ops += lanes,
-                                    (_, Ty::F32) => stats.events.fp_lane_ops += lanes,
-                                    (_, Ty::F64) => stats.events.fp64_lane_ops += lanes,
-                                    _ => stats.events.int_lane_ops += lanes,
-                                }
-                            }
-
-                            // Latency & scoreboard.
-                            let mut lat = match &info.mem {
-                                Some(mi) => mem_latency(
-                                    cfg,
-                                    mi,
-                                    &mut sm.l1,
-                                    &mut l2,
-                                    &mut dram_busy_u,
-                                    now,
-                                    &mut stats,
-                                ),
-                                None => base_latency(cfg, instr),
-                            };
-                            if linear_phase {
-                                lat += cfg.r2d2.fetch_table;
-                            }
-                            if reads_r2d2_class(instr) {
-                                lat += cfg.r2d2.regid_calc;
-                                if matches!(info.mem, Some(ref m) if matches!(m.space, MemSpace::Global))
-                                    && matches!(instr.mem, Some(mm) if matches!(mm.base, Operand::Lr(_)))
-                                {
-                                    lat += cfg.r2d2.lr_add;
-                                }
-                            }
-                            let tw = sm.warps[wi].as_mut().unwrap();
-                            let tw_slot = tw.slot;
-                            match instr.dst {
-                                Some(Dst::Reg(r)) => tw.reg_ready[r.0 as usize] = now + lat,
-                                Some(Dst::Pred(p)) => tw.pred_ready[p.0 as usize] = now + lat,
-                                Some(Dst::Cr(k)) => sm.cr_ready[k as usize] = now + lat,
-                                Some(Dst::Tr(k)) => {
-                                    let e = &mut sm.tr_ready[k as usize];
-                                    *e = (*e).max(now + lat);
-                                }
-                                Some(Dst::Br(_)) => sm.br_ready[tw_slot] = now + lat,
-                                None => {}
-                            }
-                        }
-
-                        // --- outcome handling ---
-                        let tw = sm.warps[wi].as_mut().unwrap();
-                        let warp_done = tw.w.done;
-                        let at_barrier = info.outcome == Outcome::Barrier;
-                        if at_barrier {
-                            sm.slots[tslot].barrier_wait += 1;
-                        }
-                        if warp_done {
-                            sm.slots[tslot].live -= 1;
-                        }
-                        // Barrier release: all live warps arrived.
-                        let slot = &mut sm.slots[tslot];
-                        if slot.barrier_wait > 0 && slot.barrier_wait == slot.live {
-                            slot.barrier_wait = 0;
-                            for wj in (0..wpb).map(|k| tslot * wpb + k) {
-                                if let Some(t) = sm.warps[wj].as_mut() {
-                                    t.w.at_barrier = false;
-                                }
-                            }
-                        }
-                        if warp_done && slot.live == 0 {
-                            slot.active = false;
-                            remaining -= 1;
-                            let blk = sm.warps[wi].as_ref().unwrap().w.block_lin;
-                            filter.on_block_done(blk);
-                            for wj in (0..wpb).map(|k| tslot * wpb + k) {
-                                sm.warps[wj] = None;
-                            }
-                            if next_block < total_blocks {
-                                sm.slots[tslot].first_wave = false;
-                                dispatch(sm, tslot, next_block, launch);
-                                next_block += 1;
-                            }
-                        }
-                        if disposition != Disposition::Skip || warp_done || at_barrier {
-                            if !linear_mode {
-                                sm.gto_last[sched] = Some(wi);
-                            } else {
-                                sm.rr_ptr[sched] =
-                                    (wi / nsched + 1) % (sm.warps.len() / nsched).max(1);
-                            }
-                            break 'cand;
-                        }
-                        // Skip chain exhausted its budget: issue slot spent.
-                        break 'cand;
-                    }
-                }
-            }
-            if sm.gates_open_cycle.is_none()
-                && sm.coef_done
-                && sm.tidx_done
-                && sm
-                    .slots
-                    .iter()
-                    .all(|s| !s.active || !s.first_wave || s.bidx_done)
-            {
-                sm.gates_open_cycle = Some(now);
-            }
-        }
-    }
-
+    let mut stats = m.stats;
     stats.cycles = now;
     stats.events.cycles = now;
-    stats.prologue_cycles = sms
+    stats.prologue_cycles = m
+        .sms
         .iter()
         .map(|s| s.gates_open_cycle.unwrap_or(0))
         .max()
         .unwrap_or(0);
-    for sm in &sms {
-        let _ = &sm.l1; // hits/misses already folded into stats during accesses
-    }
-    // SFU note: Div/Rem routed through sfu latency; nothing else to fold.
-    let _ = SfuOp::Rcp;
     Ok(stats)
 }
 
@@ -985,18 +1452,7 @@ mod tests {
 
     #[test]
     fn barrier_kernel_completes() {
-        let mut b = KernelBuilder::new("barrier", 1);
-        b.shared_bytes(256 * 4);
-        let t = b.tid_x();
-        let soff = b.shl_imm_wide(t, 2);
-        b.st_shared(Ty::B32, soff, 0, t);
-        b.bar();
-        let v = b.ld_shared(Ty::B32, soff, 0);
-        let goff = b.shl_imm_wide(t, 2);
-        let p = b.ld_param(0);
-        let addr = b.add_wide(p, goff);
-        b.st_global(Ty::B32, addr, 0, v);
-        let k = b.build();
+        let k = barrier_kernel();
         let mut g = GlobalMem::new();
         let out = g.alloc(256 * 4);
         let launch = Launch::new(k, Dim3::d1(1), Dim3::d1(256), vec![out]);
@@ -1035,38 +1491,55 @@ mod tests {
         assert!(live >= 2 && live <= k.num_regs(), "live={live}");
     }
 
+    fn barrier_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("barrier", 1);
+        b.shared_bytes(256 * 4);
+        let t = b.tid_x();
+        let soff = b.shl_imm_wide(t, 2);
+        b.st_shared(Ty::B32, soff, 0, t);
+        b.bar();
+        let v = b.ld_shared(Ty::B32, soff, 0);
+        let goff = b.shl_imm_wide(t, 2);
+        let p = b.ld_param(0);
+        let addr = b.add_wide(p, goff);
+        b.st_global(Ty::B32, addr, 0, v);
+        b.build()
+    }
+
+    // Streams through `stride_blocks` * 4 bytes of input: DRAM-bound for
+    // large strides, L1-resident for small ones.
+    fn stream_kernel(stride_blocks: u32) -> Kernel {
+        let mut b = KernelBuilder::new("ld", 2);
+        let i = b.global_tid_x();
+        let nb = b.imm32(stride_blocks as i32);
+        let wrapped = b.rem_ty(Ty::B32, i, nb);
+        let off = b.shl_imm_wide(wrapped, 2);
+        let p = b.ld_param(0);
+        let a = b.add_wide(p, off);
+        let v = b.ld_global(Ty::F32, a, 0);
+        let q = b.ld_param(1);
+        let oo = b.shl_imm_wide(i, 2);
+        let oa = b.add_wide(q, oo);
+        b.st_global(Ty::F32, oa, 0, v);
+        b.build()
+    }
+
     #[test]
     fn cache_locality_speeds_up_reuse() {
         // Two kernels: one streams 4MB (DRAM-bound), one rereads 16KB (L1).
-        let mk = |stride_blocks: u32| {
-            let mut b = KernelBuilder::new("ld", 2);
-            let i = b.global_tid_x();
-            let nb = b.imm32(stride_blocks as i32);
-            let wrapped = b.rem_ty(Ty::B32, i, nb);
-            let off = b.shl_imm_wide(wrapped, 2);
-            let p = b.ld_param(0);
-            let a = b.add_wide(p, off);
-            let v = b.ld_global(Ty::F32, a, 0);
-            let q = b.ld_param(1);
-            let oo = b.shl_imm_wide(i, 2);
-            let oa = b.add_wide(q, oo);
-            b.st_global(Ty::F32, oa, 0, v);
-            b.build()
-        };
-        let run = |k: Kernel, distinct: u64| {
+        let run = |k: Kernel| {
             let mut g = GlobalMem::new();
             let inp = g.alloc(1024 * 1024 * 4);
             let out = g.alloc(256 * 256 * 4);
             let launch = Launch::new(k, Dim3::d1(256), Dim3::d1(256), vec![inp, out]);
-            let _ = distinct;
             let cfg = GpuConfig {
                 num_sms: 8,
                 ..Default::default()
             };
             simulate(&cfg, &launch, &mut g, &mut BaselineFilter).unwrap()
         };
-        let hot = run(mk(1024), 1024); // 4KB working set
-        let cold = run(mk(1024 * 1024), 1 << 20); // way beyond L1
+        let hot = run(stream_kernel(1024)); // 4KB working set
+        let cold = run(stream_kernel(1024 * 1024)); // way beyond L1
         assert!(
             hot.l1_hits * 2 > hot.l1_hits + hot.l1_misses,
             "hot loop should mostly hit L1: {} hits {} misses",
@@ -1074,5 +1547,95 @@ mod tests {
             hot.l1_misses
         );
         assert!(cold.dram_txns > hot.dram_txns);
+    }
+
+    // --- lockstep vs event-driven differential coverage -------------------
+
+    fn run_kind(
+        kind: LoopKind,
+        k: &Kernel,
+        grid: u32,
+        block: u32,
+        allocs: &[u64],
+        watchdog: Option<u64>,
+    ) -> Result<(Stats, Vec<u8>), SimError> {
+        let mut g = GlobalMem::new();
+        let params: Vec<u64> = allocs.iter().map(|&b| g.alloc(b)).collect();
+        let launch = Launch::new(k.clone(), Dim3::d1(grid), Dim3::d1(block), params);
+        let cfg = GpuConfig {
+            num_sms: 4,
+            loop_kind: kind,
+            watchdog_cycles: watchdog.unwrap_or(GpuConfig::default().watchdog_cycles),
+            ..Default::default()
+        };
+        let stats = simulate(&cfg, &launch, &mut g, &mut BaselineFilter)?;
+        Ok((stats, g.bytes().to_vec()))
+    }
+
+    fn assert_loops_agree(k: &Kernel, grid: u32, block: u32, allocs: &[u64]) {
+        let (s1, m1) = run_kind(LoopKind::Lockstep, k, grid, block, allocs, None).unwrap();
+        let (s2, m2) = run_kind(LoopKind::EventDriven, k, grid, block, allocs, None).unwrap();
+        assert_eq!(s1, s2, "stats must be bit-identical across loop kinds");
+        assert_eq!(m1, m2, "memory must be bit-identical across loop kinds");
+    }
+
+    #[test]
+    fn event_loop_matches_lockstep_on_alu_kernel() {
+        assert_loops_agree(&iota_kernel(), 8, 128, &[8 * 128 * 4]);
+    }
+
+    #[test]
+    fn event_loop_matches_lockstep_on_dram_bound_kernel() {
+        assert_loops_agree(
+            &stream_kernel(1024 * 1024),
+            64,
+            256,
+            &[1024 * 1024 * 4, 64 * 256 * 4],
+        );
+    }
+
+    #[test]
+    fn event_loop_matches_lockstep_on_barrier_kernel() {
+        assert_loops_agree(&barrier_kernel(), 4, 256, &[256 * 4]);
+    }
+
+    #[test]
+    fn event_loop_skips_idle_cycles_without_changing_cycle_count() {
+        // A single small block leaves long fully-idle stretches behind each
+        // DRAM miss — exactly the cycles the event loop must skip over while
+        // still reporting the same end-to-end cycle count.
+        let k = stream_kernel(1024 * 1024);
+        let (s1, _) = run_kind(
+            LoopKind::Lockstep,
+            &k,
+            1,
+            32,
+            &[1024 * 1024 * 4, 32 * 4],
+            None,
+        )
+        .unwrap();
+        let (s2, _) = run_kind(
+            LoopKind::EventDriven,
+            &k,
+            1,
+            32,
+            &[1024 * 1024 * 4, 32 * 4],
+            None,
+        )
+        .unwrap();
+        assert_eq!(s1, s2);
+        assert!(s1.cycles > 400, "expected DRAM latency to dominate");
+    }
+
+    #[test]
+    fn watchdog_fires_identically_under_both_loops() {
+        // Watchdog far below the DRAM latency: the event loop reaches it via
+        // a jump, the lockstep loop by spinning — same error either way.
+        let k = stream_kernel(1024 * 1024);
+        let allocs = [1024 * 1024 * 4, 32 * 4];
+        let e1 = run_kind(LoopKind::Lockstep, &k, 1, 32, &allocs, Some(50)).unwrap_err();
+        let e2 = run_kind(LoopKind::EventDriven, &k, 1, 32, &allocs, Some(50)).unwrap_err();
+        assert_eq!(e1, SimError::Watchdog { limit: 50 });
+        assert_eq!(e1, e2);
     }
 }

@@ -86,6 +86,16 @@ def summarize_run_records():
         print(f"  {'ideals':<14} avg reduction  WP {red('ideal_wp'):.0f}%"
               f" / TB {red('ideal_tb'):.0f}% / LN {red('ideal_ln'):.0f}%"
               f"   (paper Fig.4: 27/22/33)")
+    # wall_ms/cached are appended columns (PR 2); older exports lack them.
+    wall = sorted((float(r["wall_ms"]) for r in recs
+                   if r.get("wall_ms") not in (None, "")), reverse=True)
+    if wall:
+        ncached = sum(1 for r in recs if r.get("cached") == "true")
+        line = (f"  {'wall clock':<14} {sum(wall) / 1e3:.2f}s simulator time"
+                f" over {len(wall)} jobs, slowest {wall[0] / 1e3:.2f}s")
+        if ncached:
+            line += f", {ncached} cache hits (wall_ms=0)"
+        print(line)
     print()
     return True
 

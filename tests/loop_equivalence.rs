@@ -1,0 +1,64 @@
+//! Differential guarantee for the event-driven timing loop: across the full
+//! workload zoo and every machine model, `LoopKind::EventDriven` must produce
+//! bit-identical `Stats` (cycles, every counter, every energy event) and
+//! bit-identical global memory to the `LoopKind::Lockstep` reference.
+//!
+//! This is the test that licenses the cycle-skipping and persistent-ordering
+//! optimizations in `r2d2_sim::timing` — see DESIGN.md "Timing-loop
+//! internals".
+
+use r2d2::baselines::{DacFilter, DarsieFilter, DarsieScalarFilter};
+use r2d2::prelude::*;
+use r2d2::sim::{simulate, LoopKind, Stats};
+use r2d2::workloads::{self, Size};
+
+const MODELS: [&str; 5] = ["baseline", "dac", "darsie", "darsie+s", "r2d2"];
+
+fn make_filter(model: &str) -> Box<dyn IssueFilter> {
+    match model {
+        "baseline" | "r2d2" => Box::new(BaselineFilter),
+        "dac" => Box::new(DacFilter::new()),
+        "darsie" => Box::new(DarsieFilter::new()),
+        "darsie+s" => Box::new(DarsieScalarFilter::new()),
+        _ => unreachable!("unknown model {model}"),
+    }
+}
+
+fn run_model(w: &workloads::Workload, kind: LoopKind, model: &str) -> (Stats, Vec<u8>) {
+    let cfg = GpuConfig {
+        num_sms: 4,
+        loop_kind: kind,
+        ..Default::default()
+    };
+    let mut filter = make_filter(model);
+    let mut g = w.gmem.clone();
+    let mut stats = Stats::default();
+    for l in &w.launches {
+        if model == "r2d2" {
+            let (launch, _) = r2d2::core::transform::make_launch(
+                &cfg,
+                &l.kernel,
+                l.grid,
+                l.block,
+                l.params.clone(),
+            );
+            stats.merge_sequential(&simulate(&cfg, &launch, &mut g, filter.as_mut()).unwrap());
+        } else {
+            stats.merge_sequential(&simulate(&cfg, l, &mut g, filter.as_mut()).unwrap());
+        }
+    }
+    (stats, g.bytes().to_vec())
+}
+
+#[test]
+fn event_driven_loop_is_bit_identical_across_zoo_and_models() {
+    for (name, _) in workloads::NAMES {
+        let w = workloads::build(name, Size::Small).unwrap();
+        for model in MODELS {
+            let (s_ref, m_ref) = run_model(&w, LoopKind::Lockstep, model);
+            let (s_ev, m_ev) = run_model(&w, LoopKind::EventDriven, model);
+            assert_eq!(s_ref, s_ev, "{name}/{model}: Stats diverged across loops");
+            assert_eq!(m_ref, m_ev, "{name}/{model}: memory diverged across loops");
+        }
+    }
+}
