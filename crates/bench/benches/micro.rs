@@ -12,12 +12,39 @@ use r2d2_isa::{Kernel, KernelBuilder, Ty};
 use r2d2_sim::{
     functional, simulate, BaselineFilter, Dim3, GlobalMem, GpuConfig, Launch, LoopKind, Stats,
 };
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Smoke mode (`R2D2_MICRO_SMOKE=1`): shrink sizes and deadlines so CI can
 /// run every bench in seconds while still exercising the same code paths.
 fn smoke() -> bool {
     std::env::var("R2D2_MICRO_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Collected `(metric, value)` pairs, all higher-is-better, dumped as JSON
+/// when `R2D2_BENCH_JSON=<path>` is set. `scripts/check_bench_baseline.py`
+/// diffs that dump against the committed `results/bench_baseline.json` to
+/// gate throughput regressions in CI.
+static METRICS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+fn record_metric(name: &str, value: f64) {
+    METRICS.lock().unwrap().push((name.to_string(), value));
+}
+
+fn write_metrics_json(path: &str) {
+    use r2d2_harness::json::{int, num, obj, Value};
+    let metrics = METRICS.lock().unwrap();
+    let fields: Vec<(&str, Value)> = metrics.iter().map(|(k, v)| (k.as_str(), num(*v))).collect();
+    let doc = obj(vec![
+        ("schema", int(1)),
+        ("smoke", Value::Bool(smoke())),
+        ("metrics", obj(fields)),
+    ]);
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(path, doc.to_json()).expect("write bench metrics");
+    println!("[bench metrics written to {path}]");
 }
 
 fn saxpy_like() -> Kernel {
@@ -70,6 +97,7 @@ fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> f64 {
         "{name:<32} {unit:>12}/iter  ({} samples x {batch})",
         samples.len()
     );
+    record_metric(&format!("{name}_iters_per_s"), 1.0 / median);
     median
 }
 
@@ -150,6 +178,10 @@ fn sim_throughput(
         stats.cycles as f64 / med / 1e6,
         stats.warp_instrs as f64 / med / 1e6,
     );
+    record_metric(
+        &format!("sim_{tag}_{kname}_cycles_per_s"),
+        stats.cycles as f64 / med,
+    );
     (med, stats)
 }
 
@@ -212,4 +244,10 @@ fn main() {
     });
 
     sim_throughput_suite();
+
+    if let Ok(path) = std::env::var("R2D2_BENCH_JSON") {
+        if !path.is_empty() {
+            write_metrics_json(&path);
+        }
+    }
 }

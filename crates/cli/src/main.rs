@@ -16,6 +16,14 @@
 //! r2d2 workload <NAME> [--model M] [--full]
 //!     run one zoo workload under a machine model
 //!     (M: baseline | dac | darsie | darsie-scalar | r2d2; default baseline)
+//! r2d2 profile <workload> <model> [options]
+//!     run one workload with the stall-attribution profiler attached and
+//!     export a Chrome trace_event JSON + CSV time series
+//!     --buckets N           target time-series bucket count (default 256)
+//!     --out DIR             artifact directory (default results/profiles/)
+//!     --sms N               number of SMs
+//!     --full                evaluation-sized inputs (default: small)
+//!     (workload: any zoo name, BP@n<log>, or the micro ids vecadd/saxpy)
 //! r2d2 trace <kernel.kasm> [run options] [--limit N]
 //!     print the first N dynamic warp instructions (default 64)
 //! r2d2 sweep list                         list figure job sets + cache state
@@ -23,6 +31,8 @@
 //!     --jobs N              worker threads            (default: all cores)
 //!     --no-cache            re-simulate even when cached (refreshes entries)
 //!     --size small|full     workload scale            (default full)
+//!     --profile             attach the stall profiler to every job (writes
+//!                           traces to results/profiles/; separate cache keys)
 //! r2d2 sweep clean                        delete all cached results
 //! ```
 //!
@@ -48,9 +58,10 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("workload") => cmd_workload(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         _ => {
-            eprintln!("usage: r2d2 <list|analyze|transform|run|trace|workload|sweep> ...");
+            eprintln!("usage: r2d2 <list|analyze|transform|run|trace|workload|profile|sweep> ...");
             eprintln!("see `r2d2-cli` crate docs for options");
             return ExitCode::from(2);
         }
@@ -298,6 +309,100 @@ fn cmd_trace(args: &[String]) -> CliResult {
     Ok(())
 }
 
+fn cmd_profile(args: &[String]) -> CliResult {
+    use r2d2_harness::{execute_with_profiler, write_profile_artifacts_in, JobSpec, ModelSpec};
+    use r2d2_sim::{Profiler, StallCause};
+
+    let workload = args.first().ok_or("missing workload id")?.clone();
+    let model = match args.get(1).map(String::as_str) {
+        Some("baseline") => ModelSpec::Baseline,
+        Some("dac") => ModelSpec::Dac,
+        Some("darsie") => ModelSpec::Darsie,
+        Some("darsie-scalar") | Some("darsie_scalar") => ModelSpec::DarsieScalar,
+        Some("r2d2") => ModelSpec::R2d2,
+        _ => return Err("model must be baseline|dac|darsie|darsie-scalar|r2d2".into()),
+    };
+    let mut buckets = r2d2_sim::trace::DEFAULT_TARGET_BUCKETS;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut size = r2d2_workloads::Size::Small;
+    let mut sms: Option<u32> = None;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--buckets" => {
+                buckets = args.get(i + 1).ok_or("--buckets needs a value")?.parse()?;
+                i += 1;
+            }
+            "--out" => {
+                out = Some(args.get(i + 1).ok_or("--out needs a value")?.into());
+                i += 1;
+            }
+            "--sms" => {
+                sms = Some(args.get(i + 1).ok_or("--sms needs a value")?.parse()?);
+                i += 1;
+            }
+            "--full" => size = r2d2_workloads::Size::Full,
+            other => return Err(format!("unknown option {other}").into()),
+        }
+        i += 1;
+    }
+
+    let mut spec = JobSpec::new(&workload, size, model);
+    spec.profile = true;
+    spec.overrides.num_sms = sms;
+    let mut prof = Profiler::new(buckets);
+    let rec = execute_with_profiler(&spec, &mut prof)?;
+    let out = out.unwrap_or_else(r2d2_harness::default_profiles_dir);
+    let trace_path = write_profile_artifacts_in(&out, &spec, &prof)?;
+
+    let s = &rec.stats;
+    let sm_cycles = s.cycles * prof.num_sms() as u64;
+    let pct = |v: u64| {
+        if sm_cycles == 0 {
+            0.0
+        } else {
+            100.0 * v as f64 / sm_cycles as f64
+        }
+    };
+    println!(
+        "workload {workload} under {}: {} cycles on {} SMs",
+        spec.model.name(),
+        s.cycles,
+        prof.num_sms()
+    );
+    println!(
+        "attribution over {} SM-cycles (invariant {}):",
+        sm_cycles,
+        match prof.check_invariant() {
+            Ok(()) => "holds".to_string(),
+            Err(e) => format!("VIOLATED: {e}"),
+        }
+    );
+    println!(
+        "  {:<24} {:>12} {:>7.2}%",
+        "issued/progress",
+        s.issued_sm_cycles,
+        pct(s.issued_sm_cycles)
+    );
+    for c in StallCause::ALL {
+        let v = s.stall_sm_cycles[c.idx()];
+        println!(
+            "  {:<24} {:>12} {:>7.2}%",
+            format!("stall_{}", c.name()),
+            v,
+            pct(v)
+        );
+    }
+    println!(
+        "time series: {} buckets x {} cycles",
+        prof.buckets().len(),
+        prof.bucket_width()
+    );
+    println!("wrote {}", trace_path.display());
+    println!("      (+ .buckets.csv, .stalls.csv alongside)");
+    Ok(())
+}
+
 fn cmd_sweep(args: &[String]) -> CliResult {
     use r2d2_harness::{sets, Cache, JobSpec, RunOptions};
 
@@ -331,6 +436,7 @@ fn cmd_sweep(args: &[String]) -> CliResult {
             let mut names: Vec<String> = Vec::new();
             let mut opts = RunOptions::default();
             let mut size = r2d2_harness::size_from_env();
+            let mut profile = false;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -339,6 +445,7 @@ fn cmd_sweep(args: &[String]) -> CliResult {
                         i += 1;
                     }
                     "--no-cache" => opts.use_cache = false,
+                    "--profile" => profile = true,
                     "--size" => {
                         size = match args.get(i + 1).ok_or("--size needs a value")?.as_str() {
                             "small" => r2d2_workloads::Size::Small,
@@ -371,7 +478,8 @@ fn cmd_sweep(args: &[String]) -> CliResult {
             for name in &names {
                 let set = sets::set(name, size)
                     .ok_or_else(|| format!("unknown set {name:?} (try `r2d2 sweep list`)"))?;
-                for s in set {
+                for mut s in set {
+                    s.profile = profile;
                     if seen.insert(s.content_hash()) {
                         specs.push(s);
                     }

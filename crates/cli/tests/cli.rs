@@ -219,6 +219,77 @@ fn bad_usage_exits_nonzero() {
 }
 
 #[test]
+fn profile_emits_valid_stable_chrome_trace() {
+    let tmp = std::env::temp_dir().join(format!("r2d2-profile-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    let run = |sub: &str| {
+        let out_dir = tmp.join(sub);
+        let out = bin()
+            .args([
+                "profile",
+                "vecadd",
+                "r2d2",
+                "--buckets",
+                "32",
+                "--sms",
+                "8",
+                "--out",
+            ])
+            .arg(&out_dir)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("invariant holds"), "{text}");
+        assert!(text.contains("stall_dram"), "{text}");
+        let trace = std::fs::read_dir(&out_dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .find(|p| p.to_string_lossy().ends_with(".trace.json"))
+            .expect("a .trace.json artifact");
+        for ext in [".buckets.csv", ".stalls.csv"] {
+            let sibling = trace.to_string_lossy().replace(".trace.json", ext);
+            assert!(std::path::Path::new(&sibling).is_file(), "missing {ext}");
+        }
+        std::fs::read_to_string(trace).unwrap()
+    };
+
+    let a = run("a");
+    // Valid Chrome trace_event JSON under the workspace's own parser: an
+    // object envelope with a non-empty traceEvents array of X/C/M events.
+    let v = r2d2_trace::json::parse(&a).expect("trace parses");
+    let events = v
+        .get("traceEvents")
+        .and_then(r2d2_trace::json::Value::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    for ev in events {
+        let ph = ev.get("ph").and_then(r2d2_trace::json::Value::as_str);
+        assert!(
+            matches!(ph, Some("X" | "C" | "M")),
+            "unexpected event phase {ph:?}"
+        );
+    }
+    assert!(
+        events.iter().any(|e| {
+            e.get("name").and_then(r2d2_trace::json::Value::as_str) == Some("stall_cycles")
+                && e.get("args").and_then(|a| a.get("dram")).is_some()
+        }),
+        "expected a stall_cycles counter track with a dram arg"
+    );
+
+    // Golden stability: a re-run produces byte-identical artifacts.
+    let b = run("b");
+    assert_eq!(a, b, "trace output must be deterministic");
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+#[test]
 fn sweep_list_names_every_set() {
     let out = bin().args(["sweep", "list"]).output().unwrap();
     assert!(

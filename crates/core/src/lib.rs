@@ -12,7 +12,7 @@
 //!   instruction blocks (coefficients / thread-index parts / block-index
 //!   parts), rewrites the non-linear stream to read `%lr`/`%cr` registers,
 //!   and produces the 16-entry register table (Sec. 3.3).
-//! * [`transform`] — the end-to-end `Kernel -> R2d2Kernel` pipeline plus the
+//! * [`mod@transform`] — the end-to-end `Kernel -> R2d2Kernel` pipeline plus the
 //!   Sec. 4.4 register-pressure fallback gate.
 //! * [`machine`] — convenience runners that execute original and transformed
 //!   kernels on the `r2d2-sim` substrate and return comparable statistics.

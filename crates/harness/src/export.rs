@@ -8,6 +8,9 @@
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+use r2d2_sim::trace::chrome;
+use r2d2_sim::Profiler;
+
 use crate::cache::{results_dir, Cache};
 use crate::json;
 use crate::record::RunRecord;
@@ -19,7 +22,9 @@ pub const CSV_HEADER: &str = "workload,size,model,num_sms,fetch_table,regid_calc
 used_r2d2,cycles,warp_instrs,thread_instrs,scalar_warp_instrs,warp_coef,warp_tidx,warp_bidx,\
 warp_main,prologue_cycles,l1_hits,l1_misses,l2_hits,l2_misses,dram_txns,shared_txns,\
 alu_pj,rf_pj,frontend_pj,mem_pj,static_pj,total_pj,\
-ideal_baseline,ideal_wp,ideal_tb,ideal_ln,wall_ms,cached";
+ideal_baseline,ideal_wp,ideal_tb,ideal_ln,wall_ms,cached,\
+issued_sm_cycles,stall_scoreboard,stall_operand_collector,stall_lsu_mshr,stall_dram,\
+stall_barrier,stall_idle_skip";
 
 /// Every valid `(spec, record)` pair currently in the cache. Unreadable or
 /// malformed files are skipped, matching the cache's miss-not-error policy.
@@ -59,7 +64,7 @@ fn csv_row(spec: &JobSpec, rec: &RunRecord) -> String {
     let e = &rec.energy;
     let ideal = |f: fn(&r2d2_baselines::IdealCounts) -> u64| opt(rec.ideal.as_ref().map(f));
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         spec.workload,
         match spec.size {
             r2d2_workloads::Size::Small => "small",
@@ -99,6 +104,13 @@ fn csv_row(spec: &JobSpec, rec: &RunRecord) -> String {
         ideal(|c| c.ln),
         rec.wall_ms,
         rec.cached,
+        s.issued_sm_cycles,
+        s.stall_sm_cycles[0],
+        s.stall_sm_cycles[1],
+        s.stall_sm_cycles[2],
+        s.stall_sm_cycles[3],
+        s.stall_sm_cycles[4],
+        s.stall_sm_cycles[5],
     )
 }
 
@@ -119,6 +131,68 @@ pub fn export_csv(cache: &Cache, path: &Path) -> std::io::Result<usize> {
 /// The default export path, `results/run_records.csv`.
 pub fn default_csv_path() -> PathBuf {
     results_dir().join("run_records.csv")
+}
+
+/// The directory profiled runs drop their trace artifacts in,
+/// `results/profiles/`.
+pub fn default_profiles_dir() -> PathBuf {
+    results_dir().join("profiles")
+}
+
+/// File-name stem for one profiled job: workload, size, model, and the spec
+/// hash (so overridden configs of the same job never collide).
+fn profile_stem(spec: &JobSpec) -> String {
+    let mut stem = format!(
+        "{}_{}_{}_{}",
+        spec.workload,
+        match spec.size {
+            r2d2_workloads::Size::Small => "small",
+            r2d2_workloads::Size::Full => "full",
+        },
+        spec.model.canonical(),
+        spec.hash_hex()
+    );
+    stem = stem
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    stem
+}
+
+/// Write one profiled job's artifacts into `dir`: a Chrome `trace_event`
+/// JSON (`<stem>.trace.json`, load via `chrome://tracing` or Perfetto), the
+/// bucketed time series (`<stem>.buckets.csv`), and the per-SM stall totals
+/// (`<stem>.stalls.csv`). Returns the trace path.
+pub fn write_profile_artifacts_in(
+    dir: &Path,
+    spec: &JobSpec,
+    prof: &Profiler,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let stem = profile_stem(spec);
+    let trace_path = dir.join(format!("{stem}.trace.json"));
+    std::fs::write(&trace_path, chrome::chrome_trace(prof).to_json())?;
+    std::fs::write(
+        dir.join(format!("{stem}.buckets.csv")),
+        chrome::buckets_csv(prof),
+    )?;
+    std::fs::write(
+        dir.join(format!("{stem}.stalls.csv")),
+        chrome::stalls_csv(prof),
+    )?;
+    Ok(trace_path)
+}
+
+/// [`write_profile_artifacts_in`] against [`default_profiles_dir`]. Used by
+/// the runner for `JobSpec { profile: true }` jobs.
+pub fn write_profile_artifacts(spec: &JobSpec, prof: &Profiler) -> std::io::Result<PathBuf> {
+    write_profile_artifacts_in(&default_profiles_dir(), spec, prof)
 }
 
 #[cfg(test)]

@@ -22,16 +22,23 @@
 
 pub mod cache;
 pub mod export;
-pub mod json;
 pub mod record;
 pub mod runner;
 pub mod sets;
 pub mod spec;
 
+/// The workspace's hand-rolled JSON layer now lives in `r2d2-trace` (the
+/// bottom of the crate stack) so the simulator's exporters can use it too;
+/// re-exported here so `r2d2_harness::json::...` paths keep working.
+pub use r2d2_trace::json;
+
 pub use cache::{results_dir, Cache};
-pub use export::{cache_entries, default_csv_path, export_csv};
+pub use export::{
+    cache_entries, default_csv_path, default_profiles_dir, export_csv, write_profile_artifacts,
+    write_profile_artifacts_in,
+};
 pub use record::RunRecord;
-pub use runner::{execute, run_jobs, run_jobs_with, RunOptions, RunSummary};
+pub use runner::{execute, execute_with_profiler, run_jobs, run_jobs_with, RunOptions, RunSummary};
 pub use spec::{ConfigOverrides, JobSpec, ModelSpec, SCHEMA_VERSION};
 
 /// Workload size selected by `R2D2_SIZE` (default: full) — shared by the

@@ -10,7 +10,7 @@
 
 use r2d2_baselines::IdealCounts;
 use r2d2_energy::{EnergyBreakdown, EventCounts};
-use r2d2_sim::Stats;
+use r2d2_sim::{StallCause, Stats};
 
 use crate::json::{int, num, obj, Value};
 
@@ -108,8 +108,28 @@ fn stats_to_json(s: &Stats) -> Value {
         ("l2_misses", int(s.l2_misses)),
         ("dram_txns", int(s.dram_txns)),
         ("shared_txns", int(s.shared_txns)),
+        ("issued_sm_cycles", int(s.issued_sm_cycles)),
+        (
+            "stall_sm_cycles",
+            Value::Arr(s.stall_sm_cycles.iter().map(|&v| int(v)).collect()),
+        ),
         ("events", events_to_json(&s.events)),
     ])
+}
+
+fn parse_stall_arr(v: Option<&Value>) -> Option<[u64; StallCause::COUNT]> {
+    let mut out = [0u64; StallCause::COUNT];
+    // Absent in entries written before the observability layer existed.
+    let Some(items) = v.and_then(Value::as_arr) else {
+        return Some(out);
+    };
+    if items.len() != StallCause::COUNT {
+        return None;
+    }
+    for (slot, item) in out.iter_mut().zip(items) {
+        *slot = item.as_u64()?;
+    }
+    Some(out)
 }
 
 fn stats_from_json(v: &Value) -> Option<Stats> {
@@ -130,6 +150,9 @@ fn stats_from_json(v: &Value) -> Option<Stats> {
         l2_misses: g("l2_misses")?,
         dram_txns: g("dram_txns")?,
         shared_txns: g("shared_txns")?,
+        // Absent (and so zero) in entries from before the profiler existed.
+        issued_sm_cycles: g("issued_sm_cycles").unwrap_or(0),
+        stall_sm_cycles: parse_stall_arr(v.get("stall_sm_cycles"))?,
         events: events_from_json(v.get("events")?)?,
     })
 }
@@ -235,6 +258,8 @@ mod tests {
             l2_misses: 0,
             dram_txns: 5,
             shared_txns: 11,
+            issued_sm_cycles: 4000,
+            stall_sm_cycles: [6, 5, 4, 3, 2, 1],
             events: EventCounts::default(),
         };
         stats.events.int_lane_ops = u64::MAX; // exercise exact u64 round-trip

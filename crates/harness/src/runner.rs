@@ -13,7 +13,10 @@ use std::time::Instant;
 
 use r2d2_core::transform::make_launch;
 use r2d2_energy::EnergyModel;
-use r2d2_sim::{simulate, BaselineFilter, IssueFilter, Stats};
+use r2d2_sim::{
+    simulate, simulate_with_sink, BaselineFilter, GlobalMem, GpuConfig, IssueFilter, Launch,
+    Profiler, SimError, Stats,
+};
 
 use crate::cache::Cache;
 use crate::record::RunRecord;
@@ -70,9 +73,48 @@ impl RunSummary {
     }
 }
 
+/// Run one launch, observed by the profiler when one is attached.
+fn sim_one(
+    cfg: &GpuConfig,
+    launch: &Launch,
+    gmem: &mut GlobalMem,
+    filter: &mut dyn IssueFilter,
+    prof: &mut Option<&mut Profiler>,
+) -> Result<Stats, SimError> {
+    match prof {
+        Some(p) => simulate_with_sink(cfg, launch, gmem, filter, *p),
+        None => simulate(cfg, launch, gmem, filter),
+    }
+}
+
 /// Execute one job now, ignoring the cache. Errors name the job rather than
 /// panicking so the CLI can report bad ids gracefully.
+///
+/// For `spec.profile` jobs the stall-attribution profiler rides along
+/// (`Stats::issued_sm_cycles`/`stall_sm_cycles` get populated) and trace
+/// artifacts land under `results/profiles/` — see
+/// [`crate::export::write_profile_artifacts`].
 pub fn execute(spec: &JobSpec) -> Result<RunRecord, String> {
+    if !spec.profile {
+        return execute_inner(spec, None);
+    }
+    let mut prof = Profiler::default();
+    let rec = execute_inner(spec, Some(&mut prof))?;
+    if let Err(e) = crate::export::write_profile_artifacts(spec, &prof) {
+        eprintln!("[harness] warning: profile artifact write failed: {e}");
+    }
+    Ok(rec)
+}
+
+/// [`execute`] with a caller-owned [`Profiler`] attached (regardless of
+/// `spec.profile`), for callers that want the full per-SM/per-warp tables
+/// and time series rather than just the `Stats` totals. No artifacts are
+/// written — the caller owns the profiler.
+pub fn execute_with_profiler(spec: &JobSpec, prof: &mut Profiler) -> Result<RunRecord, String> {
+    execute_inner(spec, Some(prof))
+}
+
+fn execute_inner(spec: &JobSpec, mut prof: Option<&mut Profiler>) -> Result<RunRecord, String> {
     let w = r2d2_workloads::resolve(&spec.workload, spec.size)
         .ok_or_else(|| format!("unknown workload id {:?}", spec.workload))?;
     let cfg = spec.overrides.apply();
@@ -101,7 +143,7 @@ pub fn execute(spec: &JobSpec) -> Result<RunRecord, String> {
                 let (launch, used) =
                     make_launch(&cfg, &l.kernel, l.grid, l.block, l.params.clone());
                 used_r2d2 |= used;
-                let s = simulate(&cfg, &launch, &mut gmem, &mut BaselineFilter)
+                let s = sim_one(&cfg, &launch, &mut gmem, &mut BaselineFilter, &mut prof)
                     .map_err(|e| format!("{}/R2D2: {e}", w.name))?;
                 stats.merge_sequential(&s);
             }
@@ -114,9 +156,9 @@ pub fn execute(spec: &JobSpec) -> Result<RunRecord, String> {
                     let mut launch =
                         r2d2_sim::Launch::new(r2.kernel, l.grid, l.block, l.params.clone());
                     launch.meta = Some(r2.meta);
-                    simulate(&cfg, &launch, &mut gmem, &mut BaselineFilter)
+                    sim_one(&cfg, &launch, &mut gmem, &mut BaselineFilter, &mut prof)
                 } else {
-                    simulate(&cfg, l, &mut gmem, &mut BaselineFilter)
+                    sim_one(&cfg, l, &mut gmem, &mut BaselineFilter, &mut prof)
                 }
                 .map_err(|e| format!("{}/R2D2(opts): {e}", w.name))?;
                 stats.merge_sequential(&s);
@@ -131,11 +173,28 @@ pub fn execute(spec: &JobSpec) -> Result<RunRecord, String> {
                 _ => unreachable!("handled above"),
             };
             for l in &w.launches {
-                let s = simulate(&cfg, l, &mut gmem, filter.as_mut())
+                let s = sim_one(&cfg, l, &mut gmem, filter.as_mut(), &mut prof)
                     .map_err(|e| format!("{}/{}: {e}", w.name, spec.model.name()))?;
                 stats.merge_sequential(&s);
             }
         }
+    }
+
+    if let Some(p) = prof.as_deref() {
+        // Machine-check the attribution invariant on every profiled run:
+        // every SM-cycle is either an issue or exactly one stall bucket.
+        p.check_invariant()
+            .map_err(|e| format!("{}/{}: {e}", w.name, spec.model.name()))?;
+        if p.total_cycles() != stats.cycles {
+            return Err(format!(
+                "{}/{}: profiler saw {} cycles but stats report {}",
+                w.name,
+                spec.model.name(),
+                p.total_cycles(),
+                stats.cycles
+            ));
+        }
+        stats.absorb_profile(p);
     }
 
     let energy = EnergyModel::volta().breakdown(&stats.events);

@@ -186,6 +186,10 @@ pub struct JobSpec {
     pub model: ModelSpec,
     /// Configuration deviations from [`GpuConfig::default`].
     pub overrides: ConfigOverrides,
+    /// Run with the stall-attribution profiler attached and emit trace
+    /// artifacts. Profiled runs produce the same `Stats` core but populate
+    /// `issued_sm_cycles`/`stall_sm_cycles`, so they cache separately.
+    pub profile: bool,
 }
 
 impl JobSpec {
@@ -196,13 +200,15 @@ impl JobSpec {
             size,
             model,
             overrides: ConfigOverrides::default(),
+            profile: false,
         }
     }
 
     /// Canonical text encoding — the content-hash preimage. Every field of
-    /// the spec (and the schema version) appears here.
+    /// the spec (and the schema version) appears here. `profile` is appended
+    /// only when set, so all pre-existing cache keys are preserved.
     pub fn canonical(&self) -> String {
-        format!(
+        let mut c = format!(
             "r2d2-job-v{};w={};size={};model={};cfg={}",
             SCHEMA_VERSION,
             self.workload,
@@ -212,7 +218,11 @@ impl JobSpec {
             },
             self.model.canonical(),
             self.overrides.canonical()
-        )
+        );
+        if self.profile {
+            c.push_str(";profile=1");
+        }
+        c
     }
 
     /// Stable 64-bit FNV-1a content hash of [`JobSpec::canonical`].
@@ -238,6 +248,9 @@ impl JobSpec {
         if self.overrides != ConfigOverrides::default() {
             l.push_str(&format!(" [{}]", self.overrides.canonical()));
         }
+        if self.profile {
+            l.push_str(" [prof]");
+        }
         l
     }
 
@@ -254,6 +267,7 @@ impl JobSpec {
             ),
             ("model", self.model.to_json()),
             ("overrides", self.overrides.to_json()),
+            ("profile", Value::Bool(self.profile)),
         ])
     }
 
@@ -268,6 +282,8 @@ impl JobSpec {
             },
             model: ModelSpec::from_json(v.get("model")?)?,
             overrides: ConfigOverrides::from_json(v.get("overrides")?)?,
+            // Absent in specs embedded before the profiler existed.
+            profile: v.get("profile").and_then(Value::as_bool).unwrap_or(false),
         })
     }
 }
@@ -375,6 +391,7 @@ mod tests {
                     regid_calc: None,
                     lr_add: Some(4),
                 },
+                profile: true,
             },
         ];
         for spec in specs {
@@ -382,6 +399,22 @@ mod tests {
             let back = JobSpec::from_json(&crate::json::parse(&text).unwrap()).unwrap();
             assert_eq!(spec, back);
         }
+    }
+
+    #[test]
+    fn profile_flag_enters_hash_only_when_set() {
+        let base = JobSpec::new("BP", Size::Full, ModelSpec::R2d2);
+        let prof = JobSpec {
+            profile: true,
+            ..base.clone()
+        };
+        assert_ne!(base.content_hash(), prof.content_hash());
+        // Unset profile leaves the canonical form (and so every cache key
+        // minted before the flag existed) unchanged.
+        assert!(!base.canonical().contains("profile"));
+        let text = prof.to_json().to_json();
+        let back = JobSpec::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(prof, back);
     }
 
     #[test]

@@ -15,7 +15,8 @@ pub struct Label(usize);
 ///
 /// Methods that produce a value allocate and return a fresh [`Reg`], keeping
 /// kernels in the (near-)SSA form the R2D2 analyzer expects — except for
-/// explicit loop-carried updates via [`KernelBuilder::assign`], which reuse a
+/// explicit loop-carried updates via the `assign_*` methods (e.g.
+/// [`KernelBuilder::assign_add`]), which reuse a
 /// register exactly like PTX does for loop iterators (paper Sec. 3.1.2).
 ///
 /// # Example

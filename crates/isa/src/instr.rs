@@ -348,7 +348,7 @@ pub enum Operand {
     /// General-purpose register.
     Reg(Reg),
     /// Integer immediate (also carries float immediates as raw bits via
-    /// [`Operand::fimm`]).
+    /// [`Operand::fimm32`] / [`Operand::fimm64`]).
     Imm(i64),
     /// Special register (built-in index / dimension).
     Special(Special),

@@ -66,4 +66,8 @@ pub use launch::{Dim3, Launch};
 pub use linear::{LinearMeta, LinearStore, Phase, MAX_LR};
 pub use mem::GlobalMem;
 pub use stats::Stats;
-pub use timing::{blocks_per_sm, phys_regs_estimate, simulate, SimError};
+pub use timing::{blocks_per_sm, phys_regs_estimate, simulate, simulate_with_sink, SimError};
+
+// Observability layer (see `r2d2-trace`): the sink trait the timing loops
+// are generic over, plus the stall-attribution profiler and its exporters.
+pub use r2d2_trace::{self as trace, EventSink, MemLevel, NullSink, Profiler, StallCause};

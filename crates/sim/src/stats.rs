@@ -1,6 +1,7 @@
 //! Execution statistics.
 
 use r2d2_energy::EventCounts;
+use r2d2_trace::{Profiler, StallCause};
 
 /// Counters collected by a simulation run.
 ///
@@ -41,6 +42,13 @@ pub struct Stats {
     pub dram_txns: u64,
     /// Shared-memory transactions.
     pub shared_txns: u64,
+    /// SM-cycles in which an SM issued or made forward progress. Zero unless
+    /// the run was profiled (see [`Stats::absorb_profile`]).
+    pub issued_sm_cycles: u64,
+    /// Stall SM-cycles per [`StallCause`] (indexed by [`StallCause::idx`]).
+    /// Zero unless the run was profiled. When populated,
+    /// `issued_sm_cycles + sum(stall_sm_cycles) == cycles * num_sms`.
+    pub stall_sm_cycles: [u64; StallCause::COUNT],
     /// Energy-relevant event counts.
     pub events: EventCounts,
 }
@@ -88,9 +96,26 @@ impl Stats {
         self.l2_misses += o.l2_misses;
         self.dram_txns += o.dram_txns;
         self.shared_txns += o.shared_txns;
+        self.issued_sm_cycles += o.issued_sm_cycles;
+        for i in 0..StallCause::COUNT {
+            self.stall_sm_cycles[i] += o.stall_sm_cycles[i];
+        }
         let cycles = self.events.cycles + o.events.cycles;
         self.events.add(&o.events);
         self.events.cycles = cycles;
+    }
+
+    /// Copy a [`Profiler`]'s stall-attribution totals into this `Stats`.
+    /// Call once after all launches of a profiled run have completed.
+    pub fn absorb_profile(&mut self, p: &Profiler) {
+        self.issued_sm_cycles = p.issued_sm_cycles();
+        self.stall_sm_cycles = p.stall_totals();
+    }
+
+    /// `issued_sm_cycles + sum(stall_sm_cycles)` — equals
+    /// `cycles * num_sms` on a profiled run (the attribution invariant).
+    pub fn attributed_sm_cycles(&self) -> u64 {
+        self.issued_sm_cycles + self.stall_sm_cycles.iter().sum::<u64>()
     }
 }
 

@@ -13,7 +13,7 @@
 //! (execute / scalar / skip) without ever changing values.
 //!
 //! Two main-loop implementations share one per-candidate issue engine
-//! ([`attempt_issue`]) and are selected by [`crate::config::LoopKind`]:
+//! (`attempt_issue`) and are selected by [`crate::config::LoopKind`]:
 //!
 //! * `Lockstep` — the reference: every cycle, each scheduler rebuilds and
 //!   sorts its candidate list from scratch.
@@ -29,6 +29,16 @@
 //! `loop_equivalence` differential test enforces this across the workload
 //! zoo and every machine model. See DESIGN.md "Timing-loop internals" for
 //! the exactness argument.
+//!
+//! The whole machinery is generic over an [`EventSink`] (see `r2d2-trace`):
+//! every instrumentation site is guarded by `if S::ENABLED`, so the default
+//! [`simulate`] entry point (which passes [`NullSink`]) monomorphizes to the
+//! uninstrumented hot loop, while [`simulate_with_sink`] with a
+//! [`r2d2_trace::Profiler`] records per-SM/per-warp stall attribution and
+//! time series. Both loop kinds emit identical event streams — the
+//! event-driven loop reports skipped idle spans via `idle_skip`, which the
+//! profiler replays from the preceding no-progress cycle (exact, because no
+//! SM state can change while nothing issues). See DESIGN.md "Observability".
 
 use crate::cache::Cache;
 use crate::config::{GpuConfig, LoopKind};
@@ -39,6 +49,7 @@ use crate::linear::{LinearMeta, LinearStore, Phase};
 use crate::mem::GlobalMem;
 use crate::stats::Stats;
 use r2d2_isa::{Cfg, Dst, Instr, Kernel, MemOffset, MemSpace, Op, Operand, Ty};
+use r2d2_trace::{EventSink, MemLevel, NullSink, StallCause};
 
 /// Error from a timing simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,10 +95,20 @@ const MAX_SKIPS_PER_PICK: usize = 64;
 /// Cycles without an issue before the deadlock detector fires.
 const DEADLOCK_WINDOW: u64 = 1_000_000;
 
+/// `TWarp::reg_cause` codes: which unit produced a register's pending value
+/// (tracked only when the event sink is enabled; maps a scoreboard block to
+/// a [`StallCause`]).
+const CAUSE_ALU: u8 = 0;
+const CAUSE_LSU: u8 = 1;
+const CAUSE_DRAM: u8 = 2;
+
 struct TWarp {
     w: WarpState,
     reg_ready: Vec<u64>,
     pred_ready: Vec<u64>,
+    /// Producer kind per register ([`CAUSE_ALU`]/[`CAUSE_LSU`]/[`CAUSE_DRAM`]);
+    /// empty unless the event sink is enabled.
+    reg_cause: Vec<u8>,
     slot: usize,
     seq: u64,
     next_gate: usize,
@@ -122,8 +143,9 @@ struct Sm {
     /// appended at dispatch, pruned at block completion). Entries may point
     /// at done/at-barrier warps — filtered at iteration time.
     lane_seq: Vec<Vec<u32>>,
-    /// Recycled `(reg_ready, pred_ready)` buffers from completed warps.
-    free_ready: Vec<(Vec<u64>, Vec<u64>)>,
+    /// Recycled `(reg_ready, pred_ready, reg_cause)` buffers from completed
+    /// warps.
+    free_ready: Vec<(Vec<u64>, Vec<u64>, Vec<u8>)>,
 }
 
 /// Compute how many blocks of this launch fit on one SM, honoring the Table 1
@@ -241,8 +263,11 @@ fn base_latency(cfg: &GpuConfig, instr: &Instr) -> u64 {
     }
 }
 
+/// Returns `(latency, cause)` where `cause` is the [`TWarp::reg_cause`] code
+/// for the produced value: [`CAUSE_DRAM`] when any line went to DRAM, else
+/// [`CAUSE_LSU`].
 #[allow(clippy::too_many_arguments)]
-fn mem_latency(
+fn mem_latency<S: EventSink>(
     cfg: &GpuConfig,
     mi: &MemInfo,
     l1: &mut Cache,
@@ -250,28 +275,41 @@ fn mem_latency(
     dram_busy_u: &mut u64,
     now: u64,
     stats: &mut Stats,
-) -> u64 {
+    sink: &mut S,
+) -> (u64, u8) {
     match mi.space {
         MemSpace::Shared => {
             stats.shared_txns += 1;
             stats.events.shared_accesses += 1;
-            cfg.lat.shared
+            if S::ENABLED {
+                sink.mem_access(MemLevel::Shared, true);
+            }
+            (cfg.lat.shared, CAUSE_LSU)
         }
         MemSpace::Global => {
             let lines = mi.lines(cfg.l1.line);
             let n = lines.len() as u64;
             let mut worst = 0u64;
+            let mut dram_served = false;
             for line in lines {
                 let lat = if mi.atomic {
                     // Atomics are processed at the L2.
                     stats.events.l2_accesses += 1;
                     if l2.access(line) {
                         stats.l2_hits += 1;
+                        if S::ENABLED {
+                            sink.mem_access(MemLevel::L2, true);
+                        }
                         cfg.lat.atomic
                     } else {
                         stats.l2_misses += 1;
                         stats.dram_txns += 1;
                         stats.events.dram_txns += 1;
+                        if S::ENABLED {
+                            sink.mem_access(MemLevel::L2, false);
+                            sink.mem_access(MemLevel::Dram, true);
+                        }
+                        dram_served = true;
                         dram_queue(cfg, dram_busy_u, now) + cfg.lat.atomic
                     }
                 } else if mi.write {
@@ -279,10 +317,17 @@ fn mem_latency(
                     stats.events.l2_accesses += 1;
                     if l2.access(line) {
                         stats.l2_hits += 1;
+                        if S::ENABLED {
+                            sink.mem_access(MemLevel::L2, true);
+                        }
                     } else {
                         stats.l2_misses += 1;
                         stats.dram_txns += 1;
                         stats.events.dram_txns += 1;
+                        if S::ENABLED {
+                            sink.mem_access(MemLevel::L2, false);
+                            sink.mem_access(MemLevel::Dram, true);
+                        }
                         dram_queue(cfg, dram_busy_u, now);
                     }
                     0 // stores don't produce a value
@@ -290,25 +335,40 @@ fn mem_latency(
                     stats.events.l1_accesses += 1;
                     if l1.access(line) {
                         stats.l1_hits += 1;
+                        if S::ENABLED {
+                            sink.mem_access(MemLevel::L1, true);
+                        }
                         cfg.lat.l1_hit
                     } else {
                         stats.l1_misses += 1;
+                        if S::ENABLED {
+                            sink.mem_access(MemLevel::L1, false);
+                        }
                         stats.events.l2_accesses += 1;
                         if l2.access(line) {
                             stats.l2_hits += 1;
+                            if S::ENABLED {
+                                sink.mem_access(MemLevel::L2, true);
+                            }
                             cfg.lat.l2_hit
                         } else {
                             stats.l2_misses += 1;
                             stats.dram_txns += 1;
                             stats.events.dram_txns += 1;
+                            if S::ENABLED {
+                                sink.mem_access(MemLevel::L2, false);
+                                sink.mem_access(MemLevel::Dram, true);
+                            }
+                            dram_served = true;
                             dram_queue(cfg, dram_busy_u, now) + cfg.lat.dram
                         }
                     }
                 };
                 worst = worst.max(lat);
             }
+            let cause = if dram_served { CAUSE_DRAM } else { CAUSE_LSU };
             // The LSU serializes transactions of one warp access.
-            worst + n.saturating_sub(1)
+            (worst + n.saturating_sub(1), cause)
         }
     }
 }
@@ -543,6 +603,90 @@ fn deps_wake(tw: &TWarp, instr: &Instr, lin: Option<&LinearReadiness<'_>>) -> u6
     t
 }
 
+/// Which stall category to charge when [`deps_ready`] is false: the category
+/// of the operand with the greatest readiness time — the entry [`deps_wake`]
+/// waits for, with ties broken by walk order (first maximal entry wins, so
+/// the answer is deterministic and identical across both loop kinds). R2D2
+/// register classes charge the operand collector; GP registers charge the
+/// unit that produced the pending value (`TWarp::reg_cause`); predicates are
+/// always ALU-produced.
+fn deps_block_cause(tw: &TWarp, instr: &Instr, lin: Option<&LinearReadiness<'_>>) -> StallCause {
+    let mut best_t = 0u64;
+    let mut best = StallCause::Scoreboard;
+    let reg_cause = |r: usize| match tw.reg_cause.get(r).copied().unwrap_or(CAUSE_ALU) {
+        CAUSE_LSU => StallCause::LsuMshr,
+        CAUSE_DRAM => StallCause::Dram,
+        _ => StallCause::Scoreboard,
+    };
+    let mut upd = |t: u64, c: StallCause| {
+        if t > best_t {
+            best_t = t;
+            best = c;
+        }
+    };
+    if let Some((p, _)) = instr.guard {
+        upd(tw.pred_ready[p.0 as usize], StallCause::Scoreboard);
+    }
+    for s in &instr.srcs {
+        match s {
+            Operand::Reg(r) => upd(tw.reg_ready[r.0 as usize], reg_cause(r.0 as usize)),
+            Operand::Pred(p) => upd(tw.pred_ready[p.0 as usize], StallCause::Scoreboard),
+            o if o.is_r2d2_class() => {
+                if let Some(l) = lin {
+                    upd(l.operand_time(o), StallCause::OperandCollector);
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(m) = instr.mem {
+        match m.base {
+            Operand::Reg(r) => upd(tw.reg_ready[r.0 as usize], reg_cause(r.0 as usize)),
+            o if o.is_r2d2_class() => {
+                if let Some(l) = lin {
+                    upd(l.operand_time(&o), StallCause::OperandCollector);
+                }
+            }
+            _ => {}
+        }
+        if let MemOffset::Cr(k) | MemOffset::CrImm(k, _) = m.offset {
+            if let Some(l) = lin {
+                upd(
+                    l.operand_time(&Operand::Cr(k)),
+                    StallCause::OperandCollector,
+                );
+            }
+        }
+    }
+    match instr.dst {
+        Some(Dst::Reg(r)) => upd(tw.reg_ready[r.0 as usize], reg_cause(r.0 as usize)),
+        Some(Dst::Pred(p)) => upd(tw.pred_ready[p.0 as usize], StallCause::Scoreboard),
+        Some(Dst::Cr(k)) => {
+            if let Some(l) = lin {
+                upd(
+                    l.cr.get(k as usize).copied().unwrap_or(0),
+                    StallCause::OperandCollector,
+                );
+            }
+        }
+        Some(Dst::Tr(k)) => {
+            if let Some(l) = lin {
+                upd(
+                    l.tr.get(k as usize).copied().unwrap_or(0),
+                    StallCause::OperandCollector,
+                );
+            }
+        }
+        Some(Dst::Br(_)) => {
+            if let Some(l) = lin {
+                upd(l.br_slot, StallCause::OperandCollector);
+            }
+        }
+        None => {}
+    }
+    best
+}
+
 /// `true` when the instruction reads any R2D2 register class (costs the
 /// physical-register-ID computation of Sec. 4.2).
 fn reads_r2d2_class(instr: &Instr) -> bool {
@@ -598,7 +742,7 @@ struct LaunchCtx<'a> {
 }
 
 /// Full mutable simulation state.
-struct Machine<'a> {
+struct Machine<'a, S: EventSink> {
     sms: Vec<Sm>,
     stats: Stats,
     l2: Cache,
@@ -609,11 +753,12 @@ struct Machine<'a> {
     remaining: u64,
     next_block: u64,
     last_issue: u64,
+    sink: &'a mut S,
 }
 
 /// The non-SM slice of [`Machine`], split-borrowed so an `&mut Sm` can be
 /// held alongside it during a scheduler pass.
-struct Shared<'a> {
+struct Shared<'a, S: EventSink> {
     stats: &'a mut Stats,
     l2: &'a mut Cache,
     dram_busy_u: &'a mut u64,
@@ -623,6 +768,7 @@ struct Shared<'a> {
     remaining: &'a mut u64,
     next_block: &'a mut u64,
     last_issue: &'a mut u64,
+    sink: &'a mut S,
 }
 
 /// Wakeup accounting accumulated over one full pass of the event-driven loop.
@@ -660,7 +806,14 @@ fn is_candidate(warps: &[Option<TWarp>], wi: usize) -> bool {
 
 /// Dispatch block `blk` into `(sm, slot_i)`, recycling scoreboard buffers
 /// from previously completed warps and the slot's shared-memory buffer.
-fn dispatch_block(ctx: &LaunchCtx<'_>, sm: &mut Sm, slot_i: usize, blk: u64) {
+fn dispatch_block<S: EventSink>(
+    ctx: &LaunchCtx<'_>,
+    sm: &mut Sm,
+    sm_i: usize,
+    slot_i: usize,
+    blk: u64,
+    sink: &mut S,
+) {
     let meta = ctx.meta;
     let ctaid = ctx.launch.grid.unflatten(blk);
     let slot = &mut sm.slots[slot_i];
@@ -695,16 +848,22 @@ fn dispatch_block(ctx: &LaunchCtx<'_>, sm: &mut Sm, slot_i: usize, blk: u64) {
         let w = WarpState::new(
             ctx.nregs, ctx.npreds, blk, ctaid, wib as u32, ctx.tpb, start,
         );
-        let (mut reg_ready, mut pred_ready) = sm.free_ready.pop().unwrap_or_default();
+        let (mut reg_ready, mut pred_ready, mut reg_cause) =
+            sm.free_ready.pop().unwrap_or_default();
         reg_ready.clear();
         reg_ready.resize(ctx.nregs, 0);
         pred_ready.clear();
         pred_ready.resize(ctx.npreds, 0);
+        reg_cause.clear();
+        if S::ENABLED {
+            reg_cause.resize(ctx.nregs, CAUSE_ALU);
+        }
         let wi = slot_i * ctx.wpb + wib;
         sm.warps[wi] = Some(TWarp {
             w,
             reg_ready,
             pred_ready,
+            reg_cause,
             slot: slot_i,
             seq: sm.next_seq,
             next_gate: gate,
@@ -712,6 +871,9 @@ fn dispatch_block(ctx: &LaunchCtx<'_>, sm: &mut Sm, slot_i: usize, blk: u64) {
         sm.next_seq += 1;
         // `seq` is monotonic, so appending keeps the lane list seq-sorted.
         sm.lane_seq[wi % ctx.nsched].push(wi as u32);
+    }
+    if S::ENABLED {
+        sink.warp_delta(sm_i as u32, ctx.wpb as i32);
     }
 }
 
@@ -721,10 +883,10 @@ fn dispatch_block(ctx: &LaunchCtx<'_>, sm: &mut Sm, slot_i: usize, blk: u64) {
 /// shared by both loop implementations — their only difference is the order
 /// in which they present candidates and how they advance `now`.
 #[allow(clippy::too_many_arguments)]
-fn attempt_issue(
+fn attempt_issue<S: EventSink>(
     ctx: &LaunchCtx<'_>,
     sm: &mut Sm,
-    sh: &mut Shared<'_>,
+    sh: &mut Shared<'_, S>,
     sm_i: usize,
     sched: usize,
     wi: usize,
@@ -757,7 +919,14 @@ fn attempt_issue(
                 ev.progress = true;
             }
             match g {
-                Gate::Blocked => return Ok(Attempt::Next),
+                Gate::Blocked => {
+                    // Blocked in the R2D2 address-generation front end.
+                    if S::ENABLED {
+                        sh.sink
+                            .stall(sm_i as u32, wi as u32, StallCause::OperandCollector);
+                    }
+                    return Ok(Attempt::Next);
+                }
                 Gate::Done => {
                     // Warp finished via earlier skip chain.
                     return Ok(Attempt::Next);
@@ -780,6 +949,10 @@ fn attempt_issue(
             if !deps_ready(tw, instr, now, lr.as_ref()) {
                 let wake = deps_wake(tw, instr, lr.as_ref()).max(now + 1);
                 ev.wake = ev.wake.min(wake);
+                if S::ENABLED {
+                    let cause = deps_block_cause(tw, instr, lr.as_ref());
+                    sh.sink.stall(sm_i as u32, wi as u32, cause);
+                }
                 return Ok(Attempt::Next);
             }
         }
@@ -853,6 +1026,9 @@ fn attempt_issue(
         // --- charge (Execute / Scalar / post-skip bookkeeping) ---
         if disposition != Disposition::Skip {
             *issued_this_cycle += 1;
+            if S::ENABLED {
+                sh.sink.issue(sm_i as u32, wi as u32);
+            }
             let scalar = disposition == Disposition::Scalar;
             let stats = &mut *sh.stats;
             stats.warp_instrs += 1;
@@ -892,7 +1068,7 @@ fn attempt_issue(
             }
 
             // Latency & scoreboard.
-            let mut lat = match &info.mem {
+            let (mut lat, mcause) = match &info.mem {
                 Some(mi) => mem_latency(
                     ctx.cfg,
                     mi,
@@ -901,8 +1077,9 @@ fn attempt_issue(
                     &mut *sh.dram_busy_u,
                     now,
                     &mut *sh.stats,
+                    &mut *sh.sink,
                 ),
-                None => base_latency(ctx.cfg, instr),
+                None => (base_latency(ctx.cfg, instr), CAUSE_ALU),
             };
             if linear_phase {
                 lat += ctx.cfg.r2d2.fetch_table;
@@ -918,7 +1095,12 @@ fn attempt_issue(
             let tw = sm.warps[wi].as_mut().unwrap();
             let tw_slot = tw.slot;
             match instr.dst {
-                Some(Dst::Reg(r)) => tw.reg_ready[r.0 as usize] = now + lat,
+                Some(Dst::Reg(r)) => {
+                    tw.reg_ready[r.0 as usize] = now + lat;
+                    if S::ENABLED {
+                        tw.reg_cause[r.0 as usize] = mcause;
+                    }
+                }
                 Some(Dst::Pred(p)) => tw.pred_ready[p.0 as usize] = now + lat,
                 Some(Dst::Cr(k)) => sm.cr_ready[k as usize] = now + lat,
                 Some(Dst::Tr(k)) => {
@@ -957,13 +1139,16 @@ fn attempt_issue(
             sh.filter.on_block_done(blk);
             for wj in (0..ctx.wpb).map(|k| tslot * ctx.wpb + k) {
                 if let Some(t) = sm.warps[wj].take() {
-                    sm.free_ready.push((t.reg_ready, t.pred_ready));
+                    sm.free_ready.push((t.reg_ready, t.pred_ready, t.reg_cause));
                 }
                 sm.lane_seq[wj % ctx.nsched].retain(|&x| x as usize != wj);
             }
+            if S::ENABLED {
+                sh.sink.warp_delta(sm_i as u32, -(ctx.wpb as i32));
+            }
             if *sh.next_block < ctx.total_blocks {
                 sm.slots[tslot].first_wave = false;
-                dispatch_block(ctx, sm, tslot, *sh.next_block);
+                dispatch_block(ctx, sm, sm_i, tslot, *sh.next_block, &mut *sh.sink);
                 *sh.next_block += 1;
             }
         }
@@ -996,9 +1181,9 @@ fn eval_gates_open(sm: &mut Sm, now: u64) {
 
 /// One cycle of one SM under the lockstep reference: rebuild and sort each
 /// scheduler's candidate list from scratch, exactly as the original loop did.
-fn sm_pass_lockstep(
+fn sm_pass_lockstep<S: EventSink>(
     ctx: &LaunchCtx<'_>,
-    m: &mut Machine<'_>,
+    m: &mut Machine<'_, S>,
     sm_i: usize,
     now: u64,
 ) -> Result<(), SimError> {
@@ -1013,6 +1198,7 @@ fn sm_pass_lockstep(
         remaining,
         next_block,
         last_issue,
+        sink,
     } = m;
     let sm = &mut sms[sm_i];
     let mut sh = Shared {
@@ -1025,6 +1211,7 @@ fn sm_pass_lockstep(
         remaining,
         next_block,
         last_issue,
+        sink: &mut **sink,
     };
     // Round-robin only while the SM-wide linear prologue (coefficients
     // + thread-index parts) is in flight (Sec. 4.1); per-block
@@ -1080,6 +1267,14 @@ fn sm_pass_lockstep(
         }
     }
     eval_gates_open(sm, now);
+    if S::ENABLED {
+        let any_barrier = sm
+            .warps
+            .iter()
+            .flatten()
+            .any(|t| t.w.at_barrier && !t.w.done);
+        sh.sink.sm_cycle_end(sm_i as u32, ev.progress, any_barrier);
+    }
     Ok(())
 }
 
@@ -1090,9 +1285,9 @@ fn sm_pass_lockstep(
 /// key `(pos + len - ptr) % len` ranks all `pos >= ptr` ascending before all
 /// `pos < ptr` ascending); for GTO, `gto_last` first (when a candidate) then
 /// the seq-ordered lane list.
-fn sm_pass_event(
+fn sm_pass_event<S: EventSink>(
     ctx: &LaunchCtx<'_>,
-    m: &mut Machine<'_>,
+    m: &mut Machine<'_, S>,
     sm_i: usize,
     now: u64,
     ev: &mut EvAcc,
@@ -1108,6 +1303,7 @@ fn sm_pass_event(
         remaining,
         next_block,
         last_issue,
+        sink,
     } = m;
     let sm = &mut sms[sm_i];
     let mut sh = Shared {
@@ -1120,9 +1316,19 @@ fn sm_pass_event(
         remaining,
         next_block,
         last_issue,
+        sink: &mut **sink,
     };
     let linear_mode = ctx.meta.is_some() && (!sm.coef_done || !sm.tidx_done);
     let mut issued_this_cycle = 0u32;
+    // `ev.progress` accumulates across SMs; to attribute this SM's cycle we
+    // observe the pass in isolation and fold the prior value back afterwards.
+    let progress_before = if S::ENABLED {
+        let p = ev.progress;
+        ev.progress = false;
+        p
+    } else {
+        false
+    };
     'sched: for sched in 0..ctx.nsched {
         if issued_this_cycle >= ctx.cfg.sm_issue_width {
             break;
@@ -1206,11 +1412,23 @@ fn sm_pass_event(
         }
     }
     eval_gates_open(sm, now);
+    if S::ENABLED {
+        let any_barrier = sm
+            .warps
+            .iter()
+            .flatten()
+            .any(|t| t.w.at_barrier && !t.w.done);
+        sh.sink.sm_cycle_end(sm_i as u32, ev.progress, any_barrier);
+        ev.progress |= progress_before;
+    }
     Ok(())
 }
 
 /// The reference main loop: advance one cycle at a time.
-fn run_lockstep(ctx: &LaunchCtx<'_>, m: &mut Machine<'_>) -> Result<u64, SimError> {
+fn run_lockstep<S: EventSink>(
+    ctx: &LaunchCtx<'_>,
+    m: &mut Machine<'_, S>,
+) -> Result<u64, SimError> {
     let mut now = 0u64;
     while m.remaining > 0 {
         now += 1;
@@ -1221,6 +1439,9 @@ fn run_lockstep(ctx: &LaunchCtx<'_>, m: &mut Machine<'_>) -> Result<u64, SimErro
         }
         if now - m.last_issue > DEADLOCK_WINDOW {
             return Err(SimError::Deadlock { cycle: now });
+        }
+        if S::ENABLED {
+            m.sink.cycle_start(now);
         }
         for sm_i in 0..m.sms.len() {
             sm_pass_lockstep(ctx, m, sm_i, now)?;
@@ -1240,7 +1461,7 @@ fn run_lockstep(ctx: &LaunchCtx<'_>, m: &mut Machine<'_>) -> Result<u64, SimErro
 /// exactly the checks the lockstep loop would have performed there. With no
 /// finite wakeup, the jump lands on the error cycle and the run terminates
 /// with the identical `SimError`.
-fn run_event(ctx: &LaunchCtx<'_>, m: &mut Machine<'_>) -> Result<u64, SimError> {
+fn run_event<S: EventSink>(ctx: &LaunchCtx<'_>, m: &mut Machine<'_, S>) -> Result<u64, SimError> {
     let mut now = 0u64;
     while m.remaining > 0 {
         now += 1;
@@ -1251,6 +1472,9 @@ fn run_event(ctx: &LaunchCtx<'_>, m: &mut Machine<'_>) -> Result<u64, SimError> 
         }
         if now - m.last_issue > DEADLOCK_WINDOW {
             return Err(SimError::Deadlock { cycle: now });
+        }
+        if S::ENABLED {
+            m.sink.cycle_start(now);
         }
         let mut ev = EvAcc::new();
         for sm_i in 0..m.sms.len() {
@@ -1264,6 +1488,13 @@ fn run_event(ctx: &LaunchCtx<'_>, m: &mut Machine<'_>) -> Result<u64, SimError> 
                 .min(m.last_issue.saturating_add(DEADLOCK_WINDOW + 1));
             let target = ev.wake.min(error_at);
             debug_assert!(target > now, "wakeup must be in the future");
+            if S::ENABLED && target > now + 1 {
+                // Cycles now+1 .. target-1 are pure replays of this cycle's
+                // per-SM attribution: no state changed, every blocked
+                // operand's readiness time is >= target, gates and barriers
+                // can only move on progress.
+                m.sink.idle_skip(target - 1 - now);
+            }
             // Loop head re-adds 1 and re-runs the error checks, exactly as
             // the lockstep loop would at `target`.
             now = target - 1;
@@ -1288,6 +1519,27 @@ pub fn simulate(
     launch: &Launch,
     gmem: &mut GlobalMem,
     filter: &mut dyn IssueFilter,
+) -> Result<Stats, SimError> {
+    simulate_with_sink(cfg, launch, gmem, filter, &mut NullSink)
+}
+
+/// [`simulate`] with an explicit [`EventSink`] observing the timing loops.
+///
+/// Pass a [`r2d2_trace::Profiler`] to collect stall attribution and
+/// time series; the profiler may be reused across launches to profile a
+/// multi-kernel workload as one run. Event streams are identical under both
+/// loop kinds, and the returned [`Stats`] are bit-identical to an
+/// unobserved run.
+///
+/// # Errors
+///
+/// Same as [`simulate`]. On error the sink's `launch_done` is never called.
+pub fn simulate_with_sink<S: EventSink>(
+    cfg: &GpuConfig,
+    launch: &Launch,
+    gmem: &mut GlobalMem,
+    filter: &mut dyn IssueFilter,
+    sink: &mut S,
 ) -> Result<Stats, SimError> {
     let kernel = &launch.kernel;
     let cfgr = Cfg::build(kernel);
@@ -1359,15 +1611,16 @@ pub fn simulate(
         remaining: ctx.total_blocks,
         next_block: 0,
         last_issue: 0,
+        sink,
     };
 
     // Initial breadth-first fill.
     'fill: for slot_i in 0..resident as usize {
-        for sm in m.sms.iter_mut() {
+        for (sm_i, sm) in m.sms.iter_mut().enumerate() {
             if m.next_block >= ctx.total_blocks {
                 break 'fill;
             }
-            dispatch_block(&ctx, sm, slot_i, m.next_block);
+            dispatch_block(&ctx, sm, sm_i, slot_i, m.next_block, &mut *m.sink);
             m.next_block += 1;
         }
     }
@@ -1376,6 +1629,9 @@ pub fn simulate(
         LoopKind::Lockstep => run_lockstep(&ctx, &mut m)?,
         LoopKind::EventDriven => run_event(&ctx, &mut m)?,
     };
+    if S::ENABLED {
+        m.sink.launch_done(now);
+    }
 
     let mut stats = m.stats;
     stats.cycles = now;

@@ -1,0 +1,254 @@
+//! Exporters: Chrome `trace_event` JSON (open in `chrome://tracing` or
+//! Perfetto) and compact CSV, both built on the in-repo [`crate::json`]
+//! layer — no external dependencies.
+//!
+//! Trace layout: pid 0 carries the cycle-bucketed counter tracks (IPC,
+//! active warps, cache hit rates, stall breakdown), one counter sample per
+//! bucket with `ts` = the bucket's first cycle (1 simulated cycle = 1 µs of
+//! trace time). pid 1 carries one complete (`ph:"X"`) slice per SM whose
+//! args hold that SM's whole-run stall totals, so sorting by duration in the
+//! viewer ranks SMs by stall burden.
+
+use crate::json::Value;
+use crate::profile::Profiler;
+use crate::sink::StallCause;
+use std::fmt::Write as _;
+
+fn ev(name: &str, ph: &str, pid: i64, tid: i64, ts: u64) -> Vec<(String, Value)> {
+    vec![
+        ("name".into(), Value::Str(name.into())),
+        ("ph".into(), Value::Str(ph.into())),
+        ("pid".into(), Value::Int(i128::from(pid))),
+        ("tid".into(), Value::Int(i128::from(tid))),
+        ("ts".into(), Value::Int(i128::from(ts))),
+    ]
+}
+
+fn with_args(mut e: Vec<(String, Value)>, args: Vec<(String, Value)>) -> Value {
+    e.push(("args".into(), Value::Obj(args)));
+    Value::Obj(e)
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Render the profiler's contents as a Chrome `trace_event` JSON document.
+pub fn chrome_trace(p: &Profiler) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+
+    // Metadata: name the two synthetic processes.
+    for (pid, pname) in [(0i64, "time series"), (1i64, "per-SM stalls")] {
+        let meta = ev("process_name", "M", pid, 0, 0);
+        events.push(with_args(
+            meta,
+            vec![("name".into(), Value::Str(pname.into()))],
+        ));
+    }
+
+    // Counter tracks, one sample per bucket.
+    let mut start = 0u64;
+    for b in p.buckets() {
+        if b.cycles > 0 {
+            events.push(with_args(
+                ev("ipc", "C", 0, 0, start),
+                vec![("ipc".into(), Value::Float(ratio(b.issued, b.cycles)))],
+            ));
+            events.push(with_args(
+                ev("active_warps", "C", 0, 0, start),
+                vec![("warps".into(), Value::Float(ratio(b.warp_cycles, b.cycles)))],
+            ));
+            events.push(with_args(
+                ev("cache_hit_rate", "C", 0, 0, start),
+                vec![
+                    ("l1".into(), Value::Float(ratio(b.l1_hits, b.l1_accesses))),
+                    ("l2".into(), Value::Float(ratio(b.l2_hits, b.l2_accesses))),
+                ],
+            ));
+            let mut args: Vec<(String, Value)> = StallCause::ALL
+                .iter()
+                .map(|c| {
+                    (
+                        c.name().to_string(),
+                        Value::Int(i128::from(b.stalls[c.idx()])),
+                    )
+                })
+                .collect();
+            args.push(("issued".into(), Value::Int(i128::from(b.issued))));
+            events.push(with_args(ev("stall_cycles", "C", 0, 0, start), args));
+        }
+        start += p.bucket_width();
+    }
+
+    // One slice per SM with whole-run totals.
+    let total = p.total_cycles();
+    for (sm, stalls) in p.per_sm().iter().enumerate() {
+        let stall_sum: u64 = stalls.iter().sum();
+        let mut args: Vec<(String, Value)> = StallCause::ALL
+            .iter()
+            .map(|c| {
+                (
+                    c.name().to_string(),
+                    Value::Int(i128::from(stalls[c.idx()])),
+                )
+            })
+            .collect();
+        args.push((
+            "issued".into(),
+            Value::Int(i128::from(total.saturating_sub(stall_sum))),
+        ));
+        let mut e = ev(&format!("SM{sm} stalls"), "X", 1, sm as i64, 0);
+        e.push(("dur".into(), Value::Int(i128::from(total))));
+        events.push(with_args(e, args));
+    }
+
+    Value::Obj(vec![
+        ("displayTimeUnit".into(), Value::Str("ms".into())),
+        (
+            "otherData".into(),
+            Value::Obj(vec![
+                ("tool".into(), Value::Str("r2d2 profile".into())),
+                (
+                    "bucket_width_cycles".into(),
+                    Value::Int(i128::from(p.bucket_width())),
+                ),
+                (
+                    "total_cycles".into(),
+                    Value::Int(i128::from(p.total_cycles())),
+                ),
+                ("num_sms".into(), Value::Int(p.num_sms() as i128)),
+            ]),
+        ),
+        ("traceEvents".into(), Value::Arr(events)),
+    ])
+}
+
+/// Header of [`buckets_csv`].
+pub fn buckets_csv_header() -> String {
+    let mut h = String::from(
+        "start_cycle,cycles,issued,ipc,avg_active_warps,\
+         l1_hits,l1_accesses,l2_hits,l2_accesses,dram_txns,shared_accesses",
+    );
+    for c in StallCause::ALL {
+        let _ = write!(h, ",stall_{}", c.name());
+    }
+    h
+}
+
+/// The time series as CSV, one row per bucket.
+pub fn buckets_csv(p: &Profiler) -> String {
+    let mut out = buckets_csv_header();
+    out.push('\n');
+    let mut start = 0u64;
+    for b in p.buckets() {
+        if b.cycles > 0 {
+            let _ = write!(
+                out,
+                "{},{},{},{:.4},{:.2},{},{},{},{},{},{}",
+                start,
+                b.cycles,
+                b.issued,
+                ratio(b.issued, b.cycles),
+                ratio(b.warp_cycles, b.cycles),
+                b.l1_hits,
+                b.l1_accesses,
+                b.l2_hits,
+                b.l2_accesses,
+                b.dram_txns,
+                b.shared_accesses,
+            );
+            for c in StallCause::ALL {
+                let _ = write!(out, ",{}", b.stalls[c.idx()]);
+            }
+            out.push('\n');
+        }
+        start += p.bucket_width();
+    }
+    out
+}
+
+/// Per-SM stall totals as CSV, one row per SM.
+pub fn stalls_csv(p: &Profiler) -> String {
+    let mut out = String::from("sm,issued");
+    for c in StallCause::ALL {
+        let _ = write!(out, ",stall_{}", c.name());
+    }
+    out.push('\n');
+    let total = p.total_cycles();
+    for (sm, stalls) in p.per_sm().iter().enumerate() {
+        let stall_sum: u64 = stalls.iter().sum();
+        let _ = write!(out, "{},{}", sm, total.saturating_sub(stall_sum));
+        for c in StallCause::ALL {
+            let _ = write!(out, ",{}", stalls[c.idx()]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::sink::EventSink;
+
+    fn sample() -> Profiler {
+        let mut p = Profiler::new(4);
+        p.warp_delta(0, 8);
+        for now in 1..=500u64 {
+            p.cycle_start(now);
+            if now % 2 == 0 {
+                p.issue(0, 0);
+                p.sm_cycle_end(0, true, false);
+            } else {
+                p.stall(0, 1, StallCause::Dram);
+                p.sm_cycle_end(0, false, false);
+            }
+        }
+        p.launch_done(500);
+        p
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_json() {
+        let p = sample();
+        let text = chrome_trace(&p).to_json();
+        let v = json::parse(&text).unwrap();
+        let evs = v.get("traceEvents").and_then(Value::as_arr).unwrap();
+        assert!(!evs.is_empty());
+        // Every event has the required keys.
+        for e in evs {
+            for key in ["name", "ph", "pid", "tid", "ts"] {
+                assert!(e.get(key).is_some(), "missing {key}");
+            }
+        }
+        // Deterministic under re-render.
+        assert_eq!(text, chrome_trace(&p).to_json());
+    }
+
+    #[test]
+    fn csv_exports_are_consistent() {
+        let p = sample();
+        let csv = buckets_csv(&p);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), 11 + StallCause::COUNT);
+        let mut cycles = 0u64;
+        let mut issued = 0u64;
+        for row in lines {
+            let f: Vec<&str> = row.split(',').collect();
+            assert_eq!(f.len(), 11 + StallCause::COUNT);
+            cycles += f[1].parse::<u64>().unwrap();
+            issued += f[2].parse::<u64>().unwrap();
+        }
+        assert_eq!(cycles, 500);
+        assert_eq!(issued, 250);
+
+        let sm = stalls_csv(&p);
+        assert_eq!(sm.lines().count(), 2); // header + 1 SM
+    }
+}

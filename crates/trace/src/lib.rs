@@ -1,0 +1,43 @@
+//! Observability layer for the R2D2 simulator.
+//!
+//! The timing model in `r2d2-sim` is generic over an [`EventSink`]; this crate
+//! defines the sink trait, the no-op [`NullSink`] used on every ordinary run,
+//! and the [`Profiler`] sink that turns the event stream into
+//! per-SM/per-warp stall attribution and cycle-bucketed time series, plus
+//! exporters to Chrome `trace_event` JSON and compact CSV.
+//!
+//! # Stall taxonomy
+//!
+//! Every SM-cycle (one SM observed for one elapsed cycle) is attributed to
+//! exactly one of `issued` or the six [`StallCause`] categories:
+//!
+//! | cause               | meaning                                                        |
+//! |---------------------|----------------------------------------------------------------|
+//! | `scoreboard`        | oldest blocked warp waits on an ALU-produced register/predicate |
+//! | `operand_collector` | blocked on an R2D2 operand class (CR/TR/BR/LR) or a phase gate  |
+//! | `lsu_mshr`          | blocked on an in-flight load served by L1/L2/shared memory      |
+//! | `dram`              | blocked on an in-flight load that went to DRAM                  |
+//! | `barrier`           | no issuable warp, at least one warp parked at `bar.sync`        |
+//! | `idle_skip`         | SM drained/empty (the event loop fast-forwards these cycles)    |
+//!
+//! This yields the machine-checked invariant
+//! `issued_sm_cycles + sum(stall_sm_cycles) == cycles * num_sms`,
+//! verified across the whole workload zoo by `tests/stall_invariants.rs`.
+//!
+//! # Zero cost when disabled
+//!
+//! [`EventSink`] carries an associated `const ENABLED: bool`; every
+//! instrumentation site in the timing loops is wrapped in
+//! `if S::ENABLED { ... }`. For [`NullSink`] (`ENABLED = false`) the branch is
+//! a compile-time constant, so monomorphization deletes the instrumentation —
+//! the default `simulate` entry point compiles to the same hot loop as before
+//! this crate existed. The smoke micro bench plus the CI bench-regression
+//! gate (`scripts/check_bench_baseline.py`) keep that claim honest.
+
+pub mod chrome;
+pub mod json;
+pub mod profile;
+pub mod sink;
+
+pub use profile::{Bucket, Profiler, DEFAULT_TARGET_BUCKETS};
+pub use sink::{EventSink, MemLevel, NullSink, StallCause};

@@ -168,6 +168,10 @@ fn build_raw(name: &str, size: Size) -> Option<Workload> {
         "FFT_PT" => suites::fft::fft_pt(size),
         "RES" => suites::dnn::resnet(size),
         "VGG" => suites::dnn::vgg(size),
+        // Micro workloads: resolvable ids, deliberately NOT in `NAMES` (the
+        // zoo sweeps and figure scripts never pick them up by accident).
+        "vecadd" => suites::micro::vecadd(size),
+        "saxpy" => suites::micro::saxpy(size),
         _ => return None,
     })
 }
@@ -231,6 +235,18 @@ mod tests {
     #[test]
     fn unknown_name_is_none() {
         assert!(build("NOPE", Size::Small).is_none());
+    }
+
+    #[test]
+    fn micro_ids_resolve_but_stay_out_of_the_zoo() {
+        for id in ["vecadd", "saxpy"] {
+            let w = resolve(id, Size::Small).unwrap_or_else(|| panic!("{id} missing"));
+            assert_eq!(w.suite, "micro");
+            assert!(!NAMES.iter().any(|(n, _)| *n == id));
+            for l in &w.launches {
+                assert!(l.kernel.validate().is_ok());
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Micro workloads: tiny single-kernel streams (`vecadd`, `saxpy`).
+//!
+//! Not part of the Table 2 zoo ([`crate::NAMES`]) — these exist for the
+//! profiler (`r2d2 profile vecadd r2d2`), the smoke benchmarks, and quick
+//! by-hand experiments, where a kernel whose whole behavior fits in one
+//! sentence beats a faithful application reconstruction. They resolve
+//! through [`crate::resolve`] like any other id, so every harness path
+//! (cache keys, CSV export, profiling) treats them uniformly.
+
+use crate::data;
+use crate::patterns;
+use crate::{Size, Workload};
+use r2d2_isa::{KernelBuilder, Ty};
+use r2d2_sim::{Dim3, GlobalMem, Launch};
+
+fn elems(size: Size) -> u64 {
+    4096 * size.factor() as u64
+}
+
+/// `out[i] = a[i] + b[i]` — the canonical fully-linear streaming kernel.
+pub fn vecadd(size: Size) -> Workload {
+    let n = elems(size);
+    let k = patterns::streaming_map("vecadd", 2, 0);
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0xadd);
+    let a = data::alloc_f32(&mut g, n, &mut rng, -1.0, 1.0);
+    let b = data::alloc_f32(&mut g, n, &mut rng, -1.0, 1.0);
+    let out = data::alloc_f32_zero(&mut g, n);
+    let launch = Launch::new(
+        k,
+        Dim3::d1((n / 256) as u32),
+        Dim3::d1(256),
+        vec![a, b, out],
+    );
+    Workload {
+        name: "vecadd",
+        suite: "micro",
+        gmem: g,
+        launches: vec![launch],
+    }
+}
+
+/// `y[i] = a * x[i] + y[i]` with a compile-time scalar `a`.
+pub fn saxpy(size: Size) -> Workload {
+    let n = elems(size);
+    let mut b = KernelBuilder::new("saxpy", 2);
+    let i = b.global_tid_x();
+    let xa = patterns::gaddr(&mut b, 0, i, 2);
+    let ya = patterns::gaddr(&mut b, 1, i, 2);
+    let x = b.ld_global(Ty::F32, xa, 0);
+    let y = b.ld_global(Ty::F32, ya, 0);
+    let a = b.fimm32(2.5);
+    let r = b.mad_ty(Ty::F32, a, x, y);
+    b.st_global(Ty::F32, ya, 0, r);
+    let k = b.build();
+
+    let mut g = GlobalMem::new();
+    let mut rng = data::rng(0x5a);
+    let x = data::alloc_f32(&mut g, n, &mut rng, -1.0, 1.0);
+    let y = data::alloc_f32(&mut g, n, &mut rng, -1.0, 1.0);
+    let launch = Launch::new(k, Dim3::d1((n / 256) as u32), Dim3::d1(256), vec![x, y]);
+    Workload {
+        name: "saxpy",
+        suite: "micro",
+        gmem: g,
+        launches: vec![launch],
+    }
+}

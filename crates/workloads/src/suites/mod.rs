@@ -4,6 +4,7 @@ pub mod dnn;
 pub mod fft;
 pub mod graph;
 pub mod ispass;
+pub mod micro;
 pub mod parboil;
 pub mod polybench;
 pub mod rodinia;

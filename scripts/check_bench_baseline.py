@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Gate micro-bench throughput regressions against a committed baseline.
+
+Usage:
+    check_bench_baseline.py <baseline.json> <new.json>
+
+Both files are `R2D2_BENCH_JSON` dumps from `cargo bench -p r2d2-bench
+--bench micro` (see crates/bench/benches/micro.rs). Every metric is
+higher-is-better; the check fails if any baseline metric dropped by more
+than the tolerance (default 25%, override with R2D2_BENCH_TOLERANCE=0.40
+for noisier machines), or if a baseline metric disappeared.
+
+Absolute throughput depends on the host, so the committed baseline mainly
+guards the *relative* health of the hot paths on CI's runner class. After
+an intentional perf change or a runner migration, refresh the baseline
+with scripts/update_bench_baseline.sh.
+"""
+
+import json
+import os
+import sys
+
+
+def load_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        sys.exit(f"error: {path} has no metrics object")
+    return metrics
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip())
+    baseline_path, new_path = sys.argv[1], sys.argv[2]
+    tolerance = float(os.environ.get("R2D2_BENCH_TOLERANCE", "0.25"))
+    baseline = load_metrics(baseline_path)
+    new = load_metrics(new_path)
+
+    failures = []
+    width = max(len(k) for k in baseline)
+    print(f"{'metric':<{width}} {'baseline':>14} {'new':>14} {'ratio':>7}")
+    for name, old in sorted(baseline.items()):
+        if name not in new:
+            failures.append(f"{name}: missing from new run")
+            print(f"{name:<{width}} {old:>14.1f} {'MISSING':>14}")
+            continue
+        ratio = new[name] / old if old > 0 else float("inf")
+        flag = ""
+        if ratio < 1.0 - tolerance:
+            failures.append(f"{name}: {ratio:.2f}x of baseline "
+                            f"(allowed >= {1.0 - tolerance:.2f}x)")
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}} {old:>14.1f} {new[name]:>14.1f} "
+              f"{ratio:>6.2f}x{flag}")
+    for name in sorted(set(new) - set(baseline)):
+        print(f"{name:<{width}} {'(new metric, not gated)':>14}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} metric(s) regressed beyond "
+              f"{tolerance:.0%} tolerance:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        print("\nIf intentional, refresh with "
+              "scripts/update_bench_baseline.sh and commit the result.",
+              file=sys.stderr)
+        sys.exit(1)
+    print(f"\nOK: all {len(baseline)} metrics within {tolerance:.0%} "
+          "of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -86,6 +86,22 @@ def summarize_run_records():
         print(f"  {'ideals':<14} avg reduction  WP {red('ideal_wp'):.0f}%"
               f" / TB {red('ideal_tb'):.0f}% / LN {red('ideal_ln'):.0f}%"
               f"   (paper Fig.4: 27/22/33)")
+    # Stall-attribution columns (PR 3) are only non-zero for profiled jobs
+    # (JobSpec.profile / `r2d2 sweep run --profile`). When present, show the
+    # aggregate SM-cycle breakdown across all profiled rows.
+    stall_cols = [c for c in (recs[0].keys() if recs else [])
+                  if c.startswith("stall_")]
+    prof = [r for r in recs
+            if r.get("issued_sm_cycles") not in (None, "", "0")]
+    if prof and stall_cols:
+        issued = sum(int(r["issued_sm_cycles"]) for r in prof)
+        tots = {c: sum(int(r[c] or 0) for r in prof) for c in stall_cols}
+        denom = max(issued + sum(tots.values()), 1)
+        parts = [f"issued {100 * issued / denom:.0f}%"]
+        parts += [f"{c[len('stall_'):]} {100 * v / denom:.0f}%"
+                  for c, v in tots.items() if v]
+        print(f"  {'stalls':<14} {len(prof)} profiled jobs: "
+              + "  ".join(parts))
     # wall_ms/cached are appended columns (PR 2); older exports lack them.
     wall = sorted((float(r["wall_ms"]) for r in recs
                    if r.get("wall_ms") not in (None, "")), reverse=True)

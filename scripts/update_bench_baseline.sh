@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Refresh the committed micro-bench baseline (results/bench_baseline.json)
+# that CI's bench-regression gate compares against.
+#
+# Run this after an intentional performance change (or a CI runner
+# migration), eyeball the diff, and commit the updated file together with
+# the change that moved the numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+R2D2_MICRO_SMOKE=1 R2D2_BENCH_JSON=results/bench_baseline.json \
+    cargo bench -p r2d2-bench --bench micro
+
+echo
+echo "baseline refreshed; review and commit results/bench_baseline.json:"
+git --no-pager diff --stat -- results/bench_baseline.json || true

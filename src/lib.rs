@@ -11,6 +11,7 @@
 //! | [`sym`] | `r2d2-sym` | coefficient-vector algebra (paper Fig. 6) |
 //! | [`isa`] | `r2d2-isa` | the PTX-like virtual ISA, builder, assembler |
 //! | [`sim`] | `r2d2-sim` | cycle-level SIMT GPU simulator (Table 1 config) |
+//! | [`trace`] | `r2d2-trace` | event-sink observability: stall attribution, Chrome traces |
 //! | [`energy`] | `r2d2-energy` | event-based energy model (Fig. 16) |
 //! | [`core`] | `r2d2-core` | the R2D2 analyzer/generator/microarchitecture |
 //! | [`baselines`] | `r2d2-baselines` | WP/TB/LN ideal machines, DAC, DARSIE |
@@ -49,6 +50,7 @@ pub use r2d2_energy as energy;
 pub use r2d2_isa as isa;
 pub use r2d2_sim as sim;
 pub use r2d2_sym as sym;
+pub use r2d2_trace as trace;
 pub use r2d2_workloads as workloads;
 
 /// The most common imports in one place.

@@ -1,0 +1,53 @@
+//! `scripts/summarize_results.py` must keep understanding the unified CSV
+//! schema (`r2d2_harness::export::CSV_HEADER`). `results/run_records.csv`
+//! itself is generated output (gitignored), so the contract is pinned by the
+//! small checked-in fixture under `tests/fixtures/results/` — regenerate it
+//! with `R2D2_RESULTS=tests/fixtures/results r2d2 sweep run sec57 --size
+//! small` whenever the schema gains columns (append-only).
+
+use std::path::Path;
+use std::process::Command;
+
+fn python3() -> Option<Command> {
+    let mut c = Command::new("python3");
+    c.arg("--version");
+    match c.output() {
+        Ok(out) if out.status.success() => Some(Command::new("python3")),
+        _ => None,
+    }
+}
+
+#[test]
+fn summarize_results_digests_the_checked_in_fixture() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let fixture = root.join("tests/fixtures/results");
+    assert!(
+        fixture.join("run_records.csv").is_file(),
+        "fixture missing: {}",
+        fixture.join("run_records.csv").display()
+    );
+    let Some(mut py) = python3() else {
+        eprintln!("skipping: python3 not available");
+        return;
+    };
+    let out = py
+        .arg(root.join("scripts/summarize_results.py"))
+        .env("R2D2_RESULTS", &fixture)
+        .output()
+        .expect("spawn python3");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "summarize_results.py failed:\n{}\n{}",
+        stdout,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("unified run_records.csv: 4 cached jobs"),
+        "unexpected summary:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("r2d2"),
+        "expected an r2d2 model line:\n{stdout}"
+    );
+}
