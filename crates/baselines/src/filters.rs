@@ -38,7 +38,7 @@ fn lanes_uniform(ctx: &IssueCtx<'_>) -> bool {
 ///    passes through a memory load or atomic result (the decoupled access
 ///    stream runs ahead of memory, so it can only consume built-in indices,
 ///    parameters and immediates).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct DacFilter {
     base: BaselineFilter,
     /// Per GP register: `true` when (transitively) derived from memory.
@@ -157,6 +157,12 @@ impl IssueFilter for DacFilter {
         }
         self.base.classify(ctx)
     }
+
+    // All state is produced by `on_launch` and immutable afterwards, so a
+    // clone is an exact per-shard copy.
+    fn fork_shard(&self) -> Option<Box<dyn IssueFilter + Send>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Dimensionality-Aware Redundant SIMT Instruction Elimination (Yeh et al.,
@@ -168,7 +174,7 @@ impl IssueFilter for DacFilter {
 /// Exactly as the paper notes (Sec. 2.2), one-dimensional thread blocks with
 /// more than 32 threads leave DARSIE little to skip, because `tid.x` then
 /// varies across warps.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct DarsieFilter {
     base: BaselineFilter,
     /// Per static pc: `true` when redundant across warps within a block.
@@ -302,12 +308,17 @@ impl IssueFilter for DarsieFilter {
         }
         self.base.classify(ctx)
     }
+
+    // `skippable` is produced by `on_launch` and immutable afterwards.
+    fn fork_shard(&self) -> Option<Box<dyn IssueFilter + Send>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// DARSIE plus a generalized scalar pipeline: non-redundant warp instructions
 /// whose source operands are lane-uniform execute on the scalar pipe (one
 /// thread instruction, but still a full pipeline pass — paper Sec. 2.2).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct DarsieScalarFilter {
     inner: DarsieFilter,
 }
@@ -343,13 +354,17 @@ impl IssueFilter for DarsieScalarFilter {
     fn on_block_done(&mut self, block: u64) {
         self.inner.on_block_done(block);
     }
+
+    fn fork_shard(&self) -> Option<Box<dyn IssueFilter + Send>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use r2d2_isa::{KernelBuilder, Ty};
-    use r2d2_sim::{simulate, BaselineFilter, Dim3, GlobalMem, GpuConfig, Launch};
+    use r2d2_sim::{BaselineFilter, Dim3, GlobalMem, GpuConfig, Launch, SimSession};
 
     fn kernel() -> r2d2_isa::Kernel {
         let mut b = KernelBuilder::new("k", 1);
@@ -368,11 +383,11 @@ mod tests {
         let mut g = GlobalMem::new();
         let buf = g.alloc(1 << 20);
         let launch = Launch::new(kernel(), Dim3::d1(16), Dim3::d1(256), vec![buf]);
-        let cfg = GpuConfig {
-            num_sms: 4,
-            ..Default::default()
-        };
-        simulate(&cfg, &launch, &mut g, filter).unwrap()
+        let cfg = GpuConfig::default().with_num_sms(4);
+        SimSession::new(&cfg)
+            .filter(filter)
+            .run(&launch, &mut g)
+            .unwrap()
     }
 
     #[test]
@@ -408,15 +423,15 @@ mod tests {
         let mut g1 = GlobalMem::new();
         let b1 = g1.alloc(1 << 16);
         let l1 = Launch::new(k.clone(), Dim3::d1(4), Dim3::d1(256), vec![b1]);
-        let cfg = GpuConfig {
-            num_sms: 2,
-            ..Default::default()
-        };
-        let base = simulate(&cfg, &l1, &mut g1, &mut BaselineFilter).unwrap();
+        let cfg = GpuConfig::default().with_num_sms(2);
+        let base = SimSession::new(&cfg).run(&l1, &mut g1).unwrap();
         let mut g2 = GlobalMem::new();
         let b2 = g2.alloc(1 << 16);
         let l2 = Launch::new(k, Dim3::d1(4), Dim3::d1(256), vec![b2]);
-        let darsie = simulate(&cfg, &l2, &mut g2, &mut DarsieFilter::new()).unwrap();
+        let darsie = SimSession::new(&cfg)
+            .filter(&mut DarsieFilter::new())
+            .run(&l2, &mut g2)
+            .unwrap();
         assert_eq!(g1.bytes(), g2.bytes());
         assert!(
             darsie.warp_instrs * 2 < base.warp_instrs,
@@ -441,10 +456,7 @@ mod tests {
             let buf = g.alloc(1 << 20);
             (g, buf)
         };
-        let cfg = GpuConfig {
-            num_sms: 2,
-            ..Default::default()
-        };
+        let cfg = GpuConfig::default().with_num_sms(2);
         let mut outs: Vec<Vec<u8>> = Vec::new();
         let mut filters: Vec<Box<dyn IssueFilter>> = vec![
             Box::new(BaselineFilter),
@@ -455,7 +467,10 @@ mod tests {
         for f in filters.iter_mut() {
             let (mut g, buf) = mk();
             let launch = Launch::new(kernel(), Dim3::d1(8), Dim3::d1(128), vec![buf]);
-            simulate(&cfg, &launch, &mut g, f.as_mut()).unwrap();
+            SimSession::new(&cfg)
+                .filter(f.as_mut())
+                .run(&launch, &mut g)
+                .unwrap();
             outs.push(g.bytes().to_vec());
         }
         for o in &outs[1..] {

@@ -9,9 +9,7 @@
 use r2d2_core::analyzer::analyze;
 use r2d2_core::transform::transform;
 use r2d2_isa::{Kernel, KernelBuilder, Ty};
-use r2d2_sim::{
-    functional, simulate, BaselineFilter, Dim3, GlobalMem, GpuConfig, Launch, LoopKind, Stats,
-};
+use r2d2_sim::{functional, Dim3, GlobalMem, GpuConfig, Launch, LoopKind, SimSession, Stats};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -154,34 +152,37 @@ fn sim_throughput(
     block: u32,
     bufs: &[u64],
     kind: LoopKind,
+    threads: u32,
 ) -> (f64, Stats) {
-    let cfg = GpuConfig {
-        num_sms: 8,
-        loop_kind: kind,
-        ..Default::default()
-    };
+    let cfg = GpuConfig::default()
+        .with_num_sms(8)
+        .with_loop_kind(kind)
+        .with_threads(threads);
     let run = || {
         let mut g = GlobalMem::new();
         let params: Vec<u64> = bufs.iter().map(|&b| g.alloc(b)).collect();
         let launch = Launch::new(kernel.clone(), Dim3::d1(grid), Dim3::d1(block), params);
-        simulate(&cfg, &launch, &mut g, &mut BaselineFilter).unwrap()
+        SimSession::new(&cfg).run(&launch, &mut g).unwrap()
     };
     let stats = run();
     let kname = match kind {
         LoopKind::Lockstep => "lockstep",
         LoopKind::EventDriven => "event",
     };
-    let med = bench(&format!("sim_{tag}_{kname}"), run);
+    // threads = 1 keeps the pre-sharding metric names so baselines carry over.
+    let bname = if threads == 1 {
+        format!("sim_{tag}_{kname}")
+    } else {
+        format!("sim_{tag}_{kname}_t{threads}")
+    };
+    let med = bench(&bname, run);
     println!(
         "{:<32} {:>10.1}M sim-cycles/s  {:>8.2}M warp-instrs/s",
         format!("  ({} cycles={})", kname, stats.cycles),
         stats.cycles as f64 / med / 1e6,
         stats.warp_instrs as f64 / med / 1e6,
     );
-    record_metric(
-        &format!("sim_{tag}_{kname}_cycles_per_s"),
-        stats.cycles as f64 / med,
-    );
+    record_metric(&format!("{bname}_cycles_per_s"), stats.cycles as f64 / med);
     (med, stats)
 }
 
@@ -211,10 +212,16 @@ fn sim_throughput_suite() {
         ("alu_bound", alu_bound_kernel(), agrid, ablock, vec![an * 4]),
     ];
     for (tag, k, grid, block, bufs) in cases {
-        let (t_ev, s_ev) = sim_throughput(tag, &k, grid, block, &bufs, LoopKind::EventDriven);
-        let (t_ls, s_ls) = sim_throughput(tag, &k, grid, block, &bufs, LoopKind::Lockstep);
+        let (t_ev, s_ev) = sim_throughput(tag, &k, grid, block, &bufs, LoopKind::EventDriven, 1);
+        let (t_ls, s_ls) = sim_throughput(tag, &k, grid, block, &bufs, LoopKind::Lockstep, 1);
         assert_eq!(s_ev, s_ls, "{tag}: loop kinds must report identical stats");
         println!("{tag:<32} event-driven speedup: {:.2}x\n", t_ls / t_ev);
+        // Sharded run: publish a threads=8 throughput metric and hold the
+        // bit-identical guarantee. Speedup over threads=1 tracks the host's
+        // core count, so only the rate (not a ratio) is gated.
+        let (t_p, s_p) = sim_throughput(tag, &k, grid, block, &bufs, LoopKind::EventDriven, 8);
+        assert_eq!(s_ev, s_p, "{tag}: threads=8 must report identical stats");
+        println!("{tag:<32} threads=8 speedup: {:.2}x\n", t_ev / t_p);
     }
 }
 
@@ -231,16 +238,13 @@ fn main() {
         let launch = Launch::new(k.clone(), Dim3::d1(32), Dim3::d1(128), vec![x, y, 3]);
         functional::run(&launch, &mut g, 10_000_000, None).unwrap()
     });
-    let cfg = GpuConfig {
-        num_sms: 8,
-        ..Default::default()
-    };
+    let cfg = GpuConfig::default().with_num_sms(8);
     bench("timing_saxpy_4k_threads", || {
         let mut g = GlobalMem::new();
         let x = g.alloc(n * 4);
         let y = g.alloc(n * 4);
         let launch = Launch::new(k.clone(), Dim3::d1(32), Dim3::d1(128), vec![x, y, 3]);
-        simulate(&cfg, &launch, &mut g, &mut BaselineFilter).unwrap()
+        SimSession::new(&cfg).run(&launch, &mut g).unwrap()
     });
 
     sim_throughput_suite();

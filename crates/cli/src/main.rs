@@ -13,6 +13,8 @@
 //!     --sms N               number of SMs             (default 80)
 //!     --lockstep            use the cycle-by-cycle reference loop
 //!                           (default: event-driven, bit-identical)
+//!     --threads N           shard the timing loop across N worker threads
+//!                           (default 1; results are bit-identical)
 //! r2d2 workload <NAME> [--model M] [--full]
 //!     run one zoo workload under a machine model
 //!     (M: baseline | dac | darsie | darsie-scalar | r2d2; default baseline)
@@ -21,6 +23,7 @@
 //!     export a Chrome trace_event JSON + CSV time series
 //!     --buckets N           target time-series bucket count (default 256)
 //!     --out DIR             artifact directory (default results/profiles/)
+//!     --threads N           shard the simulation across N threads
 //!     --sms N               number of SMs
 //!     --full                evaluation-sized inputs (default: small)
 //!     (workload: any zoo name, BP@n<log>, or the micro ids vecadd/saxpy)
@@ -29,6 +32,8 @@
 //! r2d2 sweep list                         list figure job sets + cache state
 //! r2d2 sweep run <set>|all [options]      run a figure's jobs in parallel
 //!     --jobs N              worker threads            (default: all cores)
+//!     --threads N           shard each simulation across N threads
+//!                           (default: $R2D2_THREADS, then 1; bit-identical)
 //!     --no-cache            re-simulate even when cached (refreshes entries)
 //!     --size small|full     workload scale            (default full)
 //!     --profile             attach the stall profiler to every job (writes
@@ -45,7 +50,7 @@ use r2d2_core::transform::{make_launch, transform};
 use r2d2_energy::EnergyModel;
 use r2d2_isa::parse_kernel;
 use r2d2_sim::{
-    simulate, BaselineFilter, Dim3, GlobalMem, GpuConfig, IssueFilter, Launch, LoopKind, Stats,
+    BaselineFilter, Dim3, GlobalMem, GpuConfig, IssueFilter, Launch, LoopKind, SimSession, Stats,
 };
 use std::process::ExitCode;
 
@@ -181,6 +186,7 @@ fn cmd_run(args: &[String]) -> CliResult {
     let mut use_r2d2 = false;
     let mut sms = 80u32;
     let mut loop_kind = LoopKind::default();
+    let mut threads = 1u32;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -211,15 +217,18 @@ fn cmd_run(args: &[String]) -> CliResult {
                 i += 1;
             }
             "--lockstep" => loop_kind = LoopKind::Lockstep,
+            "--threads" => {
+                threads = args.get(i + 1).ok_or("--threads needs a value")?.parse()?;
+                i += 1;
+            }
             other => return Err(format!("unknown option {other}").into()),
         }
         i += 1;
     }
-    let cfg = GpuConfig {
-        num_sms: sms,
-        loop_kind,
-        ..Default::default()
-    };
+    let cfg = GpuConfig::default()
+        .with_num_sms(sms)
+        .with_loop_kind(loop_kind)
+        .with_threads(threads);
     let stats = if use_r2d2 {
         let (launch, used) = make_launch(&cfg, &k, grid, block, params);
         println!(
@@ -230,10 +239,10 @@ fn cmd_run(args: &[String]) -> CliResult {
                 "the original (register-pressure fallback)"
             }
         );
-        simulate(&cfg, &launch, &mut gmem, &mut BaselineFilter)?
+        SimSession::new(&cfg).run(&launch, &mut gmem)?
     } else {
         let launch = Launch::new(k, grid, block, params);
-        simulate(&cfg, &launch, &mut gmem, &mut BaselineFilter)?
+        SimSession::new(&cfg).run(&launch, &mut gmem)?
     };
     print_stats(&stats);
     Ok(())
@@ -326,6 +335,7 @@ fn cmd_profile(args: &[String]) -> CliResult {
     let mut out: Option<std::path::PathBuf> = None;
     let mut size = r2d2_workloads::Size::Small;
     let mut sms: Option<u32> = None;
+    let mut threads = 0u32;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -341,6 +351,10 @@ fn cmd_profile(args: &[String]) -> CliResult {
                 sms = Some(args.get(i + 1).ok_or("--sms needs a value")?.parse()?);
                 i += 1;
             }
+            "--threads" => {
+                threads = args.get(i + 1).ok_or("--threads needs a value")?.parse()?;
+                i += 1;
+            }
             "--full" => size = r2d2_workloads::Size::Full,
             other => return Err(format!("unknown option {other}").into()),
         }
@@ -350,6 +364,7 @@ fn cmd_profile(args: &[String]) -> CliResult {
     let mut spec = JobSpec::new(&workload, size, model);
     spec.profile = true;
     spec.overrides.num_sms = sms;
+    spec.threads = threads;
     let mut prof = Profiler::new(buckets);
     let rec = execute_with_profiler(&spec, &mut prof)?;
     let out = out.unwrap_or_else(r2d2_harness::default_profiles_dir);
@@ -437,6 +452,7 @@ fn cmd_sweep(args: &[String]) -> CliResult {
             let mut opts = RunOptions::default();
             let mut size = r2d2_harness::size_from_env();
             let mut profile = false;
+            let mut threads = 0u32;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -446,6 +462,10 @@ fn cmd_sweep(args: &[String]) -> CliResult {
                     }
                     "--no-cache" => opts.use_cache = false,
                     "--profile" => profile = true,
+                    "--threads" => {
+                        threads = args.get(i + 1).ok_or("--threads needs a value")?.parse()?;
+                        i += 1;
+                    }
                     "--size" => {
                         size = match args.get(i + 1).ok_or("--size needs a value")?.as_str() {
                             "small" => r2d2_workloads::Size::Small,
@@ -480,6 +500,7 @@ fn cmd_sweep(args: &[String]) -> CliResult {
                     .ok_or_else(|| format!("unknown set {name:?} (try `r2d2 sweep list`)"))?;
                 for mut s in set {
                     s.profile = profile;
+                    s.threads = threads;
                     if seen.insert(s.content_hash()) {
                         specs.push(s);
                     }
@@ -533,7 +554,7 @@ fn cmd_workload(args: &[String]) -> CliResult {
         let s = match model.as_str() {
             "r2d2" => {
                 let (launch, _) = make_launch(&cfg, &l.kernel, l.grid, l.block, l.params.clone());
-                simulate(&cfg, &launch, &mut g, &mut BaselineFilter)?
+                SimSession::new(&cfg).run(&launch, &mut g)?
             }
             m => {
                 let mut f: Box<dyn IssueFilter> = match m {
@@ -543,7 +564,7 @@ fn cmd_workload(args: &[String]) -> CliResult {
                     "darsie-scalar" => Box::new(DarsieScalarFilter::new()),
                     _ => return Err("model must be baseline|dac|darsie|darsie-scalar|r2d2".into()),
                 };
-                simulate(&cfg, l, &mut g, f.as_mut())?
+                SimSession::new(&cfg).filter(f.as_mut()).run(l, &mut g)?
             }
         };
         stats.merge_sequential(&s);

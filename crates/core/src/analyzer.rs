@@ -267,6 +267,7 @@ pub fn check_against_execution(
         linear: None,
         scratch: None,
         watchdog: 1_000_000,
+        defer_global_atomics: false,
     };
     let env = launch.env();
     let mut checked = 0;

@@ -4,9 +4,7 @@
 use crate::transform::make_launch;
 use r2d2_energy::{EnergyBreakdown, EnergyModel};
 use r2d2_isa::Kernel;
-use r2d2_sim::{
-    simulate, BaselineFilter, Dim3, GlobalMem, GpuConfig, IssueFilter, Launch, SimError, Stats,
-};
+use r2d2_sim::{Dim3, GlobalMem, GpuConfig, IssueFilter, Launch, SimError, SimSession, Stats};
 
 /// Statistics plus derived energy for one run.
 #[derive(Debug, Clone)]
@@ -41,7 +39,7 @@ pub fn run_baseline(
     launch: &Launch,
     gmem: &mut GlobalMem,
 ) -> Result<RunResult, SimError> {
-    let stats = simulate(cfg, launch, gmem, &mut BaselineFilter)?;
+    let stats = SimSession::new(cfg).run(launch, gmem)?;
     Ok(RunResult::new(stats, false))
 }
 
@@ -56,7 +54,7 @@ pub fn run_with_filter(
     gmem: &mut GlobalMem,
     filter: &mut dyn IssueFilter,
 ) -> Result<RunResult, SimError> {
-    let stats = simulate(cfg, launch, gmem, filter)?;
+    let stats = SimSession::new(cfg).filter(filter).run(launch, gmem)?;
     Ok(RunResult::new(stats, false))
 }
 
@@ -76,7 +74,7 @@ pub fn run_r2d2(
     gmem: &mut GlobalMem,
 ) -> Result<RunResult, SimError> {
     let (launch, used) = make_launch(cfg, kernel, grid, block, params);
-    let stats = simulate(cfg, &launch, gmem, &mut BaselineFilter)?;
+    let stats = SimSession::new(cfg).run(&launch, gmem)?;
     Ok(RunResult::new(stats, used))
 }
 
@@ -109,10 +107,7 @@ mod tests {
         // Memory-bound: the paper's SPM case — big instruction reduction,
         // modest cycle change (DRAM bandwidth dominates end-to-end time).
         let k = streaming_kernel();
-        let cfg = GpuConfig {
-            num_sms: 8,
-            ..Default::default()
-        };
+        let cfg = GpuConfig::default().with_num_sms(8);
         let grid = Dim3::d1(128);
         let block = Dim3::d1(256);
         let n = 128 * 256u64;
@@ -167,10 +162,7 @@ mod tests {
         b.st_global(Ty::B32, addr, 0, v);
         let k = b.build();
 
-        let cfg = GpuConfig {
-            num_sms: 8,
-            ..Default::default()
-        };
+        let cfg = GpuConfig::default().with_num_sms(8);
         let grid = Dim3::d1(256);
         let block = Dim3::d1(256);
         let n = 256 * 256u64;

@@ -24,7 +24,7 @@ warp_main,prologue_cycles,l1_hits,l1_misses,l2_hits,l2_misses,dram_txns,shared_t
 alu_pj,rf_pj,frontend_pj,mem_pj,static_pj,total_pj,\
 ideal_baseline,ideal_wp,ideal_tb,ideal_ln,wall_ms,cached,\
 issued_sm_cycles,stall_scoreboard,stall_operand_collector,stall_lsu_mshr,stall_dram,\
-stall_barrier,stall_idle_skip";
+stall_barrier,stall_idle_skip,threads";
 
 /// Every valid `(spec, record)` pair currently in the cache. Unreadable or
 /// malformed files are skipped, matching the cache's miss-not-error policy.
@@ -64,7 +64,7 @@ fn csv_row(spec: &JobSpec, rec: &RunRecord) -> String {
     let e = &rec.energy;
     let ideal = |f: fn(&r2d2_baselines::IdealCounts) -> u64| opt(rec.ideal.as_ref().map(f));
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         spec.workload,
         match spec.size {
             r2d2_workloads::Size::Small => "small",
@@ -111,6 +111,9 @@ fn csv_row(spec: &JobSpec, rec: &RunRecord) -> String {
         s.stall_sm_cycles[3],
         s.stall_sm_cycles[4],
         s.stall_sm_cycles[5],
+        // Informational: the thread count this export would run at. Results
+        // are bit-identical at every value, so rows cache independently of it.
+        crate::runner::resolve_threads(spec),
     )
 }
 

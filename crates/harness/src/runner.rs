@@ -1,11 +1,14 @@
 //! Job execution and the parallel worker pool.
 //!
-//! Each job is one single-threaded simulation (the simulator itself is
-//! sequential and deterministic); the pool runs independent jobs on
-//! `std::thread::scope` workers pulling from a shared atomic index. Results
-//! land in per-job slots, so the output order always matches the input
-//! order regardless of which worker finished when — `--jobs N` can never
-//! change what a figure reports, only how fast it appears.
+//! Each job is one deterministic simulation; the pool runs independent jobs
+//! on `std::thread::scope` workers pulling from a shared atomic index.
+//! Results land in per-job slots, so the output order always matches the
+//! input order regardless of which worker finished when — `--jobs N` can
+//! never change what a figure reports, only how fast it appears.
+//!
+//! Orthogonally, each simulation can itself shard its SMs across threads
+//! ([`JobSpec::threads`], or the `R2D2_THREADS` environment variable);
+//! that is bit-identical too, so neither knob affects results.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -14,8 +17,8 @@ use std::time::Instant;
 use r2d2_core::transform::make_launch;
 use r2d2_energy::EnergyModel;
 use r2d2_sim::{
-    simulate, simulate_with_sink, BaselineFilter, GlobalMem, GpuConfig, IssueFilter, Launch,
-    Profiler, SimError, Stats,
+    BaselineFilter, GlobalMem, GpuConfig, IssueFilter, Launch, Profiler, SimError, SimSession,
+    Stats,
 };
 
 use crate::cache::Cache;
@@ -73,6 +76,20 @@ impl RunSummary {
     }
 }
 
+/// Resolve the effective simulator thread count for one job: the spec's
+/// explicit value, else the `R2D2_THREADS` environment variable (the CI
+/// matrix knob), else 1. Results are bit-identical at every thread count.
+pub fn resolve_threads(spec: &JobSpec) -> u32 {
+    if spec.threads > 0 {
+        return spec.threads;
+    }
+    std::env::var("R2D2_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
 /// Run one launch, observed by the profiler when one is attached.
 fn sim_one(
     cfg: &GpuConfig,
@@ -80,10 +97,12 @@ fn sim_one(
     gmem: &mut GlobalMem,
     filter: &mut dyn IssueFilter,
     prof: &mut Option<&mut Profiler>,
+    threads: u32,
 ) -> Result<Stats, SimError> {
+    let session = SimSession::new(cfg).filter(filter).threads(threads);
     match prof {
-        Some(p) => simulate_with_sink(cfg, launch, gmem, filter, *p),
-        None => simulate(cfg, launch, gmem, filter),
+        Some(p) => session.sink(*p).run(launch, gmem),
+        None => session.run(launch, gmem),
     }
 }
 
@@ -118,6 +137,7 @@ fn execute_inner(spec: &JobSpec, mut prof: Option<&mut Profiler>) -> Result<RunR
     let w = r2d2_workloads::resolve(&spec.workload, spec.size)
         .ok_or_else(|| format!("unknown workload id {:?}", spec.workload))?;
     let cfg = spec.overrides.apply();
+    let threads = resolve_threads(spec);
     let t0 = Instant::now();
     let mut gmem = w.gmem.clone();
     let mut stats = Stats::default();
@@ -143,8 +163,15 @@ fn execute_inner(spec: &JobSpec, mut prof: Option<&mut Profiler>) -> Result<RunR
                 let (launch, used) =
                     make_launch(&cfg, &l.kernel, l.grid, l.block, l.params.clone());
                 used_r2d2 |= used;
-                let s = sim_one(&cfg, &launch, &mut gmem, &mut BaselineFilter, &mut prof)
-                    .map_err(|e| format!("{}/R2D2: {e}", w.name))?;
+                let s = sim_one(
+                    &cfg,
+                    &launch,
+                    &mut gmem,
+                    &mut BaselineFilter,
+                    &mut prof,
+                    threads,
+                )
+                .map_err(|e| format!("{}/R2D2: {e}", w.name))?;
                 stats.merge_sequential(&s);
             }
         }
@@ -156,9 +183,16 @@ fn execute_inner(spec: &JobSpec, mut prof: Option<&mut Profiler>) -> Result<RunR
                     let mut launch =
                         r2d2_sim::Launch::new(r2.kernel, l.grid, l.block, l.params.clone());
                     launch.meta = Some(r2.meta);
-                    sim_one(&cfg, &launch, &mut gmem, &mut BaselineFilter, &mut prof)
+                    sim_one(
+                        &cfg,
+                        &launch,
+                        &mut gmem,
+                        &mut BaselineFilter,
+                        &mut prof,
+                        threads,
+                    )
                 } else {
-                    sim_one(&cfg, l, &mut gmem, &mut BaselineFilter, &mut prof)
+                    sim_one(&cfg, l, &mut gmem, &mut BaselineFilter, &mut prof, threads)
                 }
                 .map_err(|e| format!("{}/R2D2(opts): {e}", w.name))?;
                 stats.merge_sequential(&s);
@@ -173,7 +207,7 @@ fn execute_inner(spec: &JobSpec, mut prof: Option<&mut Profiler>) -> Result<RunR
                 _ => unreachable!("handled above"),
             };
             for l in &w.launches {
-                let s = sim_one(&cfg, l, &mut gmem, filter.as_mut(), &mut prof)
+                let s = sim_one(&cfg, l, &mut gmem, filter.as_mut(), &mut prof, threads)
                     .map_err(|e| format!("{}/{}: {e}", w.name, spec.model.name()))?;
                 stats.merge_sequential(&s);
             }

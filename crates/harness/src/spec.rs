@@ -190,6 +190,13 @@ pub struct JobSpec {
     /// artifacts. Profiled runs produce the same `Stats` core but populate
     /// `issued_sm_cycles`/`stall_sm_cycles`, so they cache separately.
     pub profile: bool,
+    /// Worker threads for the sharded timing loop; `0` defers to the
+    /// `R2D2_THREADS` environment variable (then to 1). Deliberately
+    /// excluded from [`JobSpec::canonical`], the content hash, and the JSON
+    /// form: results are bit-identical at every thread count, so the thread
+    /// count is an execution knob, not part of the experiment's identity —
+    /// cached results stay valid when it changes.
+    pub threads: u32,
 }
 
 impl JobSpec {
@@ -201,6 +208,7 @@ impl JobSpec {
             model,
             overrides: ConfigOverrides::default(),
             profile: false,
+            threads: 0,
         }
     }
 
@@ -284,6 +292,8 @@ impl JobSpec {
             overrides: ConfigOverrides::from_json(v.get("overrides")?)?,
             // Absent in specs embedded before the profiler existed.
             profile: v.get("profile").and_then(Value::as_bool).unwrap_or(false),
+            // Never serialized: an execution knob, not part of job identity.
+            threads: 0,
         })
     }
 }
@@ -392,6 +402,7 @@ mod tests {
                     lr_add: Some(4),
                 },
                 profile: true,
+                threads: 0,
             },
         ];
         for spec in specs {

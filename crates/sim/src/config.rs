@@ -1,7 +1,12 @@
 //! GPU configuration (paper Table 1) and instruction latencies.
 
 /// Cache geometry.
+///
+/// `#[non_exhaustive]`: construct via [`Default`] (through
+/// [`GpuConfig::default`]) and adjust fields, or use
+/// [`CacheConfig::new`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub bytes: u64,
@@ -12,6 +17,11 @@ pub struct CacheConfig {
 }
 
 impl CacheConfig {
+    /// Cache with the given capacity, line size, and associativity.
+    pub fn new(bytes: u64, line: u64, ways: u32) -> Self {
+        CacheConfig { bytes, line, ways }
+    }
+
     /// Number of sets.
     pub fn sets(&self) -> u64 {
         (self.bytes / self.line / self.ways as u64).max(1)
@@ -19,7 +29,11 @@ impl CacheConfig {
 }
 
 /// Instruction and memory latencies in core cycles.
+///
+/// `#[non_exhaustive]`: start from [`Latencies::default`] and overwrite
+/// individual fields.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct Latencies {
     /// Integer ALU result latency.
     pub int_alu: u64,
@@ -60,7 +74,11 @@ impl Default for Latencies {
 /// Extra pipeline latencies R2D2 introduces (paper Sec. 5.4): starting-PC
 /// table access in the fetch units, physical-register-ID computation for
 /// linear register reads, and the LSU-side thread-index + block-index add.
+///
+/// `#[non_exhaustive]`: start from [`R2d2Latencies::default`] and overwrite
+/// individual fields.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct R2d2Latencies {
     /// Added to the fetch of every *linear* (decoupled-block) instruction.
     pub fetch_table: u64,
@@ -102,7 +120,22 @@ pub enum LoopKind {
 
 /// Full GPU configuration. Defaults model the paper's baseline
 /// (NVIDIA TITAN V, Volta — Table 1).
+///
+/// `#[non_exhaustive]`: new fields (like [`threads`](GpuConfig::threads))
+/// can be added without breaking downstream users. Build one with
+/// [`GpuConfig::default`] or [`GpuConfig::with_sms`] and customize via the
+/// chained `with_*` setters:
+///
+/// ```
+/// use r2d2_sim::{GpuConfig, LoopKind};
+/// let cfg = GpuConfig::default()
+///     .with_num_sms(8)
+///     .with_loop_kind(LoopKind::Lockstep)
+///     .with_threads(4);
+/// assert_eq!(cfg.num_sms, 8);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct GpuConfig {
     /// Streaming multiprocessors. Table 1: 80.
     pub num_sms: u32,
@@ -138,6 +171,12 @@ pub struct GpuConfig {
     pub watchdog_warp_instrs: u64,
     /// Which timing main loop to run (identical results either way).
     pub loop_kind: LoopKind,
+    /// Worker threads for the sharded timing loop. `1` (the default) runs
+    /// the classic single-threaded loops; `N > 1` partitions the SMs into
+    /// `min(N, num_sms)` shards that simulate concurrently and synchronize
+    /// on the shared L2/DRAM at epoch boundaries. Results are bit-identical
+    /// for any thread count.
+    pub threads: u32,
 }
 
 impl Default for GpuConfig {
@@ -167,6 +206,7 @@ impl Default for GpuConfig {
             watchdog_cycles: 200_000_000,
             watchdog_warp_instrs: 50_000_000,
             loop_kind: LoopKind::default(),
+            threads: 1,
         }
     }
 }
@@ -184,6 +224,108 @@ impl GpuConfig {
     /// 4-byte registers available per SM.
     pub fn regs_per_sm(&self) -> u64 {
         self.regfile_bytes / 4
+    }
+
+    /// Set the SM count.
+    pub fn with_num_sms(mut self, v: u32) -> Self {
+        self.num_sms = v;
+        self
+    }
+
+    /// Set the warp size.
+    pub fn with_warp_size(mut self, v: u32) -> Self {
+        self.warp_size = v;
+        self
+    }
+
+    /// Set the warp schedulers per SM.
+    pub fn with_schedulers_per_sm(mut self, v: u32) -> Self {
+        self.schedulers_per_sm = v;
+        self
+    }
+
+    /// Set the per-SM issue width (instructions per cycle across schedulers).
+    pub fn with_sm_issue_width(mut self, v: u32) -> Self {
+        self.sm_issue_width = v;
+        self
+    }
+
+    /// Set the max resident warps per SM.
+    pub fn with_max_warps_per_sm(mut self, v: u32) -> Self {
+        self.max_warps_per_sm = v;
+        self
+    }
+
+    /// Set the max resident thread blocks per SM.
+    pub fn with_max_blocks_per_sm(mut self, v: u32) -> Self {
+        self.max_blocks_per_sm = v;
+        self
+    }
+
+    /// Set the register file size per SM (bytes).
+    pub fn with_regfile_bytes(mut self, v: u64) -> Self {
+        self.regfile_bytes = v;
+        self
+    }
+
+    /// Set the shared memory size per SM (bytes).
+    pub fn with_shared_bytes_per_sm(mut self, v: u64) -> Self {
+        self.shared_bytes_per_sm = v;
+        self
+    }
+
+    /// Set the per-SM L1 data-cache geometry.
+    pub fn with_l1(mut self, v: CacheConfig) -> Self {
+        self.l1 = v;
+        self
+    }
+
+    /// Set the shared L2 geometry.
+    pub fn with_l2(mut self, v: CacheConfig) -> Self {
+        self.l2 = v;
+        self
+    }
+
+    /// Set the latency table.
+    pub fn with_lat(mut self, v: Latencies) -> Self {
+        self.lat = v;
+        self
+    }
+
+    /// Set the DRAM service rate (transactions per core cycle, GPU-wide).
+    pub fn with_dram_txns_per_cycle(mut self, v: u32) -> Self {
+        self.dram_txns_per_cycle = v;
+        self
+    }
+
+    /// Set the R2D2 added latencies.
+    pub fn with_r2d2(mut self, v: R2d2Latencies) -> Self {
+        self.r2d2 = v;
+        self
+    }
+
+    /// Set the cycle watchdog.
+    pub fn with_watchdog_cycles(mut self, v: u64) -> Self {
+        self.watchdog_cycles = v;
+        self
+    }
+
+    /// Set the per-warp instruction watchdog.
+    pub fn with_watchdog_warp_instrs(mut self, v: u64) -> Self {
+        self.watchdog_warp_instrs = v;
+        self
+    }
+
+    /// Set the timing main-loop implementation.
+    pub fn with_loop_kind(mut self, v: LoopKind) -> Self {
+        self.loop_kind = v;
+        self
+    }
+
+    /// Set the worker-thread count for the sharded timing loop.
+    pub fn with_threads(mut self, v: u32) -> Self {
+        self.threads = v;
+        self
     }
 }
 
@@ -203,6 +345,22 @@ mod tests {
         assert_eq!(c.regs_per_sm(), 65536);
         assert_eq!(c.l1.bytes, 96 * 1024);
         assert_eq!(c.l2.ways, 24);
+    }
+
+    #[test]
+    fn chained_setters_mirror_fields() {
+        let c = GpuConfig::default()
+            .with_num_sms(4)
+            .with_sm_issue_width(1)
+            .with_loop_kind(LoopKind::Lockstep)
+            .with_watchdog_cycles(5_000)
+            .with_threads(8);
+        assert_eq!(c.num_sms, 4);
+        assert_eq!(c.sm_issue_width, 1);
+        assert_eq!(c.loop_kind, LoopKind::Lockstep);
+        assert_eq!(c.watchdog_cycles, 5_000);
+        assert_eq!(c.threads, 8);
+        assert_eq!(GpuConfig::default().threads, 1);
     }
 
     #[test]

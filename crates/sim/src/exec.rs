@@ -120,6 +120,27 @@ impl WarpState {
     pub fn set_reg(&mut self, r: u16, lane: usize, v: u64) {
         self.regs[r as usize * WARP_SIZE + lane] = v;
     }
+
+    /// Write a per-warp destination (GP register or predicate) for one lane.
+    /// Used by the sharded loop's drain to land deferred atomic results;
+    /// linear-class destinations live in SM-level state and are not handled.
+    pub(crate) fn write_warp_dst(&mut self, lane: usize, dst: Dst, v: u64) {
+        match dst {
+            Dst::Reg(r) => self.set_reg(r.0, lane, v),
+            Dst::Pred(p) => {
+                let bit = 1u32 << lane;
+                let cur = &mut self.preds[p.0 as usize];
+                if v != 0 {
+                    *cur |= bit;
+                } else {
+                    *cur &= !bit;
+                }
+            }
+            Dst::Cr(_) | Dst::Tr(_) | Dst::Br(_) => {
+                unreachable!("linear-class atomic destinations are not deferrable")
+            }
+        }
+    }
 }
 
 /// What a step did.
@@ -190,6 +211,26 @@ impl Default for OperandVals {
     }
 }
 
+/// Per-lane source operands of a global atomic whose read-modify-write was
+/// deferred (see [`WarpExec::defer_global_atomics`]). The sharded timing
+/// loop applies the captured operation later, in deterministic order.
+#[derive(Debug, Clone)]
+pub struct AtomVals {
+    /// `srcs[0]` per lane (the operand / CAS comparand).
+    pub x: [u64; WARP_SIZE],
+    /// `srcs[1]` per lane (the CAS replacement value; 0 for non-CAS ops).
+    pub desired: [u64; WARP_SIZE],
+}
+
+impl Default for AtomVals {
+    fn default() -> Self {
+        AtomVals {
+            x: [0; WARP_SIZE],
+            desired: [0; WARP_SIZE],
+        }
+    }
+}
+
 /// Result of executing one warp instruction.
 #[derive(Debug, Clone)]
 pub struct StepInfo {
@@ -205,6 +246,10 @@ pub struct StepInfo {
     pub mem: Option<MemInfo>,
     /// R2D2 phase of the executed pc (Main when no metadata).
     pub phase: Phase,
+    /// Captured atomic operands when [`WarpExec::defer_global_atomics`]
+    /// suppressed the read-modify-write (and the destination write, so any
+    /// captured `OperandVals::dst` is stale for deferred atomics).
+    pub atom: Option<Box<AtomVals>>,
 }
 
 /// Error from warp execution.
@@ -259,6 +304,11 @@ pub struct WarpExec<'a> {
     pub scratch: Option<&'a mut OperandVals>,
     /// Per-warp dynamic instruction limit.
     pub watchdog: u64,
+    /// When `true`, global atomics do not touch `gmem` or their destination;
+    /// the per-lane operands are captured in [`StepInfo::atom`] instead so
+    /// the caller can apply the read-modify-write later in a deterministic
+    /// order (the sharded timing loop's epoch drain).
+    pub defer_global_atomics: bool,
 }
 
 impl<'a> WarpExec<'a> {
@@ -357,6 +407,7 @@ impl<'a> WarpExec<'a> {
                 outcome: Outcome::Exited,
                 mem: None,
                 phase: Phase::Main,
+                atom: None,
             });
         };
         w.instr_count += 1;
@@ -400,6 +451,7 @@ impl<'a> WarpExec<'a> {
             outcome: Outcome::Normal,
             mem: None,
             phase,
+            atom: None,
         };
 
         match instr.op {
@@ -481,6 +533,7 @@ impl<'a> WarpExec<'a> {
                 mask: exec_mask,
                 addrs: [0; WARP_SIZE],
             };
+            let mut atom_capture: Option<Box<AtomVals>> = None;
             for lane in 0..WARP_SIZE {
                 if exec_mask & (1 << lane) == 0 {
                     continue;
@@ -517,35 +570,40 @@ impl<'a> WarpExec<'a> {
                         }
                     }
                     Op::Atom(aop) => {
-                        let old = self.gmem.read(ty, addr);
                         let x = self.read_operand(w, lane, instr.srcs[0], false);
-                        let newv = match aop {
-                            AtomOp::Add => int_add(ty, old, x),
-                            AtomOp::Min => int_min(ty, old, x),
-                            AtomOp::Max => int_max(ty, old, x),
-                            AtomOp::Exch => x,
-                            AtomOp::Cas => {
-                                let desired = self.read_operand(w, lane, instr.srcs[1], false);
-                                if old == x {
-                                    desired
-                                } else {
-                                    old
-                                }
+                        if self.defer_global_atomics {
+                            let desired = if matches!(aop, AtomOp::Cas) {
+                                self.read_operand(w, lane, instr.srcs[1], false)
+                            } else {
+                                0
+                            };
+                            let cap = atom_capture.get_or_insert_with(Box::default);
+                            cap.x[lane] = x;
+                            cap.desired[lane] = desired;
+                            if let Some(vs) = vals.as_deref_mut() {
+                                vs.srcs[0][lane] = x;
                             }
-                        };
-                        self.gmem.write(ty, addr, newv);
-                        if let Some(d) = instr.dst {
-                            self.write_dst(w, lane, d, old);
-                        }
-                        if let Some(vs) = vals.as_deref_mut() {
-                            vs.srcs[0][lane] = x;
-                            vs.dst[lane] = old;
+                        } else {
+                            let desired = if matches!(aop, AtomOp::Cas) {
+                                self.read_operand(w, lane, instr.srcs[1], false)
+                            } else {
+                                0
+                            };
+                            let old = atomic_rmw(self.gmem, aop, ty, addr, x, desired);
+                            if let Some(d) = instr.dst {
+                                self.write_dst(w, lane, d, old);
+                            }
+                            if let Some(vs) = vals.as_deref_mut() {
+                                vs.srcs[0][lane] = x;
+                                vs.dst[lane] = old;
+                            }
                         }
                     }
                     _ => unreachable!(),
                 }
             }
             info.mem = Some(mi);
+            info.atom = atom_capture;
         } else {
             // Pure ALU / mov / cvt / setp / selp / ld.param.
             for lane in 0..WARP_SIZE {
@@ -629,6 +687,35 @@ fn int_max(ty: Ty, a: u64, b: u64) -> u64 {
         Ty::B32 => ((a as u32 as i32).max(b as u32 as i32)) as i64 as u64,
         _ => ((a as i64).max(b as i64)) as u64,
     }
+}
+
+/// Apply one lane of a global atomic read-modify-write, returning the old
+/// value. The single place that defines atomic semantics: the eager path in
+/// [`WarpExec::step`] and the sharded loop's deferred drain both call it.
+pub(crate) fn atomic_rmw(
+    gmem: &mut GlobalMem,
+    aop: AtomOp,
+    ty: Ty,
+    addr: u64,
+    x: u64,
+    desired: u64,
+) -> u64 {
+    let old = gmem.read(ty, addr);
+    let newv = match aop {
+        AtomOp::Add => int_add(ty, old, x),
+        AtomOp::Min => int_min(ty, old, x),
+        AtomOp::Max => int_max(ty, old, x),
+        AtomOp::Exch => x,
+        AtomOp::Cas => {
+            if old == x {
+                desired
+            } else {
+                old
+            }
+        }
+    };
+    gmem.write(ty, addr, newv);
+    old
 }
 
 /// Core ALU semantics. 32-bit integer results are stored sign-extended.
@@ -869,6 +956,7 @@ mod tests {
             linear: None,
             scratch: None,
             watchdog: 1_000_000,
+            defer_global_atomics: false,
         };
         while !w.done {
             let s = ex.step(&mut w).unwrap();
@@ -1111,6 +1199,7 @@ mod tests {
             linear: None,
             scratch: None,
             watchdog: 100,
+            defer_global_atomics: false,
         };
         let mut hit = false;
         for _ in 0..1000 {
@@ -1145,6 +1234,7 @@ mod tests {
             linear: None,
             scratch: Some(&mut scratch),
             watchdog: 100,
+            defer_global_atomics: false,
         };
         let _ = ex.step(&mut w).unwrap(); // mov
         let _ = ex.step(&mut w).unwrap(); // add

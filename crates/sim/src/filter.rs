@@ -62,6 +62,16 @@ pub trait IssueFilter {
 
     /// Called when a thread block completes (lets per-block state be freed).
     fn on_block_done(&mut self, _block: u64) {}
+
+    /// Produce an independent copy of this filter for one shard of the
+    /// parallel timing loop. Called after [`IssueFilter::on_launch`], so
+    /// launch-time analysis state must be included in the copy. Blocks are
+    /// statically partitioned across SMs, so per-block state never crosses
+    /// shards. Returning `None` (the default) makes `threads > 1` runs fall
+    /// back to the single-threaded loop for this filter.
+    fn fork_shard(&self) -> Option<Box<dyn IssueFilter + Send>> {
+        None
+    }
 }
 
 /// The baseline machine: everything executes on the SIMD pipeline, except
@@ -72,6 +82,10 @@ pub trait IssueFilter {
 pub struct BaselineFilter;
 
 impl IssueFilter for BaselineFilter {
+    fn fork_shard(&self) -> Option<Box<dyn IssueFilter + Send>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn classify(&mut self, ctx: &IssueCtx<'_>) -> Disposition {
         use r2d2_isa::{Op, Operand};
         if ctx.instr.op.is_control() || ctx.instr.op.is_mem() {
@@ -98,6 +112,10 @@ impl IssueFilter for BaselineFilter {
 pub struct NoFilter;
 
 impl IssueFilter for NoFilter {
+    fn fork_shard(&self) -> Option<Box<dyn IssueFilter + Send>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn classify(&mut self, _ctx: &IssueCtx<'_>) -> Disposition {
         Disposition::Execute
     }

@@ -133,6 +133,7 @@ impl<'a> BlockRun<'a> {
                         linear: lin,
                         scratch: if collect { Some(&mut scratch) } else { None },
                         watchdog: self.watchdog,
+                        defer_global_atomics: false,
                     };
                     let info = ex.step(w)?;
                     if info.outcome == Outcome::Exited && info.exec_mask == 0 && info.active == 0 {
@@ -285,6 +286,7 @@ pub fn run_r2d2(
                 linear: Some((meta, store, 0)),
                 scratch: None,
                 watchdog,
+                defer_global_atomics: false,
             };
             let info = ex.step(&mut w)?;
             stats.record(&info, &kernel.instrs[info.pc]);

@@ -22,7 +22,7 @@
 //!
 //! ```
 //! use r2d2_isa::{KernelBuilder, Ty};
-//! use r2d2_sim::{simulate, BaselineFilter, Dim3, GlobalMem, GpuConfig, Launch};
+//! use r2d2_sim::{Dim3, GlobalMem, GpuConfig, Launch, SimSession};
 //!
 //! // out[i] = i
 //! let mut b = KernelBuilder::new("iota", 1);
@@ -36,8 +36,8 @@
 //! let mut gmem = GlobalMem::new();
 //! let out = gmem.alloc(4 * 256);
 //! let launch = Launch::new(kernel, Dim3::d1(2), Dim3::d1(128), vec![out]);
-//! let cfg = GpuConfig { num_sms: 4, ..Default::default() };
-//! let stats = simulate(&cfg, &launch, &mut gmem, &mut BaselineFilter)?;
+//! let cfg = GpuConfig::default().with_num_sms(4);
+//! let stats = SimSession::new(&cfg).run(&launch, &mut gmem)?;
 //! assert_eq!(gmem.read_i32(out, 200), 200);
 //! assert!(stats.cycles > 0);
 //! # Ok::<(), r2d2_sim::SimError>(())
@@ -51,6 +51,7 @@ pub mod functional;
 mod launch;
 mod linear;
 mod mem;
+mod session;
 mod stats;
 pub mod timing;
 
@@ -65,8 +66,11 @@ pub use functional::{FuncStats, InstrEvent, Observer};
 pub use launch::{Dim3, Launch};
 pub use linear::{LinearMeta, LinearStore, Phase, MAX_LR};
 pub use mem::GlobalMem;
+pub use session::SimSession;
 pub use stats::Stats;
-pub use timing::{blocks_per_sm, phys_regs_estimate, simulate, simulate_with_sink, SimError};
+pub use timing::{blocks_per_sm, phys_regs_estimate, SimError};
+#[allow(deprecated)]
+pub use timing::{simulate, simulate_with_sink};
 
 // Observability layer (see `r2d2-trace`): the sink trait the timing loops
 // are generic over, plus the stall-attribution profiler and its exporters.

@@ -1,0 +1,114 @@
+//! [`SimSession`]: the builder-style public entry point of the simulator.
+//!
+//! One launch is one session. The builder collects the optional pieces —
+//! a machine-model [`IssueFilter`], an [`EventSink`] observer, a thread
+//! count — and [`SimSession::run`] executes the launch:
+//!
+//! ```
+//! use r2d2_sim::{Dim3, GlobalMem, GpuConfig, Launch, NoFilter, SimSession};
+//! # use r2d2_isa::KernelBuilder;
+//! # let kernel = KernelBuilder::new("noop", 0).build();
+//! let cfg = GpuConfig::default().with_num_sms(4).with_threads(2);
+//! let launch = Launch::new(kernel, Dim3::d1(8), Dim3::d1(64), vec![]);
+//! let mut gmem = GlobalMem::new();
+//! let stats = SimSession::new(&cfg)
+//!     .filter(&mut NoFilter)
+//!     .run(&launch, &mut gmem)?;
+//! assert!(stats.cycles > 0);
+//! # Ok::<(), r2d2_sim::SimError>(())
+//! ```
+//!
+//! Defaults: [`BaselineFilter`] as the machine model, no observer, and
+//! `cfg.threads` worker threads (itself defaulting to 1). Every combination
+//! of filter, sink, loop kind and thread count produces bit-identical
+//! [`Stats`], memory contents, and (with a sink) stall attribution.
+
+use crate::config::GpuConfig;
+use crate::filter::{BaselineFilter, IssueFilter};
+use crate::launch::Launch;
+use crate::mem::GlobalMem;
+use crate::stats::Stats;
+use crate::timing::{run_launch, SimError};
+use r2d2_trace::{EventSink, NullSink};
+
+/// Builder for one simulated kernel launch.
+///
+/// One launch is one session: collect the optional pieces ([`filter`],
+/// [`sink`], [`threads`]) and call [`run`].
+///
+/// [`filter`]: SimSession::filter
+/// [`sink`]: SimSession::sink
+/// [`threads`]: SimSession::threads
+/// [`run`]: SimSession::run
+#[must_use = "a session does nothing until `.run()` is called"]
+pub struct SimSession<'a, S: EventSink = NullSink> {
+    cfg: &'a GpuConfig,
+    filter: Option<&'a mut dyn IssueFilter>,
+    sink: Option<&'a mut S>,
+    threads: Option<u32>,
+}
+
+impl<'a> SimSession<'a, NullSink> {
+    /// Start building a session against `cfg`.
+    pub fn new(cfg: &'a GpuConfig) -> Self {
+        SimSession {
+            cfg,
+            filter: None,
+            sink: None,
+            threads: None,
+        }
+    }
+}
+
+impl<'a, S: EventSink> SimSession<'a, S> {
+    /// Use `filter` as the machine model (default: [`BaselineFilter`]).
+    pub fn filter(mut self, filter: &'a mut dyn IssueFilter) -> Self {
+        self.filter = Some(filter);
+        self
+    }
+
+    /// Observe the run through `sink` (e.g. a [`r2d2_trace::Profiler`]).
+    ///
+    /// The sink may be reused across sessions to profile a multi-kernel
+    /// workload as one run. Event streams are identical under both loop
+    /// kinds and all thread counts, and the returned [`Stats`] are
+    /// bit-identical to an unobserved run.
+    pub fn sink<T: EventSink>(self, sink: &'a mut T) -> SimSession<'a, T> {
+        SimSession {
+            cfg: self.cfg,
+            filter: self.filter,
+            sink: Some(sink),
+            threads: self.threads,
+        }
+    }
+
+    /// Shard the timing loop across `n` worker threads (default:
+    /// `cfg.threads`). Results are bit-identical for every `n`; values are
+    /// clamped to `[1, num_sms]`. Filters that do not implement
+    /// [`IssueFilter::fork_shard`] fall back to the single-threaded loop.
+    pub fn threads(mut self, n: u32) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Execute the launch against `gmem`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] on deadlock, watchdog, runaway warps, or a block that
+    /// cannot fit on an SM. On error the sink's `launch_done` is never
+    /// called, and under `threads > 1` the contents of `gmem` are
+    /// unspecified.
+    pub fn run(self, launch: &Launch, gmem: &mut GlobalMem) -> Result<Stats, SimError> {
+        let threads = self.threads.unwrap_or(self.cfg.threads);
+        let mut default_filter = BaselineFilter;
+        let filter: &mut dyn IssueFilter = match self.filter {
+            Some(f) => f,
+            None => &mut default_filter,
+        };
+        match self.sink {
+            Some(sink) => run_launch(self.cfg, launch, gmem, filter, sink, threads),
+            None => run_launch(self.cfg, launch, gmem, filter, &mut NullSink, threads),
+        }
+    }
+}

@@ -42,14 +42,18 @@
 
 use crate::cache::Cache;
 use crate::config::{GpuConfig, LoopKind};
-use crate::exec::{ExecError, MemInfo, OperandVals, Outcome, WarpExec, WarpState};
+use crate::exec::{AtomVals, ExecError, MemInfo, OperandVals, Outcome, WarpExec, WarpState};
 use crate::filter::{Disposition, IssueCtx, IssueFilter};
 use crate::launch::Launch;
 use crate::linear::{LinearMeta, LinearStore, Phase};
 use crate::mem::GlobalMem;
 use crate::stats::Stats;
-use r2d2_isa::{Cfg, Dst, Instr, Kernel, MemOffset, MemSpace, Op, Operand, Ty};
+use r2d2_isa::{AtomOp, Cfg, Dst, Instr, Kernel, MemOffset, MemSpace, Op, Operand, Ty};
 use r2d2_trace::{EventSink, MemLevel, NullSink, StallCause};
+
+mod shard;
+
+use shard::run_sharded;
 
 /// Error from a timing simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,6 +105,13 @@ const DEADLOCK_WINDOW: u64 = 1_000_000;
 const CAUSE_ALU: u8 = 0;
 const CAUSE_LSU: u8 = 1;
 const CAUSE_DRAM: u8 = 2;
+
+/// Scoreboard sentinel written by the sharded loop for a value produced by a
+/// deferred (L2/DRAM-bound) access: "not ready at any cycle inside the
+/// current epoch". The epoch length is chosen so the true readiness time
+/// always lands past the epoch boundary, where the drain replaces the
+/// sentinel with the exact cycle (see the `shard` module).
+const PENDING: u64 = u64::MAX;
 
 struct TWarp {
     w: WarpState,
@@ -263,20 +274,259 @@ fn base_latency(cfg: &GpuConfig, instr: &Instr) -> u64 {
     }
 }
 
-/// Returns `(latency, cause)` where `cause` is the [`TWarp::reg_cause`] code
-/// for the produced value: [`CAUSE_DRAM`] when any line went to DRAM, else
-/// [`CAUSE_LSU`].
-#[allow(clippy::too_many_arguments)]
-fn mem_latency<S: EventSink>(
+/// The memory side every SM shares: the banked L2 and the DRAM service-slot
+/// accounting (sub-cycle units). One owned object instead of loose `&mut
+/// Cache` / `&mut u64` borrows threaded through the loop — the single-threaded
+/// path owns it inside [`DirectMem`], the sharded path keeps it on the
+/// coordinator and feeds it deferred events at epoch drains.
+pub(crate) struct MemSide {
+    l2: Cache,
+    dram_busy_u: u64,
+}
+
+/// Which sequential accounting path an L2-bound line takes in
+/// [`MemSide::l2_line`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum L2Kind {
+    Load,
+    Store,
+    Atomic,
+}
+
+impl MemSide {
+    fn new(cfg: &GpuConfig) -> Self {
+        MemSide {
+            l2: Cache::new(cfg.l2),
+            dram_busy_u: 0,
+        }
+    }
+
+    /// Bandwidth-limited DRAM: `dram_txns_per_cycle` service slots per cycle,
+    /// tracked in sub-cycle units. Returns queueing delay in cycles.
+    fn dram_queue(&mut self, cfg: &GpuConfig, now: u64) -> u64 {
+        let rate = cfg.dram_txns_per_cycle as u64;
+        let now_u = now * rate;
+        let slot = self.dram_busy_u.max(now_u);
+        self.dram_busy_u = slot + 1;
+        (slot - now_u) / rate
+    }
+
+    /// Account one L2-bound line access at cycle `now`: L2 tag access, DRAM
+    /// queueing on a miss, stats, and sink events. Returns `(latency
+    /// contribution, served by DRAM)`. The single source of truth shared by
+    /// the direct path and the sharded epoch drain — the branch structure
+    /// mirrors the original `mem_latency` exactly.
+    fn l2_line<S: EventSink>(
+        &mut self,
+        cfg: &GpuConfig,
+        now: u64,
+        line: u64,
+        kind: L2Kind,
+        stats: &mut Stats,
+        sink: &mut S,
+    ) -> (u64, bool) {
+        stats.events.l2_accesses += 1;
+        let hit = self.l2.access(line);
+        if hit {
+            stats.l2_hits += 1;
+            if S::ENABLED {
+                sink.mem_access(MemLevel::L2, true);
+            }
+        } else {
+            stats.l2_misses += 1;
+            stats.dram_txns += 1;
+            stats.events.dram_txns += 1;
+            if S::ENABLED {
+                sink.mem_access(MemLevel::L2, false);
+                sink.mem_access(MemLevel::Dram, true);
+            }
+        }
+        match kind {
+            // Atomics are processed at the L2.
+            L2Kind::Atomic => {
+                if hit {
+                    (cfg.lat.atomic, false)
+                } else {
+                    (self.dram_queue(cfg, now) + cfg.lat.atomic, true)
+                }
+            }
+            // Write-through, no-allocate at L1; allocate at L2. Stores don't
+            // produce a value, so they contribute no latency either way.
+            L2Kind::Store => {
+                if !hit {
+                    self.dram_queue(cfg, now);
+                }
+                (0, false)
+            }
+            L2Kind::Load => {
+                if hit {
+                    (cfg.lat.l2_hit, false)
+                } else {
+                    (self.dram_queue(cfg, now) + cfg.lat.dram, true)
+                }
+            }
+        }
+    }
+}
+
+/// One deferred L2/DRAM-bound access, queued by a shard at issue and resolved
+/// by the epoch drain in deterministic `(cycle, sm, program order)` order.
+pub(crate) struct MemEvent {
+    cycle: u64,
+    /// Global SM id (drain sort key after `cycle`).
+    sm: u32,
+    /// Warp index on that SM plus its dispatch sequence number: the drain
+    /// skips warp-local writebacks when the slot has been recycled.
+    wi: u32,
+    seq: u64,
+    /// L2-bound line ids, first-touch order (empty only for skipped atomics,
+    /// which keep their functional RMW but charge nothing).
+    lines: Vec<u64>,
+    /// Latency already resolved in-shard (worst L1 hit among lines that never
+    /// reached the L2; 0 for stores and atomics).
+    eager_worst: u64,
+    /// `(n_lines - 1)` LSU serialization plus the R2D2 latency adders.
+    extra: u64,
+    kind: EvKind,
+    /// Scoreboard destination holding [`PENDING`] (None for stores and
+    /// skipped instructions).
+    dst: Option<Dst>,
+    /// `tr_ready` value the write replaced, for the max-merge writeback of a
+    /// `%tr` destination.
+    prev_tr: u64,
+}
+
+enum EvKind {
+    Load,
+    Store,
+    /// A deferred global atomic: the read-modify-write itself was suppressed
+    /// at issue and is applied at the drain.
+    Atomic(Box<AtomApply>),
+}
+
+/// Everything needed to apply a deferred atomic's functional effects.
+struct AtomApply {
+    aop: AtomOp,
+    ty: Ty,
+    mask: u32,
+    addrs: [u64; crate::exec::WARP_SIZE],
+    vals: AtomVals,
+    /// Where each lane's old value lands (applied even when a filter skipped
+    /// the instruction — functional effects are unconditional).
+    value_dst: Option<Dst>,
+}
+
+/// A buffered stall event whose winning cause depends on scoreboard entries
+/// that were still [`PENDING`] when the warp was examined; the drain
+/// re-derives the cause once those entries resolve and patches the shard's
+/// event buffer in place.
+pub(crate) struct StallFix {
+    cycle: u64,
+    sm: u32,
+    /// Index of the `stall` event in the shard's [`r2d2_trace::ShardBuffer`].
+    buf_idx: usize,
+    /// `(readiness, cause, pending key)` per scoreboard entry the blocked
+    /// instruction waits on, in `deps_block_cause` walk order.
+    entries: Vec<(u64, StallCause, Pend)>,
+}
+
+/// Identifies which SM-shared scoreboard array resolves a pending entry.
+#[derive(Debug, Clone, Copy)]
+enum Pend {
+    /// The captured readiness time was already exact.
+    No,
+    Cr(u16),
+    Tr(u16),
+    Br(usize),
+}
+
+/// One entry of a shard's deferred-work queue. Queue position is intra-shard
+/// program order; the drain's stable sort by `(cycle, sm)` therefore
+/// reconstructs the exact order the sequential loop would have touched the
+/// shared memory side in.
+pub(crate) enum DrainItem {
+    Mem(MemEvent),
+    Fix(StallFix),
+}
+
+impl DrainItem {
+    fn key(&self) -> (u64, u32) {
+        match self {
+            DrainItem::Mem(e) => (e.cycle, e.sm),
+            DrainItem::Fix(f) => (f.cycle, f.sm),
+        }
+    }
+}
+
+/// How the issue engine reaches global memory and the shared L2/DRAM side.
+/// The single-threaded loops resolve everything at issue ([`DirectMem`]); the
+/// sharded loop executes global loads/stores functionally under a lock but
+/// defers all L2/DRAM timing (and atomics entirely) into a queue drained at
+/// epoch boundaries (`shard::ShardMem`).
+pub(crate) trait MemBackend {
+    /// `true` when L2-bound timing resolves at the epoch drain.
+    const DEFERRED: bool;
+
+    /// Run `f` with global memory. Deferred backends take the shared lock
+    /// only when `needs_global` and hand out an empty arena otherwise, so a
+    /// mis-gated access fails loudly instead of racing.
+    fn with_gmem<R>(&mut self, needs_global: bool, f: impl FnOnce(&mut GlobalMem) -> R) -> R;
+
+    /// The shared memory side (direct backends only).
+    fn side(&mut self) -> &mut MemSide;
+
+    /// Queue a deferred item (deferred backends only).
+    fn defer(&mut self, item: DrainItem);
+}
+
+/// The single-threaded backend: exclusive access to everything.
+pub(crate) struct DirectMem<'a> {
+    side: MemSide,
+    gmem: &'a mut GlobalMem,
+}
+
+impl MemBackend for DirectMem<'_> {
+    const DEFERRED: bool = false;
+
+    fn with_gmem<R>(&mut self, _needs_global: bool, f: impl FnOnce(&mut GlobalMem) -> R) -> R {
+        f(self.gmem)
+    }
+
+    fn side(&mut self) -> &mut MemSide {
+        &mut self.side
+    }
+
+    fn defer(&mut self, _item: DrainItem) {
+        unreachable!("direct backend never defers")
+    }
+}
+
+/// Resolution of one warp memory access at issue time.
+enum MemRes {
+    /// Fully resolved: `(latency, reg-cause code)`.
+    Now(u64, u8),
+    /// At least one line is L2-bound; timing completes at the epoch drain.
+    Defer {
+        lines: Vec<u64>,
+        eager_worst: u64,
+        extra_n: u64,
+    },
+}
+
+/// Memory-access timing at issue. On the direct path this resolves every line
+/// immediately, preserving the original per-line L1→L2→DRAM interleaving
+/// byte for byte. On the deferred path only the SM-private L1 is probed
+/// eagerly; anything touching the shared L2/DRAM is returned as
+/// [`MemRes::Defer`] for the epoch drain.
+fn mem_latency<S: EventSink, M: MemBackend>(
     cfg: &GpuConfig,
     mi: &MemInfo,
     l1: &mut Cache,
-    l2: &mut Cache,
-    dram_busy_u: &mut u64,
+    mem: &mut M,
     now: u64,
     stats: &mut Stats,
     sink: &mut S,
-) -> (u64, u8) {
+) -> MemRes {
     match mi.space {
         MemSpace::Shared => {
             stats.shared_txns += 1;
@@ -284,53 +534,57 @@ fn mem_latency<S: EventSink>(
             if S::ENABLED {
                 sink.mem_access(MemLevel::Shared, true);
             }
-            (cfg.lat.shared, CAUSE_LSU)
+            MemRes::Now(cfg.lat.shared, CAUSE_LSU)
         }
         MemSpace::Global => {
             let lines = mi.lines(cfg.l1.line);
             let n = lines.len() as u64;
+            if M::DEFERRED {
+                if mi.atomic || mi.write {
+                    // Atomics and stores never touch the L1.
+                    return MemRes::Defer {
+                        lines,
+                        eager_worst: 0,
+                        extra_n: n.saturating_sub(1),
+                    };
+                }
+                let mut l2_lines = Vec::new();
+                let mut eager_worst = 0u64;
+                for line in lines {
+                    stats.events.l1_accesses += 1;
+                    if l1.access(line) {
+                        stats.l1_hits += 1;
+                        if S::ENABLED {
+                            sink.mem_access(MemLevel::L1, true);
+                        }
+                        eager_worst = eager_worst.max(cfg.lat.l1_hit);
+                    } else {
+                        stats.l1_misses += 1;
+                        if S::ENABLED {
+                            sink.mem_access(MemLevel::L1, false);
+                        }
+                        l2_lines.push(line);
+                    }
+                }
+                if l2_lines.is_empty() {
+                    // All lines hit the private L1: fully resolved in-shard.
+                    return MemRes::Now(eager_worst + n.saturating_sub(1), CAUSE_LSU);
+                }
+                return MemRes::Defer {
+                    lines: l2_lines,
+                    eager_worst,
+                    extra_n: n.saturating_sub(1),
+                };
+            }
             let mut worst = 0u64;
             let mut dram_served = false;
             for line in lines {
-                let lat = if mi.atomic {
-                    // Atomics are processed at the L2.
-                    stats.events.l2_accesses += 1;
-                    if l2.access(line) {
-                        stats.l2_hits += 1;
-                        if S::ENABLED {
-                            sink.mem_access(MemLevel::L2, true);
-                        }
-                        cfg.lat.atomic
-                    } else {
-                        stats.l2_misses += 1;
-                        stats.dram_txns += 1;
-                        stats.events.dram_txns += 1;
-                        if S::ENABLED {
-                            sink.mem_access(MemLevel::L2, false);
-                            sink.mem_access(MemLevel::Dram, true);
-                        }
-                        dram_served = true;
-                        dram_queue(cfg, dram_busy_u, now) + cfg.lat.atomic
-                    }
+                let (lat, served) = if mi.atomic {
+                    mem.side()
+                        .l2_line(cfg, now, line, L2Kind::Atomic, stats, sink)
                 } else if mi.write {
-                    // Write-through, no-allocate at L1; allocate at L2.
-                    stats.events.l2_accesses += 1;
-                    if l2.access(line) {
-                        stats.l2_hits += 1;
-                        if S::ENABLED {
-                            sink.mem_access(MemLevel::L2, true);
-                        }
-                    } else {
-                        stats.l2_misses += 1;
-                        stats.dram_txns += 1;
-                        stats.events.dram_txns += 1;
-                        if S::ENABLED {
-                            sink.mem_access(MemLevel::L2, false);
-                            sink.mem_access(MemLevel::Dram, true);
-                        }
-                        dram_queue(cfg, dram_busy_u, now);
-                    }
-                    0 // stores don't produce a value
+                    mem.side()
+                        .l2_line(cfg, now, line, L2Kind::Store, stats, sink)
                 } else {
                     stats.events.l1_accesses += 1;
                     if l1.access(line) {
@@ -338,49 +592,24 @@ fn mem_latency<S: EventSink>(
                         if S::ENABLED {
                             sink.mem_access(MemLevel::L1, true);
                         }
-                        cfg.lat.l1_hit
+                        (cfg.lat.l1_hit, false)
                     } else {
                         stats.l1_misses += 1;
                         if S::ENABLED {
                             sink.mem_access(MemLevel::L1, false);
                         }
-                        stats.events.l2_accesses += 1;
-                        if l2.access(line) {
-                            stats.l2_hits += 1;
-                            if S::ENABLED {
-                                sink.mem_access(MemLevel::L2, true);
-                            }
-                            cfg.lat.l2_hit
-                        } else {
-                            stats.l2_misses += 1;
-                            stats.dram_txns += 1;
-                            stats.events.dram_txns += 1;
-                            if S::ENABLED {
-                                sink.mem_access(MemLevel::L2, false);
-                                sink.mem_access(MemLevel::Dram, true);
-                            }
-                            dram_served = true;
-                            dram_queue(cfg, dram_busy_u, now) + cfg.lat.dram
-                        }
+                        mem.side()
+                            .l2_line(cfg, now, line, L2Kind::Load, stats, sink)
                     }
                 };
                 worst = worst.max(lat);
+                dram_served |= served;
             }
             let cause = if dram_served { CAUSE_DRAM } else { CAUSE_LSU };
             // The LSU serializes transactions of one warp access.
-            (worst + n.saturating_sub(1), cause)
+            MemRes::Now(worst + n.saturating_sub(1), cause)
         }
     }
-}
-
-/// Bandwidth-limited DRAM: `dram_txns_per_cycle` service slots per cycle,
-/// tracked in sub-cycle units. Returns queueing delay in cycles.
-fn dram_queue(cfg: &GpuConfig, busy_u: &mut u64, now: u64) -> u64 {
-    let rate = cfg.dram_txns_per_cycle as u64;
-    let now_u = now * rate;
-    let slot = (*busy_u).max(now_u);
-    *busy_u = slot + 1;
-    (slot - now_u) / rate
 }
 
 enum Gate {
@@ -741,34 +970,65 @@ struct LaunchCtx<'a> {
     wants_vals: bool,
 }
 
-/// Full mutable simulation state.
+/// Full mutable simulation state of the single-threaded loops.
 struct Machine<'a, S: EventSink> {
     sms: Vec<Sm>,
     stats: Stats,
-    l2: Cache,
-    dram_busy_u: u64,
-    gmem: &'a mut GlobalMem,
+    mem: DirectMem<'a>,
     filter: &'a mut dyn IssueFilter,
     scratch: OperandVals,
     remaining: u64,
-    next_block: u64,
+    /// Next block each SM will take (indexed by global SM id): block `b`
+    /// statically belongs to SM `b % num_sms`, so refill is deterministic
+    /// and identical whether SMs are simulated together or in shards.
+    sm_next: Vec<u64>,
     last_issue: u64,
     sink: &'a mut S,
 }
 
-/// The non-SM slice of [`Machine`], split-borrowed so an `&mut Sm` can be
-/// held alongside it during a scheduler pass.
-struct Shared<'a, S: EventSink> {
+/// The non-SM slice of the simulation state, split-borrowed so an `&mut Sm`
+/// can be held alongside it during a scheduler pass. Shared between the
+/// single-threaded loops (`M = DirectMem`) and each shard of the parallel
+/// loop (`M = shard::ShardMem`).
+struct Shared<'a, S: EventSink, M: MemBackend> {
     stats: &'a mut Stats,
-    l2: &'a mut Cache,
-    dram_busy_u: &'a mut u64,
-    gmem: &'a mut GlobalMem,
+    mem: &'a mut M,
     filter: &'a mut dyn IssueFilter,
     scratch: &'a mut OperandVals,
     remaining: &'a mut u64,
-    next_block: &'a mut u64,
+    sm_next: &'a mut [u64],
     last_issue: &'a mut u64,
     sink: &'a mut S,
+}
+
+impl<'a, S: EventSink> Machine<'a, S> {
+    /// Split-borrow SM `sm_i` alongside the rest of the machine state.
+    fn split(&mut self, sm_i: usize) -> (&mut Sm, Shared<'_, S, DirectMem<'a>>) {
+        let Machine {
+            sms,
+            stats,
+            mem,
+            filter,
+            scratch,
+            remaining,
+            sm_next,
+            last_issue,
+            sink,
+        } = self;
+        (
+            &mut sms[sm_i],
+            Shared {
+                stats,
+                mem,
+                filter: &mut **filter,
+                scratch,
+                remaining,
+                sm_next: sm_next.as_mut_slice(),
+                last_issue,
+                sink: &mut **sink,
+            },
+        )
+    }
 }
 
 /// Wakeup accounting accumulated over one full pass of the event-driven loop.
@@ -809,7 +1069,7 @@ fn is_candidate(warps: &[Option<TWarp>], wi: usize) -> bool {
 fn dispatch_block<S: EventSink>(
     ctx: &LaunchCtx<'_>,
     sm: &mut Sm,
-    sm_i: usize,
+    sm_gi: u32,
     slot_i: usize,
     blk: u64,
     sink: &mut S,
@@ -873,8 +1133,149 @@ fn dispatch_block<S: EventSink>(
         sm.lane_seq[wi % ctx.nsched].push(wi as u32);
     }
     if S::ENABLED {
-        sink.warp_delta(sm_i as u32, ctx.wpb as i32);
+        sink.warp_delta(sm_gi, ctx.wpb as i32);
     }
+}
+
+/// Capture the `deps_block_cause` walk as explicit `(time, cause, pending
+/// key)` entries so the epoch drain can re-derive the winning cause after
+/// [`PENDING`] scoreboard entries resolve. Only SM-shared `%cr`/`%tr`/`%br`
+/// entries can be pending at examination time under the sink-mode epoch
+/// length of 1 (a warp's own registers resolve at the previous drain), so
+/// GP registers and predicates always capture exact times with [`Pend::No`].
+fn deps_block_entries(
+    tw: &TWarp,
+    instr: &Instr,
+    lin: Option<&LinearReadiness<'_>>,
+    slot: usize,
+) -> Vec<(u64, StallCause, Pend)> {
+    let mut out = Vec::new();
+    let reg_cause = |r: usize| match tw.reg_cause.get(r).copied().unwrap_or(CAUSE_ALU) {
+        CAUSE_LSU => StallCause::LsuMshr,
+        CAUSE_DRAM => StallCause::Dram,
+        _ => StallCause::Scoreboard,
+    };
+    let lin_entry =
+        |l: &LinearReadiness<'_>, o: &Operand, out: &mut Vec<(u64, StallCause, Pend)>| {
+            let oc = StallCause::OperandCollector;
+            match o {
+                Operand::Cr(k) => {
+                    let t = l.cr.get(*k as usize).copied().unwrap_or(0);
+                    let p = if t == PENDING { Pend::Cr(*k) } else { Pend::No };
+                    out.push((t, oc, p));
+                }
+                Operand::Tr(k) => {
+                    let t = l.tr.get(*k as usize).copied().unwrap_or(0);
+                    let p = if t == PENDING { Pend::Tr(*k) } else { Pend::No };
+                    out.push((t, oc, p));
+                }
+                Operand::Br(_) => {
+                    let t = l.br_slot;
+                    let p = if t == PENDING {
+                        Pend::Br(slot)
+                    } else {
+                        Pend::No
+                    };
+                    out.push((t, oc, p));
+                }
+                // `%lr` reads both halves; `deps_block_cause` takes their max
+                // under one cause, so two same-cause entries are equivalent.
+                Operand::Lr(k) => {
+                    match l.lr_tr[*k as usize] {
+                        Some(t) => {
+                            let tt = l.tr.get(t as usize).copied().unwrap_or(0);
+                            let p = if tt == PENDING { Pend::Tr(t) } else { Pend::No };
+                            out.push((tt, oc, p));
+                        }
+                        None => out.push((0, oc, Pend::No)),
+                    }
+                    let t = l.br_slot;
+                    let p = if t == PENDING {
+                        Pend::Br(slot)
+                    } else {
+                        Pend::No
+                    };
+                    out.push((t, oc, p));
+                }
+                _ => {}
+            }
+        };
+    if let Some((p, _)) = instr.guard {
+        out.push((
+            tw.pred_ready[p.0 as usize],
+            StallCause::Scoreboard,
+            Pend::No,
+        ));
+    }
+    for s in &instr.srcs {
+        match s {
+            Operand::Reg(r) => out.push((
+                tw.reg_ready[r.0 as usize],
+                reg_cause(r.0 as usize),
+                Pend::No,
+            )),
+            Operand::Pred(p) => out.push((
+                tw.pred_ready[p.0 as usize],
+                StallCause::Scoreboard,
+                Pend::No,
+            )),
+            o if o.is_r2d2_class() => {
+                if let Some(l) = lin {
+                    lin_entry(l, o, &mut out);
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(m) = instr.mem {
+        match m.base {
+            Operand::Reg(r) => out.push((
+                tw.reg_ready[r.0 as usize],
+                reg_cause(r.0 as usize),
+                Pend::No,
+            )),
+            o if o.is_r2d2_class() => {
+                if let Some(l) = lin {
+                    lin_entry(l, &o, &mut out);
+                }
+            }
+            _ => {}
+        }
+        if let MemOffset::Cr(k) | MemOffset::CrImm(k, _) = m.offset {
+            if let Some(l) = lin {
+                lin_entry(l, &Operand::Cr(k), &mut out);
+            }
+        }
+    }
+    match instr.dst {
+        Some(Dst::Reg(r)) => out.push((
+            tw.reg_ready[r.0 as usize],
+            reg_cause(r.0 as usize),
+            Pend::No,
+        )),
+        Some(Dst::Pred(p)) => out.push((
+            tw.pred_ready[p.0 as usize],
+            StallCause::Scoreboard,
+            Pend::No,
+        )),
+        Some(Dst::Cr(k)) => {
+            if let Some(l) = lin {
+                lin_entry(l, &Operand::Cr(k), &mut out);
+            }
+        }
+        Some(Dst::Tr(k)) => {
+            if let Some(l) = lin {
+                lin_entry(l, &Operand::Tr(k), &mut out);
+            }
+        }
+        Some(Dst::Br(b)) => {
+            if let Some(l) = lin {
+                lin_entry(l, &Operand::Br(b), &mut out);
+            }
+        }
+        None => {}
+    }
+    out
 }
 
 /// Examine candidate warp `wi` on scheduler `sched`: gate resolution, the
@@ -883,11 +1284,11 @@ fn dispatch_block<S: EventSink>(
 /// shared by both loop implementations — their only difference is the order
 /// in which they present candidates and how they advance `now`.
 #[allow(clippy::too_many_arguments)]
-fn attempt_issue<S: EventSink>(
+fn attempt_issue<S: EventSink, M: MemBackend>(
     ctx: &LaunchCtx<'_>,
     sm: &mut Sm,
-    sh: &mut Shared<'_, S>,
-    sm_i: usize,
+    sh: &mut Shared<'_, S, M>,
+    sm_gi: u32,
     sched: usize,
     wi: usize,
     now: u64,
@@ -923,7 +1324,7 @@ fn attempt_issue<S: EventSink>(
                     // Blocked in the R2D2 address-generation front end.
                     if S::ENABLED {
                         sh.sink
-                            .stall(sm_i as u32, wi as u32, StallCause::OperandCollector);
+                            .stall(sm_gi, wi as u32, StallCause::OperandCollector);
                     }
                     return Ok(Attempt::Next);
                 }
@@ -950,8 +1351,23 @@ fn attempt_issue<S: EventSink>(
                 let wake = deps_wake(tw, instr, lr.as_ref()).max(now + 1);
                 ev.wake = ev.wake.min(wake);
                 if S::ENABLED {
+                    // A provisional cause is recorded either way; when a
+                    // PENDING entry participates (wake saturates), the drain
+                    // patches the buffered event with the resolved winner.
                     let cause = deps_block_cause(tw, instr, lr.as_ref());
-                    sh.sink.stall(sm_i as u32, wi as u32, cause);
+                    if M::DEFERRED && wake == PENDING {
+                        let entries = deps_block_entries(tw, instr, lr.as_ref(), tw.slot);
+                        let buf_idx = sh.sink.stall_index();
+                        sh.sink.stall(sm_gi, wi as u32, cause);
+                        sh.mem.defer(DrainItem::Fix(StallFix {
+                            cycle: now,
+                            sm: sm_gi,
+                            buf_idx,
+                            entries,
+                        }));
+                    } else {
+                        sh.sink.stall(sm_gi, wi as u32, cause);
+                    }
                 }
                 return Ok(Attempt::Next);
             }
@@ -959,27 +1375,40 @@ fn attempt_issue<S: EventSink>(
         // --- execute functionally ---
         let tw = sm.warps[wi].as_mut().unwrap();
         let tslot = tw.slot;
-        let info = {
+        let mut info = {
+            // Deferred mode locks global memory only for global loads/stores
+            // (atomics defer their RMW entirely; see `EvKind::Atomic`).
+            let needs_global = matches!(
+                instr.op,
+                Op::Ld(MemSpace::Global) | Op::St(MemSpace::Global)
+            ) || (matches!(instr.op, Op::Atom(_)) && !M::DEFERRED);
             let lin = sm.store.as_mut().map(|s| (meta.unwrap(), s, tslot));
-            let mut ex = WarpExec {
-                kernel,
-                cfg: ctx.cfgr,
-                params: &ctx.launch.params,
-                ntid: [ctx.launch.block.x, ctx.launch.block.y, ctx.launch.block.z],
-                nctaid: [ctx.launch.grid.x, ctx.launch.grid.y, ctx.launch.grid.z],
-                smid: sm_i as u32,
-                gmem: &mut *sh.gmem,
-                smem: &mut sm.slots[tslot].smem,
-                linear: lin,
-                scratch: if ctx.wants_vals && phase == Phase::Main {
-                    Some(&mut *sh.scratch)
-                } else {
-                    None
-                },
-                watchdog: ctx.cfg.watchdog_warp_instrs,
+            let smem = &mut sm.slots[tslot].smem;
+            let scratch = if ctx.wants_vals && phase == Phase::Main {
+                Some(&mut *sh.scratch)
+            } else {
+                None
             };
-            ex.step(&mut tw.w)?
+            let w = &mut tw.w;
+            sh.mem.with_gmem(needs_global, |gmem| {
+                let mut ex = WarpExec {
+                    kernel,
+                    cfg: ctx.cfgr,
+                    params: &ctx.launch.params,
+                    ntid: [ctx.launch.block.x, ctx.launch.block.y, ctx.launch.block.z],
+                    nctaid: [ctx.launch.grid.x, ctx.launch.grid.y, ctx.launch.grid.z],
+                    smid: sm_gi,
+                    gmem,
+                    smem,
+                    linear: lin,
+                    scratch,
+                    watchdog: ctx.cfg.watchdog_warp_instrs,
+                    defer_global_atomics: M::DEFERRED,
+                };
+                ex.step(w)
+            })?
         };
+        let mut atom_vals = info.atom.take();
         *sh.last_issue = now;
         ev.progress = true;
         let charged = if phase.is_linear() || matches!(instr.op, Op::Exit) {
@@ -1014,6 +1443,36 @@ fn attempt_issue<S: EventSink>(
         if disposition == Disposition::Skip {
             sh.stats.skipped_warp_instrs += 1;
             sh.stats.skipped_thread_instrs += charged;
+            if M::DEFERRED {
+                if let Some(vals) = atom_vals.take() {
+                    // Functional effects of a skipped atomic still apply:
+                    // queue the RMW with no lines and no scoreboard target so
+                    // the drain performs it with zero timing side effects.
+                    let mi = info.mem.as_ref().unwrap();
+                    let Op::Atom(aop) = instr.op else {
+                        unreachable!()
+                    };
+                    sh.mem.defer(DrainItem::Mem(MemEvent {
+                        cycle: now,
+                        sm: sm_gi,
+                        wi: wi as u32,
+                        seq: tw.seq,
+                        lines: Vec::new(),
+                        eager_worst: 0,
+                        extra: 0,
+                        kind: EvKind::Atomic(Box::new(AtomApply {
+                            aop,
+                            ty: mi.ty,
+                            mask: mi.mask,
+                            addrs: mi.addrs,
+                            vals: *vals,
+                            value_dst: instr.dst,
+                        })),
+                        dst: None,
+                        prev_tr: 0,
+                    }));
+                }
+            }
             // Results are available immediately; no charges.
             skips += 1;
             if tw.w.done || info.outcome != Outcome::Normal {
@@ -1027,7 +1486,7 @@ fn attempt_issue<S: EventSink>(
         if disposition != Disposition::Skip {
             *issued_this_cycle += 1;
             if S::ENABLED {
-                sh.sink.issue(sm_i as u32, wi as u32);
+                sh.sink.issue(sm_gi, wi as u32);
             }
             let scalar = disposition == Disposition::Scalar;
             let stats = &mut *sh.stats;
@@ -1067,48 +1526,109 @@ fn attempt_issue<S: EventSink>(
                 }
             }
 
-            // Latency & scoreboard.
-            let (mut lat, mcause) = match &info.mem {
+            // Latency & scoreboard. The R2D2 adders apply to both resolved
+            // and deferred accesses, so compute them separately.
+            let mut adders = 0u64;
+            if linear_phase {
+                adders += ctx.cfg.r2d2.fetch_table;
+            }
+            if reads_r2d2_class(instr) {
+                adders += ctx.cfg.r2d2.regid_calc;
+                if matches!(info.mem, Some(ref m) if matches!(m.space, MemSpace::Global))
+                    && matches!(instr.mem, Some(mm) if matches!(mm.base, Operand::Lr(_)))
+                {
+                    adders += ctx.cfg.r2d2.lr_add;
+                }
+            }
+            let res = match &info.mem {
                 Some(mi) => mem_latency(
                     ctx.cfg,
                     mi,
                     &mut sm.l1,
-                    &mut *sh.l2,
-                    &mut *sh.dram_busy_u,
+                    &mut *sh.mem,
                     now,
                     &mut *sh.stats,
                     &mut *sh.sink,
                 ),
-                None => (base_latency(ctx.cfg, instr), CAUSE_ALU),
+                None => MemRes::Now(base_latency(ctx.cfg, instr), CAUSE_ALU),
             };
-            if linear_phase {
-                lat += ctx.cfg.r2d2.fetch_table;
-            }
-            if reads_r2d2_class(instr) {
-                lat += ctx.cfg.r2d2.regid_calc;
-                if matches!(info.mem, Some(ref m) if matches!(m.space, MemSpace::Global))
-                    && matches!(instr.mem, Some(mm) if matches!(mm.base, Operand::Lr(_)))
-                {
-                    lat += ctx.cfg.r2d2.lr_add;
-                }
-            }
             let tw = sm.warps[wi].as_mut().unwrap();
             let tw_slot = tw.slot;
-            match instr.dst {
-                Some(Dst::Reg(r)) => {
-                    tw.reg_ready[r.0 as usize] = now + lat;
-                    if S::ENABLED {
-                        tw.reg_cause[r.0 as usize] = mcause;
+            let tw_seq = tw.seq;
+            match res {
+                MemRes::Now(lat0, mcause) => {
+                    let lat = lat0 + adders;
+                    match instr.dst {
+                        Some(Dst::Reg(r)) => {
+                            tw.reg_ready[r.0 as usize] = now + lat;
+                            if S::ENABLED {
+                                tw.reg_cause[r.0 as usize] = mcause;
+                            }
+                        }
+                        Some(Dst::Pred(p)) => tw.pred_ready[p.0 as usize] = now + lat,
+                        Some(Dst::Cr(k)) => sm.cr_ready[k as usize] = now + lat,
+                        Some(Dst::Tr(k)) => {
+                            let e = &mut sm.tr_ready[k as usize];
+                            *e = (*e).max(now + lat);
+                        }
+                        Some(Dst::Br(_)) => sm.br_ready[tw_slot] = now + lat,
+                        None => {}
                     }
                 }
-                Some(Dst::Pred(p)) => tw.pred_ready[p.0 as usize] = now + lat,
-                Some(Dst::Cr(k)) => sm.cr_ready[k as usize] = now + lat,
-                Some(Dst::Tr(k)) => {
-                    let e = &mut sm.tr_ready[k as usize];
-                    *e = (*e).max(now + lat);
+                MemRes::Defer {
+                    lines,
+                    eager_worst,
+                    extra_n,
+                } => {
+                    // Mark the destination pending and queue the event; the
+                    // epoch drain resolves the exact latency in sequential
+                    // shared-memory order. The scoreboard blocks a second
+                    // write to the same destination while the first is in
+                    // flight (`deps_ready` checks `dst`), so at most one
+                    // event targets a given cell and `prev_tr` is exact.
+                    let mut prev_tr = 0;
+                    match instr.dst {
+                        Some(Dst::Reg(r)) => tw.reg_ready[r.0 as usize] = PENDING,
+                        Some(Dst::Pred(p)) => tw.pred_ready[p.0 as usize] = PENDING,
+                        Some(Dst::Cr(k)) => sm.cr_ready[k as usize] = PENDING,
+                        Some(Dst::Tr(k)) => {
+                            prev_tr = sm.tr_ready[k as usize];
+                            sm.tr_ready[k as usize] = PENDING;
+                        }
+                        Some(Dst::Br(_)) => sm.br_ready[tw_slot] = PENDING,
+                        None => {}
+                    }
+                    let mi = info.mem.as_ref().unwrap();
+                    let kind = if mi.atomic {
+                        let Op::Atom(aop) = instr.op else {
+                            unreachable!()
+                        };
+                        EvKind::Atomic(Box::new(AtomApply {
+                            aop,
+                            ty: mi.ty,
+                            mask: mi.mask,
+                            addrs: mi.addrs,
+                            vals: atom_vals.take().map(|b| *b).unwrap_or_default(),
+                            value_dst: instr.dst,
+                        }))
+                    } else if mi.write {
+                        EvKind::Store
+                    } else {
+                        EvKind::Load
+                    };
+                    sh.mem.defer(DrainItem::Mem(MemEvent {
+                        cycle: now,
+                        sm: sm_gi,
+                        wi: wi as u32,
+                        seq: tw_seq,
+                        lines,
+                        eager_worst,
+                        extra: extra_n + adders,
+                        kind,
+                        dst: instr.dst,
+                        prev_tr,
+                    }));
                 }
-                Some(Dst::Br(_)) => sm.br_ready[tw_slot] = now + lat,
-                None => {}
             }
         }
 
@@ -1144,12 +1664,16 @@ fn attempt_issue<S: EventSink>(
                 sm.lane_seq[wj % ctx.nsched].retain(|&x| x as usize != wj);
             }
             if S::ENABLED {
-                sh.sink.warp_delta(sm_i as u32, -(ctx.wpb as i32));
+                sh.sink.warp_delta(sm_gi, -(ctx.wpb as i32));
             }
-            if *sh.next_block < ctx.total_blocks {
+            // Static refill: this SM only ever takes blocks congruent to its
+            // id mod num_sms, so the assignment is independent of completion
+            // order across SMs (and thus of shard interleaving).
+            let nb = sh.sm_next[sm_gi as usize];
+            if nb < ctx.total_blocks {
                 sm.slots[tslot].first_wave = false;
-                dispatch_block(ctx, sm, sm_i, tslot, *sh.next_block, &mut *sh.sink);
-                *sh.next_block += 1;
+                dispatch_block(ctx, sm, sm_gi, tslot, nb, &mut *sh.sink);
+                sh.sm_next[sm_gi as usize] = nb + ctx.cfg.num_sms as u64;
             }
         }
         if disposition != Disposition::Skip || warp_done || at_barrier {
@@ -1181,38 +1705,13 @@ fn eval_gates_open(sm: &mut Sm, now: u64) {
 
 /// One cycle of one SM under the lockstep reference: rebuild and sort each
 /// scheduler's candidate list from scratch, exactly as the original loop did.
-fn sm_pass_lockstep<S: EventSink>(
+fn sm_pass_lockstep<S: EventSink, M: MemBackend>(
     ctx: &LaunchCtx<'_>,
-    m: &mut Machine<'_, S>,
-    sm_i: usize,
+    sm: &mut Sm,
+    sh: &mut Shared<'_, S, M>,
+    sm_gi: u32,
     now: u64,
 ) -> Result<(), SimError> {
-    let Machine {
-        sms,
-        stats,
-        l2,
-        dram_busy_u,
-        gmem,
-        filter,
-        scratch,
-        remaining,
-        next_block,
-        last_issue,
-        sink,
-    } = m;
-    let sm = &mut sms[sm_i];
-    let mut sh = Shared {
-        stats,
-        l2,
-        dram_busy_u,
-        gmem,
-        filter: &mut **filter,
-        scratch,
-        remaining,
-        next_block,
-        last_issue,
-        sink: &mut **sink,
-    };
     // Round-robin only while the SM-wide linear prologue (coefficients
     // + thread-index parts) is in flight (Sec. 4.1); per-block
     // block-index recomputation rides on normal GTO scheduling.
@@ -1252,8 +1751,8 @@ fn sm_pass_lockstep<S: EventSink>(
             let a = attempt_issue(
                 ctx,
                 sm,
-                &mut sh,
-                sm_i,
+                sh,
+                sm_gi,
                 sched,
                 wi,
                 now,
@@ -1273,7 +1772,7 @@ fn sm_pass_lockstep<S: EventSink>(
             .iter()
             .flatten()
             .any(|t| t.w.at_barrier && !t.w.done);
-        sh.sink.sm_cycle_end(sm_i as u32, ev.progress, any_barrier);
+        sh.sink.sm_cycle_end(sm_gi, ev.progress, any_barrier);
     }
     Ok(())
 }
@@ -1285,39 +1784,14 @@ fn sm_pass_lockstep<S: EventSink>(
 /// key `(pos + len - ptr) % len` ranks all `pos >= ptr` ascending before all
 /// `pos < ptr` ascending); for GTO, `gto_last` first (when a candidate) then
 /// the seq-ordered lane list.
-fn sm_pass_event<S: EventSink>(
+fn sm_pass_event<S: EventSink, M: MemBackend>(
     ctx: &LaunchCtx<'_>,
-    m: &mut Machine<'_, S>,
-    sm_i: usize,
+    sm: &mut Sm,
+    sh: &mut Shared<'_, S, M>,
+    sm_gi: u32,
     now: u64,
     ev: &mut EvAcc,
 ) -> Result<(), SimError> {
-    let Machine {
-        sms,
-        stats,
-        l2,
-        dram_busy_u,
-        gmem,
-        filter,
-        scratch,
-        remaining,
-        next_block,
-        last_issue,
-        sink,
-    } = m;
-    let sm = &mut sms[sm_i];
-    let mut sh = Shared {
-        stats,
-        l2,
-        dram_busy_u,
-        gmem,
-        filter: &mut **filter,
-        scratch,
-        remaining,
-        next_block,
-        last_issue,
-        sink: &mut **sink,
-    };
     let linear_mode = ctx.meta.is_some() && (!sm.coef_done || !sm.tidx_done);
     let mut issued_this_cycle = 0u32;
     // `ev.progress` accumulates across SMs; to attribute this SM's cycle we
@@ -1352,8 +1826,8 @@ fn sm_pass_event<S: EventSink>(
                 let a = attempt_issue(
                     ctx,
                     sm,
-                    &mut sh,
-                    sm_i,
+                    sh,
+                    sm_gi,
                     sched,
                     wi,
                     now,
@@ -1371,8 +1845,8 @@ fn sm_pass_event<S: EventSink>(
                 let a = attempt_issue(
                     ctx,
                     sm,
-                    &mut sh,
-                    sm_i,
+                    sh,
+                    sm_gi,
                     sched,
                     l,
                     now,
@@ -1396,8 +1870,8 @@ fn sm_pass_event<S: EventSink>(
                 let a = attempt_issue(
                     ctx,
                     sm,
-                    &mut sh,
-                    sm_i,
+                    sh,
+                    sm_gi,
                     sched,
                     wi,
                     now,
@@ -1418,7 +1892,7 @@ fn sm_pass_event<S: EventSink>(
             .iter()
             .flatten()
             .any(|t| t.w.at_barrier && !t.w.done);
-        sh.sink.sm_cycle_end(sm_i as u32, ev.progress, any_barrier);
+        sh.sink.sm_cycle_end(sm_gi, ev.progress, any_barrier);
         ev.progress |= progress_before;
     }
     Ok(())
@@ -1444,7 +1918,8 @@ fn run_lockstep<S: EventSink>(
             m.sink.cycle_start(now);
         }
         for sm_i in 0..m.sms.len() {
-            sm_pass_lockstep(ctx, m, sm_i, now)?;
+            let (sm, mut sh) = m.split(sm_i);
+            sm_pass_lockstep(ctx, sm, &mut sh, sm_i as u32, now)?;
         }
     }
     Ok(now)
@@ -1478,7 +1953,8 @@ fn run_event<S: EventSink>(ctx: &LaunchCtx<'_>, m: &mut Machine<'_, S>) -> Resul
         }
         let mut ev = EvAcc::new();
         for sm_i in 0..m.sms.len() {
-            sm_pass_event(ctx, m, sm_i, now, &mut ev)?;
+            let (sm, mut sh) = m.split(sm_i);
+            sm_pass_event(ctx, sm, &mut sh, sm_i as u32, now, &mut ev)?;
         }
         if !ev.progress && m.remaining > 0 {
             let error_at = ctx
@@ -1514,13 +1990,14 @@ fn run_event<S: EventSink>(ctx: &LaunchCtx<'_>, m: &mut Machine<'_, S>) -> Resul
 ///
 /// [`SimError`] on deadlock, watchdog, runaway warps, or a block that cannot
 /// fit on an SM.
+#[deprecated(note = "use SimSession")]
 pub fn simulate(
     cfg: &GpuConfig,
     launch: &Launch,
     gmem: &mut GlobalMem,
     filter: &mut dyn IssueFilter,
 ) -> Result<Stats, SimError> {
-    simulate_with_sink(cfg, launch, gmem, filter, &mut NullSink)
+    run_launch(cfg, launch, gmem, filter, &mut NullSink, cfg.threads)
 }
 
 /// [`simulate`] with an explicit [`EventSink`] observing the timing loops.
@@ -1534,12 +2011,28 @@ pub fn simulate(
 /// # Errors
 ///
 /// Same as [`simulate`]. On error the sink's `launch_done` is never called.
+#[deprecated(note = "use SimSession")]
 pub fn simulate_with_sink<S: EventSink>(
     cfg: &GpuConfig,
     launch: &Launch,
     gmem: &mut GlobalMem,
     filter: &mut dyn IssueFilter,
     sink: &mut S,
+) -> Result<Stats, SimError> {
+    run_launch(cfg, launch, gmem, filter, sink, cfg.threads)
+}
+
+/// The single real entry point behind [`crate::SimSession`] and the
+/// deprecated wrappers: set up launch-wide state, dispatch the initial block
+/// wave, then run single-threaded (`threads <= 1`, or when the filter cannot
+/// be forked) or sharded across `threads` workers.
+pub(crate) fn run_launch<S: EventSink>(
+    cfg: &GpuConfig,
+    launch: &Launch,
+    gmem: &mut GlobalMem,
+    filter: &mut dyn IssueFilter,
+    sink: &mut S,
+    threads: u32,
 ) -> Result<Stats, SimError> {
     let kernel = &launch.kernel;
     let cfgr = Cfg::build(kernel);
@@ -1600,30 +2093,51 @@ pub fn simulate_with_sink<S: EventSink>(
         wants_vals: filter.wants_values(),
     };
 
+    let mut sms = sms;
+    let num_sms = cfg.num_sms as u64;
+
+    // Initial breadth-first fill: block `slot * num_sms + sm` lands on SM
+    // `sm`, so every block `b` statically belongs to SM `b % num_sms` and the
+    // per-SM refill in `attempt_issue` keeps the same partition. Identical to
+    // the original counter walk, but shard-independent.
+    'fill: for slot_i in 0..resident as usize {
+        for (sm_i, sm) in sms.iter_mut().enumerate() {
+            let blk = slot_i as u64 * num_sms + sm_i as u64;
+            if blk >= ctx.total_blocks {
+                break 'fill;
+            }
+            dispatch_block(&ctx, sm, sm_i as u32, slot_i, blk, sink);
+        }
+    }
+    let sm_next: Vec<u64> = (0..num_sms)
+        .map(|i| i + resident as u64 * num_sms)
+        .collect();
+
+    let nshards = (threads as usize).clamp(1, cfg.num_sms.max(1) as usize);
+    if nshards > 1 {
+        // Fork the filter per shard (launch-time analysis state is cloned —
+        // `fork_shard` runs after `on_launch`). A filter that does not
+        // support forking falls back to the single-threaded path.
+        let forks: Option<Vec<_>> = (0..nshards).map(|_| filter.fork_shard()).collect();
+        if let Some(filters) = forks {
+            return run_sharded(&ctx, sms, filters, sm_next, gmem, sink);
+        }
+    }
+
     let mut m = Machine {
         sms,
         stats: Stats::default(),
-        l2: Cache::new(cfg.l2),
-        dram_busy_u: 0,
-        gmem,
+        mem: DirectMem {
+            side: MemSide::new(cfg),
+            gmem,
+        },
         filter,
         scratch: OperandVals::default(),
         remaining: ctx.total_blocks,
-        next_block: 0,
+        sm_next,
         last_issue: 0,
         sink,
     };
-
-    // Initial breadth-first fill.
-    'fill: for slot_i in 0..resident as usize {
-        for (sm_i, sm) in m.sms.iter_mut().enumerate() {
-            if m.next_block >= ctx.total_blocks {
-                break 'fill;
-            }
-            dispatch_block(&ctx, sm, sm_i, slot_i, m.next_block, &mut *m.sink);
-            m.next_block += 1;
-        }
-    }
 
     let now = match cfg.loop_kind {
         LoopKind::Lockstep => run_lockstep(&ctx, &mut m)?,
@@ -1648,7 +2162,6 @@ pub fn simulate_with_sink<S: EventSink>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::filter::BaselineFilter;
     use crate::launch::Dim3;
     use r2d2_isa::KernelBuilder;
 
@@ -1676,11 +2189,8 @@ mod tests {
 
         let (mut g2, out2) = mk(GlobalMem::new());
         let launch2 = Launch::new(k, Dim3::d1(8), Dim3::d1(128), vec![out2]);
-        let cfg = GpuConfig {
-            num_sms: 4,
-            ..Default::default()
-        };
-        let stats = simulate(&cfg, &launch2, &mut g2, &mut BaselineFilter).unwrap();
+        let cfg = GpuConfig::default().with_num_sms(4);
+        let stats = crate::SimSession::new(&cfg).run(&launch2, &mut g2).unwrap();
         assert_eq!(g1.bytes(), g2.bytes(), "timing and functional must agree");
         assert!(stats.cycles > 0);
         assert!(stats.warp_instrs > 0);
@@ -1693,11 +2203,9 @@ mod tests {
             let mut g = GlobalMem::new();
             let out = g.alloc(64 * 128 * 4);
             let launch = Launch::new(k.clone(), Dim3::d1(64), Dim3::d1(128), vec![out]);
-            let cfg = GpuConfig {
-                num_sms: sms,
-                ..Default::default()
-            };
-            simulate(&cfg, &launch, &mut g, &mut BaselineFilter)
+            let cfg = GpuConfig::default().with_num_sms(sms);
+            crate::SimSession::new(&cfg)
+                .run(&launch, &mut g)
                 .unwrap()
                 .cycles
         };
@@ -1712,11 +2220,8 @@ mod tests {
         let mut g = GlobalMem::new();
         let out = g.alloc(256 * 4);
         let launch = Launch::new(k, Dim3::d1(1), Dim3::d1(256), vec![out]);
-        let cfg = GpuConfig {
-            num_sms: 2,
-            ..Default::default()
-        };
-        let stats = simulate(&cfg, &launch, &mut g, &mut BaselineFilter).unwrap();
+        let cfg = GpuConfig::default().with_num_sms(2);
+        let stats = crate::SimSession::new(&cfg).run(&launch, &mut g).unwrap();
         assert!(stats.cycles > 0);
         for t in 0..256 {
             assert_eq!(g.read_i32(out, t), t as i32);
@@ -1788,11 +2293,8 @@ mod tests {
             let inp = g.alloc(1024 * 1024 * 4);
             let out = g.alloc(256 * 256 * 4);
             let launch = Launch::new(k, Dim3::d1(256), Dim3::d1(256), vec![inp, out]);
-            let cfg = GpuConfig {
-                num_sms: 8,
-                ..Default::default()
-            };
-            simulate(&cfg, &launch, &mut g, &mut BaselineFilter).unwrap()
+            let cfg = GpuConfig::default().with_num_sms(8);
+            crate::SimSession::new(&cfg).run(&launch, &mut g).unwrap()
         };
         let hot = run(stream_kernel(1024)); // 4KB working set
         let cold = run(stream_kernel(1024 * 1024)); // way beyond L1
@@ -1818,13 +2320,11 @@ mod tests {
         let mut g = GlobalMem::new();
         let params: Vec<u64> = allocs.iter().map(|&b| g.alloc(b)).collect();
         let launch = Launch::new(k.clone(), Dim3::d1(grid), Dim3::d1(block), params);
-        let cfg = GpuConfig {
-            num_sms: 4,
-            loop_kind: kind,
-            watchdog_cycles: watchdog.unwrap_or(GpuConfig::default().watchdog_cycles),
-            ..Default::default()
-        };
-        let stats = simulate(&cfg, &launch, &mut g, &mut BaselineFilter)?;
+        let cfg = GpuConfig::default()
+            .with_num_sms(4)
+            .with_loop_kind(kind)
+            .with_watchdog_cycles(watchdog.unwrap_or(GpuConfig::default().watchdog_cycles));
+        let stats = crate::SimSession::new(&cfg).run(&launch, &mut g)?;
         Ok((stats, g.bytes().to_vec()))
     }
 

@@ -47,11 +47,7 @@ fn lru_cache_matches_reference() {
             .collect();
         let line = 128u64;
         let sets = 1u64 << sets_log;
-        let cfg = CacheConfig {
-            bytes: sets * ways as u64 * line,
-            line,
-            ways,
-        };
+        let cfg = CacheConfig::new(sets * ways as u64 * line, line, ways);
         let mut dut = Cache::new(cfg);
         let mut reference = RefCache::new(cfg);
         let mut hits = 0u64;
@@ -76,11 +72,7 @@ fn working_set_within_capacity_always_hits_after_warmup() {
         let sets_log = r.gen_range(1u32..4);
         let line = 128u64;
         let sets = 1u64 << sets_log;
-        let cfg = CacheConfig {
-            bytes: sets * ways as u64 * line,
-            line,
-            ways,
-        };
+        let cfg = CacheConfig::new(sets * ways as u64 * line, line, ways);
         let capacity_lines = sets * ways as u64;
         let mut c = Cache::new(cfg);
         // Touch exactly `capacity_lines` distinct lines twice.

@@ -178,7 +178,7 @@ fn scheduling_preserves_divergent_semantics() {
 
 #[test]
 fn timing_model_matches_functional_on_divergent_code() {
-    use r2d2_sim::{simulate, BaselineFilter, GpuConfig};
+    use r2d2_sim::{GpuConfig, SimSession};
     let mut r = Rng::new(0x71316);
     for _ in 0..CASES {
         let prog = Program {
@@ -203,11 +203,8 @@ fn timing_model_matches_functional_on_divergent_code() {
         let mut g2 = GlobalMem::new();
         let (din2, dout2) = fill(&mut g2);
         let l2 = Launch::new(k, Dim3::d1(2), Dim3::d1(64), vec![din2, dout2]);
-        let cfg = GpuConfig {
-            num_sms: 2,
-            ..Default::default()
-        };
-        simulate(&cfg, &l2, &mut g2, &mut BaselineFilter).unwrap();
+        let cfg = GpuConfig::default().with_num_sms(2);
+        SimSession::new(&cfg).run(&l2, &mut g2).unwrap();
         assert_eq!(g1.bytes(), g2.bytes(), "{prog:?}");
     }
 }

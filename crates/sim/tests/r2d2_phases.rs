@@ -4,9 +4,7 @@
 //! addition — independently of the code generator.
 
 use r2d2_isa::parse_kernel;
-use r2d2_sim::{
-    functional, simulate, BaselineFilter, Dim3, GlobalMem, GpuConfig, Launch, LinearMeta, MAX_LR,
-};
+use r2d2_sim::{functional, Dim3, GlobalMem, GpuConfig, Launch, LinearMeta, SimSession, MAX_LR};
 
 /// A transformed-style kernel, written by hand:
 ///   coef:  %cr0 = P1 (the scale)           [pc 0]
@@ -112,11 +110,8 @@ fn timed_phases_match_functional_and_respect_gates() {
         vec![out2, scale as u64, cnst as u64, bcoef as u64],
     );
     l2.meta = Some(meta);
-    let cfg = GpuConfig {
-        num_sms: 4,
-        ..Default::default()
-    };
-    let stats = simulate(&cfg, &l2, &mut g2, &mut BaselineFilter).unwrap();
+    let cfg = GpuConfig::default().with_num_sms(4);
+    let stats = SimSession::new(&cfg).run(&l2, &mut g2).unwrap();
 
     assert_eq!(g1.bytes(), g2.bytes());
     // Phase accounting: coefficients run once per SM (scalar), thread-index
@@ -152,11 +147,8 @@ fn second_wave_blocks_recompute_block_parts_only() {
     let out = g.alloc(1 << 20);
     let mut l = Launch::new(k, Dim3::d1(256), Dim3::d1(64), vec![out, 2, 10, 1000]);
     l.meta = Some(meta);
-    let cfg = GpuConfig {
-        num_sms: 2,
-        ..Default::default()
-    };
-    let stats = simulate(&cfg, &l, &mut g, &mut BaselineFilter).unwrap();
+    let cfg = GpuConfig::default().with_num_sms(2);
+    let stats = SimSession::new(&cfg).run(&l, &mut g).unwrap();
     assert_eq!(stats.warp_instrs_by_phase[0], 3 * 2, "coef once per SM");
     assert_eq!(stats.warp_instrs_by_phase[1], 2 * 2 * 2, "tidx once per SM");
     assert_eq!(
@@ -192,11 +184,8 @@ fn kernels_without_linearity_ignore_the_phase_engine() {
     let out = g.alloc(4096);
     let mut l = Launch::new(k, Dim3::d1(2), Dim3::d1(32), vec![out]);
     l.meta = Some(meta);
-    let cfg = GpuConfig {
-        num_sms: 1,
-        ..Default::default()
-    };
-    let stats = simulate(&cfg, &l, &mut g, &mut BaselineFilter).unwrap();
+    let cfg = GpuConfig::default().with_num_sms(1);
+    let stats = SimSession::new(&cfg).run(&l, &mut g).unwrap();
     assert_eq!(stats.warp_instrs_by_phase[0], 0);
     assert_eq!(stats.warp_instrs_by_phase[1], 0);
     assert_eq!(stats.warp_instrs_by_phase[2], 0);

@@ -3,7 +3,7 @@
 //! don't cover end to end.
 
 use r2d2_isa::{KernelBuilder, Operand, Ty};
-use r2d2_sim::{simulate, BaselineFilter, Dim3, GlobalMem, GpuConfig, Launch};
+use r2d2_sim::{Dim3, GlobalMem, GpuConfig, Launch, SimSession};
 
 fn streaming_kernel(loads: usize) -> r2d2_isa::Kernel {
     let mut b = KernelBuilder::new("stream", 2);
@@ -30,23 +30,19 @@ fn run(cfg: &GpuConfig, kernel: r2d2_isa::Kernel, blocks: u32, tpb: u32) -> r2d2
     let p0 = g.alloc(n * 4 + 64 * 1_048_576);
     let p1 = g.alloc(n * 4 + 4096);
     let launch = Launch::new(kernel, Dim3::d1(blocks), Dim3::d1(tpb), vec![p0, p1]);
-    simulate(cfg, &launch, &mut g, &mut BaselineFilter).unwrap()
+    SimSession::new(cfg).run(&launch, &mut g).unwrap()
 }
 
 #[test]
 fn dram_bandwidth_limits_streaming() {
     // Starving DRAM bandwidth must lengthen a DRAM-bound kernel noticeably.
     // Enough blocks that aggregate traffic, not per-warp latency, dominates.
-    let fast = GpuConfig {
-        num_sms: 4,
-        dram_txns_per_cycle: 16,
-        ..Default::default()
-    };
-    let slow = GpuConfig {
-        num_sms: 4,
-        dram_txns_per_cycle: 1,
-        ..Default::default()
-    };
+    let fast = GpuConfig::default()
+        .with_num_sms(4)
+        .with_dram_txns_per_cycle(16);
+    let slow = GpuConfig::default()
+        .with_num_sms(4)
+        .with_dram_txns_per_cycle(1);
     let cf = run(&fast, streaming_kernel(8), 512, 256);
     let cs = run(&slow, streaming_kernel(8), 512, 256);
     assert!(
@@ -71,16 +67,8 @@ fn issue_width_limits_compute() {
     let a = b.add_wide(p, off);
     b.st_global(Ty::B32, a, 0, v);
     let k = b.build();
-    let wide = GpuConfig {
-        num_sms: 2,
-        sm_issue_width: 4,
-        ..Default::default()
-    };
-    let narrow = GpuConfig {
-        num_sms: 2,
-        sm_issue_width: 1,
-        ..Default::default()
-    };
+    let wide = GpuConfig::default().with_num_sms(2).with_sm_issue_width(4);
+    let narrow = GpuConfig::default().with_num_sms(2).with_sm_issue_width(1);
     let cw = run(&wide, k.clone(), 64, 256);
     let cn = run(&narrow, k, 64, 256);
     assert!(
@@ -93,10 +81,7 @@ fn issue_width_limits_compute() {
 
 #[test]
 fn multiple_waves_scale_roughly_linearly() {
-    let cfg = GpuConfig {
-        num_sms: 2,
-        ..Default::default()
-    };
+    let cfg = GpuConfig::default().with_num_sms(2);
     let one = run(&cfg, streaming_kernel(2), 16, 256); // 8 blocks/SM: one wave
     let four = run(&cfg, streaming_kernel(2), 64, 256); // four waves
     let ratio = four.cycles as f64 / one.cycles as f64;
@@ -125,10 +110,7 @@ fn barriers_serialize_block_phases() {
         b.st_global(Ty::B32, a, 0, v);
         b.build()
     };
-    let cfg = GpuConfig {
-        num_sms: 1,
-        ..Default::default()
-    };
+    let cfg = GpuConfig::default().with_num_sms(1);
     let no_bar = run(&cfg, mk(0), 4, 256);
     let many = run(&cfg, mk(16), 4, 256);
     assert!(many.cycles > no_bar.cycles);
@@ -139,24 +121,8 @@ fn l1_is_per_sm_and_l2_is_shared() {
     // The same workload on 1 SM vs many SMs: total L1 misses can grow with
     // SM count (cold caches), while results stay identical.
     let k = streaming_kernel(4);
-    let one = run(
-        &GpuConfig {
-            num_sms: 1,
-            ..Default::default()
-        },
-        k.clone(),
-        32,
-        256,
-    );
-    let many = run(
-        &GpuConfig {
-            num_sms: 16,
-            ..Default::default()
-        },
-        k,
-        32,
-        256,
-    );
+    let one = run(&GpuConfig::default().with_num_sms(1), k.clone(), 32, 256);
+    let many = run(&GpuConfig::default().with_num_sms(16), k, 32, 256);
     assert!(many.l1_misses >= one.l1_misses);
     assert_eq!(
         one.warp_instrs, many.warp_instrs,
@@ -173,10 +139,7 @@ fn partial_warps_charge_only_active_lanes() {
     let a = b.add_wide(p, off);
     b.st_global(Ty::B32, a, 0, i);
     let k = b.build();
-    let cfg = GpuConfig {
-        num_sms: 1,
-        ..Default::default()
-    };
+    let cfg = GpuConfig::default().with_num_sms(1);
     let full = run(&cfg, k.clone(), 1, 32);
     let partial = run(&cfg, k, 1, 8);
     assert_eq!(full.warp_instrs, partial.warp_instrs);
@@ -192,16 +155,14 @@ fn watchdog_catches_infinite_loops() {
     b.imm32(1);
     b.bra(top);
     let k = b.build();
-    let cfg = GpuConfig {
-        num_sms: 1,
-        watchdog_cycles: 5_000,
-        watchdog_warp_instrs: 100_000,
-        ..Default::default()
-    };
+    let cfg = GpuConfig::default()
+        .with_num_sms(1)
+        .with_watchdog_cycles(5_000)
+        .with_watchdog_warp_instrs(100_000);
     let mut g = GlobalMem::new();
     g.alloc(64);
     let launch = Launch::new(k, Dim3::d1(1), Dim3::d1(32), vec![]);
-    let err = simulate(&cfg, &launch, &mut g, &mut BaselineFilter).unwrap_err();
+    let err = SimSession::new(&cfg).run(&launch, &mut g).unwrap_err();
     let msg = err.to_string();
     assert!(
         msg.contains("cycle") || msg.contains("instructions"),
@@ -215,12 +176,10 @@ fn unschedulable_block_is_rejected() {
     // 2048 threads/block = 64 warps > hardware's per-block residency options.
     let mut g = GlobalMem::new();
     g.alloc(64);
-    let cfg = GpuConfig {
-        num_sms: 1,
-        max_warps_per_sm: 32,
-        ..Default::default()
-    };
+    let cfg = GpuConfig::default()
+        .with_num_sms(1)
+        .with_max_warps_per_sm(32);
     let launch = Launch::new(k, Dim3::d1(1), Dim3::d1(2048), vec![]);
-    let err = simulate(&cfg, &launch, &mut g, &mut BaselineFilter).unwrap_err();
+    let err = SimSession::new(&cfg).run(&launch, &mut g).unwrap_err();
     assert!(err.to_string().contains("fit"), "{err}");
 }

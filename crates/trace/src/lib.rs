@@ -37,7 +37,9 @@
 pub mod chrome;
 pub mod json;
 pub mod profile;
+pub mod shard;
 pub mod sink;
 
 pub use profile::{Bucket, Profiler, DEFAULT_TARGET_BUCKETS};
+pub use shard::{BufferedEvent, ShardBuffer, ShardSink};
 pub use sink::{EventSink, MemLevel, NullSink, StallCause};

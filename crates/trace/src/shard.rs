@@ -1,0 +1,172 @@
+//! Per-shard event buffering for the sharded timing loop.
+//!
+//! With `threads > 1` each shard simulates its SMs privately for one epoch
+//! and cannot talk to the user's [`EventSink`] directly (the sink is neither
+//! shared nor thread-safe by contract). Instead every shard records its
+//! events into a [`ShardBuffer`]; at the epoch boundary the coordinator
+//! replays the buffers into the real sink in shard order, preserving per-SM
+//! event order and the per-cycle envelope documented on [`EventSink`].
+
+use crate::sink::{EventSink, MemLevel, NullSink, StallCause};
+
+/// One buffered [`EventSink`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferedEvent {
+    /// [`EventSink::issue`].
+    Issue(u32, u32),
+    /// [`EventSink::stall`].
+    Stall(u32, u32, StallCause),
+    /// [`EventSink::mem_access`].
+    MemAccess(MemLevel, bool),
+    /// [`EventSink::warp_delta`].
+    WarpDelta(u32, i32),
+    /// [`EventSink::sm_cycle_end`].
+    SmCycleEnd(u32, bool, bool),
+}
+
+/// An [`EventSink`] that records events for deferred replay.
+///
+/// Only the intra-cycle events are buffered; the cycle envelope
+/// (`cycle_start`, `idle_skip`, `launch_done`) is emitted by the sharded
+/// loop's coordinator directly on the downstream sink.
+#[derive(Debug, Default)]
+pub struct ShardBuffer {
+    events: Vec<BufferedEvent>,
+}
+
+impl ShardBuffer {
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl EventSink for ShardBuffer {
+    const ENABLED: bool = true;
+
+    fn issue(&mut self, sm: u32, warp: u32) {
+        self.events.push(BufferedEvent::Issue(sm, warp));
+    }
+    fn stall(&mut self, sm: u32, warp: u32, cause: StallCause) {
+        self.events.push(BufferedEvent::Stall(sm, warp, cause));
+    }
+    fn mem_access(&mut self, level: MemLevel, hit: bool) {
+        self.events.push(BufferedEvent::MemAccess(level, hit));
+    }
+    fn warp_delta(&mut self, sm: u32, delta: i32) {
+        self.events.push(BufferedEvent::WarpDelta(sm, delta));
+    }
+    fn sm_cycle_end(&mut self, sm: u32, progressed: bool, any_barrier: bool) {
+        self.events
+            .push(BufferedEvent::SmCycleEnd(sm, progressed, any_barrier));
+    }
+    fn stall_index(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// The buffering interface the sharded loop needs from its per-shard sinks:
+/// replay into the downstream sink and patch provisional stall causes.
+///
+/// Implemented by [`ShardBuffer`] (real buffering, sink-enabled runs) and by
+/// [`NullSink`] (no-ops, plain runs) so the sharded loop can stay generic.
+pub trait ShardSink: EventSink + Default + Send {
+    /// Replay all buffered events into `sink`, in recording order.
+    fn replay_into<S: EventSink>(&self, sink: &mut S);
+    /// Drop all buffered events.
+    fn clear(&mut self);
+    /// Replace the cause of the buffered stall event at `idx` (as returned
+    /// by [`EventSink::stall_index`] when it was recorded).
+    fn patch_stall(&mut self, idx: usize, cause: StallCause);
+}
+
+impl ShardSink for ShardBuffer {
+    fn replay_into<S: EventSink>(&self, sink: &mut S) {
+        for ev in &self.events {
+            match *ev {
+                BufferedEvent::Issue(sm, w) => sink.issue(sm, w),
+                BufferedEvent::Stall(sm, w, c) => sink.stall(sm, w, c),
+                BufferedEvent::MemAccess(l, h) => sink.mem_access(l, h),
+                BufferedEvent::WarpDelta(sm, d) => sink.warp_delta(sm, d),
+                BufferedEvent::SmCycleEnd(sm, p, b) => sink.sm_cycle_end(sm, p, b),
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    fn patch_stall(&mut self, idx: usize, cause: StallCause) {
+        match self.events.get_mut(idx) {
+            Some(BufferedEvent::Stall(_, _, c)) => *c = cause,
+            other => debug_assert!(false, "patch_stall target is {other:?}, not a stall"),
+        }
+    }
+}
+
+impl ShardSink for NullSink {
+    fn replay_into<S: EventSink>(&self, _sink: &mut S) {}
+    fn clear(&mut self) {}
+    fn patch_stall(&mut self, _idx: usize, _cause: StallCause) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal recording sink to observe replay order.
+    #[derive(Default)]
+    struct Rec(Vec<BufferedEvent>);
+
+    impl EventSink for Rec {
+        const ENABLED: bool = true;
+        fn issue(&mut self, sm: u32, warp: u32) {
+            self.0.push(BufferedEvent::Issue(sm, warp));
+        }
+        fn stall(&mut self, sm: u32, warp: u32, cause: StallCause) {
+            self.0.push(BufferedEvent::Stall(sm, warp, cause));
+        }
+        fn mem_access(&mut self, level: MemLevel, hit: bool) {
+            self.0.push(BufferedEvent::MemAccess(level, hit));
+        }
+        fn warp_delta(&mut self, sm: u32, delta: i32) {
+            self.0.push(BufferedEvent::WarpDelta(sm, delta));
+        }
+        fn sm_cycle_end(&mut self, sm: u32, progressed: bool, any_barrier: bool) {
+            self.0
+                .push(BufferedEvent::SmCycleEnd(sm, progressed, any_barrier));
+        }
+    }
+
+    #[test]
+    fn replay_preserves_order_and_patch_rewrites_cause() {
+        let mut buf = ShardBuffer::default();
+        buf.issue(0, 3);
+        let idx = buf.stall_index();
+        buf.stall(1, 2, StallCause::Scoreboard);
+        buf.mem_access(MemLevel::L1, false);
+        buf.sm_cycle_end(0, true, false);
+        buf.patch_stall(idx, StallCause::Dram);
+
+        let mut rec = Rec::default();
+        buf.replay_into(&mut rec);
+        assert_eq!(
+            rec.0,
+            vec![
+                BufferedEvent::Issue(0, 3),
+                BufferedEvent::Stall(1, 2, StallCause::Dram),
+                BufferedEvent::MemAccess(MemLevel::L1, false),
+                BufferedEvent::SmCycleEnd(0, true, false),
+            ]
+        );
+
+        buf.clear();
+        assert!(buf.is_empty());
+    }
+}

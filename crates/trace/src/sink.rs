@@ -84,6 +84,15 @@ pub enum MemLevel {
 ///    can change while nothing issues, so the replay is exact — this is
 ///    what keeps event-driven and lockstep attribution bit-identical).
 /// 5. `launch_done(cycles)` once per kernel launch.
+///
+/// Under the sharded loop (`threads > 1`) the per-cycle ordering between
+/// *different* SMs in step 2 is relaxed: each shard's events are buffered and
+/// replayed at the epoch boundary in shard order, so events of two SMs owned
+/// by different shards may interleave differently than in a single-threaded
+/// run. Per-SM event order, the per-cycle envelope (`cycle_start` …
+/// `sm_cycle_end` per SM), and the first-stall-per-SM rule are all preserved,
+/// which is what every shipped sink depends on — attribution and traces stay
+/// bit-identical.
 pub trait EventSink {
     /// `false` compiles all instrumentation out of the timing loops.
     const ENABLED: bool;
@@ -107,6 +116,13 @@ pub trait EventSink {
     fn idle_skip(&mut self, _skipped: u64) {}
     /// The launch finished after `cycles` elapsed cycles.
     fn launch_done(&mut self, _cycles: u64) {}
+    /// Index the next [`EventSink::stall`] event will occupy in a buffering
+    /// sink. The sharded timing loop records it so a provisionally-attributed
+    /// stall can be patched once deferred memory latencies resolve at the
+    /// epoch drain; non-buffering sinks just return 0.
+    fn stall_index(&self) -> usize {
+        0
+    }
 }
 
 /// The do-nothing sink used by the plain `simulate` entry point.

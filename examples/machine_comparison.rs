@@ -14,10 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "BP".to_string());
     let w = workloads::build(&name, Size::Small)
         .unwrap_or_else(|| panic!("unknown workload {name}; see r2d2::workloads::NAMES"));
-    let cfg = GpuConfig {
-        num_sms: 16,
-        ..Default::default()
-    };
+    let cfg = GpuConfig::default().with_num_sms(16);
 
     let mut results: Vec<(&str, Stats, f64)> = Vec::new();
     let mut reference: Option<Vec<u8>> = None;

@@ -40,10 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Run both machines on identical inputs.
-    let cfg = GpuConfig {
-        num_sms: 16,
-        ..Default::default()
-    };
+    let cfg = GpuConfig::default().with_num_sms(16);
     let grid = Dim3::d1(512);
     let block = Dim3::d1(256);
     let n = grid.count() * block.count();

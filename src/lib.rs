@@ -24,7 +24,7 @@
 //!
 //! // Build a workload, run it on the baseline GPU and on R2D2, compare.
 //! let w = r2d2::workloads::build("BP", r2d2::workloads::Size::Small).unwrap();
-//! let cfg = GpuConfig { num_sms: 8, ..Default::default() };
+//! let cfg = GpuConfig::default().with_num_sms(8);
 //!
 //! let mut g1 = w.gmem.clone();
 //! let mut base = Stats::default();
@@ -36,7 +36,7 @@
 //! let mut r2 = Stats::default();
 //! for l in &w.launches {
 //!     let (launch, _) = make_launch(&cfg, &l.kernel, l.grid, l.block, l.params.clone());
-//!     r2.merge_sequential(&r2d2::sim::simulate(&cfg, &launch, &mut g2, &mut BaselineFilter)?);
+//!     r2.merge_sequential(&SimSession::new(&cfg).run(&launch, &mut g2)?);
 //! }
 //!
 //! assert_eq!(g1.bytes(), g2.bytes(), "identical results");
@@ -59,6 +59,8 @@ pub mod prelude {
     pub use r2d2_core::machine::{run_baseline, run_r2d2, run_with_filter};
     pub use r2d2_core::transform::{make_launch, transform};
     pub use r2d2_isa::{Kernel, KernelBuilder, Ty};
-    pub use r2d2_sim::{BaselineFilter, Dim3, GlobalMem, GpuConfig, IssueFilter, Launch, Stats};
+    pub use r2d2_sim::{
+        BaselineFilter, Dim3, GlobalMem, GpuConfig, IssueFilter, Launch, SimSession, Stats,
+    };
     pub use r2d2_workloads::{Size, Workload};
 }

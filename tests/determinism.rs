@@ -1,4 +1,4 @@
-//! Back-to-back determinism: repeating a `simulate()` call on the same
+//! Back-to-back determinism: repeating a `SimSession` run on the same
 //! launch must return identical `Stats` and identical `GlobalMem` bytes —
 //! the property the harness result cache (and every figure script) relies
 //! on. Covers the baseline, DAC, DARSIE, and R2D2 machine models under the
@@ -6,7 +6,7 @@
 
 use r2d2::baselines::{DacFilter, DarsieFilter};
 use r2d2::prelude::*;
-use r2d2::sim::{simulate, Stats};
+use r2d2::sim::{SimSession, Stats};
 use r2d2::workloads::{self, Size};
 
 fn make_filter(model: &str) -> Box<dyn IssueFilter> {
@@ -19,10 +19,7 @@ fn make_filter(model: &str) -> Box<dyn IssueFilter> {
 }
 
 fn run_once(w: &workloads::Workload, model: &str) -> (Stats, Vec<u8>) {
-    let cfg = GpuConfig {
-        num_sms: 4,
-        ..Default::default()
-    };
+    let cfg = GpuConfig::default().with_num_sms(4);
     let mut filter = make_filter(model);
     let mut g = w.gmem.clone();
     let mut stats = Stats::default();
@@ -35,9 +32,19 @@ fn run_once(w: &workloads::Workload, model: &str) -> (Stats, Vec<u8>) {
                 l.block,
                 l.params.clone(),
             );
-            stats.merge_sequential(&simulate(&cfg, &launch, &mut g, filter.as_mut()).unwrap());
+            stats.merge_sequential(
+                &SimSession::new(&cfg)
+                    .filter(filter.as_mut())
+                    .run(&launch, &mut g)
+                    .unwrap(),
+            );
         } else {
-            stats.merge_sequential(&simulate(&cfg, l, &mut g, filter.as_mut()).unwrap());
+            stats.merge_sequential(
+                &SimSession::new(&cfg)
+                    .filter(filter.as_mut())
+                    .run(l, &mut g)
+                    .unwrap(),
+            );
         }
     }
     (stats, g.bytes().to_vec())

@@ -66,11 +66,8 @@ fn every_workload_is_r2d2_equivalent() {
 
 #[test]
 fn timed_baseline_matches_functional_results() {
-    use r2d2::sim::{simulate, BaselineFilter, GpuConfig};
-    let cfg = GpuConfig {
-        num_sms: 8,
-        ..Default::default()
-    };
+    use r2d2::sim::{GpuConfig, SimSession};
+    let cfg = GpuConfig::default().with_num_sms(8);
     // A representative subset across suites (full-zoo timing runs live in the
     // bench harness).
     for name in ["BP", "GEM", "BFS", "SPM", "2DC", "FFT", "VGG", "LUD"] {
@@ -80,7 +77,7 @@ fn timed_baseline_matches_functional_results() {
         let mut g2 = w.gmem.clone();
         let mut stats = Stats::default();
         for l in &w.launches {
-            stats.merge_sequential(&simulate(&cfg, l, &mut g2, &mut BaselineFilter).unwrap());
+            stats.merge_sequential(&SimSession::new(&cfg).run(l, &mut g2).unwrap());
         }
         assert_eq!(
             g1.bytes(),
@@ -94,23 +91,20 @@ fn timed_baseline_matches_functional_results() {
 #[test]
 fn timed_r2d2_matches_baseline_results() {
     use r2d2::core::transform::make_launch;
-    use r2d2::sim::{simulate, BaselineFilter, GpuConfig};
-    let cfg = GpuConfig {
-        num_sms: 8,
-        ..Default::default()
-    };
+    use r2d2::sim::{GpuConfig, SimSession};
+    let cfg = GpuConfig::default().with_num_sms(8);
     for name in ["BP", "GEM", "SRAD2", "KM", "CFD", "NN", "FFT_PT"] {
         let w = workloads::build(name, Size::Small).unwrap();
         let mut g1 = w.gmem.clone();
         let mut base = Stats::default();
         for l in &w.launches {
-            base.merge_sequential(&simulate(&cfg, l, &mut g1, &mut BaselineFilter).unwrap());
+            base.merge_sequential(&SimSession::new(&cfg).run(l, &mut g1).unwrap());
         }
         let mut g2 = w.gmem.clone();
         let mut r2 = Stats::default();
         for l in &w.launches {
             let (launch, _) = make_launch(&cfg, &l.kernel, l.grid, l.block, l.params.clone());
-            r2.merge_sequential(&simulate(&cfg, &launch, &mut g2, &mut BaselineFilter).unwrap());
+            r2.merge_sequential(&SimSession::new(&cfg).run(&launch, &mut g2).unwrap());
         }
         assert_eq!(g1.bytes(), g2.bytes(), "{name}: timed R2D2 diverged");
         assert!(

@@ -9,7 +9,7 @@
 
 use r2d2::baselines::{DacFilter, DarsieFilter, DarsieScalarFilter};
 use r2d2::prelude::*;
-use r2d2::sim::{simulate, LoopKind, Stats};
+use r2d2::sim::{LoopKind, SimSession, Stats};
 use r2d2::workloads::{self, Size};
 
 const MODELS: [&str; 5] = ["baseline", "dac", "darsie", "darsie+s", "r2d2"];
@@ -25,11 +25,7 @@ fn make_filter(model: &str) -> Box<dyn IssueFilter> {
 }
 
 fn run_model(w: &workloads::Workload, kind: LoopKind, model: &str) -> (Stats, Vec<u8>) {
-    let cfg = GpuConfig {
-        num_sms: 4,
-        loop_kind: kind,
-        ..Default::default()
-    };
+    let cfg = GpuConfig::default().with_num_sms(4).with_loop_kind(kind);
     let mut filter = make_filter(model);
     let mut g = w.gmem.clone();
     let mut stats = Stats::default();
@@ -42,9 +38,19 @@ fn run_model(w: &workloads::Workload, kind: LoopKind, model: &str) -> (Stats, Ve
                 l.block,
                 l.params.clone(),
             );
-            stats.merge_sequential(&simulate(&cfg, &launch, &mut g, filter.as_mut()).unwrap());
+            stats.merge_sequential(
+                &SimSession::new(&cfg)
+                    .filter(filter.as_mut())
+                    .run(&launch, &mut g)
+                    .unwrap(),
+            );
         } else {
-            stats.merge_sequential(&simulate(&cfg, l, &mut g, filter.as_mut()).unwrap());
+            stats.merge_sequential(
+                &SimSession::new(&cfg)
+                    .filter(filter.as_mut())
+                    .run(l, &mut g)
+                    .unwrap(),
+            );
         }
     }
     (stats, g.bytes().to_vec())

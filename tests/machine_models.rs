@@ -4,7 +4,7 @@
 
 use r2d2::baselines::{DacFilter, DarsieFilter, DarsieScalarFilter};
 use r2d2::prelude::*;
-use r2d2::sim::{simulate, Stats};
+use r2d2::sim::{SimSession, Stats};
 use r2d2::workloads::{self, Size};
 
 fn run_all(
@@ -15,17 +15,19 @@ fn run_all(
     let mut g = w.gmem.clone();
     let mut stats = Stats::default();
     for l in &w.launches {
-        stats.merge_sequential(&simulate(cfg, l, &mut g, filter.as_mut()).unwrap());
+        stats.merge_sequential(
+            &SimSession::new(cfg)
+                .filter(filter.as_mut())
+                .run(l, &mut g)
+                .unwrap(),
+        );
     }
     (stats, g.bytes().to_vec())
 }
 
 #[test]
 fn all_models_preserve_results_across_the_zoo() {
-    let cfg = GpuConfig {
-        num_sms: 4,
-        ..Default::default()
-    };
+    let cfg = GpuConfig::default().with_num_sms(4);
     for (name, _) in workloads::NAMES {
         let w = workloads::build(name, Size::Small).unwrap();
         let (base, bytes) = run_all(&w, &cfg, Box::new(BaselineFilter));
@@ -54,10 +56,7 @@ fn all_models_preserve_results_across_the_zoo() {
 
 #[test]
 fn stats_invariants_hold() {
-    let cfg = GpuConfig {
-        num_sms: 4,
-        ..Default::default()
-    };
+    let cfg = GpuConfig::default().with_num_sms(4);
     for name in ["BP", "SRAD2", "BFS", "GEM", "FFT", "LUD", "HIS"] {
         let w = workloads::build(name, Size::Small).unwrap();
         let (s, _) = run_all(&w, &cfg, Box::new(BaselineFilter));
@@ -82,10 +81,7 @@ fn r2d2_prologue_is_bounded() {
     // Fig. 15's qualitative claim: the linear prologue is a small part of
     // execution (we allow a loose bound at test sizes — the bench harness
     // measures the real share at evaluation sizes).
-    let cfg = GpuConfig {
-        num_sms: 4,
-        ..Default::default()
-    };
+    let cfg = GpuConfig::default().with_num_sms(4);
     for name in ["BP", "SRAD2", "NN", "2DC"] {
         let w = workloads::build(name, Size::Small).unwrap();
         let mut g = w.gmem.clone();
@@ -98,7 +94,7 @@ fn r2d2_prologue_is_bounded() {
                 l.block,
                 l.params.clone(),
             );
-            stats.merge_sequential(&simulate(&cfg, &launch, &mut g, &mut BaselineFilter).unwrap());
+            stats.merge_sequential(&SimSession::new(&cfg).run(&launch, &mut g).unwrap());
         }
         assert!(
             stats.prologue_cycles <= stats.cycles,

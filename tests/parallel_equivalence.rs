@@ -1,0 +1,145 @@
+//! Differential guarantee for the sharded multi-threaded timing loop: for
+//! the full workload zoo, every machine model, and both loop kinds, running
+//! with `threads ∈ {2, 8}` must produce bit-identical `Stats` and global
+//! memory to the single-threaded reference — and, when profiled, bit-identical
+//! stall attribution satisfying the conservation invariant.
+//!
+//! This is the test that licenses the epoch protocol in
+//! `r2d2_sim::timing::shard` — see DESIGN.md "Sharded execution & epoch
+//! protocol".
+
+use r2d2::baselines::{DacFilter, DarsieFilter, DarsieScalarFilter};
+use r2d2::prelude::*;
+use r2d2::sim::{LoopKind, Profiler, SimSession, Stats};
+use r2d2::workloads::{self, Size};
+
+/// 8 SMs so `threads = 8` genuinely runs eight single-SM shards.
+const NUM_SMS: u32 = 8;
+const MODELS: [&str; 5] = ["baseline", "dac", "darsie", "darsie+s", "r2d2"];
+
+fn make_filter(model: &str) -> Box<dyn IssueFilter> {
+    match model {
+        "baseline" | "r2d2" => Box::new(BaselineFilter),
+        "dac" => Box::new(DacFilter::new()),
+        "darsie" => Box::new(DarsieFilter::new()),
+        "darsie+s" => Box::new(DarsieScalarFilter::new()),
+        _ => unreachable!("unknown model {model}"),
+    }
+}
+
+fn cfg_for(kind: LoopKind) -> GpuConfig {
+    GpuConfig::default()
+        .with_num_sms(NUM_SMS)
+        .with_loop_kind(kind)
+}
+
+/// Run every launch of `w` under `model`, optionally profiled, and return
+/// the merged stats, final memory image, and profiler (if any).
+fn run_zoo(
+    w: &workloads::Workload,
+    kind: LoopKind,
+    model: &str,
+    threads: u32,
+    profiled: bool,
+) -> (Stats, Vec<u8>, Option<Profiler>) {
+    let cfg = cfg_for(kind);
+    let mut filter = make_filter(model);
+    let mut g = w.gmem.clone();
+    let mut stats = Stats::default();
+    let mut prof = profiled.then(|| Profiler::new(64));
+    for l in &w.launches {
+        let owned;
+        let launch = if model == "r2d2" {
+            let (launch, _) = r2d2::core::transform::make_launch(
+                &cfg,
+                &l.kernel,
+                l.grid,
+                l.block,
+                l.params.clone(),
+            );
+            owned = launch;
+            &owned
+        } else {
+            l
+        };
+        let session = SimSession::new(&cfg)
+            .filter(filter.as_mut())
+            .threads(threads);
+        let s = match prof.as_mut() {
+            Some(p) => session.sink(p).run(launch, &mut g),
+            None => session.run(launch, &mut g),
+        };
+        stats.merge_sequential(&s.unwrap());
+    }
+    (stats, g.bytes().to_vec(), prof)
+}
+
+#[test]
+fn sharded_runs_are_bit_identical_across_zoo_models_and_loops() {
+    for (name, _) in workloads::NAMES {
+        let w = workloads::build(name, Size::Small).unwrap();
+        for kind in [LoopKind::Lockstep, LoopKind::EventDriven] {
+            for model in MODELS {
+                let (s_ref, m_ref, p_ref) = run_zoo(&w, kind, model, 1, true);
+                let p_ref = p_ref.unwrap();
+                for threads in [2, 8] {
+                    let (s_par, m_par, p_par) = run_zoo(&w, kind, model, threads, true);
+                    let p_par = p_par.unwrap();
+                    assert_eq!(
+                        s_ref, s_par,
+                        "{name}/{model}/{kind:?}: Stats diverged at threads={threads}"
+                    );
+                    assert_eq!(
+                        m_ref, m_par,
+                        "{name}/{model}/{kind:?}: memory diverged at threads={threads}"
+                    );
+                    p_par.check_invariant().unwrap_or_else(|e| {
+                        panic!("{name}/{model}/{kind:?} threads={threads}: {e}")
+                    });
+                    assert_eq!(
+                        p_par.total_cycles(),
+                        s_par.cycles,
+                        "{name}/{model}/{kind:?}: profiler cycles drifted from Stats"
+                    );
+                    assert_eq!(
+                        p_ref.issued_sm_cycles(),
+                        p_par.issued_sm_cycles(),
+                        "{name}/{model}/{kind:?}: issued SM-cycles diverged at threads={threads}"
+                    );
+                    assert_eq!(
+                        p_ref.per_sm(),
+                        p_par.per_sm(),
+                        "{name}/{model}/{kind:?}: per-SM attribution diverged at threads={threads}"
+                    );
+                    assert_eq!(
+                        p_ref.per_warp(),
+                        p_par.per_warp(),
+                        "{name}/{model}/{kind:?}: per-warp attribution diverged at threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Repeated 8-thread runs must be byte-for-byte repeatable: the epoch drain
+/// is deterministic, so thread scheduling noise must never show through.
+#[test]
+fn sharded_runs_are_deterministic_across_repeats() {
+    for name in ["GEM", "HIS", "SSSP", "BFS"] {
+        let w = workloads::build(name, Size::Small).unwrap();
+        for kind in [LoopKind::Lockstep, LoopKind::EventDriven] {
+            let (s0, m0, p0) = run_zoo(&w, kind, "baseline", 8, true);
+            for _ in 0..2 {
+                let (s, m, p) = run_zoo(&w, kind, "baseline", 8, true);
+                assert_eq!(s0, s, "{name}/{kind:?}: Stats not repeatable");
+                assert_eq!(m0, m, "{name}/{kind:?}: memory not repeatable");
+                assert_eq!(
+                    p0.as_ref().unwrap().per_warp(),
+                    p.as_ref().unwrap().per_warp(),
+                    "{name}/{kind:?}: attribution not repeatable"
+                );
+            }
+        }
+    }
+}

@@ -15,7 +15,7 @@
 
 use r2d2::baselines::{DacFilter, DarsieFilter, DarsieScalarFilter};
 use r2d2::prelude::*;
-use r2d2::sim::{simulate, simulate_with_sink, LoopKind, Profiler, Stats};
+use r2d2::sim::{LoopKind, Profiler, SimSession, Stats};
 use r2d2::workloads::{self, Size};
 
 const MODELS: [&str; 5] = ["baseline", "dac", "darsie", "darsie+s", "r2d2"];
@@ -31,11 +31,7 @@ fn make_filter(model: &str) -> Box<dyn IssueFilter> {
 }
 
 fn run_profiled(w: &workloads::Workload, kind: LoopKind, model: &str) -> (Stats, Profiler) {
-    let cfg = GpuConfig {
-        num_sms: 4,
-        loop_kind: kind,
-        ..Default::default()
-    };
+    let cfg = GpuConfig::default().with_num_sms(4).with_loop_kind(kind);
     let mut filter = make_filter(model);
     let mut g = w.gmem.clone();
     let mut stats = Stats::default();
@@ -50,11 +46,19 @@ fn run_profiled(w: &workloads::Workload, kind: LoopKind, model: &str) -> (Stats,
                 l.params.clone(),
             );
             stats.merge_sequential(
-                &simulate_with_sink(&cfg, &launch, &mut g, filter.as_mut(), &mut prof).unwrap(),
+                &SimSession::new(&cfg)
+                    .filter(filter.as_mut())
+                    .sink(&mut prof)
+                    .run(&launch, &mut g)
+                    .unwrap(),
             );
         } else {
             stats.merge_sequential(
-                &simulate_with_sink(&cfg, l, &mut g, filter.as_mut(), &mut prof).unwrap(),
+                &SimSession::new(&cfg)
+                    .filter(filter.as_mut())
+                    .sink(&mut prof)
+                    .run(l, &mut g)
+                    .unwrap(),
             );
         }
     }
@@ -103,15 +107,12 @@ fn attribution_invariant_holds_across_zoo_models_and_loops() {
 fn profiler_is_a_pure_observer() {
     for name in ["BP", "GEM", "BFS", "FFT"] {
         let w = workloads::build(name, Size::Small).unwrap();
-        let cfg = GpuConfig {
-            num_sms: 4,
-            ..Default::default()
-        };
+        let cfg = GpuConfig::default().with_num_sms(4);
 
         let mut g_plain = w.gmem.clone();
         let mut plain = Stats::default();
         for l in &w.launches {
-            plain.merge_sequential(&simulate(&cfg, l, &mut g_plain, &mut BaselineFilter).unwrap());
+            plain.merge_sequential(&SimSession::new(&cfg).run(l, &mut g_plain).unwrap());
         }
 
         let (mut observed, prof) = run_profiled(&w, LoopKind::default(), "baseline");
@@ -121,7 +122,11 @@ fn profiler_is_a_pure_observer() {
             let mut f = make_filter("baseline");
             let mut p = Profiler::new(64);
             for l in &w.launches {
-                simulate_with_sink(&cfg, l, &mut g, f.as_mut(), &mut p).unwrap();
+                SimSession::new(&cfg)
+                    .filter(f.as_mut())
+                    .sink(&mut p)
+                    .run(l, &mut g)
+                    .unwrap();
             }
             (g, p)
         };
