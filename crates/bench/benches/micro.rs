@@ -33,16 +33,34 @@ fn write_metrics_json(path: &str) {
     use r2d2_harness::json::{int, num, obj, Value};
     let metrics = METRICS.lock().unwrap();
     let fields: Vec<(&str, Value)> = metrics.iter().map(|(k, v)| (k.as_str(), num(*v))).collect();
+    // Recorded so the regression gate can tell whether multi-threaded
+    // (`*_t8_*`) metrics were measured with real parallelism: on a
+    // single-core host they mostly measure barrier overhead and are
+    // not comparable against a multi-core baseline (or vice versa).
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
     let doc = obj(vec![
         ("schema", int(1)),
         ("smoke", Value::Bool(smoke())),
+        ("host_parallelism", int(host_parallelism as u64)),
         ("metrics", obj(fields)),
     ]);
-    if let Some(parent) = std::path::Path::new(path).parent() {
+    // Cargo runs bench binaries with cwd = the package dir (crates/bench),
+    // but callers (CI, update_bench_baseline.sh) pass workspace-relative
+    // paths like `target/bench_current.json` — anchor those at the
+    // workspace root so the file lands where the gate script looks.
+    let mut dest = std::path::PathBuf::from(path);
+    if dest.is_relative() {
+        let workspace = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root");
+        dest = workspace.join(dest);
+    }
+    if let Some(parent) = dest.parent() {
         let _ = std::fs::create_dir_all(parent);
     }
-    std::fs::write(path, doc.to_json()).expect("write bench metrics");
-    println!("[bench metrics written to {path}]");
+    std::fs::write(&dest, doc.to_json()).expect("write bench metrics");
+    println!("[bench metrics written to {}]", dest.display());
 }
 
 fn saxpy_like() -> Kernel {

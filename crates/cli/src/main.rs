@@ -39,6 +39,21 @@
 //!     --profile             attach the stall profiler to every job (writes
 //!                           traces to results/profiles/; separate cache keys)
 //! r2d2 sweep clean                        delete all cached results
+//! r2d2 serve [options]                    run the resident simulation service
+//!     --addr HOST:PORT      bind address              (default 127.0.0.1:8787)
+//!     --workers N           job worker threads        (default: all cores)
+//!     --queue-cap N         pending-queue bound       (default 256)
+//!     --timeout SECS        per-job watchdog          (default 600)
+//!     --no-cache            re-simulate even when cached
+//!     --quiet               suppress per-request log lines
+//! r2d2 submit <workload> <model> [options]
+//!     submit one job to a running service
+//!     --addr HOST:PORT      service address           (default 127.0.0.1:8787)
+//!     --wait                block until the job completes, print the record
+//!     --full                evaluation-sized inputs   (default: small)
+//!     --sms N               override the SM count
+//!     --threads N           shard the simulation across N threads
+//!     (model: baseline | dac | darsie | darsie-scalar | r2d2 | ideals)
 //! ```
 //!
 //! `sweep` shares its job sets — and therefore its content-addressed cache
@@ -65,8 +80,12 @@ fn main() -> ExitCode {
         Some("workload") => cmd_workload(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         _ => {
-            eprintln!("usage: r2d2 <list|analyze|transform|run|trace|workload|profile|sweep> ...");
+            eprintln!(
+                "usage: r2d2 <list|analyze|transform|run|trace|workload|profile|sweep|serve|submit> ..."
+            );
             eprintln!("see `r2d2-cli` crate docs for options");
             return ExitCode::from(2);
         }
@@ -526,6 +545,107 @@ fn cmd_sweep(args: &[String]) -> CliResult {
         }
         _ => Err("usage: r2d2 sweep <list|run|clean> ...".into()),
     }
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    use r2d2_serve::{install_signal_handlers, Server, ServerConfig};
+
+    let mut cfg = ServerConfig {
+        verbose: true,
+        ..ServerConfig::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                cfg.addr = args.get(i + 1).ok_or("--addr needs a value")?.clone();
+                i += 1;
+            }
+            "--workers" => {
+                cfg.workers = args.get(i + 1).ok_or("--workers needs a value")?.parse()?;
+                i += 1;
+            }
+            "--queue-cap" => {
+                cfg.queue_cap = args
+                    .get(i + 1)
+                    .ok_or("--queue-cap needs a value")?
+                    .parse()?;
+                i += 1;
+            }
+            "--timeout" => {
+                let secs: u64 = args.get(i + 1).ok_or("--timeout needs a value")?.parse()?;
+                cfg.job_timeout = std::time::Duration::from_secs(secs);
+                i += 1;
+            }
+            "--no-cache" => cfg.use_cache = false,
+            "--quiet" => cfg.verbose = false,
+            other => return Err(format!("unknown option {other}").into()),
+        }
+        i += 1;
+    }
+    if cfg.workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    install_signal_handlers();
+    let server = Server::bind(cfg.clone())?;
+    let addr = server.local_addr()?;
+    // Parsed by scripts and the CI smoke test to discover a `:0` port pick.
+    println!(
+        "listening on {addr} ({} workers, queue cap {})",
+        cfg.workers, cfg.queue_cap
+    );
+    println!("endpoints: POST /jobs, GET /jobs/<id>, GET /healthz, GET /metrics, POST /shutdown");
+    server.run()?;
+    Ok(())
+}
+
+fn cmd_submit(args: &[String]) -> CliResult {
+    use r2d2_harness::{JobSpec, ModelSpec};
+
+    let workload = args.first().ok_or("missing workload id")?.clone();
+    let model: ModelSpec = args
+        .get(1)
+        .ok_or("missing model (baseline|dac|darsie|darsie-scalar|r2d2|ideals)")?
+        .parse()?;
+    let mut addr = "127.0.0.1:8787".to_string();
+    let mut wait = false;
+    let mut size = r2d2_workloads::Size::Small;
+    let mut sms: Option<u32> = None;
+    let mut threads = 0u32;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = args.get(i + 1).ok_or("--addr needs a value")?.clone();
+                i += 1;
+            }
+            "--wait" => wait = true,
+            "--full" => size = r2d2_workloads::Size::Full,
+            "--sms" => {
+                sms = Some(args.get(i + 1).ok_or("--sms needs a value")?.parse()?);
+                i += 1;
+            }
+            "--threads" => {
+                threads = args.get(i + 1).ok_or("--threads needs a value")?.parse()?;
+                i += 1;
+            }
+            other => return Err(format!("unknown option {other}").into()),
+        }
+        i += 1;
+    }
+
+    let mut spec = JobSpec::new(&workload, size, model);
+    spec.overrides.num_sms = sms;
+    spec.threads = threads;
+    // Generous timeout: with --wait the connection stays open while the
+    // simulation runs.
+    let timeout = std::time::Duration::from_secs(if wait { 3600 } else { 30 });
+    let outcome = r2d2_serve::submit(&addr, &spec, wait, timeout)?;
+    println!("{}", outcome.body.to_json());
+    if outcome.status >= 400 || outcome.job_status() == Some("failed") {
+        return Err(format!("submission ended with HTTP {}", outcome.status).into());
+    }
+    Ok(())
 }
 
 fn cmd_workload(args: &[String]) -> CliResult {

@@ -332,7 +332,10 @@ fn sweep_run_populates_then_hits_the_cache() {
         "{refresh}"
     );
     assert!(results.join("run_records.csv").is_file());
-    // clean empties the cache
+    // clean removes exactly the cache entries (*.json under cache/), never
+    // sibling artifacts: the exported CSV and non-entry files survive.
+    let stray = results.join("cache").join("README.txt");
+    std::fs::write(&stray, "not a cache entry").unwrap();
     let out = bin()
         .env("R2D2_RESULTS", &results)
         .args(["sweep", "clean"])
@@ -340,5 +343,23 @@ fn sweep_run_populates_then_hits_the_cache() {
         .unwrap();
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("removed 4"));
+    assert!(
+        results.join("cache").join("README.txt").is_file(),
+        "clean must only touch *.json cache entries"
+    );
+    assert!(
+        results.join("run_records.csv").is_file(),
+        "clean must not delete exported artifacts"
+    );
+    assert_eq!(
+        std::fs::read_dir(results.join("cache"))
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .count(),
+        0,
+        "every cache entry is gone"
+    );
+    let _ = std::fs::remove_dir_all(&stray);
     let _ = std::fs::remove_dir_all(&results);
 }

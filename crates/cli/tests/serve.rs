@@ -1,0 +1,133 @@
+//! Process-level smoke test of `r2d2 serve` + `r2d2 submit`: start the real
+//! binary on an ephemeral port, drive it over real sockets, and exercise
+//! graceful shutdown. This is what the CI "service smoke" step runs.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use r2d2_harness::{JobSpec, ModelSpec};
+use r2d2_workloads::Size;
+
+const T: Duration = Duration::from_secs(120);
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_r2d2"))
+}
+
+struct Service {
+    child: Child,
+    addr: String,
+    results: std::path::PathBuf,
+}
+
+impl Service {
+    /// Spawn `r2d2 serve` on port 0 and parse the bound address from its
+    /// "listening on ..." line.
+    fn spawn() -> Service {
+        let results = std::env::temp_dir().join(format!("r2d2-serve-smoke-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&results);
+        let mut child = bin()
+            .env("R2D2_RESULTS", &results)
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+                "--queue-cap",
+                "8",
+                "--quiet",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn r2d2 serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let first = lines
+            .next()
+            .expect("a listening line")
+            .expect("readable stdout");
+        let addr = first
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected first line: {first}"))
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .to_string();
+        // Keep draining stdout for the life of the service: dropping the
+        // reader closes the pipe and the daemon's next println would die
+        // with EPIPE. The thread exits on EOF when the child does.
+        std::thread::spawn(move || for _ in lines.by_ref() {});
+        Service {
+            child,
+            addr,
+            results,
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_dir_all(&self.results);
+    }
+}
+
+#[test]
+fn serve_and_submit_round_trip_with_graceful_shutdown() {
+    let mut svc = Service::spawn();
+    let addr = svc.addr.clone();
+
+    // Liveness and metrics answer.
+    let (code, body) = r2d2_serve::healthz(&addr, T).expect("healthz");
+    assert_eq!((code, body.as_str()), (200, "ok"));
+    let metrics = r2d2_serve::fetch_metrics(&addr, T).expect("metrics");
+    for needle in [
+        "r2d2_serve_queue_depth",
+        "r2d2_serve_in_flight",
+        "r2d2_serve_cache_hit_rate",
+        "r2d2_serve_job_wall_ms_p99",
+    ] {
+        assert!(metrics.contains(needle), "missing {needle}:\n{metrics}");
+    }
+
+    // `r2d2 submit --wait` against the spawned service completes a small
+    // zoo job and prints the response JSON.
+    let out = bin()
+        .args(["submit", "NN", "baseline", "--addr", &addr, "--wait"])
+        .output()
+        .expect("run r2d2 submit");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body: String = String::from_utf8(out.stdout).unwrap();
+    let v = r2d2_harness::json::parse(body.trim()).expect("response is JSON");
+    assert_eq!(
+        v.get("status").and_then(r2d2_harness::json::Value::as_str),
+        Some("done"),
+        "{body}"
+    );
+    let rec = r2d2_harness::RunRecord::from_json(v.get("record").expect("record"))
+        .expect("record decodes");
+
+    // The served Stats match a direct in-process run of the same spec
+    // bit-for-bit (the service and the harness share one execution path).
+    let spec = JobSpec::new("NN", Size::Small, ModelSpec::Baseline);
+    let direct = r2d2_harness::execute(&spec).expect("direct run");
+    assert_eq!(rec.stats, direct.stats, "served vs direct Stats diverged");
+    assert_eq!(rec.energy, direct.energy);
+
+    // Graceful shutdown: the server drains and the process exits 0.
+    assert_eq!(r2d2_serve::shutdown(&addr, T).expect("shutdown"), 200);
+    let status = svc.child.wait().expect("wait for serve to exit");
+    assert!(status.success(), "serve must exit cleanly after draining");
+    assert!(
+        r2d2_serve::healthz(&addr, Duration::from_secs(2)).is_err(),
+        "port must be closed after shutdown"
+    );
+}

@@ -38,7 +38,10 @@ pub use export::{
     write_profile_artifacts_in,
 };
 pub use record::RunRecord;
-pub use runner::{execute, execute_with_profiler, run_jobs, run_jobs_with, RunOptions, RunSummary};
+pub use runner::{
+    execute, execute_with_profiler, resolve_threads, run_jobs, run_jobs_with, Executor, RunOptions,
+    RunSummary,
+};
 pub use spec::{ConfigOverrides, JobSpec, ModelSpec, SCHEMA_VERSION};
 
 /// Workload size selected by `R2D2_SIZE` (default: full) — shared by the

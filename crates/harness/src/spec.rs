@@ -101,6 +101,21 @@ impl ModelSpec {
     }
 }
 
+impl std::str::FromStr for ModelSpec {
+    type Err = String;
+
+    /// Parse a model name: any [`ModelSpec::canonical`] form, plus the CLI
+    /// aliases `darsie-scalar` and the capitalized display names.
+    fn from_str(s: &str) -> Result<ModelSpec, String> {
+        if s == "darsie-scalar" {
+            return Ok(ModelSpec::DarsieScalar);
+        }
+        ModelSpec::from_json(&Value::Str(s.to_string())).ok_or_else(|| {
+            format!("unknown model {s:?} (baseline|dac|darsie|darsie-scalar|r2d2|ideals)")
+        })
+    }
+}
+
 /// Optional deviations from the default [`GpuConfig`]. `None` means "leave at
 /// default"; only set fields enter the cache key via the canonical encoding
 /// (but a default-valued `Some` hashes differently from `None` on purpose —
@@ -279,6 +294,55 @@ impl JobSpec {
         ])
     }
 
+    /// Decode a spec from a submission-request JSON object — the lenient
+    /// wire form used by `r2d2-serve`'s `POST /jobs`. Only `workload` is
+    /// required; `size` defaults to `"full"`, `model` to `"baseline"`,
+    /// `overrides` to none, and `profile` to `false`. A `threads` key (an
+    /// execution knob, never part of the cache identity) is honored when
+    /// present. Returns a descriptive error for bad fields.
+    pub fn from_json_request(v: &Value) -> Result<JobSpec, String> {
+        let workload = v
+            .get("workload")
+            .and_then(Value::as_str)
+            .ok_or("missing or non-string \"workload\"")?
+            .to_string();
+        let size = match v.get("size").map(|s| s.as_str()) {
+            None => Size::Full,
+            Some(Some("full")) => Size::Full,
+            Some(Some("small")) => Size::Small,
+            Some(other) => return Err(format!("bad \"size\" {other:?} (small|full)")),
+        };
+        let model = match v.get("model") {
+            None => ModelSpec::Baseline,
+            Some(m) => {
+                ModelSpec::from_json(m).ok_or_else(|| format!("bad \"model\" {:?}", m.to_json()))?
+            }
+        };
+        let overrides = match v.get("overrides") {
+            None | Some(Value::Null) => ConfigOverrides::default(),
+            Some(o) => ConfigOverrides::from_json(o).ok_or("bad \"overrides\" object")?,
+        };
+        let profile = match v.get("profile") {
+            None | Some(Value::Null) => false,
+            Some(p) => p.as_bool().ok_or("\"profile\" must be a boolean")?,
+        };
+        let threads = match v.get("threads") {
+            None | Some(Value::Null) => 0,
+            Some(t) => t
+                .as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or("\"threads\" must be a small non-negative integer")?,
+        };
+        Ok(JobSpec {
+            workload,
+            size,
+            model,
+            overrides,
+            profile,
+            threads,
+        })
+    }
+
     /// Parse a spec back from its JSON form.
     pub fn from_json(v: &Value) -> Option<JobSpec> {
         Some(JobSpec {
@@ -426,6 +490,58 @@ mod tests {
         let text = prof.to_json().to_json();
         let back = JobSpec::from_json(&crate::json::parse(&text).unwrap()).unwrap();
         assert_eq!(prof, back);
+    }
+
+    #[test]
+    fn request_decode_defaults_and_errors() {
+        let v = crate::json::parse("{\"workload\":\"NN\"}").unwrap();
+        let spec = JobSpec::from_json_request(&v).unwrap();
+        assert_eq!(spec, JobSpec::new("NN", Size::Full, ModelSpec::Baseline));
+
+        let v = crate::json::parse(
+            "{\"workload\":\"BP\",\"size\":\"small\",\"model\":\"r2d2\",\
+             \"overrides\":{\"num_sms\":16},\"threads\":4,\"profile\":true}",
+        )
+        .unwrap();
+        let spec = JobSpec::from_json_request(&v).unwrap();
+        assert_eq!(spec.workload, "BP");
+        assert_eq!(spec.size, Size::Small);
+        assert_eq!(spec.model, ModelSpec::R2d2);
+        assert_eq!(spec.overrides.num_sms, Some(16));
+        assert_eq!(spec.threads, 4);
+        assert!(spec.profile);
+        // threads never enters the identity.
+        let mut bare = spec.clone();
+        bare.threads = 0;
+        assert_eq!(spec.content_hash(), bare.content_hash());
+
+        for (body, needle) in [
+            ("{}", "workload"),
+            ("{\"workload\":\"NN\",\"size\":\"tiny\"}", "size"),
+            ("{\"workload\":\"NN\",\"model\":\"gpt\"}", "model"),
+            ("{\"workload\":\"NN\",\"threads\":-1}", "threads"),
+        ] {
+            let v = crate::json::parse(body).unwrap();
+            let err = JobSpec::from_json_request(&v).unwrap_err();
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn model_from_str_accepts_canonical_and_aliases() {
+        use std::str::FromStr;
+        for (s, m) in [
+            ("baseline", ModelSpec::Baseline),
+            ("dac", ModelSpec::Dac),
+            ("darsie", ModelSpec::Darsie),
+            ("darsie_scalar", ModelSpec::DarsieScalar),
+            ("darsie-scalar", ModelSpec::DarsieScalar),
+            ("r2d2", ModelSpec::R2d2),
+            ("ideals", ModelSpec::Ideals),
+        ] {
+            assert_eq!(ModelSpec::from_str(s).unwrap(), m);
+        }
+        assert!(ModelSpec::from_str("warp-drive").is_err());
     }
 
     #[test]

@@ -116,6 +116,83 @@ fn warm_cache_answers_without_simulating() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Column index of `name` in the unified CSV header.
+fn csv_col(header: &str, name: &str) -> usize {
+    header
+        .split(',')
+        .position(|c| c == name)
+        .unwrap_or_else(|| panic!("no {name} column in {header}"))
+}
+
+#[test]
+fn cache_hits_carry_cached_flag_through_run_records_csv() {
+    let dir = tmpdir("csvflag");
+    let cache = Cache::at(&dir);
+    let specs = small_batch();
+    let csv = dir.join("run_records.csv");
+
+    // Cold run: every stored entry was simulated this process, so the
+    // materialized CSV reports cached=false with a real wall time.
+    run_jobs_with(&specs, &quiet(), &cache);
+    r2d2_harness::export_csv(&cache, &csv).unwrap();
+    let text = std::fs::read_to_string(&csv).unwrap();
+    let mut lines = text.lines();
+    let header = lines.next().unwrap();
+    let (cached_col, wall_col) = (csv_col(header, "cached"), csv_col(header, "wall_ms"));
+    let rows: Vec<Vec<&str>> = lines.map(|l| l.split(',').collect()).collect();
+    assert_eq!(rows.len(), specs.len());
+    for row in &rows {
+        assert_eq!(row[cached_col], "false", "cold rows are not cached");
+        assert!(row[wall_col].parse::<f64>().unwrap() > 0.0);
+    }
+
+    // Warm run: the hits rewrite their entries with cached=true (keeping
+    // the measured wall time), and the next export reflects that.
+    let warm = run_jobs_with(&specs, &quiet(), &cache);
+    assert_eq!(warm.cache_hits, specs.len());
+    r2d2_harness::export_csv(&cache, &csv).unwrap();
+    let text = std::fs::read_to_string(&csv).unwrap();
+    let rows: Vec<Vec<&str>> = text
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').collect())
+        .collect();
+    assert_eq!(rows.len(), specs.len());
+    for row in &rows {
+        assert_eq!(row[cached_col], "true", "warm rows must be flagged");
+        assert!(
+            row[wall_col].parse::<f64>().unwrap() > 0.0,
+            "the original wall-time measurement survives the rewrite"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_entry_is_a_miss_and_gets_rewritten() {
+    // Narrow companion to `corrupted_entries_degrade_to_a_rerun`: one entry,
+    // vandalized, must be re-simulated AND the file on disk repaired to a
+    // loadable state in the same pass.
+    let dir = tmpdir("rewrite");
+    let cache = Cache::at(&dir);
+    let spec = JobSpec::new("NN", Size::Small, ModelSpec::Baseline);
+    run_jobs_with(std::slice::from_ref(&spec), &quiet(), &cache);
+    let path = cache.path_for(&spec);
+    let good = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, "{\"truncated\": ").unwrap();
+    assert!(cache.load(&spec).is_none(), "corrupt entry must be a miss");
+    let second = run_jobs_with(std::slice::from_ref(&spec), &quiet(), &cache);
+    assert_eq!((second.cache_hits, second.simulated), (0, 1));
+    let repaired = std::fs::read_to_string(&path).unwrap();
+    assert!(cache.load(&spec).is_some(), "entry must be rewritten");
+    // Identical simulation, identical embedded spec — only wall_ms differs.
+    assert_eq!(
+        good.split("wall_ms").next(),
+        repaired.split("wall_ms").next()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn corrupted_entries_degrade_to_a_rerun() {
     let specs = small_batch();

@@ -1,0 +1,92 @@
+//! Blocking client for the service — used by `r2d2 submit` and the tests.
+//!
+//! Everything rides on [`crate::http::client_request`]: one `TcpStream` per
+//! call, `Connection: close`. The server's JSON bodies come back as parsed
+//! [`Value`]s so callers can pick fields without re-stringifying.
+
+use std::time::Duration;
+
+use r2d2_harness::json::{self, Value};
+use r2d2_harness::JobSpec;
+
+use crate::http::{client_request, ClientResponse};
+
+/// Outcome of a submission as seen by the client.
+#[derive(Debug)]
+pub struct SubmitOutcome {
+    /// HTTP status the server answered with.
+    pub status: u16,
+    /// Parsed response body (`Value::Null` when unparseable).
+    pub body: Value,
+}
+
+impl SubmitOutcome {
+    /// The job id, when the submission was accepted.
+    pub fn job_id(&self) -> Option<&str> {
+        match self.body.get("id") {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The job's wire status (`queued`/`running`/`done`/`failed`), if any.
+    pub fn job_status(&self) -> Option<&str> {
+        match self.body.get("status") {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+fn parse_body(resp: ClientResponse) -> SubmitOutcome {
+    let body = json::parse(&resp.body).unwrap_or(Value::Null);
+    SubmitOutcome {
+        status: resp.status,
+        body,
+    }
+}
+
+/// Submit a job. With `wait`, blocks until the job completes (the server
+/// holds the connection open); `timeout` must then cover the simulation.
+pub fn submit(
+    addr: &str,
+    spec: &JobSpec,
+    wait: bool,
+    timeout: Duration,
+) -> std::io::Result<SubmitOutcome> {
+    let path = if wait { "/jobs?wait=1" } else { "/jobs" };
+    let mut body = spec.to_json();
+    if let Value::Obj(fields) = &mut body {
+        // `threads` is an execution knob, not part of the spec's identity,
+        // so `JobSpec::to_json` omits it — forward it separately.
+        if spec.threads > 0 {
+            fields.push(("threads".into(), Value::Int(i128::from(spec.threads))));
+        }
+    }
+    let resp = client_request(addr, "POST", path, Some(&body.to_json()), timeout)?;
+    Ok(parse_body(resp))
+}
+
+/// Fetch a job's state by id (its content hash).
+pub fn job_status(addr: &str, id: &str, timeout: Duration) -> std::io::Result<SubmitOutcome> {
+    let resp = client_request(addr, "GET", &format!("/jobs/{id}"), None, timeout)?;
+    Ok(parse_body(resp))
+}
+
+/// `GET /healthz` — returns the body (`ok` / `draining`).
+pub fn healthz(addr: &str, timeout: Duration) -> std::io::Result<(u16, String)> {
+    let resp = client_request(addr, "GET", "/healthz", None, timeout)?;
+    Ok((resp.status, resp.body.trim().to_string()))
+}
+
+/// `GET /metrics` — the Prometheus-style exposition text.
+pub fn metrics(addr: &str, timeout: Duration) -> std::io::Result<String> {
+    let resp = client_request(addr, "GET", "/metrics", None, timeout)?;
+    Ok(resp.body)
+}
+
+/// `POST /shutdown` — ask the server to drain and exit.
+pub fn shutdown(addr: &str, timeout: Duration) -> std::io::Result<u16> {
+    let resp = client_request(addr, "POST", "/shutdown", None, timeout)?;
+    Ok(resp.status)
+}

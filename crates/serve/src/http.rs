@@ -1,0 +1,329 @@
+//! A minimal HTTP/1.1 layer over `std::net`.
+//!
+//! The workspace builds offline with zero external dependencies, so instead
+//! of hyper this module hand-rolls the small slice of HTTP the service
+//! needs: one request per connection (`Connection: close` semantics),
+//! request-line + headers + `Content-Length` bodies on the way in, status +
+//! headers + body on the way out, and a blocking client for `r2d2 submit`
+//! and the integration tests. Requests beyond the size limits are rejected
+//! rather than buffered, so a misbehaving client cannot balloon memory.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body. JobSpec submissions are a few hundred
+/// bytes; anything near this limit is garbage.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path without the query string (`/jobs/abc`).
+    pub path: String,
+    /// Decoded `k=v` query parameters, in order.
+    pub query: Vec<(String, String)>,
+    /// `(lowercased-name, value)` headers, in order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query parameter named `key`.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, if it is any.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// Why a request could not be parsed; maps to a 4xx response.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Peer closed before sending a full request — not an error, just done.
+    ConnectionClosed,
+    /// Malformed request line or headers.
+    Malformed(String),
+    /// Head or body exceeded the size limits (413).
+    TooLarge,
+    /// Socket-level failure.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Read one request from the stream. Treats the connection as one-shot
+/// (`Connection: close`): the caller answers and drops the stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
+    // Cap everything we are willing to buffer from one connection; a line
+    // that never ends cannot balloon memory past the head limit.
+    let limit = (MAX_HEAD_BYTES + MAX_BODY_BYTES) as u64;
+    let mut reader = BufReader::new(Read::take(stream, limit));
+    let mut head_bytes = 0usize;
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(ParseError::ConnectionClosed);
+    }
+    head_bytes += n;
+    let request_line = line.trim_end().to_string();
+    let mut headers = Vec::new();
+    loop {
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ParseError::TooLarge);
+        }
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ParseError::Malformed("truncated headers".into()));
+        }
+        head_bytes += n;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(ParseError::Malformed(format!("bad header {trimmed:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Err(ParseError::Malformed(format!(
+            "bad request line {request_line:?}"
+        )));
+    };
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| ParseError::Malformed("bad Content-Length".into()))?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        query,
+        headers,
+        body,
+    })
+}
+
+/// An HTTP response under construction.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond `Content-Type`/`Content-Length`/`Connection`.
+    pub headers: Vec<(String, String)>,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, v: &r2d2_harness::json::Value) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "application/json",
+            body: v.to_json().into_bytes(),
+        }
+    }
+
+    /// A plain-text response (a trailing newline is appended if missing).
+    pub fn text(status: u16, body: &str) -> Response {
+        let mut body = body.to_string();
+        if !body.ends_with('\n') {
+            body.push('\n');
+        }
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Add a header.
+    pub fn header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serialize and send over the stream.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let reason = reason_phrase(self.status);
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len()
+        );
+        for (k, v) in &self.headers {
+            head.push_str(k);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+/// A client-side response: status code, headers, body.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// `(lowercased-name, value)` response headers.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// First header named `name` (lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Blocking one-shot HTTP client: connect, send `method path`, read the full
+/// response. `timeout` bounds connect and each read/write.
+pub fn client_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
+    use std::net::ToSocketAddrs;
+    let sock_addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad address"))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line {status_line:?}"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            break;
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().ok();
+            }
+            headers.push((name, value));
+        }
+    }
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            String::from_utf8_lossy(&buf).into_owned()
+        }
+        None => {
+            let mut buf = String::new();
+            reader.read_to_string(&mut buf)?;
+            buf
+        }
+    };
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}

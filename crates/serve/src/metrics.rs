@@ -1,0 +1,256 @@
+//! Service counters and the `/metrics` exposition.
+//!
+//! Everything is either a monotonic atomic counter or derived from one at
+//! render time; per-job wall times land in a fixed-size ring so p50/p99 are
+//! over the most recent jobs without unbounded growth. The exposition is
+//! plain-text Prometheus style: `# HELP`/`# TYPE` comments plus
+//! `name value` lines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How many recent job wall times feed the latency percentiles.
+const WALL_RING: usize = 1024;
+
+/// Shared service counters. All methods are `&self`; every field is
+/// independently thread-safe.
+#[derive(Debug)]
+pub struct Metrics {
+    start: Instant,
+    /// Jobs accepted into the system (enqueued, deduplicated onto an
+    /// existing entry, or answered from cache at submit).
+    pub submitted: AtomicU64,
+    /// Submissions coalesced onto an already queued/running/completed entry.
+    pub deduped: AtomicU64,
+    /// Submissions rejected with 429 because the queue was full.
+    pub shed: AtomicU64,
+    /// Jobs answered from the content-addressed result cache.
+    pub cache_hits: AtomicU64,
+    /// Jobs that ran a simulation to completion.
+    pub simulated: AtomicU64,
+    /// Jobs that failed (bad workload, simulation error, or timeout).
+    pub failed: AtomicU64,
+    /// Jobs whose watchdog expired before the simulation finished.
+    pub timeouts: AtomicU64,
+    /// Jobs currently executing on a worker.
+    pub in_flight: AtomicU64,
+    wall_ms: Mutex<WallRing>,
+}
+
+#[derive(Debug, Default)]
+struct WallRing {
+    samples: Vec<f64>,
+    next: usize,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            start: Instant::now(),
+            submitted: AtomicU64::new(0),
+            deduped: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            simulated: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            wall_ms: Mutex::new(WallRing::default()),
+        }
+    }
+}
+
+impl Metrics {
+    /// Record one completed job's wall time (cache hits report ~0).
+    pub fn observe_wall_ms(&self, ms: f64) {
+        let mut ring = self.wall_ms.lock().unwrap();
+        if ring.samples.len() < WALL_RING {
+            ring.samples.push(ms);
+        } else {
+            let i = ring.next;
+            ring.samples[i] = ms;
+        }
+        ring.next = (ring.next + 1) % WALL_RING;
+    }
+
+    /// `(p50, p99)` over the retained wall-time samples; zeros when empty.
+    pub fn wall_percentiles(&self) -> (f64, f64) {
+        let ring = self.wall_ms.lock().unwrap();
+        if ring.samples.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mut sorted = ring.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let pick = |p: f64| {
+            let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+            sorted[idx]
+        };
+        (pick(0.50), pick(0.99))
+    }
+
+    /// Fraction of completed jobs answered from the cache; 0 when none
+    /// completed yet.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.cache_hits.load(Ordering::Relaxed) as f64;
+        let sims = self.simulated.load(Ordering::Relaxed) as f64;
+        if hits + sims == 0.0 {
+            0.0
+        } else {
+            hits / (hits + sims)
+        }
+    }
+
+    /// Completed jobs (hits + simulations) per wall-clock second of uptime.
+    pub fn jobs_per_s(&self) -> f64 {
+        let done = (self.cache_hits.load(Ordering::Relaxed)
+            + self.simulated.load(Ordering::Relaxed)) as f64;
+        let up = self.start.elapsed().as_secs_f64();
+        if up <= 0.0 {
+            0.0
+        } else {
+            done / up
+        }
+    }
+
+    /// Render the Prometheus-style text exposition. `queue_depth` is passed
+    /// in because the queue owns it.
+    pub fn render(&self, queue_depth: usize) -> String {
+        use std::fmt::Write as _;
+        let (p50, p99) = self.wall_percentiles();
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let mut out = String::new();
+        let mut gauge = |name: &str, help: &str, value: f64| {
+            let _ = writeln!(out, "# HELP r2d2_serve_{name} {help}");
+            let _ = writeln!(
+                out,
+                "# TYPE r2d2_serve_{name} {}",
+                if name.ends_with("_total") {
+                    "counter"
+                } else {
+                    "gauge"
+                }
+            );
+            if value.fract() == 0.0 && value.abs() < 1e15 {
+                let _ = writeln!(out, "r2d2_serve_{name} {}", value as i64);
+            } else {
+                let _ = writeln!(out, "r2d2_serve_{name} {value}");
+            }
+        };
+        gauge(
+            "queue_depth",
+            "Jobs waiting for a worker.",
+            queue_depth as f64,
+        );
+        gauge(
+            "in_flight",
+            "Jobs currently executing.",
+            g(&self.in_flight) as f64,
+        );
+        gauge(
+            "jobs_submitted_total",
+            "Accepted submissions (incl. dedups and cache answers).",
+            g(&self.submitted) as f64,
+        );
+        gauge(
+            "jobs_deduped_total",
+            "Submissions coalesced onto an existing job.",
+            g(&self.deduped) as f64,
+        );
+        gauge(
+            "jobs_shed_total",
+            "Submissions rejected with 429 (queue full).",
+            g(&self.shed) as f64,
+        );
+        gauge(
+            "jobs_simulated_total",
+            "Jobs that ran a simulation to completion.",
+            g(&self.simulated) as f64,
+        );
+        gauge(
+            "jobs_failed_total",
+            "Jobs that failed or timed out.",
+            g(&self.failed) as f64,
+        );
+        gauge(
+            "job_timeouts_total",
+            "Jobs killed by the per-job watchdog.",
+            g(&self.timeouts) as f64,
+        );
+        gauge(
+            "cache_hits_total",
+            "Jobs answered from the result cache.",
+            g(&self.cache_hits) as f64,
+        );
+        gauge(
+            "cache_hit_rate",
+            "cache_hits / completed jobs.",
+            self.cache_hit_rate(),
+        );
+        gauge("jobs_per_s", "Completed jobs per second of uptime.", {
+            self.jobs_per_s()
+        });
+        gauge(
+            "job_wall_ms_p50",
+            "Median wall time of recent completed jobs (ms).",
+            p50,
+        );
+        gauge(
+            "job_wall_ms_p99",
+            "99th-percentile wall time of recent completed jobs (ms).",
+            p99,
+        );
+        gauge(
+            "uptime_s",
+            "Seconds since the service started.",
+            self.start.elapsed().as_secs_f64(),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_rates() {
+        let m = Metrics::default();
+        assert_eq!(m.wall_percentiles(), (0.0, 0.0));
+        assert_eq!(m.cache_hit_rate(), 0.0);
+        for i in 1..=100 {
+            m.observe_wall_ms(f64::from(i));
+        }
+        let (p50, p99) = m.wall_percentiles();
+        assert!((49.0..=52.0).contains(&p50), "p50 = {p50}");
+        assert!((98.0..=100.0).contains(&p99), "p99 = {p99}");
+        m.cache_hits.store(3, Ordering::Relaxed);
+        m.simulated.store(1, Ordering::Relaxed);
+        assert_eq!(m.cache_hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let m = Metrics::default();
+        for i in 0..(WALL_RING * 3) {
+            m.observe_wall_ms(i as f64);
+        }
+        assert_eq!(m.wall_ms.lock().unwrap().samples.len(), WALL_RING);
+    }
+
+    #[test]
+    fn render_exposes_required_metrics() {
+        let m = Metrics::default();
+        let text = m.render(7);
+        for needle in [
+            "r2d2_serve_queue_depth 7",
+            "r2d2_serve_in_flight 0",
+            "r2d2_serve_cache_hit_rate",
+            "r2d2_serve_jobs_per_s",
+            "r2d2_serve_job_wall_ms_p50",
+            "r2d2_serve_job_wall_ms_p99",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

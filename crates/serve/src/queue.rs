@@ -1,0 +1,367 @@
+//! The bounded, deduplicating job queue.
+//!
+//! Jobs are keyed by their [`JobSpec::content_hash`] — the same key the
+//! harness cache uses — so two submissions of the same experiment are the
+//! same job: while one is queued or running, later submissions coalesce
+//! onto it instead of queueing a second simulation, and its id is stable
+//! across clients. Completed entries are retained (bounded) for `GET
+//! /jobs/<id>`; evicted ones remain answerable from the on-disk cache.
+//!
+//! Depth is bounded by `cap`: submissions that would grow `pending` beyond
+//! it are rejected ([`Submit::Full`] → HTTP 429), so a traffic spike sheds
+//! load instead of growing memory without bound.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use r2d2_harness::{JobSpec, RunRecord};
+
+/// Lifecycle of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting for a worker.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Finished successfully (`record` is set).
+    Done,
+    /// Failed (`error` is set): bad spec, simulation error, timeout, or the
+    /// server shut down before the job ran.
+    Failed,
+}
+
+impl JobStatus {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// Mutable state of one job.
+#[derive(Debug)]
+pub struct JobState {
+    /// Current lifecycle state.
+    pub status: JobStatus,
+    /// Result, once `Done`.
+    pub record: Option<RunRecord>,
+    /// Failure description, once `Failed`.
+    pub error: Option<String>,
+}
+
+/// One deduplicated job: the immutable spec plus guarded state and a
+/// condvar waiters block on (`?wait=1`, graceful drain).
+#[derive(Debug)]
+pub struct Job {
+    /// The experiment this job runs.
+    pub spec: JobSpec,
+    /// 16-hex-digit content hash; doubles as the job id.
+    pub id: String,
+    state: Mutex<JobState>,
+    done: Condvar,
+}
+
+impl Job {
+    fn new(spec: JobSpec) -> Job {
+        let id = spec.hash_hex();
+        Job {
+            spec,
+            id,
+            state: Mutex::new(JobState {
+                status: JobStatus::Queued,
+                record: None,
+                error: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Snapshot `(status, record, error)`.
+    pub fn snapshot(&self) -> (JobStatus, Option<RunRecord>, Option<String>) {
+        let s = self.state.lock().unwrap();
+        (s.status, s.record.clone(), s.error.clone())
+    }
+
+    /// Move to `Running` (worker picked it up).
+    pub fn mark_running(&self) {
+        self.state.lock().unwrap().status = JobStatus::Running;
+    }
+
+    /// Complete with a result and wake every waiter.
+    pub fn mark_done(&self, record: RunRecord) {
+        let mut s = self.state.lock().unwrap();
+        s.status = JobStatus::Done;
+        s.record = Some(record);
+        drop(s);
+        self.done.notify_all();
+    }
+
+    /// Fail with an error and wake every waiter.
+    pub fn mark_failed(&self, error: String) {
+        let mut s = self.state.lock().unwrap();
+        s.status = JobStatus::Failed;
+        s.error = Some(error);
+        drop(s);
+        self.done.notify_all();
+    }
+
+    /// Block until the job completes (either way) or `timeout` elapses.
+    /// Returns `false` on timeout.
+    pub fn wait(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut s = self.state.lock().unwrap();
+        while !matches!(s.status, JobStatus::Done | JobStatus::Failed) {
+            let now = std::time::Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return false;
+            };
+            let (guard, res) = self.done.wait_timeout(s, left).unwrap();
+            s = guard;
+            if res.timed_out() && !matches!(s.status, JobStatus::Done | JobStatus::Failed) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Outcome of a submission attempt.
+#[derive(Debug)]
+pub enum Submit {
+    /// A new job was enqueued.
+    Enqueued(Arc<Job>),
+    /// An identical job already exists (queued, running, or completed);
+    /// the submission coalesced onto it.
+    Existing(Arc<Job>),
+    /// The pending queue is at capacity — shed the request (429).
+    Full,
+    /// The server is draining — no new work (503).
+    ShuttingDown,
+}
+
+/// How many completed entries to retain in memory for `GET /jobs/<id>`.
+/// Evicted entries are still answerable from the on-disk cache.
+const RETAIN_COMPLETED: usize = 512;
+
+#[derive(Debug, Default)]
+struct Inner {
+    jobs: HashMap<u64, Arc<Job>>,
+    pending: VecDeque<u64>,
+    /// Completion order, oldest first, for bounded retention.
+    completed: VecDeque<u64>,
+    shutting_down: bool,
+}
+
+/// The shared queue: spec-keyed dedup map + FIFO of pending hashes.
+#[derive(Debug)]
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    /// Signals workers that `pending` gained an entry or shutdown started.
+    work: Condvar,
+    cap: usize,
+}
+
+impl JobQueue {
+    /// A queue that sheds submissions beyond `cap` pending jobs.
+    pub fn new(cap: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(Inner::default()),
+            work: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Pending (queued, not yet running) job count.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().pending.len()
+    }
+
+    /// Submit a spec: coalesce onto an identical live job, else enqueue.
+    pub fn submit(&self, spec: JobSpec) -> Submit {
+        let hash = spec.content_hash();
+        let mut inner = self.inner.lock().unwrap();
+        if inner.shutting_down {
+            return Submit::ShuttingDown;
+        }
+        if let Some(job) = inner.jobs.get(&hash) {
+            return Submit::Existing(Arc::clone(job));
+        }
+        if inner.pending.len() >= self.cap {
+            return Submit::Full;
+        }
+        let job = Arc::new(Job::new(spec));
+        inner.jobs.insert(hash, Arc::clone(&job));
+        inner.pending.push_back(hash);
+        drop(inner);
+        self.work.notify_one();
+        Submit::Enqueued(job)
+    }
+
+    /// Insert an already-completed job (cache answered at submit time) so
+    /// `GET /jobs/<id>` finds it. Coalesces like `submit`.
+    pub fn insert_completed(&self, spec: JobSpec, record: RunRecord) -> Submit {
+        let hash = spec.content_hash();
+        let mut inner = self.inner.lock().unwrap();
+        if inner.shutting_down {
+            return Submit::ShuttingDown;
+        }
+        if let Some(job) = inner.jobs.get(&hash) {
+            return Submit::Existing(Arc::clone(job));
+        }
+        let job = Arc::new(Job::new(spec));
+        job.mark_done(record);
+        inner.jobs.insert(hash, Arc::clone(&job));
+        Self::retain_completed(&mut inner, hash);
+        Submit::Existing(job)
+    }
+
+    /// Worker side: block until a job is available; `None` means shutdown.
+    pub fn pop(&self) -> Option<Arc<Job>> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(hash) = inner.pending.pop_front() {
+                let job = Arc::clone(inner.jobs.get(&hash).expect("pending job exists"));
+                job.mark_running();
+                return Some(job);
+            }
+            if inner.shutting_down {
+                return None;
+            }
+            inner = self.work.wait(inner).unwrap();
+        }
+    }
+
+    /// Bookkeeping after a job completes: bounded retention of finished
+    /// entries (live queued/running jobs are never evicted).
+    pub fn finished(&self, job: &Job) {
+        let mut inner = self.inner.lock().unwrap();
+        Self::retain_completed(&mut inner, job.spec.content_hash());
+    }
+
+    fn retain_completed(inner: &mut Inner, hash: u64) {
+        inner.completed.push_back(hash);
+        while inner.completed.len() > RETAIN_COMPLETED {
+            let old = inner.completed.pop_front().unwrap();
+            // Only evict if it is still completed (a fresh resubmission may
+            // have replaced the entry with a live job under the same hash —
+            // impossible today since completed entries coalesce, but cheap
+            // to guard).
+            let evict = inner.jobs.get(&old).is_some_and(|j| {
+                matches!(
+                    j.state.lock().unwrap().status,
+                    JobStatus::Done | JobStatus::Failed
+                )
+            });
+            if evict {
+                inner.jobs.remove(&old);
+            }
+        }
+    }
+
+    /// Look up a live or retained job by its content hash.
+    pub fn get(&self, hash: u64) -> Option<Arc<Job>> {
+        self.inner.lock().unwrap().jobs.get(&hash).cloned()
+    }
+
+    /// Start draining: new submissions are rejected, workers finish their
+    /// current job and exit, and still-pending jobs fail with a shutdown
+    /// error (waking their waiters).
+    pub fn begin_shutdown(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.shutting_down {
+            return;
+        }
+        inner.shutting_down = true;
+        let pending: Vec<u64> = inner.pending.drain(..).collect();
+        let jobs: Vec<Arc<Job>> = pending
+            .iter()
+            .filter_map(|h| inner.jobs.get(h).cloned())
+            .collect();
+        drop(inner);
+        for job in jobs {
+            job.mark_failed("server shut down before the job ran".into());
+            self.finished(&job);
+        }
+        self.work.notify_all();
+    }
+
+    /// Whether `begin_shutdown` has been called.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.lock().unwrap().shutting_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2d2_harness::ModelSpec;
+    use r2d2_workloads::Size;
+
+    fn spec(n: u32) -> JobSpec {
+        let mut s = JobSpec::new("NN", Size::Small, ModelSpec::Baseline);
+        s.overrides.num_sms = Some(n);
+        s
+    }
+
+    #[test]
+    fn dedup_coalesces_identical_specs() {
+        let q = JobQueue::new(8);
+        let a = match q.submit(spec(4)) {
+            Submit::Enqueued(j) => j,
+            other => panic!("{other:?}"),
+        };
+        match q.submit(spec(4)) {
+            Submit::Existing(j) => assert_eq!(j.id, a.id),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(q.depth(), 1, "one pending job despite two submissions");
+    }
+
+    #[test]
+    fn cap_sheds_beyond_pending_limit() {
+        let q = JobQueue::new(2);
+        assert!(matches!(q.submit(spec(1)), Submit::Enqueued(_)));
+        assert!(matches!(q.submit(spec(2)), Submit::Enqueued(_)));
+        assert!(matches!(q.submit(spec(3)), Submit::Full));
+        // Duplicates of queued jobs coalesce instead of shedding.
+        assert!(matches!(q.submit(spec(1)), Submit::Existing(_)));
+    }
+
+    #[test]
+    fn shutdown_fails_pending_and_unblocks_pop() {
+        let q = std::sync::Arc::new(JobQueue::new(4));
+        let job = match q.submit(spec(9)) {
+            Submit::Enqueued(j) => j,
+            other => panic!("{other:?}"),
+        };
+        q.begin_shutdown();
+        assert!(matches!(q.submit(spec(10)), Submit::ShuttingDown));
+        assert!(q.pop().is_none(), "pop unblocks into None after shutdown");
+        let (status, _, err) = job.snapshot();
+        assert_eq!(status, JobStatus::Failed);
+        assert!(err.unwrap().contains("shut down"));
+        assert!(job.wait(Duration::from_millis(10)), "waiters woke");
+    }
+
+    #[test]
+    fn pop_runs_in_fifo_order() {
+        let q = JobQueue::new(8);
+        for n in [1, 2, 3] {
+            assert!(matches!(q.submit(spec(n)), Submit::Enqueued(_)));
+        }
+        for n in [1, 2, 3] {
+            let job = q.pop().unwrap();
+            assert_eq!(job.spec.overrides.num_sms, Some(n));
+            let (status, _, _) = job.snapshot();
+            assert_eq!(status, JobStatus::Running);
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! The resident simulation service.
+//!
+//! One [`Server`] owns a `TcpListener`, a [`JobQueue`], a worker pool, and
+//! shared [`Metrics`]. Connections are one request each (`Connection:
+//! close`), handled on short-lived threads; simulation work happens only on
+//! the worker pool, which executes jobs through the harness
+//! [`Executor`] — so the service, the `sweep` CLI, and the bench targets
+//! all share one execution path and one content-addressed cache.
+//!
+//! ## Endpoints
+//!
+//! | method & path    | behavior |
+//! |------------------|----------|
+//! | `POST /jobs`     | submit a JobSpec JSON; `202` queued, `200` done (cache/dedup), `400` bad spec, `429` + `Retry-After` when full, `503` draining. `?wait=1` blocks until the job completes. |
+//! | `GET /jobs/<id>` | status/result JSON for a job id (the spec's content hash); falls back to the on-disk cache for evicted entries. |
+//! | `GET /healthz`   | liveness: `200 ok` (`503 draining` during shutdown). |
+//! | `GET /metrics`   | plain-text Prometheus-style counters. |
+//! | `POST /shutdown` | begin graceful shutdown (same path as SIGTERM/ctrl-c). |
+//!
+//! ## Shutdown protocol
+//!
+//! SIGTERM, SIGINT (ctrl-c), or `POST /shutdown` set one flag. The accept
+//! loop stops taking connections, the queue rejects new submissions (503)
+//! and fails still-pending jobs, workers finish the job they are running
+//! (in-flight work is drained, never killed), and [`Server::run`] returns.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use r2d2_harness::json::{self, obj, Value};
+use r2d2_harness::{Cache, Executor, JobSpec};
+
+use crate::http::{read_request, ParseError, Request, Response};
+use crate::metrics::Metrics;
+use crate::queue::{JobQueue, JobStatus, Submit};
+
+/// Set by the process signal handlers (SIGTERM / SIGINT); checked by every
+/// server's accept loop alongside its own flag.
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+/// Install process-wide SIGTERM/SIGINT handlers that request graceful
+/// shutdown of every running [`Server`] in the process. Uses the libc
+/// `signal` symbol directly — the workspace links no signal-handling crate.
+/// No-op on non-unix targets.
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        unsafe extern "C" fn on_signal(_sig: i32) {
+            // Async-signal-safe: a single atomic store.
+            SIGNALED.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+/// Tunables for one service instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8787` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads executing jobs. `0` means "no workers" — useful only
+    /// in tests that exercise pure queue behavior.
+    pub workers: usize,
+    /// Pending-queue capacity; submissions beyond it get 429.
+    pub queue_cap: usize,
+    /// Per-job wall-clock watchdog. A job still running after this is
+    /// marked failed and its worker freed (the abandoned simulation thread
+    /// finishes in the background and its result is discarded).
+    pub job_timeout: Duration,
+    /// Read cached results (completed jobs are stored back either way).
+    pub use_cache: bool,
+    /// Explicit results directory; `None` uses the harness default
+    /// (`results/`, honoring `R2D2_RESULTS`).
+    pub results_dir: Option<std::path::PathBuf>,
+    /// Per-request/connection log lines on stderr.
+    pub verbose: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8787".into(),
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            queue_cap: 256,
+            job_timeout: Duration::from_secs(600),
+            use_cache: true,
+            results_dir: None,
+            verbose: false,
+        }
+    }
+}
+
+/// Everything the connection handlers and workers share.
+struct Shared {
+    cfg: ServerConfig,
+    queue: JobQueue,
+    metrics: Metrics,
+    cache: Cache,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || SIGNALED.load(Ordering::SeqCst)
+    }
+}
+
+/// Handle for requesting shutdown from another thread (tests, embedders).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Request graceful shutdown, as SIGTERM would.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.begin_shutdown();
+    }
+}
+
+/// A bound-but-not-yet-running service.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind the listener and build the shared state. The service does not
+    /// accept connections until [`Server::run`].
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let cache = match &cfg.results_dir {
+            Some(dir) => Cache::at(&dir.join("cache")),
+            None => Cache::open_default(),
+        };
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(cfg.queue_cap),
+            metrics: Metrics::default(),
+            cache,
+            shutdown: AtomicBool::new(false),
+            cfg,
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The actual bound address (resolves `:0` port picks).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A shutdown handle, cloneable across threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Run until graceful shutdown completes: accept loop + worker pool,
+    /// then drain. Returns once every worker has finished its last job.
+    pub fn run(self) -> std::io::Result<()> {
+        let Server { listener, shared } = self;
+        listener.set_nonblocking(true)?;
+
+        let mut workers = Vec::new();
+        for i in 0..shared.cfg.workers {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("r2d2-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker"),
+            );
+        }
+
+        while !shared.shutting_down() {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name("r2d2-serve-conn".into())
+                        .spawn(move || handle_connection(stream, peer, &shared))
+                        .expect("spawn connection handler");
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain: stop the queue (fails pending jobs, wakes workers), then
+        // wait for in-flight jobs to finish.
+        shared.queue.begin_shutdown();
+        for w in workers {
+            let _ = w.join();
+        }
+        if shared.cfg.verbose {
+            eprintln!("[serve] drained; bye");
+        }
+        Ok(())
+    }
+}
+
+/// Worker: pop jobs until shutdown, executing each under the watchdog.
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        shared.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+
+        // Run the simulation on a dedicated thread so the watchdog can give
+        // up on it. On timeout the thread is abandoned: it finishes in the
+        // background (the simulator has its own cycle watchdog) and its
+        // result is dropped with the channel.
+        let (tx, rx) = mpsc::channel();
+        let spec = job.spec.clone();
+        let cache = shared.cache.clone();
+        let use_cache = shared.cfg.use_cache;
+        std::thread::Builder::new()
+            .name("r2d2-serve-sim".into())
+            .spawn(move || {
+                let result = Executor::new(&cache).use_cache(use_cache).run(&spec);
+                let _ = tx.send(result);
+            })
+            .expect("spawn sim thread");
+
+        let outcome = rx.recv_timeout(shared.cfg.job_timeout);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        match outcome {
+            Ok(Ok(rec)) => {
+                if rec.cached {
+                    shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shared.metrics.simulated.fetch_add(1, Ordering::Relaxed);
+                }
+                shared.metrics.observe_wall_ms(wall_ms);
+                if shared.cfg.verbose {
+                    eprintln!(
+                        "[serve] {} {} {:.0}ms{}",
+                        job.id,
+                        job.spec.label(),
+                        wall_ms,
+                        if rec.cached { " (cached)" } else { "" }
+                    );
+                }
+                job.mark_done(rec);
+            }
+            Ok(Err(e)) => {
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                if shared.cfg.verbose {
+                    eprintln!("[serve] {} {} FAILED: {e}", job.id, job.spec.label());
+                }
+                job.mark_failed(e);
+            }
+            Err(_) => {
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                let msg = format!(
+                    "timed out after {:.0}s (per-job watchdog)",
+                    shared.cfg.job_timeout.as_secs_f64()
+                );
+                if shared.cfg.verbose {
+                    eprintln!("[serve] {} {} {msg}", job.id, job.spec.label());
+                }
+                job.mark_failed(msg);
+            }
+        }
+        shared.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+        shared.queue.finished(&job);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, peer: std::net::SocketAddr, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let response = match read_request(&mut stream) {
+        Ok(req) => {
+            let resp = route(&req, shared);
+            if shared.cfg.verbose {
+                eprintln!(
+                    "[serve] {peer} {} {} -> {}",
+                    req.method, req.path, resp.status
+                );
+            }
+            resp
+        }
+        Err(ParseError::ConnectionClosed) => return,
+        Err(ParseError::TooLarge) => Response::text(413, "request too large"),
+        Err(ParseError::Malformed(e)) => Response::text(400, &format!("malformed request: {e}")),
+        Err(ParseError::Io(_)) => return,
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+fn route(req: &Request, shared: &Arc<Shared>) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/jobs") => post_jobs(req, shared),
+        ("GET", path) if path.starts_with("/jobs/") => get_job(&path["/jobs/".len()..], shared),
+        ("GET", "/healthz") => {
+            if shared.shutting_down() {
+                Response::text(503, "draining")
+            } else {
+                Response::text(200, "ok")
+            }
+        }
+        ("GET", "/metrics") => Response::text(200, &shared.metrics.render(shared.queue.depth())),
+        ("POST", "/shutdown") => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.queue.begin_shutdown();
+            Response::text(200, "draining")
+        }
+        ("GET" | "POST", _) => Response::text(404, "not found"),
+        _ => Response::text(405, "method not allowed"),
+    }
+}
+
+/// JSON body for one job's state.
+fn job_json(
+    id: &str,
+    spec: &JobSpec,
+    status: JobStatus,
+    record: Option<&r2d2_harness::RunRecord>,
+    error: Option<&str>,
+) -> Value {
+    obj(vec![
+        ("id", json::s(id)),
+        ("status", json::s(status.as_str())),
+        ("spec", spec.to_json()),
+        (
+            "record",
+            record.map_or(Value::Null, r2d2_harness::RunRecord::to_json),
+        ),
+        ("error", error.map_or(Value::Null, json::s)),
+    ])
+}
+
+fn error_json(msg: &str) -> Value {
+    obj(vec![("error", json::s(msg))])
+}
+
+fn post_jobs(req: &Request, shared: &Arc<Shared>) -> Response {
+    let Some(body) = req.body_str() else {
+        return Response::json(400, &error_json("body must be UTF-8 JSON"));
+    };
+    let parsed = match json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return Response::json(400, &error_json(&format!("bad JSON: {e}"))),
+    };
+    let spec = match JobSpec::from_json_request(&parsed) {
+        Ok(s) => s,
+        Err(e) => return Response::json(400, &error_json(&format!("bad JobSpec: {e}"))),
+    };
+    if !r2d2_workloads::is_valid_id(&spec.workload) {
+        return Response::json(
+            400,
+            &error_json(&format!("unknown workload id {:?}", spec.workload)),
+        );
+    }
+
+    shared.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+
+    // Probe the result cache before queueing: completed experiments answer
+    // instantly without occupying a queue slot or a worker.
+    let submit = if shared.cfg.use_cache {
+        match Executor::new(&shared.cache).probe(&spec) {
+            Some(rec) => {
+                shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.observe_wall_ms(0.0);
+                shared.queue.insert_completed(spec.clone(), rec)
+            }
+            None => shared.queue.submit(spec.clone()),
+        }
+    } else {
+        shared.queue.submit(spec.clone())
+    };
+
+    let (job, deduped, status_code) = match submit {
+        Submit::Enqueued(job) => (job, false, 202),
+        Submit::Existing(job) => {
+            shared.metrics.deduped.fetch_add(1, Ordering::Relaxed);
+            (job, true, 200)
+        }
+        Submit::Full => {
+            shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+            return Response::json(429, &error_json("queue full; retry later"))
+                .header("Retry-After", "1");
+        }
+        Submit::ShuttingDown => {
+            return Response::json(503, &error_json("server is draining"));
+        }
+    };
+
+    if req.query_param("wait").is_some_and(|v| v != "0") {
+        // Block until completion, bounded by the job watchdog plus slack so
+        // a timed-out job still reports `failed` rather than hanging us.
+        let slack = shared.cfg.job_timeout + Duration::from_secs(30);
+        if !job.wait(slack) {
+            return Response::json(408, &error_json("timed out waiting for the job"));
+        }
+    }
+
+    let (status, record, error) = job.snapshot();
+    let mut fields = match job_json(
+        &job.id,
+        &job.spec,
+        status,
+        record.as_ref(),
+        error.as_deref(),
+    ) {
+        Value::Obj(f) => f,
+        _ => unreachable!("job_json returns an object"),
+    };
+    fields.push(("deduped".into(), Value::Bool(deduped)));
+    let code = if status == JobStatus::Done || status == JobStatus::Failed {
+        200
+    } else {
+        status_code
+    };
+    Response::json(code, &Value::Obj(fields))
+}
+
+fn get_job(id: &str, shared: &Arc<Shared>) -> Response {
+    let Ok(hash) = u64::from_str_radix(id, 16) else {
+        return Response::json(400, &error_json("job ids are 16 hex digits"));
+    };
+    if let Some(job) = shared.queue.get(hash) {
+        let (status, record, error) = job.snapshot();
+        return Response::json(
+            200,
+            &job_json(
+                &job.id,
+                &job.spec,
+                status,
+                record.as_ref(),
+                error.as_deref(),
+            ),
+        );
+    }
+    // Fall back to the on-disk cache: evicted entries and results produced
+    // by earlier processes are still addressable by the same id.
+    if let Some((spec, rec)) = load_cached_by_hash(&shared.cache, id) {
+        return Response::json(200, &job_json(id, &spec, JobStatus::Done, Some(&rec), None));
+    }
+    Response::json(404, &error_json("unknown job id"))
+}
+
+/// Read `results/cache/<id>.json` directly and verify the embedded spec
+/// hashes to `id` (same trust model as `Cache::load`).
+fn load_cached_by_hash(cache: &Cache, id: &str) -> Option<(JobSpec, r2d2_harness::RunRecord)> {
+    let path = cache.dir().join(format!("{id}.json"));
+    let text = std::fs::read_to_string(path).ok()?;
+    let v = json::parse(&text).ok()?;
+    let spec = JobSpec::from_json(v.get("spec")?)?;
+    if spec.hash_hex() != id {
+        return None;
+    }
+    let rec = r2d2_harness::RunRecord::from_json(v.get("record")?)?;
+    Some((spec, rec))
+}

@@ -1,0 +1,260 @@
+//! In-process integration tests of the simulation service: a real
+//! `TcpListener` on a loopback port, real HTTP over `TcpStream`, and real
+//! simulations — only the process boundary is elided (the CLI smoke test in
+//! `crates/cli/tests/serve.rs` covers that).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use r2d2_harness::{Cache, JobSpec, ModelSpec};
+use r2d2_serve::{client, Server, ServerConfig, ServerHandle};
+use r2d2_sim::{GpuConfig, SimSession, Stats};
+use r2d2_workloads::Size;
+
+const T: Duration = Duration::from_secs(120);
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("r2d2-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Start a server on an ephemeral loopback port with its own results dir.
+/// Returns `(addr, handle, join, results_dir)`.
+fn start(
+    tag: &str,
+    workers: usize,
+    queue_cap: usize,
+) -> (
+    String,
+    ServerHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+    PathBuf,
+) {
+    let results = tmpdir(tag);
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_cap,
+        job_timeout: Duration::from_secs(300),
+        use_cache: true,
+        results_dir: Some(results.clone()),
+        verbose: false,
+    };
+    let server = Server::bind(cfg).expect("bind loopback");
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, handle, join, results)
+}
+
+fn stop(handle: &ServerHandle, join: std::thread::JoinHandle<std::io::Result<()>>) {
+    handle.shutdown();
+    join.join().expect("server thread").expect("clean exit");
+}
+
+/// The Stats a direct in-process `SimSession` run produces for `spec`,
+/// merged across the workload's launches — the ground truth the service
+/// must match bit-for-bit.
+fn direct_stats(spec: &JobSpec) -> Stats {
+    let w = r2d2_workloads::resolve(&spec.workload, spec.size).expect("zoo workload");
+    let cfg = GpuConfig::default();
+    let mut gmem = w.gmem.clone();
+    let mut stats = Stats::default();
+    for l in &w.launches {
+        let mut filter = r2d2_sim::BaselineFilter;
+        let s = SimSession::new(&cfg)
+            .filter(&mut filter)
+            .run(l, &mut gmem)
+            .expect("direct simulation");
+        stats.merge_sequential(&s);
+    }
+    stats
+}
+
+#[test]
+fn served_stats_match_direct_simsession_run_bit_for_bit() {
+    let (addr, handle, join, results) = start("bitident", 2, 16);
+    let spec = JobSpec::new("NN", Size::Small, ModelSpec::Baseline);
+
+    let outcome = client::submit(&addr, &spec, true, T).expect("submit --wait");
+    assert_eq!(outcome.status, 200, "{:?}", outcome.body);
+    assert_eq!(outcome.job_status(), Some("done"));
+    assert_eq!(outcome.job_id(), Some(spec.hash_hex().as_str()));
+
+    // Decode the served record through the same JSON layer the harness
+    // uses, then compare against a direct in-process run.
+    let rec = r2d2_harness::RunRecord::from_json(outcome.body.get("record").expect("record"))
+        .expect("record decodes");
+    assert_eq!(
+        rec.stats,
+        direct_stats(&spec),
+        "served Stats must be bit-identical to a direct SimSession run"
+    );
+    assert!(!rec.cached, "first run simulates");
+
+    // And the result landed in the content-addressed cache on disk.
+    let cache = Cache::at(&results.join("cache"));
+    assert_eq!(cache.load(&spec).map(|r| r.stats), Some(rec.stats.clone()));
+
+    // A second submission coalesces onto the completed entry — identical
+    // stats, flagged as deduplicated, and no second simulation (metrics).
+    let again = client::submit(&addr, &spec, true, T).expect("resubmit");
+    let rec2 = r2d2_harness::RunRecord::from_json(again.body.get("record").unwrap()).unwrap();
+    assert_eq!(rec2.stats, rec.stats);
+    assert_eq!(
+        again.body.get("deduped"),
+        Some(&r2d2_harness::json::Value::Bool(true)),
+        "{:?}",
+        again.body
+    );
+    let text = client::metrics(&addr, T).expect("metrics");
+    assert!(
+        text.contains("r2d2_serve_jobs_simulated_total 1"),
+        "resubmission must not simulate again:\n{text}"
+    );
+
+    stop(&handle, join);
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn duplicate_concurrent_submissions_execute_exactly_once() {
+    let (addr, handle, join, results) = start("dedup", 2, 16);
+    let spec = JobSpec::new("BP", Size::Small, ModelSpec::Baseline);
+
+    // Fire N identical submissions concurrently; every one must come back
+    // `done` with the same job id, and the metrics must show exactly one
+    // simulation (dedup coalescing, completed-entry reuse, or a disk-cache
+    // hit — never a second execution).
+    const N: usize = 8;
+    let addr = Arc::new(addr);
+    let results_list: Vec<_> = (0..N)
+        .map(|_| {
+            let addr = Arc::clone(&addr);
+            let spec = spec.clone();
+            std::thread::spawn(move || client::submit(&addr, &spec, true, T).expect("submit"))
+        })
+        .collect();
+    let outcomes: Vec<_> = results_list
+        .into_iter()
+        .map(|j| j.join().expect("client thread"))
+        .collect();
+    for o in &outcomes {
+        assert_eq!(o.status, 200, "{:?}", o.body);
+        assert_eq!(o.job_status(), Some("done"));
+        assert_eq!(o.job_id(), Some(spec.hash_hex().as_str()));
+    }
+
+    let text = client::metrics(&addr, T).expect("metrics");
+    let metric = |name: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(&format!("r2d2_serve_{name} ")))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no {name} in:\n{text}"))
+    };
+    assert_eq!(
+        metric("jobs_simulated_total"),
+        1,
+        "identical submissions must simulate exactly once\n{text}"
+    );
+    assert_eq!(metric("jobs_submitted_total"), N as u64);
+    assert_eq!(metric("jobs_failed_total"), 0);
+
+    stop(&handle, join);
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn full_queue_sheds_with_429_and_retry_after() {
+    // No workers: submissions stay pending, so the queue fills
+    // deterministically to its cap of 2.
+    let (addr, handle, join, results) = start("shed", 0, 2);
+    let mut specs = Vec::new();
+    for n in 1..=3u32 {
+        let mut s = JobSpec::new("NN", Size::Small, ModelSpec::Baseline);
+        s.overrides.num_sms = Some(n);
+        specs.push(s);
+    }
+
+    for s in &specs[..2] {
+        let o = client::submit(&addr, s, false, T).expect("submit");
+        assert_eq!(o.status, 202, "{:?}", o.body);
+        assert_eq!(o.job_status(), Some("queued"));
+    }
+    // Third distinct spec: queue is at cap.
+    let body = specs[2].to_json().to_json();
+    let resp = r2d2_serve::http::client_request(&addr, "POST", "/jobs", Some(&body), T).unwrap();
+    assert_eq!(resp.status, 429, "{}", resp.body);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+    // But a duplicate of a queued spec still coalesces instead of shedding.
+    let o = client::submit(&addr, &specs[0], false, T).expect("dup submit");
+    assert_eq!(o.status, 200);
+    assert_eq!(o.job_status(), Some("queued"));
+
+    // GET /jobs/<id> sees the queued entries; unknown ids 404.
+    let o = client::job_status(&addr, &specs[1].hash_hex(), T).unwrap();
+    assert_eq!((o.status, o.job_status()), (200, Some("queued")));
+    let o = client::job_status(&addr, "0000000000000000", T).unwrap();
+    assert_eq!(o.status, 404);
+
+    stop(&handle, join);
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn bad_submissions_are_rejected_with_400() {
+    let (addr, handle, join, results) = start("badreq", 1, 4);
+    let post = |body: &str| {
+        r2d2_serve::http::client_request(&addr, "POST", "/jobs", Some(body), T)
+            .unwrap()
+            .status
+    };
+    assert_eq!(post("not json"), 400);
+    assert_eq!(post("{\"size\": \"small\"}"), 400, "workload is required");
+    assert_eq!(post("{\"workload\": \"NOPE\"}"), 400, "unknown workload id");
+    assert_eq!(
+        post("{\"workload\": \"NN\", \"model\": \"quantum\"}"),
+        400,
+        "unknown model"
+    );
+    assert_eq!(
+        post("{\"workload\": \"NN\", \"size\": \"tiny\"}"),
+        400,
+        "unknown size"
+    );
+    // Unknown paths and methods.
+    let r = r2d2_serve::http::client_request(&addr, "GET", "/nope", None, T).unwrap();
+    assert_eq!(r.status, 404);
+    let r = r2d2_serve::http::client_request(&addr, "PUT", "/jobs", None, T).unwrap();
+    assert_eq!(r.status, 405);
+    stop(&handle, join);
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn healthz_flips_to_draining_and_shutdown_drains_pending() {
+    let (addr, handle, join, results) = start("drain", 0, 8);
+    let (code, body) = client::healthz(&addr, T).unwrap();
+    assert_eq!((code, body.as_str()), (200, "ok"));
+
+    // Park a job (no workers), then shut down: the pending job must fail
+    // with a shutdown error and new submissions must see 503.
+    let spec = JobSpec::new("NN", Size::Small, ModelSpec::Baseline);
+    let o = client::submit(&addr, &spec, false, T).unwrap();
+    assert_eq!(o.status, 202);
+    assert_eq!(client::shutdown(&addr, T).unwrap(), 200);
+
+    join.join().expect("server thread").expect("clean exit");
+    drop(handle);
+
+    // The server is gone: the port no longer accepts connections.
+    assert!(
+        client::healthz(&addr, Duration::from_secs(2)).is_err(),
+        "listener must be closed after drain"
+    );
+    let _ = std::fs::remove_dir_all(&results);
+}

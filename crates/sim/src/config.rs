@@ -100,7 +100,7 @@ impl Default for R2d2Latencies {
     }
 }
 
-/// Which main-loop implementation [`crate::timing::simulate`] uses.
+/// Which main-loop implementation a [`crate::SimSession`] run uses.
 ///
 /// Both produce bit-identical [`crate::Stats`] and global memory — the
 /// equivalence is enforced by the `loop_equivalence` differential test across

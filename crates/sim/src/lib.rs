@@ -69,8 +69,6 @@ pub use mem::GlobalMem;
 pub use session::SimSession;
 pub use stats::Stats;
 pub use timing::{blocks_per_sm, phys_regs_estimate, SimError};
-#[allow(deprecated)]
-pub use timing::{simulate, simulate_with_sink};
 
 // Observability layer (see `r2d2-trace`): the sink trait the timing loops
 // are generic over, plus the stall-attribution profiler and its exporters.

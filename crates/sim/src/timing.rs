@@ -31,9 +31,9 @@
 //! the exactness argument.
 //!
 //! The whole machinery is generic over an [`EventSink`] (see `r2d2-trace`):
-//! every instrumentation site is guarded by `if S::ENABLED`, so the default
-//! [`simulate`] entry point (which passes [`NullSink`]) monomorphizes to the
-//! uninstrumented hot loop, while [`simulate_with_sink`] with a
+//! every instrumentation site is guarded by `if S::ENABLED`, so an
+//! unobserved [`crate::SimSession`] run (which passes [`r2d2_trace::NullSink`])
+//! monomorphizes to the uninstrumented hot loop, while `.sink(...)` with a
 //! [`r2d2_trace::Profiler`] records per-SM/per-warp stall attribution and
 //! time series. Both loop kinds emit identical event streams — the
 //! event-driven loop reports skipped idle spans via `idle_skip`, which the
@@ -49,7 +49,7 @@ use crate::linear::{LinearMeta, LinearStore, Phase};
 use crate::mem::GlobalMem;
 use crate::stats::Stats;
 use r2d2_isa::{AtomOp, Cfg, Dst, Instr, Kernel, MemOffset, MemSpace, Op, Operand, Ty};
-use r2d2_trace::{EventSink, MemLevel, NullSink, StallCause};
+use r2d2_trace::{EventSink, MemLevel, StallCause};
 
 mod shard;
 
@@ -1979,53 +1979,10 @@ fn run_event<S: EventSink>(ctx: &LaunchCtx<'_>, m: &mut Machine<'_, S>) -> Resul
     Ok(now)
 }
 
-/// Run a launch on the timing model. Functional results land in `gmem`
-/// exactly as in the functional runner; `filter` decides per-instruction
-/// charging (pass [`crate::filter::BaselineFilter`] for the baseline GPU).
-///
-/// The main loop implementation is chosen by `cfg.loop_kind`; both produce
-/// bit-identical results (see module docs).
-///
-/// # Errors
-///
-/// [`SimError`] on deadlock, watchdog, runaway warps, or a block that cannot
-/// fit on an SM.
-#[deprecated(note = "use SimSession")]
-pub fn simulate(
-    cfg: &GpuConfig,
-    launch: &Launch,
-    gmem: &mut GlobalMem,
-    filter: &mut dyn IssueFilter,
-) -> Result<Stats, SimError> {
-    run_launch(cfg, launch, gmem, filter, &mut NullSink, cfg.threads)
-}
-
-/// [`simulate`] with an explicit [`EventSink`] observing the timing loops.
-///
-/// Pass a [`r2d2_trace::Profiler`] to collect stall attribution and
-/// time series; the profiler may be reused across launches to profile a
-/// multi-kernel workload as one run. Event streams are identical under both
-/// loop kinds, and the returned [`Stats`] are bit-identical to an
-/// unobserved run.
-///
-/// # Errors
-///
-/// Same as [`simulate`]. On error the sink's `launch_done` is never called.
-#[deprecated(note = "use SimSession")]
-pub fn simulate_with_sink<S: EventSink>(
-    cfg: &GpuConfig,
-    launch: &Launch,
-    gmem: &mut GlobalMem,
-    filter: &mut dyn IssueFilter,
-    sink: &mut S,
-) -> Result<Stats, SimError> {
-    run_launch(cfg, launch, gmem, filter, sink, cfg.threads)
-}
-
-/// The single real entry point behind [`crate::SimSession`] and the
-/// deprecated wrappers: set up launch-wide state, dispatch the initial block
-/// wave, then run single-threaded (`threads <= 1`, or when the filter cannot
-/// be forked) or sharded across `threads` workers.
+/// The single real entry point behind [`crate::SimSession`]: set up
+/// launch-wide state, dispatch the initial block wave, then run
+/// single-threaded (`threads <= 1`, or when the filter cannot be forked) or
+/// sharded across `threads` workers.
 pub(crate) fn run_launch<S: EventSink>(
     cfg: &GpuConfig,
     launch: &Launch,

@@ -30,7 +30,7 @@
 //! instrumentation site in the timing loops is wrapped in
 //! `if S::ENABLED { ... }`. For [`NullSink`] (`ENABLED = false`) the branch is
 //! a compile-time constant, so monomorphization deletes the instrumentation —
-//! the default `simulate` entry point compiles to the same hot loop as before
+//! an unobserved `SimSession` run compiles to the same hot loop as before
 //! this crate existed. The smoke micro bench plus the CI bench-regression
 //! gate (`scripts/check_bench_baseline.py`) keep that claim honest.
 

@@ -125,7 +125,7 @@ pub trait EventSink {
     }
 }
 
-/// The do-nothing sink used by the plain `simulate` entry point.
+/// The do-nothing sink used by an unobserved `SimSession` run.
 ///
 /// With `ENABLED = false` every `if S::ENABLED { sink.hook(..) }` guard is a
 /// constant-false branch, so the optimizer removes both the branch and the

@@ -198,6 +198,16 @@ pub fn resolve(id: &str, size: Size) -> Option<Workload> {
     }
 }
 
+/// Whether `id` names something [`resolve`] can build — without building it
+/// (some workloads construct megabytes of input data). Cheap enough to
+/// validate ids at submission time, e.g. in `r2d2-serve`'s `POST /jobs`.
+pub fn is_valid_id(id: &str) -> bool {
+    if let Some(log) = id.strip_prefix("BP@n") {
+        return log.parse::<u32>().is_ok_and(|l| (1..=16).contains(&l));
+    }
+    NAMES.iter().any(|(n, _)| *n == id) || matches!(id, "vecadd" | "saxpy")
+}
+
 /// Backprop with a configurable number of input nodes (`2^log_nodes`) for the
 /// Table 3 blocks-per-grid sensitivity study.
 pub fn backprop_scaled(log_nodes: u32) -> Workload {

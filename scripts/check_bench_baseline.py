@@ -14,20 +14,36 @@ Absolute throughput depends on the host, so the committed baseline mainly
 guards the *relative* health of the hot paths on CI's runner class. After
 an intentional perf change or a runner migration, refresh the baseline
 with scripts/update_bench_baseline.sh.
+
+Multi-threaded metrics (`sim_*_tN_*`, N > 1) are only comparable when both
+the baseline and the current run had real parallelism: on a single-core
+host they mostly measure shard-barrier overhead. When either side's
+`host_parallelism` is 1 (falling back to os.cpu_count() for dumps that
+predate the field), those metrics are reported but skipped, not gated.
 """
 
 import json
 import os
+import re
 import sys
 
+MULTI_THREAD_METRIC = re.compile(r"^sim_.*_t([2-9]|\d{2,})_")
 
-def load_metrics(path):
+
+def load_doc(path):
     with open(path) as f:
         doc = json.load(f)
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict) or not metrics:
         sys.exit(f"error: {path} has no metrics object")
-    return metrics
+    return doc, metrics
+
+
+def host_parallelism(doc):
+    par = doc.get("host_parallelism")
+    if isinstance(par, int) and par > 0:
+        return par
+    return os.cpu_count() or 1
 
 
 def main():
@@ -35,16 +51,37 @@ def main():
         sys.exit(__doc__.strip())
     baseline_path, new_path = sys.argv[1], sys.argv[2]
     tolerance = float(os.environ.get("R2D2_BENCH_TOLERANCE", "0.25"))
-    baseline = load_metrics(baseline_path)
-    new = load_metrics(new_path)
+    baseline_doc, baseline = load_doc(baseline_path)
+    new_doc, new = load_doc(new_path)
+
+    single_core = min(host_parallelism(baseline_doc),
+                      host_parallelism(new_doc)) == 1
+    if single_core:
+        print("note: single-core host on one side "
+              f"(baseline={host_parallelism(baseline_doc)}, "
+              f"new={host_parallelism(new_doc)}); "
+              "multi-threaded sim_*_tN_* metrics are not gated")
 
     failures = []
+    skipped = 0
     width = max(len(k) for k in baseline)
     print(f"{'metric':<{width}} {'baseline':>14} {'new':>14} {'ratio':>7}")
     for name, old in sorted(baseline.items()):
+        skip_mt = single_core and MULTI_THREAD_METRIC.match(name)
         if name not in new:
+            if skip_mt:
+                skipped += 1
+                print(f"{name:<{width}} {old:>14.1f} {'MISSING':>14}"
+                      "  (skipped: single-core host)")
+                continue
             failures.append(f"{name}: missing from new run")
             print(f"{name:<{width}} {old:>14.1f} {'MISSING':>14}")
+            continue
+        if skip_mt:
+            skipped += 1
+            ratio = new[name] / old if old > 0 else float("inf")
+            print(f"{name:<{width}} {old:>14.1f} {new[name]:>14.1f} "
+                  f"{ratio:>6.2f}x  (skipped: single-core host)")
             continue
         ratio = new[name] / old if old > 0 else float("inf")
         flag = ""
@@ -66,8 +103,10 @@ def main():
               "scripts/update_bench_baseline.sh and commit the result.",
               file=sys.stderr)
         sys.exit(1)
-    print(f"\nOK: all {len(baseline)} metrics within {tolerance:.0%} "
-          "of baseline")
+    gated = len(baseline) - skipped
+    note = f" ({skipped} multi-threaded metric(s) skipped)" if skipped else ""
+    print(f"\nOK: all {gated} gated metrics within {tolerance:.0%} "
+          f"of baseline{note}")
 
 
 if __name__ == "__main__":

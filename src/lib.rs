@@ -16,6 +16,8 @@
 //! | [`core`] | `r2d2-core` | the R2D2 analyzer/generator/microarchitecture |
 //! | [`baselines`] | `r2d2-baselines` | WP/TB/LN ideal machines, DAC, DARSIE |
 //! | [`workloads`] | `r2d2-workloads` | the Table 2 benchmark zoo |
+//! | [`harness`] | `r2d2-harness` | parallel job runner + content-addressed result cache |
+//! | [`serve`] | `r2d2-serve` | resident simulation service (job queue, workers, HTTP/JSON API) |
 //!
 //! # Quickstart
 //!
@@ -47,7 +49,9 @@
 pub use r2d2_baselines as baselines;
 pub use r2d2_core as core;
 pub use r2d2_energy as energy;
+pub use r2d2_harness as harness;
 pub use r2d2_isa as isa;
+pub use r2d2_serve as serve;
 pub use r2d2_sim as sim;
 pub use r2d2_sym as sym;
 pub use r2d2_trace as trace;
