@@ -54,6 +54,15 @@
 //!     --sms N               override the SM count
 //!     --threads N           shard the simulation across N threads
 //!     (model: baseline | dac | darsie | darsie-scalar | r2d2 | ideals)
+//! r2d2 submit --set <name> [--addr HOST:PORT]
+//!     batch-submit a named figure set (see `r2d2 sweep list`); prints the
+//!     per-job ids
+//! r2d2 submit --batch <file.json> [--addr HOST:PORT]
+//!     batch-submit a JSON array of JobSpecs from a file
+//! r2d2 cancel <id> [--addr HOST:PORT]
+//!     cancel a queued or running job by id (DELETE /jobs/<id>)
+//! r2d2 watch <id> [--addr HOST:PORT]
+//!     stream a job's progress snapshots as NDJSON until it completes
 //! ```
 //!
 //! `sweep` shares its job sets — and therefore its content-addressed cache
@@ -82,9 +91,11 @@ fn main() -> ExitCode {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
+        Some("cancel") => cmd_cancel(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
         _ => {
             eprintln!(
-                "usage: r2d2 <list|analyze|transform|run|trace|workload|profile|sweep|serve|submit> ..."
+                "usage: r2d2 <list|analyze|transform|run|trace|workload|profile|sweep|serve|submit|cancel|watch> ..."
             );
             eprintln!("see `r2d2-cli` crate docs for options");
             return ExitCode::from(2);
@@ -594,13 +605,23 @@ fn cmd_serve(args: &[String]) -> CliResult {
         "listening on {addr} ({} workers, queue cap {})",
         cfg.workers, cfg.queue_cap
     );
-    println!("endpoints: POST /jobs, GET /jobs/<id>, GET /healthz, GET /metrics, POST /shutdown");
+    println!(
+        "endpoints: POST /jobs, POST /jobs/batch, GET /jobs/<id>, DELETE /jobs/<id>, \
+         GET /jobs/<id>/progress, GET /healthz, GET /metrics, POST /shutdown"
+    );
     server.run()?;
     Ok(())
 }
 
 fn cmd_submit(args: &[String]) -> CliResult {
     use r2d2_harness::{JobSpec, ModelSpec};
+
+    // Batch modes delegate to `POST /jobs/batch`.
+    match args.first().map(String::as_str) {
+        Some("--set") => return cmd_submit_set(&args[1..]),
+        Some("--batch") => return cmd_submit_batch(&args[1..]),
+        _ => {}
+    }
 
     let workload = args.first().ok_or("missing workload id")?.clone();
     let model: ModelSpec = args
@@ -644,6 +665,84 @@ fn cmd_submit(args: &[String]) -> CliResult {
     println!("{}", outcome.body.to_json());
     if outcome.status >= 400 || outcome.job_status() == Some("failed") {
         return Err(format!("submission ended with HTTP {}", outcome.status).into());
+    }
+    Ok(())
+}
+
+/// Parse `--addr HOST:PORT` out of trailing service-command options.
+fn parse_addr(args: &[String]) -> Result<String, Box<dyn std::error::Error>> {
+    let mut addr = "127.0.0.1:8787".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = args.get(i + 1).ok_or("--addr needs a value")?.clone();
+                i += 1;
+            }
+            other => return Err(format!("unknown option {other}").into()),
+        }
+        i += 1;
+    }
+    Ok(addr)
+}
+
+fn cmd_submit_set(args: &[String]) -> CliResult {
+    let name = args
+        .first()
+        .ok_or("--set needs a set name (try `r2d2 sweep list`)")?;
+    let addr = parse_addr(&args[1..])?;
+    let outcome = r2d2_serve::submit_set(&addr, name, std::time::Duration::from_secs(60))?;
+    println!("{}", outcome.body.to_json());
+    if outcome.status >= 400 {
+        return Err(format!("batch submission ended with HTTP {}", outcome.status).into());
+    }
+    Ok(())
+}
+
+fn cmd_submit_batch(args: &[String]) -> CliResult {
+    use r2d2_harness::JobSpec;
+
+    let file = args.first().ok_or("--batch needs a JSON file path")?;
+    let addr = parse_addr(&args[1..])?;
+    let text = std::fs::read_to_string(file)?;
+    let parsed = r2d2_harness::json::parse(&text).map_err(|e| format!("{file}: bad JSON: {e}"))?;
+    let items = parsed
+        .as_arr()
+        .ok_or_else(|| format!("{file}: batch file must hold a JSON array of JobSpecs"))?;
+    let specs = items
+        .iter()
+        .enumerate()
+        .map(|(i, v)| JobSpec::from_json_request(v).map_err(|e| format!("{file} job {i}: {e}")))
+        .collect::<Result<Vec<_>, _>>()?;
+    let outcome = r2d2_serve::submit_batch(&addr, &specs, std::time::Duration::from_secs(60))?;
+    println!("{}", outcome.body.to_json());
+    if outcome.status >= 400 {
+        return Err(format!("batch submission ended with HTTP {}", outcome.status).into());
+    }
+    Ok(())
+}
+
+fn cmd_cancel(args: &[String]) -> CliResult {
+    let id = args.first().ok_or("missing job id")?;
+    let addr = parse_addr(&args[1..])?;
+    let outcome = r2d2_serve::cancel(&addr, id, std::time::Duration::from_secs(30))?;
+    println!("{}", outcome.body.to_json());
+    if outcome.status >= 400 {
+        return Err(format!("cancel ended with HTTP {}", outcome.status).into());
+    }
+    Ok(())
+}
+
+fn cmd_watch(args: &[String]) -> CliResult {
+    let id = args.first().ok_or("missing job id")?;
+    let addr = parse_addr(&args[1..])?;
+    // The read timeout bounds each quiet stretch of the stream, not the
+    // whole watch; a job parked behind a long queue can be silent a while.
+    let status = r2d2_serve::watch(&addr, id, std::time::Duration::from_secs(3600), &mut |v| {
+        println!("{}", v.to_json());
+    })?;
+    if status >= 400 {
+        return Err(format!("watch ended with HTTP {status}").into());
     }
     Ok(())
 }

@@ -44,6 +44,14 @@ pub use runner::{
 };
 pub use spec::{ConfigOverrides, JobSpec, ModelSpec, SCHEMA_VERSION};
 
+/// Cooperative cancellation token, re-exported from `r2d2-sim` so service
+/// layers can thread it through [`Executor::cancel`] without a direct sim
+/// dependency.
+pub use r2d2_sim::CancelToken;
+/// Live time-series mirror, re-exported from `r2d2-trace` for
+/// [`Executor::progress`].
+pub use r2d2_trace::{Progress, ProgressSnapshot};
+
 /// Workload size selected by `R2D2_SIZE` (default: full) — shared by the
 /// bench targets and the CLI.
 pub fn size_from_env() -> r2d2_workloads::Size {

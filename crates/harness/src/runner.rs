@@ -17,9 +17,10 @@ use std::time::Instant;
 use r2d2_core::transform::make_launch;
 use r2d2_energy::EnergyModel;
 use r2d2_sim::{
-    BaselineFilter, GlobalMem, GpuConfig, IssueFilter, Launch, Profiler, SimError, SimSession,
-    Stats,
+    BaselineFilter, CancelToken, GlobalMem, GpuConfig, IssueFilter, Launch, Profiler, SimError,
+    SimSession, Stats,
 };
+use r2d2_trace::Progress;
 
 use crate::cache::Cache;
 use crate::record::RunRecord;
@@ -90,7 +91,8 @@ pub fn resolve_threads(spec: &JobSpec) -> u32 {
         .unwrap_or(1)
 }
 
-/// Run one launch, observed by the profiler when one is attached.
+/// Run one launch, observed by the profiler when one is attached and
+/// watching the cancel token when one is supplied.
 fn sim_one(
     cfg: &GpuConfig,
     launch: &Launch,
@@ -98,8 +100,12 @@ fn sim_one(
     filter: &mut dyn IssueFilter,
     prof: &mut Option<&mut Profiler>,
     threads: u32,
+    cancel: Option<&CancelToken>,
 ) -> Result<Stats, SimError> {
-    let session = SimSession::new(cfg).filter(filter).threads(threads);
+    let mut session = SimSession::new(cfg).filter(filter).threads(threads);
+    if let Some(token) = cancel {
+        session = session.cancel(token);
+    }
     match prof {
         Some(p) => session.sink(*p).run(launch, gmem),
         None => session.run(launch, gmem),
@@ -114,13 +120,35 @@ fn sim_one(
 /// artifacts land under `results/profiles/` — see
 /// [`crate::export::write_profile_artifacts`].
 pub fn execute(spec: &JobSpec) -> Result<RunRecord, String> {
-    if !spec.profile {
-        return execute_inner(spec, None);
+    execute_hooked(spec, None, None)
+}
+
+/// [`execute`] with a cancel token and/or a live progress mirror attached —
+/// the entry point the `r2d2-serve` worker pool uses via [`Executor`].
+///
+/// A triggered `cancel` aborts the simulation at the next check point
+/// (within one epoch) with a "cancelled" error. When `progress` is supplied
+/// and the spec is not itself a profiled job, a throwaway profiler rides
+/// along purely to feed the mirror: its totals are **not** absorbed into the
+/// record's `Stats`, so the result stays bit-identical to an unobserved run
+/// (and cache-compatible with it).
+fn execute_hooked(
+    spec: &JobSpec,
+    cancel: Option<&CancelToken>,
+    progress: Option<&Progress>,
+) -> Result<RunRecord, String> {
+    if !spec.profile && progress.is_none() {
+        return execute_inner(spec, None, cancel, false);
     }
     let mut prof = Profiler::default();
-    let rec = execute_inner(spec, Some(&mut prof))?;
-    if let Err(e) = crate::export::write_profile_artifacts(spec, &prof) {
-        eprintln!("[harness] warning: profile artifact write failed: {e}");
+    if let Some(p) = progress {
+        prof.share_progress(p.clone());
+    }
+    let rec = execute_inner(spec, Some(&mut prof), cancel, spec.profile)?;
+    if spec.profile {
+        if let Err(e) = crate::export::write_profile_artifacts(spec, &prof) {
+            eprintln!("[harness] warning: profile artifact write failed: {e}");
+        }
     }
     Ok(rec)
 }
@@ -130,10 +158,15 @@ pub fn execute(spec: &JobSpec) -> Result<RunRecord, String> {
 /// and time series rather than just the `Stats` totals. No artifacts are
 /// written — the caller owns the profiler.
 pub fn execute_with_profiler(spec: &JobSpec, prof: &mut Profiler) -> Result<RunRecord, String> {
-    execute_inner(spec, Some(prof))
+    execute_inner(spec, Some(prof), None, true)
 }
 
-fn execute_inner(spec: &JobSpec, mut prof: Option<&mut Profiler>) -> Result<RunRecord, String> {
+fn execute_inner(
+    spec: &JobSpec,
+    mut prof: Option<&mut Profiler>,
+    cancel: Option<&CancelToken>,
+    absorb: bool,
+) -> Result<RunRecord, String> {
     let w = r2d2_workloads::resolve(&spec.workload, spec.size)
         .ok_or_else(|| format!("unknown workload id {:?}", spec.workload))?;
     let cfg = spec.overrides.apply();
@@ -143,11 +176,26 @@ fn execute_inner(spec: &JobSpec, mut prof: Option<&mut Profiler>) -> Result<RunR
     let mut stats = Stats::default();
     let mut used_r2d2 = false;
     let mut ideal = None;
+    // The timing loops poll the token every epoch; this check only covers
+    // the gaps they cannot see — between launches, and the functional-only
+    // Ideals measurements.
+    let check_cancel = || -> Result<(), String> {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            Err(format!(
+                "{}/{}: cancelled between launches",
+                w.name,
+                spec.model.name()
+            ))
+        } else {
+            Ok(())
+        }
+    };
 
     match spec.model {
         ModelSpec::Ideals => {
             let mut acc = r2d2_baselines::IdealCounts::default();
             for l in &w.launches {
+                check_cancel()?;
                 let c = r2d2_baselines::measure_ideals(l, &mut gmem)
                     .map_err(|e| format!("{}/Ideals: {e}", w.name))?;
                 acc.baseline += c.baseline;
@@ -160,6 +208,7 @@ fn execute_inner(spec: &JobSpec, mut prof: Option<&mut Profiler>) -> Result<RunR
         }
         ModelSpec::R2d2 => {
             for l in &w.launches {
+                check_cancel()?;
                 let (launch, used) =
                     make_launch(&cfg, &l.kernel, l.grid, l.block, l.params.clone());
                 used_r2d2 |= used;
@@ -170,6 +219,7 @@ fn execute_inner(spec: &JobSpec, mut prof: Option<&mut Profiler>) -> Result<RunR
                     &mut BaselineFilter,
                     &mut prof,
                     threads,
+                    cancel,
                 )
                 .map_err(|e| format!("{}/R2D2: {e}", w.name))?;
                 stats.merge_sequential(&s);
@@ -177,6 +227,7 @@ fn execute_inner(spec: &JobSpec, mut prof: Option<&mut Profiler>) -> Result<RunR
         }
         ModelSpec::R2d2With(opts) => {
             for l in &w.launches {
+                check_cancel()?;
                 let r2 = r2d2_core::transform_with(&l.kernel, &opts);
                 let s = if r2.meta.has_linear() {
                     used_r2d2 = true;
@@ -190,9 +241,18 @@ fn execute_inner(spec: &JobSpec, mut prof: Option<&mut Profiler>) -> Result<RunR
                         &mut BaselineFilter,
                         &mut prof,
                         threads,
+                        cancel,
                     )
                 } else {
-                    sim_one(&cfg, l, &mut gmem, &mut BaselineFilter, &mut prof, threads)
+                    sim_one(
+                        &cfg,
+                        l,
+                        &mut gmem,
+                        &mut BaselineFilter,
+                        &mut prof,
+                        threads,
+                        cancel,
+                    )
                 }
                 .map_err(|e| format!("{}/R2D2(opts): {e}", w.name))?;
                 stats.merge_sequential(&s);
@@ -207,8 +267,17 @@ fn execute_inner(spec: &JobSpec, mut prof: Option<&mut Profiler>) -> Result<RunR
                 _ => unreachable!("handled above"),
             };
             for l in &w.launches {
-                let s = sim_one(&cfg, l, &mut gmem, filter.as_mut(), &mut prof, threads)
-                    .map_err(|e| format!("{}/{}: {e}", w.name, spec.model.name()))?;
+                check_cancel()?;
+                let s = sim_one(
+                    &cfg,
+                    l,
+                    &mut gmem,
+                    filter.as_mut(),
+                    &mut prof,
+                    threads,
+                    cancel,
+                )
+                .map_err(|e| format!("{}/{}: {e}", w.name, spec.model.name()))?;
                 stats.merge_sequential(&s);
             }
         }
@@ -228,7 +297,9 @@ fn execute_inner(spec: &JobSpec, mut prof: Option<&mut Profiler>) -> Result<RunR
                 stats.cycles
             ));
         }
-        stats.absorb_profile(p);
+        if absorb {
+            stats.absorb_profile(p);
+        }
     }
 
     let energy = EnergyModel::volta().breakdown(&stats.events);
@@ -250,6 +321,8 @@ fn execute_inner(spec: &JobSpec, mut prof: Option<&mut Profiler>) -> Result<RunR
 pub struct Executor<'a> {
     cache: &'a Cache,
     use_cache: bool,
+    cancel: Option<CancelToken>,
+    progress: Option<Progress>,
 }
 
 impl<'a> Executor<'a> {
@@ -258,6 +331,8 @@ impl<'a> Executor<'a> {
         Executor {
             cache,
             use_cache: true,
+            cancel: None,
+            progress: None,
         }
     }
 
@@ -265,6 +340,24 @@ impl<'a> Executor<'a> {
     /// so a no-cache run acts as a refresh).
     pub fn use_cache(mut self, yes: bool) -> Self {
         self.use_cache = yes;
+        self
+    }
+
+    /// Watch `token` while simulating: a triggered token aborts the run
+    /// within one epoch with a "cancelled" error (which is never cached).
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Mirror the run's cycle-bucketed time series into `progress` so other
+    /// threads can watch it live. The mirror is marked finished when
+    /// [`Executor::run`] returns (success, failure, or cache hit — a hit
+    /// finishes immediately with an empty series). Attaching a mirror does
+    /// not change the produced [`RunRecord`]: profiled `Stats` totals are
+    /// absorbed only for `spec.profile` jobs, exactly as without a mirror.
+    pub fn progress(mut self, progress: Progress) -> Self {
+        self.progress = Some(progress);
         self
     }
 
@@ -294,12 +387,21 @@ impl<'a> Executor<'a> {
     }
 
     /// Run one job: probe the cache, else simulate and store. See
-    /// [`Executor::probe`] for hit semantics.
+    /// [`Executor::probe`] for hit semantics and [`Executor::cancel`] /
+    /// [`Executor::progress`] for the serve-side hooks.
     pub fn run(&self, spec: &JobSpec) -> Result<RunRecord, String> {
+        let out = self.run_inner(spec);
+        if let Some(p) = &self.progress {
+            p.finish();
+        }
+        out
+    }
+
+    fn run_inner(&self, spec: &JobSpec) -> Result<RunRecord, String> {
         if let Some(rec) = self.probe(spec) {
             return Ok(rec);
         }
-        let rec = execute(spec)?;
+        let rec = execute_hooked(spec, self.cancel.as_ref(), self.progress.as_ref())?;
         if let Err(e) = self.cache.store(spec, &rec) {
             eprintln!("[harness] warning: cache write failed: {e}");
         }
@@ -415,6 +517,48 @@ mod tests {
         assert!(c.baseline > 0);
         assert!(c.ln <= c.baseline);
         assert_eq!(rec.stats, Stats::default(), "ideals jobs do no timing run");
+    }
+
+    #[test]
+    fn pre_cancelled_executor_never_simulates_or_caches() {
+        let dir = std::env::temp_dir().join(format!("r2d2-exec-cancel-{}", std::process::id()));
+        let cache = Cache::at(&dir);
+        let token = CancelToken::new();
+        token.cancel();
+        let progress = Progress::new();
+        let spec = JobSpec::new("NN", Size::Small, ModelSpec::Baseline);
+        let err = Executor::new(&cache)
+            .cancel(token)
+            .progress(progress.clone())
+            .run(&spec)
+            .unwrap_err();
+        assert!(err.contains("cancelled"), "{err}");
+        assert!(cache.load(&spec).is_none(), "cancelled runs are not cached");
+        assert!(progress.snapshot().finished, "mirror finishes on error too");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn progress_mirror_does_not_change_the_record() {
+        let dir = std::env::temp_dir().join(format!("r2d2-exec-prog-{}", std::process::id()));
+        let cache = Cache::at(&dir);
+        let spec = JobSpec::new("NN", Size::Small, ModelSpec::Baseline);
+        let progress = Progress::new();
+        let watched = Executor::new(&cache)
+            .use_cache(false)
+            .progress(progress.clone())
+            .run(&spec)
+            .unwrap();
+        let plain = execute(&spec).unwrap();
+        assert_eq!(
+            watched.stats, plain.stats,
+            "mirrored run must stay bit-identical"
+        );
+        let snap = progress.snapshot();
+        assert!(snap.finished);
+        assert_eq!(snap.total_cycles, plain.stats.cycles);
+        assert!(!snap.buckets.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

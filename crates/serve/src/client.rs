@@ -9,7 +9,7 @@ use std::time::Duration;
 use r2d2_harness::json::{self, Value};
 use r2d2_harness::JobSpec;
 
-use crate::http::{client_request, ClientResponse};
+use crate::http::{client_request, client_stream, ClientResponse};
 
 /// Outcome of a submission as seen by the client.
 #[derive(Debug)]
@@ -18,6 +18,9 @@ pub struct SubmitOutcome {
     pub status: u16,
     /// Parsed response body (`Value::Null` when unparseable).
     pub body: Value,
+    /// Seconds from a `Retry-After` header, when the server sent one
+    /// (it does on 429 so clients can back off instead of hammering).
+    pub retry_after: Option<u64>,
 }
 
 impl SubmitOutcome {
@@ -39,10 +42,12 @@ impl SubmitOutcome {
 }
 
 fn parse_body(resp: ClientResponse) -> SubmitOutcome {
+    let retry_after = resp.header("retry-after").and_then(|v| v.parse().ok());
     let body = json::parse(&resp.body).unwrap_or(Value::Null);
     SubmitOutcome {
         status: resp.status,
         body,
+        retry_after,
     }
 }
 
@@ -65,6 +70,75 @@ pub fn submit(
     }
     let resp = client_request(addr, "POST", path, Some(&body.to_json()), timeout)?;
     Ok(parse_body(resp))
+}
+
+/// Submit a batch of specs in one `POST /jobs/batch` request. The response
+/// body carries `count` and a per-job `jobs` array.
+pub fn submit_batch(
+    addr: &str,
+    specs: &[JobSpec],
+    timeout: Duration,
+) -> std::io::Result<SubmitOutcome> {
+    let arr = Value::Arr(specs.iter().map(JobSpec::to_json).collect());
+    let resp = client_request(addr, "POST", "/jobs/batch", Some(&arr.to_json()), timeout)?;
+    Ok(parse_body(resp))
+}
+
+/// Submit a named figure set (`{"set": "fig12"}`) — the server resolves the
+/// name to its job list, so client and server stay in lockstep on set
+/// contents.
+pub fn submit_set(addr: &str, name: &str, timeout: Duration) -> std::io::Result<SubmitOutcome> {
+    let body = json::obj(vec![("set", json::s(name))]);
+    let resp = client_request(addr, "POST", "/jobs/batch", Some(&body.to_json()), timeout)?;
+    Ok(parse_body(resp))
+}
+
+/// `DELETE /jobs/<id>` — cancel a queued or running job.
+pub fn cancel(addr: &str, id: &str, timeout: Duration) -> std::io::Result<SubmitOutcome> {
+    let resp = client_request(addr, "DELETE", &format!("/jobs/{id}"), None, timeout)?;
+    Ok(parse_body(resp))
+}
+
+/// Stream a job's progress: `GET /jobs/<id>/progress` delivers NDJSON
+/// snapshots over a chunked body; `on_snapshot` is invoked with each parsed
+/// line as it arrives. Returns the HTTP status once the stream terminates.
+///
+/// `timeout` bounds each read, not the whole stream — the server sends a
+/// snapshot whenever the series advances and a terminal line at the end, so
+/// a healthy stream never goes quiet for long.
+pub fn watch(
+    addr: &str,
+    id: &str,
+    timeout: Duration,
+    on_snapshot: &mut dyn FnMut(&Value),
+) -> std::io::Result<u16> {
+    let mut pending = String::new();
+    let (status, _headers) = client_stream(
+        addr,
+        "GET",
+        &format!("/jobs/{id}/progress"),
+        timeout,
+        &mut |chunk| {
+            // Chunk boundaries need not align with line boundaries; split on
+            // newlines and keep the remainder for the next chunk.
+            pending.push_str(&String::from_utf8_lossy(chunk));
+            while let Some(pos) = pending.find('\n') {
+                let line: String = pending.drain(..=pos).collect();
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                if let Ok(v) = json::parse(line) {
+                    on_snapshot(&v);
+                }
+            }
+            Ok(())
+        },
+    )?;
+    if let Ok(v) = json::parse(pending.trim()) {
+        on_snapshot(&v);
+    }
+    Ok(status)
 }
 
 /// Fetch a job's state by id (its content hash).

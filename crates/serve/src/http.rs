@@ -211,6 +211,57 @@ impl Response {
     }
 }
 
+/// A streaming response body using `Transfer-Encoding: chunked`.
+///
+/// The progress endpoint sends an unbounded sequence of NDJSON snapshots
+/// whose total length is unknown up front, so `Content-Length` framing is
+/// impossible. [`ChunkedWriter::start`] writes the response head, each
+/// [`ChunkedWriter::chunk`] frames one payload with the hex-size/CRLF
+/// encoding, and [`ChunkedWriter::finish`] terminates the body with the
+/// zero-length chunk.
+#[derive(Debug)]
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Write the response head and return a writer for the body chunks.
+    pub fn start(
+        stream: &'a mut TcpStream,
+        status: u16,
+        content_type: &str,
+    ) -> std::io::Result<ChunkedWriter<'a>> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\n\
+             Connection: close\r\n\r\n",
+            status,
+            reason_phrase(status),
+            content_type
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Send one chunk. Empty payloads are skipped — a zero-length chunk
+    /// would terminate the body.
+    pub fn chunk(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        if payload.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", payload.len())?;
+        self.stream.write_all(payload)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminate the body with the final zero-length chunk.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
 fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
@@ -276,6 +327,46 @@ pub fn client_request(
     stream.flush()?;
 
     let mut reader = BufReader::new(stream);
+    let (status, headers) = read_client_head(&mut reader)?;
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        let mut buf = String::new();
+        read_chunks(&mut reader, &mut |chunk| {
+            buf.push_str(&String::from_utf8_lossy(chunk));
+            Ok(())
+        })?;
+        buf
+    } else {
+        match content_length {
+            Some(n) => {
+                let mut buf = vec![0u8; n];
+                reader.read_exact(&mut buf)?;
+                String::from_utf8_lossy(&buf).into_owned()
+            }
+            None => {
+                let mut buf = String::new();
+                reader.read_to_string(&mut buf)?;
+                buf
+            }
+        }
+    };
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Parse the status line and headers of a client-side response.
+fn read_client_head(
+    reader: &mut BufReader<TcpStream>,
+) -> std::io::Result<(u16, Vec<(String, String)>)> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
     let status = status_line
@@ -289,7 +380,6 @@ pub fn client_request(
             )
         })?;
     let mut headers = Vec::new();
-    let mut content_length: Option<usize> = None;
     loop {
         let mut line = String::new();
         let n = reader.read_line(&mut line)?;
@@ -301,29 +391,100 @@ pub fn client_request(
             break;
         }
         if let Some((name, value)) = trimmed.split_once(':') {
-            let name = name.trim().to_ascii_lowercase();
-            let value = value.trim().to_string();
-            if name == "content-length" {
-                content_length = value.parse().ok();
-            }
-            headers.push((name, value));
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
         }
     }
-    let body = match content_length {
-        Some(n) => {
-            let mut buf = vec![0u8; n];
-            reader.read_exact(&mut buf)?;
-            String::from_utf8_lossy(&buf).into_owned()
+    Ok((status, headers))
+}
+
+/// Decode a chunked body, invoking `on_chunk` for every non-empty chunk
+/// until the zero-length terminator.
+fn read_chunks(
+    reader: &mut BufReader<TcpStream>,
+    on_chunk: &mut dyn FnMut(&[u8]) -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    loop {
+        let mut size_line = String::new();
+        let n = reader.read_line(&mut size_line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "stream closed mid-chunk",
+            ));
         }
-        None => {
-            let mut buf = String::new();
-            reader.read_to_string(&mut buf)?;
-            buf
+        let size = usize::from_str_radix(size_line.trim(), 16).map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad chunk size {size_line:?}"),
+            )
+        })?;
+        if size == 0 {
+            // Consume the trailing CRLF after the terminator (ignore EOF —
+            // the peer may just close).
+            let mut trailer = String::new();
+            let _ = reader.read_line(&mut trailer);
+            return Ok(());
         }
-    };
-    Ok(ClientResponse {
-        status,
-        headers,
-        body,
-    })
+        let mut buf = vec![0u8; size];
+        reader.read_exact(&mut buf)?;
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf)?;
+        on_chunk(&buf)?;
+    }
+}
+
+/// Blocking streaming client: like [`client_request`] but the response body
+/// must be chunked, and `on_chunk` is invoked with each chunk's bytes as it
+/// arrives. Returns the status and headers once the stream terminates.
+///
+/// If the response is *not* chunked (an error answer, say), the whole body
+/// is delivered as one chunk so callers still see the payload.
+pub fn client_stream(
+    addr: &str,
+    method: &str,
+    path: &str,
+    timeout: Duration,
+    on_chunk: &mut dyn FnMut(&[u8]) -> std::io::Result<()>,
+) -> std::io::Result<(u16, Vec<(String, String)>)> {
+    use std::net::ToSocketAddrs;
+    let sock_addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad address"))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let (status, headers) = read_client_head(&mut reader)?;
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    if chunked {
+        read_chunks(&mut reader, on_chunk)?;
+    } else {
+        let content_length = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok());
+        let body = match content_length {
+            Some(n) => {
+                let mut buf = vec![0u8; n];
+                reader.read_exact(&mut buf)?;
+                buf
+            }
+            None => {
+                let mut buf = Vec::new();
+                reader.read_to_end(&mut buf)?;
+                buf
+            }
+        };
+        if !body.is_empty() {
+            on_chunk(&body)?;
+        }
+    }
+    Ok((status, headers))
 }

@@ -33,6 +33,9 @@ pub mod metrics;
 pub mod queue;
 pub mod server;
 
-pub use client::{healthz, job_status, metrics as fetch_metrics, shutdown, submit, SubmitOutcome};
-pub use queue::{Job, JobQueue, JobStatus, Submit};
+pub use client::{
+    cancel, healthz, job_status, metrics as fetch_metrics, shutdown, submit, submit_batch,
+    submit_set, watch, SubmitOutcome,
+};
+pub use queue::{Cancel, Job, JobQueue, JobStatus, Submit};
 pub use server::{install_signal_handlers, Server, ServerConfig, ServerHandle};

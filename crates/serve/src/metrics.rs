@@ -33,6 +33,10 @@ pub struct Metrics {
     pub failed: AtomicU64,
     /// Jobs whose watchdog expired before the simulation finished.
     pub timeouts: AtomicU64,
+    /// Jobs cancelled via `DELETE /jobs/<id>` (queued or running).
+    pub cancelled: AtomicU64,
+    /// `POST /jobs/batch` requests accepted (each may carry many jobs).
+    pub batches: AtomicU64,
     /// Jobs currently executing on a worker.
     pub in_flight: AtomicU64,
     wall_ms: Mutex<WallRing>,
@@ -55,6 +59,8 @@ impl Default for Metrics {
             simulated: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             wall_ms: Mutex::new(WallRing::default()),
         }
@@ -178,6 +184,16 @@ impl Metrics {
             g(&self.timeouts) as f64,
         );
         gauge(
+            "jobs_cancelled_total",
+            "Jobs cancelled via DELETE /jobs/<id>.",
+            g(&self.cancelled) as f64,
+        );
+        gauge(
+            "batch_submissions_total",
+            "POST /jobs/batch requests accepted.",
+            g(&self.batches) as f64,
+        );
+        gauge(
             "cache_hits_total",
             "Jobs answered from the result cache.",
             g(&self.cache_hits) as f64,
@@ -245,6 +261,8 @@ mod tests {
         for needle in [
             "r2d2_serve_queue_depth 7",
             "r2d2_serve_in_flight 0",
+            "r2d2_serve_jobs_cancelled_total 0",
+            "r2d2_serve_batch_submissions_total 0",
             "r2d2_serve_cache_hit_rate",
             "r2d2_serve_jobs_per_s",
             "r2d2_serve_job_wall_ms_p50",

@@ -15,7 +15,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use r2d2_harness::{JobSpec, RunRecord};
+use r2d2_harness::{CancelToken, JobSpec, Progress, RunRecord};
 
 /// Lifecycle of one job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +29,9 @@ pub enum JobStatus {
     /// Failed (`error` is set): bad spec, simulation error, timeout, or the
     /// server shut down before the job ran.
     Failed,
+    /// Cancelled by `DELETE /jobs/<id>` before completing (`error` describes
+    /// where it was caught). Terminal, like `Done`/`Failed`.
+    Cancelled,
 }
 
 impl JobStatus {
@@ -39,7 +42,17 @@ impl JobStatus {
             JobStatus::Running => "running",
             JobStatus::Done => "done",
             JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
         }
+    }
+
+    /// Whether this status is final (waiters stop waiting, retention may
+    /// evict).
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled
+        )
     }
 }
 
@@ -62,6 +75,13 @@ pub struct Job {
     pub spec: JobSpec,
     /// 16-hex-digit content hash; doubles as the job id.
     pub id: String,
+    /// Cooperative cancel token the worker threads into the simulator;
+    /// triggered by [`JobQueue::cancel`] on a running job.
+    pub cancel: CancelToken,
+    /// Live time-series mirror fed by the worker's progress profiler and
+    /// streamed by `GET /jobs/<id>/progress`. Empty (but finished) for jobs
+    /// answered from the cache.
+    pub progress: Progress,
     state: Mutex<JobState>,
     done: Condvar,
 }
@@ -72,6 +92,8 @@ impl Job {
         Job {
             spec,
             id,
+            cancel: CancelToken::new(),
+            progress: Progress::new(),
             state: Mutex::new(JobState {
                 status: JobStatus::Queued,
                 record: None,
@@ -98,6 +120,7 @@ impl Job {
         s.status = JobStatus::Done;
         s.record = Some(record);
         drop(s);
+        self.progress.finish();
         self.done.notify_all();
     }
 
@@ -107,15 +130,26 @@ impl Job {
         s.status = JobStatus::Failed;
         s.error = Some(error);
         drop(s);
+        self.progress.finish();
         self.done.notify_all();
     }
 
-    /// Block until the job completes (either way) or `timeout` elapses.
+    /// Terminally cancel with a description and wake every waiter.
+    pub fn mark_cancelled(&self, error: String) {
+        let mut s = self.state.lock().unwrap();
+        s.status = JobStatus::Cancelled;
+        s.error = Some(error);
+        drop(s);
+        self.progress.finish();
+        self.done.notify_all();
+    }
+
+    /// Block until the job reaches a terminal state or `timeout` elapses.
     /// Returns `false` on timeout.
     pub fn wait(&self, timeout: Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
         let mut s = self.state.lock().unwrap();
-        while !matches!(s.status, JobStatus::Done | JobStatus::Failed) {
+        while !s.status.is_terminal() {
             let now = std::time::Instant::now();
             let Some(left) = deadline
                 .checked_duration_since(now)
@@ -125,7 +159,7 @@ impl Job {
             };
             let (guard, res) = self.done.wait_timeout(s, left).unwrap();
             s = guard;
-            if res.timed_out() && !matches!(s.status, JobStatus::Done | JobStatus::Failed) {
+            if res.timed_out() && !s.status.is_terminal() {
                 return false;
             }
         }
@@ -147,9 +181,25 @@ pub enum Submit {
     ShuttingDown,
 }
 
-/// How many completed entries to retain in memory for `GET /jobs/<id>`.
+/// Outcome of a cancellation request ([`JobQueue::cancel`]).
+#[derive(Debug)]
+pub enum Cancel {
+    /// The job was still queued: removed from the pending queue and moved
+    /// straight to `Cancelled`.
+    Dequeued(Arc<Job>),
+    /// The job is running: its [`CancelToken`] has been triggered; the
+    /// worker observes it within one simulation epoch and marks the job
+    /// `Cancelled` (or `Done`, if completion raced the request).
+    Signalled(Arc<Job>),
+    /// The job already reached a terminal state; nothing to do.
+    Terminal(Arc<Job>),
+    /// No such job in memory (possibly evicted after completing).
+    NotFound,
+}
+
+/// Default in-memory retention of completed entries for `GET /jobs/<id>`.
 /// Evicted entries are still answerable from the on-disk cache.
-const RETAIN_COMPLETED: usize = 512;
+pub const RETAIN_COMPLETED: usize = 512;
 
 #[derive(Debug, Default)]
 struct Inner {
@@ -167,15 +217,26 @@ pub struct JobQueue {
     /// Signals workers that `pending` gained an entry or shutdown started.
     work: Condvar,
     cap: usize,
+    /// Completed entries retained in memory before eviction to disk-only.
+    retain: usize,
 }
 
 impl JobQueue {
-    /// A queue that sheds submissions beyond `cap` pending jobs.
+    /// A queue that sheds submissions beyond `cap` pending jobs and retains
+    /// [`RETAIN_COMPLETED`] completed entries in memory.
     pub fn new(cap: usize) -> JobQueue {
+        JobQueue::with_retention(cap, RETAIN_COMPLETED)
+    }
+
+    /// [`JobQueue::new`] with an explicit completed-entry retention bound
+    /// (0 evicts immediately; `GET /jobs/<id>` then always falls back to the
+    /// on-disk cache).
+    pub fn with_retention(cap: usize, retain: usize) -> JobQueue {
         JobQueue {
             inner: Mutex::new(Inner::default()),
             work: Condvar::new(),
             cap: cap.max(1),
+            retain,
         }
     }
 
@@ -219,7 +280,7 @@ impl JobQueue {
         let job = Arc::new(Job::new(spec));
         job.mark_done(record);
         inner.jobs.insert(hash, Arc::clone(&job));
-        Self::retain_completed(&mut inner, hash);
+        self.retain_completed(&mut inner, hash);
         Submit::Existing(job)
     }
 
@@ -243,23 +304,50 @@ impl JobQueue {
     /// entries (live queued/running jobs are never evicted).
     pub fn finished(&self, job: &Job) {
         let mut inner = self.inner.lock().unwrap();
-        Self::retain_completed(&mut inner, job.spec.content_hash());
+        self.retain_completed(&mut inner, job.spec.content_hash());
     }
 
-    fn retain_completed(inner: &mut Inner, hash: u64) {
+    /// Request cancellation of the job with content hash `hash`. Queued jobs
+    /// move straight to `Cancelled`; running jobs get their token triggered
+    /// and the worker finishes the transition (a completion that races the
+    /// request wins — the job stays `Done`).
+    pub fn cancel(&self, hash: u64) -> Cancel {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(job) = inner.jobs.get(&hash).cloned() else {
+            return Cancel::NotFound;
+        };
+        // Status can only move Queued -> Running under `inner` (see `pop`),
+        // so holding it here makes the dequeue race-free.
+        let status = job.state.lock().unwrap().status;
+        match status {
+            JobStatus::Queued => {
+                inner.pending.retain(|&h| h != hash);
+                job.cancel.cancel();
+                job.mark_cancelled("cancelled while queued".into());
+                self.retain_completed(&mut inner, hash);
+                Cancel::Dequeued(job)
+            }
+            JobStatus::Running => {
+                drop(inner);
+                job.cancel.cancel();
+                Cancel::Signalled(job)
+            }
+            _ => Cancel::Terminal(job),
+        }
+    }
+
+    fn retain_completed(&self, inner: &mut Inner, hash: u64) {
         inner.completed.push_back(hash);
-        while inner.completed.len() > RETAIN_COMPLETED {
+        while inner.completed.len() > self.retain {
             let old = inner.completed.pop_front().unwrap();
             // Only evict if it is still completed (a fresh resubmission may
             // have replaced the entry with a live job under the same hash —
             // impossible today since completed entries coalesce, but cheap
             // to guard).
-            let evict = inner.jobs.get(&old).is_some_and(|j| {
-                matches!(
-                    j.state.lock().unwrap().status,
-                    JobStatus::Done | JobStatus::Failed
-                )
-            });
+            let evict = inner
+                .jobs
+                .get(&old)
+                .is_some_and(|j| j.state.lock().unwrap().status.is_terminal());
             if evict {
                 inner.jobs.remove(&old);
             }
@@ -311,6 +399,17 @@ mod tests {
         s
     }
 
+    fn done_record() -> RunRecord {
+        RunRecord {
+            stats: Default::default(),
+            energy: Default::default(),
+            used_r2d2: false,
+            ideal: None,
+            wall_ms: 0.0,
+            cached: false,
+        }
+    }
+
     #[test]
     fn dedup_coalesces_identical_specs() {
         let q = JobQueue::new(8);
@@ -349,6 +448,87 @@ mod tests {
         assert_eq!(status, JobStatus::Failed);
         assert!(err.unwrap().contains("shut down"));
         assert!(job.wait(Duration::from_millis(10)), "waiters woke");
+    }
+
+    #[test]
+    fn cancel_queued_job_dequeues_and_terminates() {
+        let q = JobQueue::new(8);
+        let job = match q.submit(spec(1)) {
+            Submit::Enqueued(j) => j,
+            other => panic!("{other:?}"),
+        };
+        assert!(matches!(q.submit(spec(2)), Submit::Enqueued(_)));
+        let hash = job.spec.content_hash();
+        match q.cancel(hash) {
+            Cancel::Dequeued(j) => assert_eq!(j.id, job.id),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(q.depth(), 1, "cancelled job left the pending queue");
+        let (status, _, err) = job.snapshot();
+        assert_eq!(status, JobStatus::Cancelled);
+        assert!(err.unwrap().contains("queued"));
+        assert!(job.cancel.is_cancelled());
+        assert!(job.progress.snapshot().finished);
+        assert!(job.wait(Duration::from_millis(10)), "waiters woke");
+        // A second cancel is a terminal no-op.
+        assert!(matches!(q.cancel(hash), Cancel::Terminal(_)));
+        // The next pop skips the cancelled job entirely.
+        let next = q.pop().unwrap();
+        assert_eq!(next.spec.overrides.num_sms, Some(2));
+    }
+
+    #[test]
+    fn cancel_running_job_signals_without_terminating() {
+        let q = JobQueue::new(8);
+        assert!(matches!(q.submit(spec(5)), Submit::Enqueued(_)));
+        let job = q.pop().unwrap();
+        assert!(!job.cancel.is_cancelled());
+        match q.cancel(job.spec.content_hash()) {
+            Cancel::Signalled(j) => assert_eq!(j.id, job.id),
+            other => panic!("{other:?}"),
+        }
+        assert!(job.cancel.is_cancelled(), "token triggered");
+        let (status, _, _) = job.snapshot();
+        assert_eq!(
+            status,
+            JobStatus::Running,
+            "the worker, not the queue, finishes the transition"
+        );
+    }
+
+    #[test]
+    fn cancel_unknown_hash_is_not_found() {
+        let q = JobQueue::new(4);
+        assert!(matches!(q.cancel(0xdead_beef), Cancel::NotFound));
+    }
+
+    #[test]
+    fn retention_bound_evicts_oldest_completed_entries() {
+        let q = JobQueue::with_retention(8, 1);
+        let rec = done_record();
+        let first = spec(1).content_hash();
+        let second = spec(2).content_hash();
+        assert!(matches!(
+            q.insert_completed(spec(1), rec.clone()),
+            Submit::Existing(_)
+        ));
+        assert!(q.get(first).is_some(), "within the retention bound");
+        assert!(matches!(
+            q.insert_completed(spec(2), rec),
+            Submit::Existing(_)
+        ));
+        assert!(q.get(first).is_none(), "oldest completed entry evicted");
+        assert!(q.get(second).is_some(), "newest survives");
+        // Live jobs are never evicted, no matter how many completions pass.
+        let live = match q.submit(spec(3)) {
+            Submit::Enqueued(j) => j,
+            other => panic!("{other:?}"),
+        };
+        let live_hash = live.spec.content_hash();
+        live.mark_done(done_record());
+        q.finished(&live);
+        assert!(q.get(second).is_none(), "second evicted in turn");
+        assert!(q.get(live_hash).is_some());
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! | method & path    | behavior |
 //! |------------------|----------|
 //! | `POST /jobs`     | submit a JobSpec JSON; `202` queued, `200` done (cache/dedup), `400` bad spec, `429` + `Retry-After` when full, `503` draining. `?wait=1` blocks until the job completes. |
+//! | `POST /jobs/batch` | submit many jobs at once: a JSON array of JobSpecs, or `{"set": "fig12"}` naming a harness figure set. Returns per-job ids; `200` when at least one job was accepted, `429` when every job shed. |
 //! | `GET /jobs/<id>` | status/result JSON for a job id (the spec's content hash); falls back to the on-disk cache for evicted entries. |
+//! | `DELETE /jobs/<id>` | cancel: queued jobs move straight to `cancelled` (`200`); running jobs get their token triggered and stop within one simulation epoch (`202`); terminal jobs are a no-op (`200`). |
+//! | `GET /jobs/<id>/progress` | chunked NDJSON stream of the job's live time series; the final line carries the terminal status and the complete series. |
 //! | `GET /healthz`   | liveness: `200 ok` (`503 draining` during shutdown). |
 //! | `GET /metrics`   | plain-text Prometheus-style counters. |
 //! | `POST /shutdown` | begin graceful shutdown (same path as SIGTERM/ctrl-c). |
@@ -31,11 +34,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use r2d2_harness::json::{self, obj, Value};
-use r2d2_harness::{Cache, Executor, JobSpec};
+use r2d2_harness::{Cache, Executor, JobSpec, ProgressSnapshot};
 
-use crate::http::{read_request, ParseError, Request, Response};
+use crate::http::{read_request, ChunkedWriter, ParseError, Request, Response};
 use crate::metrics::Metrics;
-use crate::queue::{JobQueue, JobStatus, Submit};
+use crate::queue::{Cancel, Job, JobQueue, JobStatus, Submit, RETAIN_COMPLETED};
 
 /// Set by the process signal handlers (SIGTERM / SIGINT); checked by every
 /// server's accept loop alongside its own flag.
@@ -80,6 +83,9 @@ pub struct ServerConfig {
     pub job_timeout: Duration,
     /// Read cached results (completed jobs are stored back either way).
     pub use_cache: bool,
+    /// Completed entries retained in memory for `GET /jobs/<id>`; evicted
+    /// ones remain answerable from the on-disk cache.
+    pub retain_completed: usize,
     /// Explicit results directory; `None` uses the harness default
     /// (`results/`, honoring `R2D2_RESULTS`).
     pub results_dir: Option<std::path::PathBuf>,
@@ -95,6 +101,7 @@ impl Default for ServerConfig {
             queue_cap: 256,
             job_timeout: Duration::from_secs(600),
             use_cache: true,
+            retain_completed: RETAIN_COMPLETED,
             results_dir: None,
             verbose: false,
         }
@@ -146,7 +153,7 @@ impl Server {
             None => Cache::open_default(),
         };
         let shared = Arc::new(Shared {
-            queue: JobQueue::new(cfg.queue_cap),
+            queue: JobQueue::with_retention(cfg.queue_cap, cfg.retain_completed),
             metrics: Metrics::default(),
             cache,
             shutdown: AtomicBool::new(false),
@@ -228,10 +235,16 @@ fn worker_loop(shared: &Arc<Shared>) {
         let spec = job.spec.clone();
         let cache = shared.cache.clone();
         let use_cache = shared.cfg.use_cache;
+        let cancel = job.cancel.clone();
+        let progress = job.progress.clone();
         std::thread::Builder::new()
             .name("r2d2-serve-sim".into())
             .spawn(move || {
-                let result = Executor::new(&cache).use_cache(use_cache).run(&spec);
+                let result = Executor::new(&cache)
+                    .use_cache(use_cache)
+                    .cancel(cancel)
+                    .progress(progress)
+                    .run(&spec);
                 let _ = tx.send(result);
             })
             .expect("spawn sim thread");
@@ -257,6 +270,13 @@ fn worker_loop(shared: &Arc<Shared>) {
                 }
                 job.mark_done(rec);
             }
+            Ok(Err(e)) if job.cancel.is_cancelled() => {
+                shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                if shared.cfg.verbose {
+                    eprintln!("[serve] {} {} CANCELLED: {e}", job.id, job.spec.label());
+                }
+                job.mark_cancelled(e);
+            }
             Ok(Err(e)) => {
                 shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
                 if shared.cfg.verbose {
@@ -265,6 +285,11 @@ fn worker_loop(shared: &Arc<Shared>) {
                 job.mark_failed(e);
             }
             Err(_) => {
+                // The watchdog gave up on this job; trigger its token so the
+                // abandoned simulation thread actually stops at the next
+                // epoch instead of burning a core to produce a discarded
+                // result.
+                job.cancel.cancel();
                 shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
                 shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
                 let msg = format!(
@@ -287,6 +312,21 @@ fn handle_connection(mut stream: TcpStream, peer: std::net::SocketAddr, shared: 
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
     let response = match read_request(&mut stream) {
         Ok(req) => {
+            // The progress stream writes its own (chunked) response and
+            // holds the connection open, so it bypasses `route`.
+            if req.method == "GET" {
+                if let Some(id) = req
+                    .path
+                    .strip_prefix("/jobs/")
+                    .and_then(|rest| rest.strip_suffix("/progress"))
+                {
+                    if shared.cfg.verbose {
+                        eprintln!("[serve] {peer} GET {} -> stream", req.path);
+                    }
+                    stream_progress(id, &mut stream, shared);
+                    return;
+                }
+            }
             let resp = route(&req, shared);
             if shared.cfg.verbose {
                 eprintln!(
@@ -307,7 +347,11 @@ fn handle_connection(mut stream: TcpStream, peer: std::net::SocketAddr, shared: 
 fn route(req: &Request, shared: &Arc<Shared>) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/jobs") => post_jobs(req, shared),
+        ("POST", "/jobs/batch") => post_batch(req, shared),
         ("GET", path) if path.starts_with("/jobs/") => get_job(&path["/jobs/".len()..], shared),
+        ("DELETE", path) if path.starts_with("/jobs/") => {
+            delete_job(&path["/jobs/".len()..], shared)
+        }
         ("GET", "/healthz") => {
             if shared.shutting_down() {
                 Response::text(503, "draining")
@@ -321,7 +365,7 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
             shared.queue.begin_shutdown();
             Response::text(200, "draining")
         }
-        ("GET" | "POST", _) => Response::text(404, "not found"),
+        ("GET" | "POST" | "DELETE", _) => Response::text(404, "not found"),
         _ => Response::text(405, "method not allowed"),
     }
 }
@@ -350,25 +394,29 @@ fn error_json(msg: &str) -> Value {
     obj(vec![("error", json::s(msg))])
 }
 
-fn post_jobs(req: &Request, shared: &Arc<Shared>) -> Response {
-    let Some(body) = req.body_str() else {
-        return Response::json(400, &error_json("body must be UTF-8 JSON"));
-    };
-    let parsed = match json::parse(body) {
-        Ok(v) => v,
-        Err(e) => return Response::json(400, &error_json(&format!("bad JSON: {e}"))),
-    };
-    let spec = match JobSpec::from_json_request(&parsed) {
-        Ok(s) => s,
-        Err(e) => return Response::json(400, &error_json(&format!("bad JobSpec: {e}"))),
-    };
+/// Parse and validate one JobSpec from a request-body JSON value.
+fn spec_from_value(v: &Value) -> Result<JobSpec, String> {
+    let spec = JobSpec::from_json_request(v).map_err(|e| format!("bad JobSpec: {e}"))?;
     if !r2d2_workloads::is_valid_id(&spec.workload) {
-        return Response::json(
-            400,
-            &error_json(&format!("unknown workload id {:?}", spec.workload)),
-        );
+        return Err(format!("unknown workload id {:?}", spec.workload));
     }
+    Ok(spec)
+}
 
+/// Outcome of one spec's trip through the submission flow — shared by
+/// `POST /jobs` and `POST /jobs/batch` so both answer from the cache,
+/// coalesce duplicates, and bump the same counters.
+enum SubmitFlow {
+    Accepted {
+        job: Arc<Job>,
+        deduped: bool,
+        status_code: u16,
+    },
+    Full,
+    ShuttingDown,
+}
+
+fn submit_spec(spec: JobSpec, shared: &Arc<Shared>) -> SubmitFlow {
     shared.metrics.submitted.fetch_add(1, Ordering::Relaxed);
 
     // Probe the result cache before queueing: completed experiments answer
@@ -378,26 +426,60 @@ fn post_jobs(req: &Request, shared: &Arc<Shared>) -> Response {
             Some(rec) => {
                 shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
                 shared.metrics.observe_wall_ms(0.0);
-                shared.queue.insert_completed(spec.clone(), rec)
+                shared.queue.insert_completed(spec, rec)
             }
-            None => shared.queue.submit(spec.clone()),
+            None => shared.queue.submit(spec),
         }
     } else {
-        shared.queue.submit(spec.clone())
+        shared.queue.submit(spec)
     };
 
-    let (job, deduped, status_code) = match submit {
-        Submit::Enqueued(job) => (job, false, 202),
+    match submit {
+        Submit::Enqueued(job) => SubmitFlow::Accepted {
+            job,
+            deduped: false,
+            status_code: 202,
+        },
         Submit::Existing(job) => {
             shared.metrics.deduped.fetch_add(1, Ordering::Relaxed);
-            (job, true, 200)
+            SubmitFlow::Accepted {
+                job,
+                deduped: true,
+                status_code: 200,
+            }
         }
         Submit::Full => {
             shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+            SubmitFlow::Full
+        }
+        Submit::ShuttingDown => SubmitFlow::ShuttingDown,
+    }
+}
+
+fn post_jobs(req: &Request, shared: &Arc<Shared>) -> Response {
+    let Some(body) = req.body_str() else {
+        return Response::json(400, &error_json("body must be UTF-8 JSON"));
+    };
+    let parsed = match json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return Response::json(400, &error_json(&format!("bad JSON: {e}"))),
+    };
+    let spec = match spec_from_value(&parsed) {
+        Ok(s) => s,
+        Err(e) => return Response::json(400, &error_json(&e)),
+    };
+
+    let (job, deduped, status_code) = match submit_spec(spec, shared) {
+        SubmitFlow::Accepted {
+            job,
+            deduped,
+            status_code,
+        } => (job, deduped, status_code),
+        SubmitFlow::Full => {
             return Response::json(429, &error_json("queue full; retry later"))
                 .header("Retry-After", "1");
         }
-        Submit::ShuttingDown => {
+        SubmitFlow::ShuttingDown => {
             return Response::json(503, &error_json("server is draining"));
         }
     };
@@ -423,7 +505,7 @@ fn post_jobs(req: &Request, shared: &Arc<Shared>) -> Response {
         _ => unreachable!("job_json returns an object"),
     };
     fields.push(("deduped".into(), Value::Bool(deduped)));
-    let code = if status == JobStatus::Done || status == JobStatus::Failed {
+    let code = if status.is_terminal() {
         200
     } else {
         status_code
@@ -454,6 +536,218 @@ fn get_job(id: &str, shared: &Arc<Shared>) -> Response {
         return Response::json(200, &job_json(id, &spec, JobStatus::Done, Some(&rec), None));
     }
     Response::json(404, &error_json("unknown job id"))
+}
+
+fn post_batch(req: &Request, shared: &Arc<Shared>) -> Response {
+    let Some(body) = req.body_str() else {
+        return Response::json(400, &error_json("body must be UTF-8 JSON"));
+    };
+    let parsed = match json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return Response::json(400, &error_json(&format!("bad JSON: {e}"))),
+    };
+    let specs: Vec<JobSpec> = match &parsed {
+        Value::Arr(items) => {
+            if items.is_empty() {
+                return Response::json(400, &error_json("empty batch"));
+            }
+            let mut specs = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                match spec_from_value(item) {
+                    Ok(s) => specs.push(s),
+                    Err(e) => return Response::json(400, &error_json(&format!("job {i}: {e}"))),
+                }
+            }
+            specs
+        }
+        Value::Obj(_) => {
+            let Some(Value::Str(name)) = parsed.get("set") else {
+                return Response::json(
+                    400,
+                    &error_json("batch body must be a JSON array of JobSpecs or {\"set\": <name>}"),
+                );
+            };
+            let size = match parsed.get("size") {
+                Some(Value::Str(s)) if s.eq_ignore_ascii_case("small") => {
+                    r2d2_workloads::Size::Small
+                }
+                Some(Value::Str(s)) if s.eq_ignore_ascii_case("full") => r2d2_workloads::Size::Full,
+                None => r2d2_harness::size_from_env(),
+                Some(_) => {
+                    return Response::json(400, &error_json("size must be \"small\" or \"full\""));
+                }
+            };
+            match r2d2_harness::sets::set(name, size) {
+                Some(specs) => specs,
+                None => {
+                    return Response::json(
+                        400,
+                        &error_json(&format!(
+                            "unknown set {:?}; known sets: {}",
+                            name,
+                            r2d2_harness::sets::SET_NAMES.join(", ")
+                        )),
+                    );
+                }
+            }
+        }
+        _ => {
+            return Response::json(
+                400,
+                &error_json("batch body must be a JSON array of JobSpecs or {\"set\": <name>}"),
+            );
+        }
+    };
+
+    let mut jobs = Vec::with_capacity(specs.len());
+    let mut accepted = 0u64;
+    let mut shed = 0u64;
+    for spec in specs {
+        match submit_spec(spec, shared) {
+            SubmitFlow::Accepted { job, deduped, .. } => {
+                accepted += 1;
+                let (status, _, _) = job.snapshot();
+                jobs.push(obj(vec![
+                    ("id", json::s(&job.id)),
+                    ("status", json::s(status.as_str())),
+                    ("deduped", Value::Bool(deduped)),
+                ]));
+            }
+            SubmitFlow::Full => {
+                shed += 1;
+                jobs.push(obj(vec![("error", json::s("queue full"))]));
+            }
+            SubmitFlow::ShuttingDown => {
+                return Response::json(503, &error_json("server is draining"));
+            }
+        }
+    }
+    if accepted == 0 {
+        return Response::json(429, &error_json("queue full; retry later"))
+            .header("Retry-After", "1");
+    }
+    shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
+    Response::json(
+        200,
+        &obj(vec![
+            ("count", json::int(accepted)),
+            ("shed", json::int(shed)),
+            ("jobs", Value::Arr(jobs)),
+        ]),
+    )
+}
+
+fn delete_job(id: &str, shared: &Arc<Shared>) -> Response {
+    let Ok(hash) = u64::from_str_radix(id, 16) else {
+        return Response::json(400, &error_json("job ids are 16 hex digits"));
+    };
+    let (job, code) = match shared.queue.cancel(hash) {
+        Cancel::Dequeued(job) => {
+            shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+            (job, 200)
+        }
+        // The worker finishes the transition (and bumps the counter) when
+        // the simulator observes the token — or not, if completion raced
+        // the request; 202 says "signalled", not "cancelled".
+        Cancel::Signalled(job) => (job, 202),
+        Cancel::Terminal(job) => (job, 200),
+        Cancel::NotFound => return Response::json(404, &error_json("unknown job id")),
+    };
+    let (status, record, error) = job.snapshot();
+    Response::json(
+        code,
+        &job_json(
+            &job.id,
+            &job.spec,
+            status,
+            record.as_ref(),
+            error.as_deref(),
+        ),
+    )
+}
+
+/// `GET /jobs/<id>/progress`: stream the job's live time series as chunked
+/// NDJSON. Each line is a [`ProgressSnapshot`]; the final line additionally
+/// carries `status` (and `error`, if any) plus the complete series, so a
+/// client that only reads the last line still gets everything.
+fn stream_progress(id: &str, stream: &mut TcpStream, shared: &Arc<Shared>) {
+    let Ok(hash) = u64::from_str_radix(id, 16) else {
+        let _ = Response::json(400, &error_json("job ids are 16 hex digits")).write_to(stream);
+        return;
+    };
+    let Some(job) = shared.queue.get(hash) else {
+        // Evicted or prior-process results: one terminal line from the disk
+        // cache (the live series is gone, but the terminal state is not).
+        if load_cached_by_hash(&shared.cache, id).is_some() {
+            let snap = ProgressSnapshot {
+                finished: true,
+                ..ProgressSnapshot::default()
+            };
+            let _ = send_final_line(stream, &snap, JobStatus::Done, None);
+        } else {
+            let _ = Response::json(404, &error_json("unknown job id")).write_to(stream);
+        }
+        return;
+    };
+
+    let Ok(mut w) = ChunkedWriter::start(stream, 200, "application/x-ndjson") else {
+        return;
+    };
+    let mut last_seq = 0u64;
+    loop {
+        // Status before snapshot: `mark_*` sets the status first and then
+        // finishes the progress handle, so `terminal && finished` here means
+        // the snapshot is the complete final series.
+        let (status, _, error) = job.snapshot();
+        let snap = job.progress.snapshot();
+        if status.is_terminal() && snap.finished {
+            let mut fields = match snap.to_json() {
+                Value::Obj(f) => f,
+                _ => unreachable!("snapshot JSON is an object"),
+            };
+            fields.push(("status".into(), json::s(status.as_str())));
+            if let Some(e) = &error {
+                fields.push(("error".into(), json::s(e)));
+            }
+            let mut line = Value::Obj(fields).to_json();
+            line.push('\n');
+            let _ = w.chunk(line.as_bytes());
+            let _ = w.finish();
+            return;
+        }
+        if snap.seq != last_seq {
+            last_seq = snap.seq;
+            let mut line = snap.to_json().to_json();
+            line.push('\n');
+            if w.chunk(line.as_bytes()).is_err() {
+                return; // client went away
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Write a complete single-line chunked stream: head, one final NDJSON line
+/// (snapshot + status), terminator.
+fn send_final_line(
+    stream: &mut TcpStream,
+    snap: &ProgressSnapshot,
+    status: JobStatus,
+    error: Option<&str>,
+) -> std::io::Result<()> {
+    let mut w = ChunkedWriter::start(stream, 200, "application/x-ndjson")?;
+    let mut fields = match snap.to_json() {
+        Value::Obj(f) => f,
+        _ => unreachable!("snapshot JSON is an object"),
+    };
+    fields.push(("status".into(), json::s(status.as_str())));
+    if let Some(e) = error {
+        fields.push(("error".into(), json::s(e)));
+    }
+    let mut line = Value::Obj(fields).to_json();
+    line.push('\n');
+    w.chunk(line.as_bytes())?;
+    w.finish()
 }
 
 /// Read `results/cache/<id>.json` directly and verify the embedded spec

@@ -33,6 +33,21 @@ fn start(
     std::thread::JoinHandle<std::io::Result<()>>,
     PathBuf,
 ) {
+    start_retaining(tag, workers, queue_cap, r2d2_serve::queue::RETAIN_COMPLETED)
+}
+
+/// [`start`] with an explicit completed-entry retention bound.
+fn start_retaining(
+    tag: &str,
+    workers: usize,
+    queue_cap: usize,
+    retain_completed: usize,
+) -> (
+    String,
+    ServerHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+    PathBuf,
+) {
     let results = tmpdir(tag);
     let cfg = ServerConfig {
         addr: "127.0.0.1:0".into(),
@@ -40,6 +55,7 @@ fn start(
         queue_cap,
         job_timeout: Duration::from_secs(300),
         use_cache: true,
+        retain_completed,
         results_dir: Some(results.clone()),
         verbose: false,
     };
@@ -190,6 +206,10 @@ fn full_queue_sheds_with_429_and_retry_after() {
     let resp = r2d2_serve::http::client_request(&addr, "POST", "/jobs", Some(&body), T).unwrap();
     assert_eq!(resp.status, 429, "{}", resp.body);
     assert_eq!(resp.header("retry-after"), Some("1"));
+    // The typed client surfaces the backoff hint.
+    let o = client::submit(&addr, &specs[2], false, T).expect("shed submit");
+    assert_eq!(o.status, 429);
+    assert_eq!(o.retry_after, Some(1), "Retry-After must be parsed");
     // But a duplicate of a queued spec still coalesces instead of shedding.
     let o = client::submit(&addr, &specs[0], false, T).expect("dup submit");
     assert_eq!(o.status, 200);
@@ -231,6 +251,222 @@ fn bad_submissions_are_rejected_with_400() {
     assert_eq!(r.status, 404);
     let r = r2d2_serve::http::client_request(&addr, "PUT", "/jobs", None, T).unwrap();
     assert_eq!(r.status, 405);
+    stop(&handle, join);
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+/// Parse one counter out of the `/metrics` exposition.
+fn metric(addr: &str, name: &str) -> u64 {
+    let text = client::metrics(addr, T).expect("metrics");
+    text.lines()
+        .find(|l| l.starts_with(&format!("r2d2_serve_{name} ")))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no {name} in:\n{text}"))
+}
+
+/// Poll `GET /jobs/<id>` until the predicate holds; panics after `limit`.
+fn poll_status(addr: &str, id: &str, limit: Duration, want: impl Fn(&str) -> bool) -> String {
+    let deadline = std::time::Instant::now() + limit;
+    loop {
+        let s = client::job_status(addr, id, T).expect("job status");
+        let status = s.job_status().expect("status field").to_string();
+        if want(&status) {
+            return status;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out polling {id}; last status {status:?}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn delete_cancels_a_queued_job() {
+    // No workers: the job deterministically stays queued until cancelled.
+    let (addr, handle, join, results) = start("cancelq", 0, 8);
+    let spec = JobSpec::new("NN", Size::Small, ModelSpec::Baseline);
+    let id = spec.hash_hex();
+    let o = client::submit(&addr, &spec, false, T).unwrap();
+    assert_eq!(o.status, 202, "{:?}", o.body);
+
+    let c = client::cancel(&addr, &id, T).unwrap();
+    assert_eq!(c.status, 200, "{:?}", c.body);
+    assert_eq!(c.job_status(), Some("cancelled"));
+
+    // Terminal: a second DELETE and a GET both see the cancelled state.
+    let c2 = client::cancel(&addr, &id, T).unwrap();
+    assert_eq!((c2.status, c2.job_status()), (200, Some("cancelled")));
+    let g = client::job_status(&addr, &id, T).unwrap();
+    assert_eq!((g.status, g.job_status()), (200, Some("cancelled")));
+
+    // Bad ids: malformed hex 400, unknown 404.
+    assert_eq!(client::cancel(&addr, "nope", T).unwrap().status, 400);
+    assert_eq!(
+        client::cancel(&addr, "0000000000000000", T).unwrap().status,
+        404
+    );
+    assert_eq!(metric(&addr, "jobs_cancelled_total"), 1);
+
+    stop(&handle, join);
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn delete_stops_a_running_job_promptly() {
+    let (addr, handle, join, results) = start("cancelrun", 1, 8);
+    // A full-size job runs for seconds — long enough that the 1ms poll
+    // below reliably observes it `running` before it completes.
+    let spec = JobSpec::new("MVT", Size::Full, ModelSpec::Baseline);
+    let id = spec.hash_hex();
+    let o = client::submit(&addr, &spec, false, T).unwrap();
+    assert_eq!(o.status, 202, "{:?}", o.body);
+    poll_status(&addr, &id, Duration::from_secs(60), |s| s == "running");
+
+    let c = client::cancel(&addr, &id, T).unwrap();
+    assert_eq!(c.status, 202, "signalled, not yet terminal: {:?}", c.body);
+
+    // The simulator observes the token at the next epoch boundary and the
+    // worker marks the job cancelled — far sooner than the run would have
+    // taken; if cancellation were broken the job would come back `done`.
+    let status = poll_status(&addr, &id, Duration::from_secs(120), |s| {
+        s == "done" || s == "failed" || s == "cancelled"
+    });
+    assert_eq!(status, "cancelled");
+    assert_eq!(metric(&addr, "jobs_cancelled_total"), 1);
+
+    // A cancelled run must never pollute the result cache.
+    let cache = Cache::at(&results.join("cache"));
+    assert!(cache.load(&spec).is_none(), "partial result was cached");
+
+    stop(&handle, join);
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn batch_with_duplicate_specs_simulates_each_distinct_spec_once() {
+    let (addr, handle, join, results) = start("batch", 2, 16);
+    let a = JobSpec::new("NN", Size::Small, ModelSpec::Baseline);
+    let b = JobSpec::new("BP", Size::Small, ModelSpec::Baseline);
+    // `a` appears twice: the duplicate must coalesce, not re-simulate.
+    let batch = [a.clone(), a.clone(), b.clone()];
+
+    let o = client::submit_batch(&addr, &batch, T).unwrap();
+    assert_eq!(o.status, 200, "{:?}", o.body);
+    assert_eq!(o.body.get("count").and_then(|v| v.as_u64()), Some(3));
+    let jobs = o
+        .body
+        .get("jobs")
+        .and_then(|v| v.as_arr())
+        .expect("jobs array");
+    assert_eq!(jobs.len(), 3);
+    assert_eq!(
+        jobs[0].get("id").and_then(|v| v.as_str()),
+        Some(a.hash_hex().as_str())
+    );
+    assert_eq!(jobs[1].get("id"), jobs[0].get("id"));
+    assert_eq!(jobs[1].get("deduped").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(
+        jobs[2].get("id").and_then(|v| v.as_str()),
+        Some(b.hash_hex().as_str())
+    );
+
+    for spec in [&a, &b] {
+        let status = poll_status(&addr, &spec.hash_hex(), Duration::from_secs(60), |s| {
+            s == "done" || s == "failed"
+        });
+        assert_eq!(status, "done");
+    }
+    assert_eq!(
+        metric(&addr, "jobs_simulated_total"),
+        2,
+        "the duplicated spec must simulate exactly once"
+    );
+    assert_eq!(metric(&addr, "batch_submissions_total"), 1);
+
+    // A named set resolves server-side; sec57 is the smallest (4 jobs).
+    let o = client::submit_set(&addr, "sec57", T).unwrap();
+    assert_eq!(o.status, 200, "{:?}", o.body);
+    assert_eq!(o.body.get("count").and_then(|v| v.as_u64()), Some(4));
+    // Unknown sets and garbage bodies are 400s.
+    assert_eq!(client::submit_set(&addr, "fig99", T).unwrap().status, 400);
+    let r = r2d2_serve::http::client_request(&addr, "POST", "/jobs/batch", Some("[]"), T).unwrap();
+    assert_eq!(r.status, 400, "empty batch");
+
+    stop(&handle, join);
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn progress_stream_replays_the_profilers_series() {
+    let (addr, handle, join, results) = start("progress", 2, 16);
+    let spec = JobSpec::new("BP", Size::Small, ModelSpec::Baseline);
+    let o = client::submit(&addr, &spec, true, T).unwrap();
+    assert_eq!(o.status, 200, "{:?}", o.body);
+    assert_eq!(o.job_status(), Some("done"));
+
+    // Stream the completed job: the final line carries the terminal status
+    // plus the complete series.
+    let mut lines = Vec::new();
+    let status = client::watch(&addr, &spec.hash_hex(), T, &mut |v| lines.push(v.clone())).unwrap();
+    assert_eq!(status, 200);
+    let last = lines.last().expect("at least the terminal line");
+    assert_eq!(last.get("status").and_then(|v| v.as_str()), Some("done"));
+    let snap = r2d2_harness::ProgressSnapshot::from_json(last).expect("snapshot decodes");
+    assert!(snap.finished);
+
+    // Ground truth: the bucket series a direct profiled run produces. The
+    // profiler is deterministic, so the served stream must replay it
+    // bit-for-bit.
+    let mut prof = r2d2_trace::Profiler::default();
+    r2d2_harness::execute_with_profiler(&spec, &mut prof).expect("direct profiled run");
+    assert_eq!(
+        snap.buckets.as_slice(),
+        prof.buckets(),
+        "streamed series differs from the profiler's"
+    );
+    assert_eq!(snap.total_cycles, prof.total_cycles());
+
+    // Unknown ids 404 even on the streaming path.
+    let err_status =
+        client::watch(&addr, "0000000000000000", T, &mut |_| {}).expect("stream completes");
+    assert_eq!(err_status, 404);
+
+    stop(&handle, join);
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn evicted_jobs_fall_back_to_the_disk_cache() {
+    // Retention 0: completed entries leave memory immediately.
+    let (addr, handle, join, results) = start_retaining("evict", 2, 16, 0);
+    let spec = JobSpec::new("NN", Size::Small, ModelSpec::Baseline);
+    let id = spec.hash_hex();
+    let o = client::submit(&addr, &spec, true, T).unwrap();
+    assert_eq!(o.status, 200, "{:?}", o.body);
+
+    // The in-memory entry is gone, but GET answers from results/cache/.
+    let g = client::job_status(&addr, &id, T).unwrap();
+    assert_eq!((g.status, g.job_status()), (200, Some("done")));
+    let rec = r2d2_harness::RunRecord::from_json(g.body.get("record").expect("record"))
+        .expect("record decodes");
+    assert_eq!(rec.stats, direct_stats(&spec));
+
+    // The progress stream degrades to a single terminal line (the live
+    // series died with the in-memory entry).
+    let mut lines = Vec::new();
+    let status = client::watch(&addr, &id, T, &mut |v| lines.push(v.clone())).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(lines.len(), 1);
+    assert_eq!(
+        lines[0].get("status").and_then(|v| v.as_str()),
+        Some("done")
+    );
+
+    // Cancelling an evicted job is a 404 — there is nothing left to stop.
+    assert_eq!(client::cancel(&addr, &id, T).unwrap().status, 404);
+
     stop(&handle, join);
     let _ = std::fs::remove_dir_all(&results);
 }

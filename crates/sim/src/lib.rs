@@ -68,7 +68,7 @@ pub use linear::{LinearMeta, LinearStore, Phase, MAX_LR};
 pub use mem::GlobalMem;
 pub use session::SimSession;
 pub use stats::Stats;
-pub use timing::{blocks_per_sm, phys_regs_estimate, SimError};
+pub use timing::{blocks_per_sm, phys_regs_estimate, CancelToken, SimError};
 
 // Observability layer (see `r2d2-trace`): the sink trait the timing loops
 // are generic over, plus the stall-attribution profiler and its exporters.

@@ -28,7 +28,7 @@ use crate::filter::{BaselineFilter, IssueFilter};
 use crate::launch::Launch;
 use crate::mem::GlobalMem;
 use crate::stats::Stats;
-use crate::timing::{run_launch, SimError};
+use crate::timing::{run_launch, CancelToken, SimError};
 use r2d2_trace::{EventSink, NullSink};
 
 /// Builder for one simulated kernel launch.
@@ -46,6 +46,7 @@ pub struct SimSession<'a, S: EventSink = NullSink> {
     filter: Option<&'a mut dyn IssueFilter>,
     sink: Option<&'a mut S>,
     threads: Option<u32>,
+    cancel: Option<&'a CancelToken>,
 }
 
 impl<'a> SimSession<'a, NullSink> {
@@ -56,6 +57,7 @@ impl<'a> SimSession<'a, NullSink> {
             filter: None,
             sink: None,
             threads: None,
+            cancel: None,
         }
     }
 }
@@ -79,7 +81,17 @@ impl<'a, S: EventSink> SimSession<'a, S> {
             filter: self.filter,
             sink: Some(sink),
             threads: self.threads,
+            cancel: self.cancel,
         }
+    }
+
+    /// Observe `token` for cooperative cancellation. The timing loops poll it
+    /// alongside the watchdog — at every cycle single-threaded, at every
+    /// epoch boundary sharded — and a triggered token aborts the run with
+    /// [`SimError::Cancelled`] within one epoch.
+    pub fn cancel(mut self, token: &'a CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// Shard the timing loop across `n` worker threads (default:
@@ -107,8 +119,16 @@ impl<'a, S: EventSink> SimSession<'a, S> {
             None => &mut default_filter,
         };
         match self.sink {
-            Some(sink) => run_launch(self.cfg, launch, gmem, filter, sink, threads),
-            None => run_launch(self.cfg, launch, gmem, filter, &mut NullSink, threads),
+            Some(sink) => run_launch(self.cfg, launch, gmem, filter, sink, threads, self.cancel),
+            None => run_launch(
+                self.cfg,
+                launch,
+                gmem,
+                filter,
+                &mut NullSink,
+                threads,
+                self.cancel,
+            ),
         }
     }
 }

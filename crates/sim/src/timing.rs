@@ -50,10 +50,42 @@ use crate::mem::GlobalMem;
 use crate::stats::Stats;
 use r2d2_isa::{AtomOp, Cfg, Dst, Instr, Kernel, MemOffset, MemSpace, Op, Operand, Ty};
 use r2d2_trace::{EventSink, MemLevel, StallCause};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 mod shard;
 
 use shard::run_sharded;
+
+/// Cooperative cancellation flag for a running simulation.
+///
+/// Cloning is cheap (it wraps an `Arc<AtomicBool>`) and every clone observes
+/// the same flag, so a token handed to a [`crate::SimSession`] can be
+/// triggered from any thread. The timing loops poll it where the watchdog is
+/// evaluated — the head of both single-threaded loops and every epoch
+/// boundary of the sharded loop — so a cancelled run stops within one epoch
+/// and returns [`SimError::Cancelled`] instead of running to completion.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-triggered token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; every clone observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
 
 /// Error from a timing simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +104,11 @@ pub enum SimError {
     },
     /// The kernel cannot be resident on an SM (block too large).
     Unschedulable,
+    /// The run's [`CancelToken`] was triggered.
+    Cancelled {
+        /// Cycle at which the cancellation was observed.
+        cycle: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -81,6 +118,7 @@ impl std::fmt::Display for SimError {
             SimError::Deadlock { cycle } => write!(f, "no forward progress at cycle {cycle}"),
             SimError::Watchdog { limit } => write!(f, "exceeded {limit} cycles"),
             SimError::Unschedulable => write!(f, "thread block does not fit on an SM"),
+            SimError::Cancelled { cycle } => write!(f, "cancelled at cycle {cycle}"),
         }
     }
 }
@@ -968,6 +1006,14 @@ struct LaunchCtx<'a> {
     total_blocks: u64,
     nsched: usize,
     wants_vals: bool,
+    cancel: Option<&'a CancelToken>,
+}
+
+impl LaunchCtx<'_> {
+    /// Whether the run's cancel token (if any) has been triggered.
+    fn cancelled(&self) -> bool {
+        self.cancel.is_some_and(CancelToken::is_cancelled)
+    }
 }
 
 /// Full mutable simulation state of the single-threaded loops.
@@ -1914,6 +1960,9 @@ fn run_lockstep<S: EventSink>(
         if now - m.last_issue > DEADLOCK_WINDOW {
             return Err(SimError::Deadlock { cycle: now });
         }
+        if ctx.cancelled() {
+            return Err(SimError::Cancelled { cycle: now });
+        }
         if S::ENABLED {
             m.sink.cycle_start(now);
         }
@@ -1947,6 +1996,9 @@ fn run_event<S: EventSink>(ctx: &LaunchCtx<'_>, m: &mut Machine<'_, S>) -> Resul
         }
         if now - m.last_issue > DEADLOCK_WINDOW {
             return Err(SimError::Deadlock { cycle: now });
+        }
+        if ctx.cancelled() {
+            return Err(SimError::Cancelled { cycle: now });
         }
         if S::ENABLED {
             m.sink.cycle_start(now);
@@ -1990,6 +2042,7 @@ pub(crate) fn run_launch<S: EventSink>(
     filter: &mut dyn IssueFilter,
     sink: &mut S,
     threads: u32,
+    cancel: Option<&CancelToken>,
 ) -> Result<Stats, SimError> {
     let kernel = &launch.kernel;
     let cfgr = Cfg::build(kernel);
@@ -2048,6 +2101,7 @@ pub(crate) fn run_launch<S: EventSink>(
         total_blocks: launch.num_blocks(),
         nsched,
         wants_vals: filter.wants_values(),
+        cancel,
     };
 
     let mut sms = sms;
@@ -2151,6 +2205,55 @@ mod tests {
         assert_eq!(g1.bytes(), g2.bytes(), "timing and functional must agree");
         assert!(stats.cycles > 0);
         assert!(stats.warp_instrs > 0);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_every_loop_kind() {
+        let k = iota_kernel();
+        for (kind, threads) in [
+            (LoopKind::Lockstep, 1),
+            (LoopKind::EventDriven, 1),
+            (LoopKind::Lockstep, 2),
+            (LoopKind::EventDriven, 2),
+        ] {
+            let mut g = GlobalMem::new();
+            let out = g.alloc(16 * 128 * 4);
+            let launch = Launch::new(k.clone(), Dim3::d1(16), Dim3::d1(128), vec![out]);
+            let cfg = GpuConfig::default().with_num_sms(4).with_loop_kind(kind);
+            let token = CancelToken::new();
+            token.cancel();
+            let err = crate::SimSession::new(&cfg)
+                .threads(threads)
+                .cancel(&token)
+                .run(&launch, &mut g)
+                .unwrap_err();
+            assert!(
+                matches!(err, SimError::Cancelled { .. }),
+                "{kind:?}/t{threads}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn untriggered_token_changes_nothing() {
+        let k = iota_kernel();
+        let run_with = |token: Option<&CancelToken>| {
+            let mut g = GlobalMem::new();
+            let out = g.alloc(8 * 128 * 4);
+            let launch = Launch::new(k.clone(), Dim3::d1(8), Dim3::d1(128), vec![out]);
+            let cfg = GpuConfig::default().with_num_sms(4);
+            let mut s = crate::SimSession::new(&cfg);
+            if let Some(t) = token {
+                s = s.cancel(t);
+            }
+            s.run(&launch, &mut g).unwrap()
+        };
+        let token = CancelToken::new();
+        assert_eq!(
+            run_with(None),
+            run_with(Some(&token)),
+            "an armed but untriggered token must not perturb the run"
+        );
     }
 
     #[test]

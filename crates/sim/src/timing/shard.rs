@@ -478,6 +478,12 @@ fn run_shards<S: EventSink, S2: ShardSink>(
             if remaining == 0 {
                 break Ok(());
             }
+            // Cooperative cancellation is observed at epoch boundaries only:
+            // the workers are parked, so breaking here leaves every shard in
+            // a coherent (if incomplete) state.
+            if ctx.cancelled() {
+                break Err(SimError::Cancelled { cycle: now });
+            }
             // First cycle at which the sequential loop head would error.
             let error_at = cfg
                 .watchdog_cycles

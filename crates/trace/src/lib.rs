@@ -37,9 +37,11 @@
 pub mod chrome;
 pub mod json;
 pub mod profile;
+pub mod progress;
 pub mod shard;
 pub mod sink;
 
 pub use profile::{Bucket, Profiler, DEFAULT_TARGET_BUCKETS};
+pub use progress::{Progress, ProgressSnapshot};
 pub use shard::{BufferedEvent, ShardBuffer, ShardSink};
 pub use sink::{EventSink, MemLevel, NullSink, StallCause};

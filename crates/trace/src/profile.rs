@@ -21,6 +21,7 @@
 //! pairs merge, so any run length ends with between `target` and
 //! `2 * target` buckets without knowing the cycle count up front.
 
+use crate::progress::Progress;
 use crate::sink::{EventSink, MemLevel, StallCause};
 
 /// Default bucket-count target for time series (`r2d2 profile --buckets N`).
@@ -93,6 +94,12 @@ pub struct Profiler {
     issued_sm_cycles: u64,
     stall_sm: Vec<[u64; StallCause::COUNT]>,
     stall_warp: Vec<Vec<[u64; StallCause::COUNT]>>,
+    /// Live time-series mirror for external observers (see
+    /// [`Profiler::share_progress`]); republished at bucket boundaries.
+    progress: Option<Progress>,
+    /// Absolute cycle at which the next progress publish is due (the next
+    /// bucket edge as of the last publish).
+    next_publish: u64,
 }
 
 impl Default for Profiler {
@@ -119,7 +126,33 @@ impl Profiler {
             issued_sm_cycles: 0,
             stall_sm: Vec::new(),
             stall_warp: Vec::new(),
+            progress: None,
+            next_publish: 0,
         }
+    }
+
+    /// Mirror the time series into `progress` so other threads can watch the
+    /// run live. The mirror is republished whenever the run crosses a bucket
+    /// edge (every `bucket_width` cycles, so a few thousand times per run at
+    /// most) and once more on [`EventSink::launch_done`]; each publish
+    /// replaces the whole series, because coalescing can rewrite history.
+    /// Sharing does not perturb attribution or the bucket contents.
+    pub fn share_progress(&mut self, progress: Progress) {
+        self.progress = Some(progress);
+        self.next_publish = 0;
+    }
+
+    /// Publish the current series to the shared mirror if `abs` reached the
+    /// bucket edge recorded at the previous publish.
+    fn maybe_publish(&mut self, abs: u64) {
+        let Some(progress) = &self.progress else {
+            return;
+        };
+        if abs < self.next_publish {
+            return;
+        }
+        progress.publish(self.width, self.total_cycles, &self.buckets);
+        self.next_publish = (abs / self.width + 1) * self.width;
     }
 
     fn grow_sm(&mut self, sm: usize) {
@@ -262,6 +295,7 @@ impl EventSink for Profiler {
         let b = &mut self.buckets[idx];
         b.cycles += 1;
         b.warp_cycles += warps;
+        self.maybe_publish(abs);
     }
 
     fn issue(&mut self, sm: u32, _warp: u32) {
@@ -358,12 +392,17 @@ impl EventSink for Profiler {
         self.add_span(self.cur + 1, skipped, &counts);
         self.cur += skipped;
         self.total_cycles = self.cur;
+        self.maybe_publish(self.cur);
     }
 
     fn launch_done(&mut self, cycles: u64) {
         self.base += cycles;
         self.total_cycles = self.base;
         self.cur = self.base;
+        if let Some(progress) = &self.progress {
+            progress.publish(self.width, self.total_cycles, &self.buckets);
+            self.next_publish = (self.cur / self.width + 1) * self.width;
+        }
     }
 }
 
@@ -448,6 +487,27 @@ mod tests {
         // Resident warps: 12 across both SMs, sampled every cycle.
         let wc: u64 = p.buckets().iter().map(|b| b.warp_cycles).sum();
         assert_eq!(wc, 12 * 10_000);
+    }
+
+    #[test]
+    fn shared_progress_mirrors_final_series() {
+        let mut plain = Profiler::new(8);
+        drive(&mut plain, 10_000);
+
+        let mut p = Profiler::new(8);
+        let progress = crate::Progress::new();
+        p.share_progress(progress.clone());
+        drive(&mut p, 10_000);
+        let snap = progress.snapshot();
+        assert!(snap.seq > 1, "expected intermediate publishes");
+        assert_eq!(snap.bucket_width, p.bucket_width());
+        assert_eq!(snap.total_cycles, p.total_cycles());
+        assert_eq!(snap.buckets, p.buckets());
+        assert!(!snap.finished, "finish() is the owner's call, not ours");
+        // Sharing must not perturb the series itself.
+        assert_eq!(p.buckets(), plain.buckets());
+        assert_eq!(p.bucket_width(), plain.bucket_width());
+        p.check_invariant().unwrap();
     }
 
     #[test]

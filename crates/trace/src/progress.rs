@@ -1,0 +1,211 @@
+//! Shared live view of a [`Profiler`]'s time series.
+//!
+//! A [`Progress`] handle is a cheap clone (an `Arc<Mutex<_>>`) attached to a
+//! profiler via [`Profiler::share_progress`]. The profiler republishes its
+//! bucket series at bucket-close granularity — at least
+//! [`crate::profile::DEFAULT_TARGET_BUCKETS`]-width cycles apart, so the lock
+//! is touched a few thousand times per run, never per event — and any other
+//! thread can [`Progress::snapshot`] the latest state without stopping the
+//! simulation. `r2d2-serve` streams these snapshots to `GET
+//! /jobs/<id>/progress` clients as NDJSON chunks.
+//!
+//! Publishing is a *replacement*, not an append: the profiler's buckets
+//! coalesce (the width doubles and adjacent pairs merge) whenever a run
+//! outgrows its target bucket count, so consumers must treat every snapshot
+//! as the whole series. The `seq` counter increments on every publish, which
+//! lets a poller skip unchanged states.
+//!
+//! [`Profiler`]: crate::Profiler
+//! [`Profiler::share_progress`]: crate::Profiler::share_progress
+
+use std::sync::{Arc, Mutex};
+
+use crate::json::{self, Value};
+use crate::profile::Bucket;
+use crate::sink::StallCause;
+
+/// One published state of a profiler's time series.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Publish counter; strictly increases with every change.
+    pub seq: u64,
+    /// Width (in cycles) of each bucket at publish time.
+    pub bucket_width: u64,
+    /// Total elapsed cycles at publish time.
+    pub total_cycles: u64,
+    /// Whether the run owning the profiler has finished (either way).
+    pub finished: bool,
+    /// The complete bucket series, in cycle order.
+    pub buckets: Vec<Bucket>,
+}
+
+impl ProgressSnapshot {
+    /// Encode as a JSON object (the NDJSON chunk body of the progress
+    /// stream).
+    pub fn to_json(&self) -> Value {
+        let buckets = self.buckets.iter().map(bucket_to_json).collect();
+        json::obj(vec![
+            ("seq", json::int(self.seq)),
+            ("bucket_width", json::int(self.bucket_width)),
+            ("total_cycles", json::int(self.total_cycles)),
+            ("finished", Value::Bool(self.finished)),
+            ("buckets", Value::Arr(buckets)),
+        ])
+    }
+
+    /// Decode a snapshot produced by [`ProgressSnapshot::to_json`].
+    pub fn from_json(v: &Value) -> Option<ProgressSnapshot> {
+        let buckets = v
+            .get("buckets")?
+            .as_arr()?
+            .iter()
+            .map(bucket_from_json)
+            .collect::<Option<Vec<Bucket>>>()?;
+        Some(ProgressSnapshot {
+            seq: v.get("seq")?.as_u64()?,
+            bucket_width: v.get("bucket_width")?.as_u64()?,
+            total_cycles: v.get("total_cycles")?.as_u64()?,
+            finished: v.get("finished")?.as_bool()?,
+            buckets,
+        })
+    }
+}
+
+fn bucket_to_json(b: &Bucket) -> Value {
+    let stalls = b.stalls.iter().map(|&s| json::int(s)).collect();
+    json::obj(vec![
+        ("cycles", json::int(b.cycles)),
+        ("issued", json::int(b.issued)),
+        ("stalls", Value::Arr(stalls)),
+        ("warp_cycles", json::int(b.warp_cycles)),
+        ("l1_hits", json::int(b.l1_hits)),
+        ("l1_accesses", json::int(b.l1_accesses)),
+        ("l2_hits", json::int(b.l2_hits)),
+        ("l2_accesses", json::int(b.l2_accesses)),
+        ("dram_txns", json::int(b.dram_txns)),
+        ("shared_accesses", json::int(b.shared_accesses)),
+    ])
+}
+
+fn bucket_from_json(v: &Value) -> Option<Bucket> {
+    let raw = v.get("stalls")?.as_arr()?;
+    if raw.len() != StallCause::COUNT {
+        return None;
+    }
+    let mut stalls = [0u64; StallCause::COUNT];
+    for (slot, s) in stalls.iter_mut().zip(raw) {
+        *slot = s.as_u64()?;
+    }
+    Some(Bucket {
+        cycles: v.get("cycles")?.as_u64()?,
+        issued: v.get("issued")?.as_u64()?,
+        stalls,
+        warp_cycles: v.get("warp_cycles")?.as_u64()?,
+        l1_hits: v.get("l1_hits")?.as_u64()?,
+        l1_accesses: v.get("l1_accesses")?.as_u64()?,
+        l2_hits: v.get("l2_hits")?.as_u64()?,
+        l2_accesses: v.get("l2_accesses")?.as_u64()?,
+        dram_txns: v.get("dram_txns")?.as_u64()?,
+        shared_accesses: v.get("shared_accesses")?.as_u64()?,
+    })
+}
+
+/// Cloneable handle onto a live (or finished) profiler time series.
+///
+/// See the [module docs](self) for the publish cadence and the replacement
+/// (not append) semantics.
+#[derive(Debug, Clone, Default)]
+pub struct Progress {
+    inner: Arc<Mutex<ProgressSnapshot>>,
+}
+
+impl Progress {
+    /// An empty, unfinished progress state.
+    pub fn new() -> Progress {
+        Progress::default()
+    }
+
+    /// Clone the latest published state.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        self.inner.lock().unwrap().clone()
+    }
+
+    /// Mark the owning run as finished (success, failure, or cancellation).
+    /// Idempotent; bumps `seq` on the first call so pollers wake up.
+    pub fn finish(&self) {
+        let mut s = self.inner.lock().unwrap();
+        if !s.finished {
+            s.finished = true;
+            s.seq += 1;
+        }
+    }
+
+    /// Replace the published series. Called by the profiler at bucket
+    /// boundaries; `finished` is preserved (a post-finish publish — the
+    /// profiler's final flush racing a cancellation — must not resurrect the
+    /// stream).
+    pub(crate) fn publish(&self, bucket_width: u64, total_cycles: u64, buckets: &[Bucket]) {
+        let mut s = self.inner.lock().unwrap();
+        s.bucket_width = bucket_width;
+        s.total_cycles = total_cycles;
+        s.buckets.clear();
+        s.buckets.extend_from_slice(buckets);
+        s.seq += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_json_roundtrip() {
+        let mut b = Bucket {
+            cycles: 64,
+            issued: 41,
+            warp_cycles: 512,
+            l1_hits: 3,
+            l1_accesses: 9,
+            l2_hits: 2,
+            l2_accesses: 6,
+            dram_txns: 4,
+            shared_accesses: 1,
+            ..Bucket::default()
+        };
+        b.stalls[StallCause::Dram.idx()] = 23;
+        let snap = ProgressSnapshot {
+            seq: 7,
+            bucket_width: 64,
+            total_cycles: 100,
+            finished: true,
+            buckets: vec![b, Bucket::default()],
+        };
+        let text = snap.to_json().to_json();
+        let back = ProgressSnapshot::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_bumps_seq_once() {
+        let p = Progress::new();
+        assert!(!p.snapshot().finished);
+        p.finish();
+        p.finish();
+        let s = p.snapshot();
+        assert!(s.finished);
+        assert_eq!(s.seq, 1);
+    }
+
+    #[test]
+    fn publish_replaces_and_preserves_finished() {
+        let p = Progress::new();
+        p.publish(64, 10, &[Bucket::default()]);
+        p.finish();
+        p.publish(128, 20, &[Bucket::default(), Bucket::default()]);
+        let s = p.snapshot();
+        assert_eq!(s.bucket_width, 128);
+        assert_eq!(s.buckets.len(), 2);
+        assert!(s.finished, "publish must not clear finished");
+        assert_eq!(s.seq, 3);
+    }
+}
