@@ -46,8 +46,14 @@
 //!     --timeout SECS        per-job watchdog          (default 600)
 //!     --no-cache            re-simulate even when cached
 //!     --quiet               suppress per-request log lines
+//! r2d2 dispatch --backends A,B,... [options]
+//!     run the multi-node dispatch tier over running serve nodes
+//!     --backends LIST       comma-separated backend HOST:PORT list (required)
+//!     --addr HOST:PORT      bind address              (default 127.0.0.1:8786)
+//!     --probe-interval-ms N health-probe sweep interval (default 500)
+//!     --quiet               suppress per-request log lines
 //! r2d2 submit <workload> <model> [options]
-//!     submit one job to a running service
+//!     submit one job to a running service or dispatcher
 //!     --addr HOST:PORT      service address           (default 127.0.0.1:8787)
 //!     --wait                block until the job completes, print the record
 //!     --full                evaluation-sized inputs   (default: small)
@@ -90,12 +96,13 @@ fn main() -> ExitCode {
         Some("profile") => cmd_profile(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("dispatch") => cmd_dispatch(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("cancel") => cmd_cancel(&args[1..]),
         Some("watch") => cmd_watch(&args[1..]),
         _ => {
             eprintln!(
-                "usage: r2d2 <list|analyze|transform|run|trace|workload|profile|sweep|serve|submit|cancel|watch> ..."
+                "usage: r2d2 <list|analyze|transform|run|trace|workload|profile|sweep|serve|dispatch|submit|cancel|watch> ..."
             );
             eprintln!("see `r2d2-cli` crate docs for options");
             return ExitCode::from(2);
@@ -606,10 +613,67 @@ fn cmd_serve(args: &[String]) -> CliResult {
         cfg.workers, cfg.queue_cap
     );
     println!(
-        "endpoints: POST /jobs, POST /jobs/batch, GET /jobs/<id>, DELETE /jobs/<id>, \
-         GET /jobs/<id>/progress, GET /healthz, GET /metrics, POST /shutdown"
+        "endpoints: POST /v1/jobs, POST /v1/jobs/batch, GET /v1/jobs/<id>, \
+         DELETE /v1/jobs/<id>, GET /v1/jobs/<id>/progress, GET /v1/healthz, \
+         GET /v1/metrics, POST /v1/shutdown (unprefixed aliases deprecated)"
     );
     server.run()?;
+    Ok(())
+}
+
+fn cmd_dispatch(args: &[String]) -> CliResult {
+    use r2d2_dispatch::{DispatchConfig, Dispatcher};
+    use r2d2_serve::install_signal_handlers;
+
+    let mut cfg = DispatchConfig {
+        verbose: true,
+        ..DispatchConfig::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--backends" => {
+                let list = args.get(i + 1).ok_or("--backends needs a value")?;
+                cfg.backends = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+                i += 1;
+            }
+            "--addr" => {
+                cfg.addr = args.get(i + 1).ok_or("--addr needs a value")?.clone();
+                i += 1;
+            }
+            "--probe-interval-ms" => {
+                let ms: u64 = args
+                    .get(i + 1)
+                    .ok_or("--probe-interval-ms needs a value")?
+                    .parse()?;
+                cfg.probe_interval = std::time::Duration::from_millis(ms);
+                i += 1;
+            }
+            "--quiet" => cfg.verbose = false,
+            other => return Err(format!("unknown option {other}").into()),
+        }
+        i += 1;
+    }
+    if cfg.backends.is_empty() {
+        return Err("dispatch requires --backends a,b,... (at least one serve node)".into());
+    }
+    install_signal_handlers();
+    let backends = cfg.backends.join(", ");
+    let dispatcher = Dispatcher::bind(cfg)?;
+    let addr = dispatcher.local_addr()?;
+    // Parsed by scripts and the CI smoke test to discover a `:0` port pick.
+    println!("listening on {addr} (dispatching to {backends})");
+    println!(
+        "endpoints: /v1 only — POST /v1/jobs, POST /v1/jobs/batch, GET /v1/jobs/<id>, \
+         DELETE /v1/jobs/<id>, GET /v1/jobs/<id>/progress, GET /v1/healthz, \
+         GET /v1/metrics, POST /v1/shutdown"
+    );
+    dispatcher.run()?;
     Ok(())
 }
 

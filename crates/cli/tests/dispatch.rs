@@ -1,0 +1,217 @@
+//! Process-level smoke test of the dispatch tier: two real `r2d2 serve`
+//! daemons plus a real `r2d2 dispatch` in front of them, driven over real
+//! sockets with `r2d2 submit/cancel/watch`. This is what the CI "service
+//! smoke" step runs for the dispatcher.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use r2d2_harness::json::{self, Value};
+use r2d2_harness::{JobSpec, ModelSpec};
+use r2d2_workloads::Size;
+
+const T: Duration = Duration::from_secs(120);
+
+/// Distinguishes concurrently-running tests' daemons (same pid).
+static SPAWN_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_r2d2"))
+}
+
+/// One spawned daemon (`serve` or `dispatch`) with its stdout drained to a
+/// log under `target/tmp/dispatch-smoke-logs/` for the CI failure artifact.
+struct Daemon {
+    child: Child,
+    addr: String,
+    results: Option<std::path::PathBuf>,
+}
+
+impl Daemon {
+    fn spawn(kind: &str, args: &[&str], results: Option<std::path::PathBuf>) -> Daemon {
+        let tag = format!(
+            "{}-{}",
+            std::process::id(),
+            SPAWN_SEQ.fetch_add(1, Ordering::SeqCst)
+        );
+        let logs = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("dispatch-smoke-logs");
+        std::fs::create_dir_all(&logs).expect("create smoke log dir");
+        let stderr_log =
+            std::fs::File::create(logs.join(format!("{kind}-{tag}.stderr.log"))).expect("log file");
+        let mut cmd = bin();
+        if let Some(results) = &results {
+            let _ = std::fs::remove_dir_all(results);
+            cmd.env("R2D2_RESULTS", results);
+        }
+        let mut child = cmd
+            .env("R2D2_SIZE", "small")
+            .args([kind, "--addr", "127.0.0.1:0"])
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::from(stderr_log))
+            .spawn()
+            .unwrap_or_else(|e| panic!("spawn r2d2 {kind}: {e}"));
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let first = lines
+            .next()
+            .expect("a listening line")
+            .expect("readable stdout");
+        let addr = first
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected first line: {first}"))
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .to_string();
+        // Drain stdout for the daemon's lifetime (EPIPE otherwise),
+        // mirroring into the log file.
+        let mut stdout_log =
+            std::fs::File::create(logs.join(format!("{kind}-{tag}.stdout.log"))).expect("log file");
+        let _ = writeln!(stdout_log, "{first}");
+        std::thread::spawn(move || {
+            for line in lines.by_ref().map_while(Result::ok) {
+                let _ = writeln!(stdout_log, "{line}");
+            }
+        });
+        Daemon {
+            child,
+            addr,
+            results,
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        if let Some(results) = &self.results {
+            let _ = std::fs::remove_dir_all(results);
+        }
+    }
+}
+
+fn spawn_backend(tag: &str) -> Daemon {
+    let results = std::env::temp_dir().join(format!(
+        "r2d2-dispatch-smoke-{tag}-{}-{}",
+        std::process::id(),
+        SPAWN_SEQ.load(Ordering::SeqCst)
+    ));
+    Daemon::spawn(
+        "serve",
+        &["--workers", "2", "--queue-cap", "8", "--quiet"],
+        Some(results),
+    )
+}
+
+#[test]
+fn dispatcher_smoke_submit_watch_cancel_over_real_sockets() {
+    let b0 = spawn_backend("b0");
+    let b1 = spawn_backend("b1");
+    let backends = format!("{},{}", b0.addr, b1.addr);
+    let mut dispatcher = Daemon::spawn(
+        "dispatch",
+        &["--backends", &backends, "--probe-interval-ms", "100"],
+        None,
+    );
+    let addr = dispatcher.addr.clone();
+
+    // Fleet liveness and the aggregated exposition.
+    let (code, body) = r2d2_serve::healthz(&addr, T).expect("healthz");
+    assert_eq!((code, body.as_str()), (200, "ok"));
+    let metrics = r2d2_serve::fetch_metrics(&addr, T).expect("metrics");
+    for needle in [
+        "dispatch_backends_live 2",
+        "dispatch_routed_total",
+        "dispatch_retries_total",
+        "dispatch_failover_total",
+    ] {
+        assert!(metrics.contains(needle), "missing {needle}:\n{metrics}");
+    }
+
+    // `r2d2 submit --wait` through the dispatcher, twice: the duplicate
+    // must coalesce on one backend (routing is by content hash).
+    for pass in 0..2 {
+        let out = bin()
+            .args(["submit", "NN", "baseline", "--addr", &addr, "--wait"])
+            .output()
+            .expect("run r2d2 submit");
+        assert!(
+            out.status.success(),
+            "pass {pass}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let v = json::parse(String::from_utf8(out.stdout).unwrap().trim()).expect("JSON");
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("done"));
+    }
+    let metrics = r2d2_serve::fetch_metrics(&addr, T).expect("metrics");
+    let metric = |text: &str, name: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(&format!("{name} ")))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|x| x.parse().ok())
+            .unwrap_or_else(|| panic!("no {name} in:\n{text}"))
+    };
+    assert_eq!(
+        metric(&metrics, "r2d2_serve_jobs_simulated_total"),
+        1,
+        "the duplicate submission must not re-simulate:\n{metrics}"
+    );
+
+    // `r2d2 watch` relays the chunked NDJSON stream through the proxy.
+    let spec = JobSpec::new("NN", Size::Small, ModelSpec::Baseline);
+    let out = bin()
+        .args(["watch", &spec.hash_hex(), "--addr", &addr])
+        .output()
+        .expect("run r2d2 watch");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let last = stdout.lines().last().expect("a terminal line");
+    let v = json::parse(last).expect("terminal line is JSON");
+    assert_eq!(v.get("status").and_then(Value::as_str), Some("done"));
+
+    // `r2d2 cancel` proxies DELETE; a terminal job answers 200/done.
+    let out = bin()
+        .args(["cancel", &spec.hash_hex(), "--addr", &addr])
+        .output()
+        .expect("run r2d2 cancel");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Kill one backend; the dispatcher keeps answering from the survivor.
+    drop(b0);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let metrics = r2d2_serve::fetch_metrics(&addr, T).expect("metrics");
+        if metric(&metrics, "dispatch_backends_live") == 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "probe never noticed the dead backend"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let mut spec2 = JobSpec::new("NN", Size::Small, ModelSpec::Baseline);
+    spec2.overrides.num_sms = Some(2);
+    let o = r2d2_serve::submit(&addr, &spec2, true, T).expect("submit with one backend down");
+    assert_eq!(o.status, 200, "{:?}", o.body);
+    assert_eq!(o.job_status(), Some("done"));
+
+    // Drain the dispatcher; the backend is independent and stays up.
+    assert_eq!(r2d2_serve::shutdown(&addr, T).expect("shutdown"), 200);
+    let status = dispatcher.child.wait().expect("wait for dispatch to exit");
+    assert!(status.success(), "dispatch must exit cleanly");
+    let (code, _) = r2d2_serve::healthz(&b1.addr, T).expect("backend survives");
+    assert_eq!(code, 200);
+}

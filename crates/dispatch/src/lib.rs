@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! Multi-node dispatch tier for the R2D2 simulation service.
+//!
+//! `r2d2 serve` deduplicates identical in-flight submissions *within one
+//! node* by keying its queue on [`r2d2_harness::JobSpec::content_hash`].
+//! This crate lifts the same idea across a fleet: `r2d2 dispatch` runs a
+//! long-lived scheduler in front of N `r2d2 serve` backends and routes each
+//! job by consistent-hashing its content hash onto a ring, so identical
+//! specs always reach the same node's dedup queue and simulate exactly
+//! once — the cross-node analogue of R2D2 removing redundant address
+//! computation across warps.
+//!
+//! The moving parts:
+//!
+//! - [`ring::Ring`] — consistent-hash ring with virtual nodes; losing a
+//!   backend remaps only its own share of the key space.
+//! - [`server::Dispatcher`] — the proxy itself: forwards the full `/v1`
+//!   surface (submit, batch, status, cancel, chunked NDJSON progress
+//!   relay), probes `/v1/healthz`, fails over along the ring walk, retries
+//!   with backoff, and answers `503` + `Retry-After` (`no-backend-live`)
+//!   when the whole fleet is down.
+//! - [`metrics::DispatchMetrics`] — `dispatch_*` counters plus fleet
+//!   aggregation: `GET /v1/metrics` sums every live backend's additive
+//!   counters into one exposition.
+//!
+//! Like the rest of the workspace this adds **zero dependencies**: the
+//! HTTP layer is `r2d2-serve`'s hand-rolled one, reused client-side and
+//! server-side. See `DESIGN.md` § "Dispatch tier" for the protocol
+//! details.
+
+pub mod metrics;
+pub mod ring;
+pub mod server;
+
+pub use metrics::{aggregate, DispatchMetrics};
+pub use ring::Ring;
+pub use server::{DispatchConfig, Dispatcher, DispatcherHandle};

@@ -1,0 +1,169 @@
+//! Dispatcher counters and fleet-level `/v1/metrics` aggregation.
+//!
+//! The dispatcher's own exposition has two parts: its local counters
+//! (`dispatch_*` — routing, retries, failover, liveness) and a fleet
+//! summary built by scraping every live backend's `/v1/metrics` and summing
+//! the counters that are additive across nodes. Derived values (rates,
+//! percentiles, uptime) are *not* summed — averaging percentiles is
+//! statistically meaningless, so those stay per-backend and are simply
+//! omitted from the aggregate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Backend metric names that are additive across the fleet: monotonic
+/// counters plus the two point-in-time occupancy gauges, which sum to the
+/// fleet's total queued/in-flight work.
+const ADDITIVE: &[&str] = &["queue_depth", "in_flight"];
+
+/// Dispatcher-local counters. All `&self`, all thread-safe.
+#[derive(Debug, Default)]
+pub struct DispatchMetrics {
+    /// Requests forwarded to a backend (any endpoint, counted per request
+    /// that got an answer, not per attempt).
+    pub routed_total: AtomicU64,
+    /// Forwarding attempts that failed and were retried on another backend
+    /// or after a backoff sleep.
+    pub retries_total: AtomicU64,
+    /// Requests answered by a non-primary backend because the ring walk
+    /// skipped one or more dead nodes.
+    pub failover_total: AtomicU64,
+}
+
+impl DispatchMetrics {
+    /// Render the dispatcher-local block of the exposition.
+    /// `backends_live`/`backends_total` come from the probe state.
+    pub fn render_local(&self, backends_live: usize, backends_total: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut metric = |name: &str, help: &str, value: u64| {
+            let kind = if name.ends_with("_total") {
+                "counter"
+            } else {
+                "gauge"
+            };
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        metric(
+            "dispatch_backends_live",
+            "Backends currently passing the /v1/healthz probe.",
+            backends_live as u64,
+        );
+        metric(
+            "dispatch_backends_total",
+            "Backends configured on the ring.",
+            backends_total as u64,
+        );
+        metric(
+            "dispatch_routed_total",
+            "Requests forwarded to a backend.",
+            self.routed_total.load(Ordering::Relaxed),
+        );
+        metric(
+            "dispatch_retries_total",
+            "Forwarding attempts retried after a backend failure.",
+            self.retries_total.load(Ordering::Relaxed),
+        );
+        metric(
+            "dispatch_failover_total",
+            "Requests served by a non-primary backend.",
+            self.failover_total.load(Ordering::Relaxed),
+        );
+        out
+    }
+}
+
+/// Sum the additive metrics across scraped backend expositions, preserving
+/// first-seen order. A metric is additive when its name ends in `_total`
+/// or is one of the occupancy gauges; everything else (rates, percentiles,
+/// uptime) is dropped — those are meaningless summed.
+pub fn aggregate(scrapes: &[String]) -> Vec<(String, u64)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut sums: Vec<u64> = Vec::new();
+    for text in scrapes {
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(name), Some(value)) = (parts.next(), parts.next()) else {
+                continue;
+            };
+            let additive = name.ends_with("_total") || ADDITIVE.iter().any(|g| name.ends_with(g));
+            if !additive {
+                continue;
+            }
+            // Counter values are rendered as integers; skip anything else.
+            let Ok(v) = value.parse::<u64>() else {
+                continue;
+            };
+            match order.iter().position(|n| n == name) {
+                Some(i) => sums[i] += v,
+                None => {
+                    order.push(name.to_string());
+                    sums.push(v);
+                }
+            }
+        }
+    }
+    order.into_iter().zip(sums).collect()
+}
+
+/// Render the aggregated fleet block: summed `r2d2_serve_*` counters with a
+/// `# fleet sum over N live backend(s)` banner.
+pub fn render_fleet(scrapes: &[String]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# fleet sums over {} live backend(s); per-backend rates and percentiles are not aggregated",
+        scrapes.len()
+    );
+    for (name, value) in aggregate(scrapes) {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_sums_counters_and_drops_derived_values() {
+        let a = "# HELP r2d2_serve_jobs_submitted_total x\n\
+                 r2d2_serve_jobs_submitted_total 3\n\
+                 r2d2_serve_queue_depth 2\n\
+                 r2d2_serve_cache_hit_rate 0.5\n\
+                 r2d2_serve_job_wall_ms_p99 120\n"
+            .to_string();
+        let b = "r2d2_serve_jobs_submitted_total 4\n\
+                 r2d2_serve_queue_depth 1\n\
+                 r2d2_serve_cache_hit_rate 1\n"
+            .to_string();
+        let agg = aggregate(&[a, b]);
+        assert!(agg.contains(&("r2d2_serve_jobs_submitted_total".into(), 7)));
+        assert!(agg.contains(&("r2d2_serve_queue_depth".into(), 3)));
+        // Rates and percentiles must not appear — summing them is nonsense.
+        assert!(agg.iter().all(|(n, _)| !n.contains("rate")));
+        assert!(agg.iter().all(|(n, _)| !n.contains("p99")));
+    }
+
+    #[test]
+    fn local_block_exposes_the_documented_names() {
+        let m = DispatchMetrics::default();
+        m.routed_total.store(9, Ordering::Relaxed);
+        let text = m.render_local(2, 3);
+        for needle in [
+            "dispatch_backends_live 2",
+            "dispatch_backends_total 3",
+            "dispatch_routed_total 9",
+            "dispatch_retries_total 0",
+            "dispatch_failover_total 0",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Consistent-hash ring over the backend fleet.
+//!
+//! R2D2 removes redundant work by exploiting the linearity of address
+//! generation inside one GPU; the dispatch tier removes redundant
+//! *simulations* by exploiting the same property one level up. A
+//! [`r2d2_harness::JobSpec`]'s `content_hash` is a pure function of the
+//! experiment, so hashing it onto a stable ring of backends means identical
+//! specs always land on the same node — where the per-node dedup queue
+//! coalesces them into a single simulation and the content-addressed cache
+//! answers repeats for free. A round-robin or least-loaded policy would
+//! scatter duplicates across nodes and simulate each copy.
+//!
+//! The ring is the classic consistent-hashing construction: every backend
+//! contributes [`VNODES`] pseudo-random points on a `u64` circle, a job is
+//! routed to the first point at or after its hash, and losing a backend
+//! only remaps the keys that pointed at it (1/N of the space, spread evenly
+//! thanks to the virtual nodes) instead of reshuffling everything.
+
+/// Virtual nodes per backend. 64 keeps the per-backend share of the key
+/// space within a few percent of uniform while the ring stays tiny
+/// (N × 64 points, binary-searched).
+pub const VNODES: usize = 64;
+
+/// FNV-1a over a byte string — the same hash family the harness uses for
+/// `JobSpec::content_hash`, re-rolled here so the ring does not depend on a
+/// spec to hash arbitrary labels.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer. FNV-1a alone clusters on near-identical short
+/// inputs (the vnode labels differ in one digit), which skews the ring
+/// badly; the avalanche pass spreads the points uniformly.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A fixed ring over `n` backends (identified by index `0..n`).
+///
+/// The ring itself is immutable; liveness is the caller's concern. Routing
+/// returns the *full preference order* — every backend exactly once, in
+/// ring-walk order from the key's position — so the caller can skip dead
+/// nodes without the ring needing to know who is down. That walk order IS
+/// the failover policy: when the primary dies, each of its keys falls
+/// through to the next distinct backend on the circle, and comes back home
+/// when the probe loop marks the primary live again.
+#[derive(Debug)]
+pub struct Ring {
+    /// `(point, backend index)` sorted by point.
+    points: Vec<(u64, usize)>,
+    n: usize,
+}
+
+impl Ring {
+    /// Build the ring for `n` backends. Points are derived from the backend
+    /// *index*, not its address, so the mapping is stable across restarts
+    /// as long as the `--backends` list keeps its order.
+    pub fn new(n: usize) -> Ring {
+        let mut points = Vec::with_capacity(n * VNODES);
+        for backend in 0..n {
+            for vnode in 0..VNODES {
+                let label = format!("backend-{backend}-vnode-{vnode}");
+                points.push((mix(fnv1a(label.as_bytes())), backend));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, n }
+    }
+
+    /// Number of backends on the ring.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the ring has no backends.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Preference order for `hash`: every backend exactly once, starting at
+    /// the first ring point at or after `hash` (wrapping), keeping only the
+    /// first occurrence of each backend along the walk. `route(h)[0]` is
+    /// the primary; the rest are failover candidates in order.
+    pub fn route(&self, hash: u64) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.n);
+        if self.points.is_empty() {
+            return order;
+        }
+        let start = self.points.partition_point(|&(p, _)| p < hash);
+        let mut seen = vec![false; self.n];
+        for i in 0..self.points.len() {
+            let (_, backend) = self.points[(start + i) % self.points.len()];
+            if !seen[backend] {
+                seen[backend] = true;
+                order.push(backend);
+                if order.len() == self.n {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// The primary backend for `hash` (`route(hash)[0]`).
+    pub fn primary(&self, hash: u64) -> Option<usize> {
+        self.route(hash).first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_is_a_permutation_and_deterministic() {
+        let ring = Ring::new(5);
+        for hash in [0u64, 1, u64::MAX, 0xdead_beef, 42] {
+            let order = ring.route(hash);
+            assert_eq!(order.len(), 5);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4], "not a permutation: {order:?}");
+            assert_eq!(order, ring.route(hash), "non-deterministic");
+        }
+    }
+
+    #[test]
+    fn same_hash_same_primary_distinct_hashes_spread() {
+        let ring = Ring::new(3);
+        // Identical keys always land on the same node — the property the
+        // cross-node dedup argument rests on.
+        assert_eq!(ring.primary(12345), ring.primary(12345));
+        // And the key space is actually spread: over many keys every
+        // backend should be primary for a reasonable share.
+        let mut counts = [0usize; 3];
+        for i in 0..3000u64 {
+            counts[ring.primary(fnv1a(&i.to_le_bytes())).unwrap()] += 1;
+        }
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                (500..=1700).contains(&c),
+                "backend {b} owns {c}/3000 keys — ring badly unbalanced: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn losing_a_backend_only_remaps_its_own_keys() {
+        // Consistency property: keys whose primary survives keep it when
+        // the caller skips a dead backend (the walk order never changes).
+        let ring = Ring::new(4);
+        let dead = 2usize;
+        for i in 0..500u64 {
+            let hash = fnv1a(&i.to_le_bytes());
+            let order = ring.route(hash);
+            let with_all = order[0];
+            let without_dead = *order.iter().find(|&&b| b != dead).unwrap();
+            if with_all != dead {
+                assert_eq!(with_all, without_dead, "key {i} moved needlessly");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let ring = Ring::new(0);
+        assert!(ring.is_empty());
+        assert!(ring.route(7).is_empty());
+        assert_eq!(ring.primary(7), None);
+    }
+}

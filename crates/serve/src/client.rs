@@ -9,6 +9,7 @@ use std::time::Duration;
 use r2d2_harness::json::{self, Value};
 use r2d2_harness::JobSpec;
 
+use crate::api::ApiError;
 use crate::http::{client_request, client_stream, ClientResponse};
 
 /// Outcome of a submission as seen by the client.
@@ -39,6 +40,13 @@ impl SubmitOutcome {
             _ => None,
         }
     }
+
+    /// Decode the unified error schema from a 4xx/5xx answer, so callers
+    /// match on [`ApiError::code`] instead of parsing prose. `None` on
+    /// success responses.
+    pub fn api_error(&self) -> Option<ApiError> {
+        ApiError::from_response(self.status, &self.body)
+    }
 }
 
 fn parse_body(resp: ClientResponse) -> SubmitOutcome {
@@ -59,7 +67,7 @@ pub fn submit(
     wait: bool,
     timeout: Duration,
 ) -> std::io::Result<SubmitOutcome> {
-    let path = if wait { "/jobs?wait=1" } else { "/jobs" };
+    let path = if wait { "/v1/jobs?wait=1" } else { "/v1/jobs" };
     let mut body = spec.to_json();
     if let Value::Obj(fields) = &mut body {
         // `threads` is an execution knob, not part of the spec's identity,
@@ -72,7 +80,7 @@ pub fn submit(
     Ok(parse_body(resp))
 }
 
-/// Submit a batch of specs in one `POST /jobs/batch` request. The response
+/// Submit a batch of specs in one `POST /v1/jobs/batch` request. The response
 /// body carries `count` and a per-job `jobs` array.
 pub fn submit_batch(
     addr: &str,
@@ -80,7 +88,13 @@ pub fn submit_batch(
     timeout: Duration,
 ) -> std::io::Result<SubmitOutcome> {
     let arr = Value::Arr(specs.iter().map(JobSpec::to_json).collect());
-    let resp = client_request(addr, "POST", "/jobs/batch", Some(&arr.to_json()), timeout)?;
+    let resp = client_request(
+        addr,
+        "POST",
+        "/v1/jobs/batch",
+        Some(&arr.to_json()),
+        timeout,
+    )?;
     Ok(parse_body(resp))
 }
 
@@ -89,17 +103,23 @@ pub fn submit_batch(
 /// contents.
 pub fn submit_set(addr: &str, name: &str, timeout: Duration) -> std::io::Result<SubmitOutcome> {
     let body = json::obj(vec![("set", json::s(name))]);
-    let resp = client_request(addr, "POST", "/jobs/batch", Some(&body.to_json()), timeout)?;
+    let resp = client_request(
+        addr,
+        "POST",
+        "/v1/jobs/batch",
+        Some(&body.to_json()),
+        timeout,
+    )?;
     Ok(parse_body(resp))
 }
 
-/// `DELETE /jobs/<id>` — cancel a queued or running job.
+/// `DELETE /v1/jobs/<id>` — cancel a queued or running job.
 pub fn cancel(addr: &str, id: &str, timeout: Duration) -> std::io::Result<SubmitOutcome> {
-    let resp = client_request(addr, "DELETE", &format!("/jobs/{id}"), None, timeout)?;
+    let resp = client_request(addr, "DELETE", &format!("/v1/jobs/{id}"), None, timeout)?;
     Ok(parse_body(resp))
 }
 
-/// Stream a job's progress: `GET /jobs/<id>/progress` delivers NDJSON
+/// Stream a job's progress: `GET /v1/jobs/<id>/progress` delivers NDJSON
 /// snapshots over a chunked body; `on_snapshot` is invoked with each parsed
 /// line as it arrives. Returns the HTTP status once the stream terminates.
 ///
@@ -116,7 +136,7 @@ pub fn watch(
     let (status, _headers) = client_stream(
         addr,
         "GET",
-        &format!("/jobs/{id}/progress"),
+        &format!("/v1/jobs/{id}/progress"),
         timeout,
         &mut |chunk| {
             // Chunk boundaries need not align with line boundaries; split on
@@ -143,24 +163,24 @@ pub fn watch(
 
 /// Fetch a job's state by id (its content hash).
 pub fn job_status(addr: &str, id: &str, timeout: Duration) -> std::io::Result<SubmitOutcome> {
-    let resp = client_request(addr, "GET", &format!("/jobs/{id}"), None, timeout)?;
+    let resp = client_request(addr, "GET", &format!("/v1/jobs/{id}"), None, timeout)?;
     Ok(parse_body(resp))
 }
 
-/// `GET /healthz` — returns the body (`ok` / `draining`).
+/// `GET /v1/healthz` — returns the body (`ok` / `draining`).
 pub fn healthz(addr: &str, timeout: Duration) -> std::io::Result<(u16, String)> {
-    let resp = client_request(addr, "GET", "/healthz", None, timeout)?;
+    let resp = client_request(addr, "GET", "/v1/healthz", None, timeout)?;
     Ok((resp.status, resp.body.trim().to_string()))
 }
 
-/// `GET /metrics` — the Prometheus-style exposition text.
+/// `GET /v1/metrics` — the Prometheus-style exposition text.
 pub fn metrics(addr: &str, timeout: Duration) -> std::io::Result<String> {
-    let resp = client_request(addr, "GET", "/metrics", None, timeout)?;
+    let resp = client_request(addr, "GET", "/v1/metrics", None, timeout)?;
     Ok(resp.body)
 }
 
-/// `POST /shutdown` — ask the server to drain and exit.
+/// `POST /v1/shutdown` — ask the server to drain and exit.
 pub fn shutdown(addr: &str, timeout: Duration) -> std::io::Result<u16> {
-    let resp = client_request(addr, "POST", "/shutdown", None, timeout)?;
+    let resp = client_request(addr, "POST", "/v1/shutdown", None, timeout)?;
     Ok(resp.status)
 }

@@ -231,13 +231,31 @@ impl<'a> ChunkedWriter<'a> {
         status: u16,
         content_type: &str,
     ) -> std::io::Result<ChunkedWriter<'a>> {
-        let head = format!(
+        ChunkedWriter::start_with(stream, status, content_type, &[])
+    }
+
+    /// [`ChunkedWriter::start`] with extra response headers (e.g. the
+    /// `Deprecation: true` marker on legacy unversioned paths).
+    pub fn start_with(
+        stream: &'a mut TcpStream,
+        status: u16,
+        content_type: &str,
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<ChunkedWriter<'a>> {
+        let mut head = format!(
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\n\
-             Connection: close\r\n\r\n",
+             Connection: close\r\n",
             status,
             reason_phrase(status),
             content_type
         );
+        for (k, v) in extra_headers {
+            head.push_str(k);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         stream.write_all(head.as_bytes())?;
         stream.flush()?;
         Ok(ChunkedWriter { stream })
@@ -273,6 +291,7 @@ fn reason_phrase(status: u16) -> &'static str {
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         _ => "",
     }
@@ -398,8 +417,9 @@ fn read_client_head(
 }
 
 /// Decode a chunked body, invoking `on_chunk` for every non-empty chunk
-/// until the zero-length terminator.
-fn read_chunks(
+/// until the zero-length terminator. Public so the dispatch tier can relay
+/// a backend's chunked stream chunk-for-chunk.
+pub fn read_chunks(
     reader: &mut BufReader<TcpStream>,
     on_chunk: &mut dyn FnMut(&[u8]) -> std::io::Result<()>,
 ) -> std::io::Result<()> {
@@ -446,6 +466,75 @@ pub fn client_stream(
     timeout: Duration,
     on_chunk: &mut dyn FnMut(&[u8]) -> std::io::Result<()>,
 ) -> std::io::Result<(u16, Vec<(String, String)>)> {
+    let open = client_stream_start(addr, method, path, timeout)?;
+    let (status, headers) = (open.status, open.headers.clone());
+    open.drain(on_chunk)?;
+    Ok((status, headers))
+}
+
+/// A streaming request whose head has been read but whose body has not: the
+/// status and headers are available before a single body byte is consumed.
+/// The dispatch tier uses this to pick its own response head (and a
+/// fallback backend on 404) *before* relaying the body downstream —
+/// [`client_stream`] only surfaces the status after the stream ends.
+#[derive(Debug)]
+pub struct StreamStart {
+    /// Status code from the backend's status line.
+    pub status: u16,
+    /// `(lowercased-name, value)` response headers.
+    pub headers: Vec<(String, String)>,
+    reader: BufReader<TcpStream>,
+}
+
+impl StreamStart {
+    /// Whether the body is `Transfer-Encoding: chunked`.
+    pub fn is_chunked(&self) -> bool {
+        self.headers
+            .iter()
+            .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"))
+    }
+
+    /// Consume the body, invoking `on_chunk` per chunk (chunked bodies) or
+    /// once with the whole payload (`Content-Length`/EOF-delimited bodies).
+    pub fn drain(
+        mut self,
+        on_chunk: &mut dyn FnMut(&[u8]) -> std::io::Result<()>,
+    ) -> std::io::Result<()> {
+        if self.is_chunked() {
+            return read_chunks(&mut self.reader, on_chunk);
+        }
+        let content_length = self
+            .headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok());
+        let body = match content_length {
+            Some(n) => {
+                let mut buf = vec![0u8; n];
+                self.reader.read_exact(&mut buf)?;
+                buf
+            }
+            None => {
+                let mut buf = Vec::new();
+                self.reader.read_to_end(&mut buf)?;
+                buf
+            }
+        };
+        if !body.is_empty() {
+            on_chunk(&body)?;
+        }
+        Ok(())
+    }
+}
+
+/// Open a streaming request and read the response head only. See
+/// [`StreamStart`] for why the head/body split exists.
+pub fn client_stream_start(
+    addr: &str,
+    method: &str,
+    path: &str,
+    timeout: Duration,
+) -> std::io::Result<StreamStart> {
     use std::net::ToSocketAddrs;
     let sock_addr = addr
         .to_socket_addrs()?
@@ -460,31 +549,9 @@ pub fn client_stream(
 
     let mut reader = BufReader::new(stream);
     let (status, headers) = read_client_head(&mut reader)?;
-    let chunked = headers
-        .iter()
-        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
-    if chunked {
-        read_chunks(&mut reader, on_chunk)?;
-    } else {
-        let content_length = headers
-            .iter()
-            .find(|(k, _)| k == "content-length")
-            .and_then(|(_, v)| v.parse::<usize>().ok());
-        let body = match content_length {
-            Some(n) => {
-                let mut buf = vec![0u8; n];
-                reader.read_exact(&mut buf)?;
-                buf
-            }
-            None => {
-                let mut buf = Vec::new();
-                reader.read_to_end(&mut buf)?;
-                buf
-            }
-        };
-        if !body.is_empty() {
-            on_chunk(&body)?;
-        }
-    }
-    Ok((status, headers))
+    Ok(StreamStart {
+        status,
+        headers,
+        reader,
+    })
 }

@@ -27,15 +27,20 @@
 //! See `DESIGN.md` § "Service architecture" for the protocol details and
 //! `README.md` for a quickstart.
 
+pub mod api;
 pub mod client;
 pub mod http;
 pub mod metrics;
 pub mod queue;
 pub mod server;
 
+pub use api::{
+    canonical_path, error_body, error_body_retry, error_response, error_response_retry, ApiError,
+    ENDPOINTS,
+};
 pub use client::{
     cancel, healthz, job_status, metrics as fetch_metrics, shutdown, submit, submit_batch,
     submit_set, watch, SubmitOutcome,
 };
-pub use queue::{Cancel, Job, JobQueue, JobStatus, Submit};
-pub use server::{install_signal_handlers, Server, ServerConfig, ServerHandle};
+pub use queue::{Cancel, Job, JobQueue, JobStatus, Lookup, Submit};
+pub use server::{install_signal_handlers, signal_received, Server, ServerConfig, ServerHandle};

@@ -15,7 +15,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use r2d2_harness::{CancelToken, JobSpec, Progress, RunRecord};
+use r2d2_harness::{json, Cache, CancelToken, JobSpec, Progress, RunRecord};
 
 /// Lifecycle of one job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -197,6 +197,23 @@ pub enum Cancel {
     NotFound,
 }
 
+/// Outcome of resolving a job id ([`JobQueue::lookup`]) — the one path both
+/// `GET /jobs/<id>` and the progress-stream replay go through, so the
+/// live-entry and evicted-but-disk-cached cases can never drift apart.
+#[derive(Debug)]
+pub enum Lookup {
+    /// The job is live (queued/running) or retained in memory.
+    Live(Arc<Job>),
+    /// Evicted from memory (or produced by an earlier process), but the
+    /// content-addressed cache still holds the completed record (boxed —
+    /// a `RunRecord` is large and the other arms are pointer-sized).
+    Cached(JobSpec, Box<RunRecord>),
+    /// The id is not 16 hex digits.
+    BadId,
+    /// Nothing in memory and nothing on disk.
+    Missing,
+}
+
 /// Default in-memory retention of completed entries for `GET /jobs/<id>`.
 /// Evicted entries are still answerable from the on-disk cache.
 pub const RETAIN_COMPLETED: usize = 512;
@@ -359,6 +376,22 @@ impl JobQueue {
         self.inner.lock().unwrap().jobs.get(&hash).cloned()
     }
 
+    /// Resolve a wire job id against the in-memory map first, then the
+    /// on-disk cache — the single lookup every read path (`GET /jobs/<id>`,
+    /// the progress replay) must route through.
+    pub fn lookup(&self, id: &str, cache: &Cache) -> Lookup {
+        let Some(hash) = parse_job_id(id) else {
+            return Lookup::BadId;
+        };
+        if let Some(job) = self.get(hash) {
+            return Lookup::Live(job);
+        }
+        match load_cached_by_hash(cache, id) {
+            Some((spec, rec)) => Lookup::Cached(spec, Box::new(rec)),
+            None => Lookup::Missing,
+        }
+    }
+
     /// Start draining: new submissions are rejected, workers finish their
     /// current job and exit, and still-pending jobs fail with a shutdown
     /// error (waking their waiters).
@@ -385,6 +418,28 @@ impl JobQueue {
     pub fn is_shutting_down(&self) -> bool {
         self.inner.lock().unwrap().shutting_down
     }
+}
+
+/// Parse a wire job id: exactly 16 hex digits (the content-hash stem).
+pub fn parse_job_id(id: &str) -> Option<u64> {
+    if id.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(id, 16).ok()
+}
+
+/// Read `results/cache/<id>.json` directly and verify the embedded spec
+/// hashes to `id` (same trust model as `Cache::load`).
+fn load_cached_by_hash(cache: &Cache, id: &str) -> Option<(JobSpec, RunRecord)> {
+    let path = cache.dir().join(format!("{id}.json"));
+    let text = std::fs::read_to_string(path).ok()?;
+    let v = json::parse(&text).ok()?;
+    let spec = JobSpec::from_json(v.get("spec")?)?;
+    if spec.hash_hex() != id {
+        return None;
+    }
+    let rec = RunRecord::from_json(v.get("record")?)?;
+    Some((spec, rec))
 }
 
 #[cfg(test)]
@@ -529,6 +584,46 @@ mod tests {
         q.finished(&live);
         assert!(q.get(second).is_none(), "second evicted in turn");
         assert!(q.get(live_hash).is_some());
+    }
+
+    #[test]
+    fn lookup_resolves_live_cached_bad_and_missing_ids() {
+        let dir = std::env::temp_dir().join(format!("r2d2-lookup-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Cache::at(&dir);
+        let q = JobQueue::with_retention(8, 0);
+
+        // Ill-formed ids never reach the map or the disk.
+        for bad in ["", "xyz", "123", &"f".repeat(15), &"g".repeat(16)] {
+            assert!(parse_job_id(bad).is_none(), "{bad:?} accepted");
+            assert!(matches!(q.lookup(bad, &cache), Lookup::BadId));
+        }
+
+        // A live job resolves from memory.
+        let live = match q.submit(spec(1)) {
+            Submit::Enqueued(j) => j,
+            other => panic!("{other:?}"),
+        };
+        match q.lookup(&live.spec.hash_hex(), &cache) {
+            Lookup::Live(j) => assert_eq!(j.id, live.id),
+            other => panic!("{other:?}"),
+        }
+
+        // Retention 0 evicts on completion; the disk cache still answers,
+        // through the same call.
+        cache.store(&spec(2), &done_record()).expect("store");
+        let evicted = spec(2).hash_hex();
+        match q.lookup(&evicted, &cache) {
+            Lookup::Cached(s, _) => assert_eq!(s.hash_hex(), evicted),
+            other => panic!("{other:?}"),
+        }
+
+        // Well-formed but unknown everywhere.
+        assert!(matches!(
+            q.lookup(&spec(3).hash_hex(), &cache),
+            Lookup::Missing
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

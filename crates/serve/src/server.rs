@@ -9,16 +9,21 @@
 //!
 //! ## Endpoints
 //!
+//! Every endpoint lives under the frozen `/v1` prefix; the unprefixed
+//! pre-v1 spellings remain as deprecated aliases that behave identically
+//! but answer with a `Deprecation: true` header. All 4xx/5xx responses
+//! carry the unified error schema (see [`crate::api`]).
+//!
 //! | method & path    | behavior |
 //! |------------------|----------|
-//! | `POST /jobs`     | submit a JobSpec JSON; `202` queued, `200` done (cache/dedup), `400` bad spec, `429` + `Retry-After` when full, `503` draining. `?wait=1` blocks until the job completes. |
-//! | `POST /jobs/batch` | submit many jobs at once: a JSON array of JobSpecs, or `{"set": "fig12"}` naming a harness figure set. Returns per-job ids; `200` when at least one job was accepted, `429` when every job shed. |
-//! | `GET /jobs/<id>` | status/result JSON for a job id (the spec's content hash); falls back to the on-disk cache for evicted entries. |
-//! | `DELETE /jobs/<id>` | cancel: queued jobs move straight to `cancelled` (`200`); running jobs get their token triggered and stop within one simulation epoch (`202`); terminal jobs are a no-op (`200`). |
-//! | `GET /jobs/<id>/progress` | chunked NDJSON stream of the job's live time series; the final line carries the terminal status and the complete series. |
-//! | `GET /healthz`   | liveness: `200 ok` (`503 draining` during shutdown). |
-//! | `GET /metrics`   | plain-text Prometheus-style counters. |
-//! | `POST /shutdown` | begin graceful shutdown (same path as SIGTERM/ctrl-c). |
+//! | `POST /v1/jobs`  | submit a JobSpec JSON; `202` queued, `200` done (cache/dedup), `400` bad spec, `429` + `Retry-After` when full, `503` draining. `?wait=1` blocks until the job completes. |
+//! | `POST /v1/jobs/batch` | submit many jobs at once: a JSON array of JobSpecs, or `{"set": "fig12"}` naming a harness figure set. Returns per-job ids; `200` when at least one job was accepted, `429` when every job shed. |
+//! | `GET /v1/jobs/<id>` | status/result JSON for a job id (the spec's content hash); falls back to the on-disk cache for evicted entries. |
+//! | `DELETE /v1/jobs/<id>` | cancel: queued jobs move straight to `cancelled` (`200`); running jobs get their token triggered and stop within one simulation epoch (`202`); terminal jobs are a no-op (`200`). |
+//! | `GET /v1/jobs/<id>/progress` | chunked NDJSON stream of the job's live time series; the final line carries the terminal status and the complete series. |
+//! | `GET /v1/healthz` | liveness: `200 ok` (`503` + `draining` error body during shutdown). |
+//! | `GET /v1/metrics` | plain-text Prometheus-style counters. |
+//! | `POST /v1/shutdown` | begin graceful shutdown (same path as SIGTERM/ctrl-c). |
 //!
 //! ## Shutdown protocol
 //!
@@ -36,9 +41,12 @@ use std::time::{Duration, Instant};
 use r2d2_harness::json::{self, obj, Value};
 use r2d2_harness::{Cache, Executor, JobSpec, ProgressSnapshot};
 
+use crate::api::{canonical_path, error_response, error_response_retry};
 use crate::http::{read_request, ChunkedWriter, ParseError, Request, Response};
 use crate::metrics::Metrics;
-use crate::queue::{Cancel, Job, JobQueue, JobStatus, Submit, RETAIN_COMPLETED};
+use crate::queue::{
+    parse_job_id, Cancel, Job, JobQueue, JobStatus, Lookup, Submit, RETAIN_COMPLETED,
+};
 
 /// Set by the process signal handlers (SIGTERM / SIGINT); checked by every
 /// server's accept loop alongside its own flag.
@@ -65,6 +73,13 @@ pub fn install_signal_handlers() {
             signal(SIGTERM, on_signal as *const () as usize);
         }
     }
+}
+
+/// Whether a SIGTERM/SIGINT handled by [`install_signal_handlers`] has
+/// fired. The dispatch tier polls this from its own accept loop so one
+/// handler installation serves every server kind in the process.
+pub fn signal_received() -> bool {
+    SIGNALED.load(Ordering::SeqCst)
 }
 
 /// Tunables for one service instance.
@@ -312,22 +327,27 @@ fn handle_connection(mut stream: TcpStream, peer: std::net::SocketAddr, shared: 
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
     let response = match read_request(&mut stream) {
         Ok(req) => {
+            let (path, deprecated) = canonical_path(&req.path);
             // The progress stream writes its own (chunked) response and
             // holds the connection open, so it bypasses `route`.
             if req.method == "GET" {
-                if let Some(id) = req
-                    .path
-                    .strip_prefix("/jobs/")
+                if let Some(id) = path
+                    .strip_prefix("/v1/jobs/")
                     .and_then(|rest| rest.strip_suffix("/progress"))
                 {
                     if shared.cfg.verbose {
                         eprintln!("[serve] {peer} GET {} -> stream", req.path);
                     }
-                    stream_progress(id, &mut stream, shared);
+                    stream_progress(id, &mut stream, shared, deprecated);
                     return;
                 }
             }
-            let resp = route(&req, shared);
+            let resp = route(&req, &path, shared);
+            let resp = if deprecated {
+                resp.header("Deprecation", "true")
+            } else {
+                resp
+            };
             if shared.cfg.verbose {
                 eprintln!(
                     "[serve] {peer} {} {} -> {}",
@@ -337,36 +357,48 @@ fn handle_connection(mut stream: TcpStream, peer: std::net::SocketAddr, shared: 
             resp
         }
         Err(ParseError::ConnectionClosed) => return,
-        Err(ParseError::TooLarge) => Response::text(413, "request too large"),
-        Err(ParseError::Malformed(e)) => Response::text(400, &format!("malformed request: {e}")),
+        Err(ParseError::TooLarge) => error_response(
+            413,
+            "payload-too-large",
+            "request head or body exceeds the size limits",
+        ),
+        Err(ParseError::Malformed(e)) => {
+            error_response(400, "malformed-request", &format!("malformed request: {e}"))
+        }
         Err(ParseError::Io(_)) => return,
     };
     let _ = response.write_to(&mut stream);
 }
 
-fn route(req: &Request, shared: &Arc<Shared>) -> Response {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/jobs") => post_jobs(req, shared),
-        ("POST", "/jobs/batch") => post_batch(req, shared),
-        ("GET", path) if path.starts_with("/jobs/") => get_job(&path["/jobs/".len()..], shared),
-        ("DELETE", path) if path.starts_with("/jobs/") => {
-            delete_job(&path["/jobs/".len()..], shared)
-        }
-        ("GET", "/healthz") => {
+/// Dispatch one parsed request. `path` is the canonical `/v1/...` spelling
+/// (legacy aliases have already been rewritten by [`canonical_path`]).
+fn route(req: &Request, path: &str, shared: &Arc<Shared>) -> Response {
+    match (req.method.as_str(), path) {
+        ("POST", "/v1/jobs") => post_jobs(req, shared),
+        ("POST", "/v1/jobs/batch") => post_batch(req, shared),
+        ("GET", p) if p.starts_with("/v1/jobs/") => get_job(&p["/v1/jobs/".len()..], shared),
+        ("DELETE", p) if p.starts_with("/v1/jobs/") => delete_job(&p["/v1/jobs/".len()..], shared),
+        ("GET", "/v1/healthz") => {
             if shared.shutting_down() {
-                Response::text(503, "draining")
+                error_response(503, "draining", "server is draining")
             } else {
                 Response::text(200, "ok")
             }
         }
-        ("GET", "/metrics") => Response::text(200, &shared.metrics.render(shared.queue.depth())),
-        ("POST", "/shutdown") => {
+        ("GET", "/v1/metrics") => Response::text(200, &shared.metrics.render(shared.queue.depth())),
+        ("POST", "/v1/shutdown") => {
             shared.shutdown.store(true, Ordering::SeqCst);
             shared.queue.begin_shutdown();
             Response::text(200, "draining")
         }
-        ("GET" | "POST" | "DELETE", _) => Response::text(404, "not found"),
-        _ => Response::text(405, "method not allowed"),
+        ("GET" | "POST" | "DELETE", _) => {
+            error_response(404, "not-found", &format!("no route for {path}"))
+        }
+        _ => error_response(
+            405,
+            "method-not-allowed",
+            &format!("method {} is not supported", req.method),
+        ),
     }
 }
 
@@ -390,15 +422,30 @@ fn job_json(
     ])
 }
 
-fn error_json(msg: &str) -> Value {
-    obj(vec![("error", json::s(msg))])
+/// A 400-class rejection before a spec ever reaches the queue: the stable
+/// error `code` plus the human message, rendered through the unified schema.
+struct Reject {
+    code: &'static str,
+    message: String,
+}
+
+impl Reject {
+    fn response(&self) -> Response {
+        error_response(400, self.code, &self.message)
+    }
 }
 
 /// Parse and validate one JobSpec from a request-body JSON value.
-fn spec_from_value(v: &Value) -> Result<JobSpec, String> {
-    let spec = JobSpec::from_json_request(v).map_err(|e| format!("bad JobSpec: {e}"))?;
+fn spec_from_value(v: &Value) -> Result<JobSpec, Reject> {
+    let spec = JobSpec::from_json_request(v).map_err(|e| Reject {
+        code: "bad-spec",
+        message: format!("bad JobSpec: {e}"),
+    })?;
     if !r2d2_workloads::is_valid_id(&spec.workload) {
-        return Err(format!("unknown workload id {:?}", spec.workload));
+        return Err(Reject {
+            code: "unknown-workload",
+            message: format!("unknown workload id {:?}", spec.workload),
+        });
     }
     Ok(spec)
 }
@@ -458,15 +505,15 @@ fn submit_spec(spec: JobSpec, shared: &Arc<Shared>) -> SubmitFlow {
 
 fn post_jobs(req: &Request, shared: &Arc<Shared>) -> Response {
     let Some(body) = req.body_str() else {
-        return Response::json(400, &error_json("body must be UTF-8 JSON"));
+        return error_response(400, "bad-json", "body must be UTF-8 JSON");
     };
     let parsed = match json::parse(body) {
         Ok(v) => v,
-        Err(e) => return Response::json(400, &error_json(&format!("bad JSON: {e}"))),
+        Err(e) => return error_response(400, "bad-json", &format!("bad JSON: {e}")),
     };
     let spec = match spec_from_value(&parsed) {
         Ok(s) => s,
-        Err(e) => return Response::json(400, &error_json(&e)),
+        Err(e) => return e.response(),
     };
 
     let (job, deduped, status_code) = match submit_spec(spec, shared) {
@@ -476,11 +523,10 @@ fn post_jobs(req: &Request, shared: &Arc<Shared>) -> Response {
             status_code,
         } => (job, deduped, status_code),
         SubmitFlow::Full => {
-            return Response::json(429, &error_json("queue full; retry later"))
-                .header("Retry-After", "1");
+            return error_response_retry(429, "queue-full", "queue full; retry later", 1);
         }
         SubmitFlow::ShuttingDown => {
-            return Response::json(503, &error_json("server is draining"));
+            return error_response(503, "draining", "server is draining");
         }
     };
 
@@ -489,7 +535,7 @@ fn post_jobs(req: &Request, shared: &Arc<Shared>) -> Response {
         // a timed-out job still reports `failed` rather than hanging us.
         let slack = shared.cfg.job_timeout + Duration::from_secs(30);
         if !job.wait(slack) {
-            return Response::json(408, &error_json("timed out waiting for the job"));
+            return error_response(408, "wait-timeout", "timed out waiting for the job");
         }
     }
 
@@ -514,58 +560,67 @@ fn post_jobs(req: &Request, shared: &Arc<Shared>) -> Response {
 }
 
 fn get_job(id: &str, shared: &Arc<Shared>) -> Response {
-    let Ok(hash) = u64::from_str_radix(id, 16) else {
-        return Response::json(400, &error_json("job ids are 16 hex digits"));
-    };
-    if let Some(job) = shared.queue.get(hash) {
-        let (status, record, error) = job.snapshot();
-        return Response::json(
-            200,
-            &job_json(
-                &job.id,
-                &job.spec,
-                status,
-                record.as_ref(),
-                error.as_deref(),
-            ),
-        );
+    match shared.queue.lookup(id, &shared.cache) {
+        Lookup::Live(job) => {
+            let (status, record, error) = job.snapshot();
+            Response::json(
+                200,
+                &job_json(
+                    &job.id,
+                    &job.spec,
+                    status,
+                    record.as_ref(),
+                    error.as_deref(),
+                ),
+            )
+        }
+        Lookup::Cached(spec, rec) => {
+            Response::json(200, &job_json(id, &spec, JobStatus::Done, Some(&rec), None))
+        }
+        Lookup::BadId => bad_job_id(),
+        Lookup::Missing => unknown_job(id),
     }
-    // Fall back to the on-disk cache: evicted entries and results produced
-    // by earlier processes are still addressable by the same id.
-    if let Some((spec, rec)) = load_cached_by_hash(&shared.cache, id) {
-        return Response::json(200, &job_json(id, &spec, JobStatus::Done, Some(&rec), None));
-    }
-    Response::json(404, &error_json("unknown job id"))
 }
 
-fn post_batch(req: &Request, shared: &Arc<Shared>) -> Response {
-    let Some(body) = req.body_str() else {
-        return Response::json(400, &error_json("body must be UTF-8 JSON"));
-    };
-    let parsed = match json::parse(body) {
-        Ok(v) => v,
-        Err(e) => return Response::json(400, &error_json(&format!("bad JSON: {e}"))),
-    };
-    let specs: Vec<JobSpec> = match &parsed {
+fn bad_job_id() -> Response {
+    error_response(400, "bad-job-id", "job ids are 16 hex digits")
+}
+
+fn unknown_job(id: &str) -> Response {
+    error_response(404, "unknown-job", &format!("unknown job id {id:?}"))
+}
+
+/// Resolve a batch request body into its job specs — a JSON array of specs
+/// or `{"set": <name>}` naming a harness figure set. Shared verbatim by the
+/// service and the dispatch tier so both resolve sets identically.
+pub fn batch_specs(parsed: &Value) -> Result<Vec<JobSpec>, Response> {
+    match parsed {
         Value::Arr(items) => {
             if items.is_empty() {
-                return Response::json(400, &error_json("empty batch"));
+                return Err(error_response(400, "bad-batch", "empty batch"));
             }
             let mut specs = Vec::with_capacity(items.len());
             for (i, item) in items.iter().enumerate() {
                 match spec_from_value(item) {
                     Ok(s) => specs.push(s),
-                    Err(e) => return Response::json(400, &error_json(&format!("job {i}: {e}"))),
+                    Err(e) => {
+                        return Err(error_response(
+                            400,
+                            e.code,
+                            &format!("job {i}: {}", e.message),
+                        ))
+                    }
                 }
             }
-            specs
+            Ok(specs)
         }
         Value::Obj(_) => {
             let Some(Value::Str(name)) = parsed.get("set") else {
-                return Response::json(
+                return Err(error_response(
                     400,
-                    &error_json("batch body must be a JSON array of JobSpecs or {\"set\": <name>}"),
-                );
+                    "bad-batch",
+                    "batch body must be a JSON array of JobSpecs or {\"set\": <name>}",
+                ));
             };
             let size = match parsed.get("size") {
                 Some(Value::Str(s)) if s.eq_ignore_ascii_case("small") => {
@@ -574,29 +629,45 @@ fn post_batch(req: &Request, shared: &Arc<Shared>) -> Response {
                 Some(Value::Str(s)) if s.eq_ignore_ascii_case("full") => r2d2_workloads::Size::Full,
                 None => r2d2_harness::size_from_env(),
                 Some(_) => {
-                    return Response::json(400, &error_json("size must be \"small\" or \"full\""));
+                    return Err(error_response(
+                        400,
+                        "bad-batch",
+                        "size must be \"small\" or \"full\"",
+                    ));
                 }
             };
             match r2d2_harness::sets::set(name, size) {
-                Some(specs) => specs,
-                None => {
-                    return Response::json(
-                        400,
-                        &error_json(&format!(
-                            "unknown set {:?}; known sets: {}",
-                            name,
-                            r2d2_harness::sets::SET_NAMES.join(", ")
-                        )),
-                    );
-                }
+                Some(specs) => Ok(specs),
+                None => Err(error_response(
+                    400,
+                    "unknown-set",
+                    &format!(
+                        "unknown set {:?}; known sets: {}",
+                        name,
+                        r2d2_harness::sets::SET_NAMES.join(", ")
+                    ),
+                )),
             }
         }
-        _ => {
-            return Response::json(
-                400,
-                &error_json("batch body must be a JSON array of JobSpecs or {\"set\": <name>}"),
-            );
-        }
+        _ => Err(error_response(
+            400,
+            "bad-batch",
+            "batch body must be a JSON array of JobSpecs or {\"set\": <name>}",
+        )),
+    }
+}
+
+fn post_batch(req: &Request, shared: &Arc<Shared>) -> Response {
+    let Some(body) = req.body_str() else {
+        return error_response(400, "bad-json", "body must be UTF-8 JSON");
+    };
+    let parsed = match json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return error_response(400, "bad-json", &format!("bad JSON: {e}")),
+    };
+    let specs = match batch_specs(&parsed) {
+        Ok(specs) => specs,
+        Err(resp) => return resp,
     };
 
     let mut jobs = Vec::with_capacity(specs.len());
@@ -615,16 +686,19 @@ fn post_batch(req: &Request, shared: &Arc<Shared>) -> Response {
             }
             SubmitFlow::Full => {
                 shed += 1;
-                jobs.push(obj(vec![("error", json::s("queue full"))]));
+                jobs.push(crate::api::error_body_retry(
+                    "queue-full",
+                    "queue full",
+                    Some(1),
+                ));
             }
             SubmitFlow::ShuttingDown => {
-                return Response::json(503, &error_json("server is draining"));
+                return error_response(503, "draining", "server is draining");
             }
         }
     }
     if accepted == 0 {
-        return Response::json(429, &error_json("queue full; retry later"))
-            .header("Retry-After", "1");
+        return error_response_retry(429, "queue-full", "queue full; retry later", 1);
     }
     shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
     Response::json(
@@ -638,8 +712,8 @@ fn post_batch(req: &Request, shared: &Arc<Shared>) -> Response {
 }
 
 fn delete_job(id: &str, shared: &Arc<Shared>) -> Response {
-    let Ok(hash) = u64::from_str_radix(id, 16) else {
-        return Response::json(400, &error_json("job ids are 16 hex digits"));
+    let Some(hash) = parse_job_id(id) else {
+        return bad_job_id();
     };
     let (job, code) = match shared.queue.cancel(hash) {
         Cancel::Dequeued(job) => {
@@ -651,7 +725,7 @@ fn delete_job(id: &str, shared: &Arc<Shared>) -> Response {
         // the request; 202 says "signalled", not "cancelled".
         Cancel::Signalled(job) => (job, 202),
         Cancel::Terminal(job) => (job, 200),
-        Cancel::NotFound => return Response::json(404, &error_json("unknown job id")),
+        Cancel::NotFound => return unknown_job(id),
     };
     let (status, record, error) = job.snapshot();
     Response::json(
@@ -670,27 +744,43 @@ fn delete_job(id: &str, shared: &Arc<Shared>) -> Response {
 /// NDJSON. Each line is a [`ProgressSnapshot`]; the final line additionally
 /// carries `status` (and `error`, if any) plus the complete series, so a
 /// client that only reads the last line still gets everything.
-fn stream_progress(id: &str, stream: &mut TcpStream, shared: &Arc<Shared>) {
-    let Ok(hash) = u64::from_str_radix(id, 16) else {
-        let _ = Response::json(400, &error_json("job ids are 16 hex digits")).write_to(stream);
-        return;
+fn stream_progress(id: &str, stream: &mut TcpStream, shared: &Arc<Shared>, deprecated: bool) {
+    let extra: &[(&str, &str)] = if deprecated {
+        &[("Deprecation", "true")]
+    } else {
+        &[]
     };
-    let Some(job) = shared.queue.get(hash) else {
-        // Evicted or prior-process results: one terminal line from the disk
-        // cache (the live series is gone, but the terminal state is not).
-        if load_cached_by_hash(&shared.cache, id).is_some() {
+    let decorate = |resp: Response| {
+        if deprecated {
+            resp.header("Deprecation", "true")
+        } else {
+            resp
+        }
+    };
+    let job = match shared.queue.lookup(id, &shared.cache) {
+        Lookup::Live(job) => job,
+        Lookup::Cached(..) => {
+            // Evicted or prior-process results: one terminal line from the
+            // disk cache (the live series is gone, but the terminal state is
+            // not) — same lookup path as `GET /v1/jobs/<id>`.
             let snap = ProgressSnapshot {
                 finished: true,
                 ..ProgressSnapshot::default()
             };
-            let _ = send_final_line(stream, &snap, JobStatus::Done, None);
-        } else {
-            let _ = Response::json(404, &error_json("unknown job id")).write_to(stream);
+            let _ = send_final_line(stream, &snap, JobStatus::Done, None, extra);
+            return;
         }
-        return;
+        Lookup::BadId => {
+            let _ = decorate(bad_job_id()).write_to(stream);
+            return;
+        }
+        Lookup::Missing => {
+            let _ = decorate(unknown_job(id)).write_to(stream);
+            return;
+        }
     };
 
-    let Ok(mut w) = ChunkedWriter::start(stream, 200, "application/x-ndjson") else {
+    let Ok(mut w) = ChunkedWriter::start_with(stream, 200, "application/x-ndjson", extra) else {
         return;
     };
     let mut last_seq = 0u64;
@@ -734,8 +824,9 @@ fn send_final_line(
     snap: &ProgressSnapshot,
     status: JobStatus,
     error: Option<&str>,
+    extra_headers: &[(&str, &str)],
 ) -> std::io::Result<()> {
-    let mut w = ChunkedWriter::start(stream, 200, "application/x-ndjson")?;
+    let mut w = ChunkedWriter::start_with(stream, 200, "application/x-ndjson", extra_headers)?;
     let mut fields = match snap.to_json() {
         Value::Obj(f) => f,
         _ => unreachable!("snapshot JSON is an object"),
@@ -748,18 +839,4 @@ fn send_final_line(
     line.push('\n');
     w.chunk(line.as_bytes())?;
     w.finish()
-}
-
-/// Read `results/cache/<id>.json` directly and verify the embedded spec
-/// hashes to `id` (same trust model as `Cache::load`).
-fn load_cached_by_hash(cache: &Cache, id: &str) -> Option<(JobSpec, r2d2_harness::RunRecord)> {
-    let path = cache.dir().join(format!("{id}.json"));
-    let text = std::fs::read_to_string(path).ok()?;
-    let v = json::parse(&text).ok()?;
-    let spec = JobSpec::from_json(v.get("spec")?)?;
-    if spec.hash_hex() != id {
-        return None;
-    }
-    let rec = r2d2_harness::RunRecord::from_json(v.get("record")?)?;
-    Some((spec, rec))
 }

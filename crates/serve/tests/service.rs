@@ -471,6 +471,172 @@ fn evicted_jobs_fall_back_to_the_disk_cache() {
     let _ = std::fs::remove_dir_all(&results);
 }
 
+/// Assert a response carries the unified error schema with the given code.
+fn assert_error_code(resp: &r2d2_serve::http::ClientResponse, status: u16, code: &str) {
+    assert_eq!(resp.status, status, "body: {}", resp.body);
+    let v = r2d2_harness::json::parse(&resp.body)
+        .unwrap_or_else(|e| panic!("error body is not JSON ({e}): {}", resp.body));
+    let err = r2d2_serve::ApiError::from_response(resp.status, &v)
+        .unwrap_or_else(|| panic!("body does not carry the error schema: {}", resp.body));
+    assert_eq!(err.code, code, "body: {}", resp.body);
+}
+
+/// Send raw bytes and read back `(status, body)` — for requests the typed
+/// client cannot produce (malformed heads, oversized Content-Length).
+fn raw_request(addr: &str, payload: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(T)).unwrap();
+    s.write_all(payload.as_bytes()).unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    let status = buf
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("bad response: {buf:?}"));
+    let body = buf
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn every_4xx_5xx_carries_the_unified_error_schema() {
+    // No workers + cap 1: the queue fills deterministically for the 429.
+    let (addr, handle, join, results) = start("golden", 0, 1);
+    let req = |method: &str, path: &str, body: Option<&str>| {
+        r2d2_serve::http::client_request(&addr, method, path, body, T).unwrap()
+    };
+
+    // Submission-body rejections.
+    assert_error_code(&req("POST", "/v1/jobs", Some("not json")), 400, "bad-json");
+    assert_error_code(
+        &req("POST", "/v1/jobs", Some("{\"size\": \"small\"}")),
+        400,
+        "bad-spec",
+    );
+    assert_error_code(
+        &req("POST", "/v1/jobs", Some("{\"workload\": \"NOPE\"}")),
+        400,
+        "unknown-workload",
+    );
+
+    // Backpressure: fill the single slot, then shed with the backoff hint
+    // in both the header and the body.
+    let a = JobSpec::new("NN", Size::Small, ModelSpec::Baseline);
+    let mut b = JobSpec::new("NN", Size::Small, ModelSpec::Baseline);
+    b.overrides.num_sms = Some(2);
+    assert_eq!(client::submit(&addr, &a, false, T).unwrap().status, 202);
+    let shed = req("POST", "/v1/jobs", Some(&b.to_json().to_json()));
+    assert_error_code(&shed, 429, "queue-full");
+    assert_eq!(shed.header("retry-after"), Some("1"));
+    let v = r2d2_harness::json::parse(&shed.body).unwrap();
+    let err = r2d2_serve::ApiError::from_response(429, &v).unwrap();
+    assert_eq!(err.retry_after_s, Some(1), "body mirrors the header");
+
+    // Job-id handling, batch shapes, routing.
+    assert_error_code(&req("GET", "/v1/jobs/nope", None), 400, "bad-job-id");
+    assert_error_code(
+        &req("GET", "/v1/jobs/0000000000000000", None),
+        404,
+        "unknown-job",
+    );
+    assert_error_code(
+        &req("DELETE", "/v1/jobs/0000000000000000", None),
+        404,
+        "unknown-job",
+    );
+    assert_error_code(&req("POST", "/v1/jobs/batch", Some("[]")), 400, "bad-batch");
+    assert_error_code(
+        &req("POST", "/v1/jobs/batch", Some("{\"set\": \"fig99\"}")),
+        400,
+        "unknown-set",
+    );
+    assert_error_code(
+        &req(
+            "POST",
+            "/v1/jobs/batch",
+            Some("{\"set\": \"sec57\", \"size\": \"huge\"}"),
+        ),
+        400,
+        "bad-batch",
+    );
+    assert_error_code(&req("GET", "/v1/nope", None), 404, "not-found");
+    assert_error_code(&req("PUT", "/v1/jobs", None), 405, "method-not-allowed");
+
+    // Parse-layer rejections, which never reach the router.
+    let (status, body) = raw_request(&addr, "GARBAGE\r\n\r\n");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"malformed-request\""), "{body}");
+    let (status, body) = raw_request(
+        &addr,
+        "POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 2000000\r\n\r\n",
+    );
+    assert_eq!(status, 413, "{body}");
+    assert!(body.contains("\"payload-too-large\""), "{body}");
+
+    stop(&handle, join);
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn legacy_paths_answer_with_a_deprecation_header_v1_does_not() {
+    let (addr, handle, join, results) = start("deprecation", 0, 8);
+    let req = |method: &str, path: &str, body: Option<&str>| {
+        r2d2_serve::http::client_request(&addr, method, path, body, T).unwrap()
+    };
+
+    // Aliased paths behave identically but are marked deprecated.
+    let legacy = req("GET", "/healthz", None);
+    assert_eq!(
+        (legacy.status, legacy.header("deprecation")),
+        (200, Some("true"))
+    );
+    let v1 = req("GET", "/v1/healthz", None);
+    assert_eq!((v1.status, v1.header("deprecation")), (200, None));
+
+    let spec = JobSpec::new("NN", Size::Small, ModelSpec::Baseline);
+    let body = spec.to_json().to_json();
+    let legacy = req("POST", "/jobs", Some(&body));
+    assert_eq!(legacy.status, 202, "{}", legacy.body);
+    assert_eq!(legacy.header("deprecation"), Some("true"));
+    // Same spec through /v1 coalesces (proving both spellings share one
+    // queue) and carries no marker.
+    let v1 = req("POST", "/v1/jobs", Some(&body));
+    assert_eq!(v1.status, 200, "{}", v1.body);
+    assert_eq!(v1.header("deprecation"), None);
+
+    // Error responses are marked too.
+    let legacy = req("GET", "/jobs/nope", None);
+    assert_eq!(
+        (legacy.status, legacy.header("deprecation")),
+        (400, Some("true"))
+    );
+
+    // And the chunked streaming path carries the marker in its head.
+    // Cancel the queued job first so the stream terminates (no workers).
+    let id = spec.hash_hex();
+    assert_eq!(client::cancel(&addr, &id, T).unwrap().status, 200);
+    let (status, headers) = r2d2_serve::http::client_stream(
+        &addr,
+        "GET",
+        &format!("/jobs/{id}/progress"),
+        T,
+        &mut |_| Ok(()),
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    let deprecated = headers
+        .iter()
+        .any(|(k, v)| k == "deprecation" && v == "true");
+    assert!(deprecated, "stream head missing Deprecation: {headers:?}");
+
+    stop(&handle, join);
+    let _ = std::fs::remove_dir_all(&results);
+}
+
 #[test]
 fn healthz_flips_to_draining_and_shutdown_drains_pending() {
     let (addr, handle, join, results) = start("drain", 0, 8);

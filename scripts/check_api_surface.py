@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Fail CI if the HTTP surface drifts out of the frozen /v1 contract.
+
+The wire API is versioned: every endpoint lives under `/v1`, and the only
+sanctioned way to answer an unprefixed (pre-v1) spelling is the
+`canonical_path` alias rewrite in `crates/serve/src/api.rs`, which tags the
+response `Deprecation: true`. This script statically checks that contract:
+
+  1. The `ENDPOINTS` inventory in api.rs is non-empty and all-`/v1`.
+  2. Every inventoried endpoint is actually routed by the serve server
+     (and, minus the alias machinery, by the dispatch server).
+  3. No route match-arm or client call in serve/dispatch/client source
+     mentions an endpoint path outside `/v1` — i.e. nobody hand-registers
+     an unversioned handler that would bypass the deprecation mechanism.
+  4. The alias mechanism itself is still wired: serve's connection handler
+     calls `canonical_path` and emits the `Deprecation` header.
+
+Run from the repo root: `python3 scripts/check_api_surface.py`.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+API = REPO / "crates/serve/src/api.rs"
+SOURCES = [
+    REPO / "crates/serve/src/server.rs",
+    REPO / "crates/serve/src/client.rs",
+    REPO / "crates/dispatch/src/server.rs",
+]
+
+errors = []
+
+
+def fail(msg: str) -> None:
+    errors.append(msg)
+
+
+def strip_comments(text: str) -> str:
+    """Drop // comments so prose mentioning legacy paths is not flagged."""
+    return re.sub(r"//[^\n]*", "", text)
+
+
+# -- 1. The inventory ---------------------------------------------------------
+
+api_text = API.read_text()
+table = re.search(r"pub const ENDPOINTS[^=]*=\s*&\[(.*?)\];", api_text, re.S)
+if not table:
+    sys.exit("FATAL: ENDPOINTS table not found in crates/serve/src/api.rs")
+
+endpoints = re.findall(r'\("(\w+)",\s*"([^"]+)"\)', table.group(1))
+if not endpoints:
+    sys.exit("FATAL: ENDPOINTS table in api.rs is empty")
+
+for method, path in endpoints:
+    if not path.startswith("/v1/"):
+        fail(f"api.rs ENDPOINTS: {method} {path} escaped the /v1 prefix")
+
+# First path segments the API owns ("jobs", "healthz", ...): any string
+# literal opening with one of these outside /v1 is an unversioned handler.
+roots = {p.split("/")[2] for _, p in endpoints}
+
+# -- 2. Inventory <-> router agreement ---------------------------------------
+
+serve_text = (REPO / "crates/serve/src/server.rs").read_text()
+dispatch_text = (REPO / "crates/dispatch/src/server.rs").read_text()
+for who, text in [("serve", serve_text), ("dispatch", dispatch_text)]:
+    for method, path in endpoints:
+        # `{id}` segments are routed via a prefix match — check the literal
+        # part up to the first placeholder.
+        literal = path.split("{")[0]
+        if literal not in text:
+            fail(
+                f"{who} server.rs never mentions {literal!r} "
+                f"(inventoried as {method} {path})"
+            )
+
+# -- 3. No endpoint literal outside /v1 ---------------------------------------
+
+root_pat = re.compile(r'"(/(?:%s)[^"]*)"' % "|".join(sorted(roots)))
+for src in SOURCES:
+    for lineno, line in enumerate(strip_comments(src.read_text()).splitlines(), 1):
+        for lit in root_pat.findall(line):
+            fail(
+                f"{src.relative_to(REPO)}:{lineno}: endpoint literal {lit!r} "
+                f"outside /v1 — aliases must go through canonical_path"
+            )
+
+# -- 4. The deprecation mechanism is still wired ------------------------------
+
+if "pub fn canonical_path" not in api_text:
+    fail("api.rs lost canonical_path — the deprecated-alias rewrite is gone")
+if "canonical_path(" not in serve_text:
+    fail("serve server.rs no longer routes through canonical_path")
+if "Deprecation" not in serve_text:
+    fail("serve server.rs no longer emits the Deprecation header for aliases")
+
+if errors:
+    print("API surface check FAILED:", file=sys.stderr)
+    for e in errors:
+        print(f"  - {e}", file=sys.stderr)
+    sys.exit(1)
+
+print(
+    f"API surface check OK: {len(endpoints)} endpoints, all under /v1; "
+    f"alias mechanism intact"
+)

@@ -18,6 +18,7 @@
 //! | [`workloads`] | `r2d2-workloads` | the Table 2 benchmark zoo |
 //! | [`harness`] | `r2d2-harness` | parallel job runner + content-addressed result cache |
 //! | [`serve`] | `r2d2-serve` | resident simulation service (job queue, workers, HTTP/JSON API) |
+//! | [`dispatch`] | `r2d2-dispatch` | multi-node dispatch tier (consistent-hash routing, failover, fleet metrics) |
 //!
 //! # Quickstart
 //!
@@ -48,6 +49,7 @@
 
 pub use r2d2_baselines as baselines;
 pub use r2d2_core as core;
+pub use r2d2_dispatch as dispatch;
 pub use r2d2_energy as energy;
 pub use r2d2_harness as harness;
 pub use r2d2_isa as isa;
